@@ -1,0 +1,307 @@
+(* The MOARD command-line tool.
+
+     moard list                          -- benchmark inventory (Table I)
+     moard analyze CG -o r -o colidx     -- aDVF analysis of data objects
+     moard exhaustive LULESH -o m_x      -- exhaustive fault injection
+     moard rfi LULESH -o m_x -n 1000     -- random fault injection campaign
+     moard trace CG --limit 40           -- dump the dynamic IR trace
+     moard objects CG                    -- data objects and address ranges *)
+
+open Cmdliner
+module Registry = Moard_kernels.Registry
+module Context = Moard_inject.Context
+module Model = Moard_core.Model
+module Advf = Moard_core.Advf
+
+let entry_conv =
+  let parse s =
+    match Registry.find s with
+    | e -> Ok e
+    | exception Not_found ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown benchmark %S (try: %s)" s
+              (String.concat ", "
+                 (List.map
+                    (fun e -> e.Registry.benchmark)
+                    Registry.all))))
+  in
+  let print ppf e = Format.pp_print_string ppf e.Registry.benchmark in
+  Arg.conv (parse, print)
+
+let bench_arg =
+  Arg.(
+    required
+    & pos 0 (some entry_conv) None
+    & info [] ~docv:"BENCHMARK" ~doc:"Benchmark name from the registry.")
+
+let objects_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "o"; "object" ] ~docv:"NAME"
+        ~doc:"Target data object (repeatable; default: the benchmark's \
+              Table-I objects).")
+
+let setup_logs =
+  let setup style_renderer level =
+    Fmt_tty.setup_std_outputs ?style_renderer ();
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level level
+  in
+  Term.(const setup $ Fmt_cli.style_renderer () $ Logs_cli.level ())
+
+let pick_objects (e : Registry.entry) = function
+  | [] -> e.Registry.objects
+  | objs -> objs
+
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    Format.printf "%a@." Registry.pp_table1 ();
+    Format.printf "Case studies: %s@."
+      (String.concat ", "
+         (List.map (fun e -> e.Registry.benchmark) Registry.case_studies))
+  in
+  Cmd.v (Cmd.info "list" ~doc:"Show the benchmark inventory (Table I).")
+    Term.(const run $ setup_logs)
+
+let optimize_flag =
+  Arg.(
+    value & flag
+    & info [ "optimize"; "O2" ]
+        ~doc:"Optimize the program (const-fold, copy-prop, DCE) before the \
+              analysis -- the SVII-A code-optimization study.")
+
+let make_ctx (e : Registry.entry) ~optimize =
+  let w = e.Registry.workload () in
+  let w =
+    if optimize then
+      { w with
+        Moard_inject.Workload.program =
+          Moard_opt.Passes.optimize w.Moard_inject.Workload.program }
+    else w
+  in
+  Context.make w
+
+let analyze_cmd =
+  let run () e objs k fi_budget no_cache optimize jobs =
+    let options =
+      { Model.default_options with k; fi_budget; use_cache = not no_cache }
+    in
+    if jobs > 1 then
+      let workload () =
+        let w = e.Registry.workload () in
+        if optimize then
+          { w with
+            Moard_inject.Workload.program =
+              Moard_opt.Passes.optimize w.Moard_inject.Workload.program }
+        else w
+      in
+      List.iter
+        (fun obj ->
+          let r =
+            Moard_parallel.Parallel_model.analyze ~options ~domains:jobs
+              ~workload ~object_name:obj ()
+          in
+          Format.printf "%a@.@." Advf.pp_report r)
+        (pick_objects e objs)
+    else
+      let ctx = make_ctx e ~optimize in
+      List.iter
+        (fun obj ->
+          let r = Model.analyze ~options ctx ~object_name:obj in
+          Format.printf "%a@.@." Advf.pp_report r)
+        (pick_objects e objs)
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ]
+          ~doc:"Analyze consumption sites on this many domains in parallel.")
+  in
+  let k_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "k" ] ~doc:"Error-propagation window (paper: 50).")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int (-1)
+      & info [ "fi-budget" ]
+          ~doc:"Max deterministic fault-injection runs (-1 = unlimited).")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Disable the error-equivalence cache.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Compute aDVF for data objects of a benchmark (the model).")
+    Term.(
+      const run $ setup_logs $ bench_arg $ objects_arg $ k_arg $ budget_arg
+      $ no_cache $ optimize_flag $ jobs_arg)
+
+let exhaustive_cmd =
+  let run () e objs stride =
+    let ctx = Context.make (e.Registry.workload ()) in
+    List.iter
+      (fun obj ->
+        let r =
+          Moard_inject.Exhaustive.campaign ~pattern_stride:stride ctx
+            ~object_name:obj
+        in
+        Format.printf "%a@." Moard_inject.Exhaustive.pp_result r)
+      (pick_objects e objs)
+  in
+  let stride =
+    Arg.(
+      value & opt int 1
+      & info [ "stride" ]
+          ~doc:"Sample every Nth bit position (1 = truly exhaustive).")
+  in
+  Cmd.v
+    (Cmd.info "exhaustive"
+       ~doc:"Exhaustive fault injection over all valid fault sites.")
+    Term.(const run $ setup_logs $ bench_arg $ objects_arg $ stride)
+
+let rfi_cmd =
+  let run () e objs tests seed =
+    let ctx = Context.make (e.Registry.workload ()) in
+    List.iter
+      (fun obj ->
+        let r =
+          Moard_inject.Random_fi.campaign ~seed ~tests ctx ~object_name:obj
+        in
+        Format.printf "%a@." Moard_inject.Random_fi.pp_result r)
+      (pick_objects e objs)
+  in
+  let tests =
+    Arg.(
+      value & opt int 1000
+      & info [ "n"; "tests" ] ~doc:"Number of fault-injection tests.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  Cmd.v
+    (Cmd.info "rfi" ~doc:"Traditional random fault injection (the baseline).")
+    Term.(const run $ setup_logs $ bench_arg $ objects_arg $ tests $ seed)
+
+let trace_cmd =
+  let run () e limit offset =
+    let ctx = Context.make (e.Registry.workload ()) in
+    let tape = Context.tape ctx in
+    let n = Moard_trace.Tape.length tape in
+    Format.printf "golden trace: %d dynamic instructions@." n;
+    let stop = match limit with 0 -> n | l -> min n (offset + l) in
+    for t = offset to stop - 1 do
+      Format.printf "%a@." Moard_trace.Event.pp (Moard_trace.Tape.get tape t)
+    done
+  in
+  let limit =
+    Arg.(
+      value & opt int 50
+      & info [ "limit" ] ~doc:"Events to print (0 = all).")
+  in
+  let offset =
+    Arg.(value & opt int 0 & info [ "offset" ] ~doc:"First event to print.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Dump the dynamic IR trace of the golden run.")
+    Term.(const run $ setup_logs $ bench_arg $ limit $ offset)
+
+let dump_ir_cmd =
+  let run () e optimize =
+    let w = e.Registry.workload () in
+    let p = w.Moard_inject.Workload.program in
+    let p = if optimize then Moard_opt.Passes.optimize p else p in
+    print_string (Moard_ir.Text.to_string p)
+  in
+  Cmd.v
+    (Cmd.info "dump-ir"
+       ~doc:"Print a benchmark's program in the textual IR format.")
+    Term.(const run $ setup_logs $ bench_arg $ optimize_flag)
+
+let bound_cmd =
+  let run () e objs samples =
+    let ctx = Context.make (e.Registry.workload ()) in
+    List.iter
+      (fun obj ->
+        Format.printf "%s:@." obj;
+        List.iter
+          (fun (p : Moard_core.Bound.point) ->
+            Format.printf
+              "  k=%-4d masked %d / survivors %d -> %.3f incorrect@."
+              p.Moard_core.Bound.k p.Moard_core.Bound.masked_within_k
+              p.Moard_core.Bound.survivors p.Moard_core.Bound.fraction_incorrect)
+          (Moard_core.Bound.study ~samples ~k_values:[ 5; 10; 20; 50 ] ctx
+             ~object_name:obj))
+      (pick_objects e objs)
+  in
+  let samples =
+    Arg.(
+      value & opt int 125
+      & info [ "samples" ] ~doc:"Random faults to examine per object.")
+  in
+  Cmd.v
+    (Cmd.info "bound"
+       ~doc:"The SIII-D propagation-bound study for a benchmark.")
+    Term.(const run $ setup_logs $ bench_arg $ objects_arg $ samples)
+
+let plan_cmd =
+  let run () e budget fi_budget =
+    let ctx = Context.make (e.Registry.workload ()) in
+    let options = { Model.default_options with fi_budget } in
+    let reports =
+      List.map
+        (fun o -> Model.analyze ~options ctx ~object_name:o)
+        e.Registry.objects
+    in
+    let plan =
+      Moard_core.Placement.plan ~budget
+        (List.map (Moard_core.Placement.candidate ~cost:1.0) reports)
+    in
+    Format.printf "%a@." Moard_core.Placement.pp_plan plan
+  in
+  let budget =
+    Arg.(
+      value & opt float 1.0
+      & info [ "budget" ]
+          ~doc:"Total protection budget (each object costs 1.0).")
+  in
+  let fi_budget =
+    Arg.(
+      value & opt int 30_000
+      & info [ "fi-budget" ] ~doc:"Fault-injection budget for the analysis.")
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:"Analyze a benchmark's target objects and plan which to \
+             protect under a budget.")
+    Term.(const run $ setup_logs $ bench_arg $ budget $ fi_budget)
+
+let objects_cmd =
+  let run () e =
+    let ctx = Context.make (e.Registry.workload ()) in
+    Format.printf "%a@." Moard_trace.Registry.pp
+      (Moard_vm.Machine.registry (Context.machine ctx));
+    Format.printf "targets: %s@."
+      (String.concat ", " e.Registry.objects)
+  in
+  Cmd.v
+    (Cmd.info "objects"
+       ~doc:"List every data object of a benchmark with its address range.")
+    Term.(const run $ setup_logs $ bench_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "moard" ~version:"1.0.0"
+       ~doc:
+         "MOARD: modeling application resilience to transient faults on \
+          data objects (IPDPS'19 reproduction).")
+    [
+      list_cmd; analyze_cmd; exhaustive_cmd; rfi_cmd; trace_cmd; objects_cmd;
+      dump_ir_cmd; bound_cmd; plan_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

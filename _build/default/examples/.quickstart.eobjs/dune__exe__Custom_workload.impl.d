@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Array Format Moard_core Moard_inject Moard_lang Printf

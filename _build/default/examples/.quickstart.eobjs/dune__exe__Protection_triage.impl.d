@@ -1,0 +1,1 @@
+examples/protection_triage.ml: Format List Moard_core Moard_inject Moard_kernels Printf String

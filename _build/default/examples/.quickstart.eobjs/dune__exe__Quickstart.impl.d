@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Moard_core Moard_inject Moard_kernels Printf

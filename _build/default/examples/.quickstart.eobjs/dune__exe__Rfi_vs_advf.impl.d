@@ -1,0 +1,1 @@
+examples/rfi_vs_advf.ml: List Moard_core Moard_inject Moard_kernels Printf String

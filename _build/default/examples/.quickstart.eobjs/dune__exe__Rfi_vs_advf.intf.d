@@ -1,0 +1,1 @@
+examples/rfi_vs_advf.mli:

@@ -1,0 +1,39 @@
+(* Selective protection directed by aDVF — the workflow the paper's
+   introduction motivates: quantify per-object resilience, protect only
+   what needs it, and verify the protection with the same model.
+
+   CG's colidx (sparse-matrix column indexes) is the vulnerable object;
+   the protection is triple modular redundancy with a bitwise majority
+   vote at every access.
+
+     dune exec examples/selective_protection.exe *)
+
+let analyze ?(tmr = false) obj =
+  let w = Moard_kernels.Cg.workload ~n:12 ~iters:3 ~tmr_colidx:tmr () in
+  let ctx = Moard_inject.Context.make w in
+  let r = Moard_core.Model.analyze ctx ~object_name:obj in
+  (r, Moard_inject.Context.golden_steps ctx)
+
+let () =
+  (* 1. Triage: which CG object needs protection? *)
+  let r_rep, base_steps = analyze "r" in
+  let c_rep, _ = analyze "colidx" in
+  Printf.printf "unprotected CG:   r aDVF %.4f   colidx aDVF %.4f\n"
+    r_rep.Moard_core.Advf.advf c_rep.Moard_core.Advf.advf;
+  Printf.printf "=> colidx is the object worth paying for.\n\n";
+
+  (* 2. Protect colidx with TMR + majority vote, re-run the analysis. *)
+  let c_tmr, tmr_steps = analyze ~tmr:true "colidx" in
+  let r_tmr, _ = analyze ~tmr:true "r" in
+  Printf.printf "with TMR colidx:  r aDVF %.4f   colidx aDVF %.4f\n"
+    r_tmr.Moard_core.Advf.advf c_tmr.Moard_core.Advf.advf;
+
+  (* 3. The model verifies the mechanism and prices it. *)
+  Printf.printf
+    "\nTMR lifts colidx from %.4f to %.4f at %+.1f%% dynamic instructions\n\
+     (r is untouched) -- protection applied exactly where aDVF said.\n"
+    c_rep.Moard_core.Advf.advf c_tmr.Moard_core.Advf.advf
+    (100.0
+     *. (float_of_int tmr_steps -. float_of_int base_steps)
+     /. float_of_int base_steps);
+  assert (c_tmr.Moard_core.Advf.advf > c_rep.Moard_core.Advf.advf +. 0.3)

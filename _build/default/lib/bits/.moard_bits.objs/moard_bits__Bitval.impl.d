@@ -1,0 +1,1 @@
+lib/bits/bitval.ml: Format Hashtbl Int64 Stdlib

@@ -1,0 +1,1 @@
+lib/bits/pattern.ml: Bitval Format List

@@ -1,0 +1,1 @@
+lib/bits/pattern.mli: Bitval Format

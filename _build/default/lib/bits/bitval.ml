@@ -1,0 +1,64 @@
+type width = W1 | W32 | W64
+
+type t = { width : width; bits : int64 }
+
+let bits_in = function W1 -> 1 | W32 -> 32 | W64 -> 64
+
+let bytes_in = function W1 -> 1 | W32 -> 4 | W64 -> 8
+
+let mask_of = function
+  | W1 -> 1L
+  | W32 -> 0xFFFF_FFFFL
+  | W64 -> -1L
+
+let make width bits = { width; bits = Int64.logand bits (mask_of width) }
+
+let of_bool b = { width = W1; bits = (if b then 1L else 0L) }
+let of_int32 i = make W32 (Int64.of_int32 i)
+let of_int64 i = { width = W64; bits = i }
+let of_int w i = make w (Int64.of_int i)
+let of_float f = { width = W64; bits = Int64.bits_of_float f }
+
+let to_bool v = not (Int64.equal v.bits 0L)
+
+let to_int64 v =
+  match v.width with
+  | W64 -> v.bits
+  | W1 -> v.bits
+  | W32 ->
+    (* Sign-extend from bit 31. *)
+    Int64.shift_right (Int64.shift_left v.bits 32) 32
+
+let to_float v =
+  match v.width with
+  | W64 -> Int64.float_of_bits v.bits
+  | W1 | W32 -> invalid_arg "Bitval.to_float: width < 64"
+
+let zero width = { width; bits = 0L }
+let is_zero v = Int64.equal v.bits 0L
+
+let flip_bit v i =
+  if i < 0 || i >= bits_in v.width then invalid_arg "Bitval.flip_bit"
+  else { v with bits = Int64.logxor v.bits (Int64.shift_left 1L i) }
+
+let get_bit v i =
+  if i < 0 || i >= bits_in v.width then invalid_arg "Bitval.get_bit"
+  else not (Int64.equal (Int64.logand v.bits (Int64.shift_left 1L i)) 0L)
+
+let popcount v =
+  let rec go acc b =
+    if Int64.equal b 0L then acc
+    else go (acc + 1) (Int64.logand b (Int64.sub b 1L))
+  in
+  go 0 v.bits
+
+let equal a b = a.width = b.width && Int64.equal a.bits b.bits
+let compare a b =
+  match Stdlib.compare a.width b.width with
+  | 0 -> Int64.compare a.bits b.bits
+  | c -> c
+let hash v = Hashtbl.hash (v.width, v.bits)
+
+let pp ppf v =
+  let tag = match v.width with W1 -> "i1" | W32 -> "i32" | W64 -> "i64" in
+  Format.fprintf ppf "%s:0x%Lx" tag v.bits

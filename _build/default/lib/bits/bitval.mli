@@ -1,0 +1,57 @@
+(** Raw bit-level images of runtime values.
+
+    Every value flowing through the MOARD virtual machine is carried as a
+    fixed-width bit image. This is what makes exact bit-flip faults possible:
+    a transient fault on a data element is a flip of one (or more) bits of
+    its image, exactly as it would be in a register or a DRAM word. *)
+
+type width = W1 | W32 | W64
+
+(** A value image: [bits] holds the value in the low [width] bits; any bits
+    above the width are guaranteed to be zero. W64 images may represent
+    either a 64-bit integer or an IEEE-754 double, depending on how the
+    consuming instruction interprets them. *)
+type t = private { width : width; bits : int64 }
+
+val bits_in : width -> int
+(** Number of bits in a width: 1, 32 or 64. *)
+
+val bytes_in : width -> int
+(** Storage footprint in bytes: 1, 4 or 8. *)
+
+val make : width -> int64 -> t
+(** [make w bits] truncates [bits] to [w] and builds an image. *)
+
+val of_bool : bool -> t
+val of_int32 : int32 -> t
+val of_int64 : int64 -> t
+val of_int : width -> int -> t
+val of_float : float -> t
+
+val to_bool : t -> bool
+(** Nonzero test on the image (any width). *)
+
+val to_int64 : t -> int64
+(** Signed value: W32 images are sign-extended, W64 returned as is,
+    W1 gives 0 or 1. *)
+
+val to_float : t -> float
+(** Reinterprets a W64 image as an IEEE-754 double.
+    @raise Invalid_argument on narrower widths. *)
+
+val zero : width -> t
+val is_zero : t -> bool
+
+val flip_bit : t -> int -> t
+(** [flip_bit v i] flips bit [i] (0 = least significant).
+    @raise Invalid_argument if [i] is outside the width. *)
+
+val get_bit : t -> int -> bool
+val popcount : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Hexadecimal rendering, e.g. [i64:0x3ff0000000000000]. *)

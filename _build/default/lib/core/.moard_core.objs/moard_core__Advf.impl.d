@@ -1,0 +1,1 @@
+lib/core/advf.ml: Array Format List String Verdict

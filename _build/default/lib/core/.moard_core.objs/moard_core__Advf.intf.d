@@ -1,0 +1,1 @@
+lib/core/advf.mli: Format Verdict

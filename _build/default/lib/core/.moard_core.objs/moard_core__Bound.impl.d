@@ -1,0 +1,1 @@
+lib/core/bound.ml: Array List Masking Moard_bits Moard_inject Moard_trace Propagation Random

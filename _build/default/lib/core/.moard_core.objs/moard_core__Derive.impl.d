@@ -1,0 +1,1 @@
+lib/core/derive.ml: Array List Moard_ir Moard_trace Option

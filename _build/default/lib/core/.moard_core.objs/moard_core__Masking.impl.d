@@ -1,0 +1,1 @@
+lib/core/masking.ml: Array Moard_bits Moard_ir Moard_trace Moard_vm Reexec Verdict

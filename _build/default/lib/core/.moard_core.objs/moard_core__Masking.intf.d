@@ -1,0 +1,1 @@
+lib/core/masking.mli: Moard_bits Moard_ir Moard_trace Moard_vm Verdict

@@ -1,0 +1,1 @@
+lib/core/model.ml: Advf Array Derive Hashtbl List Masking Moard_bits Moard_inject Moard_ir Moard_trace Option Propagation Verdict

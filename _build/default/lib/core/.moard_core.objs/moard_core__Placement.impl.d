@@ -1,0 +1,1 @@
+lib/core/placement.ml: Advf Float Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/propagation.ml: Array Hashtbl List Moard_bits Moard_ir Moard_trace Moard_vm Option Reexec Verdict

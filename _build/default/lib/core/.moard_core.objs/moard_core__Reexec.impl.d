@@ -1,0 +1,1 @@
+lib/core/reexec.ml: Array Float Int64 Moard_bits Moard_ir Moard_trace Moard_vm Verdict

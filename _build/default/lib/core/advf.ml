@@ -1,0 +1,139 @@
+type report = {
+  object_name : string;
+  involvements : int;
+  masking_events : float;
+  advf : float;
+  by_level : float array;
+  by_kind : float array;
+  patterns_analyzed : int;
+  op_resolved : int;
+  prop_resolved : int;
+  fi_resolved : int;
+  unresolved : int;
+  fi_runs : int;
+  fi_cache_hits : int;
+  verdict_cache_hits : int;
+}
+
+type stage = Op | Prop | Fi | Cached | Gave_up
+
+type t = {
+  object_name : string;
+  mutable involvements : int;
+  mutable events : float;
+  level_sum : float array;  (* per level, fractional masking *)
+  kind_sum : float array;   (* per kind at operation+propagation levels *)
+  mutable patterns : int;
+  mutable op_n : int;
+  mutable prop_n : int;
+  mutable fi_n : int;
+  mutable cached_n : int;
+  mutable gave_up : int;
+}
+
+let create object_name =
+  {
+    object_name;
+    involvements = 0;
+    events = 0.0;
+    level_sum = Array.make 3 0.0;
+    kind_sum = Array.make 4 0.0;
+    patterns = 0;
+    op_n = 0;
+    prop_n = 0;
+    fi_n = 0;
+    cached_n = 0;
+    gave_up = 0;
+  }
+
+let add_involvement t = t.involvements <- t.involvements + 1
+
+let add_pattern t ~weight ~stage verdict =
+  t.patterns <- t.patterns + 1;
+  (match stage with
+  | Op -> t.op_n <- t.op_n + 1
+  | Prop -> t.prop_n <- t.prop_n + 1
+  | Fi -> t.fi_n <- t.fi_n + 1
+  | Cached -> t.cached_n <- t.cached_n + 1
+  | Gave_up -> t.gave_up <- t.gave_up + 1);
+  match (verdict : Verdict.t) with
+  | Verdict.Not_masked -> ()
+  | Verdict.Masked (level, kind) ->
+    t.events <- t.events +. weight;
+    let li = Verdict.level_index level in
+    t.level_sum.(li) <- t.level_sum.(li) +. weight;
+    if level <> Verdict.Algorithm then begin
+      let ki = Verdict.kind_index kind in
+      t.kind_sum.(ki) <- t.kind_sum.(ki) +. weight
+    end
+
+let report t ~fi_runs ~fi_cache_hits =
+  let m = float_of_int (max t.involvements 1) in
+  {
+    object_name = t.object_name;
+    involvements = t.involvements;
+    masking_events = t.events;
+    advf = t.events /. m;
+    by_level = Array.map (fun s -> s /. m) t.level_sum;
+    by_kind = Array.map (fun s -> s /. m) t.kind_sum;
+    patterns_analyzed = t.patterns;
+    op_resolved = t.op_n;
+    prop_resolved = t.prop_n;
+    fi_resolved = t.fi_n;
+    unresolved = t.gave_up;
+    fi_runs;
+    fi_cache_hits;
+    verdict_cache_hits = t.cached_n;
+  }
+
+let pp_report ppf (r : report) =
+  Format.fprintf ppf
+    "@[<v>%s: aDVF = %.4f (%d involvements, %.1f masking events)@,\
+     levels: operation %.4f | propagation %.4f | algorithm %.4f@,\
+     kinds (op+prop): overwrite %.4f | logic/cmp %.4f | overshadow %.4f | \
+     other %.4f@,\
+     resolution: op %d, propagation %d, fi %d, cached %d-hit, unresolved %d \
+     (%d fi runs, %d fi cache hits)@]"
+    r.object_name r.advf r.involvements r.masking_events r.by_level.(0)
+    r.by_level.(1) r.by_level.(2) r.by_kind.(0) r.by_kind.(1) r.by_kind.(2)
+    r.by_kind.(3) r.op_resolved r.prop_resolved r.fi_resolved
+    r.verdict_cache_hits r.unresolved r.fi_runs r.fi_cache_hits
+
+let merge (reports : report list) =
+  match reports with
+  | [] -> invalid_arg "Advf.merge: empty"
+  | first :: _ ->
+    List.iter
+      (fun (r : report) ->
+        if not (String.equal r.object_name first.object_name) then
+          invalid_arg "Advf.merge: object names differ")
+      reports;
+    let sum (f : report -> int) =
+      List.fold_left (fun acc r -> acc + f r) 0 reports
+    in
+    let sumf (f : report -> float) =
+      List.fold_left (fun acc r -> acc +. f r) 0.0 reports
+    in
+    let m = sum (fun r -> r.involvements) in
+    let fm = float_of_int (max m 1) in
+    (* per-subset fractions are normalized by subset involvements; undo
+       that weighting before renormalizing over the union *)
+    let weighted proj =
+      sumf (fun r -> proj r *. float_of_int r.involvements) /. fm
+    in
+    {
+      object_name = first.object_name;
+      involvements = m;
+      masking_events = sumf (fun r -> r.masking_events);
+      advf = weighted (fun r -> r.advf);
+      by_level = Array.init 3 (fun t -> weighted (fun r -> r.by_level.(t)));
+      by_kind = Array.init 4 (fun t -> weighted (fun r -> r.by_kind.(t)));
+      patterns_analyzed = sum (fun r -> r.patterns_analyzed);
+      op_resolved = sum (fun r -> r.op_resolved);
+      prop_resolved = sum (fun r -> r.prop_resolved);
+      fi_resolved = sum (fun r -> r.fi_resolved);
+      unresolved = sum (fun r -> r.unresolved);
+      fi_runs = sum (fun r -> r.fi_runs);
+      fi_cache_hits = sum (fun r -> r.fi_cache_hits);
+      verdict_cache_hits = sum (fun r -> r.verdict_cache_hits);
+    }

@@ -1,0 +1,48 @@
+(** The aDVF metric (paper §III-B).
+
+    For every consumption (involvement) of an element of the target data
+    object, f(x_i) = (number of masked error patterns) / (number of error
+    patterns); aDVF = sum of f over all involvements / involvement count.
+    The accumulator also keeps the level and kind decompositions behind
+    Figures 4 and 5 and the absolute masking-event counts behind
+    evaluation conclusion 2. *)
+
+type t
+(** Mutable accumulator. *)
+
+type report = {
+  object_name : string;
+  involvements : int;       (** m: element references in the code segment *)
+  masking_events : float;   (** total (fractional) error-masking events *)
+  advf : float;             (** in [0, 1] *)
+  by_level : float array;
+      (** contribution of each {!Verdict.level} to aDVF (sums to aDVF) *)
+  by_kind : float array;
+      (** contribution of each {!Verdict.kind} at the operation and error
+          propagation levels (Figure 5's decomposition) *)
+  patterns_analyzed : int;
+  op_resolved : int;        (** patterns settled by operation-level analysis *)
+  prop_resolved : int;      (** settled by propagation replay *)
+  fi_resolved : int;        (** settled by deterministic fault injection *)
+  unresolved : int;         (** abandoned (fault-injection budget exhausted) *)
+  fi_runs : int;
+  fi_cache_hits : int;
+  verdict_cache_hits : int;
+}
+
+type stage = Op | Prop | Fi | Cached | Gave_up
+
+val create : string -> t
+val add_involvement : t -> unit
+val add_pattern : t -> weight:float -> stage:stage -> Verdict.t -> unit
+(** [weight] is 1 / (patterns of this involvement). *)
+
+val report :
+  t -> fi_runs:int -> fi_cache_hits:int -> report
+
+val merge : report list -> report
+(** Combine reports over disjoint consumption-site subsets of the same
+    data object into the whole-object report (involvement-weighted).
+    @raise Invalid_argument on an empty list or mismatched object names. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,26 @@
+(** Read-modify-write detection for store-destination masking.
+
+    The paper's §III-B walkthrough distinguishes [sum\[m\] = 0.0] and
+    [sum\[m\] = sqrt(sum\[m\]/n)] (assignments that mask by overwriting)
+    from [sum\[m\] = sum\[m\] + x] (an assignment that does not mask,
+    "because the new value is added to sum\[m\], not overwriting it").
+    The rule that reproduces this accounting: the overwrite does not mask
+    when the operation that produced the stored value itself directly
+    consumed the destination element — a read-modify-write at statement
+    granularity.
+
+    For such a store, the fault scenario "the element is corrupted when
+    the store consumes it" coincides with "the element is corrupted when
+    the deriving operation reads it" — one statement, one fault — so the
+    model gives the store involvement the verdict of that read site. This
+    is also what makes the ABFT case study come out right: a corrupted
+    product element consumed by the accumulating store is corrected later
+    "in a specific verification phase during error propagation" (§VI). *)
+
+val store_rmw_source :
+  tape:Moard_trace.Tape.t -> Moard_trace.Event.t -> (int * int) option
+(** [store_rmw_source ~tape e] for a [Store] event: when the stored value
+    was produced (through pure copies) by an operation that directly read
+    the destination cell, the dynamic index of that operation and the slot
+    through which it consumed the cell. [None] for immediate or unrelated
+    stored values (a genuine overwrite). *)

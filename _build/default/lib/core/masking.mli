@@ -1,0 +1,33 @@
+(** Operation-level error-masking analysis (paper §III-C).
+
+    Given a consumption site of the target data object and an error
+    pattern, decide — from operation semantics alone, without running the
+    application — whether the error is masked by the consuming operation,
+    and if not, what corrupted value it hands to error propagation. *)
+
+type t =
+  | Masked of Verdict.kind
+      (** the operation's result is unchanged by the corruption *)
+  | Changed of {
+      out : changed_out;
+      overshadow : bool;
+          (** the corrupted operand of an add/sub stays smaller in magnitude
+              than the other operand: any eventual masking is attributed to
+              operation-level value overshadowing (paper §III-C) *)
+    }
+  | Crash_certain of Moard_vm.Trap.t
+      (** the corrupted operand makes the operation itself trap *)
+  | Divergent
+      (** the corruption flips the consuming branch: needs fault injection *)
+
+and changed_out =
+  | To_reg of { frame : int; reg : int; value : Moard_bits.Bitval.t }
+  | To_mem of { addr : int; value : Moard_bits.Bitval.t; ty : Moard_ir.Types.t }
+
+val analyze :
+  Moard_trace.Event.t -> Moard_trace.Consume.kind -> Moard_bits.Pattern.t -> t
+(** Read-modify-write store destinations must be delegated by the caller
+    to the statement's deriving read via {!Derive.store_rmw_source} before
+    calling this (the model does).
+    @raise Invalid_argument if the site is not a consumption of the event
+    (e.g. a slot of a pure copy). *)

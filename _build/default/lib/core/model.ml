@@ -1,0 +1,149 @@
+module Context = Moard_inject.Context
+module Outcome = Moard_inject.Outcome
+module Consume = Moard_trace.Consume
+module Tape = Moard_trace.Tape
+module Event = Moard_trace.Event
+module Bitval = Moard_bits.Bitval
+module Pattern = Moard_bits.Pattern
+
+type options = {
+  k : int;
+  shadow_cap : int;
+  fi_budget : int;
+  use_cache : bool;
+  multi : [ `Burst of int | `Pair of int ] list;
+}
+
+let default_options =
+  { k = 50; shadow_cap = 256; fi_budget = -1; use_cache = true; multi = [] }
+
+type vkey = {
+  k_iid : Moard_ir.Iid.t;
+  k_site : int;  (* slot, or -1 for store destination *)
+  k_reads : int64 array;
+  k_bits : int list;
+}
+
+let vkey_of tape (site : Consume.t) pattern =
+  let e = Tape.get tape site.Consume.event_idx in
+  {
+    k_iid = e.Event.iid;
+    k_site =
+      (match site.Consume.kind with
+      | Consume.Read { slot } -> slot
+      | Consume.Store_dest -> -1);
+    k_reads =
+      Array.map (fun (r : Event.read) -> (r.value : Bitval.t).bits) e.Event.reads;
+    k_bits = Pattern.bits_of pattern;
+  }
+
+let init_of_changed (out : Masking.changed_out) =
+  match out with
+  | Masking.To_reg { frame; reg; value } ->
+    Propagation.From_reg { frame; reg; value }
+  | Masking.To_mem { addr; value; ty } ->
+    Propagation.From_mem { addr; value; ty }
+
+let analyze ?(options = default_options) ?site_filter ctx ~object_name =
+  let tape = Context.tape ctx in
+  let w = Context.workload ctx in
+  let obj = Context.object_of ctx object_name in
+  let outputs =
+    List.map (Context.object_of ctx) w.Moard_inject.Workload.outputs
+  in
+  let sites = Consume.of_tape ~segment:(Context.segment ctx) tape obj in
+  let sites =
+    match site_filter with
+    | None -> sites
+    | Some keep -> List.filteri (fun i _ -> keep i) sites
+  in
+  let acc = Advf.create object_name in
+  let vcache : (vkey, Verdict.t * Advf.stage) Hashtbl.t =
+    Hashtbl.create 4096
+  in
+  let fi_runs0 = Context.runs ctx and fi_hits0 = Context.cache_hits ctx in
+  let budget_left () =
+    options.fi_budget < 0 || Context.runs ctx - fi_runs0 < options.fi_budget
+  in
+  (* Resolve by deterministic fault injection; attribution per §III-C/E:
+     an overshadow candidate that ends up tolerated is operation-level
+     value overshadowing; otherwise a numerically identical outcome is
+     propagation-level masking (rare, per the bounding argument) and an
+     acceptable one is algorithm-level masking. *)
+  let fi site pattern ~overshadow =
+    if not (budget_left ()) then (Verdict.Not_masked, Advf.Gave_up)
+    else
+      let verdict =
+        match Context.inject_at ~use_cache:options.use_cache ctx site pattern with
+        | Outcome.Same ->
+          if overshadow then Verdict.Masked (Verdict.Operation, Verdict.Overshadow)
+          else Verdict.Masked (Verdict.Propagation, Verdict.Other)
+        | Outcome.Acceptable ->
+          if overshadow then Verdict.Masked (Verdict.Operation, Verdict.Overshadow)
+          else Verdict.Masked (Verdict.Algorithm, Verdict.Other)
+        | Outcome.Incorrect | Outcome.Crashed _ -> Verdict.Not_masked
+      in
+      (verdict, Advf.Fi)
+  in
+  let rec resolve (site : Consume.t) pattern =
+    let e = Tape.get tape site.Consume.event_idx in
+    match site.Consume.kind with
+    | Consume.Store_dest when Derive.store_rmw_source ~tape e <> None ->
+      (* Read-modify-write: the fault scenario coincides with the fault at
+         the statement's deriving read — one statement, one fault — so the
+         store involvement shares that site's verdict. *)
+      let idx, slot = Option.get (Derive.store_rmw_source ~tape e) in
+      resolve
+        { site with Consume.event_idx = idx; kind = Consume.Read { slot } }
+        pattern
+    | _ ->
+    match Masking.analyze e site.Consume.kind pattern with
+    | Masking.Masked kind -> (Verdict.Masked (Verdict.Operation, kind), Advf.Op)
+    | Masking.Crash_certain _ -> (Verdict.Not_masked, Advf.Op)
+    | Masking.Divergent -> fi site pattern ~overshadow:false
+    | Masking.Changed { out; overshadow } -> (
+      match
+        Propagation.replay ~tape ~k:options.k ~shadow_cap:options.shadow_cap
+          ~outputs ~start:site.Consume.event_idx ~init:(init_of_changed out)
+      with
+      | Propagation.Masked kind ->
+        if overshadow then
+          (Verdict.Masked (Verdict.Operation, Verdict.Overshadow), Advf.Prop)
+        else (Verdict.Masked (Verdict.Propagation, kind), Advf.Prop)
+      | Propagation.Crash_certain _ -> (Verdict.Not_masked, Advf.Prop)
+      | Propagation.Unresolved _ -> fi site pattern ~overshadow)
+  in
+  List.iter
+    (fun site ->
+      Advf.add_involvement acc;
+      let patterns =
+        match options.multi with
+        | [] -> Consume.patterns site
+        | multi -> Pattern.enumerate ~multi site.Consume.width
+      in
+      let weight = 1.0 /. float_of_int (List.length patterns) in
+      List.iter
+        (fun pattern ->
+          let verdict, stage =
+            if not options.use_cache then resolve site pattern
+            else
+              let key = vkey_of tape site pattern in
+              match Hashtbl.find_opt vcache key with
+              | Some (v, _) -> (v, Advf.Cached)
+              | None ->
+                let v, s = resolve site pattern in
+                Hashtbl.replace vcache key (v, s);
+                (v, s)
+          in
+          Advf.add_pattern acc ~weight ~stage verdict)
+        patterns)
+    sites;
+  Advf.report acc
+    ~fi_runs:(Context.runs ctx - fi_runs0)
+    ~fi_cache_hits:(Context.cache_hits ctx - fi_hits0)
+
+let analyze_targets ?options ctx =
+  let w = Context.workload ctx in
+  List.map
+    (fun object_name -> analyze ?options ctx ~object_name)
+    w.Moard_inject.Workload.targets

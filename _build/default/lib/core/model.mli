@@ -1,0 +1,37 @@
+(** The MOARD model driver (paper Fig. 3).
+
+    For each consumption of the target data object in the golden trace and
+    each error pattern, the driver runs the three-stage inference:
+
+    + operation-level analysis ({!Masking}),
+    + bounded error-propagation replay ({!Propagation}, k operations),
+    + deterministic fault injection ({!Moard_inject.Context}) for whatever
+      the first two stages leave unresolved,
+
+    then folds the verdicts into the aDVF accumulator. Verdicts are
+    memoized by error equivalence (static instruction, operand values,
+    site, pattern), on top of the injector's own outcome cache. *)
+
+type options = {
+  k : int;              (** propagation window; paper uses 50 *)
+  shadow_cap : int;     (** contamination-set size that aborts the replay *)
+  fi_budget : int;      (** max fault-injection executions; -1 = unlimited *)
+  use_cache : bool;     (** error-equivalence memoization *)
+  multi : [ `Burst of int | `Pair of int ] list;
+      (** extra multi-bit pattern families (§VII-B); default none *)
+}
+
+val default_options : options
+(** k = 50, shadow_cap = 256, unlimited fault injection, cache on. *)
+
+val analyze :
+  ?options:options -> ?site_filter:(int -> bool) ->
+  Moard_inject.Context.t -> object_name:string -> Advf.report
+(** [site_filter] keeps only the consumption sites whose index in the
+    enumeration order passes — the partitioning hook of the parallel
+    driver ({!Moard_parallel}); a report over a subset is merged with its
+    peers via {!Advf.merge}. *)
+
+val analyze_targets :
+  ?options:options -> Moard_inject.Context.t -> Advf.report list
+(** One report per target data object declared by the workload. *)

@@ -1,0 +1,99 @@
+type candidate = {
+  report : Advf.report;
+  cost : float;
+  effectiveness : float;
+}
+
+type decision = {
+  object_name : string;
+  risk : float;
+  risk_removed : float;
+  cost : float;
+  chosen : bool;
+}
+
+type plan = {
+  decisions : decision list;
+  total_cost : float;
+  residual_risk : float;
+  baseline_risk : float;
+}
+
+let candidate ?(cost = 1.0) ?(effectiveness = 1.0) report =
+  { report; cost; effectiveness }
+
+let plan ~budget (candidates : candidate list) =
+  if candidates = [] then invalid_arg "Placement.plan: no candidates";
+  List.iter
+    (fun (c : candidate) ->
+      if c.cost <= 0.0 then invalid_arg "Placement.plan: non-positive cost";
+      if c.effectiveness < 0.0 || c.effectiveness > 1.0 then
+        invalid_arg "Placement.plan: effectiveness out of [0,1]")
+    candidates;
+  (* Faults land on objects proportionally to their involvement counts. *)
+  let total_inv =
+    List.fold_left
+      (fun acc c -> acc + c.report.Advf.involvements)
+      0 candidates
+  in
+  let weight (c : candidate) =
+    float_of_int c.report.Advf.involvements /. float_of_int (max total_inv 1)
+  in
+  let risk c = weight c *. (1.0 -. c.report.Advf.advf) in
+  let gain (c : candidate) = risk c *. c.effectiveness in
+  (* Greedy by risk removed per unit cost. *)
+  let order =
+    List.sort
+      (fun (a : candidate) (b : candidate) ->
+        Float.compare (gain b /. b.cost) (gain a /. a.cost))
+      candidates
+  in
+  let chosen = Hashtbl.create 8 in
+  let spent = ref 0.0 in
+  List.iter
+    (fun (c : candidate) ->
+      if !spent +. c.cost <= budget +. 1e-12 && gain c > 0.0 then begin
+        Hashtbl.replace chosen c.report.Advf.object_name ();
+        spent := !spent +. c.cost
+      end)
+    order;
+  let baseline_risk = List.fold_left (fun acc c -> acc +. risk c) 0.0 candidates in
+  let residual_risk =
+    List.fold_left
+      (fun acc c ->
+        acc
+        +.
+        if Hashtbl.mem chosen c.report.Advf.object_name then
+          risk c -. gain c
+        else risk c)
+      0.0 candidates
+  in
+  let decisions =
+    List.sort
+      (fun (a : candidate) (b : candidate) ->
+        Float.compare (risk b) (risk a))
+      candidates
+    |> List.map (fun c ->
+           {
+             object_name = c.report.Advf.object_name;
+             risk = risk c;
+             risk_removed =
+               (if Hashtbl.mem chosen c.report.Advf.object_name then gain c
+                else 0.0);
+             cost = c.cost;
+             chosen = Hashtbl.mem chosen c.report.Advf.object_name;
+           })
+  in
+  { decisions; total_cost = !spent; residual_risk; baseline_risk }
+
+let pp_plan ppf plan =
+  Format.fprintf ppf "@[<v>%-16s %-10s %-10s %-8s %s@," "object" "risk"
+    "removed" "cost" "protect?";
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "%-16s %-10.4f %-10.4f %-8.2f %s@," d.object_name
+        d.risk d.risk_removed d.cost
+        (if d.chosen then "YES" else "no"))
+    plan.decisions;
+  Format.fprintf ppf "cost %.2f; unmasked-fault share %.4f -> %.4f@]"
+    plan.total_cost plan.baseline_risk plan.residual_risk

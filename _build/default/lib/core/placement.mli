@@ -1,0 +1,50 @@
+(** Protection placement driven by aDVF.
+
+    The reason to quantify per-object resilience (paper §I, §VI and the
+    strategic-placement line of work it cites [9]) is to decide *which*
+    data objects a fault-tolerance mechanism should cover when covering
+    everything is too expensive. This module turns a set of aDVF reports
+    into such a plan.
+
+    The expected-failure model: faults land on data objects proportionally
+    to their consumption footprint (involvements), and a fault on object X
+    goes unmasked with probability (1 - aDVF(X)). Protecting X with a
+    mechanism of effectiveness e removes a fraction e of its unmasked
+    faults at the mechanism's relative cost. The planner greedily picks
+    the best risk-removed-per-cost object until the budget is spent —
+    optimal for this additive model when costs are uniform, and the usual
+    knapsack heuristic otherwise. *)
+
+type candidate = {
+  report : Advf.report;
+  cost : float;
+      (** relative overhead of protecting this object (e.g. expected
+          slowdown fraction); must be positive *)
+  effectiveness : float;
+      (** fraction of the object's unmasked faults the mechanism removes,
+          in [0, 1] (1.0 = perfect protection such as TMR-with-vote) *)
+}
+
+type decision = {
+  object_name : string;
+  risk : float;          (** expected unmasked-fault share, unprotected *)
+  risk_removed : float;  (** share removed by protecting it *)
+  cost : float;
+  chosen : bool;
+}
+
+type plan = {
+  decisions : decision list;  (** all candidates, highest risk first *)
+  total_cost : float;         (** cost of the chosen set *)
+  residual_risk : float;      (** unmasked-fault share left after the plan *)
+  baseline_risk : float;      (** unmasked-fault share with no protection *)
+}
+
+val candidate : ?cost:float -> ?effectiveness:float -> Advf.report -> candidate
+(** Defaults: cost 1.0, effectiveness 1.0. *)
+
+val plan : budget:float -> candidate list -> plan
+(** Greedy selection under [budget] (total allowed cost).
+    @raise Invalid_argument on non-positive costs or an empty list. *)
+
+val pp_plan : Format.formatter -> plan -> unit

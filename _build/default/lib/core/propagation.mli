@@ -1,0 +1,43 @@
+(** Error-propagation analysis (paper §III-D).
+
+    Starting from the corrupted output of the consuming operation, replay
+    the next [k] operations of the golden trace, substituting corrupted
+    values wherever contaminated registers or memory cells are consumed,
+    and tracking where contamination is created, masked or overwritten.
+
+    The replay is exact as long as control flow does not diverge: the
+    golden tape records the values every operation actually consumed, so
+    recomputation only needs the contaminated subset. A corrupted branch
+    condition, a load/store through a corrupted address, a contamination
+    set larger than [shadow_cap], or contamination surviving the window are
+    all handed to the deterministic fault injector (the paper's
+    "unresolved analyses"). *)
+
+type init =
+  | From_reg of { frame : int; reg : int; value : Moard_bits.Bitval.t }
+  | From_mem of { addr : int; value : Moard_bits.Bitval.t; ty : Moard_ir.Types.t }
+
+type unresolved_reason =
+  | Control_divergence   (** a contaminated branch condition flipped *)
+  | Wild_access          (** contaminated address fed a load or store *)
+  | Window_exhausted     (** live contamination survived the k-window *)
+  | Explosion            (** contamination exceeded [shadow_cap] values *)
+  | Output_contaminated  (** execution ended with a corrupted output cell *)
+
+type outcome =
+  | Masked of Verdict.kind
+      (** every contaminated value was masked or cleanly overwritten within
+          the window; the kind is that of the final masking event *)
+  | Crash_certain of Moard_vm.Trap.t
+  | Unresolved of unresolved_reason
+
+val replay :
+  tape:Moard_trace.Tape.t ->
+  k:int ->
+  shadow_cap:int ->
+  outputs:Moard_trace.Data_object.t list ->
+  start:int ->
+  init:init ->
+  outcome
+
+val reason_name : unresolved_reason -> string

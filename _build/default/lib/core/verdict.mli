@@ -1,0 +1,25 @@
+(** Masking verdicts: the three levels of the paper's classification
+    (§III-A) and the operation-level masking kinds of §III-C. *)
+
+type level =
+  | Operation    (** masked by the consuming operation's semantics *)
+  | Propagation  (** masked while propagating, within k operations *)
+  | Algorithm    (** outcome numerically different but acceptable *)
+
+type kind =
+  | Overwrite   (** value overwriting, incl. trunc and bit shifts *)
+  | Logic_cmp   (** logical and comparison operations *)
+  | Overshadow  (** add/sub magnitude masking *)
+  | Other       (** exact-result masking by other operations *)
+
+type t =
+  | Masked of level * kind
+  | Not_masked
+
+val levels : level list
+val kinds : kind list
+val level_index : level -> int
+val kind_index : kind -> int
+val level_name : level -> string
+val kind_name : kind -> string
+val pp : Format.formatter -> t -> unit

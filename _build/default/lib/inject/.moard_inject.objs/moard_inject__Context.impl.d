@@ -1,0 +1,1 @@
+lib/inject/context.ml: Array Hashtbl Int32 Int64 List Moard_bits Moard_ir Moard_trace Moard_vm Outcome Printf Workload

@@ -1,0 +1,1 @@
+lib/inject/context.mli: Moard_bits Moard_trace Moard_vm Outcome Workload

@@ -1,0 +1,1 @@
+lib/inject/exhaustive.ml: Context Format List Moard_trace Outcome

@@ -1,0 +1,1 @@
+lib/inject/exhaustive.mli: Context Format

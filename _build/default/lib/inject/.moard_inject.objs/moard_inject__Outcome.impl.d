@@ -1,0 +1,1 @@
+lib/inject/outcome.ml: Format Moard_vm

@@ -1,0 +1,1 @@
+lib/inject/outcome.mli: Format Moard_vm

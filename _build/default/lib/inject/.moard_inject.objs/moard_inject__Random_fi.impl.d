@@ -1,0 +1,1 @@
+lib/inject/random_fi.ml: Array Context Format List Moard_bits Moard_trace Outcome Random

@@ -1,0 +1,1 @@
+lib/inject/random_fi.mli: Context Format

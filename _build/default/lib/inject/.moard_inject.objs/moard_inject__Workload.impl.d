@@ -1,0 +1,1 @@
+lib/inject/workload.ml: Array Float List Moard_ir

@@ -1,0 +1,1 @@
+lib/inject/workload.mli: Moard_ir

@@ -1,0 +1,150 @@
+module Machine = Moard_vm.Machine
+module Fault = Moard_vm.Fault
+module Tape = Moard_trace.Tape
+module Consume = Moard_trace.Consume
+module Bitval = Moard_bits.Bitval
+module Pattern = Moard_bits.Pattern
+
+type key = {
+  k_iid : Moard_ir.Iid.t;
+  k_kind : int;          (* slot number, or -1 for store destination *)
+  k_reads : int64 array; (* operand bit images of the dynamic instruction *)
+  k_bits : int list;     (* bits flipped by the pattern *)
+}
+
+type t = {
+  w : Workload.t;
+  machine : Machine.t;
+  tape : Tape.t;
+  golden_bits : int64 array;
+  golden_floats : float array;
+  golden_steps : int;
+  cache : (key, Outcome.t) Hashtbl.t;
+  mutable runs : int;
+  mutable hits : int;
+}
+
+let observe_mem machine (w : Workload.t) mem =
+  let bits = ref [] and floats = ref [] in
+  List.iter
+    (fun name ->
+      let g = Moard_ir.Program.global w.program name in
+      match g.Moard_ir.Program.gty with
+      | Moard_ir.Types.F64 ->
+        let a = Machine.read_f64s machine mem name in
+        Array.iter
+          (fun x ->
+            bits := Int64.bits_of_float x :: !bits;
+            floats := x :: !floats)
+          a
+      | Moard_ir.Types.I64 | Moard_ir.Types.Ptr ->
+        let a = Machine.read_i64s machine mem name in
+        Array.iter
+          (fun x ->
+            bits := x :: !bits;
+            floats := Int64.to_float x :: !floats)
+          a
+      | Moard_ir.Types.I32 | Moard_ir.Types.I1 ->
+        let a = Machine.read_i32s machine mem name in
+        Array.iter
+          (fun x ->
+            bits := Int64.of_int32 x :: !bits;
+            floats := Int32.to_float x :: !floats)
+          a)
+    w.outputs;
+  (Array.of_list (List.rev !bits), Array.of_list (List.rev !floats))
+
+let make (w : Workload.t) =
+  let machine = Machine.load w.program in
+  List.iter
+    (fun name ->
+      match Moard_ir.Program.global w.program name with
+      | (_ : Moard_ir.Program.global) -> ()
+      | exception Not_found ->
+        invalid_arg ("Context.make: no global named " ^ name))
+    (w.targets @ w.outputs);
+  let r, tape = Machine.trace ~step_limit:w.step_limit machine ~entry:w.entry in
+  (match r.Machine.outcome with
+  | Machine.Finished _ -> ()
+  | Machine.Trapped trap ->
+    invalid_arg
+      (Printf.sprintf "Context.make: golden run of %s trapped: %s" w.name
+         (Moard_vm.Trap.to_string trap)));
+  let golden_bits, golden_floats = observe_mem machine w r.Machine.mem in
+  {
+    w;
+    machine;
+    tape;
+    golden_bits;
+    golden_floats;
+    golden_steps = r.Machine.steps;
+    cache = Hashtbl.create 4096;
+    runs = 0;
+    hits = 0;
+  }
+
+let workload t = t.w
+let machine t = t.machine
+let tape t = t.tape
+let golden_floats t = t.golden_floats
+let golden_steps t = t.golden_steps
+let object_of t name = Machine.object_of t.machine name
+let segment t fn = Workload.in_segment t.w fn
+
+let observe t mem = observe_mem t.machine t.w mem
+
+let classify t (r : Machine.run) =
+  match r.Machine.outcome with
+  | Machine.Trapped trap -> Outcome.Crashed trap
+  | Machine.Finished _ ->
+    let bits, floats = observe t r.Machine.mem in
+    if
+      Array.length bits = Array.length t.golden_bits
+      && Array.for_all2 Int64.equal bits t.golden_bits
+    then Outcome.Same
+    else if t.w.accept ~golden:t.golden_floats ~faulty:floats then
+      Outcome.Acceptable
+    else Outcome.Incorrect
+
+let inject t fault =
+  t.runs <- t.runs + 1;
+  let r =
+    Machine.run ~step_limit:t.w.step_limit ~fault t.machine ~entry:t.w.entry
+  in
+  classify t r
+
+let fault_of_site (site : Consume.t) pattern =
+  match site.Consume.kind with
+  | Consume.Read { slot } -> Fault.read ~idx:site.Consume.event_idx ~slot pattern
+  | Consume.Store_dest -> Fault.store_dest ~idx:site.Consume.event_idx pattern
+
+let key_of t (site : Consume.t) pattern =
+  let e = Tape.get t.tape site.Consume.event_idx in
+  {
+    k_iid = e.Moard_trace.Event.iid;
+    k_kind =
+      (match site.Consume.kind with
+      | Consume.Read { slot } -> slot
+      | Consume.Store_dest -> -1);
+    k_reads =
+      Array.map
+        (fun (r : Moard_trace.Event.read) -> (r.value : Bitval.t).bits)
+        e.Moard_trace.Event.reads;
+    k_bits = Pattern.bits_of pattern;
+  }
+
+let inject_at ?(use_cache = true) t site pattern =
+  if not use_cache then inject t (fault_of_site site pattern)
+  else
+    let key = key_of t site pattern in
+    match Hashtbl.find_opt t.cache key with
+    | Some outcome ->
+      t.hits <- t.hits + 1;
+      outcome
+    | None ->
+      let outcome = inject t (fault_of_site site pattern) in
+      Hashtbl.replace t.cache key outcome;
+      outcome
+
+let runs t = t.runs
+let cache_hits t = t.hits

@@ -1,0 +1,46 @@
+(** Deterministic fault injector (paper §IV).
+
+    Holds the loaded machine, the golden run and its outputs, and the
+    golden dynamic trace. Each injection re-runs the workload with one
+    fault and classifies the outcome against the golden outputs.
+
+    An error-equivalence cache (after Relyzer [7] / GangES [20], which the
+    paper leverages for the same purpose) memoizes outcomes keyed on the
+    static instruction, its operand values, the consumption site kind and
+    the error pattern: two dynamic occurrences of one instruction with
+    identical operand values and the same injected corruption are
+    equivalent, so the second is resolved without a run. *)
+
+type t
+
+val make : Workload.t -> t
+(** Loads the program, performs the golden run (traced).
+    @raise Invalid_argument if the golden run itself traps or any declared
+    target/output global does not exist. *)
+
+val workload : t -> Workload.t
+val machine : t -> Moard_vm.Machine.t
+val tape : t -> Moard_trace.Tape.t
+val golden_floats : t -> float array
+val golden_steps : t -> int
+val object_of : t -> string -> Moard_trace.Data_object.t
+val segment : t -> string -> bool
+
+val observe : t -> Moard_vm.Memory.t -> int64 array * float array
+(** Output vector of a finished run: raw bit images and float view. *)
+
+val inject : t -> Moard_vm.Fault.t -> Outcome.t
+(** Uncached single injection. *)
+
+val inject_at :
+  ?use_cache:bool -> t -> Moard_trace.Consume.t -> Moard_bits.Pattern.t ->
+  Outcome.t
+(** Injection at a consumption site of the golden trace, cached by error
+    equivalence unless [use_cache:false]. *)
+
+val fault_of_site : Moard_trace.Consume.t -> Moard_bits.Pattern.t -> Moard_vm.Fault.t
+
+val runs : t -> int
+(** Fault-injection executions actually performed. *)
+
+val cache_hits : t -> int

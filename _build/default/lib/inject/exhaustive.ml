@@ -1,0 +1,71 @@
+module Consume = Moard_trace.Consume
+
+type result = {
+  object_name : string;
+  sites : int;
+  injections : int;
+  same : int;
+  acceptable : int;
+  incorrect : int;
+  crashed : int;
+  success_rate : float;
+  runs : int;
+  cache_hits : int;
+}
+
+let stride_patterns stride site =
+  let all = Consume.patterns site in
+  List.filteri (fun i _ -> i mod stride = 0) all
+
+let campaign ?(pattern_stride = 1) ctx ~object_name =
+  if pattern_stride < 1 then invalid_arg "Exhaustive.campaign: stride";
+  let obj = Context.object_of ctx object_name in
+  let sites =
+    (* Valid fault sites are bits of instruction *operands* holding values
+       of the object (paper SV-B); a flip of a store destination dies
+       unconsumed at the very next instruction, so it is not a valid
+       injection site. *)
+    Consume.of_tape ~segment:(Context.segment ctx) (Context.tape ctx) obj
+    |> List.filter (fun s ->
+           match s.Consume.kind with
+           | Consume.Read _ -> true
+           | Consume.Store_dest -> false)
+  in
+  let runs0 = Context.runs ctx and hits0 = Context.cache_hits ctx in
+  let same = ref 0
+  and acceptable = ref 0
+  and incorrect = ref 0
+  and crashed = ref 0 in
+  let injections = ref 0 in
+  List.iter
+    (fun site ->
+      List.iter
+        (fun pattern ->
+          incr injections;
+          match Context.inject_at ctx site pattern with
+          | Outcome.Same -> incr same
+          | Outcome.Acceptable -> incr acceptable
+          | Outcome.Incorrect -> incr incorrect
+          | Outcome.Crashed _ -> incr crashed)
+        (stride_patterns pattern_stride site))
+    sites;
+  let n = max !injections 1 in
+  {
+    object_name;
+    sites = List.length sites;
+    injections = !injections;
+    same = !same;
+    acceptable = !acceptable;
+    incorrect = !incorrect;
+    crashed = !crashed;
+    success_rate = float_of_int (!same + !acceptable) /. float_of_int n;
+    runs = Context.runs ctx - runs0;
+    cache_hits = Context.cache_hits ctx - hits0;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%s: %d sites, %d injections -> %.4f success (same %d, acceptable %d, \
+     incorrect %d, crashed %d; %d runs, %d cache hits)"
+    r.object_name r.sites r.injections r.success_rate r.same r.acceptable
+    r.incorrect r.crashed r.runs r.cache_hits

@@ -1,0 +1,26 @@
+(** Exhaustive fault injection (paper §V-B).
+
+    Injects into every valid fault site of a data object — every bit of
+    every instruction operand holding a value of the object within the
+    evaluated code segment — and reports the success rate. Ground truth
+    for validating aDVF, accelerated by the error-equivalence cache. *)
+
+type result = {
+  object_name : string;
+  sites : int;        (** consumption sites *)
+  injections : int;   (** faults injected (sites x patterns / stride) *)
+  same : int;
+  acceptable : int;
+  incorrect : int;
+  crashed : int;
+  success_rate : float;
+  runs : int;         (** actual program executions *)
+  cache_hits : int;
+}
+
+val campaign :
+  ?pattern_stride:int -> Context.t -> object_name:string -> result
+(** [pattern_stride] > 1 samples every n-th bit position (documented
+    speed knob; 1 = truly exhaustive). *)
+
+val pp_result : Format.formatter -> result -> unit

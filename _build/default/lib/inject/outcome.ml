@@ -1,0 +1,17 @@
+type t =
+  | Same
+  | Acceptable
+  | Incorrect
+  | Crashed of Moard_vm.Trap.t
+
+let success = function Same | Acceptable -> true | Incorrect | Crashed _ -> false
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf = function
+  | Same -> Format.pp_print_string ppf "same"
+  | Acceptable -> Format.pp_print_string ppf "acceptable"
+  | Incorrect -> Format.pp_print_string ppf "incorrect"
+  | Crashed trap -> Format.fprintf ppf "crashed (%a)" Moard_vm.Trap.pp trap
+
+let to_string t = Format.asprintf "%a" pp t

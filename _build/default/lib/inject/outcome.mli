@@ -1,0 +1,15 @@
+(** Classification of a fault-injection run against the golden run. *)
+
+type t =
+  | Same        (** outputs bit-identical to the golden run *)
+  | Acceptable  (** numerically different, accepted by algorithm semantics *)
+  | Incorrect   (** finished, but outcome rejected *)
+  | Crashed of Moard_vm.Trap.t
+      (** segmentation-error class: OOB access, division trap, runaway loop *)
+
+val success : t -> bool
+(** [Same] or [Acceptable] — the fault was tolerated. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,50 @@
+module Consume = Moard_trace.Consume
+module Bitval = Moard_bits.Bitval
+module Pattern = Moard_bits.Pattern
+
+type result = {
+  object_name : string;
+  tests : int;
+  successes : int;
+  success_rate : float;
+  margin_95 : float;
+}
+
+let z_95 = 1.96
+
+let campaign ?(use_cache = false) ~seed ~tests ctx ~object_name =
+  if tests <= 0 then invalid_arg "Random_fi.campaign: tests";
+  let obj = Context.object_of ctx object_name in
+  let sites =
+    Consume.of_tape ~segment:(Context.segment ctx) (Context.tape ctx) obj
+    |> List.filter (fun s ->
+           match s.Consume.kind with
+           | Consume.Read _ -> true
+           | Consume.Store_dest -> false)
+    |> Array.of_list
+  in
+  if Array.length sites = 0 then
+    invalid_arg ("Random_fi.campaign: no fault sites for " ^ object_name);
+  let rng = Random.State.make [| seed |] in
+  let successes = ref 0 in
+  for _ = 1 to tests do
+    let site = sites.(Random.State.int rng (Array.length sites)) in
+    let bit = Random.State.int rng (Bitval.bits_in site.Consume.width) in
+    let outcome =
+      Context.inject_at ~use_cache ctx site (Pattern.Single bit)
+    in
+    if Outcome.success outcome then incr successes
+  done;
+  let p = float_of_int !successes /. float_of_int tests in
+  let margin = z_95 *. sqrt (p *. (1.0 -. p) /. float_of_int tests) in
+  {
+    object_name;
+    tests;
+    successes = !successes;
+    success_rate = p;
+    margin_95 = margin;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf "%s: %d tests -> %.4f +/- %.4f success" r.object_name
+    r.tests r.success_rate r.margin_95

@@ -1,0 +1,24 @@
+(** Traditional random fault injection — the baseline aDVF is compared
+    against (paper §V-C).
+
+    Each test flips one uniformly chosen bit of one uniformly chosen valid
+    fault site of the target object. The campaign size determines a margin
+    of error at 95% confidence, as in the paper's statistical methodology
+    [26]. *)
+
+type result = {
+  object_name : string;
+  tests : int;
+  successes : int;
+  success_rate : float;
+  margin_95 : float;  (** half-width of the 95% confidence interval *)
+}
+
+val campaign :
+  ?use_cache:bool -> seed:int -> tests:int -> Context.t ->
+  object_name:string -> result
+(** [use_cache] defaults to false: the point of the baseline is to model
+    what a practitioner running real injections sees. Deterministic for a
+    given [seed]. *)
+
+val pp_result : Format.formatter -> result -> unit

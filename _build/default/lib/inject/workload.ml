@@ -1,0 +1,28 @@
+type t = {
+  name : string;
+  program : Moard_ir.Program.t;
+  entry : string;
+  segment : string list;
+  targets : string list;
+  outputs : string list;
+  accept : golden:float array -> faulty:float array -> bool;
+  step_limit : int;
+}
+
+let rel_err_accept tol ~golden ~faulty =
+  Array.length golden = Array.length faulty
+  && Array.for_all2
+       (fun g f ->
+         if Float.is_nan f || not (Float.is_finite f) then false
+         else
+           let scale = Float.max (Float.abs g) 1e-30 in
+           Float.abs (f -. g) /. scale <= tol
+           || Float.abs (f -. g) <= tol *. 1e-12)
+       golden faulty
+
+let make ~name ~program ?(entry = "main") ?(segment = []) ~targets ~outputs
+    ?(accept = rel_err_accept 1e-6) ?(step_limit = 20_000_000) () =
+  { name; program; entry; segment; targets; outputs; accept; step_limit }
+
+let in_segment t fn =
+  match t.segment with [] -> true | fns -> List.mem fn fns

@@ -1,0 +1,41 @@
+(** A workload: a program plus everything needed to judge the correctness
+    of its outcome — the paper's notion of an application with an
+    acceptance criterion rooted in algorithm semantics (§II-A).
+
+    [outputs] names the globals holding the application outcome. Two runs
+    are "numerically the same" when those globals are bit-identical; a
+    numerically different run is "acceptable" when [accept] says the
+    faulty outcome still satisfies the benchmark's own fidelity criterion
+    (solver converged, residual under threshold, ...). *)
+
+type t = {
+  name : string;
+  program : Moard_ir.Program.t;
+  entry : string;
+  segment : string list;
+      (** function names making up the evaluated code segment (Table I);
+          empty means the whole program *)
+  targets : string list;  (** target data objects (global names) *)
+  outputs : string list;  (** globals observed as the application outcome *)
+  accept : golden:float array -> faulty:float array -> bool;
+  step_limit : int;
+}
+
+val make :
+  name:string ->
+  program:Moard_ir.Program.t ->
+  ?entry:string ->
+  ?segment:string list ->
+  targets:string list ->
+  outputs:string list ->
+  ?accept:(golden:float array -> faulty:float array -> bool) ->
+  ?step_limit:int ->
+  unit -> t
+(** [entry] defaults to ["main"], [step_limit] to 20 million dynamic
+    instructions, [accept] to a max-relative-error criterion of 1e-6. *)
+
+val rel_err_accept : float -> golden:float array -> faulty:float array -> bool
+(** Acceptance by maximum relative (absolute for near-zero golden values)
+    elementwise error. Rejects NaN/infinite faulty values. *)
+
+val in_segment : t -> string -> bool

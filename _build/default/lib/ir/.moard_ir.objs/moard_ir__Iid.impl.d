@@ -1,0 +1,1 @@
+lib/ir/iid.ml: Format Hashtbl Int Map String

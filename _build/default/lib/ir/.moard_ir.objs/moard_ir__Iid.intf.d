@@ -1,0 +1,1 @@
+lib/ir/iid.mli: Format Hashtbl Map

@@ -1,0 +1,1 @@
+lib/ir/text.ml: Array Buffer Float Format Instr Int32 Int64 List Moard_bits Printf Program Scanf String Types

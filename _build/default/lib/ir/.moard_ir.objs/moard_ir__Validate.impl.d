@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Format Instr List Program Result

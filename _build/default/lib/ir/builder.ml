@@ -1,0 +1,112 @@
+type t = {
+  name : string;
+  nparams : int;
+  mutable nregs : int;
+  mutable blocks : Instr.t list ref array;  (* reversed instruction lists *)
+  mutable nblocks : int;
+  mutable cur : int;
+}
+
+let create ~name ~nparams =
+  let blocks = Array.make 8 (ref []) in
+  blocks.(0) <- ref [];
+  { name; nparams; nregs = nparams; blocks; nblocks = 1; cur = 0 }
+
+let fresh b =
+  let r = b.nregs in
+  b.nregs <- r + 1;
+  r
+
+let grow b =
+  if b.nblocks = Array.length b.blocks then begin
+    let bigger = Array.make (2 * b.nblocks) (ref []) in
+    Array.blit b.blocks 0 bigger 0 b.nblocks;
+    b.blocks <- bigger
+  end
+
+let new_block b =
+  grow b;
+  let l = b.nblocks in
+  b.blocks.(l) <- ref [];
+  b.nblocks <- l + 1;
+  l
+
+let switch_to b l =
+  if l < 0 || l >= b.nblocks then invalid_arg "Builder.switch_to";
+  b.cur <- l
+
+let current_block b = b.cur
+
+let emit b i =
+  let cell = b.blocks.(b.cur) in
+  cell := i :: !cell
+
+let mov b d x = emit b (Instr.Mov (d, x))
+
+let ibin b op ty x y =
+  let d = fresh b in
+  emit b (Instr.Ibin (d, op, ty, x, y));
+  d
+
+let fbin b op x y =
+  let d = fresh b in
+  emit b (Instr.Fbin (d, op, x, y));
+  d
+
+let icmp b op ty x y =
+  let d = fresh b in
+  emit b (Instr.Icmp (d, op, ty, x, y));
+  d
+
+let fcmp b op x y =
+  let d = fresh b in
+  emit b (Instr.Fcmp (d, op, x, y));
+  d
+
+let cast b c x =
+  let d = fresh b in
+  emit b (Instr.Cast (d, c, x));
+  d
+
+let load b ty addr =
+  let d = fresh b in
+  emit b (Instr.Load (d, ty, addr));
+  d
+
+let store b ty ~value ~addr = emit b (Instr.Store (ty, value, addr))
+
+let gep b ~base ~index ~scale =
+  let d = fresh b in
+  emit b (Instr.Gep (d, base, index, scale));
+  d
+
+let select b c x y =
+  let d = fresh b in
+  emit b (Instr.Select (d, c, x, y));
+  d
+
+let call b f args =
+  let d = fresh b in
+  emit b (Instr.Call (Some d, f, args));
+  d
+
+let call_void b f args = emit b (Instr.Call (None, f, args))
+
+let br b l = emit b (Instr.Br l)
+let cbr b c l1 l2 = emit b (Instr.Cbr (c, l1, l2))
+let ret b v = emit b (Instr.Ret v)
+
+let finish b =
+  let blocks =
+    Array.init b.nblocks (fun i ->
+        Array.of_list (List.rev !(b.blocks.(i))))
+  in
+  Array.iteri
+    (fun i block ->
+      let n = Array.length block in
+      if n = 0 || not (Instr.is_terminator block.(n - 1)) then
+        failwith
+          (Printf.sprintf "Builder.finish: block L%d of %s lacks a terminator"
+             i b.name))
+    blocks;
+  { Program.fname = b.name; nparams = b.nparams; nregs = b.nregs; blocks }

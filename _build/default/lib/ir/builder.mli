@@ -1,0 +1,48 @@
+(** Imperative construction of IR functions.
+
+    Used by the MiniC compiler and by tests that hand-write IR. Blocks are
+    created on demand; the builder checks on [finish] that every block is
+    properly terminated. *)
+
+type t
+
+val create : name:string -> nparams:int -> t
+(** New builder. Registers [0 .. nparams-1] are the parameters; the entry
+    block (label 0) is created and selected. *)
+
+val fresh : t -> Instr.reg
+(** Allocate a fresh virtual register. *)
+
+val new_block : t -> int
+(** Create an empty block and return its label (does not select it). *)
+
+val switch_to : t -> int -> unit
+(** Select the block that subsequent [emit]s append to. *)
+
+val current_block : t -> int
+
+val emit : t -> Instr.t -> unit
+
+(** Convenience emitters returning the destination register. *)
+
+val mov : t -> Instr.reg -> Instr.operand -> unit
+(** Copy into an existing register (used for mutable MiniC locals). *)
+
+val ibin : t -> Instr.ibin -> Types.t -> Instr.operand -> Instr.operand -> Instr.reg
+val fbin : t -> Instr.fbin -> Instr.operand -> Instr.operand -> Instr.reg
+val icmp : t -> Instr.icmp -> Types.t -> Instr.operand -> Instr.operand -> Instr.reg
+val fcmp : t -> Instr.fcmp -> Instr.operand -> Instr.operand -> Instr.reg
+val cast : t -> Instr.cast -> Instr.operand -> Instr.reg
+val load : t -> Types.t -> Instr.operand -> Instr.reg
+val store : t -> Types.t -> value:Instr.operand -> addr:Instr.operand -> unit
+val gep : t -> base:Instr.operand -> index:Instr.operand -> scale:int -> Instr.reg
+val select : t -> Instr.operand -> Instr.operand -> Instr.operand -> Instr.reg
+val call : t -> string -> Instr.operand list -> Instr.reg
+val call_void : t -> string -> Instr.operand list -> unit
+val br : t -> int -> unit
+val cbr : t -> Instr.operand -> int -> int -> unit
+val ret : t -> Instr.operand option -> unit
+
+val finish : t -> Program.func
+(** Freeze into a function.
+    @raise Failure if a reachable block lacks a terminator. *)

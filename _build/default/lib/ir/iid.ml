@@ -1,0 +1,29 @@
+type t = { fn : string; blk : int; ip : int }
+
+let make ~fn ~blk ~ip = { fn; blk; ip }
+
+let equal a b = a.blk = b.blk && a.ip = b.ip && String.equal a.fn b.fn
+
+let compare a b =
+  match String.compare a.fn b.fn with
+  | 0 -> ( match Int.compare a.blk b.blk with 0 -> Int.compare a.ip b.ip | c -> c)
+  | c -> c
+
+let hash t = Hashtbl.hash (t.fn, t.blk, t.ip)
+
+let pp ppf t = Format.fprintf ppf "%s.L%d.%d" t.fn t.blk t.ip
+
+module Ord = struct
+  type nonrec t = t
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+
+module Hashed = struct
+  type nonrec t = t
+  let equal = equal
+  let hash = hash
+end
+
+module Tbl = Hashtbl.Make (Hashed)

@@ -1,0 +1,16 @@
+(** Static instruction identity: which instruction of which block of which
+    function. Dynamic trace events carry their static identity so that the
+    error-equivalence cache (paper §IV, after Relyzer/GangES) can recognize
+    repeated occurrences of the same instruction with the same operand
+    values and reuse masking verdicts. *)
+
+type t = { fn : string; blk : int; ip : int }
+
+val make : fn:string -> blk:int -> ip:int -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,136 @@
+type reg = int
+
+type operand =
+  | Reg of reg
+  | Imm of Moard_bits.Bitval.t
+  | Glob of string
+
+type ibin =
+  | Add | Sub | Mul | Sdiv | Srem
+  | And | Or | Xor
+  | Shl | Lshr | Ashr
+
+type fbin = Fadd | Fsub | Fmul | Fdiv
+
+type icmp = Ieq | Ine | Islt | Isle | Isgt | Isge
+
+type fcmp = Foeq | Fone | Folt | Fole | Fogt | Foge
+
+type cast =
+  | Trunc_to_i32
+  | Sext_to_i64
+  | Zext_to_i64
+  | Fp_to_si
+  | Si_to_fp
+  | Bitcast_f_to_i
+  | Bitcast_i_to_f
+
+type t =
+  | Mov of reg * operand
+  | Ibin of reg * ibin * Types.t * operand * operand
+  | Fbin of reg * fbin * operand * operand
+  | Icmp of reg * icmp * Types.t * operand * operand
+  | Fcmp of reg * fcmp * operand * operand
+  | Cast of reg * cast * operand
+  | Load of reg * Types.t * operand
+  | Store of Types.t * operand * operand
+  | Gep of reg * operand * operand * int
+  | Select of reg * operand * operand * operand
+  | Call of reg option * string * operand list
+  | Br of int
+  | Cbr of operand * int * int
+  | Ret of operand option
+
+let reads = function
+  | Mov (_, a) -> [ a ]
+  | Ibin (_, _, _, a, b) | Fbin (_, _, a, b)
+  | Icmp (_, _, _, a, b) | Fcmp (_, _, a, b) -> [ a; b ]
+  | Cast (_, _, a) | Load (_, _, a) -> [ a ]
+  | Store (_, v, addr) -> [ v; addr ]
+  | Gep (_, base, idx, _) -> [ base; idx ]
+  | Select (_, c, x, y) -> [ c; x; y ]
+  | Call (_, _, args) -> args
+  | Br _ -> []
+  | Cbr (c, _, _) -> [ c ]
+  | Ret (Some v) -> [ v ]
+  | Ret None -> []
+
+let writes = function
+  | Mov (d, _)
+  | Ibin (d, _, _, _, _) | Fbin (d, _, _, _)
+  | Icmp (d, _, _, _, _) | Fcmp (d, _, _, _)
+  | Cast (d, _, _) | Load (d, _, _)
+  | Gep (d, _, _, _) | Select (d, _, _, _) -> Some d
+  | Call (d, _, _) -> d
+  | Store _ | Br _ | Cbr _ | Ret _ -> None
+
+let is_terminator = function
+  | Br _ | Cbr _ | Ret _ -> true
+  | _ -> false
+
+let string_of_ibin = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Sdiv -> "sdiv"
+  | Srem -> "srem" | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Shl -> "shl" | Lshr -> "lshr" | Ashr -> "ashr"
+
+let string_of_fbin = function
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+
+let string_of_icmp = function
+  | Ieq -> "eq" | Ine -> "ne" | Islt -> "slt" | Isle -> "sle"
+  | Isgt -> "sgt" | Isge -> "sge"
+
+let string_of_fcmp = function
+  | Foeq -> "oeq" | Fone -> "one" | Folt -> "olt" | Fole -> "ole"
+  | Fogt -> "ogt" | Foge -> "oge"
+
+let string_of_cast = function
+  | Trunc_to_i32 -> "trunc.i32"
+  | Sext_to_i64 -> "sext.i64"
+  | Zext_to_i64 -> "zext.i64"
+  | Fp_to_si -> "fptosi"
+  | Si_to_fp -> "sitofp"
+  | Bitcast_f_to_i -> "bitcast.f2i"
+  | Bitcast_i_to_f -> "bitcast.i2f"
+
+let pp_operand ppf = function
+  | Reg r -> Format.fprintf ppf "%%r%d" r
+  | Imm v -> Moard_bits.Bitval.pp ppf v
+  | Glob g -> Format.fprintf ppf "@%s" g
+
+let pp ppf instr =
+  let op = pp_operand in
+  match instr with
+  | Mov (d, a) -> Format.fprintf ppf "%%r%d = mov %a" d op a
+  | Ibin (d, o, ty, a, b) ->
+    Format.fprintf ppf "%%r%d = %s.%a %a, %a" d (string_of_ibin o)
+      Types.pp ty op a op b
+  | Fbin (d, o, a, b) ->
+    Format.fprintf ppf "%%r%d = %s %a, %a" d (string_of_fbin o) op a op b
+  | Icmp (d, o, ty, a, b) ->
+    Format.fprintf ppf "%%r%d = icmp.%s.%a %a, %a" d (string_of_icmp o)
+      Types.pp ty op a op b
+  | Fcmp (d, o, a, b) ->
+    Format.fprintf ppf "%%r%d = fcmp.%s %a, %a" d (string_of_fcmp o) op a op b
+  | Cast (d, c, a) ->
+    Format.fprintf ppf "%%r%d = %s %a" d (string_of_cast c) op a
+  | Load (d, ty, a) ->
+    Format.fprintf ppf "%%r%d = load.%a %a" d Types.pp ty op a
+  | Store (ty, v, a) ->
+    Format.fprintf ppf "store.%a %a -> %a" Types.pp ty op v op a
+  | Gep (d, base, idx, scale) ->
+    Format.fprintf ppf "%%r%d = gep %a + %a * %d" d op base op idx scale
+  | Select (d, c, x, y) ->
+    Format.fprintf ppf "%%r%d = select %a ? %a : %a" d op c op x op y
+  | Call (Some d, f, args) ->
+    Format.fprintf ppf "%%r%d = call %s(%a)" d f
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") op)
+      args
+  | Call (None, f, args) ->
+    Format.fprintf ppf "call %s(%a)" f
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") op)
+      args
+  | Br l -> Format.fprintf ppf "br L%d" l
+  | Cbr (c, l1, l2) -> Format.fprintf ppf "cbr %a, L%d, L%d" op c l1 l2
+  | Ret (Some v) -> Format.fprintf ppf "ret %a" op v
+  | Ret None -> Format.fprintf ppf "ret"

@@ -1,0 +1,71 @@
+(** The MOARD instruction set.
+
+    Instructions are register-machine operations over virtual registers:
+    unlike LLVM the IR is not in SSA form (registers may be redefined),
+    which keeps lowering from the MiniC front end simple while preserving
+    everything the resilience model needs — each dynamic instruction is one
+    "operation" in the sense of the paper (arithmetic, assignment, logical,
+    comparison, or a call). *)
+
+type reg = int
+(** Virtual register index, local to a function invocation. *)
+
+type operand =
+  | Reg of reg
+  | Imm of Moard_bits.Bitval.t   (** constant, already truncated to width *)
+  | Glob of string               (** address of a global, resolved at load *)
+
+type ibin =
+  | Add | Sub | Mul | Sdiv | Srem
+  | And | Or | Xor
+  | Shl | Lshr | Ashr
+
+type fbin = Fadd | Fsub | Fmul | Fdiv
+
+type icmp = Ieq | Ine | Islt | Isle | Isgt | Isge
+
+type fcmp = Foeq | Fone | Folt | Fole | Fogt | Foge
+
+type cast =
+  | Trunc_to_i32   (** i64 -> i32, drops the high 32 bits *)
+  | Sext_to_i64    (** i32 -> i64, sign extension *)
+  | Zext_to_i64    (** i1/i32 -> i64, zero extension *)
+  | Fp_to_si       (** f64 -> i64, truncation toward zero *)
+  | Si_to_fp       (** i64 -> f64 *)
+  | Bitcast_f_to_i (** f64 -> i64, image preserved *)
+  | Bitcast_i_to_f (** i64 -> f64, image preserved *)
+
+type t =
+  | Mov of reg * operand
+      (** register copy; preserves the bit image and the provenance *)
+  | Ibin of reg * ibin * Types.t * operand * operand
+      (** integer arithmetic/logic at I32 or I64 *)
+  | Fbin of reg * fbin * operand * operand
+  | Icmp of reg * icmp * Types.t * operand * operand
+  | Fcmp of reg * fcmp * operand * operand
+  | Cast of reg * cast * operand
+  | Load of reg * Types.t * operand     (** [Load (dst, ty, addr)] *)
+  | Store of Types.t * operand * operand
+      (** [Store (ty, value, addr)] — the assignment operation *)
+  | Gep of reg * operand * operand * int
+      (** [Gep (dst, base, index, scale)]: dst = base + index * scale *)
+  | Select of reg * operand * operand * operand
+      (** [Select (dst, cond, if_true, if_false)] *)
+  | Call of reg option * string * operand list
+      (** user function or math intrinsic, resolved by name at run time *)
+  | Br of int                            (** unconditional jump to block *)
+  | Cbr of operand * int * int           (** conditional jump *)
+  | Ret of operand option
+
+val reads : t -> operand list
+(** Operands the instruction consumes, in slot order. Slot numbering is the
+    position in this list; it is how analyses and fault specs name an input
+    of a dynamic instruction. *)
+
+val writes : t -> reg option
+(** Destination register, if any. *)
+
+val is_terminator : t -> bool
+
+val pp_operand : Format.formatter -> operand -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+type init =
+  | Zeros
+  | Floats of float array
+  | I64s of int64 array
+  | I32s of int32 array
+
+type global = {
+  gname : string;
+  gty : Types.t;
+  gelems : int;
+  ginit : init;
+}
+
+type func = {
+  fname : string;
+  nparams : int;
+  nregs : int;
+  blocks : Instr.t array array;
+}
+
+type t = {
+  globals : global list;
+  funcs : func list;
+}
+
+let func t name = List.find (fun f -> String.equal f.fname name) t.funcs
+
+let global t name = List.find (fun g -> String.equal g.gname name) t.globals
+
+let has_func t name = List.exists (fun f -> String.equal f.fname name) t.funcs
+
+let global_bytes g = g.gelems * Types.size g.gty
+
+let pp_func ppf f =
+  Format.fprintf ppf "@[<v>fn %s(%d params, %d regs):@," f.fname f.nparams
+    f.nregs;
+  Array.iteri
+    (fun bi block ->
+      Format.fprintf ppf "L%d:@," bi;
+      Array.iter (fun i -> Format.fprintf ppf "  %a@," Instr.pp i) block)
+    f.blocks;
+  Format.fprintf ppf "@]"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun g ->
+      Format.fprintf ppf "global @%s : %a[%d]@," g.gname Types.pp g.gty
+        g.gelems)
+    t.globals;
+  List.iter (fun f -> Format.fprintf ppf "%a@," pp_func f) t.funcs;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,46 @@
+(** Whole-program structure: globals, functions, entry point.
+
+    Data objects live in globals. The MiniC front end promotes every array —
+    including function-local ones — to a global, so each data object of a
+    workload has a fixed address range once the program is loaded, which is
+    what lets the trace analysis associate memory traffic with data objects
+    by address (the paper's "data semantics"). *)
+
+type init =
+  | Zeros
+  | Floats of float array
+  | I64s of int64 array
+  | I32s of int32 array
+
+type global = {
+  gname : string;
+  gty : Types.t;      (** element type *)
+  gelems : int;       (** number of elements *)
+  ginit : init;
+}
+
+type func = {
+  fname : string;
+  nparams : int;      (** parameters arrive in registers 0..nparams-1 *)
+  nregs : int;        (** total virtual registers of the frame *)
+  blocks : Instr.t array array;  (** block [0] is the entry block *)
+}
+
+type t = {
+  globals : global list;
+  funcs : func list;
+}
+
+val func : t -> string -> func
+(** @raise Not_found if the program has no such function. *)
+
+val global : t -> string -> global
+(** @raise Not_found *)
+
+val has_func : t -> string -> bool
+
+val global_bytes : global -> int
+(** Footprint of a global in bytes. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable listing of the whole program. *)

@@ -1,0 +1,460 @@
+module Bitval = Moard_bits.Bitval
+
+exception Parse_error of { line : int; message : string }
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+
+let string_of_ibin = function
+  | Instr.Add -> "add" | Instr.Sub -> "sub" | Instr.Mul -> "mul"
+  | Instr.Sdiv -> "sdiv" | Instr.Srem -> "srem" | Instr.And -> "and"
+  | Instr.Or -> "or" | Instr.Xor -> "xor" | Instr.Shl -> "shl"
+  | Instr.Lshr -> "lshr" | Instr.Ashr -> "ashr"
+
+let string_of_icmp = function
+  | Instr.Ieq -> "eq" | Instr.Ine -> "ne" | Instr.Islt -> "slt"
+  | Instr.Isle -> "sle" | Instr.Isgt -> "sgt" | Instr.Isge -> "sge"
+
+let string_of_fcmp = function
+  | Instr.Foeq -> "oeq" | Instr.Fone -> "one" | Instr.Folt -> "olt"
+  | Instr.Fole -> "ole" | Instr.Fogt -> "ogt" | Instr.Foge -> "oge"
+
+let string_of_cast = function
+  | Instr.Trunc_to_i32 -> "trunc.i32"
+  | Instr.Sext_to_i64 -> "sext.i64"
+  | Instr.Zext_to_i64 -> "zext.i64"
+  | Instr.Fp_to_si -> "fptosi"
+  | Instr.Si_to_fp -> "sitofp"
+  | Instr.Bitcast_f_to_i -> "bitcast.f2i"
+  | Instr.Bitcast_i_to_f -> "bitcast.i2f"
+
+let string_of_operand = function
+  | Instr.Reg r -> Printf.sprintf "%%r%d" r
+  | Instr.Glob g -> "@" ^ g
+  | Instr.Imm v -> (
+    match (v : Bitval.t).width with
+    | Bitval.W1 -> Printf.sprintf "i1:%Ld" v.bits
+    | Bitval.W32 -> Printf.sprintf "i32:0x%Lx" v.bits
+    | Bitval.W64 ->
+      (* Small images are almost always integer constants (indexes, loop
+         bounds); render them in decimal. Anything else that is a finite,
+         round-tripping double renders as a hexadecimal float. *)
+      if Int64.abs v.bits < 0x100_0000_0000L then
+        Printf.sprintf "i64:%Ld" v.bits
+      else
+        let f = Int64.float_of_bits v.bits in
+        if Float.is_finite f && Int64.equal (Int64.bits_of_float f) v.bits
+        then Printf.sprintf "f64:%h" f
+        else Printf.sprintf "i64:0x%Lx" v.bits)
+
+let string_of_instr instr =
+  let op = string_of_operand in
+  match instr with
+  | Instr.Mov (d, a) -> Printf.sprintf "%%r%d = mov %s" d (op a)
+  | Instr.Ibin (d, o, ty, a, b) ->
+    Printf.sprintf "%%r%d = %s.%s %s, %s" d (string_of_ibin o)
+      (Types.to_string ty) (op a) (op b)
+  | Instr.Fbin (d, o, a, b) ->
+    let name =
+      match o with
+      | Instr.Fadd -> "fadd" | Instr.Fsub -> "fsub"
+      | Instr.Fmul -> "fmul" | Instr.Fdiv -> "fdiv"
+    in
+    Printf.sprintf "%%r%d = %s %s, %s" d name (op a) (op b)
+  | Instr.Icmp (d, o, ty, a, b) ->
+    Printf.sprintf "%%r%d = icmp.%s.%s %s, %s" d (string_of_icmp o)
+      (Types.to_string ty) (op a) (op b)
+  | Instr.Fcmp (d, o, a, b) ->
+    Printf.sprintf "%%r%d = fcmp.%s %s, %s" d (string_of_fcmp o) (op a) (op b)
+  | Instr.Cast (d, c, a) ->
+    Printf.sprintf "%%r%d = %s %s" d (string_of_cast c) (op a)
+  | Instr.Load (d, ty, a) ->
+    Printf.sprintf "%%r%d = load.%s %s" d (Types.to_string ty) (op a)
+  | Instr.Store (ty, v, a) ->
+    Printf.sprintf "store.%s %s -> %s" (Types.to_string ty) (op v) (op a)
+  | Instr.Gep (d, base, index, scale) ->
+    Printf.sprintf "%%r%d = gep %s + %s * %d" d (op base) (op index) scale
+  | Instr.Select (d, c, x, y) ->
+    Printf.sprintf "%%r%d = select %s ? %s : %s" d (op c) (op x) (op y)
+  | Instr.Call (Some d, f, args) ->
+    Printf.sprintf "%%r%d = call %s(%s)" d f
+      (String.concat ", " (List.map op args))
+  | Instr.Call (None, f, args) ->
+    Printf.sprintf "call %s(%s)" f (String.concat ", " (List.map op args))
+  | Instr.Br l -> Printf.sprintf "br L%d" l
+  | Instr.Cbr (c, l1, l2) -> Printf.sprintf "cbr %s, L%d, L%d" (op c) l1 l2
+  | Instr.Ret (Some v) -> Printf.sprintf "ret %s" (op v)
+  | Instr.Ret None -> "ret"
+
+let print_global ppf (g : Program.global) =
+  Format.fprintf ppf "global @@%s : %s[%d]" g.Program.gname
+    (Types.to_string g.Program.gty) g.Program.gelems;
+  (match g.Program.ginit with
+  | Program.Zeros -> ()
+  | Program.Floats a ->
+    Format.fprintf ppf " = { %s }"
+      (String.concat ", "
+         (Array.to_list (Array.map (Printf.sprintf "%h") a)))
+  | Program.I64s a ->
+    Format.fprintf ppf " = { %s }"
+      (String.concat ", " (Array.to_list (Array.map Int64.to_string a)))
+  | Program.I32s a ->
+    Format.fprintf ppf " = { %s }"
+      (String.concat ", " (Array.to_list (Array.map Int32.to_string a))));
+  Format.fprintf ppf "@."
+
+let print_program ppf (p : Program.t) =
+  List.iter (print_global ppf) p.Program.globals;
+  List.iter
+    (fun (fn : Program.func) ->
+      Format.fprintf ppf "@.fn %s(params %d, regs %d) {@." fn.Program.fname
+        fn.Program.nparams fn.Program.nregs;
+      Array.iteri
+        (fun bi block ->
+          Format.fprintf ppf "L%d:@." bi;
+          Array.iter
+            (fun instr -> Format.fprintf ppf "  %s@." (string_of_instr instr))
+            block)
+        fn.Program.blocks;
+      Format.fprintf ppf "}@.")
+    p.Program.funcs
+
+let to_string p = Format.asprintf "%a" print_program p
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+type state = { mutable lineno : int }
+
+let fail st fmt =
+  Format.kasprintf
+    (fun message -> raise (Parse_error { line = st.lineno; message }))
+    fmt
+
+(* Split a line into tokens: words plus the punctuation , ( ) ? : -> + *.
+   '=' is kept as a token; names keep their sigils (%rN, @g, L3, f64:..). *)
+let tokenize st line =
+  let n = String.length line in
+  let toks = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      toks := Buffer.contents buf :: !toks;
+      Buffer.clear buf
+    end
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = line.[!i] in
+    (match c with
+    | ' ' | '\t' -> flush ()
+    | ',' | '(' | ')' | '?' | '{' | '}' ->
+      flush ();
+      toks := String.make 1 c :: !toks
+    | ':' ->
+      (* part of an immediate tag (i64:...) or a label definition; keep it
+         attached if the buffer holds a width tag *)
+      let b = Buffer.contents buf in
+      if b = "i1" || b = "i32" || b = "i64" || b = "f64" then
+        Buffer.add_char buf c
+      else begin
+        flush ();
+        toks := ":" :: !toks
+      end
+    | '-' when !i + 1 < n && line.[!i + 1] = '>' ->
+      flush ();
+      toks := "->" :: !toks;
+      incr i
+    | '=' when Buffer.length buf = 0 && !i + 1 < n && line.[!i + 1] = ' ' ->
+      toks := "=" :: !toks
+    | _ -> Buffer.add_char buf c);
+    incr i
+  done;
+  flush ();
+  ignore st;
+  List.rev !toks
+
+let parse_int st s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> fail st "expected an integer, got %S" s
+
+let parse_reg st s =
+  if String.length s > 2 && s.[0] = '%' && s.[1] = 'r' then
+    parse_int st (String.sub s 2 (String.length s - 2))
+  else fail st "expected a register, got %S" s
+
+let parse_label st s =
+  if String.length s > 1 && s.[0] = 'L' then
+    parse_int st (String.sub s 1 (String.length s - 1))
+  else fail st "expected a label, got %S" s
+
+let parse_operand st s =
+  if String.length s = 0 then fail st "empty operand"
+  else if s.[0] = '%' then Instr.Reg (parse_reg st s)
+  else if s.[0] = '@' then Instr.Glob (String.sub s 1 (String.length s - 1))
+  else
+    let tagged prefix =
+      if String.length s > String.length prefix
+         && String.sub s 0 (String.length prefix) = prefix
+      then Some (String.sub s (String.length prefix)
+                   (String.length s - String.length prefix))
+      else None
+    in
+    match tagged "i1:" with
+    | Some body -> Instr.Imm (Bitval.make Bitval.W1 (Int64.of_string body))
+    | None -> (
+      match tagged "i32:" with
+      | Some body -> Instr.Imm (Bitval.make Bitval.W32 (Int64.of_string body))
+      | None -> (
+        match tagged "i64:" with
+        | Some body -> Instr.Imm (Bitval.of_int64 (Int64.of_string body))
+        | None -> (
+          match tagged "f64:" with
+          | Some body -> (
+            match float_of_string_opt body with
+            | Some f -> Instr.Imm (Bitval.of_float f)
+            | None -> fail st "bad float immediate %S" s)
+          | None -> fail st "unrecognized operand %S" s)))
+
+let ibin_of_name = function
+  | "add" -> Some Instr.Add | "sub" -> Some Instr.Sub
+  | "mul" -> Some Instr.Mul | "sdiv" -> Some Instr.Sdiv
+  | "srem" -> Some Instr.Srem | "and" -> Some Instr.And
+  | "or" -> Some Instr.Or | "xor" -> Some Instr.Xor
+  | "shl" -> Some Instr.Shl | "lshr" -> Some Instr.Lshr
+  | "ashr" -> Some Instr.Ashr | _ -> None
+
+let fbin_of_name = function
+  | "fadd" -> Some Instr.Fadd | "fsub" -> Some Instr.Fsub
+  | "fmul" -> Some Instr.Fmul | "fdiv" -> Some Instr.Fdiv
+  | _ -> None
+
+let icmp_of_name = function
+  | "eq" -> Some Instr.Ieq | "ne" -> Some Instr.Ine
+  | "slt" -> Some Instr.Islt | "sle" -> Some Instr.Isle
+  | "sgt" -> Some Instr.Isgt | "sge" -> Some Instr.Isge
+  | _ -> None
+
+let fcmp_of_name = function
+  | "oeq" -> Some Instr.Foeq | "one" -> Some Instr.Fone
+  | "olt" -> Some Instr.Folt | "ole" -> Some Instr.Fole
+  | "ogt" -> Some Instr.Fogt | "oge" -> Some Instr.Foge
+  | _ -> None
+
+let cast_of_name = function
+  | "trunc.i32" -> Some Instr.Trunc_to_i32
+  | "sext.i64" -> Some Instr.Sext_to_i64
+  | "zext.i64" -> Some Instr.Zext_to_i64
+  | "fptosi" -> Some Instr.Fp_to_si
+  | "sitofp" -> Some Instr.Si_to_fp
+  | "bitcast.f2i" -> Some Instr.Bitcast_f_to_i
+  | "bitcast.i2f" -> Some Instr.Bitcast_i_to_f
+  | _ -> None
+
+let ty_of_name st = function
+  | "i1" -> Types.I1 | "i32" -> Types.I32 | "i64" -> Types.I64
+  | "f64" -> Types.F64 | "ptr" -> Types.Ptr
+  | s -> fail st "unknown type %S" s
+
+let split_dot s =
+  match String.index_opt s '.' with
+  | Some k ->
+    (String.sub s 0 k, Some (String.sub s (k + 1) (String.length s - k - 1)))
+  | None -> (s, None)
+
+(* Parse an argument list already tokenized as  "(" arg , arg ")" . *)
+let parse_args st toks =
+  match toks with
+  | "(" :: rest ->
+    let rec go acc = function
+      | [ ")" ] -> List.rev acc
+      | "," :: rest -> go acc rest
+      | tok :: rest -> go (parse_operand st tok :: acc) rest
+      | [] -> fail st "unterminated argument list"
+    in
+    go [] rest
+  | _ -> fail st "expected an argument list"
+
+let parse_rhs st d toks =
+  match toks with
+  | [ "mov"; a ] -> Instr.Mov (d, parse_operand st a)
+  | [ op; a; ","; b ] -> (
+    let name, suffix = split_dot op in
+    match (ibin_of_name name, suffix) with
+    | Some ib, Some ty ->
+      Instr.Ibin (d, ib, ty_of_name st ty, parse_operand st a, parse_operand st b)
+    | _ -> (
+      match fbin_of_name op with
+      | Some fb -> Instr.Fbin (d, fb, parse_operand st a, parse_operand st b)
+      | None -> (
+        match String.split_on_char '.' op with
+        | [ "icmp"; pred; ty ] -> (
+          match icmp_of_name pred with
+          | Some p ->
+            Instr.Icmp (d, p, ty_of_name st ty, parse_operand st a,
+                        parse_operand st b)
+          | None -> fail st "unknown icmp predicate %S" pred)
+        | [ "fcmp"; pred ] -> (
+          match fcmp_of_name pred with
+          | Some p -> Instr.Fcmp (d, p, parse_operand st a, parse_operand st b)
+          | None -> fail st "unknown fcmp predicate %S" pred)
+        | _ -> fail st "unknown binary operation %S" op)))
+  | [ op; a ] -> (
+    match cast_of_name op with
+    | Some c -> Instr.Cast (d, c, parse_operand st a)
+    | None -> (
+      let name, suffix = split_dot op in
+      match (name, suffix) with
+      | "load", Some ty -> Instr.Load (d, ty_of_name st ty, parse_operand st a)
+      | _ -> fail st "unknown unary operation %S" op))
+  | [ "gep"; base; "+"; index; "*"; scale ] ->
+    Instr.Gep (d, parse_operand st base, parse_operand st index,
+               parse_int st scale)
+  | [ "select"; c; "?"; x; ":"; y ] ->
+    Instr.Select (d, parse_operand st c, parse_operand st x, parse_operand st y)
+  | "call" :: fname :: rest ->
+    Instr.Call (Some d, fname, parse_args st rest)
+  | _ -> fail st "cannot parse instruction right-hand side"
+
+let parse_instr st toks =
+  match toks with
+  | dst :: "=" :: rhs when String.length dst > 0 && dst.[0] = '%' ->
+    parse_rhs st (parse_reg st dst) rhs
+  | [ store; v; "->"; a ] -> (
+    match split_dot store with
+    | "store", Some ty ->
+      Instr.Store (ty_of_name st ty, parse_operand st v, parse_operand st a)
+    | _ -> fail st "expected a store")
+  | "call" :: fname :: rest -> Instr.Call (None, fname, parse_args st rest)
+  | [ "br"; l ] -> Instr.Br (parse_label st l)
+  | [ "cbr"; c; ","; l1; ","; l2 ] ->
+    Instr.Cbr (parse_operand st c, parse_label st l1, parse_label st l2)
+  | [ "ret" ] -> Instr.Ret None
+  | [ "ret"; v ] -> Instr.Ret (Some (parse_operand st v))
+  | toks -> fail st "cannot parse instruction: %s" (String.concat " " toks)
+
+let parse_init_values st (ty : Types.t) body =
+  let parts =
+    String.split_on_char ',' body
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  match ty with
+  | Types.F64 ->
+    Program.Floats
+      (Array.of_list
+         (List.map
+            (fun s ->
+              match float_of_string_opt s with
+              | Some f -> f
+              | None -> fail st "bad float initializer %S" s)
+            parts))
+  | Types.I64 | Types.Ptr ->
+    Program.I64s
+      (Array.of_list
+         (List.map
+            (fun s ->
+              match Int64.of_string_opt s with
+              | Some n -> n
+              | None -> fail st "bad i64 initializer %S" s)
+            parts))
+  | Types.I32 | Types.I1 ->
+    Program.I32s
+      (Array.of_list
+         (List.map
+            (fun s ->
+              match Int32.of_string_opt s with
+              | Some n -> n
+              | None -> fail st "bad i32 initializer %S" s)
+            parts))
+
+(* "global @name : ty[len]" optionally followed by "= { v, v, ... }" *)
+let parse_global st line =
+  let scan_header h =
+    try Scanf.sscanf h " global @%s@ : %s@[%d]" (fun n ty len -> (n, ty, len))
+    with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+      fail st "malformed global declaration"
+  in
+  match String.index_opt line '=' with
+  | None ->
+    let name, ty, len = scan_header line in
+    let name = String.trim name and ty = String.trim ty in
+    { Program.gname = name; gty = ty_of_name st ty; gelems = len;
+      ginit = Program.Zeros }
+  | Some k ->
+    let header = String.sub line 0 k in
+    let name, ty, len = scan_header header in
+    let name = String.trim name and ty = String.trim ty in
+    let rest = String.sub line (k + 1) (String.length line - k - 1) in
+    let body =
+      match (String.index_opt rest '{', String.rindex_opt rest '}') with
+      | Some a, Some b when b > a -> String.sub rest (a + 1) (b - a - 1)
+      | _ -> fail st "malformed initializer"
+    in
+    let gty = ty_of_name st ty in
+    { Program.gname = name; gty; gelems = len;
+      ginit = parse_init_values st gty body }
+
+let parse_program text =
+  let st = { lineno = 0 } in
+  let lines = String.split_on_char '\n' text in
+  let globals = ref [] in
+  let funcs = ref [] in
+  (* current function state *)
+  let cur = ref None in
+  let finish_fn () =
+    match !cur with
+    | None -> ()
+    | Some (name, nparams, nregs, blocks, cur_block) ->
+      let blocks =
+        List.rev
+          (match cur_block with
+          | [] -> blocks
+          | instrs -> Array.of_list (List.rev instrs) :: blocks)
+      in
+      funcs :=
+        { Program.fname = name; nparams; nregs; blocks = Array.of_list blocks }
+        :: !funcs;
+      cur := None
+  in
+  List.iter
+    (fun raw ->
+      st.lineno <- st.lineno + 1;
+      let line = String.trim raw in
+      if line = "" || (String.length line >= 1 && line.[0] = ';') then ()
+      else if String.length line > 7 && String.sub line 0 7 = "global " then
+        globals := parse_global st line :: !globals
+      else if String.length line > 3 && String.sub line 0 3 = "fn " then begin
+        finish_fn ();
+        let name, nparams, nregs =
+          try
+            Scanf.sscanf line "fn %s@(params %d, regs %d)" (fun n p r ->
+                (String.trim n, p, r))
+          with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+            fail st "malformed function header"
+        in
+        cur := Some (name, nparams, nregs, [], [])
+      end
+      else if line = "}" then finish_fn ()
+      else if String.length line > 1 && line.[0] = 'L'
+              && String.length line > 0
+              && line.[String.length line - 1] = ':' then (
+        match !cur with
+        | None -> fail st "label outside a function"
+        | Some (name, np, nr, blocks, cur_block) ->
+          let blocks =
+            match cur_block with
+            | [] when blocks = [] -> blocks
+            | instrs -> Array.of_list (List.rev instrs) :: blocks
+          in
+          cur := Some (name, np, nr, blocks, []))
+      else
+        match !cur with
+        | None -> fail st "instruction outside a function"
+        | Some (name, np, nr, blocks, cur_block) ->
+          let instr = parse_instr st (tokenize st line) in
+          cur := Some (name, np, nr, blocks, instr :: cur_block))
+    lines;
+  finish_fn ();
+  { Program.globals = List.rev !globals; funcs = List.rev !funcs }

@@ -1,0 +1,31 @@
+(** Textual IR: a round-trippable serialization of programs.
+
+    Lets users inspect compiled kernels ([moard trace], [moard dump-ir]),
+    store them, and hand-write IR test programs without going through the
+    MiniC front end. The grammar is line-oriented:
+
+    {v
+    global @a : f64[4] = { 1.5, -3.0, 0.25, 8.0 }
+    global @out : f64[1]
+
+    fn main(params 0, regs 3) {
+    L0:
+      %r0 = load.f64 @a
+      %r1 = fadd %r0, f64:2.5
+      store.f64 %r1 -> @out
+      ret
+    }
+    v}
+
+    Immediates are written with a width tag and either a hexadecimal image
+    ([i64:0x3ff0000000000000]) or, for f64 convenience, a decimal float
+    ([f64:1.5]); the printer emits floats where the image is a finite
+    double that round-trips. *)
+
+val print_program : Format.formatter -> Program.t -> unit
+val to_string : Program.t -> string
+
+exception Parse_error of { line : int; message : string }
+
+val parse_program : string -> Program.t
+(** @raise Parse_error with a 1-based line number on malformed input. *)

@@ -1,0 +1,21 @@
+type t = I1 | I32 | I64 | F64 | Ptr
+
+let width = function
+  | I1 -> Moard_bits.Bitval.W1
+  | I32 -> Moard_bits.Bitval.W32
+  | I64 | F64 | Ptr -> Moard_bits.Bitval.W64
+
+let size = function I1 -> 1 | I32 -> 4 | I64 | F64 | Ptr -> 8
+
+let is_float = function F64 -> true | I1 | I32 | I64 | Ptr -> false
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | I1 -> "i1"
+  | I32 -> "i32"
+  | I64 -> "i64"
+  | F64 -> "f64"
+  | Ptr -> "ptr"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,24 @@
+(** Value types of the MOARD intermediate representation.
+
+    The IR is architecture independent, in the spirit of LLVM IR: what the
+    resilience model consumes is a dynamic trace of these instructions, so
+    the type system is kept to the types the paper's analysis distinguishes
+    (booleans, 32/64-bit integers, IEEE-754 doubles, and pointers). *)
+
+type t =
+  | I1   (** boolean / comparison result *)
+  | I32  (** 32-bit signed integer *)
+  | I64  (** 64-bit signed integer *)
+  | F64  (** IEEE-754 double *)
+  | Ptr  (** byte address into the VM's flat memory (64-bit image) *)
+
+val width : t -> Moard_bits.Bitval.width
+(** Width of the bit image carrying a value of this type. *)
+
+val size : t -> int
+(** Storage footprint in bytes when loaded from / stored to memory. *)
+
+val is_float : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,110 @@
+let ( let* ) = Result.bind
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let check_operand ~fname ~nregs ~globals op =
+  match (op : Instr.operand) with
+  | Instr.Reg r ->
+    if r < 0 || r >= nregs then
+      err "%s: register %%r%d out of range (nregs=%d)" fname r nregs
+    else Ok ()
+  | Instr.Imm _ -> Ok ()
+  | Instr.Glob g ->
+    if List.mem g globals then Ok ()
+    else err "%s: unknown global @%s" fname g
+
+let check_instr ~fname ~nregs ~nblocks ~globals ~known instr =
+  let check_ops ops =
+    List.fold_left
+      (fun acc op ->
+        let* () = acc in
+        check_operand ~fname ~nregs ~globals op)
+      (Ok ()) ops
+  in
+  let check_label l =
+    if l < 0 || l >= nblocks then
+      err "%s: branch target L%d out of range" fname l
+    else Ok ()
+  in
+  let* () = check_ops (Instr.reads instr) in
+  let* () =
+    match Instr.writes instr with
+    | Some d when d < 0 || d >= nregs ->
+      err "%s: destination %%r%d out of range" fname d
+    | _ -> Ok ()
+  in
+  match instr with
+  | Instr.Gep (_, _, _, scale) when scale <= 0 ->
+    err "%s: non-positive gep scale %d" fname scale
+  | Instr.Br l -> check_label l
+  | Instr.Cbr (_, l1, l2) ->
+    let* () = check_label l1 in
+    check_label l2
+  | Instr.Call (_, callee, _) ->
+    if known callee then Ok () else err "%s: unknown callee %s" fname callee
+  | _ -> Ok ()
+
+let check_func ?(globals = []) ~known (f : Program.func) =
+  let fname = f.fname in
+  if f.nparams < 0 || f.nparams > f.nregs then
+    err "%s: nparams %d exceeds nregs %d" fname f.nparams f.nregs
+  else
+    let nblocks = Array.length f.blocks in
+    let check_block bi block =
+      let n = Array.length block in
+      if n = 0 then err "%s: empty block L%d" fname bi
+      else if not (Instr.is_terminator block.(n - 1)) then
+        err "%s: block L%d does not end in a terminator" fname bi
+      else
+        let rec go i =
+          if i >= n then Ok ()
+          else if i < n - 1 && Instr.is_terminator block.(i) then
+            err "%s: terminator in the middle of block L%d" fname bi
+          else
+            let* () =
+              check_instr ~fname ~nregs:f.nregs ~nblocks ~globals ~known
+                block.(i)
+            in
+            go (i + 1)
+        in
+        go 0
+    in
+    let rec blocks bi =
+      if bi >= nblocks then Ok ()
+      else
+        let* () = check_block bi f.blocks.(bi) in
+        blocks (bi + 1)
+    in
+    blocks 0
+
+(* Full program check re-validates operands with the real global list. *)
+let check_program ~intrinsics (p : Program.t) =
+  let names = List.map (fun g -> g.Program.gname) p.globals in
+  let rec uniq = function
+    | [] -> Ok ()
+    | g :: rest ->
+      if List.mem g rest then err "duplicate global @%s" g else uniq rest
+  in
+  let* () = uniq names in
+  let* () =
+    List.fold_left
+      (fun acc g ->
+        let* () = acc in
+        if g.Program.gelems <= 0 then
+          err "global @%s has non-positive size" g.Program.gname
+        else Ok ())
+      (Ok ()) p.globals
+  in
+  let known callee =
+    Program.has_func p callee || List.mem callee intrinsics
+  in
+  List.fold_left
+    (fun acc (f : Program.func) ->
+      let* () = acc in
+      check_func ~globals:names ~known f)
+    (Ok ()) p.funcs
+
+let check_exn ~intrinsics p =
+  match check_program ~intrinsics p with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Validate: " ^ msg)

@@ -1,0 +1,19 @@
+(** Structural well-formedness checks for IR programs.
+
+    Run before execution so that interpreter failures always mean workload
+    traps (the faults we model), never malformed code. *)
+
+val check_func :
+  ?globals:string list -> known:(string -> bool) -> Program.func ->
+  (unit, string) result
+(** [known] says whether a callee name resolves (user function or
+    intrinsic). Checks: register indices in range, branch targets in range,
+    every block non-empty and ending in its only terminator, positive Gep
+    scales, arity of param registers. *)
+
+val check_program : intrinsics:string list -> Program.t -> (unit, string) result
+(** Checks every function, that global names are unique and positively
+    sized, and that referenced globals exist. *)
+
+val check_exn : intrinsics:string list -> Program.t -> unit
+(** @raise Invalid_argument with the first error found. *)

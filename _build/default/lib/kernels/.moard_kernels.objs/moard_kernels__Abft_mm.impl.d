@@ -1,0 +1,1 @@
+lib/kernels/abft_mm.ml: Array Moard_inject Moard_lang Stdlib Util

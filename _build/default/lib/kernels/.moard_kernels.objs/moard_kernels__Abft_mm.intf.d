@@ -1,0 +1,1 @@
+lib/kernels/abft_mm.mli: Moard_inject

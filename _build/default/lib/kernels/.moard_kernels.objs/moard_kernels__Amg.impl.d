@@ -1,0 +1,1 @@
+lib/kernels/amg.ml: Array Float Int32 Int64 List Moard_inject Moard_lang Stdlib Util

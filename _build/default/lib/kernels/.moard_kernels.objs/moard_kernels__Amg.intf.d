@@ -1,0 +1,1 @@
+lib/kernels/amg.mli: Moard_inject

@@ -1,0 +1,1 @@
+lib/kernels/bt.ml: Array Int32 Moard_inject Moard_lang Util

@@ -1,0 +1,1 @@
+lib/kernels/bt.mli: Moard_inject

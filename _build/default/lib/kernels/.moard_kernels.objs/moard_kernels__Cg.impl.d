@@ -1,0 +1,1 @@
+lib/kernels/cg.ml: Array Float Int32 Int64 List Moard_inject Moard_lang Util

@@ -1,0 +1,1 @@
+lib/kernels/ft.ml: Array Float Int64 List Moard_inject Moard_lang Util

@@ -1,0 +1,1 @@
+lib/kernels/ft.mli: Moard_inject

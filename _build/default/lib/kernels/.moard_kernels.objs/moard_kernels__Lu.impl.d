@@ -1,0 +1,1 @@
+lib/kernels/lu.ml: Array Moard_inject Moard_lang Util

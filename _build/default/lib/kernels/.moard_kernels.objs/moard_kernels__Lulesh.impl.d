@@ -1,0 +1,1 @@
+lib/kernels/lulesh.ml: Array Int32 Moard_inject Moard_lang Util

@@ -1,0 +1,1 @@
+lib/kernels/lulesh.mli: Moard_inject

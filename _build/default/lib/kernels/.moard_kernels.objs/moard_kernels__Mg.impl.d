@@ -1,0 +1,1 @@
+lib/kernels/mg.ml: Array Float List Moard_inject Moard_lang Stdlib Util

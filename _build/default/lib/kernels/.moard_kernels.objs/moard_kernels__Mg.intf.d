@@ -1,0 +1,1 @@
+lib/kernels/mg.mli: Moard_inject

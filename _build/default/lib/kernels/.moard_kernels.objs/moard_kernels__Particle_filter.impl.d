@@ -1,0 +1,1 @@
+lib/kernels/particle_filter.ml: Array Moard_inject Moard_lang Util

@@ -1,0 +1,1 @@
+lib/kernels/particle_filter.mli: Moard_inject

@@ -1,0 +1,1 @@
+lib/kernels/registry.ml: Abft_mm Amg Bt Cg Format Ft List Lu Lulesh Mg Moard_inject Particle_filter Sp String

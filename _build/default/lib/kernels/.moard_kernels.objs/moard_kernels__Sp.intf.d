@@ -1,0 +1,1 @@
+lib/kernels/sp.mli: Moard_inject

@@ -1,0 +1,1 @@
+lib/kernels/util.ml: Int64 Moard_lang

@@ -1,0 +1,1 @@
+lib/kernels/util.mli: Moard_lang

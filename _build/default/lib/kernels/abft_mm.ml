@@ -1,0 +1,159 @@
+module Ast = Moard_lang.Ast
+
+let ast ~n ~abft ~a0 ~b0 =
+  (* With ABFT the working dimension includes the checksum row/column. *)
+  let d = if abft then n + 1 else n in
+  let dd = d * d in
+  let neg1 = -1 in
+  let open Moard_lang.Ast.Dsl in
+  let at arr er ec = arr.%(Util.idx2 d er ec) in
+  let set arr er ec e = Ast.Sstore (arr, Util.idx2 d er ec, e) in
+  let encode =
+    (* Fill A's checksum row (column sums) and B's checksum column. *)
+    fn "encode"
+      [
+        for_ "c" (i 0) (i n)
+          [
+            flt_ "s" (f 0.0);
+            for_ "r" (i 0) (i n) [ "s" <-- v "s" + at "Am" (v "r") (v "c") ];
+            set "Am" (i n) (v "c") (v "s");
+          ];
+        for_ "r" (i 0) (i n)
+          [
+            flt_ "s" (f 0.0);
+            for_ "c" (i 0) (i n) [ "s" <-- v "s" + at "Bm" (v "r") (v "c") ];
+            set "Bm" (v "r") (i n) (v "s");
+          ];
+        ret_void;
+      ]
+  in
+  let init_c =
+    fn "init_c" [ for_ "t" (i 0) (i dd) [ ("C".%(v "t") <- f 0.0) ]; ret_void ]
+  in
+  let mm =
+    (* Accumulation directly in C, as in the reference triple loop: every
+       k-step is a read-modify-write of the product element. *)
+    fn "mm"
+      [
+        for_ "r" (i 0) (i d)
+          [
+            for_ "k" (i 0) (i d)
+              [
+                flt_ "arK" (at "Am" (v "r") (v "k"));
+                for_ "c" (i 0) (i d)
+                  [
+                    set "C" (v "r") (v "c")
+                      (at "C" (v "r") (v "c")
+                       + (v "arK" * at "Bm" (v "k") (v "c")));
+                  ];
+              ];
+          ];
+        ret_void;
+      ]
+  in
+  (* Verification: a row and a column whose sums disagree with their
+     checksums locate a single corrupted element; the checksum residue
+     corrects it (Wu et al. [28]). *)
+  let verify =
+    fn "verify"
+      [
+        int_ "badr" (i neg1);
+        for_ "r" (i 0) (i n)
+          [
+            flt_ "s" (f 0.0);
+            for_ "c" (i 0) (i n) [ "s" <-- v "s" + at "C" (v "r") (v "c") ];
+            when_
+              (fabs_ (at "C" (v "r") (i n) - v "s") > f 1e-13)
+              [ "badr" <-- v "r" ];
+          ];
+        int_ "badc" (i neg1);
+        for_ "c" (i 0) (i n)
+          [
+            flt_ "s" (f 0.0);
+            for_ "r" (i 0) (i n) [ "s" <-- v "s" + at "C" (v "r") (v "c") ];
+            when_
+              (fabs_ (at "C" (i n) (v "c") - v "s") > f 1e-13)
+              [ "badc" <-- v "c" ];
+          ];
+        when_
+          ((v "badr" >= i 0) && (v "badc" >= i 0))
+          [
+            (* Correct by recomputing the located element in the original
+               accumulation order: bit-identical to the fault-free value. *)
+            flt_ "s" (f 0.0);
+            for_ "k" (i 0) (i d)
+              [
+                "s" <--
+                v "s" + (at "Am" (v "badr") (v "k") * at "Bm" (v "k") (v "badc"));
+              ];
+            set "C" (v "badr") (v "badc") (v "s");
+          ];
+        ret_void;
+      ]
+  in
+  let observe =
+    (* The application outcome is the data part of the product itself
+       (elementwise numerical integrity), plus a checksum for reporting. *)
+    fn "observe"
+      [
+        flt_ "cs" (f 0.0);
+        for_ "r" (i 0) (i n)
+          [
+            for_ "c" (i 0) (i n)
+              [
+                ("Cout".%(Util.idx2 n (v "r") (v "c")) <-
+                 at "C" (v "r") (v "c"));
+                "cs" <-- v "cs" + at "C" (v "r") (v "c");
+              ];
+          ];
+        ("out".%(i 0) <- v "cs");
+        ret_void;
+      ]
+  in
+  let main_body =
+    if abft then
+      [ do_ (call "init_c" []); do_ (call "encode" []); do_ (call "mm" []);
+        do_ (call "verify" []); do_ (call "observe" []); ret_void ]
+    else
+      [ do_ (call "init_c" []); do_ (call "mm" []); do_ (call "observe" []);
+        ret_void ]
+  in
+  let main = fn "main" main_body in
+  let pad m0 =
+    (* Host matrices are n x n; embed into d x d working arrays. *)
+    Array.init dd (fun t ->
+        let r = Stdlib.( / ) t d and c = Stdlib.(mod) t d in
+        if Stdlib.(r < n && c < n) then m0.(Stdlib.(r * n + c)) else 0.0)
+  in
+
+  {
+    Ast.globals =
+      [
+        garr_f64_init "Am" (pad a0);
+        garr_f64_init "Bm" (pad b0);
+        garr_f64 "C" dd;
+        garr_f64 "Cout" (Stdlib.( * ) n n);
+        garr_f64 "out" 1;
+      ];
+    funs =
+      (if abft then [ init_c; encode; mm; verify; observe; main ]
+       else [ init_c; mm; observe; main ]);
+  }
+
+let workload ?(n = 6) ?(abft = false) ?(seed = 61) () =
+  if n < 2 then invalid_arg "Abft_mm.workload: n";
+  let rng = Util.Rng.make seed in
+  let a0 = Array.init (n * n) (fun _ -> 0.5 +. Util.Rng.float rng 1.0) in
+  let b0 = Array.init (n * n) (fun _ -> 0.5 +. Util.Rng.float rng 1.0) in
+  let program = Moard_lang.Compile.program (ast ~n ~abft ~a0 ~b0) in
+  let segment =
+    if abft then [ "mm"; "verify"; "observe" ] else [ "mm"; "observe" ]
+  in
+  (* Matrix multiplication's correctness notion is precise numerical
+     integrity (paper §II-A): only a bit-identical product is correct, so
+     acceptance adds nothing beyond the numerically-same check. *)
+  Moard_inject.Workload.make
+    ~name:(if abft then "ABFT_MM" else "MM")
+    ~program ~segment ~targets:[ "C" ] ~outputs:[ "Cout"; "out" ]
+    ~accept:(fun ~golden:_ ~faulty:_ -> false)
+    ()

@@ -1,0 +1,14 @@
+(** Case study (paper §VI, Fig. 8): general matrix multiplication
+    C = A x B, with and without the checksum-based ABFT of Wu et al. [28].
+
+    Without ABFT, [C] is the plain n x n product. With ABFT, the matrices
+    are encoded with an extra checksum row/column (A gets column sums,
+    B gets row sums), the full (n+1) x (n+1) product is computed, and a
+    verification phase compares each row and column of C against its
+    checksum, locating and correcting a single corrupted element — the
+    overwrite-during-propagation masking the paper measures. The target
+    data object is [C] in both variants. *)
+
+val workload : ?n:int -> ?abft:bool -> ?seed:int -> unit ->
+  Moard_inject.Workload.t
+(** [n]: matrix dimension (default 6); [abft] (default false). *)

@@ -1,0 +1,18 @@
+(** AMG2013 miniature: GMRES(m) with a multigrid-smoother preconditioner
+    on an anisotropic grid problem (Table I: routine [hypre_GMRESSolve],
+    input matrix aniso; target data objects [ipiv] — the integer pivot
+    array of the dense least-squares solve — and [A] — the sparse matrix
+    values).
+
+    The matrix is the 5-point stencil of an anisotropic 2D Laplacian in
+    CSR form. Each GMRES cycle runs Arnoldi with modified Gram-Schmidt
+    (preconditioning each Krylov vector with weighted-Jacobi sweeps, the
+    smoother at the heart of the AMG preconditioner), then solves the
+    small projected system by normal equations with partially pivoted
+    dense LU — the ipiv-consuming phase. *)
+
+val workload :
+  ?grid:int -> ?restart:int -> ?cycles:int -> ?seed:int -> unit ->
+  Moard_inject.Workload.t
+(** [grid]: grid side (default 3, i.e. 9 unknowns); [restart]: Krylov
+    dimension m (default 4); [cycles]: GMRES restarts (default 1). *)

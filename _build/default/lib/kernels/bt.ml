@@ -1,0 +1,108 @@
+module Ast = Moard_lang.Ast
+
+let ast ~n ~u0 =
+  let nm = n * n * n * 5 in
+  let open Moard_lang.Ast.Dsl in
+  (* Indexes are computed from the problem dimensions held in registers,
+     as the compiled benchmark does: u[((k*g1 + j)*g0 + i)*5 + m]. *)
+  let idx ek ej ei em = ((((ek * v "g1") + ej) * v "g0" + ei) * i 5) + em in
+  let at arr ek ej ei em = arr.%(idx ek ej ei em) in
+  let set arr ek ej ei em e = Ast.Sstore (arr, idx ek ej ei em, e) in
+  let gp d = "grid_points".%(i d) in
+  (* Thomas solve along the x-line (k, j) for component m. Coefficients
+     couple neighbouring cells through u, as BT's lhs does. *)
+  let x_solve =
+    fn "x_solve"
+      [
+        (* The dimensions are read once and kept in registers (the
+           compiler hoists them), so a corrupted value poisons the whole
+           solve -- the "input problem definition" role of Table I. *)
+        int_ "g0" (gp 0);
+        int_ "g1" (gp 1);
+        int_ "nx" (v "g0");
+        int_ "jmax" (v "g1" - i 1);
+        int_ "kmax" (gp 2 - i 1);
+        (* BT validates the problem dimensions before solving, as the NPB
+           source does; these comparisons tolerate most bit flips. *)
+        when_
+          (("grid_points".%(i 0) > i 2)
+           && ("grid_points".%(i 1) > i 2)
+           && ("grid_points".%(i 2) > i 2))
+          [
+        for_ "k" (i 1) (v "kmax")
+          [
+            for_ "j" (i 1) (v "jmax")
+              [
+                for_ "m" (i 0) (i 5)
+                  [
+                    (* assemble: diag[] strictly dominant, rhs from u *)
+                    for_ "t" (i 0) (v "nx")
+                      [
+                        ("diag".%(v "t") <-
+                         f 2.5 + (f 0.1 * at "u" (v "k") (v "j") (v "t") (v "m")));
+                        ("rhsv".%(v "t") <- at "u" (v "k") (v "j") (v "t") (v "m"));
+                        ("cp".%(v "t") <- f (-1.0));
+                      ];
+                    (* forward elimination *)
+                    ("cp".%(i 0) <- "cp".%(i 0) / "diag".%(i 0));
+                    ("rhsv".%(i 0) <- "rhsv".%(i 0) / "diag".%(i 0));
+                    for_ "t" (i 1) (v "nx")
+                      [
+                        flt_ "den"
+                          ("diag".%(v "t") + "cp".%(v "t" - i 1));
+                        ("cp".%(v "t") <- "cp".%(v "t") / v "den");
+                        ("rhsv".%(v "t") <-
+                         ("rhsv".%(v "t") + "rhsv".%(v "t" - i 1)) / v "den");
+                      ];
+                    (* back substitution, writing the line back into u *)
+                    set "u" (v "k") (v "j") (v "nx" - i 1) (v "m")
+                      ("rhsv".%(v "nx" - i 1));
+                    int_ "t2" (v "nx" - i 2);
+                    while_
+                      (v "t2" >= i 0)
+                      [
+                        set "u" (v "k") (v "j") (v "t2") (v "m")
+                          ("rhsv".%(v "t2")
+                           - ("cp".%(v "t2")
+                              * at "u" (v "k") (v "j") (v "t2" + i 1) (v "m")));
+                        "t2" <-- v "t2" - i 1;
+                      ];
+                  ];
+              ];
+          ];
+          ];
+        (* observe *)
+        flt_ "us" (f 0.0);
+        int_ "t" (i 0);
+        while_
+          (v "t" < i nm)
+          [ ("us" <-- v "us" + "u".%(v "t")); ("t" <-- v "t" + i 3) ];
+        ("out".%(i 0) <- v "us");
+        ret_void;
+      ]
+  in
+  let main = fn "main" [ do_ (call "x_solve" []); ret_void ] in
+  {
+    Ast.globals =
+      [
+        garr_i32_init "grid_points"
+          [| Int32.of_int n; Int32.of_int n; Int32.of_int n |];
+        garr_f64_init "u" u0;
+        garr_f64 "diag" n;
+        garr_f64 "cp" n;
+        garr_f64 "rhsv" n;
+        garr_f64 "out" 1;
+      ];
+    funs = [ x_solve; main ];
+  }
+
+let workload ?(n = 5) ?(seed = 31) () =
+  if n < 4 then invalid_arg "Bt.workload: n";
+  let rng = Util.Rng.make seed in
+  let nm = n * n * n * 5 in
+  let u0 = Array.init nm (fun _ -> 0.5 +. Util.Rng.float rng 1.0) in
+  let program = Moard_lang.Compile.program (ast ~n ~u0) in
+  Moard_inject.Workload.make ~name:"BT" ~program ~segment:[ "x_solve" ]
+    ~targets:[ "grid_points"; "u" ] ~outputs:[ "out" ]
+    ~accept:(Moard_inject.Workload.rel_err_accept 1e-3)
+    ()

@@ -1,0 +1,13 @@
+(** NPB BT miniature: tridiagonal solver along x-lines of a 3D grid
+    (Table I: routine [x_solve]; target data objects [grid_points] — the
+    i32 array of problem dimensions that drives every loop bound — and
+    [u], the 5-component solution array).
+
+    Each (k, j) line assembles tridiagonal coefficients from [u] and
+    solves by the Thomas algorithm, writing the solution back into [u].
+    [grid_points] defines the input problem exactly as in BT, which is why
+    its corruption causes the major computation changes the paper observes
+    (aDVF 0.38). *)
+
+val workload : ?n:int -> ?seed:int -> unit -> Moard_inject.Workload.t
+(** [n]: grid points per dimension (default 5). *)

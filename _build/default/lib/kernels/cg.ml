@@ -1,0 +1,159 @@
+module Ast = Moard_lang.Ast
+
+(* Symmetric positive definite CSR matrix: tridiagonal couplings plus
+   [row_nnz] random symmetric off-diagonals, diagonally dominant. *)
+let build_matrix ~n ~row_nnz ~seed =
+  let rng = Util.Rng.make seed in
+  let cols = Array.make n [] in
+  let add r c v =
+    if not (List.mem_assoc c cols.(r)) then cols.(r) <- (c, v) :: cols.(r)
+  in
+  for j = 0 to n - 1 do
+    if j > 0 then add j (j - 1) (-1.0);
+    if j < n - 1 then add j (j + 1) (-1.0)
+  done;
+  for _ = 1 to row_nnz * n / 2 do
+    let r = Util.Rng.int rng n and c = Util.Rng.int rng n in
+    if r <> c then begin
+      let v = -.Util.Rng.float rng 0.5 in
+      add r c v;
+      add c r v
+    end
+  done;
+  (* Diagonal dominance makes the matrix SPD. *)
+  for j = 0 to n - 1 do
+    let off = List.fold_left (fun s (_, v) -> s +. Float.abs v) 0.0 cols.(j) in
+    add j j (off +. 1.0 +. Util.Rng.float rng 1.0)
+  done;
+  let rowstr = Array.make (n + 1) 0L in
+  let colidx = ref [] and vals = ref [] in
+  let pos = ref 0 in
+  for j = 0 to n - 1 do
+    rowstr.(j) <- Int64.of_int !pos;
+    List.iter
+      (fun (c, v) ->
+        colidx := Int32.of_int c :: !colidx;
+        vals := v :: !vals;
+        incr pos)
+      (List.sort compare cols.(j))
+  done;
+  rowstr.(n) <- Int64.of_int !pos;
+  ( rowstr,
+    Array.of_list (List.rev !colidx),
+    Array.of_list (List.rev !vals) )
+
+let ast ~n ~iters ~tmr ~rowstr ~colidx ~vals ~x0 =
+  let open Moard_lang.Ast.Dsl in
+  (* With TMR protection, every use of colidx reads three replicas and
+     takes a bitwise majority vote, correcting any single-copy fault. *)
+  let voted_index ek =
+    if tmr then
+      let a = "colidx".%(ek)
+      and b = "colidx_b".%(ek)
+      and c = "colidx_c".%(ek) in
+      (a land b) lor (a land c) lor (b land c)
+    else "colidx".%(ek)
+  in
+  let dot dst va vb =
+    [
+      (dst <-- f 0.0);
+      for_ "j" (i 0) (i n) [ dst <-- v dst + (va.%(v "j") * vb.%(v "j")) ];
+    ]
+  in
+  let conj_grad =
+    fn "conj_grad"
+      ([
+         int_ "it" (i 0);
+         flt_ "rho" (f 0.0);
+         flt_ "rho0" (f 0.0);
+         flt_ "d" (f 0.0);
+         flt_ "alpha" (f 0.0);
+         flt_ "beta" (f 0.0);
+         flt_ "sum" (f 0.0);
+         (* z = 0, r = x, p = r, rho = r.r *)
+         for_ "j" (i 0) (i n)
+           [
+             ("z".%(v "j") <- f 0.0);
+             ("r".%(v "j") <- "x".%(v "j"));
+             ("p".%(v "j") <- "x".%(v "j"));
+             "rho" <-- v "rho" + ("x".%(v "j") * "x".%(v "j"));
+           ];
+         while_
+           (v "it" < i iters)
+           ([
+              (* q = A p *)
+              for_ "j" (i 0) (i n)
+                [
+                  ("sum" <-- f 0.0);
+                  for_ "k"
+                    ("rowstr".%(v "j"))
+                    ("rowstr".%(v "j" + i 1))
+                    [
+                      "sum" <--
+                      v "sum" + ("a".%(v "k") * "p".%(voted_index (v "k")));
+                    ];
+                  ("q".%(v "j") <- v "sum");
+                ];
+            ]
+           @ dot "d" "p" "q"
+           @ [
+               ("alpha" <-- v "rho" / v "d");
+               for_ "j" (i 0) (i n)
+                 [
+                   ("z".%(v "j") <- "z".%(v "j") + (v "alpha" * "p".%(v "j")));
+                   ("r".%(v "j") <- "r".%(v "j") - (v "alpha" * "q".%(v "j")));
+                 ];
+               ("rho0" <-- v "rho");
+             ]
+           @ dot "rho" "r" "r"
+           @ [
+               ("beta" <-- v "rho" / v "rho0");
+               for_ "j" (i 0) (i n)
+                 [ ("p".%(v "j") <- "r".%(v "j") + (v "beta" * "p".%(v "j"))) ];
+               ("it" <-- v "it" + i 1);
+             ]);
+       ]
+      @ dot "d" "z" "z"
+      @ [
+          ("out".%(i 0) <- sqrt_ (v "rho"));
+          ("out".%(i 1) <- v "d");
+          ret_void;
+        ])
+  in
+  let main = fn "main" [ do_ (call "conj_grad" []); ret_void ] in
+  {
+    Ast.globals =
+      ([
+         garr_i64_init "rowstr" rowstr;
+         garr_i32_init "colidx" colidx;
+       ]
+      @ (if tmr then
+           [ garr_i32_init "colidx_b" colidx; garr_i32_init "colidx_c" colidx ]
+         else [])
+      @ [
+          garr_f64_init "a" vals;
+          garr_f64_init "x" x0;
+          garr_f64 "z" n;
+          garr_f64 "p" n;
+          garr_f64 "q" n;
+          garr_f64 "r" n;
+          garr_f64 "out" 2;
+        ]);
+    funs = [ conj_grad; main ];
+  }
+
+let workload ?(n = 18) ?(row_nnz = 3) ?(iters = 4) ?(seed = 42)
+    ?(tmr_colidx = false) () =
+  let rowstr, colidx, vals = build_matrix ~n ~row_nnz ~seed in
+  let rng = Util.Rng.make (seed + 17) in
+  let x0 = Array.init n (fun _ -> 1.0 +. Util.Rng.float rng 1.0) in
+  let program =
+    Moard_lang.Compile.program
+      (ast ~n ~iters ~tmr:tmr_colidx ~rowstr ~colidx ~vals ~x0)
+  in
+  Moard_inject.Workload.make
+    ~name:(if tmr_colidx then "TMR_CG" else "CG")
+    ~program ~segment:[ "conj_grad" ]
+    ~targets:[ "r"; "colidx" ] ~outputs:[ "out" ]
+    ~accept:(Moard_inject.Workload.rel_err_accept 1e-2)
+    ()

@@ -1,0 +1,17 @@
+(** NPB CG miniature: conjugate gradient with irregular memory access over
+    a CSR sparse matrix (Table I: routine [conj_grad] in the main loop;
+    target data objects [r] (f64 residual vector) and [colidx] (i32 column
+    index array)). *)
+
+val workload :
+  ?n:int -> ?row_nnz:int -> ?iters:int -> ?seed:int -> ?tmr_colidx:bool ->
+  unit -> Moard_inject.Workload.t
+(** [n]: unknowns (default 18), [row_nnz]: off-diagonal entries per row
+    (default 3), [iters]: CG iterations (default 4). The matrix is
+    symmetric positive definite (diagonally dominant). Outputs: the final
+    residual norm and the solution self-product; acceptance tolerates 1%
+    relative deviation, the iterative solver's own fidelity notion.
+
+    [tmr_colidx] replicates the vulnerable column-index array three times
+    and majority-votes every access — the selective protection an aDVF
+    analysis directs you to (the intro's motivating use case). *)

@@ -1,0 +1,158 @@
+module Ast = Moard_lang.Ast
+
+let log2 n =
+  let rec go acc m = if m <= 1 then acc else go (acc + 1) (m asr 1) in
+  go 0 n
+
+let bitrev ~bits j =
+  let r = ref 0 in
+  for b = 0 to bits - 1 do
+    if j land (1 lsl b) <> 0 then r := !r lor (1 lsl (bits - 1 - b))
+  done;
+  !r
+
+let ast ~n ~init =
+  let bits = log2 n in
+  let brev = Array.init n (fun j -> Int64.of_int (bitrev ~bits j)) in
+  let n2 = 2 * n in
+  let nn = n * n in
+  let exp1 =
+    Array.concat
+      (List.init (n / 2) (fun k ->
+           let th = -2.0 *. Float.pi *. float_of_int k /. float_of_int n in
+           [| cos th; sin th |]))
+  in
+  let open Moard_lang.Ast.Dsl in
+  (* In-place radix-2 FFT of row [row] of the n x n grid: bit-reversal
+     permutation, then butterfly stages with twiddles from exp1. *)
+  let fft1d =
+    fn "fft1d"
+      ~params:[ ("row", Ast.Ti64) ]
+      [
+        int_ "base" (v "row" * i n2);
+        (* bit-reversal permutation *)
+        for_ "j" (i 0) (i n)
+          [
+            int_ "rj" ("brev".%(v "j"));
+            when_
+              (v "j" < v "rj")
+              [
+                flt_ "tr" ("plane".%(v "base" + (i 2 * v "j")));
+                flt_ "ti" ("plane".%(v "base" + (i 2 * v "j") + i 1));
+                ("plane".%(v "base" + (i 2 * v "j")) <-
+                 "plane".%(v "base" + (i 2 * v "rj")));
+                ("plane".%(v "base" + (i 2 * v "j") + i 1) <-
+                 "plane".%(v "base" + (i 2 * v "rj") + i 1));
+                ("plane".%(v "base" + (i 2 * v "rj")) <- v "tr");
+                ("plane".%(v "base" + (i 2 * v "rj") + i 1) <- v "ti");
+              ];
+          ];
+        (* butterfly stages *)
+        int_ "len" (i 2);
+        while_
+          (v "len" <= i n)
+          [
+            int_ "half" (v "len" / i 2);
+            int_ "step" (i n / v "len");
+            int_ "start" (i 0);
+            while_
+              (v "start" < i n)
+              [
+                for_ "k" (i 0) (v "half")
+                  [
+                    int_ "tw" (i 2 * (v "k" * v "step"));
+                    flt_ "wr" ("exp1".%(v "tw"));
+                    flt_ "wi" ("exp1".%(v "tw" + i 1));
+                    int_ "p" (v "base" + (i 2 * (v "start" + v "k")));
+                    int_ "q" (v "p" + (i 2 * v "half"));
+                    flt_ "xr" ("plane".%(v "q"));
+                    flt_ "xi" ("plane".%(v "q" + i 1));
+                    flt_ "tr2" ((v "wr" * v "xr") - (v "wi" * v "xi"));
+                    flt_ "ti2" ((v "wr" * v "xi") + (v "wi" * v "xr"));
+                    flt_ "ur" ("plane".%(v "p"));
+                    flt_ "ui" ("plane".%(v "p" + i 1));
+                    ("plane".%(v "p") <- v "ur" + v "tr2");
+                    ("plane".%(v "p" + i 1) <- v "ui" + v "ti2");
+                    ("plane".%(v "q") <- v "ur" - v "tr2");
+                    ("plane".%(v "q" + i 1) <- v "ui" - v "ti2");
+                  ];
+                "start" <-- v "start" + v "len";
+              ];
+            "len" <-- v "len" * i 2;
+          ];
+        ret_void;
+      ]
+  in
+  let transpose =
+    fn "transpose"
+      [
+        for_ "a" (i 0) (i n)
+          [
+            for_ "c" (v "a" + i 1) (i n)
+              [
+                int_ "p" (i 2 * ((v "a" * i n) + v "c"));
+                int_ "q" (i 2 * ((v "c" * i n) + v "a"));
+                flt_ "tr" ("plane".%(v "p"));
+                flt_ "ti" ("plane".%(v "p" + i 1));
+                ("plane".%(v "p") <- "plane".%(v "q"));
+                ("plane".%(v "p" + i 1) <- "plane".%(v "q" + i 1));
+                ("plane".%(v "q") <- v "tr");
+                ("plane".%(v "q" + i 1) <- v "ti");
+              ];
+          ];
+        ret_void;
+      ]
+  in
+  let fft_xyz =
+    fn "fftXYZ"
+      [
+        for_ "row" (i 0) (i n) [ do_ (call "fft1d" [ v "row" ]) ];
+        do_ (call "transpose" []);
+        for_ "row" (i 0) (i n) [ do_ (call "fft1d" [ v "row" ]) ];
+        (* NPB-style checksum over scattered points + total energy *)
+        flt_ "cr" (f 0.0);
+        flt_ "ci" (f 0.0);
+        flt_ "en" (f 0.0);
+        for_ "j" (i 0) (i nn)
+          [
+            when_
+              (v "j" % i 3 == i 0)
+              [
+                "cr" <-- v "cr" + "plane".%(i 2 * v "j");
+                "ci" <-- v "ci" + "plane".%((i 2 * v "j") + i 1);
+              ];
+            "en" <--
+            v "en"
+            + ("plane".%(i 2 * v "j") * "plane".%(i 2 * v "j"))
+            + ("plane".%((i 2 * v "j") + i 1) * "plane".%((i 2 * v "j") + i 1));
+          ];
+        ("out".%(i 0) <- v "cr");
+        ("out".%(i 1) <- v "ci");
+        ("out".%(i 2) <- v "en");
+        ret_void;
+      ]
+  in
+  let main = fn "main" [ do_ (call "fftXYZ" []); ret_void ] in
+  {
+    Ast.globals =
+      [
+        garr_f64_init "plane" init;
+        garr_f64_init "exp1" exp1;
+        garr_i64_init "brev" brev;
+        garr_f64 "out" 3;
+      ];
+    funs = [ fft1d; transpose; fft_xyz; main ];
+  }
+
+let workload ?(n = 8) ?(seed = 11) () =
+  if n land (n - 1) <> 0 || n < 4 then invalid_arg "Ft.workload: n";
+  let rng = Util.Rng.make seed in
+  let init =
+    Array.init (2 * n * n) (fun _ -> Util.Rng.float rng 2.0 -. 1.0)
+  in
+  let program = Moard_lang.Compile.program (ast ~n ~init) in
+  Moard_inject.Workload.make ~name:"FT" ~program
+    ~segment:[ "fftXYZ"; "fft1d"; "transpose" ]
+    ~targets:[ "plane"; "exp1" ] ~outputs:[ "out" ]
+    ~accept:(Moard_inject.Workload.rel_err_accept 1e-3)
+    ()

@@ -1,0 +1,15 @@
+(** NPB FT miniature: discrete Fourier transform (Table I: routine
+    [fftXYZ]; target data objects [plane] — the complex working grid — and
+    [exp1] — the precomputed twiddle-factor table).
+
+    The paper's 3D FFT is reduced to a 2D transform of an n x n complex
+    grid: radix-2 1D FFTs along rows, a transpose, and a second row pass —
+    keeping the transpose + repeated-1D-FFT structure the paper credits for
+    plane's algorithm-level masking. Complex values are interleaved
+    (re, im) in [plane]; [exp1] holds the n/2 complex roots of unity. *)
+
+val workload : ?n:int -> ?seed:int -> unit -> Moard_inject.Workload.t
+(** [n]: FFT size, a power of two (default 8). Outputs: the NPB-style
+    checksum (sum of re, sum of im over scattered points) and total
+    energy; acceptance is 0.1% relative agreement — the averaging of a
+    single corruption across the checksum is FT's own fidelity notion. *)

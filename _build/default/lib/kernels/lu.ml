@@ -1,0 +1,202 @@
+module Ast = Moard_lang.Ast
+
+let ast ~n ~itmax ~u0 ~frct =
+  let nm = n * n * n * 5 in
+  let nm1 = n - 1 in
+  let nm2 = n - 2 in
+  let interior = float_of_int ((n - 2) * (n - 2) * (n - 2)) in
+  let omega = 1.2 in
+  let open Moard_lang.Ast.Dsl in
+  let at arr ek ej ei em = arr.%(Util.idx4 n n 5 ek ej ei em) in
+  let set arr ek ej ei em e = Ast.Sstore (arr, Util.idx4 n n 5 ek ej ei em, e) in
+  (* The paper's Listing 2: l2norm of rsd into sum[5]. *)
+  let l2norm =
+    fn "l2norm"
+      [
+        for_ "m" (i 0) (i 5) [ ("sum".%(v "m") <- f 0.0) ];
+        for_ "k" (i 1)
+          (i nm1)
+          [
+            for_ "j" (i 1)
+              (i nm1)
+              [
+                for_ "i" (i 1)
+                  (i nm1)
+                  [
+                    for_ "m" (i 0) (i 5)
+                      [
+                        ("sum".%(v "m") <-
+                         "sum".%(v "m")
+                         + (at "rsd" (v "k") (v "j") (v "i") (v "m")
+                            * at "rsd" (v "k") (v "j") (v "i") (v "m")));
+                      ];
+                  ];
+              ];
+          ];
+        for_ "m" (i 0) (i 5)
+          [
+            ("sum".%(v "m") <-
+             sqrt_ ("sum".%(v "m") / f interior));
+          ];
+        ret_void;
+      ]
+  in
+  (* Residual of the 7-point coupling: rsd = frct - (c1 u - c2 sum(neighbors)). *)
+  let rhs =
+    fn "rhs"
+      [
+        for_ "k" (i 1)
+          (i nm1)
+          [
+            for_ "j" (i 1)
+              (i nm1)
+              [
+                for_ "i" (i 1)
+                  (i nm1)
+                  [
+                    for_ "m" (i 0) (i 5)
+                      [
+                        set "rsd" (v "k") (v "j") (v "i") (v "m")
+                          (at "frct" (v "k") (v "j") (v "i") (v "m")
+                         - ((f 2.2 * at "u" (v "k") (v "j") (v "i") (v "m"))
+                            - (f 0.3
+                               * (at "u" (v "k" - i 1) (v "j") (v "i") (v "m")
+                                  + at "u" (v "k" + i 1) (v "j") (v "i") (v "m")
+                                  + at "u" (v "k") (v "j" - i 1) (v "i") (v "m")
+                                  + at "u" (v "k") (v "j" + i 1) (v "i") (v "m")
+                                  + at "u" (v "k") (v "j") (v "i" - i 1) (v "m")
+                                  + at "u" (v "k") (v "j") (v "i" + i 1) (v "m")))));
+                      ];
+                  ];
+              ];
+          ];
+        ret_void;
+      ]
+  in
+  (* Forward triangular sweep (the blts role): ascending Gauss-Seidel
+     over the lower couplings, updating rsd in place. *)
+  let blts =
+    fn "blts"
+      [
+        for_ "k" (i 1) (i nm1)
+          [
+            for_ "j" (i 1) (i nm1)
+              [
+                for_ "i" (i 1) (i nm1)
+                  [
+                    for_ "m" (i 0) (i 5)
+                      [
+                        set "rsd" (v "k") (v "j") (v "i") (v "m")
+                          ((at "rsd" (v "k") (v "j") (v "i") (v "m")
+                            + (f 0.3
+                               * (at "rsd" (v "k" - i 1) (v "j") (v "i") (v "m")
+                                  + at "rsd" (v "k") (v "j" - i 1) (v "i") (v "m")
+                                  + at "rsd" (v "k") (v "j") (v "i" - i 1) (v "m"))))
+                           / f 2.2);
+                      ];
+                  ];
+              ];
+          ];
+        ret_void;
+      ]
+  in
+  (* Backward triangular sweep (the buts role): descending over the upper
+     couplings. *)
+  let buts =
+    fn "buts"
+      [
+        int_ "k" (i nm2);
+        while_
+          (v "k" >= i 1)
+          [
+            int_ "j" (i nm2);
+            while_
+              (v "j" >= i 1)
+              [
+                int_ "i2" (i nm2);
+                while_
+                  (v "i2" >= i 1)
+                  [
+                    for_ "m" (i 0) (i 5)
+                      [
+                        set "rsd" (v "k") (v "j") (v "i2") (v "m")
+                          (at "rsd" (v "k") (v "j") (v "i2") (v "m")
+                           + (f (0.3 /. 2.2)
+                              * (at "rsd" (v "k" + i 1) (v "j") (v "i2") (v "m")
+                                 + at "rsd" (v "k") (v "j" + i 1) (v "i2") (v "m")
+                                 + at "rsd" (v "k") (v "j") (v "i2" + i 1) (v "m"))));
+                      ];
+                    "i2" <-- v "i2" - i 1;
+                  ];
+                "j" <-- v "j" - i 1;
+              ];
+            "k" <-- v "k" - i 1;
+          ];
+        ret_void;
+      ]
+  in
+  let ssor =
+    fn "ssor"
+      [
+        for_ "istep" (i 0) (i itmax)
+          [
+            do_ (call "rhs" []);
+            do_ (call "blts" []);
+            do_ (call "buts" []);
+            (* u += omega * the doubly-swept correction *)
+            for_ "k" (i 1)
+              (i nm1)
+              [
+                for_ "j" (i 1)
+                  (i nm1)
+                  [
+                    for_ "i" (i 1)
+                      (i nm1)
+                      [
+                        for_ "m" (i 0) (i 5)
+                          [
+                            set "u" (v "k") (v "j") (v "i") (v "m")
+                              (at "u" (v "k") (v "j") (v "i") (v "m")
+                               + (f omega
+                                  * at "rsd" (v "k") (v "j") (v "i") (v "m")));
+                          ];
+                      ];
+                  ];
+              ];
+            do_ (call "l2norm" []);
+          ];
+        flt_ "us" (f 0.0);
+        int_ "t" (i 0);
+        while_
+          (v "t" < i nm)
+          [ ("us" <-- v "us" + "u".%(v "t")); ("t" <-- v "t" + i 7) ];
+        for_ "m" (i 0) (i 5) [ ("out".%(v "m") <- "sum".%(v "m")) ];
+        ("out".%(i 5) <- v "us");
+        ret_void;
+      ]
+  in
+  let main = fn "main" [ do_ (call "ssor" []); ret_void ] in
+  {
+    Ast.globals =
+      [
+        garr_f64_init "u" u0;
+        garr_f64 "rsd" nm;
+        garr_f64_init "frct" frct;
+        garr_f64 "sum" 5;
+        garr_f64 "out" 6;
+      ];
+    funs = [ l2norm; rhs; blts; buts; ssor; main ];
+  }
+
+let workload ?(n = 4) ?(itmax = 2) ?(seed = 23) () =
+  if n < 4 then invalid_arg "Lu.workload: n";
+  let rng = Util.Rng.make seed in
+  let nm = n * n * n * 5 in
+  let u0 = Array.init nm (fun _ -> Util.Rng.float rng 1.0) in
+  let frct = Array.init nm (fun _ -> Util.Rng.float rng 0.5) in
+  let program = Moard_lang.Compile.program (ast ~n ~itmax ~u0 ~frct) in
+  Moard_inject.Workload.make ~name:"LU" ~program
+    ~segment:[ "ssor"; "rhs"; "blts"; "buts"; "l2norm" ]
+    ~targets:[ "u"; "rsd" ] ~outputs:[ "out" ]
+    ~accept:(Moard_inject.Workload.rel_err_accept 1e-2)
+    ()

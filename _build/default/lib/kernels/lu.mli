@@ -1,0 +1,15 @@
+(** NPB LU miniature: SSOR-style lower-upper solver (Table I: routine
+    [ssor]; target data objects [u] — the solution — and [rsd] — the
+    steady-state residual).
+
+    Each pseudo-time step computes the residual of a 7-point stencil over
+    a 3D grid with 5 components per cell, runs the forward and backward
+    triangular sweeps over [rsd] (the blts/buts roles), relaxes [u] by the
+    SSOR factor, and ends with the paper's Listing-2 [l2norm] over
+    [sum\[5\]] (zeroing loop, accumulation loop, sqrt loop — the code the
+    aDVF walkthrough in §III-B is computed on). *)
+
+val workload : ?n:int -> ?itmax:int -> ?seed:int -> unit ->
+  Moard_inject.Workload.t
+(** [n]: grid points per dimension (default 4); [itmax]: SSOR iterations
+    (default 2). *)

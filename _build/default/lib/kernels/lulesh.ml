@@ -1,0 +1,104 @@
+module Ast = Moard_lang.Ast
+
+let zeta_m_symm = 1
+let zeta_p_symm = 2
+
+let ast ~nelem ~coords ~delv ~bc =
+  let monoq_limiter = 2.0 and max_slope = 1.0 in
+  let qlc = 0.5 and qqc = 2.0 in
+  let open Moard_lang.Ast.Dsl in
+  let calc =
+    fn "CalcMonotonicQRegionForElems"
+      [
+        for_ "ie" (i 0) (i nelem)
+          [
+            int_ "bcmask" ("m_elemBC".%(v "ie"));
+            flt_ "dvc" ("m_delv_zeta".%(v "ie"));
+            flt_ "norm" (f 1.0 / (v "dvc" + f 1e-12));
+            (* neighbour gradients, symmetric BCs folded in via the flag
+               bits exactly like the bcMask switches of LULESH *)
+            flt_ "dvm" (f 0.0);
+            if_
+              ((v "bcmask" land i zeta_m_symm) != i 0)
+              [ "dvm" <-- v "dvc" ]
+              [ "dvm" <-- "m_delv_zeta".%(v "ie" - i 1) ];
+            flt_ "dvp" (f 0.0);
+            if_
+              ((v "bcmask" land i zeta_p_symm) != i 0)
+              [ "dvp" <-- v "dvc" ]
+              [ "dvp" <-- "m_delv_zeta".%(v "ie" + i 1) ];
+            (* monotonic limiter *)
+            flt_ "phi" (f 0.5 * (v "dvm" + v "dvp") * v "norm");
+            ("dvm" <-- v "dvm" * v "norm");
+            ("dvp" <-- v "dvp" * v "norm");
+            ("phi" <-- fmin_ (v "phi") (v "dvm" * f monoq_limiter));
+            ("phi" <-- fmin_ (v "phi") (v "dvp" * f monoq_limiter));
+            ("phi" <-- fmax_ (v "phi") (f 0.0));
+            ("phi" <-- fmin_ (v "phi") (f max_slope));
+            (* element scale from the coordinates *)
+            flt_ "delx" ("m_x".%(v "ie" + i 1) - "m_x".%(v "ie"));
+            flt_ "dely" ("m_y".%(v "ie" + i 1) - "m_y".%(v "ie"));
+            flt_ "delz" ("m_z".%(v "ie" + i 1) - "m_z".%(v "ie"));
+            flt_ "vol"
+              (sqrt_
+                 ((v "delx" * v "delx") + (v "dely" * v "dely")
+                  + (v "delz" * v "delz"))
+               + f 1e-12);
+            (* artificial viscosity; compression only *)
+            if_
+              (v "dvc" >= f 0.0)
+              [ ("qq".%(v "ie") <- f 0.0); ("ql".%(v "ie") <- f 0.0) ]
+              [
+                flt_ "dvel" (v "dvc" * v "vol");
+                ("ql".%(v "ie") <-
+                 f (-.qlc) * v "dvel" * (f 1.0 - v "phi"));
+                ("qq".%(v "ie") <-
+                 f qqc * v "dvel" * v "dvel" * (f 1.0 - (v "phi" * v "phi")));
+              ];
+          ];
+        ret_void;
+      ]
+  in
+  let main =
+    fn "main" [ do_ (call "CalcMonotonicQRegionForElems" []); ret_void ]
+  in
+  let x, y, z = coords in
+  {
+    Ast.globals =
+      [
+        garr_f64_init "m_x" x;
+        garr_f64_init "m_y" y;
+        garr_f64_init "m_z" z;
+        garr_f64_init "m_delv_zeta" delv;
+        garr_i32_init "m_elemBC" bc;
+        garr_f64 "qq" nelem;
+        garr_f64 "ql" nelem;
+      ];
+    funs = [ calc; main ];
+  }
+
+let workload ?(nelem = 20) ?(seed = 47) () =
+  if nelem < 4 then invalid_arg "Lulesh.workload: nelem";
+  let rng = Util.Rng.make seed in
+  let nodes = nelem + 1 in
+  let coord () =
+    Array.init nodes (fun j -> float_of_int j +. Util.Rng.float rng 0.4)
+  in
+  let coords = (coord (), coord (), coord ()) in
+  (* Mostly compressing elements so the viscosity branch is exercised. *)
+  let delv =
+    Array.init nelem (fun _ -> -0.5 +. (Util.Rng.float rng 0.7 -. 0.1))
+  in
+  let bc =
+    Array.init nelem (fun ie ->
+        if ie = 0 then Int32.of_int zeta_m_symm
+        else if ie = nelem - 1 then Int32.of_int zeta_p_symm
+        else 0l)
+  in
+  let program = Moard_lang.Compile.program (ast ~nelem ~coords ~delv ~bc) in
+  Moard_inject.Workload.make ~name:"LULESH" ~program
+    ~segment:[ "CalcMonotonicQRegionForElems" ]
+    ~targets:[ "m_elemBC"; "m_delv_zeta"; "m_x"; "m_y"; "m_z" ]
+    ~outputs:[ "qq"; "ql" ]
+    ~accept:(Moard_inject.Workload.rel_err_accept 1e-2)
+    ()

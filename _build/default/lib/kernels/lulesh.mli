@@ -1,0 +1,17 @@
+(** LULESH miniature: the [CalcMonotonicQRegionForElems] routine (Table I;
+    also the subject of the Fig. 6 validation and the Fig. 7 RFI
+    comparison).
+
+    A 1D region of elements with nodal coordinates. Per element the routine
+    reads the velocity gradient [m_delv_zeta] and its neighbours, applies
+    the monotonic limiter with boundary-condition branches driven by the
+    integer flag array [m_elemBC], derives element scales from the
+    coordinate arrays [m_x]/[m_y]/[m_z], and stores the artificial
+    viscosity terms [qq]/[ql].
+
+    Target data objects: [m_elemBC] (i32 flags), [m_delv_zeta] (f64), and
+    the three equal-sized coordinate arrays [m_x], [m_y], [m_z] used by the
+    paper's RFI study. *)
+
+val workload : ?nelem:int -> ?seed:int -> unit -> Moard_inject.Workload.t
+(** [nelem]: elements in the region (default 20). *)

@@ -1,0 +1,15 @@
+(** NPB MG miniature: V-cycle multigrid on a sequence of meshes (Table I:
+    routine [mg3P]; target data objects [u] and [r], both f64).
+
+    The paper's 3D grid is reduced to 1D Poisson with the same multilevel
+    structure — restriction, coarse smoothing, interpolation, fine
+    smoothing — because the averaging across levels is what gives MG its
+    algorithm-level masking (19% of u's aDVF in the paper). All levels of
+    [u], [r] and the per-level right-hand sides live packed in single
+    arrays, as in NPB. *)
+
+val workload :
+  ?n:int -> ?levels:int -> ?cycles:int -> ?seed:int -> unit ->
+  Moard_inject.Workload.t
+(** [n]: finest interior size, a power of two (default 16); [levels]
+    (default 3); [cycles]: V-cycles (default 2). *)

@@ -1,0 +1,132 @@
+module Ast = Moard_lang.Ast
+
+let ast ~np ~steps ~abft ~obs =
+  let np2 = np / 2 in
+  let npm1 = np - 1 in
+  let open Moard_lang.Ast.Dsl in
+  (* Uniform variate in [0, 1) from the in-program LCG (so randomness is
+     part of the trace, as in the Rodinia code). *)
+  let lcg =
+    fn "randu" ~ret:Ast.Tf64
+      [
+        ("seed".%(i 0) <-
+         ("seed".%(i 0) * i64 6364136223846793005L) + i64 1442695040888963407L);
+        ret (to_f ("seed".%(i 0) lsr i 11) * f (1.0 /. 9007199254740992.0));
+      ]
+  in
+  let estimate_body =
+    if abft then
+      [
+        (* ABFT: checksummed halves of the dot product; a disagreement
+           with the full sum locates an error and the recomputed value
+           overwrites xe (the verification phase of [28]). *)
+        flt_ "h1" (f 0.0);
+        flt_ "h2" (f 0.0);
+        for_ "p" (i 0) (i np2)
+          [ "h1" <-- v "h1" + ("wgt".%(v "p") * "ax".%(v "p")) ];
+        for_ "p" (i np2) (i np)
+          [ "h2" <-- v "h2" + ("wgt".%(v "p") * "ax".%(v "p")) ];
+        when_
+          (fabs_ ("xe".%(i 0) - (v "h1" + v "h2")) > f 1e-9)
+          [ ("xe".%(i 0) <- v "h1" + v "h2") ];
+      ]
+    else []
+  in
+  let pf =
+    fn "particle_filter"
+      ([
+         flt_ "err" (f 0.0);
+         for_ "t" (i 0) (i steps)
+           ([
+              (* predict: drift toward the previous estimate plus noise *)
+              for_ "p" (i 0) (i np)
+                [
+                  ("ax".%(v "p") <-
+                   "ax".%(v "p") + f 1.0
+                   + (f 0.1 * ("xe".%(i 0) - "ax".%(v "p")))
+                   + (f 0.4 * (call "randu" [] - f 0.5)));
+                ];
+              (* weight against the observation *)
+              flt_ "ob" ("obs".%(v "t"));
+              flt_ "sw" (f 0.0);
+              for_ "p" (i 0) (i np)
+                [
+                  flt_ "d" ("ax".%(v "p") - v "ob");
+                  ("wgt".%(v "p") <-
+                   "wgt".%(v "p") * exp_ (f (-0.5) * v "d" * v "d"));
+                  "sw" <-- v "sw" + "wgt".%(v "p");
+                ];
+              for_ "p" (i 0) (i np)
+                [ ("wgt".%(v "p") <- "wgt".%(v "p") / v "sw") ];
+              (* the vector multiplication into xe *)
+              flt_ "acc" (f 0.0);
+              for_ "p" (i 0) (i np)
+                [ "acc" <-- v "acc" + ("wgt".%(v "p") * "ax".%(v "p")) ];
+              ("xe".%(i 0) <- v "acc");
+            ]
+           @ estimate_body
+           @ [
+               (* consume xe: tracking error and trajectory *)
+               flt_ "d2" ("xe".%(i 0) - v "ob");
+               ("err" <-- v "err" + (v "d2" * v "d2"));
+               ("xeh".%(v "t") <- "xe".%(i 0));
+               (* systematic resampling *)
+               flt_ "u0" (call "randu" [] / f (float_of_int np));
+               for_ "p" (i 0) (i np)
+                 [
+                   flt_ "uu"
+                     (v "u0" + (to_f (v "p") / f (float_of_int np)));
+                   flt_ "csum" (f 0.0);
+                   int_ "pick" (i 0);
+                   for_ "q" (i 0) (i np)
+                     [
+                       "csum" <-- v "csum" + "wgt".%(v "q");
+                       when_ (v "csum" < v "uu") [ "pick" <-- v "q" + i 1 ];
+                     ];
+                   when_ (v "pick" >= i np) [ "pick" <-- i npm1 ];
+                   ("nx".%(v "p") <- "ax".%(v "pick"));
+                 ];
+               for_ "p" (i 0) (i np)
+                 [
+                   ("ax".%(v "p") <- "nx".%(v "p"));
+                   ("wgt".%(v "p") <- f (1.0 /. float_of_int np));
+                 ];
+             ]);
+         ("out".%(i 0) <- sqrt_ (v "err" / f (float_of_int steps)));
+         ret_void;
+       ])
+  in
+  let main = fn "main" [ do_ (call "particle_filter" []); ret_void ] in
+  {
+    Ast.globals =
+      [
+        garr_f64 "ax" np;
+        garr_f64_init "wgt" (Array.make np (1.0 /. float_of_int np));
+        garr_f64 "nx" np;
+        garr_f64 "xe" 1;
+        garr_f64 "xeh" steps;
+        garr_f64_init "obs" obs;
+        garr_i64_init "seed" [| 88172645463325252L |];
+        garr_f64 "out" 1;
+      ];
+    funs = [ lcg; pf; main ];
+  }
+
+let workload ?(particles = 16) ?(steps = 4) ?(abft = false) ?(seed = 71) () =
+  if particles < 4 || particles mod 2 <> 0 then
+    invalid_arg "Particle_filter.workload: particles";
+  let rng = Util.Rng.make seed in
+  let obs =
+    Array.init steps (fun t ->
+        float_of_int (t + 1) +. (0.2 *. (Util.Rng.float rng 1.0 -. 0.5)))
+  in
+  let program = Moard_lang.Compile.program (ast ~np:particles ~steps ~abft ~obs) in
+  (* PF's fidelity notion, as in the Rodinia verification: the estimate
+     trajectory must match the golden one to high precision. *)
+  Moard_inject.Workload.make
+    ~name:(if abft then "ABFT_PF" else "PF")
+    ~program
+    ~segment:[ "particle_filter"; "randu" ]
+    ~targets:[ "xe" ] ~outputs:[ "out"; "xeh" ]
+    ~accept:(Moard_inject.Workload.rel_err_accept 1e-6)
+    ()

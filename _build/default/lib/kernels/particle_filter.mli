@@ -1,0 +1,18 @@
+(** Case study (paper §VI, Fig. 9): Particle Filter from Rodinia, with
+    the critical variable [xe] — repeatedly overwritten with vector
+    multiplication results (the weighted state estimate) — as the target
+    data object.
+
+    Each timestep: predict particle states with an in-program LCG,
+    re-weight against a noisy observation, normalize, compute
+    [xe = sum w_i x_i] (the vector multiplication), use [xe] to steer the
+    proposal and accumulate the tracking error, and resample
+    systematically. The ABFT variant re-computes the dot product as two
+    checksummed halves and corrects [xe] on mismatch before it is
+    consumed — the vector form of the matrix-multiply ABFT [28]. *)
+
+val workload :
+  ?particles:int -> ?steps:int -> ?abft:bool -> ?seed:int -> unit ->
+  Moard_inject.Workload.t
+(** [particles] (default 16), [steps] (default 4), [abft] (default
+    false). *)

@@ -1,0 +1,119 @@
+type entry = {
+  benchmark : string;
+  description : string;
+  routine : string;
+  objects : string list;
+  workload : unit -> Moard_inject.Workload.t;
+}
+
+let table1 =
+  [
+    {
+      benchmark = "CG";
+      description = "Conjugate Gradient, irregular memory access";
+      routine = "conj_grad";
+      objects = [ "r"; "colidx" ];
+      workload = (fun () -> Cg.workload ());
+    };
+    {
+      benchmark = "MG";
+      description = "Multi-Grid on a sequence of meshes";
+      routine = "mg3P";
+      objects = [ "u"; "r" ];
+      workload = (fun () -> Mg.workload ());
+    };
+    {
+      benchmark = "FT";
+      description = "Discrete Fourier Transform";
+      routine = "fftXYZ";
+      objects = [ "plane"; "exp1" ];
+      workload = (fun () -> Ft.workload ());
+    };
+    {
+      benchmark = "BT";
+      description = "Block Tri-diagonal solver";
+      routine = "x_solve";
+      objects = [ "grid_points"; "u" ];
+      workload = (fun () -> Bt.workload ());
+    };
+    {
+      benchmark = "SP";
+      description = "Scalar Penta-diagonal solver";
+      routine = "x_solve";
+      objects = [ "rhoi"; "grid_points" ];
+      workload = (fun () -> Sp.workload ());
+    };
+    {
+      benchmark = "LU";
+      description = "Lower-Upper Gauss-Seidel solver";
+      routine = "ssor";
+      objects = [ "u"; "rsd" ];
+      workload = (fun () -> Lu.workload ());
+    };
+    {
+      benchmark = "LULESH";
+      description = "Unstructured Lagrangian explicit shock hydrodynamics";
+      routine = "CalcMonotonicQRegionForElems";
+      objects = [ "m_elemBC"; "m_delv_zeta" ];
+      workload = (fun () -> Lulesh.workload ());
+    };
+    {
+      benchmark = "AMG";
+      description = "Algebraic multigrid solver (GMRES with AMG smoothing)";
+      routine = "hypre_GMRESSolve";
+      objects = [ "ipiv"; "A" ];
+      workload = (fun () -> Amg.workload ());
+    };
+  ]
+
+let case_studies =
+  [
+    {
+      benchmark = "MM";
+      description = "Matrix multiplication, no protection";
+      routine = "mm";
+      objects = [ "C" ];
+      workload = (fun () -> Abft_mm.workload ());
+    };
+    {
+      benchmark = "ABFT_MM";
+      description = "Matrix multiplication with checksum ABFT";
+      routine = "mm+verify";
+      objects = [ "C" ];
+      workload = (fun () -> Abft_mm.workload ~abft:true ());
+    };
+    {
+      benchmark = "PF";
+      description = "Particle Filter (Rodinia), no protection";
+      routine = "particle_filter";
+      objects = [ "xe" ];
+      workload = (fun () -> Particle_filter.workload ());
+    };
+    {
+      benchmark = "ABFT_PF";
+      description = "Particle Filter with ABFT on xe";
+      routine = "particle_filter+verify";
+      objects = [ "xe" ];
+      workload = (fun () -> Particle_filter.workload ~abft:true ());
+    };
+  ]
+
+let all = table1 @ case_studies
+
+let find name =
+  let lname = String.lowercase_ascii name in
+  List.find
+    (fun e -> String.equal (String.lowercase_ascii e.benchmark) lname)
+    all
+
+let pp_table1 ppf () =
+  Format.fprintf ppf "@[<v>%-8s %-55s %-30s %s@,%s@,"
+    "Name" "Benchmark description" "Code segment" "Target data objects"
+    (String.make 110 '-');
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%-8s %-55s %-30s %s@," e.benchmark e.description
+        e.routine
+        (String.concat ", " e.objects))
+    table1;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,25 @@
+(** The benchmark inventory — Table I of the paper, plus the §VI case
+    studies. Each entry names the evaluated routine and the target data
+    objects, and builds the workload at its default miniature size. *)
+
+type entry = {
+  benchmark : string;
+  description : string;
+  routine : string;           (** the code segment of Table I *)
+  objects : string list;      (** target data objects *)
+  workload : unit -> Moard_inject.Workload.t;
+}
+
+val table1 : entry list
+(** CG, MG, FT, BT, SP, LU, LULESH, AMG — in the paper's order. *)
+
+val case_studies : entry list
+(** MM, ABFT_MM, PF, ABFT_PF (§VI). *)
+
+val all : entry list
+
+val find : string -> entry
+(** Look up by benchmark name (case-insensitive). @raise Not_found *)
+
+val pp_table1 : Format.formatter -> unit -> unit
+(** Render Table I. *)

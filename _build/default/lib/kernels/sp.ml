@@ -1,0 +1,124 @@
+module Ast = Moard_lang.Ast
+
+let ast ~n ~u0 ~rhoi0 =
+  let n3 = n * n * n in
+  let open Moard_lang.Ast.Dsl in
+  let cell ek ej ei = ((ek * v "g1") + ej) * v "g0" + ei in
+  let at arr ek ej ei = arr.%(cell ek ej ei) in
+  let set arr ek ej ei e = Ast.Sstore (arr, cell ek ej ei, e) in
+  let gp d = "grid_points".%(i d) in
+  let x_solve =
+    fn "x_solve"
+      [
+        int_ "g0" (gp 0);
+        int_ "g1" (gp 1);
+        int_ "nx" (v "g0");
+        int_ "jmax" (v "g1" - i 1);
+        int_ "kmax" (gp 2 - i 1);
+        for_ "k" (i 1) (v "kmax")
+          [
+            for_ "j" (i 1) (v "jmax")
+              [
+                (* assemble the 5 bands from rhoi and the rhs from u *)
+                for_ "t" (i 0) (v "nx")
+                  [
+                    flt_ "ri" (at "rhoi" (v "k") (v "j") (v "t"));
+                    ("bd".%(v "t") <- f 3.0 + v "ri");
+                    ("ba".%(v "t") <- f (-0.8) * v "ri");
+                    ("bc".%(v "t") <- f (-0.8) * v "ri");
+                    ("be".%(v "t") <- f (-0.2) * v "ri");
+                    ("bf".%(v "t") <- f (-0.2) * v "ri");
+                    ("rh".%(v "t") <- at "u" (v "k") (v "j") (v "t"));
+                  ];
+                (* forward sweep: eliminate the two subdiagonals *)
+                for_ "t" (i 0)
+                  (v "nx" - i 2)
+                  [
+                    flt_ "fac" (f 1.0 / "bd".%(v "t"));
+                    flt_ "m1" ("ba".%(v "t" + i 1) * v "fac");
+                    ("bd".%(v "t" + i 1) <-
+                     "bd".%(v "t" + i 1) - (v "m1" * "bc".%(v "t")));
+                    ("bc".%(v "t" + i 1) <-
+                     "bc".%(v "t" + i 1) - (v "m1" * "bf".%(v "t")));
+                    ("rh".%(v "t" + i 1) <-
+                     "rh".%(v "t" + i 1) - (v "m1" * "rh".%(v "t")));
+                    when_
+                      (v "t" + i 2 < v "nx")
+                      [
+                        flt_ "m2" ("be".%(v "t" + i 2) * v "fac");
+                        ("ba".%(v "t" + i 2) <-
+                         "ba".%(v "t" + i 2) - (v "m2" * "bc".%(v "t")));
+                        ("bd".%(v "t" + i 2) <-
+                         "bd".%(v "t" + i 2) - (v "m2" * "bf".%(v "t")));
+                        ("rh".%(v "t" + i 2) <-
+                         "rh".%(v "t" + i 2) - (v "m2" * "rh".%(v "t")));
+                      ];
+                  ];
+                (* last pair *)
+                flt_ "m3" ("ba".%(v "nx" - i 1) / "bd".%(v "nx" - i 2));
+                ("bd".%(v "nx" - i 1) <-
+                 "bd".%(v "nx" - i 1) - (v "m3" * "bc".%(v "nx" - i 2)));
+                ("rh".%(v "nx" - i 1) <-
+                 "rh".%(v "nx" - i 1) - (v "m3" * "rh".%(v "nx" - i 2)));
+                (* back substitution into u *)
+                set "u" (v "k") (v "j")
+                  (v "nx" - i 1)
+                  ("rh".%(v "nx" - i 1) / "bd".%(v "nx" - i 1));
+                set "u" (v "k") (v "j")
+                  (v "nx" - i 2)
+                  (("rh".%(v "nx" - i 2)
+                    - ("bc".%(v "nx" - i 2)
+                       * at "u" (v "k") (v "j") (v "nx" - i 1)))
+                   / "bd".%(v "nx" - i 2));
+                int_ "t2" (v "nx" - i 3);
+                while_
+                  (v "t2" >= i 0)
+                  [
+                    set "u" (v "k") (v "j") (v "t2")
+                      (("rh".%(v "t2")
+                        - ("bc".%(v "t2") * at "u" (v "k") (v "j") (v "t2" + i 1))
+                        - ("bf".%(v "t2") * at "u" (v "k") (v "j") (v "t2" + i 2)))
+                       / "bd".%(v "t2"));
+                    "t2" <-- v "t2" - i 1;
+                  ];
+              ];
+          ];
+        flt_ "us" (f 0.0);
+        int_ "t" (i 0);
+        while_
+          (v "t" < i n3)
+          [ ("us" <-- v "us" + "u".%(v "t")); ("t" <-- v "t" + i 2) ];
+        ("out".%(i 0) <- v "us");
+        ret_void;
+      ]
+  in
+  let main = fn "main" [ do_ (call "x_solve" []); ret_void ] in
+  {
+    Ast.globals =
+      [
+        garr_i32_init "grid_points"
+          [| Int32.of_int n; Int32.of_int n; Int32.of_int n |];
+        garr_f64_init "u" u0;
+        garr_f64_init "rhoi" rhoi0;
+        garr_f64 "bd" n;
+        garr_f64 "ba" n;
+        garr_f64 "bc" n;
+        garr_f64 "be" n;
+        garr_f64 "bf" n;
+        garr_f64 "rh" n;
+        garr_f64 "out" 1;
+      ];
+    funs = [ x_solve; main ];
+  }
+
+let workload ?(n = 5) ?(seed = 37) () =
+  if n < 5 then invalid_arg "Sp.workload: n >= 5";
+  let rng = Util.Rng.make seed in
+  let n3 = n * n * n in
+  let u0 = Array.init n3 (fun _ -> 0.5 +. Util.Rng.float rng 1.0) in
+  let rhoi0 = Array.init n3 (fun _ -> 0.5 +. Util.Rng.float rng 0.5) in
+  let program = Moard_lang.Compile.program (ast ~n ~u0 ~rhoi0) in
+  Moard_inject.Workload.make ~name:"SP" ~program ~segment:[ "x_solve" ]
+    ~targets:[ "rhoi"; "grid_points" ] ~outputs:[ "out" ]
+    ~accept:(Moard_inject.Workload.rel_err_accept 1e-3)
+    ()

@@ -1,0 +1,10 @@
+(** NPB SP miniature: scalar pentadiagonal solver along x-lines (Table I:
+    routine [x_solve]; target data objects [rhoi] — the reciprocal-density
+    array the lhs coefficients are built from — and [grid_points]).
+
+    Each (k, j) line assembles a diagonally dominant 5-band system whose
+    couplings scale with [rhoi], eliminates the two subdiagonals in the
+    SP forward-sweep pattern, and back-substitutes into [u]. *)
+
+val workload : ?n:int -> ?seed:int -> unit -> Moard_inject.Workload.t
+(** [n]: grid points per dimension (default 5; lines need n >= 5). *)

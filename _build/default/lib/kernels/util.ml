@@ -1,0 +1,32 @@
+module Rng = struct
+  type t = { mutable state : int64 }
+
+  let make seed = { state = Int64.of_int (seed * 2654435761 + 1) }
+
+  let next t =
+    (* splitmix64 *)
+    t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let float t bound =
+    let u = Int64.shift_right_logical (next t) 11 in
+    Int64.to_float u /. 9007199254740992.0 *. bound
+
+  let int t bound =
+    if bound <= 0 then invalid_arg "Rng.int";
+    Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1)
+        (Int64.of_int bound))
+end
+
+open Moard_lang.Ast.Dsl
+
+let idx2 ncols ei ej = (ei * i ncols) + ej
+
+let idx3 n2 n3 ei ej ek = (((ei * i n2) + ej) * i n3) + ek
+
+let idx4 n2 n3 n4 ei ej ek el = ((((ei * i n2) + ej) * i n3 + ek) * i n4) + el

@@ -1,0 +1,29 @@
+(** Shared helpers for kernel construction: deterministic host-side data
+    generation (problem inputs are precomputed into global initializers so
+    the analyzed trace contains only the evaluated routine, like the
+    paper's per-routine code segments) and multi-dimensional indexing. *)
+
+(** Deterministic splitmix-style generator for reproducible inputs. *)
+module Rng : sig
+  type t
+  val make : int -> t
+  val float : t -> float -> float
+  (** [float t bound]: uniform in [0, bound). *)
+
+  val int : t -> int -> int
+  (** [int t bound]: uniform in [0, bound). *)
+end
+
+val idx2 : int -> Moard_lang.Ast.expr -> Moard_lang.Ast.expr -> Moard_lang.Ast.expr
+(** [idx2 ncols i j] = [i*ncols + j] as a MiniC expression. *)
+
+val idx3 :
+  int -> int ->
+  Moard_lang.Ast.expr -> Moard_lang.Ast.expr -> Moard_lang.Ast.expr ->
+  Moard_lang.Ast.expr
+(** [idx3 n2 n3 i j k] = [(i*n2 + j)*n3 + k]. *)
+
+val idx4 :
+  int -> int -> int ->
+  Moard_lang.Ast.expr -> Moard_lang.Ast.expr -> Moard_lang.Ast.expr ->
+  Moard_lang.Ast.expr -> Moard_lang.Ast.expr

@@ -1,0 +1,1 @@
+lib/lang/compile.ml: Ast Format Hashtbl List Moard_bits Moard_ir Moard_vm

@@ -1,0 +1,152 @@
+(** MiniC: the small typed imperative language the benchmark kernels are
+    written in.
+
+    It plays the role of C in the paper's pipeline: kernels are written once
+    at statement level and compiled to the IR, so the dynamic traces have
+    the same shape (loads, arithmetic, compares, branches, stores) that an
+    LLVM front end would produce for the original benchmarks.
+
+    Scalars are [i64]/[f64]/[bool] locals living in virtual registers;
+    arrays are always program globals, so every array is addressable as a
+    data object. 32-bit integer arrays ([i32] elements) model the C [int]
+    index arrays of the NPB benchmarks (colidx, grid_points, ...). *)
+
+type ty = Tbool | Ti32 | Ti64 | Tf64
+
+type bin =
+  | Badd | Bsub | Bmul | Bdiv | Brem
+  | Bland | Blor | Blxor
+  | Bshl | Bshr | Bashr
+
+type cmp = Clt | Cle | Cgt | Cge | Ceq | Cne
+
+type expr =
+  | Ebool of bool
+  | Ei64 of int64
+  | Ef64 of float
+  | Evar of string
+  | Eload of string * expr        (** [g\[e\]] *)
+  | Ebin of bin * expr * expr
+  | Ecmp of cmp * expr * expr
+  | Eand of expr * expr           (** short-circuit *)
+  | Eor of expr * expr            (** short-circuit *)
+  | Enot of expr
+  | Eneg of expr
+  | Ecall of string * expr list
+  | Ecast of ty * expr
+
+type stmt =
+  | Slocal of string * ty * expr  (** declare and initialize a local scalar *)
+  | Sassign of string * expr
+  | Sstore of string * expr * expr  (** [g\[e1\] = e2] *)
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sfor of string * expr * expr * stmt list
+      (** [for (v = lo; v < hi; v++) body]; [hi] re-evaluated each trip *)
+  | Sbreak
+  | Sexpr of expr                 (** call evaluated for its effects *)
+  | Sreturn of expr option
+
+type fundef = {
+  name : string;
+  params : (string * ty) list;
+  ret : ty option;
+  body : stmt list;
+}
+
+type program = {
+  globals : Moard_ir.Program.global list;
+  funs : fundef list;
+}
+
+(** Combinators for writing kernels concisely. Kernels [open Ast.Dsl]
+    locally; the arithmetic operators intentionally shadow the stdlib ones
+    inside that scope. *)
+module Dsl = struct
+  let i n = Ei64 (Int64.of_int n)
+  let i64 n = Ei64 n
+  let f x = Ef64 x
+  let b x = Ebool x
+  let v name = Evar name
+
+  let ( .%() ) name e = Eload (name, e)
+
+  let ( + ) a b = Ebin (Badd, a, b)
+  let ( - ) a b = Ebin (Bsub, a, b)
+  let ( * ) a b = Ebin (Bmul, a, b)
+  let ( / ) a b = Ebin (Bdiv, a, b)
+  let ( % ) a b = Ebin (Brem, a, b)
+  let neg a = Eneg a
+
+  let ( land ) a b = Ebin (Bland, a, b)
+  let ( lor ) a b = Ebin (Blor, a, b)
+  let ( lxor ) a b = Ebin (Blxor, a, b)
+  let ( lsl ) a b = Ebin (Bshl, a, b)
+  let ( lsr ) a b = Ebin (Bshr, a, b)
+  let ( asr ) a b = Ebin (Bashr, a, b)
+
+  let ( < ) a b = Ecmp (Clt, a, b)
+  let ( <= ) a b = Ecmp (Cle, a, b)
+  let ( > ) a b = Ecmp (Cgt, a, b)
+  let ( >= ) a b = Ecmp (Cge, a, b)
+  let ( == ) a b = Ecmp (Ceq, a, b)
+  let ( != ) a b = Ecmp (Cne, a, b)
+
+  let ( && ) a b = Eand (a, b)
+  let ( || ) a b = Eor (a, b)
+  let not_ a = Enot a
+
+  let call name args = Ecall (name, args)
+  let sqrt_ a = Ecall ("sqrt", [ a ])
+  let fabs_ a = Ecall ("fabs", [ a ])
+  let sin_ a = Ecall ("sin", [ a ])
+  let cos_ a = Ecall ("cos", [ a ])
+  let exp_ a = Ecall ("exp", [ a ])
+  let log_ a = Ecall ("log", [ a ])
+  let pow_ a e = Ecall ("pow", [ a; e ])
+  let fmin_ a c = Ecall ("fmin", [ a; c ])
+  let fmax_ a c = Ecall ("fmax", [ a; c ])
+
+  let to_f e = Ecast (Tf64, e)
+  let to_i e = Ecast (Ti64, e)
+
+  let local name ty e = Slocal (name, ty, e)
+  let int_ name e = Slocal (name, Ti64, e)
+  let flt_ name e = Slocal (name, Tf64, e)
+  let ( <-- ) name e = Sassign (name, e)
+  let ( .%()<- ) name idx e = Sstore (name, idx, e)
+  let if_ c t e = Sif (c, t, e)
+  let when_ c t = Sif (c, t, [])
+  let while_ c body = Swhile (c, body)
+  let for_ var lo hi body = Sfor (var, lo, hi, body)
+  let break_ = Sbreak
+  let do_ e = Sexpr e
+  let ret e = Sreturn (Some e)
+  let ret_void = Sreturn None
+
+  let fn name ?(params = []) ?ret body = { name; params; ret; body }
+
+  let garr_f64 name elems =
+    { Moard_ir.Program.gname = name; gty = Moard_ir.Types.F64; gelems = elems;
+      ginit = Moard_ir.Program.Zeros }
+
+  let garr_f64_init name values =
+    { Moard_ir.Program.gname = name; gty = Moard_ir.Types.F64;
+      gelems = Array.length values; ginit = Moard_ir.Program.Floats values }
+
+  let garr_i64 name elems =
+    { Moard_ir.Program.gname = name; gty = Moard_ir.Types.I64; gelems = elems;
+      ginit = Moard_ir.Program.Zeros }
+
+  let garr_i64_init name values =
+    { Moard_ir.Program.gname = name; gty = Moard_ir.Types.I64;
+      gelems = Array.length values; ginit = Moard_ir.Program.I64s values }
+
+  let garr_i32 name elems =
+    { Moard_ir.Program.gname = name; gty = Moard_ir.Types.I32; gelems = elems;
+      ginit = Moard_ir.Program.Zeros }
+
+  let garr_i32_init name values =
+    { Moard_ir.Program.gname = name; gty = Moard_ir.Types.I32;
+      gelems = Array.length values; ginit = Moard_ir.Program.I32s values }
+end

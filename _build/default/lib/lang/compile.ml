@@ -1,0 +1,351 @@
+module I = Moard_ir.Instr
+module T = Moard_ir.Types
+module P = Moard_ir.Program
+module B = Moard_ir.Builder
+module Bitval = Moard_bits.Bitval
+open Ast
+
+exception Type_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let string_of_ty = function
+  | Tbool -> "bool"
+  | Ti32 -> "i32"
+  | Ti64 -> "i64"
+  | Tf64 -> "f64"
+
+type env = {
+  b : B.t;
+  vars : (string, I.reg * ty) Hashtbl.t;
+  funs : (string, fundef) Hashtbl.t;
+  globals : (string, P.global) Hashtbl.t;
+  fname : string;
+  fret : ty option;
+  mutable loop_exits : int list;
+}
+
+let lookup_var env name =
+  match Hashtbl.find_opt env.vars name with
+  | Some x -> x
+  | None -> err "%s: unknown variable %s" env.fname name
+
+let lookup_global env name =
+  match Hashtbl.find_opt env.globals name with
+  | Some g -> g
+  | None -> err "%s: unknown array %s" env.fname name
+
+let imm_i64 n = I.Imm (Bitval.of_int64 n)
+let imm_f64 x = I.Imm (Bitval.of_float x)
+let imm_bool x = I.Imm (Bitval.of_bool x)
+
+let ibin_of = function
+  | Badd -> I.Add | Bsub -> I.Sub | Bmul -> I.Mul | Bdiv -> I.Sdiv
+  | Brem -> I.Srem | Bland -> I.And | Blor -> I.Or | Blxor -> I.Xor
+  | Bshl -> I.Shl | Bshr -> I.Lshr | Bashr -> I.Ashr
+
+let fbin_of = function
+  | Badd -> Some I.Fadd | Bsub -> Some I.Fsub
+  | Bmul -> Some I.Fmul | Bdiv -> Some I.Fdiv
+  | Brem | Bland | Blor | Blxor | Bshl | Bshr | Bashr -> None
+
+let icmp_of = function
+  | Clt -> I.Islt | Cle -> I.Isle | Cgt -> I.Isgt | Cge -> I.Isge
+  | Ceq -> I.Ieq | Cne -> I.Ine
+
+let fcmp_of = function
+  | Clt -> I.Folt | Cle -> I.Fole | Cgt -> I.Fogt | Cge -> I.Foge
+  | Ceq -> I.Foeq | Cne -> I.Fone
+
+(* Address of g[idx]; returns the operand holding the address and the
+   element type. *)
+let rec addr_of env gname idx =
+  let g = lookup_global env gname in
+  let iop, ity = expr env idx in
+  if ity <> Ti64 then err "%s: index into %s must be integer" env.fname gname;
+  let scale = T.size g.P.gty in
+  let a = B.gep env.b ~base:(I.Glob gname) ~index:iop ~scale in
+  (I.Reg a, g.P.gty)
+
+(* Compile an expression; returns its operand and MiniC type (Ti32 never
+   escapes: i32 loads are widened immediately). *)
+and expr env e : I.operand * ty =
+  match e with
+  | Ebool x -> (imm_bool x, Tbool)
+  | Ei64 n -> (imm_i64 n, Ti64)
+  | Ef64 x -> (imm_f64 x, Tf64)
+  | Evar name ->
+    let r, ty = lookup_var env name in
+    (I.Reg r, ty)
+  | Eload (gname, idx) -> (
+    let a, ety = addr_of env gname idx in
+    let r = B.load env.b ety a in
+    match ety with
+    | T.F64 -> (I.Reg r, Tf64)
+    | T.I64 -> (I.Reg r, Ti64)
+    | T.I32 ->
+      let wide = B.cast env.b I.Sext_to_i64 (I.Reg r) in
+      (I.Reg wide, Ti64)
+    | T.I1 | T.Ptr -> err "%s: unsupported array element type" env.fname)
+  | Eneg a -> (
+    let op, ty = expr env a in
+    match ty with
+    | Ti64 -> (I.Reg (B.ibin env.b I.Sub T.I64 (imm_i64 0L) op), Ti64)
+    | Tf64 -> (I.Reg (B.fbin env.b I.Fsub (imm_f64 (-0.0)) op), Tf64)
+    | Tbool | Ti32 -> err "%s: cannot negate a %s" env.fname (string_of_ty ty))
+  | Ebin (op, a, c) -> (
+    let x, tx = expr env a in
+    let y, ty_ = expr env c in
+    match (tx, ty_) with
+    | Ti64, Ti64 -> (I.Reg (B.ibin env.b (ibin_of op) T.I64 x y), Ti64)
+    | Tf64, Tf64 -> (
+      match fbin_of op with
+      | Some fop -> (I.Reg (B.fbin env.b fop x y), Tf64)
+      | None -> err "%s: operator not defined on floats" env.fname)
+    | _ ->
+      err "%s: operand type mismatch (%s vs %s); use to_f/to_i" env.fname
+        (string_of_ty tx) (string_of_ty ty_))
+  | Ecmp (op, a, c) -> (
+    let x, tx = expr env a in
+    let y, ty_ = expr env c in
+    match (tx, ty_) with
+    | Ti64, Ti64 -> (I.Reg (B.icmp env.b (icmp_of op) T.I64 x y), Tbool)
+    | Tf64, Tf64 -> (I.Reg (B.fcmp env.b (fcmp_of op) x y), Tbool)
+    | Tbool, Tbool when op = Ceq || op = Cne ->
+      (I.Reg (B.icmp env.b (icmp_of op) T.I64 x y), Tbool)
+    | _ ->
+      err "%s: comparison type mismatch (%s vs %s)" env.fname
+        (string_of_ty tx) (string_of_ty ty_))
+  | Eand (a, c) -> short_circuit env ~first:a ~second:c ~on_false:true
+  | Eor (a, c) -> short_circuit env ~first:a ~second:c ~on_false:false
+  | Enot a ->
+    let x, tx = expr env a in
+    if tx <> Tbool then err "%s: not on non-bool" env.fname;
+    (I.Reg (B.select env.b x (imm_bool false) (imm_bool true)), Tbool)
+  | Ecall (name, args) -> (
+    match call env name args with
+    | Some (op, ty) -> (op, ty)
+    | None -> err "%s: %s returns no value" env.fname name)
+  | Ecast (target, a) -> (
+    let x, tx = expr env a in
+    match (tx, target) with
+    | Ti64, Tf64 -> (I.Reg (B.cast env.b I.Si_to_fp x), Tf64)
+    | Tf64, Ti64 -> (I.Reg (B.cast env.b I.Fp_to_si x), Ti64)
+    | t, t' when t = t' -> (x, tx)
+    | _ ->
+      err "%s: unsupported cast %s -> %s" env.fname (string_of_ty tx)
+        (string_of_ty target))
+
+(* Short-circuit boolean connectives: evaluate [first]; if it already
+   decides the result, skip [second]. [on_false] true = conjunction. *)
+and short_circuit env ~first ~second ~on_false =
+  let x, tx = expr env first in
+  if tx <> Tbool then err "%s: boolean connective on non-bool" env.fname;
+  let res = B.fresh env.b in
+  let eval_second = B.new_block env.b in
+  let done_ = B.new_block env.b in
+  B.mov env.b res x;
+  if on_false then B.cbr env.b x eval_second done_
+  else B.cbr env.b x done_ eval_second;
+  B.switch_to env.b eval_second;
+  let y, ty_ = expr env second in
+  if ty_ <> Tbool then err "%s: boolean connective on non-bool" env.fname;
+  B.mov env.b res y;
+  B.br env.b done_;
+  B.switch_to env.b done_;
+  (I.Reg res, Tbool)
+
+(* Compile a call; returns None for procedures. *)
+and call env name args : (I.operand * ty) option =
+  match Hashtbl.find_opt env.funs name with
+  | Some fd ->
+    if List.length args <> List.length fd.params then
+      err "%s: %s expects %d arguments" env.fname name (List.length fd.params);
+    let ops =
+      List.map2
+        (fun (pname, pty) arg ->
+          let op, t = expr env arg in
+          if t <> pty then
+            err "%s: argument %s of %s has type %s, expected %s" env.fname
+              pname name (string_of_ty t) (string_of_ty pty);
+          op)
+        fd.params args
+    in
+    (match fd.ret with
+    | Some rty -> Some (I.Reg (B.call env.b name ops), rty)
+    | None ->
+      B.call_void env.b name ops;
+      None)
+  | None -> (
+    match Moard_vm.Semantics.intrinsic_arity name with
+    | Some n ->
+      if List.length args <> n then
+        err "%s: intrinsic %s expects %d arguments" env.fname name n;
+      let ops =
+        List.map
+          (fun arg ->
+            let op, t = expr env arg in
+            if t <> Tf64 then
+              err "%s: intrinsic %s takes f64 arguments" env.fname name;
+            op)
+          args
+      in
+      Some (I.Reg (B.call env.b name ops), Tf64)
+    | None -> err "%s: unknown function %s" env.fname name)
+
+and stmt env s =
+  match s with
+  | Slocal (name, ty, init) ->
+    if ty = Ti32 then err "%s: local scalars are i64/f64/bool" env.fname;
+    let op, t = expr env init in
+    if t <> ty then
+      err "%s: initializer of %s has type %s, expected %s" env.fname name
+        (string_of_ty t) (string_of_ty ty);
+    (* C-style function-wide locals: re-declaring the same name at the
+       same type reuses the slot (common for loop-body temporaries). *)
+    let r =
+      match Hashtbl.find_opt env.vars name with
+      | Some (r, ty') ->
+        if ty' <> ty then
+          err "%s: variable %s redeclared at a different type" env.fname name;
+        r
+      | None -> B.fresh env.b
+    in
+    B.mov env.b r op;
+    Hashtbl.replace env.vars name (r, ty)
+  | Sassign (name, e) ->
+    let r, ty = lookup_var env name in
+    let op, t = expr env e in
+    if t <> ty then
+      err "%s: assigning %s to %s : %s" env.fname (string_of_ty t) name
+        (string_of_ty ty);
+    B.mov env.b r op
+  | Sstore (gname, idx, e) -> (
+    let a, ety = addr_of env gname idx in
+    let op, t = expr env e in
+    match (ety, t) with
+    | T.F64, Tf64 -> B.store env.b T.F64 ~value:op ~addr:a
+    | T.I64, Ti64 -> B.store env.b T.I64 ~value:op ~addr:a
+    | T.I32, Ti64 ->
+      let narrow = B.cast env.b I.Trunc_to_i32 op in
+      B.store env.b T.I32 ~value:(I.Reg narrow) ~addr:a
+    | _ ->
+      err "%s: storing %s into %s array %s" env.fname (string_of_ty t)
+        (T.to_string ety) gname)
+  | Sif (c, then_, else_) ->
+    let cop, ct = expr env c in
+    if ct <> Tbool then err "%s: if condition must be bool" env.fname;
+    let bt = B.new_block env.b in
+    let be = B.new_block env.b in
+    let join = B.new_block env.b in
+    B.cbr env.b cop bt be;
+    B.switch_to env.b bt;
+    List.iter (stmt env) then_;
+    B.br env.b join;
+    B.switch_to env.b be;
+    List.iter (stmt env) else_;
+    B.br env.b join;
+    B.switch_to env.b join
+  | Swhile (c, body) ->
+    let header = B.new_block env.b in
+    let bbody = B.new_block env.b in
+    let exit_ = B.new_block env.b in
+    B.br env.b header;
+    B.switch_to env.b header;
+    let cop, ct = expr env c in
+    if ct <> Tbool then err "%s: while condition must be bool" env.fname;
+    B.cbr env.b cop bbody exit_;
+    B.switch_to env.b bbody;
+    env.loop_exits <- exit_ :: env.loop_exits;
+    List.iter (stmt env) body;
+    env.loop_exits <- List.tl env.loop_exits;
+    B.br env.b header;
+    B.switch_to env.b exit_
+  | Sfor (var, lo, hi, body) ->
+    if Hashtbl.mem env.vars var then
+      err "%s: loop variable %s shadows an existing variable" env.fname var;
+    let lop, lt = expr env lo in
+    if lt <> Ti64 then err "%s: for bounds must be integers" env.fname;
+    let r = B.fresh env.b in
+    B.mov env.b r lop;
+    Hashtbl.replace env.vars var (r, Ti64);
+    let header = B.new_block env.b in
+    let bbody = B.new_block env.b in
+    let exit_ = B.new_block env.b in
+    B.br env.b header;
+    B.switch_to env.b header;
+    let hop, ht = expr env hi in
+    if ht <> Ti64 then err "%s: for bounds must be integers" env.fname;
+    let c = B.icmp env.b I.Islt T.I64 (I.Reg r) hop in
+    B.cbr env.b (I.Reg c) bbody exit_;
+    B.switch_to env.b bbody;
+    env.loop_exits <- exit_ :: env.loop_exits;
+    List.iter (stmt env) body;
+    env.loop_exits <- List.tl env.loop_exits;
+    let next = B.ibin env.b I.Add T.I64 (I.Reg r) (imm_i64 1L) in
+    B.mov env.b r (I.Reg next);
+    B.br env.b header;
+    B.switch_to env.b exit_;
+    Hashtbl.remove env.vars var
+  | Sbreak -> (
+    match env.loop_exits with
+    | exit_ :: _ ->
+      B.br env.b exit_;
+      B.switch_to env.b (B.new_block env.b)
+    | [] -> err "%s: break outside a loop" env.fname)
+  | Sexpr e ->
+    (match e with
+    | Ecall (name, args) -> ignore (call env name args)
+    | _ -> ignore (expr env e))
+  | Sreturn eopt ->
+    (match (eopt, env.fret) with
+    | None, None -> B.ret env.b None
+    | Some e, Some rty ->
+      let op, t = expr env e in
+      if t <> rty then
+        err "%s: returning %s, expected %s" env.fname (string_of_ty t)
+          (string_of_ty rty);
+      B.ret env.b (Some op)
+    | None, Some _ -> err "%s: missing return value" env.fname
+    | Some _, None -> err "%s: returning a value from a procedure" env.fname);
+    B.switch_to env.b (B.new_block env.b)
+
+let compile_fun ~funs ~globals (fd : fundef) =
+  let b = B.create ~name:fd.name ~nparams:(List.length fd.params) in
+  let vars = Hashtbl.create 16 in
+  List.iteri
+    (fun i (pname, pty) ->
+      if pty = Ti32 then raise (Type_error "i32 parameters are unsupported");
+      Hashtbl.replace vars pname (i, pty))
+    fd.params;
+  let env =
+    { b; vars; funs; globals; fname = fd.name; fret = fd.ret; loop_exits = [] }
+  in
+  List.iter (stmt env) fd.body;
+  (* Fallback terminator for the control path that falls off the end. *)
+  (match fd.ret with
+  | None -> B.ret b None
+  | Some Tf64 -> B.ret b (Some (imm_f64 0.0))
+  | Some Tbool -> B.ret b (Some (imm_bool false))
+  | Some _ -> B.ret b (Some (imm_i64 0L)));
+  B.finish b
+
+let program (p : Ast.program) =
+  let funs = Hashtbl.create 16 in
+  List.iter
+    (fun (fd : fundef) ->
+      if Hashtbl.mem funs fd.name then
+        raise (Type_error ("duplicate function " ^ fd.name));
+      Hashtbl.replace funs fd.name fd)
+    p.funs;
+  let globals = Hashtbl.create 16 in
+  List.iter
+    (fun (g : P.global) -> Hashtbl.replace globals g.P.gname g)
+    p.globals;
+  let compiled = List.map (compile_fun ~funs ~globals) p.funs in
+  { P.globals = p.globals; funcs = compiled }
+
+let check p =
+  match program p with
+  | (_ : P.t) -> Ok ()
+  | exception Type_error msg -> Error msg

@@ -1,0 +1,15 @@
+(** Lowering MiniC to the IR.
+
+    Typing is performed during lowering: expressions are typed bottom-up,
+    32-bit array loads are widened to i64 through an explicit [sext]
+    instruction (the widening cast is then the operation that consumes the
+    element, with 32 single-bit error patterns — exactly how an LLVM front
+    end compiles C [int] arrays), and type clashes raise {!Type_error}. *)
+
+exception Type_error of string
+
+val program : Ast.program -> Moard_ir.Program.t
+(** @raise Type_error on any ill-typed construct. *)
+
+val check : Ast.program -> (unit, string) result
+(** Type-check without keeping the compiled program. *)

@@ -1,0 +1,1 @@
+lib/opt/passes.ml: Array Hashtbl List Moard_bits Moard_ir Moard_vm Option

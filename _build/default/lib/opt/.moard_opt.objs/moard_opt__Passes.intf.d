@@ -1,0 +1,1 @@
+lib/opt/passes.mli: Moard_ir

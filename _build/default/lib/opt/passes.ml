@@ -1,0 +1,182 @@
+module I = Moard_ir.Instr
+module P = Moard_ir.Program
+module S = Moard_vm.Semantics
+module Bitval = Moard_bits.Bitval
+
+let map_blocks f (fn : P.func) =
+  { fn with P.blocks = Array.map f fn.P.blocks }
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding                                                    *)
+
+let imm_of = function I.Imm v -> Some v | I.Reg _ | I.Glob _ -> None
+
+let fold_instr instr =
+  let imm2 a b k =
+    match (imm_of a, imm_of b) with
+    | Some x, Some y -> k x y
+    | _ -> None
+  in
+  match instr with
+  | I.Ibin (d, op, ty, a, b) ->
+    imm2 a b (fun x y ->
+        match S.ibin op ty x y with
+        | Ok r -> Some (I.Mov (d, I.Imm r))
+        | Error _ -> None)
+  | I.Fbin (d, op, a, b) ->
+    imm2 a b (fun x y -> Some (I.Mov (d, I.Imm (S.fbin op x y))))
+  | I.Icmp (d, op, _, a, b) ->
+    imm2 a b (fun x y -> Some (I.Mov (d, I.Imm (S.icmp op x y))))
+  | I.Fcmp (d, op, a, b) ->
+    imm2 a b (fun x y -> Some (I.Mov (d, I.Imm (S.fcmp op x y))))
+  | I.Cast (d, c, a) ->
+    Option.map (fun x -> I.Mov (d, I.Imm (S.cast c x))) (imm_of a)
+  | I.Gep (d, base, index, scale) ->
+    imm2 base index (fun x y -> Some (I.Mov (d, I.Imm (S.gep x y scale))))
+  | I.Select (d, c, x, y) ->
+    Option.map
+      (fun cv -> I.Mov (d, if Bitval.to_bool cv then x else y))
+      (imm_of c)
+  | _ -> None
+
+let const_fold fn =
+  map_blocks
+    (Array.map (fun instr ->
+         match fold_instr instr with Some instr' -> instr' | None -> instr))
+    fn
+
+(* ------------------------------------------------------------------ *)
+(* Local copy propagation                                              *)
+
+(* Map register -> known operand value (another register or an immediate).
+   Invalidated when either side is redefined. *)
+let copy_prop fn =
+  map_blocks
+    (fun block ->
+      let known : (int, I.operand) Hashtbl.t = Hashtbl.create 8 in
+      let invalidate r =
+        Hashtbl.remove known r;
+        Hashtbl.iter
+          (fun k src ->
+            match src with
+            | I.Reg r' when r' = r -> Hashtbl.remove known k
+            | _ -> ())
+          (Hashtbl.copy known)
+      in
+      let subst op =
+        match op with
+        | I.Reg r -> (
+          match Hashtbl.find_opt known r with Some src -> src | None -> op)
+        | _ -> op
+      in
+      Array.map
+        (fun instr ->
+          let instr' =
+            match instr with
+            | I.Mov (d, a) -> I.Mov (d, subst a)
+            | I.Ibin (d, op, ty, a, b) -> I.Ibin (d, op, ty, subst a, subst b)
+            | I.Fbin (d, op, a, b) -> I.Fbin (d, op, subst a, subst b)
+            | I.Icmp (d, op, ty, a, b) -> I.Icmp (d, op, ty, subst a, subst b)
+            | I.Fcmp (d, op, a, b) -> I.Fcmp (d, op, subst a, subst b)
+            | I.Cast (d, c, a) -> I.Cast (d, c, subst a)
+            | I.Load (d, ty, a) -> I.Load (d, ty, subst a)
+            | I.Store (ty, v, a) -> I.Store (ty, subst v, subst a)
+            | I.Gep (d, b, ix, s) -> I.Gep (d, subst b, subst ix, s)
+            | I.Select (d, c, x, y) -> I.Select (d, subst c, subst x, subst y)
+            | I.Call (d, f, args) -> I.Call (d, f, List.map subst args)
+            | I.Br _ -> instr
+            | I.Cbr (c, l1, l2) -> I.Cbr (subst c, l1, l2)
+            | I.Ret (Some v) -> I.Ret (Some (subst v))
+            | I.Ret None -> instr
+          in
+          (match I.writes instr' with
+          | Some d ->
+            invalidate d;
+            (match instr' with
+            | I.Mov (d, (I.Imm _ as src)) -> Hashtbl.replace known d src
+            | I.Mov (d, (I.Reg r as src)) when r <> d ->
+              Hashtbl.replace known d src
+            | _ -> ())
+          | None -> ());
+          instr')
+        block)
+    fn
+
+(* ------------------------------------------------------------------ *)
+(* Branch simplification                                               *)
+
+let branch_simplify fn =
+  map_blocks
+    (Array.map (function
+      | I.Cbr (I.Imm c, l1, l2) ->
+        I.Br (if Bitval.to_bool c then l1 else l2)
+      | instr -> instr))
+    fn
+
+(* ------------------------------------------------------------------ *)
+(* Dead code elimination                                               *)
+
+let has_side_effect = function
+  | I.Store _ | I.Call _ | I.Br _ | I.Cbr _ | I.Ret _ -> true
+  | I.Ibin (_, (I.Sdiv | I.Srem), _, _, _) -> true (* may trap *)
+  | I.Load _ ->
+    (* A dead load cannot change the outcome (it may at most hide an
+       out-of-bounds trap for an address the program computes but never
+       uses; MiniC-generated code never does that). *)
+    false
+  | _ -> false
+
+let dce fn =
+  let changed = ref true in
+  let blocks = ref fn.P.blocks in
+  while !changed do
+    changed := false;
+    let used = Array.make fn.P.nregs false in
+    Array.iter
+      (Array.iter (fun instr ->
+           List.iter
+             (function I.Reg r -> used.(r) <- true | _ -> ())
+             (I.reads instr)))
+      !blocks;
+    blocks :=
+      Array.map
+        (fun block ->
+          Array.to_list block
+          |> List.filter (fun instr ->
+                 let keep =
+                   has_side_effect instr
+                   ||
+                   match I.writes instr with
+                   | Some d -> used.(d)
+                   | None -> true
+                 in
+                 if not keep then changed := true;
+                 keep)
+          |> Array.of_list)
+        !blocks
+  done;
+  { fn with P.blocks = !blocks }
+
+(* ------------------------------------------------------------------ *)
+
+let default_passes = [ const_fold; copy_prop; branch_simplify; dce ]
+
+let optimize_func ?(passes = default_passes) fn =
+  let round fn = List.fold_left (fun fn pass -> pass fn) fn passes in
+  let rec go fn n =
+    if n = 0 then fn
+    else
+      let fn' = round fn in
+      if fn' = fn then fn else go fn' (n - 1)
+  in
+  go fn 8
+
+let optimize ?(level = 2) (p : P.t) =
+  let passes =
+    match level with
+    | 0 -> []
+    | 1 -> [ const_fold; branch_simplify ]
+    | _ -> default_passes
+  in
+  if passes = [] then p
+  else { p with P.funcs = List.map (optimize_func ~passes) p.P.funcs }

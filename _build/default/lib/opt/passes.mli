@@ -1,0 +1,41 @@
+(** Classic scalar optimizations over the IR.
+
+    These exist for the paper's §VII-A study: compiler optimization changes
+    the operation mix and the lifetimes of values, and therefore changes a
+    data object's aDVF — the same program can be more or less resilient
+    after optimization. The passes preserve observable behaviour (final
+    memory, return value, traps), which the test suite checks by
+    differential execution.
+
+    All passes are intraprocedural and conservative: loads, stores, calls
+    and terminators are never removed or reordered. *)
+
+val const_fold : Moard_ir.Program.func -> Moard_ir.Program.func
+(** Evaluates operations whose operands are all immediates, using the very
+    {!Moard_vm.Semantics} the interpreter runs on. Operations that would
+    trap (division by an immediate zero) are left in place. *)
+
+val copy_prop : Moard_ir.Program.func -> Moard_ir.Program.func
+(** Within each block, forwards the sources of [Mov] instructions and of
+    immediate-valued definitions into later operand uses, invalidating on
+    redefinition. *)
+
+val branch_simplify : Moard_ir.Program.func -> Moard_ir.Program.func
+(** Rewrites [Cbr] on an immediate condition into [Br]. *)
+
+val dce : Moard_ir.Program.func -> Moard_ir.Program.func
+(** Deletes pure instructions whose destination register is never read
+    afterwards (whole-function, flow-insensitive use counting; iterates to
+    a fixpoint). Loads are considered pure and removable — a dead load
+    cannot affect the outcome, though removing it removes a latent-error
+    site, which is precisely the §VII-A effect under study. *)
+
+val optimize_func :
+  ?passes:(Moard_ir.Program.func -> Moard_ir.Program.func) list ->
+  Moard_ir.Program.func -> Moard_ir.Program.func
+(** Applies the pass list (default: all of the above) to a fixpoint,
+    bounded at 8 rounds. *)
+
+val optimize : ?level:int -> Moard_ir.Program.t -> Moard_ir.Program.t
+(** Optimizes every function. [level] 0 = identity, 1 = const-fold +
+    branch-simplify, 2 (default) = everything. *)

@@ -1,0 +1,1 @@
+lib/parallel/parallel_model.ml: Domain List Moard_core Moard_inject

@@ -1,0 +1,1 @@
+lib/parallel/parallel_model.mli: Moard_core Moard_inject

@@ -1,0 +1,29 @@
+module Model = Moard_core.Model
+module Advf = Moard_core.Advf
+module Context = Moard_inject.Context
+
+let default_domains () = min 8 (Domain.recommended_domain_count ())
+
+let analyze ?options ?domains ~workload ~object_name () =
+  let n = match domains with Some d -> max 1 d | None -> default_domains () in
+  if n = 1 then
+    Model.analyze ?options (Context.make (workload ())) ~object_name
+  else
+    let worker w =
+      Domain.spawn (fun () ->
+          (* Each domain owns a full private context: machine, golden run,
+             trace and caches. Nothing is shared, so no synchronization is
+             needed and determinism is preserved. *)
+          let ctx = Context.make (workload ()) in
+          Model.analyze ?options
+            ~site_filter:(fun i -> i mod n = w)
+            ctx ~object_name)
+    in
+    let handles = List.init n worker in
+    Advf.merge (List.map Domain.join handles)
+
+let analyze_targets ?options ?domains ~workload () =
+  let targets = (workload ()).Moard_inject.Workload.targets in
+  List.map
+    (fun object_name -> analyze ?options ?domains ~workload ~object_name ())
+    targets

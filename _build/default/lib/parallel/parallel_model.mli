@@ -1,0 +1,34 @@
+(** Multicore aDVF analysis.
+
+    The paper leans on a 256-core cluster to make the analysis practical
+    ("MOARD allows a user to easily leverage hardware resource to
+    parallelize the analysis"); this is the shared-memory version on
+    OCaml 5 domains. Consumption sites of the target object are dealt
+    round-robin to [domains] workers; each worker builds its own private
+    context (the golden run is deterministic, so every worker sees the
+    identical trace) and resolves its share with its own caches; the
+    per-subset reports are merged with {!Moard_core.Advf.merge}.
+
+    Results are bit-identical to the sequential analysis — verdicts are
+    deterministic and site subsets are disjoint — except for the cache-hit
+    counters, which depend on the partition. *)
+
+val analyze :
+  ?options:Moard_core.Model.options ->
+  ?domains:int ->
+  workload:(unit -> Moard_inject.Workload.t) ->
+  object_name:string ->
+  unit ->
+  Moard_core.Advf.report
+(** [domains] defaults to [Domain.recommended_domain_count ()], capped at
+    8. [workload] is called once per worker; it must build the same
+    workload every time (all registry constructors do). *)
+
+val analyze_targets :
+  ?options:Moard_core.Model.options ->
+  ?domains:int ->
+  workload:(unit -> Moard_inject.Workload.t) ->
+  unit ->
+  Moard_core.Advf.report list
+(** Parallel {!analyze} for every declared target object, one after the
+    other (parallelism is within each object's site set). *)

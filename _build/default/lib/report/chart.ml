@@ -1,0 +1,33 @@
+let clamp01 x = Float.max 0.0 (Float.min 1.0 x)
+
+let bar ?(width = 40) value =
+  let n = int_of_float (Float.round (clamp01 value *. float_of_int width)) in
+  String.make n '#' ^ String.make (width - n) ' '
+
+let stacked ?(width = 40) segments =
+  let buf = Buffer.create width in
+  let used = ref 0 in
+  List.iter
+    (fun (glyph, value) ->
+      let n =
+        int_of_float (Float.round (clamp01 value *. float_of_int width))
+      in
+      let n = min n (width - !used) in
+      Buffer.add_string buf (String.make n glyph);
+      used := !used + n)
+    segments;
+  Buffer.add_string buf (String.make (max 0 (width - !used)) ' ');
+  Buffer.contents buf
+
+let row ?(label_width = 16) ~label ~value body =
+  Printf.sprintf "%-*s %6.4f |%s|" label_width label value body
+
+let whisker ?(width = 40) ~center ~margin () =
+  let pos x = int_of_float (Float.round (clamp01 x *. float_of_int (width - 1))) in
+  let lo = pos (center -. margin)
+  and hi = pos (center +. margin)
+  and c = pos center in
+  String.init width (fun t ->
+      if t = c then '#'
+      else if t >= lo && t <= hi then '-'
+      else ' ')

@@ -1,0 +1,16 @@
+(** Text rendering of the evaluation figures: stacked horizontal bars for
+    the aDVF breakdowns, grouped bars with error whiskers for the RFI
+    comparison. *)
+
+val bar : ?width:int -> float -> string
+(** A unit-interval bar, e.g. [0.62] over width 40. *)
+
+val stacked : ?width:int -> (char * float) list -> string
+(** A stacked unit-interval bar; each segment drawn with its own glyph. *)
+
+val row :
+  ?label_width:int -> label:string -> value:float -> string -> string
+(** ["label  0.6234 |######    |"]. *)
+
+val whisker : ?width:int -> center:float -> margin:float -> unit -> string
+(** A bar with a ±margin whisker for confidence intervals. *)

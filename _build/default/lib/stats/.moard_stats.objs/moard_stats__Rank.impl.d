@@ -1,0 +1,1 @@
+lib/stats/rank.ml: Array Float Fun Int

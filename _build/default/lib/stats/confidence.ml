@@ -1,0 +1,10 @@
+let margin ?(z = 1.96) ~n p =
+  if n <= 0 then invalid_arg "Confidence.margin: n";
+  z *. sqrt (p *. (1.0 -. p) /. float_of_int n)
+
+let tests_needed ?(z = 1.96) ?(e = 0.02) ?(p = 0.5) () =
+  if e <= 0.0 then invalid_arg "Confidence.tests_needed: e";
+  int_of_float (Float.ceil (z *. z *. p *. (1.0 -. p) /. (e *. e)))
+
+let intervals_overlap ~p1 ~m1 ~p2 ~m2 =
+  Float.abs (p1 -. p2) <= m1 +. m2

@@ -1,0 +1,13 @@
+(** Confidence machinery for fault-injection campaigns, after the
+    statistical fault-injection methodology the paper cites [26]. *)
+
+val margin : ?z:float -> n:int -> float -> float
+(** [margin ~n p]: half-width of the binomial confidence interval for
+    success rate [p] over [n] trials; [z] defaults to 1.96 (95%). *)
+
+val tests_needed : ?z:float -> ?e:float -> ?p:float -> unit -> int
+(** Number of fault-injection tests for margin [e] (default 0.02) at the
+    given confidence, worst case [p] = 0.5. *)
+
+val intervals_overlap : p1:float -> m1:float -> p2:float -> m2:float -> bool
+(** Whether two estimates are statistically indistinguishable. *)

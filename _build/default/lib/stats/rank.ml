@@ -1,0 +1,30 @@
+let order a =
+  let idx = Array.init (Array.length a) Fun.id in
+  Array.sort
+    (fun i j ->
+      match Float.compare a.(j) a.(i) with 0 -> Int.compare i j | c -> c)
+    idx;
+  idx
+
+let ranks a =
+  let ord = order a in
+  let r = Array.make (Array.length a) 0 in
+  Array.iteri (fun rank i -> r.(i) <- rank) ord;
+  r
+
+let same_order a b = ranks a = ranks b
+
+let kendall_tau a b =
+  let n = Array.length a in
+  if n <> Array.length b then invalid_arg "Rank.kendall_tau: length mismatch";
+  if n < 2 then invalid_arg "Rank.kendall_tau: need at least 2 items";
+  let concordant = ref 0 and discordant = ref 0 in
+  for i = 0 to n - 2 do
+    for j = i + 1 to n - 1 do
+      let x = Float.compare a.(i) a.(j) and y = Float.compare b.(i) b.(j) in
+      if x * y > 0 then incr concordant
+      else if x * y < 0 then incr discordant
+    done
+  done;
+  let pairs = float_of_int (n * (n - 1) / 2) in
+  float_of_int (!concordant - !discordant) /. pairs

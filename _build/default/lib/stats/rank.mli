@@ -1,0 +1,16 @@
+(** Rank-order comparison, used to validate that aDVF orders data objects
+    the same way exhaustive fault injection does (paper §V-B, Fig. 6). *)
+
+val order : float array -> int array
+(** Indices sorted by descending value: [order a].(0) is the index of the
+    largest element. Ties broken by index for determinism. *)
+
+val ranks : float array -> int array
+(** [ranks a].(i) is the 0-based rank of element i (0 = largest). *)
+
+val same_order : float array -> float array -> bool
+(** Whether two score vectors rank the items identically. *)
+
+val kendall_tau : float array -> float array -> float
+(** Kendall rank-correlation coefficient in [-1, 1].
+    @raise Invalid_argument on length mismatch or fewer than 2 items. *)

@@ -1,0 +1,24 @@
+let check a = if Array.length a = 0 then invalid_arg "Summary: empty array"
+
+let mean a =
+  check a;
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let variance a =
+  check a;
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else
+    let m = mean a in
+    Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 a
+    /. float_of_int (n - 1)
+
+let stddev a = sqrt (variance a)
+
+let minimum a =
+  check a;
+  Array.fold_left Float.min a.(0) a
+
+let maximum a =
+  check a;
+  Array.fold_left Float.max a.(0) a

@@ -1,0 +1,11 @@
+(** Basic descriptive statistics used by the evaluation harness. *)
+
+val mean : float array -> float
+(** @raise Invalid_argument on an empty array. *)
+
+val variance : float array -> float
+(** Sample variance (n-1 denominator); 0 for singletons. *)
+
+val stddev : float array -> float
+val minimum : float array -> float
+val maximum : float array -> float

@@ -1,0 +1,1 @@
+lib/trace/consume.ml: Array Data_object Event List Moard_bits Moard_ir Tape

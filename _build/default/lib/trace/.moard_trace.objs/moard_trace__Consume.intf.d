@@ -1,0 +1,1 @@
+lib/trace/consume.mli: Data_object Event Moard_bits Tape

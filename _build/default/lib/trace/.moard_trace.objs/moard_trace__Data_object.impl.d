@@ -1,0 +1,1 @@
+lib/trace/data_object.ml: Format Moard_ir

@@ -1,0 +1,1 @@
+lib/trace/data_object.mli: Format Moard_ir

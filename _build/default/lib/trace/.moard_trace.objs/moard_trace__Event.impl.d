@@ -1,0 +1,1 @@
+lib/trace/event.ml: Array Format Moard_bits Moard_ir

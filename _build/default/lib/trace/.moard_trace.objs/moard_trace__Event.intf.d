@@ -1,0 +1,1 @@
+lib/trace/event.mli: Format Moard_bits Moard_ir

@@ -1,0 +1,1 @@
+lib/trace/registry.ml: Data_object Format List Printf String

@@ -1,0 +1,1 @@
+lib/trace/registry.mli: Data_object Format

@@ -1,0 +1,1 @@
+lib/trace/tape.ml: Array Event Hashtbl List Moard_ir

@@ -1,0 +1,1 @@
+lib/trace/tape.mli: Event

@@ -1,0 +1,75 @@
+module I = Moard_ir.Instr
+
+type kind =
+  | Read of { slot : int }
+  | Store_dest
+
+type t = {
+  event_idx : int;
+  kind : kind;
+  addr : int;
+  elem : int;
+  width : Moard_bits.Bitval.width;
+}
+
+let consuming_event (e : Event.t) =
+  match e.instr with
+  | I.Mov _ | I.Load _ | I.Br _ | I.Ret _ -> false
+  | I.Call _ -> e.callee_frame < 0  (* intrinsics consume, user calls copy *)
+  | I.Ibin _ | I.Fbin _ | I.Icmp _ | I.Fcmp _ | I.Cast _ | I.Store _
+  | I.Gep _ | I.Select _ | I.Cbr _ -> true
+
+let of_event obj (e : Event.t) =
+  let reads =
+    if not (consuming_event e) then []
+    else
+      Array.to_list
+        (Array.mapi
+           (fun slot (r : Event.read) ->
+             match Data_object.elem_of_addr obj r.prov with
+             | Some elem when r.prov >= 0 ->
+               [
+                 {
+                   event_idx = e.idx;
+                   kind = Read { slot };
+                   addr = r.prov;
+                   elem;
+                   width = (r.value : Moard_bits.Bitval.t).width;
+                 };
+               ]
+             | _ -> [])
+           e.reads)
+      |> List.concat
+  in
+  let dest =
+    match e.instr with
+    | I.Store (ty, _, _) -> (
+      match e.write with
+      | Event.Wmem { addr; _ } -> (
+        match Data_object.elem_of_addr obj addr with
+        | Some elem ->
+          [
+            {
+              event_idx = e.idx;
+              kind = Store_dest;
+              addr;
+              elem;
+              width = Moard_ir.Types.width ty;
+            };
+          ]
+        | None -> [])
+      | _ -> [])
+    | _ -> []
+  in
+  reads @ dest
+
+let of_tape ?(segment = fun _ -> true) tape obj =
+  let acc = ref [] in
+  Tape.iter
+    (fun e ->
+      if segment e.Event.iid.Moard_ir.Iid.fn then
+        List.iter (fun c -> acc := c :: !acc) (of_event obj e))
+    tape;
+  List.rev !acc
+
+let patterns t = Moard_bits.Pattern.singles t.width

@@ -1,0 +1,31 @@
+type t = {
+  name : string;
+  base : int;
+  elems : int;
+  ty : Moard_ir.Types.t;
+}
+
+let make ~name ~base ~elems ~ty =
+  if elems <= 0 then invalid_arg "Data_object.make: elems";
+  { name; base; elems; ty }
+
+let elem_size t = Moard_ir.Types.size t.ty
+let bytes t = t.elems * elem_size t
+
+let contains t addr = addr >= t.base && addr < t.base + bytes t
+
+let elem_of_addr t addr =
+  if not (contains t addr) then None
+  else
+    let off = addr - t.base in
+    let sz = elem_size t in
+    if off mod sz = 0 then Some (off / sz) else None
+
+let addr_of_elem t i =
+  if i < 0 || i >= t.elems then invalid_arg "Data_object.addr_of_elem";
+  t.base + (i * elem_size t)
+
+let pp ppf t =
+  Format.fprintf ppf "%s [%d..%d] : %a[%d]" t.name t.base
+    (t.base + bytes t - 1)
+    Moard_ir.Types.pp t.ty t.elems

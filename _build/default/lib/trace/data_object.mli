@@ -1,0 +1,26 @@
+(** A data object: a named, contiguous array of elements at a known address
+    range — what aDVF is computed for. *)
+
+type t = {
+  name : string;
+  base : int;           (** byte address of element 0 *)
+  elems : int;
+  ty : Moard_ir.Types.t; (** element type *)
+}
+
+val make : name:string -> base:int -> elems:int -> ty:Moard_ir.Types.t -> t
+
+val bytes : t -> int
+val elem_size : t -> int
+
+val contains : t -> int -> bool
+(** Whether a byte address falls inside the object. *)
+
+val elem_of_addr : t -> int -> int option
+(** Element index an address points at (must be element-aligned),
+    [None] if outside or misaligned. *)
+
+val addr_of_elem : t -> int -> int
+(** Byte address of element [i]. @raise Invalid_argument if out of range. *)
+
+val pp : Format.formatter -> t -> unit

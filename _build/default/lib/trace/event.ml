@@ -1,0 +1,41 @@
+type read = {
+  value : Moard_bits.Bitval.t;
+  prov : int;
+}
+
+type write =
+  | Wnone
+  | Wreg of { frame : int; reg : Moard_ir.Instr.reg; value : Moard_bits.Bitval.t }
+  | Wmem of { addr : int; value : Moard_bits.Bitval.t; ty : Moard_ir.Types.t }
+
+type t = {
+  idx : int;
+  frame : int;
+  iid : Moard_ir.Iid.t;
+  instr : Moard_ir.Instr.t;
+  reads : read array;
+  write : write;
+  load_addr : int;
+  callee_frame : int;
+  ret_to_frame : int;
+  ret_to_reg : int;
+  taken : int;
+}
+
+let no_prov = -1
+
+let pp ppf e =
+  Format.fprintf ppf "@[<h>#%d f%d %a | %a" e.idx e.frame Moard_ir.Iid.pp e.iid
+    Moard_ir.Instr.pp e.instr;
+  Array.iteri
+    (fun i r ->
+      Format.fprintf ppf " s%d=%a" i Moard_bits.Bitval.pp r.value;
+      if r.prov >= 0 then Format.fprintf ppf "@@%d" r.prov)
+    e.reads;
+  (match e.write with
+  | Wnone -> ()
+  | Wreg { frame; reg; value } ->
+    Format.fprintf ppf " => f%d.r%d=%a" frame reg Moard_bits.Bitval.pp value
+  | Wmem { addr; value; _ } ->
+    Format.fprintf ppf " => [%d]=%a" addr Moard_bits.Bitval.pp value);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,43 @@
+(** Dynamic trace events.
+
+    One event per executed IR instruction — the "operation" of the paper.
+    Events carry everything the model needs without re-executing:
+    the consumed operand values, the provenance of register operands
+    (which memory cell a pure register copy came from — the paper's
+    "tracking register allocation" that associates register values with
+    data objects), the produced value, and inter-frame dataflow for calls
+    and returns so error propagation can be replayed across functions. *)
+
+type read = {
+  value : Moard_bits.Bitval.t;  (** operand value as consumed *)
+  prov : int;
+      (** provenance: memory address whose cell this value is a pure copy
+          of (set by a Load, cleared when the register is redefined by a
+          computation); [-1] when the value is not a direct element copy *)
+}
+
+type write =
+  | Wnone
+  | Wreg of { frame : int; reg : Moard_ir.Instr.reg; value : Moard_bits.Bitval.t }
+  | Wmem of { addr : int; value : Moard_bits.Bitval.t; ty : Moard_ir.Types.t }
+
+type t = {
+  idx : int;            (** dynamic instruction index, 0-based *)
+  frame : int;          (** function invocation id owning the registers *)
+  iid : Moard_ir.Iid.t; (** static identity, for error equivalence *)
+  instr : Moard_ir.Instr.t;
+  reads : read array;   (** one per slot of [Instr.reads instr] *)
+  write : write;
+  load_addr : int;      (** address read by a Load; [-1] otherwise *)
+  callee_frame : int;
+      (** for a Call to a user function: frame id whose param registers
+          received the arguments; [-1] otherwise *)
+  ret_to_frame : int;   (** for Ret: caller frame id; [-1] otherwise *)
+  ret_to_reg : int;     (** for Ret: caller destination register; [-1] if none *)
+  taken : int;          (** for Cbr: label actually taken; [-1] otherwise *)
+}
+
+val no_prov : int
+(** The [-1] sentinel. *)
+
+val pp : Format.formatter -> t -> unit

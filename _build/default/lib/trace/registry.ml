@@ -1,0 +1,35 @@
+type t = { objects : Data_object.t list }
+
+let overlap (a : Data_object.t) (b : Data_object.t) =
+  a.base < b.base + Data_object.bytes b && b.base < a.base + Data_object.bytes a
+
+let of_objects objects =
+  let rec check = function
+    | [] -> ()
+    | (o : Data_object.t) :: rest ->
+      if List.exists (fun (o' : Data_object.t) -> String.equal o.name o'.name) rest
+      then invalid_arg ("Registry: duplicate data object " ^ o.name);
+      (match List.find_opt (overlap o) rest with
+      | Some o' ->
+        invalid_arg
+          (Printf.sprintf "Registry: %s overlaps %s" o.name o'.Data_object.name)
+      | None -> ());
+      check rest
+  in
+  check objects;
+  { objects }
+
+let find t name =
+  List.find (fun (o : Data_object.t) -> String.equal o.name name) t.objects
+
+let find_opt t name =
+  List.find_opt (fun (o : Data_object.t) -> String.equal o.name name) t.objects
+
+let owner t addr = List.find_opt (fun o -> Data_object.contains o addr) t.objects
+
+let objects t = t.objects
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list Data_object.pp)
+    t.objects

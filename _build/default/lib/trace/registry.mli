@@ -1,0 +1,19 @@
+(** The set of data objects of a loaded workload, resolvable by name or by
+    address — the carrier of "data semantics" during trace analysis. *)
+
+type t
+
+val of_objects : Data_object.t list -> t
+(** @raise Invalid_argument on duplicate names or overlapping ranges. *)
+
+val find : t -> string -> Data_object.t
+(** @raise Not_found *)
+
+val find_opt : t -> string -> Data_object.t option
+
+val owner : t -> int -> Data_object.t option
+(** Data object whose range contains a byte address. *)
+
+val objects : t -> Data_object.t list
+
+val pp : Format.formatter -> t -> unit

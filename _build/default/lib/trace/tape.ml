@@ -1,0 +1,95 @@
+type t = {
+  mutable events : Event.t array;
+  mutable len : int;
+  mutable live : live option;
+}
+
+and live = {
+  reg_last : (int * int, int) Hashtbl.t;  (* (frame, reg) -> last read idx *)
+  mem_last : (int, int) Hashtbl.t;        (* addr -> last load idx *)
+}
+
+let dummy : Event.t =
+  {
+    idx = -1;
+    frame = -1;
+    iid = Moard_ir.Iid.make ~fn:"" ~blk:0 ~ip:0;
+    instr = Moard_ir.Instr.Ret None;
+    reads = [||];
+    write = Event.Wnone;
+    load_addr = -1;
+    callee_frame = -1;
+    ret_to_frame = -1;
+    ret_to_reg = -1;
+    taken = -1;
+  }
+
+let create ?(capacity = 4096) () =
+  { events = Array.make (max capacity 16) dummy; len = 0; live = None }
+
+let append t e =
+  if t.len = Array.length t.events then begin
+    let bigger = Array.make (2 * t.len) dummy in
+    Array.blit t.events 0 bigger 0 t.len;
+    t.events <- bigger
+  end;
+  t.events.(t.len) <- e;
+  t.len <- t.len + 1;
+  t.live <- None
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Tape.get";
+  t.events.(i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.events.(i)
+  done
+
+let iteri_from start f t =
+  for i = max 0 start to t.len - 1 do
+    f i t.events.(i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.events.(i)
+  done;
+  !acc
+
+let build_live t =
+  let reg_last = Hashtbl.create 1024 in
+  let mem_last = Hashtbl.create 1024 in
+  (* One forward pass suffices: later updates overwrite earlier ones. *)
+  for i = 0 to t.len - 1 do
+    let e = t.events.(i) in
+    List.iter
+      (fun op ->
+        match (op : Moard_ir.Instr.operand) with
+        | Moard_ir.Instr.Reg r -> Hashtbl.replace reg_last (e.Event.frame, r) i
+        | Moard_ir.Instr.Imm _ | Moard_ir.Instr.Glob _ -> ())
+      (Moard_ir.Instr.reads e.Event.instr);
+    if e.Event.load_addr >= 0 then Hashtbl.replace mem_last e.Event.load_addr i
+  done;
+  { reg_last; mem_last }
+
+let live t =
+  match t.live with
+  | Some l -> l
+  | None ->
+    let l = build_live t in
+    t.live <- Some l;
+    l
+
+let last_reg_read t ~frame ~reg =
+  match Hashtbl.find_opt (live t).reg_last (frame, reg) with
+  | Some i -> i
+  | None -> -1
+
+let last_mem_read t ~addr =
+  match Hashtbl.find_opt (live t).mem_last addr with
+  | Some i -> i
+  | None -> -1

@@ -1,0 +1,30 @@
+(** A growable dynamic-instruction trace, plus the index structures the
+    propagation analysis needs (liveness: the last dynamic position at which
+    each register or memory cell is still consumed). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val append : t -> Event.t -> unit
+val length : t -> int
+val get : t -> int -> Event.t
+(** @raise Invalid_argument if out of range. *)
+
+val iter : (Event.t -> unit) -> t -> unit
+val iteri_from : int -> (int -> Event.t -> unit) -> t -> unit
+(** [iteri_from i f t] applies [f] to events [i .. length-1] in order. *)
+
+val fold : ('a -> Event.t -> 'a) -> 'a -> t -> 'a
+
+(** {2 Liveness indexes}
+
+    Built lazily on first query, in one backward pass over the tape. *)
+
+val last_reg_read : t -> frame:int -> reg:int -> int
+(** Largest event index at which register [reg] of invocation [frame] is
+    consumed (read as an operand, directly or as a call argument);
+    [-1] if never read. *)
+
+val last_mem_read : t -> addr:int -> int
+(** Largest event index at which the memory cell at [addr] is loaded;
+    [-1] if never loaded. *)

@@ -1,0 +1,1 @@
+lib/vm/machine.ml: Array Fault Hashtbl Int64 List Memory Moard_bits Moard_ir Moard_trace Semantics Trap

@@ -1,0 +1,1 @@
+lib/vm/machine.mli: Fault Memory Moard_bits Moard_ir Moard_trace Trap

@@ -1,0 +1,1 @@
+lib/vm/memory.ml: Bytes Char Int64 Moard_bits Moard_ir Trap

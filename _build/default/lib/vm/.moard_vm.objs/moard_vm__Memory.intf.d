@@ -1,0 +1,1 @@
+lib/vm/memory.mli: Moard_bits Moard_ir Trap

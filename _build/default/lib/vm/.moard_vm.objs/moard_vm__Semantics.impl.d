@@ -1,0 +1,1 @@
+lib/vm/semantics.ml: Array Bitval Float Int64 List Moard_bits Moard_ir Option Trap

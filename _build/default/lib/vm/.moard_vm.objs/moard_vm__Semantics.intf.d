@@ -1,0 +1,1 @@
+lib/vm/semantics.mli: Bitval Moard_bits Moard_ir Trap

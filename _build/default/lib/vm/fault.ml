@@ -1,0 +1,19 @@
+type site =
+  | Read of { idx : int; slot : int }
+  | Store_dest of { idx : int }
+
+type t = { site : site; pattern : Moard_bits.Pattern.t }
+
+let read ~idx ~slot pattern = { site = Read { idx; slot }; pattern }
+let store_dest ~idx pattern = { site = Store_dest { idx }; pattern }
+
+let idx t = match t.site with Read { idx; _ } | Store_dest { idx } -> idx
+
+let pp ppf t =
+  match t.site with
+  | Read { idx; slot } ->
+    Format.fprintf ppf "flip %a of slot %d at #%d" Moard_bits.Pattern.pp
+      t.pattern slot idx
+  | Store_dest { idx } ->
+    Format.fprintf ppf "flip %a of store destination at #%d"
+      Moard_bits.Pattern.pp t.pattern idx

@@ -1,0 +1,20 @@
+(** Deterministic fault specification: which dynamic instruction, which
+    consumption site, which error pattern (paper §IV: "dynamic instruction
+    IDs, IDs of the operands ... and the bit locations").
+
+    [Read] flips the operand value as consumed by that one dynamic
+    instruction — the register copy of the data element, exactly what the
+    paper's LLVM-level injector flips. [Store_dest] flips the destination
+    memory cell immediately before the store overwrites it. *)
+
+type site =
+  | Read of { idx : int; slot : int }
+      (** [idx]: dynamic instruction index; [slot]: operand position *)
+  | Store_dest of { idx : int }
+
+type t = { site : site; pattern : Moard_bits.Pattern.t }
+
+val read : idx:int -> slot:int -> Moard_bits.Pattern.t -> t
+val store_dest : idx:int -> Moard_bits.Pattern.t -> t
+val idx : t -> int
+val pp : Format.formatter -> t -> unit

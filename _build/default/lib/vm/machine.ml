@@ -1,0 +1,325 @@
+module Bitval = Moard_bits.Bitval
+module Pattern = Moard_bits.Pattern
+module I = Moard_ir.Instr
+module T = Moard_ir.Types
+module P = Moard_ir.Program
+module Event = Moard_trace.Event
+
+type t = {
+  prog : P.t;
+  mem_bytes : int;
+  bases : (string, int) Hashtbl.t;
+  image : Memory.t;
+}
+
+type outcome =
+  | Finished of Bitval.t option
+  | Trapped of Trap.t
+
+type run = {
+  outcome : outcome;
+  mem : Memory.t;
+  steps : int;
+}
+
+let align8 n = (n + 7) land lnot 7
+
+let init_global mem base (g : P.global) =
+  let sz = T.size g.gty in
+  let store i v = Memory.store_exn mem g.gty (base + (i * sz)) v in
+  match g.ginit with
+  | P.Zeros -> ()
+  | P.Floats a ->
+    if Array.length a <> g.gelems then
+      invalid_arg ("Machine.load: init size mismatch for " ^ g.gname);
+    Array.iteri (fun i f -> store i (Bitval.of_float f)) a
+  | P.I64s a ->
+    if Array.length a <> g.gelems then
+      invalid_arg ("Machine.load: init size mismatch for " ^ g.gname);
+    Array.iteri (fun i x -> store i (Bitval.of_int64 x)) a
+  | P.I32s a ->
+    if Array.length a <> g.gelems then
+      invalid_arg ("Machine.load: init size mismatch for " ^ g.gname);
+    Array.iteri (fun i x -> store i (Bitval.of_int32 x)) a
+
+let load ?mem_bytes prog =
+  Moard_ir.Validate.check_exn ~intrinsics:Semantics.intrinsics prog;
+  let bases = Hashtbl.create 32 in
+  let next = ref (align8 Memory.null_guard) in
+  List.iter
+    (fun (g : P.global) ->
+      Hashtbl.replace bases g.gname !next;
+      next := align8 (!next + P.global_bytes g))
+    prog.P.globals;
+  let mem_bytes =
+    match mem_bytes with
+    | Some n ->
+      if n < !next then invalid_arg "Machine.load: mem_bytes too small";
+      n
+    | None -> !next + 65536
+  in
+  let image = Memory.create ~bytes:mem_bytes in
+  List.iter
+    (fun (g : P.global) -> init_global image (Hashtbl.find bases g.gname) g)
+    prog.P.globals;
+  { prog; mem_bytes; bases; image }
+
+let program t = t.prog
+
+let base_of t name =
+  match Hashtbl.find_opt t.bases name with
+  | Some b -> b
+  | None -> raise Not_found
+
+let object_of t name =
+  let g = P.global t.prog name in
+  Moard_trace.Data_object.make ~name ~base:(base_of t name) ~elems:g.gelems
+    ~ty:g.gty
+
+let registry t =
+  Moard_trace.Registry.of_objects
+    (List.map (fun (g : P.global) -> object_of t g.gname) t.prog.P.globals)
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+
+type frame = {
+  id : int;
+  fn : P.func;
+  regs : Bitval.t array;
+  prov : int array;                  (* -1 = no provenance *)
+  mutable blk : int;
+  mutable ip : int;
+  ret_dest : int;                    (* caller's destination register, -1 if none *)
+  caller : frame option;
+}
+
+exception Trap_exn of Trap.t
+
+let default_step_limit = 20_000_000
+let max_call_depth = 200
+
+let run ?(step_limit = default_step_limit) ?fault ?sink ?(args = []) t ~entry =
+  let mem = Memory.copy t.image in
+  let steps = ref 0 in
+  let next_frame_id = ref 0 in
+  let fresh_frame fn ~ret_dest ~caller =
+    let id = !next_frame_id in
+    incr next_frame_id;
+    {
+      id;
+      fn;
+      regs = Array.make (max fn.P.nregs 1) (Bitval.zero Bitval.W64);
+      prov = Array.make (max fn.P.nregs 1) (-1);
+      blk = 0;
+      ip = 0;
+      ret_dest;
+      caller;
+    }
+  in
+  let result =
+    try
+      let entry_fn =
+        match P.func t.prog entry with
+        | fn -> fn
+        | exception Not_found -> raise (Trap_exn (Trap.No_function entry))
+      in
+      if List.length args <> entry_fn.P.nparams then
+        raise
+          (Trap_exn
+             (Trap.Arity
+                {
+                  callee = entry;
+                  expected = entry_fn.P.nparams;
+                  got = List.length args;
+                }));
+      let top = fresh_frame entry_fn ~ret_dest:(-1) ~caller:None in
+      List.iteri (fun i v -> top.regs.(i) <- v) args;
+      let frame = ref top in
+      let depth = ref 1 in
+      let return_value = ref None in
+      let running = ref true in
+      while !running do
+        let fr = !frame in
+        if !steps >= step_limit then raise (Trap_exn (Trap.Step_limit step_limit));
+        let idx = !steps in
+        incr steps;
+        let instr = fr.fn.P.blocks.(fr.blk).(fr.ip) in
+        let iid = Moard_ir.Iid.make ~fn:fr.fn.P.fname ~blk:fr.blk ~ip:fr.ip in
+        (* Fetch operands, with provenance; apply a Read fault if due. *)
+        let ops = I.reads instr in
+        let nslots = List.length ops in
+        let values = Array.make nslots (Bitval.zero Bitval.W64) in
+        let provs = Array.make nslots (-1) in
+        List.iteri
+          (fun slot op ->
+            let v, p =
+              match (op : I.operand) with
+              | I.Reg r -> (fr.regs.(r), fr.prov.(r))
+              | I.Imm v -> (v, -1)
+              | I.Glob g -> (Bitval.of_int64 (Int64.of_int (base_of t g)), -1)
+            in
+            values.(slot) <- v;
+            provs.(slot) <- p)
+          ops;
+        (match fault with
+        | Some { Fault.site = Fault.Read { idx = fidx; slot }; pattern }
+          when fidx = idx ->
+          if slot >= 0 && slot < nslots then
+            values.(slot) <- Pattern.apply pattern values.(slot)
+        | _ -> ());
+        let v slot = values.(slot) in
+        (* Advance ip by default; control flow overrides below. *)
+        fr.ip <- fr.ip + 1;
+        let emit ~write ?(load_addr = -1) ?(callee_frame = -1)
+            ?(ret_to_frame = -1) ?(ret_to_reg = -1) ?(taken = -1) () =
+          match sink with
+          | None -> ()
+          | Some push ->
+            push
+              {
+                Event.idx;
+                frame = fr.id;
+                iid;
+                instr;
+                reads =
+                  Array.init nslots (fun i ->
+                      { Event.value = values.(i); prov = provs.(i) });
+                write;
+                load_addr;
+                callee_frame;
+                ret_to_frame;
+                ret_to_reg;
+                taken;
+              }
+        in
+        let set_reg ?(prov = -1) r value =
+          fr.regs.(r) <- value;
+          fr.prov.(r) <- prov;
+          emit ~write:(Event.Wreg { frame = fr.id; reg = r; value }) ()
+        in
+        let trap_or x = match x with Ok v -> v | Error tr -> raise (Trap_exn tr) in
+        (match instr with
+        | I.Mov (d, _) -> set_reg ~prov:provs.(0) d (v 0)
+        | I.Ibin (d, op, ty, _, _) -> set_reg d (trap_or (Semantics.ibin op ty (v 0) (v 1)))
+        | I.Fbin (d, op, _, _) -> set_reg d (Semantics.fbin op (v 0) (v 1))
+        | I.Icmp (d, op, _, _, _) -> set_reg d (Semantics.icmp op (v 0) (v 1))
+        | I.Fcmp (d, op, _, _) -> set_reg d (Semantics.fcmp op (v 0) (v 1))
+        | I.Cast (d, c, _) ->
+          let prov =
+            match c with
+            | I.Bitcast_f_to_i | I.Bitcast_i_to_f -> provs.(0)
+            | _ -> -1
+          in
+          set_reg ~prov d (Semantics.cast c (v 0))
+        | I.Load (d, ty, _) ->
+          let addr = Int64.to_int (Bitval.to_int64 (v 0)) in
+          let value = trap_or (Memory.load mem ty addr) in
+          fr.regs.(d) <- value;
+          fr.prov.(d) <- addr;
+          emit
+            ~write:(Event.Wreg { frame = fr.id; reg = d; value })
+            ~load_addr:addr ()
+        | I.Store (ty, _, _) ->
+          let addr = Int64.to_int (Bitval.to_int64 (v 1)) in
+          (match fault with
+          | Some { Fault.site = Fault.Store_dest { idx = fidx }; pattern }
+            when fidx = idx -> (
+            (* Corrupt the destination cell just before it is overwritten. *)
+            match Memory.load mem ty addr with
+            | Ok old -> ignore (Memory.store mem ty addr (Pattern.apply pattern old))
+            | Error _ -> ())
+          | _ -> ());
+          trap_or (Memory.store mem ty addr (v 0));
+          emit ~write:(Event.Wmem { addr; value = v 0; ty }) ()
+        | I.Gep (d, _, _, scale) -> set_reg d (Semantics.gep (v 0) (v 1) scale)
+        | I.Select (d, _, _, _) ->
+          let prov = if Bitval.to_bool (v 0) then provs.(1) else provs.(2) in
+          set_reg ~prov d (Semantics.select (v 0) (v 1) (v 2))
+        | I.Call (dest, callee, _) -> (
+          match P.func t.prog callee with
+          | callee_fn ->
+            if !depth >= max_call_depth then
+              raise (Trap_exn (Trap.Call_depth max_call_depth));
+            if callee_fn.P.nparams <> nslots then
+              raise
+                (Trap_exn
+                   (Trap.Arity
+                      { callee; expected = callee_fn.P.nparams; got = nslots }));
+            let ret_dest = match dest with Some d -> d | None -> -1 in
+            let callee_fr = fresh_frame callee_fn ~ret_dest ~caller:(Some fr) in
+            for i = 0 to nslots - 1 do
+              callee_fr.regs.(i) <- values.(i);
+              callee_fr.prov.(i) <- provs.(i)
+            done;
+            emit ~write:Event.Wnone ~callee_frame:callee_fr.id ();
+            incr depth;
+            frame := callee_fr
+          | exception Not_found ->
+            if not (List.mem callee Semantics.intrinsics) then
+              raise (Trap_exn (Trap.No_function callee));
+            let value =
+              trap_or (Semantics.intrinsic callee (Array.to_list values))
+            in
+            (match dest with
+            | Some d ->
+              fr.regs.(d) <- value;
+              fr.prov.(d) <- -1;
+              emit ~write:(Event.Wreg { frame = fr.id; reg = d; value }) ()
+            | None -> emit ~write:Event.Wnone ()))
+        | I.Br l ->
+          emit ~write:Event.Wnone ~taken:l ();
+          fr.blk <- l;
+          fr.ip <- 0
+        | I.Cbr (_, l1, l2) ->
+          let l = if Bitval.to_bool (v 0) then l1 else l2 in
+          emit ~write:Event.Wnone ~taken:l ();
+          fr.blk <- l;
+          fr.ip <- 0
+        | I.Ret vopt -> (
+          let value = match vopt with Some _ -> Some (v 0) | None -> None in
+          match fr.caller with
+          | None ->
+            emit ~write:Event.Wnone ();
+            return_value := value;
+            running := false
+          | Some parent ->
+            let write =
+              if fr.ret_dest >= 0 then begin
+                let rv =
+                  match value with Some x -> x | None -> Bitval.zero Bitval.W64
+                in
+                parent.regs.(fr.ret_dest) <- rv;
+                parent.prov.(fr.ret_dest) <-
+                  (if nslots > 0 then provs.(0) else -1);
+                Event.Wreg { frame = parent.id; reg = fr.ret_dest; value = rv }
+              end
+              else Event.Wnone
+            in
+            emit ~write ~ret_to_frame:parent.id
+              ~ret_to_reg:fr.ret_dest ();
+            decr depth;
+            frame := parent))
+      done;
+      Finished !return_value
+    with Trap_exn tr -> Trapped tr
+  in
+  { outcome = result; mem; steps = !steps }
+
+let trace ?step_limit ?args t ~entry =
+  let tape = Moard_trace.Tape.create () in
+  let r =
+    run ?step_limit ?args ~sink:(Moard_trace.Tape.append tape) t ~entry
+  in
+  (r, tape)
+
+let read_gen t mem name conv =
+  let g = P.global t.prog name in
+  let base = base_of t name in
+  let sz = T.size g.gty in
+  Array.init g.gelems (fun i -> conv (Memory.load_exn mem g.gty (base + (i * sz))))
+
+let read_f64s t mem name = read_gen t mem name Bitval.to_float
+let read_i64s t mem name = read_gen t mem name Bitval.to_int64
+let read_i32s t mem name =
+  read_gen t mem name (fun v -> Int64.to_int32 (Bitval.to_int64 v))

@@ -1,0 +1,55 @@
+(** The MOARD virtual machine.
+
+    Loads an IR program (laying out all globals at fixed addresses), then
+    executes it any number of times. Each run starts from the pristine
+    initial memory image, optionally emits the dynamic trace, and optionally
+    applies one deterministic fault. Execution is fully deterministic, so a
+    run with no fault is the golden run every fault-injection outcome is
+    compared against. *)
+
+type t
+
+type outcome =
+  | Finished of Moard_bits.Bitval.t option  (** entry function's return value *)
+  | Trapped of Trap.t
+
+type run = {
+  outcome : outcome;
+  mem : Memory.t;   (** final memory, for observing output data objects *)
+  steps : int;      (** dynamic instructions executed *)
+}
+
+val load : ?mem_bytes:int -> Moard_ir.Program.t -> t
+(** Validates the program and assigns every global an address.
+    Default memory size fits all globals plus 64 KiB of slack.
+    @raise Invalid_argument if validation fails. *)
+
+val program : t -> Moard_ir.Program.t
+
+val base_of : t -> string -> int
+(** Load address of a global. @raise Not_found *)
+
+val object_of : t -> string -> Moard_trace.Data_object.t
+(** The data object a global defines. @raise Not_found *)
+
+val registry : t -> Moard_trace.Registry.t
+(** Every global as a data object. *)
+
+val run :
+  ?step_limit:int ->
+  ?fault:Fault.t ->
+  ?sink:(Moard_trace.Event.t -> unit) ->
+  ?args:Moard_bits.Bitval.t list ->
+  t -> entry:string -> run
+(** Execute [entry]. [step_limit] defaults to 20 million. *)
+
+val trace :
+  ?step_limit:int -> ?args:Moard_bits.Bitval.t list ->
+  t -> entry:string -> run * Moard_trace.Tape.t
+(** Golden traced run. *)
+
+(** {2 Observation of final memory} *)
+
+val read_f64s : t -> Memory.t -> string -> float array
+val read_i64s : t -> Memory.t -> string -> int64 array
+val read_i32s : t -> Memory.t -> string -> int32 array

@@ -1,0 +1,32 @@
+(** Pure instruction semantics.
+
+    Shared between the interpreter and the resilience model: the model
+    recomputes an operation's result with a corrupted operand to decide
+    whether the corruption changes it, so both must agree exactly on what
+    every operation computes. *)
+
+open Moard_bits
+
+val ibin :
+  Moard_ir.Instr.ibin -> Moard_ir.Types.t -> Bitval.t -> Bitval.t ->
+  (Bitval.t, Trap.t) result
+(** Integer arithmetic at I32 or I64. Division/remainder by zero traps.
+    Shift amounts outside [0, width) yield 0 (or all sign bits for ashr). *)
+
+val fbin : Moard_ir.Instr.fbin -> Bitval.t -> Bitval.t -> Bitval.t
+val icmp : Moard_ir.Instr.icmp -> Bitval.t -> Bitval.t -> Bitval.t
+val fcmp : Moard_ir.Instr.fcmp -> Bitval.t -> Bitval.t -> Bitval.t
+(** Ordered comparisons: any comparison with a NaN is false, except [Fone]
+    which is ordered-and-unequal. *)
+
+val cast : Moard_ir.Instr.cast -> Bitval.t -> Bitval.t
+val gep : Bitval.t -> Bitval.t -> int -> Bitval.t
+val select : Bitval.t -> Bitval.t -> Bitval.t -> Bitval.t
+
+val intrinsics : string list
+(** Names resolvable as math intrinsics. *)
+
+val intrinsic_arity : string -> int option
+
+val intrinsic : string -> Bitval.t list -> (Bitval.t, Trap.t) result
+(** @raise Invalid_argument on unknown name (callers check first). *)

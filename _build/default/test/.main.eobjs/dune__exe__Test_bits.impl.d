@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Bitval Float Int64 List Moard_bits Pattern QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_derive.ml: Alcotest Array Moard_core Moard_inject Moard_ir Moard_kernels Moard_lang Moard_trace Tutil

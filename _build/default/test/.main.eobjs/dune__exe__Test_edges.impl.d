@@ -1,0 +1,1 @@
+test/test_edges.ml: Alcotest Moard_bits Moard_core Moard_inject Moard_kernels Moard_lang Moard_opt Moard_report Moard_trace Moard_vm String Tutil

@@ -1,0 +1,1 @@
+test/test_inject.ml: Alcotest Array Float Lazy List Moard_bits Moard_inject Moard_lang Moard_stats Moard_trace Moard_vm Tutil

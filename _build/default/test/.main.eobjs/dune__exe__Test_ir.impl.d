@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Format List Moard_bits Moard_ir Result String

@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Array Float Format List Moard_bits Moard_core Moard_inject Moard_kernels Moard_trace Moard_vm Printf String Tutil

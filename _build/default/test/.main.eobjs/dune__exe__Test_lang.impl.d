@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Float Int64 List Moard_bits Moard_lang Moard_vm QCheck2 QCheck_alcotest

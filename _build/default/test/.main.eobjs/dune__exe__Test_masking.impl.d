@@ -1,0 +1,1 @@
+test/test_masking.ml: Alcotest List Moard_bits Moard_core Moard_ir Moard_lang Moard_trace Moard_vm Tutil

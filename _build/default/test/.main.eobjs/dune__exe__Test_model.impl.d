@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Float Lazy List Moard_core Moard_inject Moard_lang Moard_stats Tutil

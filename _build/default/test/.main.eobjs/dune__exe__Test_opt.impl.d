@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Float Int64 List Moard_bits Moard_inject Moard_ir Moard_kernels Moard_opt Moard_vm

@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Moard_core Moard_inject Moard_kernels Moard_parallel

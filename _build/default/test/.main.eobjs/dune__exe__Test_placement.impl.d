@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest Format List Moard_core String

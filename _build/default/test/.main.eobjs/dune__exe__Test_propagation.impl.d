@@ -1,0 +1,1 @@
+test/test_propagation.ml: Alcotest List Moard_bits Moard_core Moard_lang Moard_trace Moard_vm Tutil

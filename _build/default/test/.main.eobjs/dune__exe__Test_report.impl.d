@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest List Moard_core Moard_inject Moard_lang Moard_report String Tutil

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Float Int64 List Moard_bits Moard_ir Moard_vm QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Fun Moard_stats QCheck2 QCheck_alcotest Seq

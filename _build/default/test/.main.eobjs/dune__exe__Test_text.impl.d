@@ -1,0 +1,1 @@
+test/test_text.ml: Alcotest Array Float Instr Int64 List Moard_bits Moard_inject Moard_ir Moard_kernels Moard_vm

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest List Moard_bits Moard_ir Moard_lang Moard_trace Moard_vm String

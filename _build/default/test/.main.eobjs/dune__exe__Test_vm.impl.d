@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Float Int64 Moard_bits Moard_ir Moard_lang Moard_trace Moard_vm QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/tutil.ml: Alcotest List Moard_inject Moard_lang Moard_trace Moard_vm

@@ -1,0 +1,193 @@
+(* IR structure: instructions, builder, validator, static identities. *)
+
+module I = Moard_ir.Instr
+module T = Moard_ir.Types
+module P = Moard_ir.Program
+module B = Moard_ir.Builder
+module Iid = Moard_ir.Iid
+module Bitval = Moard_bits.Bitval
+
+let check = Alcotest.check
+let tint = Alcotest.int
+
+let imm n = I.Imm (Bitval.of_int64 n)
+
+let types_tests =
+  [
+    Alcotest.test_case "sizes" `Quick (fun () ->
+        check tint "i1" 1 (T.size T.I1);
+        check tint "i32" 4 (T.size T.I32);
+        check tint "i64" 8 (T.size T.I64);
+        check tint "f64" 8 (T.size T.F64);
+        check tint "ptr" 8 (T.size T.Ptr));
+    Alcotest.test_case "is_float" `Quick (fun () ->
+        assert (T.is_float T.F64);
+        assert (not (T.is_float T.I64)));
+    Alcotest.test_case "width mapping" `Quick (fun () ->
+        assert (T.width T.I32 = Bitval.W32);
+        assert (T.width T.Ptr = Bitval.W64));
+  ]
+
+let instr_tests =
+  [
+    Alcotest.test_case "reads in slot order" `Quick (fun () ->
+        check tint "store has 2 slots" 2
+          (List.length (I.reads (I.Store (T.F64, imm 1L, imm 2L))));
+        check tint "select has 3" 3
+          (List.length (I.reads (I.Select (0, imm 0L, imm 1L, imm 2L))));
+        check tint "ret none has 0" 0 (List.length (I.reads (I.Ret None)));
+        check tint "mov has 1" 1 (List.length (I.reads (I.Mov (0, imm 1L)))));
+    Alcotest.test_case "writes" `Quick (fun () ->
+        assert (I.writes (I.Store (T.F64, imm 1L, imm 2L)) = None);
+        assert (I.writes (I.Load (3, T.F64, imm 0L)) = Some 3);
+        assert (I.writes (I.Call (Some 7, "f", [])) = Some 7);
+        assert (I.writes (I.Br 0) = None));
+    Alcotest.test_case "terminators" `Quick (fun () ->
+        assert (I.is_terminator (I.Br 0));
+        assert (I.is_terminator (I.Cbr (imm 1L, 0, 1)));
+        assert (I.is_terminator (I.Ret None));
+        assert (not (I.is_terminator (I.Mov (0, imm 1L)))));
+    Alcotest.test_case "pretty printing is total" `Quick (fun () ->
+        let instrs =
+          [
+            I.Mov (0, imm 1L);
+            I.Ibin (1, I.Add, T.I64, imm 1L, I.Reg 0);
+            I.Fbin (2, I.Fmul, I.Reg 1, I.Reg 1);
+            I.Icmp (3, I.Islt, T.I64, I.Reg 0, imm 9L);
+            I.Fcmp (4, I.Foeq, I.Reg 2, I.Reg 2);
+            I.Cast (5, I.Sext_to_i64, I.Reg 0);
+            I.Load (6, T.F64, I.Glob "a");
+            I.Store (T.F64, I.Reg 2, I.Glob "a");
+            I.Gep (7, I.Glob "a", I.Reg 0, 8);
+            I.Select (8, I.Reg 3, imm 0L, imm 1L);
+            I.Call (Some 9, "sqrt", [ I.Reg 2 ]);
+            I.Call (None, "p", []);
+            I.Br 1;
+            I.Cbr (I.Reg 3, 0, 1);
+            I.Ret (Some (I.Reg 9));
+            I.Ret None;
+          ]
+        in
+        List.iter
+          (fun i -> assert (String.length (Format.asprintf "%a" I.pp i) > 0))
+          instrs);
+  ]
+
+let builder_tests =
+  [
+    Alcotest.test_case "straight-line function" `Quick (fun () ->
+        let b = B.create ~name:"f" ~nparams:1 in
+        let r = B.ibin b I.Add T.I64 (I.Reg 0) (imm 1L) in
+        B.ret b (Some (I.Reg r));
+        let fn = B.finish b in
+        check tint "blocks" 1 (Array.length fn.P.blocks);
+        check tint "instrs" 2 (Array.length fn.P.blocks.(0));
+        check tint "regs" 2 fn.P.nregs);
+    Alcotest.test_case "missing terminator rejected" `Quick (fun () ->
+        let b = B.create ~name:"g" ~nparams:0 in
+        B.mov b (B.fresh b) (imm 0L);
+        match B.finish b with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail "expected Failure");
+    Alcotest.test_case "switch_to bad block" `Quick (fun () ->
+        let b = B.create ~name:"g" ~nparams:0 in
+        Alcotest.check_raises "oob" (Invalid_argument "Builder.switch_to")
+          (fun () -> B.switch_to b 3));
+    Alcotest.test_case "many blocks grow" `Quick (fun () ->
+        let b = B.create ~name:"g" ~nparams:0 in
+        let labels = List.init 20 (fun _ -> B.new_block b) in
+        B.br b (List.hd labels);
+        List.iter
+          (fun l ->
+            B.switch_to b l;
+            B.ret b None)
+          labels;
+        let fn = B.finish b in
+        check tint "21 blocks" 21 (Array.length fn.P.blocks));
+  ]
+
+let good_func () =
+  let b = B.create ~name:"f" ~nparams:0 in
+  B.ret b None;
+  B.finish b
+
+let validate_tests =
+  let known = fun _ -> true in
+  [
+    Alcotest.test_case "valid function accepted" `Quick (fun () ->
+        match Moard_ir.Validate.check_func ~known (good_func ()) with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "register out of range" `Quick (fun () ->
+        let fn =
+          { P.fname = "f"; nparams = 0; nregs = 1;
+            blocks = [| [| I.Mov (0, I.Reg 5); I.Ret None |] |] }
+        in
+        assert (Result.is_error (Moard_ir.Validate.check_func ~known fn)));
+    Alcotest.test_case "branch target out of range" `Quick (fun () ->
+        let fn =
+          { P.fname = "f"; nparams = 0; nregs = 0; blocks = [| [| I.Br 7 |] |] }
+        in
+        assert (Result.is_error (Moard_ir.Validate.check_func ~known fn)));
+    Alcotest.test_case "mid-block terminator rejected" `Quick (fun () ->
+        let fn =
+          { P.fname = "f"; nparams = 0; nregs = 0;
+            blocks = [| [| I.Ret None; I.Ret None |] |] }
+        in
+        assert (Result.is_error (Moard_ir.Validate.check_func ~known fn)));
+    Alcotest.test_case "unknown callee rejected" `Quick (fun () ->
+        let fn =
+          { P.fname = "f"; nparams = 0; nregs = 0;
+            blocks = [| [| I.Call (None, "nope", []); I.Ret None |] |] }
+        in
+        assert (Result.is_error
+                  (Moard_ir.Validate.check_func ~known:(fun _ -> false) fn)));
+    Alcotest.test_case "duplicate globals rejected" `Quick (fun () ->
+        let g = { P.gname = "x"; gty = T.F64; gelems = 1; ginit = P.Zeros } in
+        let p = { P.globals = [ g; g ]; funcs = [ good_func () ] } in
+        assert (Result.is_error
+                  (Moard_ir.Validate.check_program ~intrinsics:[] p)));
+    Alcotest.test_case "unknown global operand rejected" `Quick (fun () ->
+        let b = B.create ~name:"f" ~nparams:0 in
+        let _ = B.load b T.F64 (I.Glob "missing") in
+        B.ret b None;
+        let p = { P.globals = []; funcs = [ B.finish b ] } in
+        assert (Result.is_error
+                  (Moard_ir.Validate.check_program ~intrinsics:[] p)));
+    Alcotest.test_case "non-positive gep scale rejected" `Quick (fun () ->
+        let fn =
+          { P.fname = "f"; nparams = 0; nregs = 1;
+            blocks = [| [| I.Gep (0, imm 0L, imm 0L, 0); I.Ret None |] |] }
+        in
+        assert (Result.is_error (Moard_ir.Validate.check_func ~known fn)));
+  ]
+
+let iid_tests =
+  [
+    Alcotest.test_case "equal and hash agree" `Quick (fun () ->
+        let a = Iid.make ~fn:"f" ~blk:1 ~ip:2 in
+        let b = Iid.make ~fn:"f" ~blk:1 ~ip:2 in
+        assert (Iid.equal a b);
+        assert (Iid.hash a = Iid.hash b));
+    Alcotest.test_case "compare orders by fn, blk, ip" `Quick (fun () ->
+        let mk fn blk ip = Iid.make ~fn ~blk ~ip in
+        assert (Iid.compare (mk "a" 0 0) (mk "b" 0 0) < 0);
+        assert (Iid.compare (mk "a" 1 0) (mk "a" 0 9) > 0);
+        assert (Iid.compare (mk "a" 1 1) (mk "a" 1 2) < 0));
+    Alcotest.test_case "map and table usable" `Quick (fun () ->
+        let a = Iid.make ~fn:"f" ~blk:0 ~ip:0 in
+        let m = Iid.Map.add a 1 Iid.Map.empty in
+        assert (Iid.Map.find a m = 1);
+        let t = Iid.Tbl.create 4 in
+        Iid.Tbl.replace t a 2;
+        assert (Iid.Tbl.find t a = 2));
+  ]
+
+let suite =
+  [
+    ("ir.types", types_tests);
+    ("ir.instr", instr_tests);
+    ("ir.builder", builder_tests);
+    ("ir.validate", validate_tests);
+    ("ir.iid", iid_tests);
+  ]

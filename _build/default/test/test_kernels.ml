@@ -1,0 +1,224 @@
+(* Benchmark kernels: golden correctness against host references, and the
+   qualitative resilience shapes the paper's evaluation reports. *)
+
+module Context = Moard_inject.Context
+module Machine = Moard_vm.Machine
+module K = Moard_kernels
+
+let golden w =
+  let ctx = Context.make w in
+  (ctx, Context.golden_floats ctx)
+
+let finite = Array.for_all Float.is_finite
+
+let golden_tests =
+  [
+    Alcotest.test_case "every registry workload runs to completion" `Slow
+      (fun () ->
+        List.iter
+          (fun (e : K.Registry.entry) ->
+            let ctx, g = golden (e.K.Registry.workload ()) in
+            assert (finite g);
+            assert (Context.golden_steps ctx > 100);
+            (* target objects really exist *)
+            List.iter
+              (fun o -> ignore (Context.object_of ctx o))
+              e.K.Registry.objects)
+          K.Registry.all);
+    Alcotest.test_case "CG converges" `Quick (fun () ->
+        let _, g = golden (K.Cg.workload ()) in
+        (* residual (out[0]) well below the initial norm *)
+        assert (g.(0) < 1.0));
+    Alcotest.test_case "MG reduces the residual" `Quick (fun () ->
+        let _, g = golden (K.Mg.workload ()) in
+        assert (g.(0) < 0.5));
+    Alcotest.test_case "AMG converges" `Quick (fun () ->
+        let _, g = golden (K.Amg.workload ()) in
+        assert (g.(0) < 0.05));
+    Alcotest.test_case "PF tracks the observations" `Quick (fun () ->
+        let _, g = golden (K.Particle_filter.workload ()) in
+        (* rms error out[0] below half an observation step *)
+        assert (g.(0) < 0.5));
+    Alcotest.test_case "CG matrix is symmetric positive-ish" `Quick
+      (fun () ->
+        (* different seeds still converge: the generator keeps the matrix
+           diagonally dominant *)
+        List.iter
+          (fun seed ->
+            let _, g = golden (K.Cg.workload ~seed ()) in
+            assert (g.(0) < 1.0))
+          [ 1; 2; 3 ]);
+    Alcotest.test_case "workload sizes are configurable" `Quick (fun () ->
+        let c1, _ = golden (K.Cg.workload ~n:8 ~iters:2 ()) in
+        let c2, _ = golden (K.Cg.workload ~n:16 ~iters:4 ()) in
+        assert (Context.golden_steps c1 < Context.golden_steps c2));
+  ]
+
+(* FT checked against a naive host DFT. *)
+let ft_reference_test =
+  Alcotest.test_case "FT matches a naive host DFT" `Quick (fun () ->
+      let n = 8 and seed = 11 in
+      let rng = K.Util.Rng.make seed in
+      let init =
+        Array.init (2 * n * n) (fun _ -> K.Util.Rng.float rng 2.0 -. 1.0)
+      in
+      let re = Array.init n (fun r -> Array.init n (fun c -> init.(2 * ((r * n) + c)))) in
+      let im =
+        Array.init n (fun r -> Array.init n (fun c -> init.(2 * ((r * n) + c) + 1)))
+      in
+      let dft_rows re im =
+        let re' = Array.map Array.copy re and im' = Array.map Array.copy im in
+        for r = 0 to n - 1 do
+          for k = 0 to n - 1 do
+            let sr = ref 0.0 and si = ref 0.0 in
+            for j = 0 to n - 1 do
+              let th =
+                -2.0 *. Float.pi *. float_of_int (k * j) /. float_of_int n
+              in
+              sr := !sr +. (re.(r).(j) *. cos th) -. (im.(r).(j) *. sin th);
+              si := !si +. (re.(r).(j) *. sin th) +. (im.(r).(j) *. cos th)
+            done;
+            re'.(r).(k) <- !sr;
+            im'.(r).(k) <- !si
+          done
+        done;
+        (re', im')
+      in
+      let transpose m = Array.init n (fun r -> Array.init n (fun c -> m.(c).(r))) in
+      let re1, im1 = dft_rows re im in
+      let re3, im3 = dft_rows (transpose re1) (transpose im1) in
+      let cr = ref 0.0 and ci = ref 0.0 in
+      for j = 0 to (n * n) - 1 do
+        if j mod 3 = 0 then begin
+          cr := !cr +. re3.(j / n).(j mod n);
+          ci := !ci +. im3.(j / n).(j mod n)
+        end
+      done;
+      let _, g = golden (K.Ft.workload ~n ~seed ()) in
+      Alcotest.(check (float 1e-8)) "re checksum" !cr g.(0);
+      Alcotest.(check (float 1e-8)) "im checksum" !ci g.(1))
+
+(* MM checked against a host matrix product; ABFT must not perturb it. *)
+let mm_reference_test =
+  Alcotest.test_case "MM matches the host product; ABFT is transparent"
+    `Quick (fun () ->
+      let n = 6 and seed = 61 in
+      let rng = K.Util.Rng.make seed in
+      let a = Array.init (n * n) (fun _ -> 0.5 +. K.Util.Rng.float rng 1.0) in
+      let b = Array.init (n * n) (fun _ -> 0.5 +. K.Util.Rng.float rng 1.0) in
+      let expect r c =
+        let s = ref 0.0 in
+        for k = 0 to n - 1 do
+          s := !s +. (a.((r * n) + k) *. b.((k * n) + c))
+        done;
+        !s
+      in
+      let _, g_plain = golden (K.Abft_mm.workload ~n ~seed ()) in
+      let _, g_abft = golden (K.Abft_mm.workload ~n ~seed ~abft:true ()) in
+      for r = 0 to n - 1 do
+        for c = 0 to n - 1 do
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "C[%d][%d]" r c)
+            (expect r c)
+            g_plain.((r * n) + c)
+        done
+      done;
+      Alcotest.(check (array (float 1e-12))) "abft outputs identical" g_plain
+        g_abft)
+
+(* The ABFT verification really corrects injected corruption. *)
+let abft_behaviour_test =
+  Alcotest.test_case "ABFT corrects a corrupted product element" `Quick
+    (fun () ->
+      let ctx = Context.make (K.Abft_mm.workload ~abft:true ()) in
+      let tape = Context.tape ctx in
+      let obj = Context.object_of ctx "C" in
+      (* find a read of a data element of C inside mm's accumulation *)
+      let sites =
+        Moard_trace.Consume.of_tape ~segment:(Context.segment ctx) tape obj
+        |> List.filter Tutil.is_read
+      in
+      let site = List.nth sites (List.length sites / 2) in
+      (* a high-magnitude flip that the checksums will catch *)
+      let out =
+        Context.inject_at ~use_cache:false ctx site
+          (Moard_bits.Pattern.Single 60)
+      in
+      assert (Moard_inject.Outcome.equal out Moard_inject.Outcome.Same))
+
+let lulesh_tests =
+  [
+    Alcotest.test_case "LULESH viscosity is zero for expanding elements"
+      `Quick (fun () ->
+        let ctx = Context.make (K.Lulesh.workload ()) in
+        let m = Context.machine ctx in
+        let r = Machine.run m ~entry:"main" in
+        let delv = Machine.read_f64s m r.Machine.mem "m_delv_zeta" in
+        let qq = Machine.read_f64s m r.Machine.mem "qq" in
+        Array.iteri
+          (fun ie d -> if d >= 0.0 then assert (Float.equal qq.(ie) 0.0))
+          delv);
+    Alcotest.test_case "boundary flags keep neighbour loads in range" `Quick
+      (fun () ->
+        (* would trap on m_delv_zeta[-1] without the elemBC branches *)
+        let _, g = golden (K.Lulesh.workload ~nelem:4 ()) in
+        assert (finite g));
+  ]
+
+(* Qualitative shapes from the paper's evaluation, on the cheapest
+   kernels (the full sweep lives in the bench harness). *)
+let shape_tests =
+  [
+    Alcotest.test_case "CG: r resilient, colidx vulnerable, colidx masking \
+                        is algorithm-level" `Slow (fun () ->
+        let ctx = Context.make (K.Cg.workload ~n:10 ~iters:2 ()) in
+        let r = Moard_core.Model.analyze ctx ~object_name:"r" in
+        let c = Moard_core.Model.analyze ctx ~object_name:"colidx" in
+        assert (r.Moard_core.Advf.advf > 0.5);
+        assert (c.Moard_core.Advf.advf < 0.3);
+        assert (r.Moard_core.Advf.advf > c.Moard_core.Advf.advf);
+        (* colidx's little masking comes from the algorithm level *)
+        assert (c.Moard_core.Advf.by_level.(2)
+                >= c.Moard_core.Advf.by_level.(0)));
+    Alcotest.test_case "ABFT helps C in MM but not xe in PF" `Slow (fun () ->
+        let advf w o =
+          (Moard_core.Model.analyze (Context.make w) ~object_name:o)
+            .Moard_core.Advf.advf
+        in
+        let mm = advf (K.Abft_mm.workload ~n:4 ()) "C" in
+        let mm' = advf (K.Abft_mm.workload ~n:4 ~abft:true ()) "C" in
+        assert (mm' > mm +. 0.2);
+        let pf = advf (K.Particle_filter.workload ~particles:8 ~steps:3 ()) "xe" in
+        let pf' =
+          advf (K.Particle_filter.workload ~particles:8 ~steps:3 ~abft:true ()) "xe"
+        in
+        assert (Float.abs (pf' -. pf) < 0.1));
+  ]
+
+let registry_tests =
+  [
+    Alcotest.test_case "Table I has the paper's eight benchmarks" `Quick
+      (fun () ->
+        Alcotest.(check (list string))
+          "names"
+          [ "CG"; "MG"; "FT"; "BT"; "SP"; "LU"; "LULESH"; "AMG" ]
+          (List.map (fun e -> e.K.Registry.benchmark) K.Registry.table1));
+    Alcotest.test_case "find is case-insensitive" `Quick (fun () ->
+        assert ((K.Registry.find "lulesh").K.Registry.benchmark = "LULESH");
+        match K.Registry.find "nope" with
+        | exception Not_found -> ()
+        | _ -> Alcotest.fail "expected Not_found");
+    Alcotest.test_case "table renders" `Quick (fun () ->
+        let s = Format.asprintf "%a" K.Registry.pp_table1 () in
+        assert (String.length s > 400));
+  ]
+
+let suite =
+  [
+    ("kernels.golden", golden_tests);
+    ("kernels.references", [ ft_reference_test; mm_reference_test;
+                             abft_behaviour_test ]);
+    ("kernels.lulesh", lulesh_tests);
+    ("kernels.shapes", shape_tests);
+    ("kernels.registry", registry_tests);
+  ]

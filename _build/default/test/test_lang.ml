@@ -1,0 +1,312 @@
+(* MiniC front end: typing and lowering, validated by executing compiled
+   programs and comparing with host-computed expectations. *)
+
+module Ast = Moard_lang.Ast
+module Compile = Moard_lang.Compile
+module Machine = Moard_vm.Machine
+module B = Moard_bits.Bitval
+
+let run_main ?(globals = []) body =
+  let prog =
+    Compile.program
+      { Ast.globals; funs = [ Ast.Dsl.fn "main" ~ret:Ast.Tf64 body ] }
+  in
+  let m = Machine.load prog in
+  let r = Machine.run m ~entry:"main" in
+  match r.Machine.outcome with
+  | Machine.Finished (Some v) -> (m, r, B.to_float v)
+  | Machine.Finished None -> Alcotest.fail "no return value"
+  | Machine.Trapped t -> Alcotest.failf "trapped: %s" (Moard_vm.Trap.to_string t)
+
+let ret_float = Alcotest.float 1e-12
+
+let expr_tests =
+  let open Ast.Dsl in
+  [
+    Alcotest.test_case "float arithmetic" `Quick (fun () ->
+        let _, _, v = run_main [ ret ((f 3.0 * f 4.0) - (f 2.0 / f 8.0)) ] in
+        Alcotest.check ret_float "12 - 0.25" 11.75 v);
+    Alcotest.test_case "integer arithmetic through cast" `Quick (fun () ->
+        let _, _, v =
+          run_main [ ret (to_f (((i 7 * i 3) % i 5) + (i 100 / i 7))) ] in
+        Alcotest.check ret_float "1 + 14" 15.0 v);
+    Alcotest.test_case "unary negation" `Quick (fun () ->
+        let _, _, v = run_main [ ret (neg (f 2.5) + to_f (neg (i 3))) ] in
+        Alcotest.check ret_float "-5.5" (-5.5) v);
+    Alcotest.test_case "bit operations" `Quick (fun () ->
+        let _, _, v =
+          run_main
+            [ ret (to_f (((i 0xF0 land i 0x3C) lor i 1) lxor i 2)) ]
+        in
+        Alcotest.check ret_float "0x33" 51.0 v);
+    Alcotest.test_case "shifts" `Quick (fun () ->
+        let _, _, v =
+          run_main [ ret (to_f ((i 1 lsl i 10) + (i 1024 lsr i 3)
+                                + (neg (i 16) asr i 2))) ]
+        in
+        Alcotest.check ret_float "1024+128-4" 1148.0 v);
+    Alcotest.test_case "comparisons and not" `Quick (fun () ->
+        let _, _, v =
+          run_main
+            [
+              flt_ "acc" (f 0.0);
+              when_ (i 1 < i 2) [ "acc" <-- v "acc" + f 1.0 ];
+              when_ (f 2.0 >= f 2.0) [ "acc" <-- v "acc" + f 10.0 ];
+              when_ (not_ (i 3 == i 4)) [ "acc" <-- v "acc" + f 100.0 ];
+              when_ (i 3 != i 4) [ "acc" <-- v "acc" + f 1000.0 ];
+              ret (v "acc");
+            ]
+        in
+        Alcotest.check ret_float "all true" 1111.0 v);
+    Alcotest.test_case "short-circuit and/or skip side conditions" `Quick
+      (fun () ->
+        (* (false && 1/0 == 0) must not trap; (true || 1/0 == 0) too *)
+        let _, _, v =
+          run_main
+            [
+              flt_ "acc" (f 0.0);
+              when_ (b false && (i 1 / i 0) == i 0) [ "acc" <-- f 99.0 ];
+              when_ (b true || (i 1 / i 0) == i 0)
+                [ "acc" <-- v "acc" + f 1.0 ];
+              ret (v "acc");
+            ]
+        in
+        Alcotest.check ret_float "guarded" 1.0 v);
+    Alcotest.test_case "intrinsic calls" `Quick (fun () ->
+        let _, _, v = run_main [ ret (sqrt_ (f 16.0) + fabs_ (f (-2.0))) ] in
+        Alcotest.check ret_float "6" 6.0 v);
+  ]
+
+let stmt_tests =
+  let open Ast.Dsl in
+  [
+    Alcotest.test_case "for loop sums" `Quick (fun () ->
+        let _, _, v =
+          run_main
+            [
+              flt_ "s" (f 0.0);
+              for_ "k" (i 0) (i 10) [ "s" <-- v "s" + to_f (v "k") ];
+              ret (v "s");
+            ]
+        in
+        Alcotest.check ret_float "0..9" 45.0 v);
+    Alcotest.test_case "while with break" `Quick (fun () ->
+        let _, _, v =
+          run_main
+            [
+              int_ "k" (i 0);
+              while_ (b true)
+                [
+                  "k" <-- v "k" + i 1;
+                  when_ (v "k" >= i 7) [ break_ ];
+                ];
+              ret (to_f (v "k"));
+            ]
+        in
+        Alcotest.check ret_float "7" 7.0 v);
+    Alcotest.test_case "nested loops and redeclared temps" `Quick (fun () ->
+        let _, _, v =
+          run_main
+            [
+              flt_ "s" (f 0.0);
+              for_ "a" (i 0) (i 3)
+                [
+                  flt_ "t" (to_f (v "a"));
+                  for_ "c" (i 0) (i 3) [ "s" <-- v "s" + v "t" ];
+                ];
+              for_ "a" (i 0) (i 2)
+                [ flt_ "t" (f 10.0); "s" <-- v "s" + v "t" ];
+              ret (v "s");
+            ]
+        in
+        Alcotest.check ret_float "9 + 20" 29.0 v);
+    Alcotest.test_case "if/else branches" `Quick (fun () ->
+        let _, _, v =
+          run_main
+            [
+              flt_ "s" (f 0.0);
+              if_ (i 1 > i 2) [ "s" <-- f 1.0 ] [ "s" <-- f 2.0 ];
+              ret (v "s");
+            ]
+        in
+        Alcotest.check ret_float "else" 2.0 v);
+    Alcotest.test_case "early return" `Quick (fun () ->
+        let _, _, v =
+          run_main [ ret (f 5.0); ret (f 9.0) ] in
+        Alcotest.check ret_float "first" 5.0 v);
+    Alcotest.test_case "arrays: store, load, i32 widening" `Quick (fun () ->
+        let open Ast.Dsl in
+        let _, _, v =
+          run_main
+            ~globals:
+              [ garr_f64 "a" 4; garr_i32_init "idx" [| 3l; 2l; 1l; 0l |] ]
+            [
+              for_ "k" (i 0) (i 4) [ "a".%(v "k") <- to_f (v "k" * v "k") ];
+              flt_ "s" (f 0.0);
+              for_ "k" (i 0) (i 4) [ "s" <-- v "s" + "a".%("idx".%(v "k")) ];
+              ret (v "s");
+            ]
+        in
+        Alcotest.check ret_float "permuted sum" 14.0 v);
+    Alcotest.test_case "i32 store truncates" `Quick (fun () ->
+        let _, _, v =
+          run_main
+            ~globals:[ garr_i32 "x" 1 ]
+            [
+              ("x".%(i 0) <- i 0x1_0000_0005);
+              ret (to_f ("x".%(i 0)));
+            ]
+        in
+        Alcotest.check ret_float "5" 5.0 v);
+    Alcotest.test_case "user functions with params and returns" `Quick
+      (fun () ->
+        let prog =
+          Compile.program
+            {
+              Ast.globals = [];
+              funs =
+                [
+                  Ast.Dsl.fn "poly"
+                    ~params:[ ("x", Ast.Tf64); ("k", Ast.Ti64) ]
+                    ~ret:Ast.Tf64
+                    Ast.Dsl.[ ret ((v "x" * v "x") + to_f (v "k")) ];
+                  Ast.Dsl.fn "main" ~ret:Ast.Tf64
+                    Ast.Dsl.[ ret (call "poly" [ f 3.0; i 4 ]) ];
+                ];
+            }
+        in
+        let m = Machine.load prog in
+        match (Machine.run m ~entry:"main").Machine.outcome with
+        | Machine.Finished (Some v) ->
+          Alcotest.check ret_float "13" 13.0 (B.to_float v)
+        | _ -> Alcotest.fail "bad outcome");
+  ]
+
+let type_error_tests =
+  let open Ast.Dsl in
+  let expect_type_error ?(globals = []) ?(funs = []) body =
+    match
+      Compile.check
+        { Ast.globals;
+          funs = funs @ [ fn "main" ~ret:Ast.Tf64 body ] }
+    with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail "expected a type error"
+  in
+  [
+    Alcotest.test_case "mixed int/float arithmetic" `Quick (fun () ->
+        expect_type_error [ ret (f 1.0 + i 1) ]);
+    Alcotest.test_case "float index" `Quick (fun () ->
+        expect_type_error ~globals:[ garr_f64 "a" 2 ] [ ret ("a".%(f 1.0)) ]);
+    Alcotest.test_case "unknown variable" `Quick (fun () ->
+        expect_type_error [ ret (v "ghost") ]);
+    Alcotest.test_case "unknown array" `Quick (fun () ->
+        expect_type_error [ ret ("ghost".%(i 0)) ]);
+    Alcotest.test_case "unknown function" `Quick (fun () ->
+        expect_type_error [ ret (call "ghost" []) ]);
+    Alcotest.test_case "if on non-bool" `Quick (fun () ->
+        expect_type_error [ when_ (i 1) [ ]; ret (f 0.0) ]);
+    Alcotest.test_case "break outside loop" `Quick (fun () ->
+        expect_type_error [ break_; ret (f 0.0) ]);
+    Alcotest.test_case "redeclared at different type" `Quick (fun () ->
+        expect_type_error
+          [ flt_ "x" (f 1.0); int_ "x" (i 1); ret (v "x") ]);
+    Alcotest.test_case "assigning wrong type" `Quick (fun () ->
+        expect_type_error [ flt_ "x" (f 1.0); "x" <-- i 3; ret (v "x") ]);
+    Alcotest.test_case "float loop bound" `Quick (fun () ->
+        expect_type_error [ for_ "k" (i 0) (f 3.0) []; ret (f 0.0) ]);
+    Alcotest.test_case "wrong return type" `Quick (fun () ->
+        expect_type_error [ ret (to_i (f 0.0)) |> fun _ -> ret (i 3) ]);
+    Alcotest.test_case "intrinsic wrong arity" `Quick (fun () ->
+        expect_type_error [ ret (call "sqrt" [ f 1.0; f 2.0 ]) ]);
+    Alcotest.test_case "duplicate function names" `Quick (fun () ->
+        match
+          Compile.check
+            {
+              Ast.globals = [];
+              funs =
+                [
+                  fn "f" [ ret_void ]; fn "f" [ ret_void ];
+                  fn "main" ~ret:Ast.Tf64 [ ret (f 0.0) ];
+                ];
+            }
+        with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "expected duplicate-function error");
+  ]
+
+(* Differential property: random integer expressions evaluated by the
+   compiled VM match a host evaluator over the same AST. *)
+let rec host_eval env (e : Ast.expr) : int64 =
+  let open Ast in
+  match e with
+  | Ei64 n -> n
+  | Evar x -> List.assoc x env
+  | Ebin (op, a, b) ->
+    let x = host_eval env a and y = host_eval env b in
+    (match op with
+    | Badd -> Int64.add x y
+    | Bsub -> Int64.sub x y
+    | Bmul -> Int64.mul x y
+    | Bland -> Int64.logand x y
+    | Blor -> Int64.logor x y
+    | Blxor -> Int64.logxor x y
+    | _ -> assert false)
+  | Eneg a -> Int64.neg (host_eval env a)
+  | _ -> assert false
+
+let gen_int_expr =
+  let open QCheck2.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun n -> Ast.Ei64 (Int64.of_int n)) (int_range (-1000) 1000);
+        oneofl [ Ast.Evar "x"; Ast.Evar "y" ];
+      ]
+  in
+  let node self =
+    let sub = self in
+    oneof
+      [
+        map2
+          (fun op (a, b) -> Ast.Ebin (op, a, b))
+          (oneofl Ast.[ Badd; Bsub; Bmul; Bland; Blor; Blxor ])
+          (pair sub sub);
+        map (fun a -> Ast.Eneg a) sub;
+      ]
+  in
+  sized
+    (fun n ->
+      fix
+        (fun self n -> if n <= 0 then leaf else oneof [ leaf; node (self (n / 2)) ])
+        (min n 6))
+
+let differential =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:120 ~name:"compiled = host on int exprs"
+         QCheck2.Gen.(triple gen_int_expr (int_range (-50) 50) (int_range (-50) 50))
+         (fun (e, xv, yv) ->
+           let open Ast.Dsl in
+           let body =
+             [
+               int_ "x" (i xv);
+               int_ "y" (i yv);
+               Ast.Sreturn (Some (Ast.Ecast (Ast.Tf64, e)));
+             ]
+           in
+           let _, _, got = run_main body in
+           let want =
+             Int64.to_float
+               (host_eval [ ("x", Int64.of_int xv); ("y", Int64.of_int yv) ] e)
+           in
+           Float.equal got want));
+  ]
+
+let suite =
+  [
+    ("lang.expr", expr_tests);
+    ("lang.stmt", stmt_tests);
+    ("lang.type-errors", type_error_tests);
+    ("lang.differential", differential);
+  ]

@@ -1,0 +1,206 @@
+(* The optimizer: pass-level unit tests plus differential execution over
+   every benchmark (optimized programs must behave identically). *)
+
+module Passes = Moard_opt.Passes
+module I = Moard_ir.Instr
+module T = Moard_ir.Types
+module P = Moard_ir.Program
+module B = Moard_ir.Builder
+module Machine = Moard_vm.Machine
+module Bitval = Moard_bits.Bitval
+
+let imm n = I.Imm (Bitval.of_int64 n)
+let fimm x = I.Imm (Bitval.of_float x)
+
+let count_instrs (fn : P.func) =
+  Array.fold_left (fun acc b -> acc + Array.length b) 0 fn.P.blocks
+
+let find_instr (fn : P.func) pred =
+  Array.exists (Array.exists pred) fn.P.blocks
+
+let mk body nregs =
+  { P.fname = "f"; nparams = 0; nregs; blocks = [| Array.of_list body |] }
+
+let pass_tests =
+  [
+    Alcotest.test_case "const_fold evaluates immediate arithmetic" `Quick
+      (fun () ->
+        let fn =
+          mk [ I.Ibin (0, I.Add, T.I64, imm 2L, imm 3L); I.Ret (Some (I.Reg 0)) ] 1
+        in
+        let fn' = Passes.const_fold fn in
+        assert (find_instr fn' (function
+          | I.Mov (0, I.Imm v) -> Int64.equal (Bitval.to_int64 v) 5L
+          | _ -> false)));
+    Alcotest.test_case "const_fold keeps trapping division" `Quick (fun () ->
+        let fn =
+          mk [ I.Ibin (0, I.Sdiv, T.I64, imm 2L, imm 0L); I.Ret None ] 1
+        in
+        let fn' = Passes.const_fold fn in
+        assert (find_instr fn' (function I.Ibin (_, I.Sdiv, _, _, _) -> true | _ -> false)));
+    Alcotest.test_case "const_fold folds float compares and selects" `Quick
+      (fun () ->
+        let fn =
+          mk
+            [
+              I.Fcmp (0, I.Folt, fimm 1.0, fimm 2.0);
+              I.Select (1, imm 1L, fimm 7.0, fimm 9.0);
+              I.Ret (Some (I.Reg 1));
+            ]
+            2
+        in
+        let fn' = Passes.const_fold fn in
+        assert (find_instr fn' (function
+          | I.Mov (1, I.Imm v) -> Float.equal (Bitval.to_float v) 7.0
+          | _ -> false)));
+    Alcotest.test_case "copy_prop forwards moves into uses" `Quick (fun () ->
+        let fn =
+          mk
+            [
+              I.Mov (0, imm 4L);
+              I.Ibin (1, I.Add, T.I64, I.Reg 0, imm 1L);
+              I.Ret (Some (I.Reg 1));
+            ]
+            2
+        in
+        let fn' = Passes.copy_prop fn in
+        assert (find_instr fn' (function
+          | I.Ibin (1, I.Add, _, I.Imm _, _) -> true
+          | _ -> false)));
+    Alcotest.test_case "copy_prop invalidates on redefinition" `Quick
+      (fun () ->
+        let fn =
+          mk
+            [
+              I.Mov (0, imm 4L);
+              I.Mov (0, imm 9L);
+              I.Ibin (1, I.Add, T.I64, I.Reg 0, imm 1L);
+              I.Ret (Some (I.Reg 1));
+            ]
+            2
+        in
+        let fn' = Passes.copy_prop fn in
+        assert (find_instr fn' (function
+          | I.Ibin (1, I.Add, _, I.Imm v, _) ->
+            Int64.equal (Bitval.to_int64 v) 9L
+          | _ -> false)));
+    Alcotest.test_case "branch_simplify rewrites constant conditions" `Quick
+      (fun () ->
+        let fn =
+          {
+            P.fname = "f"; nparams = 0; nregs = 0;
+            blocks =
+              [|
+                [| I.Cbr (I.Imm (Bitval.of_bool true), 1, 2) |];
+                [| I.Ret None |];
+                [| I.Ret None |];
+              |];
+          }
+        in
+        let fn' = Passes.branch_simplify fn in
+        assert (find_instr fn' (function I.Br 1 -> true | _ -> false)));
+    Alcotest.test_case "dce removes dead pure chains" `Quick (fun () ->
+        let fn =
+          mk
+            [
+              I.Ibin (0, I.Add, T.I64, imm 1L, imm 2L);  (* dead *)
+              I.Ibin (1, I.Mul, T.I64, I.Reg 0, imm 3L); (* dead *)
+              I.Ret None;
+            ]
+            2
+        in
+        let fn' = Passes.dce fn in
+        Alcotest.(check int) "only ret remains" 1 (count_instrs fn'));
+    Alcotest.test_case "dce keeps stores, calls and traps" `Quick (fun () ->
+        let fn =
+          mk
+            [
+              I.Store (T.F64, fimm 1.0, imm 512L);
+              I.Call (Some 0, "sqrt", [ fimm 4.0 ]); (* dest dead, call kept *)
+              I.Ibin (1, I.Sdiv, T.I64, imm 1L, imm 0L); (* may trap *)
+              I.Ret None;
+            ]
+            2
+        in
+        let fn' = Passes.dce fn in
+        Alcotest.(check int) "all kept" 4 (count_instrs fn'));
+    Alcotest.test_case "optimize_func reaches a fixpoint" `Quick (fun () ->
+        let fn =
+          mk
+            [
+              I.Ibin (0, I.Add, T.I64, imm 2L, imm 3L);
+              I.Ibin (1, I.Mul, T.I64, I.Reg 0, imm 4L);
+              I.Mov (2, I.Reg 1);
+              I.Ret (Some (I.Reg 2));
+            ]
+            3
+        in
+        let fn' = Passes.optimize_func fn in
+        (* everything folds into returning the immediate 20 *)
+        assert (count_instrs fn' <= 2);
+        assert (find_instr fn' (function
+          | I.Ret (Some (I.Imm v)) -> Int64.equal (Bitval.to_int64 v) 20L
+          | I.Ret (Some (I.Reg _)) -> true
+          | _ -> false)));
+  ]
+
+(* Differential execution: every benchmark behaves identically at -O2. *)
+let differential_tests =
+  [
+    Alcotest.test_case "optimized benchmarks produce identical outputs"
+      `Slow (fun () ->
+        List.iter
+          (fun (e : Moard_kernels.Registry.entry) ->
+            let w = e.Moard_kernels.Registry.workload () in
+            let run prog =
+              let m = Machine.load prog in
+              let r = Machine.run m ~entry:w.Moard_inject.Workload.entry in
+              match r.Machine.outcome with
+              | Machine.Finished _ ->
+                List.concat_map
+                  (fun name ->
+                    match
+                      (P.global prog name).P.gty
+                    with
+                    | T.F64 ->
+                      Array.to_list
+                        (Array.map Int64.bits_of_float
+                           (Machine.read_f64s m r.Machine.mem name))
+                    | _ ->
+                      Array.to_list (Machine.read_i64s m r.Machine.mem name))
+                  w.Moard_inject.Workload.outputs
+              | Machine.Trapped t ->
+                Alcotest.failf "%s trapped: %s" e.Moard_kernels.Registry.benchmark
+                  (Moard_vm.Trap.to_string t)
+            in
+            let plain = run w.Moard_inject.Workload.program in
+            let opt = run (Passes.optimize w.Moard_inject.Workload.program) in
+            if plain <> opt then
+              Alcotest.failf "%s: optimized outputs differ"
+                e.Moard_kernels.Registry.benchmark)
+          Moard_kernels.Registry.all);
+    Alcotest.test_case "optimization shortens traces" `Quick (fun () ->
+        let w = Moard_kernels.Lulesh.workload () in
+        let steps prog =
+          let m = Machine.load prog in
+          (Machine.run m ~entry:"main").Machine.steps
+        in
+        let before = steps w.Moard_inject.Workload.program in
+        let after = steps (Passes.optimize w.Moard_inject.Workload.program) in
+        assert (after <= before));
+    Alcotest.test_case "optimized programs still validate" `Quick (fun () ->
+        List.iter
+          (fun (e : Moard_kernels.Registry.entry) ->
+            let w = e.Moard_kernels.Registry.workload () in
+            let p = Passes.optimize w.Moard_inject.Workload.program in
+            match
+              Moard_ir.Validate.check_program
+                ~intrinsics:Moard_vm.Semantics.intrinsics p
+            with
+            | Ok () -> ()
+            | Error msg -> Alcotest.fail msg)
+          Moard_kernels.Registry.all);
+  ]
+
+let suite =
+  [ ("opt.passes", pass_tests); ("opt.differential", differential_tests) ]

@@ -1,0 +1,75 @@
+(* The multicore driver must agree exactly with the sequential analysis. *)
+
+module Advf = Moard_core.Advf
+
+let workload () = Moard_kernels.Lulesh.workload ()
+
+let close = Alcotest.float 1e-12
+
+let tests =
+  [
+    Alcotest.test_case "parallel equals sequential" `Slow (fun () ->
+        let seq =
+          Moard_core.Model.analyze
+            (Moard_inject.Context.make (workload ()))
+            ~object_name:"m_delv_zeta"
+        in
+        let par =
+          Moard_parallel.Parallel_model.analyze ~domains:3 ~workload
+            ~object_name:"m_delv_zeta" ()
+        in
+        Alcotest.check close "aDVF" seq.Advf.advf par.Advf.advf;
+        Alcotest.(check int) "involvements" seq.Advf.involvements
+          par.Advf.involvements;
+        Array.iteri
+          (fun t s -> Alcotest.check close "level" s par.Advf.by_level.(t))
+          seq.Advf.by_level;
+        Array.iteri
+          (fun t s -> Alcotest.check close "kind" s par.Advf.by_kind.(t))
+          seq.Advf.by_kind);
+    Alcotest.test_case "one domain falls back to sequential" `Quick
+      (fun () ->
+        let r =
+          Moard_parallel.Parallel_model.analyze ~domains:1
+            ~workload:(fun () ->
+              Moard_kernels.Lulesh.workload ~nelem:6 ())
+            ~object_name:"m_elemBC" ()
+        in
+        assert (r.Advf.advf >= 0.0 && r.Advf.advf <= 1.0));
+    Alcotest.test_case "merge is involvement-weighted" `Quick (fun () ->
+        let mk name m advf events =
+          {
+            Advf.object_name = name;
+            involvements = m;
+            masking_events = events;
+            advf;
+            by_level = [| advf; 0.0; 0.0 |];
+            by_kind = [| advf; 0.0; 0.0; 0.0 |];
+            patterns_analyzed = m * 64;
+            op_resolved = m;
+            prop_resolved = 0;
+            fi_resolved = 0;
+            unresolved = 0;
+            fi_runs = 0;
+            fi_cache_hits = 0;
+            verdict_cache_hits = 0;
+          }
+        in
+        let merged = Advf.merge [ mk "x" 10 1.0 10.0; mk "x" 30 0.5 15.0 ] in
+        Alcotest.check close "weighted aDVF" 0.625 merged.Advf.advf;
+        Alcotest.(check int) "involvements" 40 merged.Advf.involvements;
+        Alcotest.check close "events" 25.0 merged.Advf.masking_events;
+        Alcotest.check close "levels follow" 0.625 merged.Advf.by_level.(0));
+    Alcotest.test_case "merge rejects mixed objects" `Quick (fun () ->
+        let r =
+          Moard_core.Model.analyze
+            (Moard_inject.Context.make
+               (Moard_kernels.Lulesh.workload ~nelem:6 ()))
+            ~object_name:"m_elemBC"
+        in
+        match Advf.merge [ r; { r with Advf.object_name = "other" } ] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+  ]
+
+let suite = [ ("parallel.model", tests) ]

@@ -1,0 +1,115 @@
+(* Protection placement: greedy plan properties. *)
+
+module Placement = Moard_core.Placement
+module Advf = Moard_core.Advf
+
+let report name ~involvements ~advf =
+  {
+    Advf.object_name = name;
+    involvements;
+    masking_events = advf *. float_of_int involvements;
+    advf;
+    by_level = [| advf; 0.0; 0.0 |];
+    by_kind = [| advf; 0.0; 0.0; 0.0 |];
+    patterns_analyzed = involvements * 64;
+    op_resolved = 0;
+    prop_resolved = 0;
+    fi_resolved = 0;
+    unresolved = 0;
+    fi_runs = 0;
+    fi_cache_hits = 0;
+    verdict_cache_hits = 0;
+  }
+
+let vulnerable = report "colidx" ~involvements:100 ~advf:0.05
+let resilient = report "r" ~involvements:100 ~advf:0.95
+let medium = report "rowstr" ~involvements:50 ~advf:0.5
+
+let close = Alcotest.float 1e-9
+
+let tests =
+  [
+    Alcotest.test_case "budget 1 picks the vulnerable object" `Quick
+      (fun () ->
+        let plan =
+          Placement.plan ~budget:1.0
+            [
+              Placement.candidate vulnerable;
+              Placement.candidate resilient;
+              Placement.candidate medium;
+            ]
+        in
+        let chosen =
+          List.filter (fun d -> d.Placement.chosen) plan.Placement.decisions
+        in
+        Alcotest.(check (list string)) "chosen" [ "colidx" ]
+          (List.map (fun d -> d.Placement.object_name) chosen));
+    Alcotest.test_case "risk accounting is conserved" `Quick (fun () ->
+        let plan =
+          Placement.plan ~budget:2.0
+            [
+              Placement.candidate vulnerable;
+              Placement.candidate resilient;
+              Placement.candidate medium;
+            ]
+        in
+        let removed =
+          List.fold_left
+            (fun acc d -> acc +. d.Placement.risk_removed)
+            0.0 plan.Placement.decisions
+        in
+        Alcotest.check close "baseline - removed = residual"
+          plan.Placement.residual_risk
+          (plan.Placement.baseline_risk -. removed);
+        assert (plan.Placement.residual_risk >= 0.0));
+    Alcotest.test_case "zero budget protects nothing" `Quick (fun () ->
+        let plan =
+          Placement.plan ~budget:0.0 [ Placement.candidate vulnerable ]
+        in
+        Alcotest.check close "residual = baseline"
+          plan.Placement.baseline_risk plan.Placement.residual_risk;
+        Alcotest.check close "no cost" 0.0 plan.Placement.total_cost);
+    Alcotest.test_case "partial effectiveness removes a fraction" `Quick
+      (fun () ->
+        let plan =
+          Placement.plan ~budget:1.0
+            [ Placement.candidate ~effectiveness:0.5 vulnerable ]
+        in
+        Alcotest.check close "half removed"
+          (plan.Placement.baseline_risk /. 2.0)
+          plan.Placement.residual_risk);
+    Alcotest.test_case "cost-aware greedy prefers better value" `Quick
+      (fun () ->
+        (* medium removes less risk but is 10x cheaper than vulnerable *)
+        let plan =
+          Placement.plan ~budget:0.1
+            [
+              Placement.candidate ~cost:1.0 vulnerable;
+              Placement.candidate ~cost:0.1 medium;
+            ]
+        in
+        let chosen =
+          List.filter (fun d -> d.Placement.chosen) plan.Placement.decisions
+        in
+        Alcotest.(check (list string)) "chosen" [ "rowstr" ]
+          (List.map (fun d -> d.Placement.object_name) chosen));
+    Alcotest.test_case "input validation" `Quick (fun () ->
+        (match Placement.plan ~budget:1.0 [] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "empty accepted");
+        match
+          Placement.plan ~budget:1.0
+            [ Placement.candidate ~cost:(-1.0) vulnerable ]
+        with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "negative cost accepted");
+    Alcotest.test_case "plan renders" `Quick (fun () ->
+        let plan =
+          Placement.plan ~budget:1.0
+            [ Placement.candidate vulnerable; Placement.candidate resilient ]
+        in
+        let s = Format.asprintf "%a" Placement.pp_plan plan in
+        assert (String.length s > 40));
+  ]
+
+let suite = [ ("core.placement", tests) ]

@@ -1,0 +1,72 @@
+(* Chart rendering and the propagation-bound study. *)
+
+module Chart = Moard_report.Chart
+
+let chart_tests =
+  [
+    Alcotest.test_case "bar width and fill" `Quick (fun () ->
+        Alcotest.(check int) "width" 40 (String.length (Chart.bar 0.5));
+        Alcotest.(check string) "empty" (String.make 10 ' ')
+          (Chart.bar ~width:10 0.0);
+        Alcotest.(check string) "full" (String.make 10 '#')
+          (Chart.bar ~width:10 1.0);
+        Alcotest.(check string) "clamped" (String.make 10 '#')
+          (Chart.bar ~width:10 7.0));
+    Alcotest.test_case "stacked respects segment glyphs" `Quick (fun () ->
+        let s = Chart.stacked ~width:10 [ ('a', 0.5); ('b', 0.3) ] in
+        Alcotest.(check string) "aaaaabbb  " "aaaaabbb  " s);
+    Alcotest.test_case "stacked never overflows" `Quick (fun () ->
+        let s = Chart.stacked ~width:10 [ ('a', 0.9); ('b', 0.9) ] in
+        Alcotest.(check int) "width" 10 (String.length s));
+    Alcotest.test_case "row formatting" `Quick (fun () ->
+        let s = Chart.row ~label:"x" ~value:0.25 (Chart.bar ~width:4 0.25) in
+        assert (String.length s > 10);
+        assert (String.contains s '|'));
+    Alcotest.test_case "whisker contains center and bounds" `Quick
+      (fun () ->
+        let s = Chart.whisker ~width:20 ~center:0.5 ~margin:0.2 () in
+        Alcotest.(check int) "width" 20 (String.length s);
+        assert (String.contains s '#');
+        assert (String.contains s '-'));
+  ]
+
+let bound_tests =
+  [
+    Alcotest.test_case "bound study on the synthetic workload" `Slow
+      (fun () ->
+        let w =
+          let open Moard_lang.Ast.Dsl in
+          Tutil.workload_of ~targets:[ "a" ]
+            [ garr_f64_init "a" [| 1.0; 2.0; 3.0; 4.0 |]; garr_f64 "out" 1 ]
+            [
+              fn "main"
+                [
+                  flt_ "s" (f 0.0);
+                  for_ "k" (i 0) (i 4) [ "s" <-- v "s" + "a".%(v "k") ];
+                  ("out".%(i 0) <- v "s");
+                  ret_void;
+                ];
+            ]
+            "bound-synthetic"
+        in
+        let ctx = Moard_inject.Context.make w in
+        let points =
+          Moard_core.Bound.study ~samples:40 ~k_values:[ 2; 50 ] ctx
+            ~object_name:"a"
+        in
+        List.iter
+          (fun (p : Moard_core.Bound.point) ->
+            Alcotest.(check int) "partition" p.Moard_core.Bound.sampled
+              (p.Moard_core.Bound.masked_within_k + p.Moard_core.Bound.survivors);
+            assert (p.Moard_core.Bound.fraction_incorrect >= 0.0
+                    && p.Moard_core.Bound.fraction_incorrect <= 1.0))
+          points;
+        (* a longer window can only mask more *)
+        match points with
+        | [ p2; p50 ] ->
+          assert (p50.Moard_core.Bound.masked_within_k
+                  >= p2.Moard_core.Bound.masked_within_k)
+        | _ -> Alcotest.fail "two points expected");
+  ]
+
+let suite = [ ("report.chart", chart_tests); ("core.bound", bound_tests) ]

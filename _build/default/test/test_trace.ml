@@ -1,0 +1,191 @@
+(* Trace infrastructure: data objects, tape liveness, consumption rules. *)
+
+module DO = Moard_trace.Data_object
+module Reg = Moard_trace.Registry
+module Tape = Moard_trace.Tape
+module Consume = Moard_trace.Consume
+module Event = Moard_trace.Event
+module Machine = Moard_vm.Machine
+module T = Moard_ir.Types
+module Ast = Moard_lang.Ast
+
+let obj = DO.make ~name:"a" ~base:256 ~elems:4 ~ty:T.F64
+
+let data_object_tests =
+  [
+    Alcotest.test_case "geometry" `Quick (fun () ->
+        Alcotest.(check int) "bytes" 32 (DO.bytes obj);
+        Alcotest.(check int) "elem size" 8 (DO.elem_size obj);
+        assert (DO.contains obj 256);
+        assert (DO.contains obj 287);
+        assert (not (DO.contains obj 288));
+        assert (not (DO.contains obj 255)));
+    Alcotest.test_case "element addressing" `Quick (fun () ->
+        assert (DO.elem_of_addr obj 272 = Some 2);
+        assert (DO.elem_of_addr obj 273 = None);
+        assert (DO.elem_of_addr obj 1000 = None);
+        Alcotest.(check int) "addr of elem" 280 (DO.addr_of_elem obj 3);
+        Alcotest.check_raises "oob elem"
+          (Invalid_argument "Data_object.addr_of_elem") (fun () ->
+            ignore (DO.addr_of_elem obj 4)));
+    Alcotest.test_case "registry rejects overlaps and duplicates" `Quick
+      (fun () ->
+        let o2 = DO.make ~name:"b" ~base:280 ~elems:2 ~ty:T.F64 in
+        (match Reg.of_objects [ obj; o2 ] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "overlap accepted");
+        match Reg.of_objects [ obj; { obj with DO.base = 512 } ] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "duplicate name accepted");
+    Alcotest.test_case "owner lookup" `Quick (fun () ->
+        let o2 = DO.make ~name:"b" ~base:512 ~elems:2 ~ty:T.I32 in
+        let reg = Reg.of_objects [ obj; o2 ] in
+        assert (Reg.owner reg 260 = Some obj);
+        assert (Reg.owner reg 513 = Some o2);
+        assert (Reg.owner reg 4096 = None));
+  ]
+
+(* A workload exercising every consumption rule. *)
+let traced () =
+  let open Ast.Dsl in
+  let prog =
+    Moard_lang.Compile.program
+      {
+        Ast.globals =
+          [
+            garr_f64_init "a" [| 1.0; 2.0; 3.0; 4.0 |];
+            garr_i64_init "ix" [| 2L |];
+            garr_f64 "out" 1;
+          ];
+        funs =
+          [
+            fn "helper" ~params:[ ("x", Ast.Tf64) ] ~ret:Ast.Tf64
+              [ ret (v "x" * f 2.0) ];
+            fn "main"
+              [
+                flt_ "t" ("a".%(i 0));          (* load + mov: pure copies *)
+                flt_ "u" (v "t" + f 1.0);       (* fadd consumes a[0] *)
+                ("a".%(i 1) <- v "u");          (* store-dest consumption *)
+                flt_ "w" (call "helper" [ "a".%(i 2) ]);  (* consumed inside *)
+                ("out".%(i 0) <- v "w" + "a".%("ix".%(i 0)));
+                ret_void;
+              ];
+          ];
+      }
+  in
+  let m = Machine.load prog in
+  let _, tape = Machine.trace m ~entry:"main" in
+  (m, tape)
+
+let consume_tests =
+  [
+    Alcotest.test_case "pure copies are not consumptions" `Quick (fun () ->
+        let m, tape = traced () in
+        let a = Machine.object_of m "a" in
+        let sites = Consume.of_tape tape a in
+        (* a[0] via fadd, a[1] store-dest, a[2] inside helper (fmul),
+           a[2]-argument is a copy, a[ix[0]] via the final fadd. *)
+        List.iter
+          (fun (s : Consume.t) ->
+            let e = Tape.get tape s.Consume.event_idx in
+            assert (Consume.consuming_event e
+                    || s.Consume.kind = Consume.Store_dest))
+          sites;
+        Alcotest.(check int) "consumption count" 4 (List.length sites));
+    Alcotest.test_case "elements and kinds are right" `Quick (fun () ->
+        let m, tape = traced () in
+        let a = Machine.object_of m "a" in
+        let sites = Consume.of_tape tape a in
+        let elems =
+          List.map
+            (fun (s : Consume.t) ->
+              ( s.Consume.elem,
+                match s.Consume.kind with
+                | Consume.Read _ -> `R
+                | Consume.Store_dest -> `W ))
+            sites
+        in
+        assert (List.mem (0, `R) elems);
+        assert (List.mem (1, `W) elems);
+        assert (List.mem (2, `R) elems);
+        assert (List.mem (2, `R) elems));
+    Alcotest.test_case "segment filter drops helper consumptions" `Quick
+      (fun () ->
+        let m, tape = traced () in
+        let a = Machine.object_of m "a" in
+        let only_main = Consume.of_tape ~segment:(String.equal "main") tape a in
+        Alcotest.(check int) "main only" 3 (List.length only_main));
+    Alcotest.test_case "integer index array consumed by address math" `Quick
+      (fun () ->
+        let m, tape = traced () in
+        let ix = Machine.object_of m "ix" in
+        let sites = Consume.of_tape tape ix in
+        (* ix[0] feeds a gep *)
+        assert (List.length sites >= 1);
+        List.iter
+          (fun (s : Consume.t) ->
+            assert (s.Consume.width = Moard_bits.Bitval.W64))
+          sites);
+    Alcotest.test_case "patterns match site width" `Quick (fun () ->
+        let m, tape = traced () in
+        let a = Machine.object_of m "a" in
+        List.iter
+          (fun (s : Consume.t) ->
+            Alcotest.(check int) "64 patterns" 64
+              (List.length (Consume.patterns s)))
+          (Consume.of_tape tape a));
+  ]
+
+let tape_tests =
+  [
+    Alcotest.test_case "get bounds" `Quick (fun () ->
+        let _, tape = traced () in
+        Alcotest.check_raises "oob" (Invalid_argument "Tape.get") (fun () ->
+            ignore (Tape.get tape (Tape.length tape))));
+    Alcotest.test_case "liveness: registers die at their last read" `Quick
+      (fun () ->
+        let _, tape = traced () in
+        (* For every event reading a register, last_reg_read >= its idx. *)
+        Tape.iter
+          (fun e ->
+            List.iteri
+              (fun _slot op ->
+                match (op : Moard_ir.Instr.operand) with
+                | Moard_ir.Instr.Reg r ->
+                  assert (
+                    Tape.last_reg_read tape ~frame:e.Event.frame ~reg:r
+                    >= e.Event.idx)
+                | _ -> ())
+              (Moard_ir.Instr.reads e.Event.instr))
+          tape);
+    Alcotest.test_case "liveness: unknown register reads -1" `Quick
+      (fun () ->
+        let _, tape = traced () in
+        Alcotest.(check int) "never read" (-1)
+          (Tape.last_reg_read tape ~frame:9999 ~reg:0));
+    Alcotest.test_case "liveness: memory reads tracked" `Quick (fun () ->
+        let m, tape = traced () in
+        let base = Machine.base_of m "a" in
+        assert (Tape.last_mem_read tape ~addr:base >= 0);
+        Alcotest.(check int) "never loaded addr" (-1)
+          (Tape.last_mem_read tape ~addr:4));
+    Alcotest.test_case "iteri_from covers a suffix in order" `Quick
+      (fun () ->
+        let _, tape = traced () in
+        let seen = ref [] in
+        Tape.iteri_from 5 (fun idx e ->
+            assert (idx = e.Event.idx);
+            seen := idx :: !seen) tape;
+        assert (List.rev !seen
+                = List.init (Tape.length tape - 5) (fun k -> k + 5)));
+    Alcotest.test_case "fold counts events" `Quick (fun () ->
+        let _, tape = traced () in
+        assert (Tape.fold (fun acc _ -> acc + 1) 0 tape = Tape.length tape));
+  ]
+
+let suite =
+  [
+    ("trace.data-object", data_object_tests);
+    ("trace.consume", consume_tests);
+    ("trace.tape", tape_tests);
+  ]

@@ -1,0 +1,35 @@
+(* Shared helpers for model-level tests: build a MiniC workload, trace it,
+   and locate consumption sites of an object. *)
+
+module Ast = Moard_lang.Ast
+module Machine = Moard_vm.Machine
+module Tape = Moard_trace.Tape
+module Consume = Moard_trace.Consume
+
+let trace_program ?(entry = "main") globals funs =
+  let prog = Moard_lang.Compile.program { Ast.globals; funs } in
+  let m = Machine.load prog in
+  let _, tape = Machine.trace m ~entry in
+  (m, tape)
+
+let sites m tape gname =
+  Consume.of_tape tape (Machine.object_of m gname)
+
+let site_on m tape gname pred =
+  match List.filter pred (sites m tape gname) with
+  | s :: _ -> s
+  | [] -> Alcotest.fail ("no matching consumption site for " ^ gname)
+
+let is_read (s : Consume.t) =
+  match s.Consume.kind with Consume.Read _ -> true | _ -> false
+
+let is_store (s : Consume.t) =
+  match s.Consume.kind with Consume.Store_dest -> true | _ -> false
+
+let event_of tape (s : Consume.t) = Tape.get tape s.Consume.event_idx
+
+let workload_of ?(targets = []) ?(outputs = [ "out" ]) ?accept ?segment
+    globals funs name =
+  let prog = Moard_lang.Compile.program { Ast.globals; funs } in
+  Moard_inject.Workload.make ~name ~program:prog ?segment ~targets ~outputs ?accept
+    ()
