@@ -458,6 +458,119 @@ let timing () =
 
 (* ------------------------------------------------------------------ *)
 
+(* The streaming-pipeline benchmark: tracing throughput into the packed
+   tape, its footprint against the boxed representation it replaced, and
+   domain scaling of the analysis over one shared golden run. Writes
+   BENCH_pipeline.json (full mode only; --quick is the CI smoke test). *)
+
+let quick = ref false
+
+let pipeline () =
+  section
+    "Streaming trace pipeline: packed tape, shared golden run, domain \
+     scaling (AMG)";
+  let e = Registry.find "AMG" in
+  let obj = "ipiv" in
+  let g0 = Context.golden_executions () in
+  let ctx = Context.make (e.Registry.workload ()) in
+  let machine = Context.machine ctx in
+  let entry = (Context.workload ctx).Moard_inject.Workload.entry in
+  let tape = Context.tape ctx in
+  let events = Moard_trace.Tape.length tape in
+  (* Tracing throughput: golden run + packed emission, best of N. *)
+  let reps = if !quick then 1 else 3 in
+  let trace_s = ref infinity in
+  for _ = 1 to reps do
+    let t = Unix.gettimeofday () in
+    ignore (Moard_vm.Machine.trace machine ~entry);
+    trace_s := Float.min !trace_s (Unix.gettimeofday () -. t)
+  done;
+  let events_per_sec = float_of_int events /. !trace_s in
+  note "tracing: %d events in %.4fs (%.0f events/sec)" events !trace_s
+    events_per_sec;
+  (* Footprint: packed store vs the boxed tape it replaced. *)
+  let packed = Moard_trace.Tape.packed_bytes tape in
+  let boxed = Moard_trace.Tape.boxed_bytes_estimate tape in
+  let reduction = float_of_int boxed /. float_of_int packed in
+  note "tape footprint: %d bytes packed vs %d boxed (%.2fx reduction)" packed
+    boxed reduction;
+  (* Domain scaling over the one frozen tape. Each measurement analyzes on
+     a fresh context shard, with the error-equivalence cache off: cached
+     verdict reuse is partition-dependent (the equivalence key is a
+     heuristic), so only the uncached analysis is bit-identical across
+     domain counts. *)
+  let host_cores = Domain.recommended_domain_count () in
+  let domain_counts = if !quick then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let options = { Model.default_options with use_cache = false } in
+  let runs =
+    List.map
+      (fun d ->
+        let t = Unix.gettimeofday () in
+        let r =
+          Moard_parallel.Parallel_model.analyze_ctx ~options ~domains:d
+            (Context.shard ctx) ~object_name:obj
+        in
+        let s = Unix.gettimeofday () -. t in
+        note "analyze %s/%s on %d domain(s): %.3fs (aDVF %.6f)"
+          e.Registry.benchmark obj d s r.Advf.advf;
+        (d, s, r))
+      domain_counts
+  in
+  let _, t1, r1 = List.hd runs in
+  let identical =
+    List.for_all (fun (_, _, r) -> r.Advf.advf = r1.Advf.advf) runs
+  in
+  let goldens = Context.golden_executions () - g0 in
+  Printf.printf
+    "\n\
+     golden executions for the whole pipeline: %d (shared by tracing, \n\
+     site enumeration and all %d analysis configurations)\n\
+     aDVF bit-identical across domain counts: %b\n"
+    goldens (List.length runs) identical;
+  List.iter
+    (fun (d, s, _) ->
+      Printf.printf "  %d domain(s): %7.3fs  speedup %.2fx\n" d s (t1 /. s))
+    runs;
+  if host_cores < List.fold_left (fun a (d, _, _) -> max a d) 1 runs then
+    Printf.printf
+      "  (host has %d core(s): domains beyond that only measure \
+       synchronization overhead, not speedup)\n"
+      host_cores;
+  if goldens <> 1 then failwith "pipeline: golden run executed more than once";
+  if not identical then failwith "pipeline: aDVF drifted across domains";
+  if !quick then note "quick mode: not writing BENCH_pipeline.json"
+  else begin
+    let oc = open_out "BENCH_pipeline.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"benchmark\": %S,\n\
+      \  \"object\": %S,\n\
+      \  \"events\": %d,\n\
+      \  \"trace_seconds\": %.6f,\n\
+      \  \"events_per_sec\": %.0f,\n\
+      \  \"packed_bytes\": %d,\n\
+      \  \"boxed_bytes_estimate\": %d,\n\
+      \  \"packing_reduction\": %.3f,\n\
+      \  \"golden_executions\": %d,\n\
+      \  \"use_cache\": false,\n\
+      \  \"host_cores\": %d,\n\
+      \  \"advf\": \"%h\",\n\
+      \  \"advf_bit_identical_across_domains\": %b,\n\
+      \  \"domains\": [\n"
+      e.Registry.benchmark obj events !trace_s events_per_sec packed boxed
+      reduction goldens host_cores r1.Advf.advf identical;
+    List.iteri
+      (fun i (d, s, _) ->
+        Printf.fprintf oc
+          "    { \"domains\": %d, \"seconds\": %.4f, \"speedup\": %.3f }%s\n"
+          d s (t1 /. s)
+          (if i = List.length runs - 1 then "" else ","))
+      runs;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    note "wrote BENCH_pipeline.json"
+  end
+
 let experiments =
   [
     ("table1", table1);
@@ -470,13 +583,15 @@ let experiments =
     ("bound", bound);
     ("ablation", ablation);
     ("timing", timing);
+    ("pipeline", pipeline);
   ]
 
 let () =
+  let argv = List.tl (Array.to_list Sys.argv) in
+  let quick_flags, names = List.partition (fun a -> a = "--quick") argv in
+  quick := quick_flags <> [];
   let args =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as rest) -> rest
-    | _ -> List.map fst experiments
+    match names with [] -> List.map fst experiments | rest -> rest
   in
   List.iter
     (fun name ->

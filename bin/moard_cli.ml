@@ -89,36 +89,33 @@ let analyze_cmd =
     let options =
       { Model.default_options with k; fi_budget; use_cache = not no_cache }
     in
-    if jobs > 1 then
-      let workload () =
-        let w = e.Registry.workload () in
-        if optimize then
-          { w with
-            Moard_inject.Workload.program =
-              Moard_opt.Passes.optimize w.Moard_inject.Workload.program }
-        else w
-      in
-      List.iter
-        (fun obj ->
-          let r =
-            Moard_parallel.Parallel_model.analyze ~options ~domains:jobs
-              ~workload ~object_name:obj ()
-          in
-          Format.printf "%a@.@." Advf.pp_report r)
-        (pick_objects e objs)
-    else
-      let ctx = make_ctx e ~optimize in
-      List.iter
-        (fun obj ->
-          let r = Model.analyze ~options ctx ~object_name:obj in
-          Format.printf "%a@.@." Advf.pp_report r)
-        (pick_objects e objs)
+    (* One context -- and therefore one golden execution -- no matter how
+       many objects or domains. *)
+    let ctx = make_ctx e ~optimize in
+    let tape = Context.tape ctx in
+    Logs.info (fun m ->
+        m "golden tape: %d events, %d bytes packed (%d golden execution%s)"
+          (Moard_trace.Tape.length tape)
+          (Moard_trace.Tape.packed_bytes tape)
+          (Context.golden_executions ())
+          (if Context.golden_executions () = 1 then "" else "s"));
+    List.iter
+      (fun obj ->
+        let r =
+          if jobs > 1 then
+            Moard_parallel.Parallel_model.analyze_ctx ~options ~domains:jobs
+              ctx ~object_name:obj
+          else Model.analyze ~options ctx ~object_name:obj
+        in
+        Format.printf "%a@.@." Advf.pp_report r)
+      (pick_objects e objs)
   in
   let jobs_arg =
     Arg.(
       value & opt int 1
-      & info [ "j"; "jobs" ]
-          ~doc:"Analyze consumption sites on this many domains in parallel.")
+      & info [ "j"; "jobs"; "domains" ] ~docv:"N"
+          ~doc:"Analyze consumption sites on this many domains in parallel \
+                (the golden run is still executed and traced only once).")
   in
   let k_arg =
     Arg.(

@@ -67,6 +67,22 @@ let add_pattern t ~weight ~stage verdict =
       t.kind_sum.(ki) <- t.kind_sum.(ki) +. weight
     end
 
+let absorb t other =
+  if not (String.equal t.object_name other.object_name) then
+    invalid_arg "Advf.absorb: object names differ";
+  t.involvements <- t.involvements + other.involvements;
+  t.events <- t.events +. other.events;
+  Array.iteri (fun i s -> t.level_sum.(i) <- t.level_sum.(i) +. s)
+    other.level_sum;
+  Array.iteri (fun i s -> t.kind_sum.(i) <- t.kind_sum.(i) +. s)
+    other.kind_sum;
+  t.patterns <- t.patterns + other.patterns;
+  t.op_n <- t.op_n + other.op_n;
+  t.prop_n <- t.prop_n + other.prop_n;
+  t.fi_n <- t.fi_n + other.fi_n;
+  t.cached_n <- t.cached_n + other.cached_n;
+  t.gave_up <- t.gave_up + other.gave_up
+
 let report t ~fi_runs ~fi_cache_hits =
   let m = float_of_int (max t.involvements 1) in
   {

@@ -37,6 +37,14 @@ val add_involvement : t -> unit
 val add_pattern : t -> weight:float -> stage:stage -> Verdict.t -> unit
 (** [weight] is 1 / (patterns of this involvement). *)
 
+val absorb : t -> t -> unit
+(** [absorb t other] folds [other]'s accumulated state into [t] — the
+    online counterpart of {!merge}: verdict streams accumulated separately
+    (e.g. per consumption-site shard) combine into exactly the sums a
+    single accumulator fed the concatenated stream would hold, because
+    every field is a plain sum. [other] is unchanged.
+    @raise Invalid_argument if the object names differ. *)
+
 val report :
   t -> fi_runs:int -> fi_cache_hits:int -> report
 

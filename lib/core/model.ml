@@ -51,12 +51,6 @@ let analyze ?(options = default_options) ?site_filter ctx ~object_name =
   let outputs =
     List.map (Context.object_of ctx) w.Moard_inject.Workload.outputs
   in
-  let sites = Consume.of_tape ~segment:(Context.segment ctx) tape obj in
-  let sites =
-    match site_filter with
-    | None -> sites
-    | Some keep -> List.filteri (fun i _ -> keep i) sites
-  in
   let acc = Advf.create object_name in
   let vcache : (vkey, Verdict.t * Advf.stage) Hashtbl.t =
     Hashtbl.create 4096
@@ -113,31 +107,39 @@ let analyze ?(options = default_options) ?site_filter ctx ~object_name =
       | Propagation.Crash_certain _ -> (Verdict.Not_masked, Advf.Prop)
       | Propagation.Unresolved _ -> fi site pattern ~overshadow)
   in
-  List.iter
-    (fun site ->
-      Advf.add_involvement acc;
-      let patterns =
-        match options.multi with
-        | [] -> Consume.patterns site
-        | multi -> Pattern.enumerate ~multi site.Consume.width
-      in
-      let weight = 1.0 /. float_of_int (List.length patterns) in
-      List.iter
-        (fun pattern ->
-          let verdict, stage =
-            if not options.use_cache then resolve site pattern
-            else
-              let key = vkey_of tape site pattern in
-              match Hashtbl.find_opt vcache key with
-              | Some (v, _) -> (v, Advf.Cached)
-              | None ->
-                let v, s = resolve site pattern in
-                Hashtbl.replace vcache key (v, s);
-                (v, s)
-          in
-          Advf.add_pattern acc ~weight ~stage verdict)
-        patterns)
-    sites;
+  (* Sites stream off a whole-tape cursor and their verdicts fold into the
+     accumulator online — neither a site list nor a verdict list is ever
+     materialized. [site_filter] sees each site's enumeration index. *)
+  let process site =
+    Advf.add_involvement acc;
+    let patterns =
+      match options.multi with
+      | [] -> Consume.patterns site
+      | multi -> Pattern.enumerate ~multi site.Consume.width
+    in
+    let weight = 1.0 /. float_of_int (List.length patterns) in
+    List.iter
+      (fun pattern ->
+        let verdict, stage =
+          if not options.use_cache then resolve site pattern
+          else
+            let key = vkey_of tape site pattern in
+            match Hashtbl.find_opt vcache key with
+            | Some (v, _) -> (v, Advf.Cached)
+            | None ->
+              let v, s = resolve site pattern in
+              Hashtbl.replace vcache key (v, s);
+              (v, s)
+        in
+        Advf.add_pattern acc ~weight ~stage verdict)
+      patterns
+  in
+  Consume.iter_sites ~segment:(Context.segment ctx)
+    (Tape.Cursor.of_tape tape) obj
+    (fun i site ->
+      match site_filter with
+      | Some keep when not (keep i) -> ()
+      | _ -> process site);
   Advf.report acc
     ~fi_runs:(Context.runs ctx - fi_runs0)
     ~fi_cache_hits:(Context.cache_hits ctx - fi_hits0)

@@ -203,14 +203,20 @@ let replay ~tape ~k ~shadow_cap ~outputs ~start ~init =
     | From_mem { addr; value; ty } -> add_mem st ~pos:start ~addr value ty);
     let len = Tape.length tape in
     let stop = min (start + k) (len - 1) in
-    let pos = ref (start + 1) in
+    (* The k-window is a sub-cursor: the replay streams it and never
+       touches the tape outside [start+1, stop]. *)
+    let window = Tape.Cursor.window tape ~lo:(start + 1) ~hi:(stop + 1) in
     while
-      !pos <= stop && (Hashtbl.length st.regs > 0 || Hashtbl.length st.mem > 0)
+      Tape.Cursor.has_next window
+      && (Hashtbl.length st.regs > 0 || Hashtbl.length st.mem > 0)
     do
-      step st !pos (Tape.get tape !pos);
-      incr pos
+      let pos = Tape.Cursor.pos window in
+      step st pos (Tape.Cursor.next window)
     done;
     if Hashtbl.length st.regs = 0 && Hashtbl.length st.mem = 0 then
       Masked st.last_kind
-    else final st ~end_pos:(min !pos stop) ~at_tape_end:(stop = len - 1)
+    else
+      final st
+        ~end_pos:(min (Tape.Cursor.pos window) stop)
+        ~at_tape_end:(stop = len - 1)
   with Stop outcome -> outcome

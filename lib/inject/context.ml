@@ -54,6 +54,12 @@ let observe_mem machine (w : Workload.t) mem =
     w.outputs;
   (Array.of_list (List.rev !bits), Array.of_list (List.rev !floats))
 
+(* Process-wide count of golden (traced) executions, across all domains:
+   the observable the pipeline benchmark uses to prove the parallel driver
+   runs the workload once, not once per domain. *)
+let goldens = Atomic.make 0
+let golden_executions () = Atomic.get goldens
+
 let make (w : Workload.t) =
   let machine = Machine.load w.program in
   List.iter
@@ -63,6 +69,7 @@ let make (w : Workload.t) =
       | exception Not_found ->
         invalid_arg ("Context.make: no global named " ^ name))
     (w.targets @ w.outputs);
+  Atomic.incr goldens;
   let r, tape = Machine.trace ~step_limit:w.step_limit machine ~entry:w.entry in
   (match r.Machine.outcome with
   | Machine.Finished _ -> ()
@@ -82,6 +89,9 @@ let make (w : Workload.t) =
     runs = 0;
     hits = 0;
   }
+
+let shard t =
+  { t with cache = Hashtbl.create 4096; runs = 0; hits = 0 }
 
 let workload t = t.w
 let machine t = t.machine

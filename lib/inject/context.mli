@@ -14,9 +14,21 @@
 type t
 
 val make : Workload.t -> t
-(** Loads the program, performs the golden run (traced).
+(** Loads the program, performs the golden run (traced; the tape comes
+    back frozen and is therefore shareable across domains).
     @raise Invalid_argument if the golden run itself traps or any declared
     target/output global does not exist. *)
+
+val shard : t -> t
+(** A worker's view of the same analysis: shares the machine, the frozen
+    golden tape and the golden outputs — all read-only — but owns a fresh
+    error-equivalence cache and run counters, so shards can be used from
+    different domains without synchronization and without re-executing the
+    golden run. *)
+
+val golden_executions : unit -> int
+(** Process-wide count of golden (traced) workload executions performed by
+    {!make}, across all domains. {!shard} performs none. *)
 
 val workload : t -> Workload.t
 val machine : t -> Moard_vm.Machine.t

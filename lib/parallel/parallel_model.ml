@@ -4,26 +4,29 @@ module Context = Moard_inject.Context
 
 let default_domains () = min 8 (Domain.recommended_domain_count ())
 
-let analyze ?options ?domains ~workload ~object_name () =
+let analyze_ctx ?options ?domains ctx ~object_name =
   let n = match domains with Some d -> max 1 d | None -> default_domains () in
-  if n = 1 then
-    Model.analyze ?options (Context.make (workload ())) ~object_name
+  if n = 1 then Model.analyze ?options ctx ~object_name
   else
     let worker w =
       Domain.spawn (fun () ->
-          (* Each domain owns a full private context: machine, golden run,
-             trace and caches. Nothing is shared, so no synchronization is
-             needed and determinism is preserved. *)
-          let ctx = Context.make (workload ()) in
+          (* Workers share the machine and the frozen golden tape (both
+             read-only after Context.make) and own a private cache shard;
+             consumption sites are dealt round-robin by enumeration
+             index. No worker re-executes the golden run. *)
+          let shard = Context.shard ctx in
           Model.analyze ?options
             ~site_filter:(fun i -> i mod n = w)
-            ctx ~object_name)
+            shard ~object_name)
     in
     let handles = List.init n worker in
     Advf.merge (List.map Domain.join handles)
 
+let analyze ?options ?domains ~workload ~object_name () =
+  analyze_ctx ?options ?domains (Context.make (workload ())) ~object_name
+
 let analyze_targets ?options ?domains ~workload () =
-  let targets = (workload ()).Moard_inject.Workload.targets in
+  let ctx = Context.make (workload ()) in
   List.map
-    (fun object_name -> analyze ?options ?domains ~workload ~object_name ())
-    targets
+    (fun object_name -> analyze_ctx ?options ?domains ctx ~object_name)
+    (Context.workload ctx).Moard_inject.Workload.targets

@@ -3,15 +3,31 @@
     The paper leans on a 256-core cluster to make the analysis practical
     ("MOARD allows a user to easily leverage hardware resource to
     parallelize the analysis"); this is the shared-memory version on
-    OCaml 5 domains. Consumption sites of the target object are dealt
-    round-robin to [domains] workers; each worker builds its own private
-    context (the golden run is deterministic, so every worker sees the
-    identical trace) and resolves its share with its own caches; the
-    per-subset reports are merged with {!Moard_core.Advf.merge}.
+    OCaml 5 domains. The golden run is executed and traced {e once}; its
+    packed tape is frozen and shared read-only by every worker domain
+    (together with the loaded machine and the golden outputs). Consumption
+    sites of the target object are dealt round-robin to [domains] workers;
+    each worker resolves its share through a private context shard
+    ({!Moard_inject.Context.shard}: own error-equivalence cache and run
+    counters, no synchronization) and the per-subset reports are merged
+    with {!Moard_core.Advf.merge}.
 
-    Results are bit-identical to the sequential analysis — verdicts are
-    deterministic and site subsets are disjoint — except for the cache-hit
-    counters, which depend on the partition. *)
+    With the error-equivalence cache off, results are bit-identical to the
+    sequential analysis: verdicts are deterministic and site subsets are
+    disjoint. With the cache on they can differ marginally — equivalence
+    is a heuristic (Relyzer-style), so which site's verdict gets reused
+    for its equivalence class depends on the partition. *)
+
+val analyze_ctx :
+  ?options:Moard_core.Model.options ->
+  ?domains:int ->
+  Moard_inject.Context.t ->
+  object_name:string ->
+  Moard_core.Advf.report
+(** Parallel analysis over an existing context (whose golden run has
+    already happened, in {!Moard_inject.Context.make}). [domains] defaults
+    to [Domain.recommended_domain_count ()], capped at 8; [domains = 1]
+    degenerates to the sequential {!Moard_core.Model.analyze}. *)
 
 val analyze :
   ?options:Moard_core.Model.options ->
@@ -20,9 +36,9 @@ val analyze :
   object_name:string ->
   unit ->
   Moard_core.Advf.report
-(** [domains] defaults to [Domain.recommended_domain_count ()], capped at
-    8. [workload] is called once per worker; it must build the same
-    workload every time (all registry constructors do). *)
+(** [workload] is called {e once} in total — not once per worker — to
+    build the shared context; the golden run therefore executes exactly
+    once regardless of [domains]. *)
 
 val analyze_targets :
   ?options:Moard_core.Model.options ->
@@ -31,4 +47,5 @@ val analyze_targets :
   unit ->
   Moard_core.Advf.report list
 (** Parallel {!analyze} for every declared target object, one after the
-    other (parallelism is within each object's site set). *)
+    other (parallelism is within each object's site set), all sharing one
+    golden run. *)

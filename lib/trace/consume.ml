@@ -63,13 +63,42 @@ let of_event obj (e : Event.t) =
   in
   reads @ dest
 
-let of_tape ?(segment = fun _ -> true) tape obj =
+(* Pre-screen on the packed fields: an event can only yield a site if some
+   operand's provenance lies inside the object or it writes memory inside
+   the object. Most events fail this and are never decoded. *)
+let may_have_sites tape i obj =
+  let n = Tape.nreads_at tape i in
+  let hit = ref (Data_object.contains obj (Tape.write_addr_at tape i)) in
+  let slot = ref 0 in
+  while (not !hit) && !slot < n do
+    let p = Tape.read_prov tape i !slot in
+    if p >= 0 && Data_object.contains obj p then hit := true;
+    incr slot
+  done;
+  !hit
+
+let iter_sites ?(segment = fun _ -> true) cursor obj f =
+  let tape = Tape.Cursor.tape cursor in
+  let next = ref 0 in
+  while Tape.Cursor.has_next cursor do
+    let i = Tape.Cursor.pos cursor in
+    Tape.Cursor.seek cursor (i + 1);
+    if
+      segment (Tape.iid_at tape i).Moard_ir.Iid.fn
+      && may_have_sites tape i obj
+    then
+      List.iter
+        (fun c ->
+          let idx = !next in
+          incr next;
+          f idx c)
+        (of_event obj (Tape.get tape i))
+  done
+
+let of_tape ?segment tape obj =
   let acc = ref [] in
-  Tape.iter
-    (fun e ->
-      if segment e.Event.iid.Moard_ir.Iid.fn then
-        List.iter (fun c -> acc := c :: !acc) (of_event obj e))
-    tape;
+  iter_sites ?segment (Tape.Cursor.of_tape tape) obj (fun _ c ->
+      acc := c :: !acc);
   List.rev !acc
 
 let patterns t = Moard_bits.Pattern.singles t.width

@@ -36,10 +36,22 @@ val consuming_event : Event.t -> bool
 val of_event : Data_object.t -> Event.t -> t list
 (** Consumption sites of one event, in slot order, store-destination last. *)
 
+val iter_sites :
+  ?segment:(string -> bool) ->
+  Tape.Cursor.t -> Data_object.t -> (int -> t -> unit) -> unit
+(** [iter_sites cursor obj f] streams the consumption sites of [obj] in
+    the cursor's window, in trace order, calling [f i site] with [i] the
+    site's index in enumeration order (the partitioning key of the
+    parallel driver). Events are pre-screened on the packed tape fields,
+    so only events that can contribute a site are decoded; no site list is
+    materialized. [segment] filters by function name (default: accept
+    all). *)
+
 val of_tape :
   ?segment:(string -> bool) -> Tape.t -> Data_object.t -> t list
-(** All consumption sites of the object in trace order. [segment] filters
-    by function name (default: accept all). *)
+(** All consumption sites of the object in trace order, as a list
+    ({!iter_sites} over a whole-tape cursor). [segment] filters by
+    function name (default: accept all). *)
 
 val patterns : t -> Moard_bits.Pattern.t list
 (** The single-bit error patterns applicable at this site (one per bit of

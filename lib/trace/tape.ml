@@ -1,78 +1,323 @@
+module I = Moard_ir.Instr
+module T = Moard_ir.Types
+module Iid = Moard_ir.Iid
+module Bitval = Moard_bits.Bitval
+
+(* Chunk geometry. Chunks are never copied once allocated: growth appends a
+   chunk, so a frozen tape's storage is position-stable and shareable. *)
+let eshift = 10
+let esize = 1 lsl eshift
+let emask = esize - 1
+let rshift = 11
+let rsize = 1 lsl rshift
+let rmask = rsize - 1
+
+type i64arr = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let i64arr n : i64arr = Bigarray.Array1.create Bigarray.Int64 Bigarray.c_layout n
+
+(* The static side of an event, interned once per instruction site. *)
+type static = { s_iid : Iid.t; s_instr : I.t; s_nreads : int }
+
+(* Per-event packed fields. [wmeta] packs the write shape:
+   bits 0-1 kind (0 none, 1 reg, 2 mem), bits 2-3 width code of the written
+   image, bits 4-6 type code (mem), bits 7+ destination register (reg).
+   [wa] is the written frame (reg) or address (mem). [aux]/[aux2] hold the
+   opcode-dependent extras: Load's address, Call's callee frame, Br/Cbr's
+   taken label, Ret's caller frame ([aux]) and destination register
+   ([aux2]) — mutually exclusive by opcode, so one slot suffices. *)
+type echunk = {
+  c_static : int array;
+  c_frame : int array;
+  c_roff : int array;
+  c_wmeta : int array;
+  c_wa : int array;
+  c_aux : int array;
+  c_aux2 : int array;
+  c_wbits : i64arr;
+}
+
+type live = {
+  reg_last : (int * int, int) Hashtbl.t; (* (frame, reg) -> last read idx *)
+  mem_last : (int, int) Hashtbl.t;       (* addr -> last load idx *)
+}
+
 type t = {
-  mutable events : Event.t array;
+  mutable echunks : echunk array;
   mutable len : int;
+  mutable rbits : i64arr array;  (* read pool: operand images *)
+  mutable rmeta : int array array; (* read pool: (prov+1) lsl 2 | width *)
+  mutable rlen : int;
+  mutable statics : static array;
+  mutable nstatics : int;
+  sindex : int Iid.Tbl.t;
+  mutable frozen : bool;
   mutable live : live option;
 }
 
-and live = {
-  reg_last : (int * int, int) Hashtbl.t;  (* (frame, reg) -> last read idx *)
-  mem_last : (int, int) Hashtbl.t;        (* addr -> last load idx *)
-}
+let wcode = function Bitval.W1 -> 0 | Bitval.W32 -> 1 | Bitval.W64 -> 2
+let wdecode = function 0 -> Bitval.W1 | 1 -> Bitval.W32 | _ -> Bitval.W64
 
-let dummy : Event.t =
+let tycode = function
+  | T.I1 -> 0 | T.I32 -> 1 | T.I64 -> 2 | T.F64 -> 3 | T.Ptr -> 4
+
+let tydecode = function
+  | 0 -> T.I1 | 1 -> T.I32 | 2 -> T.I64 | 3 -> T.F64 | _ -> T.Ptr
+
+let new_echunk () =
   {
-    idx = -1;
-    frame = -1;
-    iid = Moard_ir.Iid.make ~fn:"" ~blk:0 ~ip:0;
-    instr = Moard_ir.Instr.Ret None;
-    reads = [||];
-    write = Event.Wnone;
-    load_addr = -1;
-    callee_frame = -1;
-    ret_to_frame = -1;
-    ret_to_reg = -1;
-    taken = -1;
+    c_static = Array.make esize 0;
+    c_frame = Array.make esize 0;
+    c_roff = Array.make esize 0;
+    c_wmeta = Array.make esize 0;
+    c_wa = Array.make esize (-1);
+    c_aux = Array.make esize (-1);
+    c_aux2 = Array.make esize (-1);
+    c_wbits = i64arr esize;
   }
 
-let create ?(capacity = 4096) () =
-  { events = Array.make (max capacity 16) dummy; len = 0; live = None }
-
-let append t e =
-  if t.len = Array.length t.events then begin
-    let bigger = Array.make (2 * t.len) dummy in
-    Array.blit t.events 0 bigger 0 t.len;
-    t.events <- bigger
-  end;
-  t.events.(t.len) <- e;
-  t.len <- t.len + 1;
-  t.live <- None
+let create ?(capacity = esize) () =
+  let nchunks = max 1 ((capacity + esize - 1) / esize) in
+  {
+    echunks = Array.init nchunks (fun _ -> new_echunk ());
+    len = 0;
+    rbits = [| i64arr rsize |];
+    rmeta = [| Array.make rsize 0 |];
+    rlen = 0;
+    statics = [||];
+    nstatics = 0;
+    sindex = Iid.Tbl.create 256;
+    frozen = false;
+    live = None;
+  }
 
 let length t = t.len
+let is_frozen t = t.frozen
+
+let intern t iid instr nslots =
+  match Iid.Tbl.find_opt t.sindex iid with
+  | Some s -> s
+  | None ->
+    let s = t.nstatics in
+    let entry = { s_iid = iid; s_instr = instr; s_nreads = nslots } in
+    if s = Array.length t.statics then
+      t.statics <- Array.append t.statics (Array.make (max 64 (s + 1)) entry);
+    t.statics.(s) <- entry;
+    t.nstatics <- s + 1;
+    Iid.Tbl.add t.sindex iid s;
+    s
+
+let push_read t (v : Bitval.t) prov =
+  let i = t.rlen in
+  if i lsr rshift >= Array.length t.rbits then begin
+    t.rbits <- Array.append t.rbits [| i64arr rsize |];
+    t.rmeta <- Array.append t.rmeta [| Array.make rsize 0 |]
+  end;
+  Bigarray.Array1.set t.rbits.(i lsr rshift) (i land rmask) v.Bitval.bits;
+  t.rmeta.(i lsr rshift).(i land rmask) <- ((prov + 1) lsl 2) lor wcode v.Bitval.width;
+  t.rlen <- i + 1
+
+let emit t ~iid ~instr ~frame ~values ~provs ~write ?(load_addr = -1)
+    ?(callee_frame = -1) ?(ret_to_frame = -1) ?(ret_to_reg = -1) ?(taken = -1)
+    () =
+  if t.frozen then invalid_arg "Tape.emit: tape is frozen";
+  let nslots = Array.length values in
+  let s = intern t iid instr nslots in
+  if t.statics.(s).s_nreads <> nslots || Array.length provs <> nslots then
+    invalid_arg "Tape.emit: operand slot count mismatch";
+  let i = t.len in
+  if i lsr eshift >= Array.length t.echunks then
+    t.echunks <- Array.append t.echunks [| new_echunk () |];
+  let c = t.echunks.(i lsr eshift) and o = i land emask in
+  c.c_static.(o) <- s;
+  c.c_frame.(o) <- frame;
+  c.c_roff.(o) <- t.rlen;
+  for slot = 0 to nslots - 1 do
+    push_read t values.(slot) provs.(slot)
+  done;
+  (match write with
+  | Event.Wnone ->
+    c.c_wmeta.(o) <- 0;
+    c.c_wa.(o) <- -1;
+    Bigarray.Array1.set c.c_wbits o 0L
+  | Event.Wreg { frame; reg; value } ->
+    c.c_wmeta.(o) <- 1 lor (wcode value.Bitval.width lsl 2) lor (reg lsl 7);
+    c.c_wa.(o) <- frame;
+    Bigarray.Array1.set c.c_wbits o value.Bitval.bits
+  | Event.Wmem { addr; value; ty } ->
+    c.c_wmeta.(o) <-
+      2 lor (wcode value.Bitval.width lsl 2) lor (tycode ty lsl 4);
+    c.c_wa.(o) <- addr;
+    Bigarray.Array1.set c.c_wbits o value.Bitval.bits);
+  (* The extras are mutually exclusive by opcode (Ret uses both slots). *)
+  let aux =
+    if load_addr >= 0 then load_addr
+    else if callee_frame >= 0 then callee_frame
+    else if taken >= 0 then taken
+    else ret_to_frame
+  in
+  c.c_aux.(o) <- aux;
+  c.c_aux2.(o) <- ret_to_reg;
+  t.len <- i + 1;
+  t.live <- None
+
+let append t (e : Event.t) =
+  emit t ~iid:e.Event.iid ~instr:e.Event.instr ~frame:e.Event.frame
+    ~values:(Array.map (fun (r : Event.read) -> r.value) e.Event.reads)
+    ~provs:(Array.map (fun (r : Event.read) -> r.prov) e.Event.reads)
+    ~write:e.Event.write ~load_addr:e.Event.load_addr
+    ~callee_frame:e.Event.callee_frame ~ret_to_frame:e.Event.ret_to_frame
+    ~ret_to_reg:e.Event.ret_to_reg ~taken:e.Event.taken ()
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+
+let check t i name = if i < 0 || i >= t.len then invalid_arg name
+
+let static_at t i = t.statics.(t.echunks.(i lsr eshift).c_static.(i land emask))
+
+let iid_at t i =
+  check t i "Tape.iid_at";
+  (static_at t i).s_iid
+
+let instr_at t i =
+  check t i "Tape.instr_at";
+  (static_at t i).s_instr
+
+let frame_at t i =
+  check t i "Tape.frame_at";
+  t.echunks.(i lsr eshift).c_frame.(i land emask)
+
+let nreads_at t i =
+  check t i "Tape.nreads_at";
+  (static_at t i).s_nreads
+
+let read_at t i slot name =
+  check t i name;
+  let s = static_at t i in
+  if slot < 0 || slot >= s.s_nreads then invalid_arg name;
+  t.echunks.(i lsr eshift).c_roff.(i land emask) + slot
+
+let read_value t i slot =
+  let r = read_at t i slot "Tape.read_value" in
+  let m = t.rmeta.(r lsr rshift).(r land rmask) in
+  Bitval.make (wdecode (m land 3))
+    (Bigarray.Array1.get t.rbits.(r lsr rshift) (r land rmask))
+
+let read_prov t i slot =
+  let r = read_at t i slot "Tape.read_prov" in
+  (t.rmeta.(r lsr rshift).(r land rmask) lsr 2) - 1
+
+let is_load = function I.Load _ -> true | _ -> false
+
+let load_addr_at t i =
+  check t i "Tape.load_addr_at";
+  let c = t.echunks.(i lsr eshift) and o = i land emask in
+  if is_load t.statics.(c.c_static.(o)).s_instr then c.c_aux.(o) else -1
+
+let write_addr_at t i =
+  check t i "Tape.write_addr_at";
+  let c = t.echunks.(i lsr eshift) and o = i land emask in
+  if c.c_wmeta.(o) land 3 = 2 then c.c_wa.(o) else -1
 
 let get t i =
-  if i < 0 || i >= t.len then invalid_arg "Tape.get";
-  t.events.(i)
+  check t i "Tape.get";
+  let c = t.echunks.(i lsr eshift) and o = i land emask in
+  let s = t.statics.(c.c_static.(o)) in
+  let roff = c.c_roff.(o) in
+  let reads =
+    Array.init s.s_nreads (fun slot ->
+        let r = roff + slot in
+        let m = t.rmeta.(r lsr rshift).(r land rmask) in
+        {
+          Event.value =
+            Bitval.make (wdecode (m land 3))
+              (Bigarray.Array1.get t.rbits.(r lsr rshift) (r land rmask));
+          prov = (m lsr 2) - 1;
+        })
+  in
+  let wmeta = c.c_wmeta.(o) in
+  let write =
+    match wmeta land 3 with
+    | 0 -> Event.Wnone
+    | 1 ->
+      Event.Wreg
+        {
+          frame = c.c_wa.(o);
+          reg = wmeta lsr 7;
+          value =
+            Bitval.make (wdecode ((wmeta lsr 2) land 3))
+              (Bigarray.Array1.get c.c_wbits o);
+        }
+    | _ ->
+      Event.Wmem
+        {
+          addr = c.c_wa.(o);
+          value =
+            Bitval.make (wdecode ((wmeta lsr 2) land 3))
+              (Bigarray.Array1.get c.c_wbits o);
+          ty = tydecode ((wmeta lsr 4) land 7);
+        }
+  in
+  let aux = c.c_aux.(o) and aux2 = c.c_aux2.(o) in
+  let load_addr, callee_frame, ret_to_frame, ret_to_reg, taken =
+    match s.s_instr with
+    | I.Load _ -> (aux, -1, -1, -1, -1)
+    | I.Call _ -> (-1, aux, -1, -1, -1)
+    | I.Br _ | I.Cbr _ -> (-1, -1, -1, -1, aux)
+    | I.Ret _ -> (-1, -1, aux, aux2, -1)
+    | _ -> (-1, -1, -1, -1, -1)
+  in
+  {
+    Event.idx = i;
+    frame = c.c_frame.(o);
+    iid = s.s_iid;
+    instr = s.s_instr;
+    reads;
+    write;
+    load_addr;
+    callee_frame;
+    ret_to_frame;
+    ret_to_reg;
+    taken;
+  }
 
 let iter f t =
   for i = 0 to t.len - 1 do
-    f t.events.(i)
+    f (get t i)
   done
 
 let iteri_from start f t =
   for i = max 0 start to t.len - 1 do
-    f i t.events.(i)
+    f i (get t i)
   done
 
 let fold f init t =
   let acc = ref init in
   for i = 0 to t.len - 1 do
-    acc := f !acc t.events.(i)
+    acc := f !acc (get t i)
   done;
   !acc
+
+(* ------------------------------------------------------------------ *)
+(* Liveness                                                            *)
 
 let build_live t =
   let reg_last = Hashtbl.create 1024 in
   let mem_last = Hashtbl.create 1024 in
   (* One forward pass suffices: later updates overwrite earlier ones. *)
   for i = 0 to t.len - 1 do
-    let e = t.events.(i) in
+    let c = t.echunks.(i lsr eshift) and o = i land emask in
+    let s = t.statics.(c.c_static.(o)) in
+    let frame = c.c_frame.(o) in
     List.iter
       (fun op ->
-        match (op : Moard_ir.Instr.operand) with
-        | Moard_ir.Instr.Reg r -> Hashtbl.replace reg_last (e.Event.frame, r) i
-        | Moard_ir.Instr.Imm _ | Moard_ir.Instr.Glob _ -> ())
-      (Moard_ir.Instr.reads e.Event.instr);
-    if e.Event.load_addr >= 0 then Hashtbl.replace mem_last e.Event.load_addr i
+        match (op : I.operand) with
+        | I.Reg r -> Hashtbl.replace reg_last (frame, r) i
+        | I.Imm _ | I.Glob _ -> ())
+      (I.reads s.s_instr);
+    if is_load s.s_instr && c.c_aux.(o) >= 0 then
+      Hashtbl.replace mem_last c.c_aux.(o) i
   done;
   { reg_last; mem_last }
 
@@ -84,6 +329,12 @@ let live t =
     t.live <- Some l;
     l
 
+let freeze t =
+  if not t.frozen then begin
+    t.frozen <- true;
+    ignore (live t)
+  end
+
 let last_reg_read t ~frame ~reg =
   match Hashtbl.find_opt (live t).reg_last (frame, reg) with
   | Some i -> i
@@ -93,3 +344,81 @@ let last_mem_read t ~addr =
   match Hashtbl.find_opt (live t).mem_last addr with
   | Some i -> i
   | None -> -1
+
+(* ------------------------------------------------------------------ *)
+(* Cursors                                                             *)
+
+module Cursor = struct
+  type tape = t
+
+  type nonrec t = { tape : tape; lo : int; hi : int; mutable pos : int }
+
+  let window tape ~lo ~hi =
+    let lo = max 0 (min lo tape.len) in
+    let hi = max lo (min hi tape.len) in
+    { tape; lo; hi; pos = lo }
+
+  let of_tape tape = window tape ~lo:0 ~hi:tape.len
+  let sub c ~lo ~hi = window c.tape ~lo:(max c.lo lo) ~hi:(min c.hi hi)
+  let tape c = c.tape
+  let lo c = c.lo
+  let hi c = c.hi
+  let pos c = c.pos
+  let length c = c.hi - c.lo
+  let seek c i = c.pos <- max c.lo (min i c.hi)
+  let has_next c = c.pos < c.hi
+
+  let next c =
+    if c.pos >= c.hi then invalid_arg "Tape.Cursor.next";
+    let e = get c.tape c.pos in
+    c.pos <- c.pos + 1;
+    e
+
+  let peek c =
+    if c.pos >= c.hi then invalid_arg "Tape.Cursor.peek";
+    get c.tape c.pos
+
+  let iter_events f c =
+    while c.pos < c.hi do
+      let i = c.pos in
+      c.pos <- i + 1;
+      f i (get c.tape i)
+    done
+
+  let fold_events f init c =
+    let acc = ref init in
+    while c.pos < c.hi do
+      let i = c.pos in
+      c.pos <- i + 1;
+      acc := f !acc i (get c.tape i)
+    done;
+    !acc
+end
+
+(* ------------------------------------------------------------------ *)
+(* Memory accounting                                                   *)
+
+let word = 8
+
+let packed_bytes t =
+  let echunk_bytes = (7 * esize * word) + (esize * word) in
+  let rchunk_bytes = 2 * rsize * word in
+  (Array.length t.echunks * echunk_bytes)
+  + (Array.length t.rbits * rchunk_bytes)
+  + (Array.length t.statics * 5 * word)
+
+(* The former representation: a growable [Event.t array]. Per event: the
+   record (12 words incl. header), a fresh [Iid.t] (4), the reads array
+   (1 + n slots) with one read record (3) and one boxed Bitval (record 3 +
+   boxed int64 3) per slot, and the write constructor (4 words + a boxed
+   Bitval) when present. *)
+let boxed_bytes_estimate t =
+  let total = ref 0 in
+  for i = 0 to t.len - 1 do
+    let c = t.echunks.(i lsr eshift) and o = i land emask in
+    let n = t.statics.(c.c_static.(o)).s_nreads in
+    let wwords = if c.c_wmeta.(o) land 3 = 0 then 0 else 4 + 6 in
+    total := !total + 12 + 4 + (1 + n) + (n * (3 + 6)) + wwords
+  done;
+  (* the event-pointer array itself *)
+  (!total + t.len + 1) * word

@@ -1,14 +1,84 @@
-(** A growable dynamic-instruction trace, plus the index structures the
-    propagation analysis needs (liveness: the last dynamic position at which
-    each register or memory cell is still consumed). *)
+(** The dynamic-instruction trace, stored packed.
+
+    Events are not kept as boxed {!Event.t} records: the tape is a chunked
+    struct-of-arrays store — plain [int] arrays for the small per-event
+    fields and [Bigarray] [int64] arrays for the raw operand and result
+    images — plus an interning table for the static side of every event
+    (instruction and identity), which is shared by all of its dynamic
+    occurrences. A decoded {!Event.t} view is materialized on demand by
+    {!get}, so analyses keep their event-level semantics while the storage
+    stays compact and, once {!freeze}n, safely shareable across OCaml 5
+    domains (no mutable boxed structure is reachable from a frozen tape).
+
+    The tape also carries the index structures the propagation analysis
+    needs (liveness: the last dynamic position at which each register or
+    memory cell is still consumed). *)
 
 type t
 
 val create : ?capacity:int -> unit -> t
+(** [capacity] is a hint only; the tape grows by chunks, never by
+    copying. *)
+
+val emit :
+  t ->
+  iid:Moard_ir.Iid.t ->
+  instr:Moard_ir.Instr.t ->
+  frame:int ->
+  values:Moard_bits.Bitval.t array ->
+  provs:int array ->
+  write:Event.write ->
+  ?load_addr:int ->
+  ?callee_frame:int ->
+  ?ret_to_frame:int ->
+  ?ret_to_reg:int ->
+  ?taken:int ->
+  unit ->
+  unit
+(** Append one event from its parts, without building an {!Event.t}.
+    [values] and [provs] must have one slot per operand of
+    [Moard_ir.Instr.reads instr]. This is the interpreter's fast path.
+    @raise Invalid_argument on a frozen tape or a slot-count mismatch. *)
+
 val append : t -> Event.t -> unit
+(** Append a decoded event ({!emit} of its fields). The event's [idx] is
+    ignored: an event's index is its position in the tape. *)
+
 val length : t -> int
+
 val get : t -> int -> Event.t
-(** @raise Invalid_argument if out of range. *)
+(** Decode the event at an index into a fresh boxed view.
+    @raise Invalid_argument if out of range. *)
+
+val freeze : t -> unit
+(** Seal the tape: further {!emit}/{!append} raise [Invalid_argument], and
+    the liveness indexes are built eagerly so that a frozen tape is
+    read-only — and therefore safe to share across domains. Idempotent. *)
+
+val is_frozen : t -> bool
+
+(** {2 Field accessors}
+
+    Decode single fields of the packed representation without
+    materializing an event. *)
+
+val iid_at : t -> int -> Moard_ir.Iid.t
+val instr_at : t -> int -> Moard_ir.Instr.t
+val frame_at : t -> int -> int
+val nreads_at : t -> int -> int
+val read_value : t -> int -> int -> Moard_bits.Bitval.t
+(** [read_value t i slot]: operand [slot]'s value image at event [i]. *)
+
+val read_prov : t -> int -> int -> int
+(** [read_prov t i slot]: operand [slot]'s provenance; [-1] if none. *)
+
+val load_addr_at : t -> int -> int
+(** Address read by a [Load] event; [-1] for any other opcode. *)
+
+val write_addr_at : t -> int -> int
+(** Address written by an event with a memory write; [-1] otherwise. *)
+
+(** {2 Whole-tape iteration (decoded views)} *)
 
 val iter : (Event.t -> unit) -> t -> unit
 val iteri_from : int -> (int -> Event.t -> unit) -> t -> unit
@@ -16,9 +86,68 @@ val iteri_from : int -> (int -> Event.t -> unit) -> t -> unit
 
 val fold : ('a -> Event.t -> 'a) -> 'a -> t -> 'a
 
+(** {2 Cursors}
+
+    A cursor is a window [\[lo, hi)] onto a tape with a mutable position:
+    the streaming iteration primitive of the analyses. Navigation never
+    allocates; events are decoded only where the consumer asks for one. *)
+
+module Cursor : sig
+  type tape := t
+  type t
+
+  val of_tape : tape -> t
+  (** Whole-tape window, positioned at event 0. *)
+
+  val window : tape -> lo:int -> hi:int -> t
+  (** Window [\[lo, hi)], clamped to the tape, positioned at [lo]. *)
+
+  val sub : t -> lo:int -> hi:int -> t
+  (** Sub-cursor: the intersection of [\[lo, hi)] with the parent's
+      window — how the propagation replay scopes its k-window. *)
+
+  val tape : t -> tape
+  val lo : t -> int
+  val hi : t -> int
+  val pos : t -> int
+  val length : t -> int
+  (** Window size, [hi - lo]. *)
+
+  val seek : t -> int -> unit
+  (** Move the position (clamped to the window). *)
+
+  val has_next : t -> bool
+  val next : t -> Event.t
+  (** Decode the event at the position and advance.
+      @raise Invalid_argument at the window's end. *)
+
+  val peek : t -> Event.t
+  (** {!next} without advancing. *)
+
+  val iter_events : (int -> Event.t -> unit) -> t -> unit
+  (** Apply to every event from the position to the window's end, with its
+      tape index; leaves the cursor at the end. *)
+
+  val fold_events : ('a -> int -> Event.t -> 'a) -> 'a -> t -> 'a
+  (** Fold over every event from the position to the window's end. *)
+end
+
+(** {2 Memory accounting} *)
+
+val packed_bytes : t -> int
+(** Bytes held by the packed store (chunk arrays, read pool, interning
+    table), i.e. the tape's resident footprint. *)
+
+val boxed_bytes_estimate : t -> int
+(** What the same trace would occupy as a list-of-boxed-records tape (one
+    {!Event.t} per event, per-event [iid] and read/write records, boxed
+    [int64] images) — the representation this store replaced. Used by the
+    pipeline benchmark to report the packing gain. *)
+
 (** {2 Liveness indexes}
 
-    Built lazily on first query, in one backward pass over the tape. *)
+    Built lazily on first query (eagerly by {!freeze}), in one forward
+    pass over the tape. *)
 
 val last_reg_read : t -> frame:int -> reg:int -> int
 (** Largest event index at which register [reg] of invocation [frame] is

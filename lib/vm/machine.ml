@@ -99,7 +99,8 @@ exception Trap_exn of Trap.t
 let default_step_limit = 20_000_000
 let max_call_depth = 200
 
-let run ?(step_limit = default_step_limit) ?fault ?sink ?(args = []) t ~entry =
+let run ?(step_limit = default_step_limit) ?fault ?(sink = Trace_sink.Null)
+    ?(args = []) t ~entry =
   let mem = Memory.copy t.image in
   let steps = ref 0 in
   let next_frame_id = ref 0 in
@@ -174,8 +175,12 @@ let run ?(step_limit = default_step_limit) ?fault ?sink ?(args = []) t ~entry =
         let emit ~write ?(load_addr = -1) ?(callee_frame = -1)
             ?(ret_to_frame = -1) ?(ret_to_reg = -1) ?(taken = -1) () =
           match sink with
-          | None -> ()
-          | Some push ->
+          | Trace_sink.Null -> ()
+          | Trace_sink.Tape tape ->
+            Moard_trace.Tape.emit tape ~iid ~instr ~frame:fr.id ~values ~provs
+              ~write ~load_addr ~callee_frame ~ret_to_frame ~ret_to_reg ~taken
+              ()
+          | Trace_sink.Fn push ->
             push
               {
                 Event.idx;
@@ -308,9 +313,8 @@ let run ?(step_limit = default_step_limit) ?fault ?sink ?(args = []) t ~entry =
 
 let trace ?step_limit ?args t ~entry =
   let tape = Moard_trace.Tape.create () in
-  let r =
-    run ?step_limit ?args ~sink:(Moard_trace.Tape.append tape) t ~entry
-  in
+  let r = run ?step_limit ?args ~sink:(Trace_sink.Tape tape) t ~entry in
+  Moard_trace.Tape.freeze tape;
   (r, tape)
 
 let read_gen t mem name conv =

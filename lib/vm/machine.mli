@@ -38,15 +38,20 @@ val registry : t -> Moard_trace.Registry.t
 val run :
   ?step_limit:int ->
   ?fault:Fault.t ->
-  ?sink:(Moard_trace.Event.t -> unit) ->
+  ?sink:Trace_sink.t ->
   ?args:Moard_bits.Bitval.t list ->
   t -> entry:string -> run
-(** Execute [entry]. [step_limit] defaults to 20 million. *)
+(** Execute [entry]. [step_limit] defaults to 20 million. [sink] defaults
+    to {!Trace_sink.Null}: untraced executions (fault injections, golden
+    re-executions) pay no tracing cost at all. *)
 
 val trace :
   ?step_limit:int -> ?args:Moard_bits.Bitval.t list ->
   t -> entry:string -> run * Moard_trace.Tape.t
-(** Golden traced run. *)
+(** Golden traced run: executes with a {!Trace_sink.Tape} sink — events
+    are packed straight into the tape, never boxed — and returns the tape
+    already {!Moard_trace.Tape.freeze}d, ready to be shared across
+    domains. *)
 
 (** {2 Observation of final memory} *)
 

@@ -1,0 +1,6 @@
+type t =
+  | Null
+  | Tape of Moard_trace.Tape.t
+  | Fn of (Moard_trace.Event.t -> unit)
+
+let is_null = function Null -> true | Tape _ | Fn _ -> false

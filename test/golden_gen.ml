@@ -1,0 +1,30 @@
+(* Regenerates the golden aDVF snapshot used by test_golden.ml.
+
+     dune exec test/golden_gen.exe > test/golden_advf.expected
+
+   One line per Table-I data object, every float printed as a hex literal
+   (%h) so the comparison is bit-exact. The fault-injection budget is small
+   and fixed: the snapshot guards the *determinism* of the pipeline across
+   refactors, not the paper's absolute numbers. *)
+
+module Registry = Moard_kernels.Registry
+module Context = Moard_inject.Context
+module Model = Moard_core.Model
+module Advf = Moard_core.Advf
+
+let options = { Model.default_options with Model.fi_budget = 1000 }
+
+let () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let ctx = Context.make (e.Registry.workload ()) in
+      List.iter
+        (fun obj ->
+          let r = Model.analyze ~options ctx ~object_name:obj in
+          Printf.printf "%s %s %d %h %h" e.Registry.benchmark obj
+            r.Advf.involvements r.Advf.masking_events r.Advf.advf;
+          Array.iter (fun x -> Printf.printf " %h" x) r.Advf.by_level;
+          Array.iter (fun x -> Printf.printf " %h" x) r.Advf.by_kind;
+          Printf.printf "\n")
+        e.Registry.objects)
+    Registry.table1
