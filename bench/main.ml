@@ -571,6 +571,119 @@ let pipeline () =
     note "wrote BENCH_pipeline.json"
   end
 
+(* ------------------------------------------------------------------ *)
+
+(* The campaign benchmark: statistical fault injection against the
+   exhaustive sweep on the same object. Establishes the paper-SV economics
+   (target interval reached with a fraction of the exhaustive injections),
+   checks the CI covers the exhaustive truth, and proves the report is
+   bit-identical across domain counts. Writes BENCH_campaign.json (full
+   mode only; --quick is the CI smoke test). *)
+
+let campaign () =
+  let module Plan = Moard_campaign.Plan in
+  let module Engine = Moard_campaign.Engine in
+  let bench, obj, ci_width =
+    if !quick then ("LULESH", "m_elemBC", 0.02) else ("MM", "C", 0.02)
+  in
+  section
+    (Printf.sprintf
+       "Statistical campaign vs exhaustive sweep (%s/%s, target halfwidth \
+        %g)"
+       bench obj ci_width);
+  let e = Registry.find bench in
+  let ctx = ctx_of e in
+  let t = Unix.gettimeofday () in
+  let truth = Moard_inject.Exhaustive.campaign ctx ~object_name:obj in
+  let sweep_s = Unix.gettimeofday () -. t in
+  note "exhaustive: %d injections (%d runs) in %.3fs -> rate %.6f"
+    truth.Moard_inject.Exhaustive.injections
+    truth.Moard_inject.Exhaustive.runs sweep_s
+    truth.Moard_inject.Exhaustive.success_rate;
+  let plan = Plan.make ~seed:42 ~ci_width ctx ~objects:[ obj ] in
+  let domain_counts = if !quick then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let runs =
+    List.map
+      (fun d ->
+        let t = Unix.gettimeofday () in
+        let r = Engine.run ~domains:d ctx plan in
+        let s = Unix.gettimeofday () -. t in
+        let o = r.Engine.objects.(0) in
+        note
+          "campaign on %d domain(s): %.3fs, %d samples (%d runs, %d cache \
+           hits), [%.4f, %.4f] %s"
+          d s o.Engine.samples o.Engine.runs o.Engine.cache_hits o.Engine.lo
+          o.Engine.hi
+          (Engine.stop_reason_name o.Engine.stopped);
+        (d, s, r))
+      domain_counts
+  in
+  let _, t1, r1 = List.hd runs in
+  let stable = Moard_report.Campaign_report.stable_json r1 in
+  let identical =
+    List.for_all
+      (fun (_, _, r) -> Moard_report.Campaign_report.stable_json r = stable)
+      runs
+  in
+  let o = r1.Engine.objects.(0) in
+  let exact = truth.Moard_inject.Exhaustive.success_rate in
+  let covered = o.Engine.lo -. 1e-12 <= exact && exact <= o.Engine.hi +. 1e-12 in
+  let savings =
+    float_of_int truth.Moard_inject.Exhaustive.injections
+    /. float_of_int (max 1 o.Engine.samples)
+  in
+  Printf.printf
+    "\n\
+     report bit-identical across domain counts: %b\n\
+     exhaustive rate %.6f inside campaign CI [%.6f, %.6f]: %b\n\
+     injection economy: %d samples for a population of %d (%.1fx fewer)\n"
+    identical exact o.Engine.lo o.Engine.hi covered o.Engine.samples
+    o.Engine.population savings;
+  if not identical then failwith "campaign: report drifted across domains";
+  if not covered then failwith "campaign: CI missed the exhaustive rate";
+  if o.Engine.stopped = Engine.Ci_target && o.Engine.samples >= o.Engine.population
+  then failwith "campaign: no injection savings over the sweep";
+  if !quick then note "quick mode: not writing BENCH_campaign.json"
+  else begin
+    let oc = open_out "BENCH_campaign.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"benchmark\": %S,\n\
+      \  \"object\": %S,\n\
+      \  \"seed\": %d,\n\
+      \  \"ci_width_target\": %g,\n\
+      \  \"population\": %d,\n\
+      \  \"exhaustive_rate\": \"%h\",\n\
+      \  \"exhaustive_injections\": %d,\n\
+      \  \"exhaustive_seconds\": %.4f,\n\
+      \  \"campaign_samples\": %d,\n\
+      \  \"campaign_runs\": %d,\n\
+      \  \"campaign_cache_hits\": %d,\n\
+      \  \"campaign_estimate\": \"%h\",\n\
+      \  \"campaign_ci\": [\"%h\", \"%h\"],\n\
+      \  \"stopped\": %S,\n\
+      \  \"ci_covers_exhaustive\": %b,\n\
+      \  \"injection_savings\": %.3f,\n\
+      \  \"report_bit_identical_across_domains\": %b,\n\
+      \  \"domains\": [\n"
+      bench obj plan.Plan.seed ci_width o.Engine.population exact
+      truth.Moard_inject.Exhaustive.injections sweep_s o.Engine.samples
+      o.Engine.runs o.Engine.cache_hits o.Engine.estimate o.Engine.lo
+      o.Engine.hi
+      (Engine.stop_reason_name o.Engine.stopped)
+      covered savings identical;
+    List.iteri
+      (fun i (d, s, _) ->
+        Printf.fprintf oc
+          "    { \"domains\": %d, \"seconds\": %.4f, \"speedup\": %.3f }%s\n"
+          d s (t1 /. s)
+          (if i = List.length runs - 1 then "" else ","))
+      runs;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    note "wrote BENCH_campaign.json"
+  end
+
 let experiments =
   [
     ("table1", table1);
@@ -584,6 +697,7 @@ let experiments =
     ("ablation", ablation);
     ("timing", timing);
     ("pipeline", pipeline);
+    ("campaign", campaign);
   ]
 
 let () =

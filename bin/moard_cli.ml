@@ -277,6 +277,207 @@ let plan_cmd =
              protect under a budget.")
     Term.(const run $ setup_logs $ bench_arg $ budget $ fi_budget)
 
+(* ------------------------------------------------------------------ *)
+
+module Plan = Moard_campaign.Plan
+module Engine = Moard_campaign.Engine
+module Journal = Moard_campaign.Journal
+module Campaign_report = Moard_report.Campaign_report
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign seed.")
+
+let ci_width_arg =
+  Arg.(
+    value & opt float 0.02
+    & info [ "ci-width" ] ~docv:"W"
+        ~doc:"Target half-width of the confidence interval around each \
+              object's masking estimate (the stopping rule).")
+
+let confidence_arg =
+  Arg.(
+    value & opt float 0.95
+    & info [ "confidence" ]
+        ~doc:"Confidence level (0.80, 0.90, 0.95, 0.98 or 0.99).")
+
+let batch_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "batch" ] ~doc:"Samples resolved between stopping checks.")
+
+let max_samples_arg =
+  Arg.(
+    value & opt int (-1)
+    & info [ "max-samples" ]
+        ~doc:"Per-object sample cap (-1 = none; the population itself \
+              always bounds the campaign).")
+
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "domains" ] ~docv:"N"
+        ~doc:"Resolve each batch's distinct injections on this many \
+              domains. Reports are bit-identical for any value.")
+
+let journal_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "journal" ] ~docv:"PATH"
+        ~doc:"Journal file: every committed batch lands here, and a \
+              killed campaign resumes from it with $(b,campaign resume).")
+
+let out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "out" ] ~docv:"PATH"
+        ~doc:"Write the machine-readable JSON report here.")
+
+let stable_flag =
+  Arg.(
+    value & flag
+    & info [ "stable" ]
+        ~doc:"Strip the performance section from the JSON report, leaving \
+              only the deterministic part (for golden-snapshot diffing).")
+
+let campaign_plan ctx e objs ~seed ~confidence ~ci_width ~batch ~max_samples =
+  ignore e;
+  Plan.make ~seed ~confidence ~ci_width ~batch ~max_samples ctx ~objects:objs
+
+let emit_report r ~out ~stable =
+  (match out with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc
+      (if stable then Campaign_report.stable_json r else Campaign_report.json r);
+    close_out oc
+  | None -> ());
+  Format.printf "%a@." Campaign_report.pp r
+
+let campaign_plan_cmd =
+  let run () e objs seed confidence ci_width batch max_samples =
+    let ctx = Context.make (e.Registry.workload ()) in
+    let plan =
+      campaign_plan ctx e (pick_objects e objs) ~seed ~confidence ~ci_width
+        ~batch ~max_samples
+    in
+    Format.printf
+      "plan %s: workload %s, seed %d, confidence %g, target halfwidth %g, \
+       batch %d@."
+      (Plan.hash plan) plan.Plan.workload_name plan.Plan.seed
+      plan.Plan.confidence plan.Plan.ci_width plan.Plan.batch;
+    Array.iter
+      (fun (o : Plan.objective) ->
+        Format.printf "@.%s: population %d over %d sites@." o.Plan.object_name
+          o.Plan.population (Array.length o.Plan.sites);
+        Array.iter
+          (fun (s : Plan.stratum) ->
+            if s.Plan.population > 0 then
+              Format.printf "  %-22s %d@." s.Plan.label s.Plan.population)
+          o.Plan.strata)
+      plan.Plan.objectives;
+    Format.printf
+      "@.worst-case samples to halfwidth %g at %g confidence: %d per object \
+       (population permitting)@."
+      plan.Plan.ci_width plan.Plan.confidence
+      (Moard_stats.Confidence.tests_needed ~z:plan.Plan.z ~e:plan.Plan.ci_width
+         ())
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:"Enumerate and stratify the fault-site population; print the \
+             campaign design without running it.")
+    Term.(
+      const run $ setup_logs $ bench_arg $ objects_arg $ seed_arg
+      $ confidence_arg $ ci_width_arg $ batch_arg $ max_samples_arg)
+
+let campaign_run_cmd =
+  let run () e objs seed confidence ci_width batch max_samples domains journal
+      out stable =
+    let ctx = Context.make (e.Registry.workload ()) in
+    let plan =
+      campaign_plan ctx e (pick_objects e objs) ~seed ~confidence ~ci_width
+        ~batch ~max_samples
+    in
+    let r =
+      Engine.run ~domains ?journal
+        ~journal_meta:[ ("benchmark", e.Registry.benchmark) ]
+        ctx plan
+    in
+    emit_report r ~out ~stable
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run a statistical fault-injection campaign: stratified \
+             sampling without replacement, confidence-driven stopping, \
+             parallel batches over one golden run.")
+    Term.(
+      const run $ setup_logs $ bench_arg $ objects_arg $ seed_arg
+      $ confidence_arg $ ci_width_arg $ batch_arg $ max_samples_arg
+      $ domains_arg $ journal_arg $ out_arg $ stable_flag)
+
+let required_journal =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"PATH" ~doc:"Journal of the campaign.")
+
+(* Rebuild context and plan from a journal's meta header. *)
+let setup_from_journal path =
+  let meta = Journal.read_meta ~path in
+  let get k =
+    match List.assoc_opt k meta with
+    | Some v -> v
+    | None -> failwith ("journal is missing meta key " ^ k)
+  in
+  let e = Registry.find (get "benchmark") in
+  let ctx = Context.make (e.Registry.workload ()) in
+  let objects = String.split_on_char ',' (get "objects") in
+  let plan =
+    Plan.make
+      ~seed:(int_of_string (get "seed"))
+      ~confidence:(float_of_string (get "confidence"))
+      ~ci_width:(float_of_string (get "ci_width"))
+      ~batch:(int_of_string (get "batch"))
+      ~max_samples:(int_of_string (get "max_samples"))
+      ctx ~objects
+  in
+  (ctx, plan)
+
+let campaign_resume_cmd =
+  let run () journal domains out stable =
+    let ctx, plan = setup_from_journal journal in
+    let r = Engine.resume ~domains ~journal ctx plan in
+    emit_report r ~out ~stable
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:"Resume a killed campaign from its journal. The final report \
+             is bit-identical to an uninterrupted run of the same plan.")
+    Term.(
+      const run $ setup_logs $ required_journal $ domains_arg $ out_arg
+      $ stable_flag)
+
+let campaign_report_cmd =
+  let run () journal out stable =
+    let ctx, plan = setup_from_journal journal in
+    (* replay only: zero further batches *)
+    let r = Engine.resume ~max_batches:0 ~journal ctx plan in
+    emit_report r ~out ~stable
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Report the current state of a campaign from its journal, \
+             without injecting anything.")
+    Term.(const run $ setup_logs $ required_journal $ out_arg $ stable_flag)
+
+let campaign_cmd =
+  Cmd.group
+    (Cmd.info "campaign"
+       ~doc:"Statistical fault-injection campaigns: parallel, resumable, \
+             reproducible, with confidence-driven stopping (paper SV).")
+    [ campaign_plan_cmd; campaign_run_cmd; campaign_resume_cmd;
+      campaign_report_cmd ]
+
 let objects_cmd =
   let run () e =
     let ctx = Context.make (e.Registry.workload ()) in
@@ -298,7 +499,7 @@ let main =
           data objects (IPDPS'19 reproduction).")
     [
       list_cmd; analyze_cmd; exhaustive_cmd; rfi_cmd; trace_cmd; objects_cmd;
-      dump_ir_cmd; bound_cmd; plan_cmd;
+      dump_ir_cmd; bound_cmd; plan_cmd; campaign_cmd;
     ]
 
 let () = exit (Cmd.eval main)

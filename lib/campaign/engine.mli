@@ -1,0 +1,103 @@
+(** The statistical fault-injection campaign engine (paper §V's validation
+    methodology, industrialized).
+
+    Executes a {!Plan}: samples each object's stratified fault-site
+    population without replacement in the plan's frozen order, resolves
+    batches of injections across OCaml 5 domains over one shared golden
+    run ({!Moard_inject.Context.shard}), deduplicates by error-equivalence
+    class (cache hits count as resolved samples), journals every batch,
+    and stops per object as soon as the combined Wilson interval around
+    the masking estimate is narrower than the plan's target.
+
+    Reproducibility: for a fixed [(seed, plan)], the sequence of samples,
+    the journal contents and every count and estimate in the result are
+    bit-identical for any [domains] value and across any kill/resume
+    chain. Injections are pure functions of the fault; equivalence-class
+    deduplication happens in the coordinator (not in per-shard caches), so
+    partitioning cannot change which class member defines an outcome.
+    Only [perf] (wall-clock) varies between runs. *)
+
+val code_of_outcome : Moard_inject.Outcome.t -> int
+(** Stable outcome encoding: 0 same, 1 acceptable, 2 incorrect,
+    3 crashed — what the journal records. *)
+
+val code_names : string array
+val success_code : int -> bool
+(** Masked (tolerated): same or acceptable. *)
+
+type stop_reason =
+  | Ci_target    (** combined interval reached the target half-width *)
+  | Exhausted    (** every stratum fully sampled: the estimate is exact *)
+  | Max_samples  (** plan's per-object sample cap *)
+  | Interrupted  (** [max_batches] harness bound hit (testing only) *)
+
+val stop_reason_name : stop_reason -> string
+
+type stratum_result = {
+  label : string;
+  population : int;
+  samples : int;
+  successes : int;
+  lo : float;
+  hi : float;
+  exhausted : bool;
+}
+
+type object_result = {
+  object_name : string;
+  population : int;   (** fault-site population (sites × bits) *)
+  sites : int;
+  samples : int;      (** resolved samples (runs + cache hits) *)
+  runs : int;         (** actual program executions *)
+  cache_hits : int;   (** samples resolved by error equivalence *)
+  by_code : int array;  (** sample counts per outcome code *)
+  estimate : float;   (** stratified masking-rate estimate *)
+  lo : float;
+  hi : float;
+  halfwidth : float;
+  stopped : stop_reason;
+  strata : stratum_result array;
+}
+
+type perf = {
+  wall_seconds : float;
+  inject_seconds : float;   (** time inside injection batches *)
+  per_domain_runs : int array;
+}
+
+type result = {
+  plan_hash : string;
+  workload_name : string;
+  seed : int;
+  confidence : float;
+  ci_width : float;
+  domains : int;
+  objects : object_result array;
+  perf : perf;  (** the only non-deterministic part of a result *)
+}
+
+val run :
+  ?domains:int ->
+  ?journal:string ->
+  ?journal_meta:(string * string) list ->
+  ?max_batches:int ->
+  Moard_inject.Context.t ->
+  Plan.t ->
+  result
+(** Execute a campaign. [domains] defaults to 1. [journal] starts a fresh
+    journal at the path (truncating); [journal_meta] adds extra header
+    pairs (e.g. the registry benchmark name, so the CLI can resume without
+    being told it again). [max_batches] is the bounded-step testing
+    harness: stop after that many batches, leaving the journal mid-flight. *)
+
+val resume :
+  ?domains:int ->
+  ?max_batches:int ->
+  journal:string ->
+  Moard_inject.Context.t ->
+  Plan.t ->
+  result
+(** Replay a journal and continue to completion. The final result is
+    bit-identical to an uninterrupted {!run} of the same plan.
+    @raise Journal.Rejected if the journal's schema version or plan hash
+    does not match, or its records contradict the plan. *)

@@ -1,0 +1,123 @@
+let schema_version = 1
+
+exception Rejected of string
+
+let reject fmt = Printf.ksprintf (fun s -> raise (Rejected s)) fmt
+
+type record = { obj : int; stratum : int; sample : int; code : int }
+
+type writer = { oc : out_channel }
+
+let magic = "moard-campaign-journal"
+
+let header_lines ~plan_hash ~meta =
+  Printf.sprintf "%s %d" magic schema_version
+  :: Printf.sprintf "plan %s" plan_hash
+  :: List.map
+       (fun (k, v) ->
+         if String.contains k ' ' || String.contains v ' ' then
+           invalid_arg "Journal: meta keys/values must not contain spaces";
+         Printf.sprintf "m %s %s" k v)
+       meta
+
+let create ~path ~plan_hash ~meta =
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc l; output_char oc '\n')
+    (header_lines ~plan_hash ~meta);
+  flush oc;
+  { oc }
+
+(* Lines of the file; a trailing chunk not terminated by '\n' (a write cut
+   short by the crash we are built to survive) is dropped. *)
+let lines_of path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  let parts = String.split_on_char '\n' s in
+  match List.rev parts with
+  | last :: rest when last <> "" -> List.rev rest (* unterminated tail *)
+  | _ :: rest -> List.rev rest
+  | [] -> []
+
+let check_header path = function
+  | version_line :: plan_line :: rest -> (
+    (match String.split_on_char ' ' version_line with
+    | [ m; v ] when m = magic ->
+      let v = try int_of_string v with _ -> -1 in
+      if v <> schema_version then
+        reject "%s: schema version %d (this build reads %d)" path v
+          schema_version
+    | _ -> reject "%s: not a campaign journal" path);
+    match String.split_on_char ' ' plan_line with
+    | [ "plan"; h ] -> (h, rest)
+    | _ -> reject "%s: missing plan hash" path)
+  | _ -> reject "%s: truncated header" path
+
+let read_meta ~path =
+  let _, rest = check_header path (lines_of path) in
+  List.filter_map
+    (fun line ->
+      match String.split_on_char ' ' line with
+      | [ "m"; k; v ] -> Some (k, v)
+      | _ -> None)
+    rest
+
+let validate ~path ~plan_hash =
+  let h, rest = check_header path (lines_of path) in
+  if h <> plan_hash then
+    reject "%s: journal is for plan %s, current plan is %s" path h plan_hash;
+  rest
+
+let reopen ~path ~plan_hash =
+  ignore (validate ~path ~plan_hash);
+  { oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path }
+
+let commit_batch w ~obj records =
+  List.iter
+    (fun (stratum, sample, code) ->
+      Printf.fprintf w.oc "S %d %d %d %d\n" obj stratum sample code)
+    records;
+  (* records only count once this commit line is fully on disk: replay
+     drops any uncommitted tail, so a mid-batch kill resumes exactly at
+     the previous batch boundary *)
+  Printf.fprintf w.oc "C %d %d\n" obj (List.length records);
+  flush w.oc
+
+let close w = close_out w.oc
+
+let replay ~path ~plan_hash =
+  let body = validate ~path ~plan_hash in
+  let committed = ref [] in
+  let pending = ref [] (* reversed *) in
+  let npending = ref 0 in
+  let ok = ref true in
+  List.iter
+    (fun line ->
+      if !ok then
+        match String.split_on_char ' ' line with
+        | [ "m"; _; _ ] -> ()
+        | [ "S"; o; s; i; c ] -> (
+          match
+            (int_of_string o, int_of_string s, int_of_string i, int_of_string c)
+          with
+          | obj, stratum, sample, code when code >= 0 && code <= 3 ->
+            pending := { obj; stratum; sample; code } :: !pending;
+            incr npending
+          | _ -> ok := false
+          | exception _ -> ok := false)
+        | [ "C"; o; n ] -> (
+          match (int_of_string o, int_of_string n) with
+          | obj, n
+            when n = !npending
+                 && List.for_all (fun r -> r.obj = obj) !pending ->
+            (* [pending] is newest-first; keep [committed] newest-first
+               too, so one final reverse restores execution order *)
+            committed := !pending @ !committed;
+            pending := [];
+            npending := 0
+          | _ -> ok := false
+          | exception _ -> ok := false)
+        | _ -> ok := false)
+    body;
+  List.rev !committed

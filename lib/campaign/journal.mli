@@ -1,0 +1,56 @@
+(** The on-disk campaign journal: crash-safe, versioned, plan-bound.
+
+    A line-oriented append-only log. The header carries the schema version
+    and the {!Plan.hash} of the plan the journal belongs to; a journal
+    whose version or plan hash does not match is rejected outright — a
+    resumed campaign must never silently mix sampling orders. Sample
+    records are buffered per batch and only count once the batch's commit
+    line is fully written, so a campaign killed mid-write resumes at the
+    previous batch boundary and replays to a state bit-identical to an
+    uninterrupted run (batch boundaries are deterministic from the plan).
+
+    Format (one record per line):
+    {v
+    moard-campaign-journal 1
+    plan <16 hex digits>
+    m <key> <value>            (campaign parameters, for plan rebuild)
+    S <obj> <stratum> <sample> <code>
+    C <obj> <count>            (commit of the preceding <count> S lines)
+    v} *)
+
+val schema_version : int
+
+exception Rejected of string
+(** Journal exists but cannot be used: wrong magic, wrong schema version,
+    or wrong plan hash. *)
+
+type record = { obj : int; stratum : int; sample : int; code : int }
+(** One resolved sample: objective index, stratum index, sample index in
+    the stratum's frozen order, and the outcome code
+    ({!Engine.code_of_outcome}). *)
+
+type writer
+
+val create :
+  path:string -> plan_hash:string -> meta:(string * string) list -> writer
+(** Start a fresh journal (truncates). [meta] keys/values must be
+    space-free; they let [campaign resume]/[report] rebuild the plan. *)
+
+val reopen : path:string -> plan_hash:string -> writer
+(** Open an existing journal for appending.
+    @raise Rejected on version or plan-hash mismatch. *)
+
+val commit_batch : writer -> obj:int -> (int * int * int) list -> unit
+(** Append one batch of [(stratum, sample, code)] records for objective
+    [obj], followed by its commit line, and flush. *)
+
+val close : writer -> unit
+
+val replay : path:string -> plan_hash:string -> record list
+(** Committed records, in execution order. Uncommitted or corrupt tail
+    lines are dropped (that is the crash being survived, not an error).
+    @raise Rejected on version or plan-hash mismatch. *)
+
+val read_meta : path:string -> (string * string) list
+(** The meta key/value pairs, validating only the schema version — used to
+    rebuild the plan before {!replay} can check its hash. *)

@@ -1,0 +1,165 @@
+module Context = Moard_inject.Context
+
+type stratum = {
+  label : string;
+  population : int;
+  members : int array;
+  order : int array;
+}
+
+type objective = {
+  object_name : string;
+  sites : Moard_trace.Consume.t array;
+  population : int;
+  strata : stratum array;
+}
+
+type t = {
+  workload_name : string;
+  seed : int;
+  confidence : float;
+  z : float;
+  ci_width : float;
+  batch : int;
+  max_samples : int;
+  objectives : objective array;
+}
+
+let make ?(seed = 42) ?(confidence = 0.95) ?(ci_width = 0.02) ?(batch = 64)
+    ?(max_samples = -1) ctx ~objects =
+  if objects = [] then invalid_arg "Plan.make: no objects";
+  if ci_width <= 0.0 || ci_width >= 1.0 then invalid_arg "Plan.make: ci_width";
+  if batch <= 0 then invalid_arg "Plan.make: batch";
+  let z = Moard_stats.Confidence.z_of_confidence confidence in
+  let tape = Context.tape ctx in
+  let segment = Context.segment ctx in
+  let objectives =
+    List.mapi
+      (fun oi object_name ->
+        let obj = Context.object_of ctx object_name in
+        let pop = Population.of_tape ~segment tape obj ~object_name in
+        if pop.Population.total = 0 then
+          invalid_arg ("Plan.make: no fault sites for " ^ object_name);
+        let strata =
+          Array.mapi
+            (fun si members ->
+              let n = Array.length members in
+              let order = Array.init n Fun.id in
+              (* the whole without-replacement sampling order of the
+                 stratum is fixed here, from the (seed, object, stratum)
+                 stream alone — running, resuming or resharding the
+                 campaign never draws randomness again *)
+              Splitmix.shuffle (Splitmix.of_path ~seed [ oi; si ]) order;
+              {
+                label = Population.label si;
+                population = n;
+                members;
+                order;
+              })
+            pop.Population.members
+        in
+        {
+          object_name;
+          sites = pop.Population.sites;
+          population = pop.Population.total;
+          strata;
+        })
+      objects
+    |> Array.of_list
+  in
+  let w = Context.workload ctx in
+  {
+    workload_name = w.Moard_inject.Workload.name;
+    seed;
+    confidence;
+    z;
+    ci_width;
+    batch;
+    max_samples;
+    objectives;
+  }
+
+let sample_member objective ~stratum ~index =
+  let s = objective.strata.(stratum) in
+  Population.decode s.members.(s.order.(index))
+
+(* -------------------------------------------------------------------- *)
+
+let allocate ~budget remaining =
+  if budget < 0 then invalid_arg "Plan.allocate: budget";
+  let n = Array.length remaining in
+  Array.iter (fun r -> if r < 0 then invalid_arg "Plan.allocate: remaining")
+    remaining;
+  let total = Array.fold_left ( + ) 0 remaining in
+  let b = min budget total in
+  let alloc = Array.make n 0 in
+  if b > 0 then begin
+    (* proportional shares, integer floors, then largest-remainder
+       distribution (ties broken by index) — deterministic and never over
+       a stratum's remaining population *)
+    let fracs = Array.make n 0.0 in
+    let assigned = ref 0 in
+    Array.iteri
+      (fun i r ->
+        let share = float_of_int b *. float_of_int r /. float_of_int total in
+        let base = int_of_float (Float.floor share) in
+        alloc.(i) <- base;
+        assigned := !assigned + base;
+        fracs.(i) <- share -. float_of_int base)
+      remaining;
+    let order = Array.init n Fun.id in
+    Array.sort
+      (fun i j ->
+        match compare fracs.(j) fracs.(i) with 0 -> compare i j | c -> c)
+      order;
+    let left = ref (b - !assigned) in
+    let k = ref 0 in
+    while !left > 0 do
+      let i = order.(!k mod n) in
+      if alloc.(i) < remaining.(i) then begin
+        alloc.(i) <- alloc.(i) + 1;
+        decr left
+      end;
+      incr k
+    done
+  end;
+  alloc
+
+(* -------------------------------------------------------------------- *)
+
+(* FNV-1a over a canonical byte rendering of everything that determines
+   the campaign: parameters, population sizes and the members themselves.
+   Stable across runs and OCaml versions (unlike Hashtbl.hash it is
+   specified here, byte by byte). *)
+let fnv_prime = 0x100000001B3L
+let fnv_offset = 0xCBF29CE484222325L
+
+let hash t =
+  let h = ref fnv_offset in
+  let byte b = h := Int64.mul (Int64.logxor !h (Int64.of_int (b land 0xFF))) fnv_prime in
+  let int i =
+    for shift = 0 to 7 do
+      byte ((i lsr (shift * 8)) land 0xFF)
+    done
+  in
+  let str s = String.iter (fun c -> byte (Char.code c)) s; byte 0 in
+  str "moard-campaign-plan-v1";
+  str t.workload_name;
+  int t.seed;
+  str (Printf.sprintf "%h" t.confidence);
+  str (Printf.sprintf "%h" t.ci_width);
+  int t.batch;
+  int t.max_samples;
+  Array.iter
+    (fun o ->
+      str o.object_name;
+      int (Array.length o.sites);
+      int o.population;
+      Array.iter
+        (fun s ->
+          str s.label;
+          int s.population;
+          Array.iter int s.members)
+        o.strata)
+    t.objectives;
+  Printf.sprintf "%016Lx" !h

@@ -1,0 +1,69 @@
+module Consume = Moard_trace.Consume
+module Bitval = Moard_bits.Bitval
+
+let kind_names = [| "slot0"; "slot1"; "slot2+" |]
+let bit_class_names = [| "sign"; "exponent"; "mantissa-hi"; "mantissa-lo" |]
+let nkinds = Array.length kind_names
+let nclasses = Array.length bit_class_names
+let nstrata = nkinds * nclasses
+
+let label id = kind_names.(id / nclasses) ^ "/" ^ bit_class_names.(id mod nclasses)
+
+(* Bit classes follow the IEEE-754 field boundaries of the width: faults on
+   the sign, the exponent and the two mantissa halves behave differently
+   enough (an exponent flip rescales the value, a low mantissa flip
+   perturbs it below most acceptance thresholds) that stratifying on them
+   buys real variance reduction. Integer images reuse the same cut points
+   as magnitude bands. A 1-bit image is all payload. *)
+let bit_class (width : Bitval.width) bit =
+  match width with
+  | Bitval.W64 ->
+    if bit = 63 then 0 else if bit >= 52 then 1 else if bit >= 26 then 2 else 3
+  | Bitval.W32 ->
+    if bit = 31 then 0 else if bit >= 23 then 1 else if bit >= 12 then 2 else 3
+  | Bitval.W1 -> 3
+
+let kind_class (s : Consume.t) =
+  match s.Consume.kind with
+  | Consume.Read { slot } -> min slot (nkinds - 1)
+  | Consume.Store_dest ->
+    invalid_arg "Population.kind_class: store destinations are not fault sites"
+
+let stratum_of site bit = (kind_class site * nclasses) + bit_class site.Consume.width bit
+
+let encode ~site ~bit = (site lsl 6) lor bit
+let decode m = (m lsr 6, m land 63)
+
+type t = {
+  object_name : string;
+  sites : Consume.t array;
+  total : int;
+  members : int array array;
+}
+
+let of_tape ?segment tape obj ~object_name =
+  let sites =
+    (* Valid fault sites are bits of instruction operands holding values of
+       the object (paper §V-B); store destinations are excluded for the
+       same reason Exhaustive excludes them: the flipped element dies
+       unconsumed at the very next instruction. *)
+    Consume.of_tape ?segment tape obj
+    |> List.filter (fun s ->
+           match s.Consume.kind with
+           | Consume.Read _ -> true
+           | Consume.Store_dest -> false)
+    |> Array.of_list
+  in
+  let acc = Array.make nstrata [] in
+  Array.iteri
+    (fun si (s : Consume.t) ->
+      for bit = 0 to Bitval.bits_in s.Consume.width - 1 do
+        let st = stratum_of s bit in
+        acc.(st) <- encode ~site:si ~bit :: acc.(st)
+      done)
+    sites;
+  let members =
+    Array.map (fun l -> Array.of_list (List.rev l)) acc
+  in
+  let total = Array.fold_left (fun a m -> a + Array.length m) 0 members in
+  { object_name; sites; total; members }

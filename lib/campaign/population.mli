@@ -1,0 +1,46 @@
+(** The fault-site population of a data object, stratified.
+
+    A member of the population is one candidate injection: (consumption
+    site, bit). The population is partitioned into strata by consumption
+    -site kind (operand slot, capped at 2) × bit class (IEEE-754 field of
+    the bit within the image width): faults in different strata behave
+    very differently, so sampling each stratum separately and combining
+    the per-stratum estimates population-weighted gives a tighter interval
+    for the same budget than uniform sampling — and lets the engine stop a
+    stratum independently once it is resolved or exhausted. *)
+
+val nstrata : int
+(** Number of strata (kind classes × bit classes); strata with zero
+    population for a given object simply stay empty. *)
+
+val label : int -> string
+(** Human-readable stratum name, e.g. ["slot0/exponent"]. *)
+
+val bit_class : Moard_bits.Bitval.width -> int -> int
+val kind_class : Moard_trace.Consume.t -> int
+val stratum_of : Moard_trace.Consume.t -> int -> int
+(** Stratum index of a (site, bit) member. *)
+
+val encode : site:int -> bit:int -> int
+(** Pack a member as [(site lsl 6) lor bit] (bit < 64 always holds). *)
+
+val decode : int -> int * int
+(** Inverse of {!encode}: [(site_index, bit)]. *)
+
+type t = {
+  object_name : string;
+  sites : Moard_trace.Consume.t array;
+      (** read-kind consumption sites, in trace enumeration order *)
+  total : int;  (** population size: sum of widths over sites *)
+  members : int array array;
+      (** per stratum, the encoded members in enumeration order *)
+}
+
+val of_tape :
+  ?segment:(string -> bool) ->
+  Moard_trace.Tape.t ->
+  Moard_trace.Data_object.t ->
+  object_name:string ->
+  t
+(** Enumerate and stratify the population from the packed golden tape.
+    Deterministic: the same tape and object always give the same arrays. *)

@@ -1,0 +1,34 @@
+(** SplitMix64: a tiny seeded, splittable PRNG.
+
+    Campaign sampling must be bit-reproducible from [(seed, plan)] alone —
+    independent of domain count, interruption, or the order strata are
+    drained in. [Random.State] offers no stable way to derive independent
+    streams, so each (object, stratum) pair gets its own SplitMix64 stream
+    derived from the campaign seed and its path; the stream then drives
+    one Fisher-Yates shuffle that fixes the stratum's entire
+    without-replacement sampling order up front. *)
+
+type t
+
+val make : int -> t
+(** Stream seeded from an integer. *)
+
+val of_int64 : int64 -> t
+
+val of_path : seed:int -> int list -> t
+(** Independent stream for a path under a seed (e.g.
+    [of_path ~seed [object_index; stratum_index]]); different paths give
+    decorrelated streams, the same path always the same stream. *)
+
+val mix64 : int64 -> int64
+(** The SplitMix64 finalizer (a bijective 64-bit hash). *)
+
+val next : t -> int64
+(** Next 64-bit output; advances the stream. *)
+
+val next_int : t -> int -> int
+(** [next_int t bound]: uniform draw in [[0, bound)], bias-free.
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates driven by the stream. *)

@@ -143,6 +143,10 @@ let key_of t (site : Consume.t) pattern =
     k_bits = Pattern.bits_of pattern;
   }
 
+type ekey = key
+
+let ekey = key_of
+
 let inject_at ?(use_cache = true) t site pattern =
   if not use_cache then inject t (fault_of_site site pattern)
   else

@@ -52,6 +52,21 @@ val inject_at :
 
 val fault_of_site : Moard_trace.Consume.t -> Moard_bits.Pattern.t -> Moard_vm.Fault.t
 
+type ekey
+(** An error-equivalence class: static instruction, operand bit images,
+    consumption-site kind and flipped bits — the key of the internal
+    outcome cache. Immutable; structural equality and [Hashtbl.hash] are
+    meaningful, so it can key external tables. *)
+
+val ekey : t -> Moard_trace.Consume.t -> Moard_bits.Pattern.t -> ekey
+(** The equivalence class of an injection, exposed so campaign drivers can
+    memoize outcomes {e partition-independently}: with the per-shard cache
+    of {!inject_at}, which class member gets executed (and therefore which
+    outcome the class memoizes) depends on how sites were dealt to shards;
+    a driver that keys its own table with [ekey] and resolves each new
+    class with the uncached {!inject} gets results that are bit-identical
+    for any domain count. *)
+
 val runs : t -> int
 (** Fault-injection executions actually performed. *)
 

@@ -10,8 +10,6 @@ type result = {
   margin_95 : float;
 }
 
-let z_95 = 1.96
-
 let campaign ?(use_cache = false) ~seed ~tests ctx ~object_name =
   if tests <= 0 then invalid_arg "Random_fi.campaign: tests";
   let obj = Context.object_of ctx object_name in
@@ -36,7 +34,7 @@ let campaign ?(use_cache = false) ~seed ~tests ctx ~object_name =
     if Outcome.success outcome then incr successes
   done;
   let p = float_of_int !successes /. float_of_int tests in
-  let margin = z_95 *. sqrt (p *. (1.0 -. p) /. float_of_int tests) in
+  let margin = Moard_stats.Confidence.margin ~n:tests p in
   {
     object_name;
     tests;

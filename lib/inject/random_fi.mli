@@ -11,7 +11,9 @@ type result = {
   tests : int;
   successes : int;
   success_rate : float;
-  margin_95 : float;  (** half-width of the 95% confidence interval *)
+  margin_95 : float;
+      (** half-width of the 95% Wilson score interval
+          ({!Moard_stats.Confidence.margin}) *)
 }
 
 val campaign :

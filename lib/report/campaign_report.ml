@@ -1,0 +1,152 @@
+module Engine = Moard_campaign.Engine
+
+(* Deterministic float rendering: shortest-exact is locale-free and
+   round-trips, so stable reports are byte-comparable. *)
+let fl x = Printf.sprintf "%.17g" x
+
+let buf_obj b ~indent (o : Engine.object_result) =
+  let pad = String.make indent ' ' in
+  Buffer.add_string b (Printf.sprintf "%s{\n" pad);
+  let field k v =
+    Buffer.add_string b (Printf.sprintf "%s  %S: %s,\n" pad k v)
+  in
+  field "object" (Printf.sprintf "%S" o.Engine.object_name);
+  field "population" (string_of_int o.Engine.population);
+  field "sites" (string_of_int o.Engine.sites);
+  field "samples" (string_of_int o.Engine.samples);
+  field "runs" (string_of_int o.Engine.runs);
+  field "cache_hits" (string_of_int o.Engine.cache_hits);
+  Array.iteri
+    (fun c n -> field Engine.code_names.(c) (string_of_int n))
+    o.Engine.by_code;
+  field "estimate" (fl o.Engine.estimate);
+  field "ci_lo" (fl o.Engine.lo);
+  field "ci_hi" (fl o.Engine.hi);
+  field "ci_halfwidth" (fl o.Engine.halfwidth);
+  field "stopped" (Printf.sprintf "%S" (Engine.stop_reason_name o.Engine.stopped));
+  let strata =
+    o.Engine.strata |> Array.to_list
+    |> List.filter (fun (s : Engine.stratum_result) -> s.Engine.population > 0)
+    |> List.map (fun (s : Engine.stratum_result) ->
+           Printf.sprintf
+             "%s    { \"stratum\": %S, \"population\": %d, \"samples\": %d, \
+              \"successes\": %d, \"ci_lo\": %s, \"ci_hi\": %s, \
+              \"exhausted\": %b }"
+             pad s.Engine.label s.Engine.population s.Engine.samples
+             s.Engine.successes (fl s.Engine.lo) (fl s.Engine.hi)
+             s.Engine.exhausted)
+  in
+  Buffer.add_string b
+    (Printf.sprintf "%s  \"strata\": [\n%s\n%s  ]\n" pad
+       (String.concat ",\n" strata)
+       pad);
+  Buffer.add_string b (Printf.sprintf "%s}" pad)
+
+let json_body b ?perf (r : Engine.result) =
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"schema\": \"moard-campaign-report-v1\",\n");
+  Buffer.add_string b (Printf.sprintf "  \"workload\": %S,\n" r.Engine.workload_name);
+  Buffer.add_string b (Printf.sprintf "  \"plan\": %S,\n" r.Engine.plan_hash);
+  Buffer.add_string b (Printf.sprintf "  \"seed\": %d,\n" r.Engine.seed);
+  Buffer.add_string b
+    (Printf.sprintf "  \"confidence\": %s,\n" (fl r.Engine.confidence));
+  Buffer.add_string b
+    (Printf.sprintf "  \"ci_width_target\": %s,\n" (fl r.Engine.ci_width));
+  (match perf with
+  | None -> ()
+  | Some () ->
+    let p = r.Engine.perf in
+    let samples =
+      Array.fold_left (fun a o -> a + o.Engine.samples) 0 r.Engine.objects
+    in
+    let runs =
+      Array.fold_left (fun a o -> a + o.Engine.runs) 0 r.Engine.objects
+    in
+    Buffer.add_string b (Printf.sprintf "  \"domains\": %d,\n" r.Engine.domains);
+    Buffer.add_string b
+      (Printf.sprintf "  \"wall_seconds\": %s,\n" (fl p.Engine.wall_seconds));
+    Buffer.add_string b
+      (Printf.sprintf "  \"inject_seconds\": %s,\n" (fl p.Engine.inject_seconds));
+    Buffer.add_string b
+      (Printf.sprintf "  \"samples_per_sec\": %s,\n"
+         (fl
+            (float_of_int samples
+            /. Float.max 1e-9 p.Engine.inject_seconds)));
+    Buffer.add_string b
+      (Printf.sprintf "  \"speedup_from_cache\": %s,\n"
+         (fl (float_of_int samples /. float_of_int (max 1 runs))));
+    Buffer.add_string b
+      (Printf.sprintf "  \"per_domain_runs\": [%s],\n"
+         (String.concat ", "
+            (Array.to_list (Array.map string_of_int p.Engine.per_domain_runs)))));
+  let objs =
+    Array.to_list r.Engine.objects
+    |> List.map (fun o ->
+           let ob = Buffer.create 512 in
+           buf_obj ob ~indent:4 o;
+           Buffer.contents ob)
+  in
+  Buffer.add_string b
+    (Printf.sprintf "  \"objects\": [\n%s\n  ]\n" (String.concat ",\n" objs));
+  Buffer.add_string b "}\n"
+
+let stable_json r =
+  let b = Buffer.create 2048 in
+  json_body b r;
+  Buffer.contents b
+
+let json r =
+  let b = Buffer.create 2048 in
+  json_body b ~perf:() r;
+  Buffer.contents b
+
+let pp ppf (r : Engine.result) =
+  Format.fprintf ppf
+    "campaign %s (plan %s, seed %d, %g%% confidence, target halfwidth %g, \
+     %d domain%s)@\n"
+    r.Engine.workload_name r.Engine.plan_hash r.Engine.seed
+    (100.0 *. r.Engine.confidence)
+    r.Engine.ci_width r.Engine.domains
+    (if r.Engine.domains = 1 then "" else "s");
+  Array.iter
+    (fun (o : Engine.object_result) ->
+      Format.fprintf ppf "@\n%s: %.4f in [%.4f, %.4f] (+/- %.4f), %s@\n"
+        o.Engine.object_name o.Engine.estimate o.Engine.lo o.Engine.hi
+        o.Engine.halfwidth
+        (Engine.stop_reason_name o.Engine.stopped);
+      Format.fprintf ppf "  %s@\n"
+        (Chart.whisker ~width:40 ~center:o.Engine.estimate
+           ~margin:o.Engine.halfwidth ());
+      Format.fprintf ppf
+        "  %d / %d population sampled (%d sites); %d runs, %d cache hits \
+         (%.1fx from cache)@\n"
+        o.Engine.samples o.Engine.population o.Engine.sites o.Engine.runs
+        o.Engine.cache_hits
+        (float_of_int o.Engine.samples /. float_of_int (max 1 o.Engine.runs));
+      Format.fprintf ppf "  outcomes: same %d, acceptable %d, incorrect %d, crashed %d@\n"
+        o.Engine.by_code.(0) o.Engine.by_code.(1) o.Engine.by_code.(2)
+        o.Engine.by_code.(3);
+      Array.iter
+        (fun (s : Engine.stratum_result) ->
+          if s.Engine.population > 0 then
+            Format.fprintf ppf
+              "    %-22s %5d/%-5d %s  [%.4f, %.4f]%s@\n" s.Engine.label
+              s.Engine.samples s.Engine.population
+              (if s.Engine.samples > 0 then
+                 Printf.sprintf "rate %.4f"
+                   (float_of_int s.Engine.successes
+                   /. float_of_int s.Engine.samples)
+               else "rate   -  ")
+              s.Engine.lo s.Engine.hi
+              (if s.Engine.exhausted then " (exact)" else ""))
+        o.Engine.strata)
+    r.Engine.objects;
+  let p = r.Engine.perf in
+  let samples =
+    Array.fold_left (fun a o -> a + o.Engine.samples) 0 r.Engine.objects
+  in
+  Format.fprintf ppf "@\n%d samples in %.3fs injecting (%.0f samples/s); per-domain runs: %s@\n"
+    samples p.Engine.inject_seconds
+    (float_of_int samples /. Float.max 1e-9 p.Engine.inject_seconds)
+    (String.concat ", "
+       (Array.to_list (Array.map string_of_int p.Engine.per_domain_runs)))

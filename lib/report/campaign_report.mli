@@ -1,0 +1,15 @@
+(** Rendering of campaign-engine results: machine-readable JSON and the
+    human report with interval whiskers. *)
+
+val stable_json : Moard_campaign.Engine.result -> string
+(** The deterministic portion of a result as JSON: estimates, intervals,
+    sample/run/cache counts, strata, stop reasons — everything that is
+    bit-reproducible from [(seed, plan)]. Byte-identical across domain
+    counts and kill/resume chains; this is what golden-snapshot tests and
+    the CI smoke job diff. *)
+
+val json : Moard_campaign.Engine.result -> string
+(** [stable_json] plus the performance section (domains, wall seconds,
+    samples/s, cache speedup, per-domain run counts). *)
+
+val pp : Format.formatter -> Moard_campaign.Engine.result -> unit

@@ -1,6 +1,99 @@
+type interval = { lo : float; hi : float }
+
+let width i = i.hi -. i.lo
+
+let z_table =
+  [ (0.80, 1.282); (0.90, 1.645); (0.95, 1.96); (0.98, 2.326); (0.99, 2.576) ]
+
+let z_of_confidence c =
+  match
+    List.find_opt (fun (level, _) -> Float.abs (level -. c) < 1e-9) z_table
+  with
+  | Some (_, z) -> z
+  | None ->
+    invalid_arg
+      (Printf.sprintf
+         "Confidence.z_of_confidence: %g (supported: %s)" c
+         (String.concat ", "
+            (List.map (fun (l, _) -> Printf.sprintf "%g" l) z_table)))
+
+(* Wilson score half-width for a rate [p] over [n] trials. Unlike the Wald
+   (normal-approximation) half-width z*sqrt(p(1-p)/n) it does not collapse
+   to zero at p = 0 or 1 and stays honest at small n. *)
+let wilson_halfwidth ~z ~n p =
+  let nf = float_of_int n in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. nf) in
+  z /. denom *. sqrt ((p *. (1.0 -. p) /. nf) +. (z2 /. (4.0 *. nf *. nf)))
+
 let margin ?(z = 1.96) ~n p =
   if n <= 0 then invalid_arg "Confidence.margin: n";
-  z *. sqrt (p *. (1.0 -. p) /. float_of_int n)
+  wilson_halfwidth ~z ~n p
+
+let wilson ?(z = 1.96) ~n ~successes () =
+  if n < 0 then invalid_arg "Confidence.wilson: n";
+  if successes < 0 || successes > n then
+    invalid_arg "Confidence.wilson: successes";
+  if n = 0 then { lo = 0.0; hi = 1.0 }
+  else begin
+    let nf = float_of_int n in
+    let p = float_of_int successes /. nf in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. nf) in
+    let center = (p +. (z2 /. (2.0 *. nf))) /. denom in
+    let hw = wilson_halfwidth ~z ~n p in
+    { lo = Float.max 0.0 (center -. hw); hi = Float.min 1.0 (center +. hw) }
+  end
+
+(* P(X <= k) for X ~ Binomial(n, p), summed in log space so it stays finite
+   for any n we care about (the campaign engine uses Wilson; this backs the
+   exact Clopper-Pearson interval and its tests). *)
+let binom_cdf ~n ~k p =
+  if p <= 0.0 then 1.0
+  else if p >= 1.0 then if k >= n then 1.0 else 0.0
+  else begin
+    let lp = log p and lq = log1p (-.p) in
+    let acc = ref 0.0 and logc = ref 0.0 in
+    for i = 0 to k do
+      let logterm =
+        !logc +. (float_of_int i *. lp) +. (float_of_int (n - i) *. lq)
+      in
+      acc := !acc +. exp logterm;
+      logc := !logc +. log (float_of_int (n - i)) -. log (float_of_int (i + 1))
+    done;
+    Float.min 1.0 !acc
+  end
+
+(* Solve f p = target for f monotonically decreasing in p, by bisection. *)
+let solve_decreasing f target =
+  let lo = ref 0.0 and hi = ref 1.0 in
+  for _ = 1 to 60 do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if f mid > target then lo := mid else hi := mid
+  done;
+  0.5 *. (!lo +. !hi)
+
+let clopper_pearson ?(confidence = 0.95) ~n ~successes () =
+  if n < 0 then invalid_arg "Confidence.clopper_pearson: n";
+  if successes < 0 || successes > n then
+    invalid_arg "Confidence.clopper_pearson: successes";
+  if confidence <= 0.0 || confidence >= 1.0 then
+    invalid_arg "Confidence.clopper_pearson: confidence";
+  if n = 0 then { lo = 0.0; hi = 1.0 }
+  else begin
+    let alpha = (1.0 -. confidence) /. 2.0 in
+    let k = successes in
+    let lo =
+      (* largest p with P(X >= k | p) = alpha, i.e. cdf (k-1) p = 1-alpha *)
+      if k = 0 then 0.0
+      else solve_decreasing (fun p -> binom_cdf ~n ~k:(k - 1) p) (1.0 -. alpha)
+    in
+    let hi =
+      if k = n then 1.0
+      else solve_decreasing (fun p -> binom_cdf ~n ~k p) alpha
+    in
+    { lo; hi }
+  end
 
 let tests_needed ?(z = 1.96) ?(e = 0.02) ?(p = 0.5) () =
   if e <= 0.0 then invalid_arg "Confidence.tests_needed: e";

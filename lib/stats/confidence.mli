@@ -1,13 +1,41 @@
 (** Confidence machinery for fault-injection campaigns, after the
-    statistical fault-injection methodology the paper cites [26]. *)
+    statistical fault-injection methodology the paper cites [26].
+
+    All binomial intervals here are Wilson score or Clopper-Pearson
+    intervals: unlike the textbook normal (Wald) approximation they do not
+    degenerate to a zero-width interval at observed rates of 0 or 1 and
+    they behave at small n — both cases the campaign engine's stopping
+    rule hits constantly (a stratum whose every sampled fault was masked
+    has rate 1 with very real remaining uncertainty). *)
+
+type interval = { lo : float; hi : float }
+
+val width : interval -> float
+
+val z_of_confidence : float -> float
+(** Two-sided z quantile for a confidence level. Supported levels: 0.80,
+    0.90, 0.95, 0.98, 0.99. @raise Invalid_argument otherwise. *)
 
 val margin : ?z:float -> n:int -> float -> float
-(** [margin ~n p]: half-width of the binomial confidence interval for
-    success rate [p] over [n] trials; [z] defaults to 1.96 (95%). *)
+(** [margin ~n p]: half-width of the Wilson score interval for success
+    rate [p] over [n] trials; [z] defaults to 1.96 (95%). Nonzero at
+    p = 0 and p = 1 (the old normal approximation collapsed there).
+    @raise Invalid_argument if [n <= 0]. *)
+
+val wilson : ?z:float -> n:int -> successes:int -> unit -> interval
+(** Wilson score interval for [successes] out of [n] Bernoulli trials,
+    clamped to [0, 1]. [n = 0] gives the ignorance interval [{lo=0; hi=1}].
+    Always contains the empirical mean successes/n. *)
+
+val clopper_pearson :
+  ?confidence:float -> n:int -> successes:int -> unit -> interval
+(** Exact (conservative) Clopper-Pearson interval, by bisection on the
+    binomial CDF. [confidence] defaults to 0.95. [n = 0] gives [{0, 1}]. *)
 
 val tests_needed : ?z:float -> ?e:float -> ?p:float -> unit -> int
 (** Number of fault-injection tests for margin [e] (default 0.02) at the
-    given confidence, worst case [p] = 0.5. *)
+    given confidence, worst case [p] = 0.5 (the standard planning formula;
+    the campaign engine stops on the achieved Wilson width instead). *)
 
 val intervals_overlap : p1:float -> m1:float -> p2:float -> m2:float -> bool
 (** Whether two estimates are statistically indistinguishable. *)

@@ -4,4 +4,5 @@ let () =
    @ Test_vm.suite @ Test_trace.suite @ Test_masking.suite
    @ Test_propagation.suite @ Test_model.suite @ Test_inject.suite
    @ Test_stats.suite @ Test_kernels.suite @ Test_report.suite
-   @ Test_opt.suite @ Test_text.suite @ Test_derive.suite @ Test_parallel.suite @ Test_placement.suite @ Test_edges.suite @ Test_pipeline.suite)
+   @ Test_opt.suite @ Test_text.suite @ Test_derive.suite @ Test_parallel.suite @ Test_placement.suite @ Test_edges.suite @ Test_pipeline.suite
+   @ Test_campaign.suite @ Test_campaign_diff.suite)

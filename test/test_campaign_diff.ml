@@ -1,0 +1,174 @@
+(* Differential validation of the campaign engine against ground truth.
+
+   For every registry kernel whose target object has a small fault-site
+   population, the exhaustive injector sweeps the entire population and
+   gives the exact masking rate. The campaign's confidence interval must
+   cover that truth — with a fixed seed this is a deterministic check, not
+   a flaky statistical one — and on larger populations the campaign must
+   reach its target interval with strictly fewer injections than the
+   sweep.
+
+   The same harness cross-checks the MOARD model itself: the aDVF
+   prediction must agree with the exhaustive masking rate within a
+   documented tolerance. Tolerance: |aDVF - exhaustive| <= 0.05, applied
+   only where the model's involvement population is the injectable
+   population (no store-destination involvements). Store destinations are
+   involvements the model analyzes at operation level but no injector can
+   target (DESIGN.md section 9); where they exist (e.g. AMG/ipiv: 8
+   involvements over 4 injectable sites) the two quantities measure
+   different populations and only the campaign-vs-exhaustive check
+   applies. *)
+
+module Registry = Moard_kernels.Registry
+module Context = Moard_inject.Context
+module Exhaustive = Moard_inject.Exhaustive
+module Model = Moard_core.Model
+module Plan = Moard_campaign.Plan
+module Engine = Moard_campaign.Engine
+
+(* Population ceiling for "small enough to sweep exhaustively in a unit
+   test". Everything at or under it from the registry is covered; see the
+   probe table in DESIGN.md section 9. *)
+let small_population = 1024
+
+(* (benchmark, object) pairs under the ceiling, plus whether the model's
+   involvement population equals the injectable population (store
+   destinations absent), which gates the aDVF comparison. *)
+let small_kernels =
+  [
+    ("SP", "grid_points", `Advf_comparable);
+    ("AMG", "ipiv", `Store_dest_involvements);
+    ("BT", "grid_points", `Advf_comparable);
+    ("LULESH", "m_elemBC", `Advf_comparable);
+  ]
+
+let advf_tolerance = 0.05
+
+let ctx_of =
+  let cache : (string, Context.t) Hashtbl.t = Hashtbl.create 8 in
+  fun bench ->
+    match Hashtbl.find_opt cache bench with
+    | Some c -> c
+    | None ->
+      let e = Registry.find bench in
+      let c = Context.make (e.Registry.workload ()) in
+      Hashtbl.replace cache bench c;
+      c
+
+let run_campaign ?(ci_width = 0.05) bench obj =
+  let ctx = ctx_of bench in
+  let plan = Plan.make ~seed:42 ~ci_width ctx ~objects:[ obj ] in
+  (Engine.run ctx plan).Engine.objects.(0)
+
+let check_covers ~what truth (o : Engine.object_result) =
+  if truth < o.Engine.lo -. 1e-12 || truth > o.Engine.hi +. 1e-12 then
+    Alcotest.failf "%s: exhaustive rate %.6f outside campaign CI [%.6f, %.6f]"
+      what truth o.Engine.lo o.Engine.hi
+
+let small_kernel_case (bench, obj, advf_gate) =
+  Alcotest.test_case (Printf.sprintf "%s/%s vs exhaustive" bench obj) `Slow
+    (fun () ->
+      let ctx = ctx_of bench in
+      let truth = Exhaustive.campaign ctx ~object_name:obj in
+      if truth.Exhaustive.injections > small_population then
+        Alcotest.failf "%s/%s no longer small (%d injections): move it out"
+          bench obj truth.Exhaustive.injections;
+      let o = run_campaign bench obj in
+      Alcotest.(check int)
+        "campaign and sweep enumerate the same population"
+        truth.Exhaustive.injections o.Engine.population;
+      check_covers ~what:(bench ^ "/" ^ obj) truth.Exhaustive.success_rate o;
+      (* Small populations exhaust before the interval closes; then the
+         estimate must be the exact sweep rate, not an approximation. *)
+      if o.Engine.stopped = Engine.Exhausted then
+        Alcotest.(check (float 1e-9))
+          "exhausted campaign reproduces the sweep exactly"
+          truth.Exhaustive.success_rate o.Engine.estimate;
+      (* Every sweep outcome class is reachable through campaign sampling:
+         totals by code must match when the population is exhausted. *)
+      (if o.Engine.stopped = Engine.Exhausted then
+         let sweep_by_code =
+           [|
+             truth.Exhaustive.same; truth.Exhaustive.acceptable;
+             truth.Exhaustive.incorrect; truth.Exhaustive.crashed;
+           |]
+         in
+         Alcotest.(check (array int)) "outcome histogram matches the sweep"
+           sweep_by_code o.Engine.by_code);
+      match advf_gate with
+      | `Store_dest_involvements -> ()
+      | `Advf_comparable ->
+        let report = Model.analyze ctx ~object_name:obj in
+        let advf = report.Moard_core.Advf.advf in
+        if Float.abs (advf -. truth.Exhaustive.success_rate) > advf_tolerance
+        then
+          Alcotest.failf
+            "%s/%s: aDVF %.4f vs exhaustive %.4f exceeds tolerance %.2f"
+            bench obj advf truth.Exhaustive.success_rate advf_tolerance)
+
+let sampling_case =
+  (* MM/C: 18432-member population. The campaign must reach its target
+     interval with strictly fewer injections than the sweep — the whole
+     point of statistical fault injection (paper section V). *)
+  Alcotest.test_case "MM/C: CI target met with fewer injections than sweep"
+    `Slow (fun () ->
+      let ctx = ctx_of "MM" in
+      let truth = Exhaustive.campaign ctx ~object_name:"C" in
+      let o = run_campaign ~ci_width:0.02 "MM" "C" in
+      Alcotest.(check bool) "stopped on ci-target" true
+        (o.Engine.stopped = Engine.Ci_target);
+      if o.Engine.samples >= truth.Exhaustive.injections then
+        Alcotest.failf "campaign used %d samples, sweep only %d"
+          o.Engine.samples truth.Exhaustive.injections;
+      check_covers ~what:"MM/C" truth.Exhaustive.success_rate o;
+      (* The model comparison also holds on this kernel despite its store
+         -dest involvements: document the margin actually observed. *)
+      let report = Model.analyze ctx ~object_name:"C" in
+      let advf = report.Moard_core.Advf.advf in
+      if Float.abs (advf -. truth.Exhaustive.success_rate) > advf_tolerance
+      then
+        Alcotest.failf "MM/C: aDVF %.4f vs exhaustive %.4f exceeds %.2f" advf
+          truth.Exhaustive.success_rate advf_tolerance)
+
+let coverage_case =
+  (* The small set is derived from the registry, not hand-maintained:
+     every registry target object at or under the population ceiling must
+     appear in [small_kernels], so new tiny kernels cannot silently skip
+     differential validation. *)
+  Alcotest.test_case "every small registry object is covered" `Slow
+    (fun () ->
+      List.iter
+        (fun (e : Registry.entry) ->
+          let ctx = ctx_of e.Registry.benchmark in
+          let w = Context.workload ctx in
+          List.iter
+            (fun obj ->
+              let p =
+                Moard_campaign.Population.of_tape
+                  ~segment:(Context.segment ctx)
+                  (Context.tape ctx)
+                  (Context.object_of ctx obj)
+                  ~object_name:obj
+              in
+              if
+                p.Moard_campaign.Population.total <= small_population
+                && not
+                     (List.exists
+                        (fun (b, o, _) ->
+                          b = e.Registry.benchmark && o = obj)
+                        small_kernels)
+              then
+                Alcotest.failf
+                  "%s/%s has population %d <= %d but is not in the \
+                   differential set"
+                  e.Registry.benchmark obj p.Moard_campaign.Population.total
+                  small_population)
+            w.Moard_inject.Workload.targets)
+        Registry.all)
+
+let suite =
+  [
+    ( "campaign.differential",
+      List.map small_kernel_case small_kernels
+      @ [ sampling_case; coverage_case ] );
+  ]

@@ -27,15 +27,95 @@ let summary_tests =
 
 let confidence_tests =
   [
-    Alcotest.test_case "margin formula" `Quick (fun () ->
-        feq "p=0.5 n=100" (1.96 *. 0.05) (Confidence.margin ~n:100 0.5);
-        feq "p=0 or 1 collapses" 0.0 (Confidence.margin ~n:100 0.0));
+    Alcotest.test_case "margin is the Wilson half-width" `Quick (fun () ->
+        (* closed form at p = 0.5, n = 100, z = 1.96 *)
+        let z = 1.96 and n = 100.0 in
+        let denom = 1.0 +. (z *. z /. n) in
+        let expect =
+          z /. denom *. sqrt ((0.25 /. n) +. (z *. z /. (4.0 *. n *. n)))
+        in
+        feq "p=0.5 n=100" expect (Confidence.margin ~n:100 0.5);
+        (* the old normal approximation collapsed to 0 here; Wilson does
+           not: at p = 0 the half-width is z^2/2n / (1 + z^2/n) *)
+        feq "p=0 stays honest"
+          (z *. z /. (2.0 *. n) /. denom)
+          (Confidence.margin ~n:100 0.0));
+    Alcotest.test_case "wilson edge cases" `Quick (fun () ->
+        let i0 = Confidence.wilson ~n:0 ~successes:0 () in
+        feq "n=0 lo" 0.0 i0.Confidence.lo;
+        feq "n=0 hi" 1.0 i0.Confidence.hi;
+        let all = Confidence.wilson ~n:50 ~successes:50 () in
+        feq "all-masked hi" 1.0 all.Confidence.hi;
+        assert (all.Confidence.lo > 0.9 && all.Confidence.lo < 1.0);
+        let none = Confidence.wilson ~n:50 ~successes:0 () in
+        feq "none-masked lo" 0.0 none.Confidence.lo;
+        assert (none.Confidence.hi > 0.0 && none.Confidence.hi < 0.1);
+        Alcotest.check_raises "successes > n"
+          (Invalid_argument "Confidence.wilson: successes") (fun () ->
+            ignore (Confidence.wilson ~n:3 ~successes:4 ())));
+    Alcotest.test_case "clopper_pearson edge cases" `Quick (fun () ->
+        let i0 = Confidence.clopper_pearson ~n:0 ~successes:0 () in
+        feq "n=0 lo" 0.0 i0.Confidence.lo;
+        feq "n=0 hi" 1.0 i0.Confidence.hi;
+        (* rule of three: upper bound for 0/n is about 1 - (alpha/2)^(1/n) *)
+        let none = Confidence.clopper_pearson ~n:100 ~successes:0 () in
+        feq "none lo" 0.0 none.Confidence.lo;
+        Alcotest.check (Alcotest.float 1e-6) "none hi"
+          (1.0 -. (0.025 ** (1.0 /. 100.0)))
+          none.Confidence.hi;
+        let all = Confidence.clopper_pearson ~n:100 ~successes:100 () in
+        feq "all hi" 1.0 all.Confidence.hi;
+        Alcotest.check (Alcotest.float 1e-6) "all lo"
+          (0.025 ** (1.0 /. 100.0))
+          all.Confidence.lo);
+    Alcotest.test_case "z_of_confidence table" `Quick (fun () ->
+        feq "0.95" 1.96 (Confidence.z_of_confidence 0.95);
+        feq "0.99" 2.576 (Confidence.z_of_confidence 0.99);
+        match Confidence.z_of_confidence 0.5 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "unsupported level accepted");
     Alcotest.test_case "tests_needed worst case" `Quick (fun () ->
         Alcotest.(check int) "e=0.02" 2401 (Confidence.tests_needed ());
         assert (Confidence.tests_needed ~e:0.01 () > Confidence.tests_needed ()));
     Alcotest.test_case "interval overlap" `Quick (fun () ->
         assert (Confidence.intervals_overlap ~p1:0.5 ~m1:0.05 ~p2:0.55 ~m2:0.02);
         assert (not (Confidence.intervals_overlap ~p1:0.5 ~m1:0.01 ~p2:0.55 ~m2:0.01)));
+  ]
+
+(* Interval laws the campaign's stopping rule leans on: both interval
+   families always contain the empirical mean, and doubling the evidence
+   at the same observed rate never widens them. *)
+let interval_props =
+  let gen_nk =
+    QCheck2.Gen.(
+      int_range 1 2000 >>= fun n ->
+      int_range 0 n >|= fun k -> (n, k))
+  in
+  let contains i p = i.Confidence.lo <= p +. 1e-12 && p <= i.Confidence.hi +. 1e-12 in
+  [
+    qtest "wilson contains the empirical mean" gen_nk (fun (n, k) ->
+        contains (Confidence.wilson ~n ~successes:k ())
+          (float_of_int k /. float_of_int n));
+    qtest "clopper_pearson contains the empirical mean" ~count:80 gen_nk
+      (fun (n, k) ->
+        contains
+          (Confidence.clopper_pearson ~n ~successes:k ())
+          (float_of_int k /. float_of_int n));
+    qtest "wilson shrinks monotonically with n" gen_nk (fun (n, k) ->
+        Confidence.width (Confidence.wilson ~n:(2 * n) ~successes:(2 * k) ())
+        <= Confidence.width (Confidence.wilson ~n ~successes:k ()) +. 1e-12);
+    qtest "clopper_pearson shrinks monotonically with n" ~count:80 gen_nk
+      (fun (n, k) ->
+        Confidence.width
+          (Confidence.clopper_pearson ~n:(2 * n) ~successes:(2 * k) ())
+        <= Confidence.width (Confidence.clopper_pearson ~n ~successes:k ())
+           +. 1e-9);
+    qtest "wilson nests within clopper_pearson's conservatism" ~count:80
+      gen_nk (fun (n, k) ->
+        (* CP is exact-conservative, Wilson approximate: CP is never the
+           narrower of the two by more than numerical noise. *)
+        Confidence.width (Confidence.clopper_pearson ~n ~successes:k ())
+        >= Confidence.width (Confidence.wilson ~n ~successes:k ()) -. 0.05);
   ]
 
 let rank_tests =
@@ -95,6 +175,7 @@ let suite =
   [
     ("stats.summary", summary_tests);
     ("stats.confidence", confidence_tests);
+    ("stats.confidence.properties", interval_props);
     ("stats.rank", rank_tests);
     ("stats.rank.properties", rank_props);
   ]
