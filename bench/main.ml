@@ -684,6 +684,155 @@ let campaign () =
     note "wrote BENCH_campaign.json"
   end
 
+(* ------------------------------------------------------------------ *)
+
+(* The result-store benchmark: moardd on a Unix socket over a cold
+   content-addressed store. Measures the cold compute-and-store path
+   against warm cache hits for one probe query (asserting the payloads
+   are byte-identical to an offline computation), then drives a zipf-ish
+   request mix over the 16 registry objects and reports the hit ratio.
+   Writes BENCH_store.json (full mode only; --quick is the CI smoke
+   test). *)
+
+let store_bench () =
+  let module Daemon = Moard_server.Daemon in
+  let module Client = Moard_server.Client in
+  let module Jsonx = Moard_server.Jsonx in
+  let module Query = Moard_store.Query in
+  section
+    "Result store + moardd: cold vs warm query latency, hit ratio under a \
+     zipf-ish mix";
+  let dir = Filename.temp_file "moard_bench_store" "" in
+  Sys.remove dir;
+  let socket = Filename.temp_file "moardd_bench" ".sock" in
+  Sys.remove socket;
+  let cfg =
+    {
+      Daemon.default_config with
+      Daemon.socket;
+      store_dir = dir;
+      workers = 2;
+      timeout_s = 600.0;
+    }
+  in
+  let d = Daemon.start cfg in
+  Fun.protect ~finally:(fun () -> Daemon.stop d) @@ fun () ->
+  let rpc req = Client.rpc ~socket req in
+  let advf_req ?fi_budget bench obj =
+    Jsonx.Obj
+      ([
+         ("op", Jsonx.Str "advf");
+         ("benchmark", Jsonx.Str bench);
+         ("object", Jsonx.Str obj);
+       ]
+      @
+      match fi_budget with
+      | Some b -> [ ("fi_budget", Jsonx.Int b) ]
+      | None -> [])
+  in
+  let served h =
+    Option.value ~default:"?" (Jsonx.str (Jsonx.member "served" h))
+  in
+  let is_hit h =
+    match served h with "memory-hit" | "disk-hit" -> true | _ -> false
+  in
+  (* cold vs warm on one probe query *)
+  let probe_bench, probe_obj = ("LULESH", "m_elemBC") in
+  let t = Unix.gettimeofday () in
+  let h1, p1 = rpc (advf_req probe_bench probe_obj) in
+  let cold_s = Unix.gettimeofday () -. t in
+  note "cold %s/%s: %.4fs (%s)" probe_bench probe_obj cold_s (served h1);
+  let warm_reps = if !quick then 10 else 50 in
+  let warm_s = ref infinity in
+  let warm_ok = ref true in
+  for _ = 1 to warm_reps do
+    let t = Unix.gettimeofday () in
+    let h, p = rpc (advf_req probe_bench probe_obj) in
+    warm_s := Float.min !warm_s (Unix.gettimeofday () -. t);
+    if not (is_hit h && p = p1) then warm_ok := false
+  done;
+  let offline =
+    Query.advf_payload
+      (ctx_of (Registry.find probe_bench))
+      ~object_name:probe_obj
+  in
+  let identical = p1 = Some offline && !warm_ok in
+  let speedup = cold_s /. !warm_s in
+  note "warm (best of %d): %.6fs -- %.0fx over cold" warm_reps !warm_s speedup;
+  note "daemon payload byte-identical to offline computation: %b" identical;
+  if not identical then
+    failwith "store: daemon payload differs from the offline computation";
+  if speedup < 10.0 then
+    failwith "store: warm query not at least 10x faster than cold";
+  (* zipf-ish mix over the registry objects: rank i drawn with weight
+     1/(i+1), deterministic LCG so the mix is reproducible *)
+  let mix =
+    if !quick then [| ("LULESH", "m_elemBC"); ("LULESH", "m_delv_zeta") |]
+    else
+      Array.of_list
+        (List.map
+           (fun ((e : Registry.entry), obj) -> (e.Registry.benchmark, obj))
+           (fig4_objects ()))
+  in
+  let n = Array.length mix in
+  let weights = Array.init n (fun i -> 1.0 /. float_of_int (i + 1)) in
+  let total_w = Array.fold_left ( +. ) 0.0 weights in
+  let state = ref 0x2545F491 in
+  let next_float () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    float_of_int !state /. 1073741824.0
+  in
+  let pick () =
+    let x = next_float () *. total_w in
+    let rec go i acc =
+      if i = n - 1 then i
+      else if acc +. weights.(i) >= x then i
+      else go (i + 1) (acc +. weights.(i))
+    in
+    go 0 0.0
+  in
+  let draws = if !quick then 40 else 400 in
+  let hits = ref 0 in
+  let t = Unix.gettimeofday () in
+  for _ = 1 to draws do
+    let bench, obj = mix.(pick ()) in
+    let h, p = rpc (advf_req ~fi_budget:60_000 bench obj) in
+    if is_hit h then incr hits;
+    if p = None then failwith ("store: no payload for " ^ bench ^ "/" ^ obj)
+  done;
+  let mix_s = Unix.gettimeofday () -. t in
+  let hit_ratio = float_of_int !hits /. float_of_int draws in
+  note "zipf mix: %d draws over %d objects in %.3fs (%.0f q/s, hit ratio \
+        %.3f)"
+    draws n mix_s
+    (float_of_int draws /. mix_s)
+    hit_ratio;
+  if !quick then note "quick mode: not writing BENCH_store.json"
+  else begin
+    let oc = open_out "BENCH_store.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"probe\": { \"benchmark\": %S, \"object\": %S },\n\
+      \  \"cold_seconds\": %.6f,\n\
+      \  \"warm_seconds\": %.6f,\n\
+      \  \"warm_speedup\": %.1f,\n\
+      \  \"byte_identical_to_offline\": %b,\n\
+      \  \"zipf\": {\n\
+      \    \"objects\": %d,\n\
+      \    \"draws\": %d,\n\
+      \    \"hits\": %d,\n\
+      \    \"hit_ratio\": %.4f,\n\
+      \    \"seconds\": %.4f,\n\
+      \    \"queries_per_sec\": %.1f\n\
+      \  }\n\
+       }\n"
+      probe_bench probe_obj cold_s !warm_s speedup identical n draws !hits
+      hit_ratio mix_s
+      (float_of_int draws /. mix_s);
+    close_out oc;
+    note "wrote BENCH_store.json"
+  end
+
 let experiments =
   [
     ("table1", table1);
@@ -698,6 +847,7 @@ let experiments =
     ("timing", timing);
     ("pipeline", pipeline);
     ("campaign", campaign);
+    ("store", store_bench);
   ]
 
 let () =

@@ -5,13 +5,33 @@
      moard exhaustive LULESH -o m_x      -- exhaustive fault injection
      moard rfi LULESH -o m_x -n 1000     -- random fault injection campaign
      moard trace CG --limit 40           -- dump the dynamic IR trace
-     moard objects CG                    -- data objects and address ranges *)
+     moard objects CG                    -- data objects and address ranges
+     moard serve                         -- the moardd analysis daemon
+     moard query advf CG -o r            -- cached query (daemon or offline)
+     moard store stat|gc                 -- result-store maintenance
+
+   Exit codes: 0 success; 1 runtime error (analysis failure, I/O, a
+   daemon that is not there); 2 usage error (unknown command, bad
+   arguments, conflicting options). *)
 
 open Cmdliner
 module Registry = Moard_kernels.Registry
 module Context = Moard_inject.Context
 module Model = Moard_core.Model
 module Advf = Moard_core.Advf
+module Store = Moard_store.Store
+module Query = Moard_store.Query
+module Key = Moard_store.Key
+module Daemon = Moard_server.Daemon
+module Client = Moard_server.Client
+module Jsonx = Moard_server.Jsonx
+
+(* A usage error discovered after parsing (e.g. conflicting options):
+   reported like cmdliner's own and exits 2, where runtime failures
+   exit 1. *)
+exception Usage of string
+
+let usage fmt = Printf.ksprintf (fun s -> raise (Usage s)) fmt
 
 let entry_conv =
   let parse s =
@@ -284,6 +304,15 @@ module Engine = Moard_campaign.Engine
 module Journal = Moard_campaign.Journal
 module Campaign_report = Moard_report.Campaign_report
 
+let store_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:"Content-addressed result store directory.")
+
+let open_store dir = Store.open_store ~dir ()
+
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign seed.")
 
@@ -392,28 +421,60 @@ let campaign_plan_cmd =
 
 let campaign_run_cmd =
   let run () e objs seed confidence ci_width batch max_samples domains journal
-      out stable =
-    let ctx = Context.make (e.Registry.workload ()) in
+      store_dir out stable =
+    (match (journal, store_dir) with
+    | Some _, Some _ ->
+      usage
+        "campaign run: --journal conflicts with --store (the store keeps \
+         its own per-plan journal under <store>/journals)"
+    | _ -> ());
+    let w = e.Registry.workload () in
+    let ctx = Context.make w in
     let plan =
       campaign_plan ctx e (pick_objects e objs) ~seed ~confidence ~ci_width
         ~batch ~max_samples
     in
-    let r =
-      Engine.run ~domains ?journal
-        ~journal_meta:[ ("benchmark", e.Registry.benchmark) ]
-        ctx plan
-    in
-    emit_report r ~out ~stable
+    match store_dir with
+    | Some dir ->
+      let payload, status, r =
+        Query.campaign (open_store dir) ~domains
+          ~journal_meta:[ ("benchmark", e.Registry.benchmark) ]
+          ~ctx:(fun () -> ctx)
+          ~program:w.Moard_inject.Workload.program ~plan ()
+      in
+      Logs.app (fun m ->
+          m "campaign %s: %s (store %s)" (Plan.hash plan)
+            (Query.status_name status) dir);
+      (match r with
+      | Some r -> emit_report r ~out ~stable
+      | None ->
+        (* Served straight from the store: the stored payload is the
+           stable JSON (no perf section to print). *)
+        (match out with
+        | Some path ->
+          let oc = open_out path in
+          output_string oc payload;
+          close_out oc
+        | None -> print_string payload))
+    | None ->
+      let r =
+        Engine.run ~domains ?journal
+          ~journal_meta:[ ("benchmark", e.Registry.benchmark) ]
+          ctx plan
+      in
+      emit_report r ~out ~stable
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run a statistical fault-injection campaign: stratified \
              sampling without replacement, confidence-driven stopping, \
-             parallel batches over one golden run.")
+             parallel batches over one golden run. With $(b,--store) the \
+             report is served from the result store when already known, \
+             and stored (keyed by plan hash) when computed.")
     Term.(
       const run $ setup_logs $ bench_arg $ objects_arg $ seed_arg
       $ confidence_arg $ ci_width_arg $ batch_arg $ max_samples_arg
-      $ domains_arg $ journal_arg $ out_arg $ stable_flag)
+      $ domains_arg $ journal_arg $ store_dir_arg $ out_arg $ stable_flag)
 
 let required_journal =
   Arg.(
@@ -430,7 +491,8 @@ let setup_from_journal path =
     | None -> failwith ("journal is missing meta key " ^ k)
   in
   let e = Registry.find (get "benchmark") in
-  let ctx = Context.make (e.Registry.workload ()) in
+  let w = e.Registry.workload () in
+  let ctx = Context.make w in
   let objects = String.split_on_char ',' (get "objects") in
   let plan =
     Plan.make
@@ -441,25 +503,46 @@ let setup_from_journal path =
       ~max_samples:(int_of_string (get "max_samples"))
       ctx ~objects
   in
-  (ctx, plan)
+  (ctx, plan, w.Moard_inject.Workload.program)
 
 let campaign_resume_cmd =
-  let run () journal domains out stable =
-    let ctx, plan = setup_from_journal journal in
+  let run () journal domains store_dir out stable =
+    let ctx, plan, program = setup_from_journal journal in
     let r = Engine.resume ~domains ~journal ctx plan in
+    (match store_dir with
+    | Some dir ->
+      let complete =
+        Array.for_all
+          (fun (o : Engine.object_result) ->
+            o.Engine.stopped <> Engine.Interrupted)
+          r.Engine.objects
+      in
+      if complete then begin
+        Store.put (open_store dir)
+          ~key:(Key.campaign ~program ~plan)
+          ~kind:Moard_store.Record.Campaign
+          (Query.campaign_payload r);
+        Logs.app (fun m -> m "stored campaign %s in %s" (Plan.hash plan) dir)
+      end
+      else
+        Logs.warn (fun m ->
+            m "campaign %s still interrupted; not stored" (Plan.hash plan))
+    | None -> ());
     emit_report r ~out ~stable
   in
   Cmd.v
     (Cmd.info "resume"
        ~doc:"Resume a killed campaign from its journal. The final report \
-             is bit-identical to an uninterrupted run of the same plan.")
+             is bit-identical to an uninterrupted run of the same plan. \
+             With $(b,--store) the completed report is written to the \
+             result store.")
     Term.(
-      const run $ setup_logs $ required_journal $ domains_arg $ out_arg
-      $ stable_flag)
+      const run $ setup_logs $ required_journal $ domains_arg $ store_dir_arg
+      $ out_arg $ stable_flag)
 
 let campaign_report_cmd =
   let run () journal out stable =
-    let ctx, plan = setup_from_journal journal in
+    let ctx, plan, _program = setup_from_journal journal in
     (* replay only: zero further batches *)
     let r = Engine.resume ~max_batches:0 ~journal ctx plan in
     emit_report r ~out ~stable
@@ -478,6 +561,304 @@ let campaign_cmd =
     [ campaign_plan_cmd; campaign_run_cmd; campaign_resume_cmd;
       campaign_report_cmd ]
 
+(* ------------------------------------------------------------------ *)
+(* The serving stack: the moardd daemon, cached queries and result-store
+   maintenance. *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string Daemon.default_config.Daemon.socket
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket of the moardd daemon.")
+
+let serve_cmd =
+  let run () socket store_dir workers queue timeout =
+    let cfg =
+      {
+        Daemon.default_config with
+        Daemon.socket;
+        store_dir =
+          Option.value ~default:Daemon.default_config.Daemon.store_dir
+            store_dir;
+        workers;
+        queue;
+        timeout_s = timeout;
+      }
+    in
+    Logs.app (fun m ->
+        m "moardd %s listening on %s (store %s, %d workers, queue %d)"
+          Moard_server.Version.version cfg.Daemon.socket
+          cfg.Daemon.store_dir cfg.Daemon.workers cfg.Daemon.queue);
+    Daemon.run cfg;
+    Logs.app (fun m -> m "moardd drained and stopped")
+  in
+  let workers =
+    Arg.(
+      value
+      & opt int Daemon.default_config.Daemon.workers
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains resolving queries in parallel.")
+  in
+  let queue =
+    Arg.(
+      value
+      & opt int Daemon.default_config.Daemon.queue
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Bounded request queue: beyond this many pending requests \
+                the daemon answers $(i,overloaded) instead of queueing \
+                (explicit backpressure, no silent drops).")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt float Daemon.default_config.Daemon.timeout_s
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-request timeout. A timed-out request still completes \
+                in the background and warms the store.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run moardd: the concurrent analysis daemon serving cached \
+             aDVF and campaign queries over a Unix socket. SIGTERM \
+             drains gracefully (in-flight campaign batches are committed \
+             to their journals before exit).")
+    Term.(
+      const run $ setup_logs $ socket_arg $ store_dir_arg $ workers $ queue
+      $ timeout)
+
+(* ---- query ---- *)
+
+let offline_flag =
+  Arg.(
+    value & flag
+    & info [ "offline" ]
+        ~doc:"Compute locally instead of asking a daemon. With $(b,--store) \
+              the local store caches the result; the printed payload is \
+              byte-identical either way.")
+
+let meta_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "meta" ] ~docv:"PATH"
+        ~doc:"Write the response header (JSON: cache status, key, server) \
+              here — the payload on stdout stays clean for diffing.")
+
+let write_meta meta header =
+  match meta with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Jsonx.to_string header);
+    output_char oc '\n';
+    close_out oc
+
+let rpc_payload ~socket req ~meta =
+  let header, payload = Client.rpc ~socket req in
+  (match Client.error_of header with
+  | Some (code, msg) -> failwith (Printf.sprintf "daemon: %s: %s" code msg)
+  | None -> ());
+  write_meta meta header;
+  match payload with
+  | Some p -> p
+  | None -> failwith "daemon: response carried no payload"
+
+let offline_header ~op ~key ~status extra =
+  Jsonx.Obj
+    ([
+       ("status", Jsonx.Str "ok");
+       ("op", Jsonx.Str op);
+       ("key", Jsonx.Str (Key.to_hex key));
+       ("served", Jsonx.Str (Query.status_name status));
+       ("cached", Jsonx.Bool (Query.is_hit status));
+       ("offline", Jsonx.Bool true);
+     ]
+    @ extra)
+
+let query_advf_cmd =
+  let run () e objs k fi_budget socket offline store_dir meta =
+    let options = { Model.default_options with k; fi_budget } in
+    let objs = pick_objects e objs in
+    if offline then begin
+      let program = (e.Registry.workload ()).Moard_inject.Workload.program in
+      let ctx = lazy (make_ctx e ~optimize:false) in
+      List.iter
+        (fun obj ->
+          let payload, status =
+            match store_dir with
+            | Some dir ->
+              Query.advf (open_store dir) ~options
+                ~ctx:(fun () -> Lazy.force ctx)
+                ~program ~object_name:obj ()
+            | None ->
+              (Query.advf_payload ~options (Lazy.force ctx) ~object_name:obj,
+               Query.Computed)
+          in
+          write_meta meta
+            (offline_header ~op:"advf"
+               ~key:(Key.advf ~program ~object_name:obj ~options)
+               ~status
+               [ ("object", Jsonx.Str obj) ]);
+          print_string payload)
+        objs
+    end
+    else
+      List.iter
+        (fun obj ->
+          let req =
+            Jsonx.Obj
+              [
+                ("op", Jsonx.Str "advf");
+                ("benchmark", Jsonx.Str e.Registry.benchmark);
+                ("object", Jsonx.Str obj);
+                ("k", Jsonx.Int options.Model.k);
+                ("fi_budget", Jsonx.Int options.Model.fi_budget);
+              ]
+          in
+          print_string (rpc_payload ~socket req ~meta))
+        objs
+  in
+  let k_arg =
+    Arg.(
+      value & opt int Model.default_options.Model.k
+      & info [ "k" ] ~doc:"Error-propagation window.")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt int Model.default_options.Model.fi_budget
+      & info [ "fi-budget" ] ~doc:"Max fault-injection runs (-1 unlimited).")
+  in
+  Cmd.v
+    (Cmd.info "advf"
+       ~doc:"Query an aDVF summary (canonical JSON payload on stdout). \
+             Against a daemon the result is served from the store when \
+             warm; $(b,--offline) computes the byte-identical payload \
+             locally.")
+    Term.(
+      const run $ setup_logs $ bench_arg $ objects_arg $ k_arg $ budget_arg
+      $ socket_arg $ offline_flag $ store_dir_arg $ meta_arg)
+
+let query_campaign_cmd =
+  let run () e objs seed confidence ci_width batch max_samples socket offline
+      store_dir meta =
+    let objs = pick_objects e objs in
+    if offline then begin
+      let ctx = make_ctx e ~optimize:false in
+      let program = (e.Registry.workload ()).Moard_inject.Workload.program in
+      let plan =
+        campaign_plan ctx e objs ~seed ~confidence ~ci_width ~batch
+          ~max_samples
+      in
+      let payload, status =
+        match store_dir with
+        | Some dir ->
+          let payload, status, _ =
+            Query.campaign (open_store dir)
+              ~journal_meta:[ ("benchmark", e.Registry.benchmark) ]
+              ~ctx:(fun () -> ctx)
+              ~program ~plan ()
+          in
+          (payload, status)
+        | None ->
+          (Query.campaign_payload (Engine.run ctx plan), Query.Computed)
+      in
+      write_meta meta
+        (offline_header ~op:"campaign"
+           ~key:(Key.campaign ~program ~plan)
+           ~status []);
+      print_string payload
+    end
+    else begin
+      let req =
+        Jsonx.Obj
+          [
+            ("op", Jsonx.Str "campaign");
+            ("benchmark", Jsonx.Str e.Registry.benchmark);
+            ("objects", Jsonx.Arr (List.map (fun o -> Jsonx.Str o) objs));
+            ("seed", Jsonx.Int seed);
+            ("confidence", Jsonx.Float confidence);
+            ("ci_width", Jsonx.Float ci_width);
+            ("batch", Jsonx.Int batch);
+            ("max_samples", Jsonx.Int max_samples);
+          ]
+      in
+      print_string (rpc_payload ~socket req ~meta)
+    end
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Query a campaign report (the stable JSON payload on stdout): \
+             run by the daemon and cached by plan hash, or computed \
+             $(b,--offline).")
+    Term.(
+      const run $ setup_logs $ bench_arg $ objects_arg $ seed_arg
+      $ confidence_arg $ ci_width_arg $ batch_arg $ max_samples_arg
+      $ socket_arg $ offline_flag $ store_dir_arg $ meta_arg)
+
+let query_stat_cmd =
+  let run () socket =
+    let header, _ = Client.rpc ~socket (Jsonx.Obj [ ("op", Jsonx.Str "stat") ]) in
+    (match Client.error_of header with
+    | Some (code, msg) -> failwith (Printf.sprintf "daemon: %s: %s" code msg)
+    | None -> ());
+    print_endline (Jsonx.to_string header)
+  in
+  Cmd.v
+    (Cmd.info "stat"
+       ~doc:"Daemon and store statistics (one JSON object on stdout).")
+    Term.(const run $ setup_logs $ socket_arg)
+
+let query_cmd =
+  Cmd.group
+    (Cmd.info "query"
+       ~doc:"Cached queries against a moardd daemon (or $(b,--offline)): \
+             identical bytes either way, so the two modes can be diffed.")
+    [ query_advf_cmd; query_campaign_cmd; query_stat_cmd ]
+
+(* ---- store maintenance ---- *)
+
+let required_store =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR" ~doc:"Result-store directory.")
+
+let store_stat_cmd =
+  let run () dir =
+    Format.printf "%a@." Store.pp_stats (Store.stat (open_store dir))
+  in
+  Cmd.v
+    (Cmd.info "stat" ~doc:"Entry counts, bytes and hit/corruption counters.")
+    Term.(const run $ setup_logs $ required_store)
+
+let store_gc_cmd =
+  let run () dir max_age =
+    let removed = Store.gc (open_store dir) ?max_age_s:max_age () in
+    Format.printf "removed %d file%s@." removed
+      (if removed = 1 then "" else "s")
+  in
+  let max_age =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-age" ] ~docv:"SECONDS"
+          ~doc:"Also remove entries older than this. Without it, gc only \
+                sweeps torn temporary files and undecodable names. \
+                Entries touched by a live handle are never removed.")
+  in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:"Sweep the store: torn writes always; cold entries with \
+             $(b,--max-age).")
+    Term.(const run $ setup_logs $ required_store $ max_age)
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:"Maintenance of the content-addressed result store.")
+    [ store_stat_cmd; store_gc_cmd ]
+
 let objects_cmd =
   let run () e =
     let ctx = Context.make (e.Registry.workload ()) in
@@ -491,15 +872,61 @@ let objects_cmd =
        ~doc:"List every data object of a benchmark with its address range.")
     Term.(const run $ setup_logs $ bench_arg)
 
+(* One exit-code convention for every command, documented in --help:
+   0 success, 1 runtime error, 2 usage error. cmdliner handles parse
+   errors (2); everything raised at run time funnels through here. *)
+let exits =
+  [
+    Cmd.Exit.info 0 ~doc:"on success.";
+    Cmd.Exit.info 1
+      ~doc:
+        "on runtime errors: analysis failures, I/O errors, a rejected \
+         journal, a daemon that is not there.";
+    Cmd.Exit.info 2
+      ~doc:
+        "on usage errors: unknown commands, bad arguments, conflicting \
+         options.";
+  ]
+
 let main =
   Cmd.group
-    (Cmd.info "moard" ~version:"1.0.0"
+    (Cmd.info "moard" ~version:Moard_server.Version.version ~exits
        ~doc:
          "MOARD: modeling application resilience to transient faults on \
           data objects (IPDPS'19 reproduction).")
     [
       list_cmd; analyze_cmd; exhaustive_cmd; rfi_cmd; trace_cmd; objects_cmd;
-      dump_ir_cmd; bound_cmd; plan_cmd; campaign_cmd;
+      dump_ir_cmd; bound_cmd; plan_cmd; campaign_cmd; serve_cmd; query_cmd;
+      store_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+let () =
+  match Cmd.eval_value ~catch:false main with
+  | Ok (`Ok ()) | Ok `Version | Ok `Help -> exit 0
+  (* Our terms never evaluate to [Error `Term] themselves (runtime
+     failures raise, and [~catch:false] lets them through), so both
+     cmdliner error variants are command-line problems. *)
+  | Error (`Parse | `Term) -> exit 2
+  | Error `Exn -> exit 1
+  | exception Usage msg ->
+    Printf.eprintf "moard: %s\n%!" msg;
+    exit 2
+  | exception e ->
+    let msg =
+      match e with
+      | Failure m -> m
+      | Not_found ->
+        "not found — check the data-object name (`moard objects BENCHMARK` \
+         lists them)"
+      | Sys_error m -> m
+      | Invalid_argument m -> m
+      | Journal.Rejected m -> "journal rejected: " ^ m
+      | Moard_server.Protocol.Protocol_error m -> "protocol error: " ^ m
+      | Unix.Unix_error (err, fn, arg) ->
+        Printf.sprintf "%s%s: %s" fn
+          (if arg = "" then "" else " " ^ arg)
+          (Unix.error_message err)
+      | e -> Printexc.to_string e
+    in
+    Printf.eprintf "moard: error: %s\n%!" msg;
+    exit 1

@@ -1,0 +1,71 @@
+(* Talking to moardd from OCaml: start a daemon (here in-process; in
+   production `moard serve` runs it), send length-prefixed JSON requests
+   over its Unix socket, and read cached results back.
+
+   The serving contract on display: the first query computes and stores,
+   the repeat is a cache hit, and both carry byte-identical payloads —
+   the same bytes `moard query advf CG -o r --offline` prints.
+
+     dune exec examples/daemon_client.exe *)
+
+module Daemon = Moard_server.Daemon
+module Client = Moard_server.Client
+module Jsonx = Moard_server.Jsonx
+
+let () =
+  (* a private socket and store for the demo *)
+  let dir = Filename.temp_file "moard_example_store" "" in
+  Sys.remove dir;
+  let socket = Filename.temp_file "moardd_example" ".sock" in
+  Sys.remove socket;
+  let daemon =
+    Daemon.start
+      { Daemon.default_config with Daemon.socket; store_dir = dir }
+  in
+  Fun.protect ~finally:(fun () -> Daemon.stop daemon) @@ fun () ->
+  (* one connection, several requests: Client.request keeps it open;
+     Client.rpc is the connect-request-close shorthand *)
+  let c = Client.connect ~socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let field name header = Jsonx.str (Jsonx.member name header) in
+  let show what header =
+    Printf.printf "%-14s served=%s\n" what
+      (Option.value ~default:"?" (field "served" header))
+  in
+
+  (* an aDVF query: the response header carries cache status, the
+     payload frame carries the canonical JSON report *)
+  let advf_req =
+    Jsonx.Obj
+      [
+        ("op", Jsonx.Str "advf");
+        ("benchmark", Jsonx.Str "CG");
+        ("object", Jsonx.Str "r");
+      ]
+  in
+  let h1, p1 = Client.request c advf_req in
+  show "first query" h1;
+  let h2, p2 = Client.request c advf_req in
+  show "repeat query" h2;
+  Printf.printf "payloads byte-identical: %b\n\n"
+    (Option.is_some p1 && p1 = p2);
+  print_string (Option.value ~default:"" p2);
+
+  (* a campaign query: cached under the plan hash, so any client asking
+     for the same design gets the stored report *)
+  let h, _ =
+    Client.request c
+      (Jsonx.Obj
+         [
+           ("op", Jsonx.Str "campaign");
+           ("benchmark", Jsonx.Str "LULESH");
+           ("objects", Jsonx.Arr [ Jsonx.Str "m_elemBC" ]);
+           ("seed", Jsonx.Int 42);
+           ("ci_width", Jsonx.Float 0.05);
+         ])
+  in
+  show "\ncampaign" h;
+
+  (* daemon statistics: one JSON object, no payload *)
+  let stat, _ = Client.request c (Jsonx.Obj [ ("op", Jsonx.Str "stat") ]) in
+  Printf.printf "\nstat: %s\n" (Jsonx.to_string stat)

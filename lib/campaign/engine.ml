@@ -305,8 +305,8 @@ let meta_of (plan : Plan.t) extra =
   ]
   @ extra
 
-let run_internal ~domains ~max_batches ~writer ~replayed ctx (plan : Plan.t)
-    ~plan_hash =
+let run_internal ~domains ~max_batches ~should_stop ~writer ~replayed ctx
+    (plan : Plan.t) ~plan_hash =
   let t0 = Unix.gettimeofday () in
   let states = Array.map init_state plan.Plan.objectives in
   replay_records ctx plan states replayed;
@@ -322,7 +322,9 @@ let run_internal ~domains ~max_batches ~writer ~replayed ctx (plan : Plan.t)
           match stop_state plan po st with
           | Some r -> stopped := Some r
           | None ->
-            if match max_batches with Some m -> !batches >= m | None -> false
+            if
+              (match max_batches with Some m -> !batches >= m | None -> false)
+              || should_stop ()
             then stopped := Some Interrupted
             else begin
               run_batch ctx plan oi st ~domains ~writer ~per_domain
@@ -389,7 +391,10 @@ let run_internal ~domains ~max_batches ~writer ~replayed ctx (plan : Plan.t)
       };
   }
 
-let run ?(domains = 1) ?journal ?(journal_meta = []) ?max_batches ctx plan =
+let never () = false
+
+let run ?(domains = 1) ?journal ?(journal_meta = []) ?max_batches
+    ?(should_stop = never) ctx plan =
   let plan_hash = Plan.hash plan in
   let writer =
     Option.map
@@ -397,10 +402,13 @@ let run ?(domains = 1) ?journal ?(journal_meta = []) ?max_batches ctx plan =
         Journal.create ~path ~plan_hash ~meta:(meta_of plan journal_meta))
       journal
   in
-  run_internal ~domains ~max_batches ~writer ~replayed:[] ctx plan ~plan_hash
+  run_internal ~domains ~max_batches ~should_stop ~writer ~replayed:[] ctx
+    plan ~plan_hash
 
-let resume ?(domains = 1) ?max_batches ~journal ctx plan =
+let resume ?(domains = 1) ?max_batches ?(should_stop = never) ~journal ctx
+    plan =
   let plan_hash = Plan.hash plan in
   let replayed = Journal.replay ~path:journal ~plan_hash in
   let writer = Some (Journal.reopen ~path:journal ~plan_hash) in
-  run_internal ~domains ~max_batches ~writer ~replayed ctx plan ~plan_hash
+  run_internal ~domains ~max_batches ~should_stop ~writer ~replayed ctx plan
+    ~plan_hash

@@ -81,6 +81,7 @@ val run :
   ?journal:string ->
   ?journal_meta:(string * string) list ->
   ?max_batches:int ->
+  ?should_stop:(unit -> bool) ->
   Moard_inject.Context.t ->
   Plan.t ->
   result
@@ -88,11 +89,16 @@ val run :
     journal at the path (truncating); [journal_meta] adds extra header
     pairs (e.g. the registry benchmark name, so the CLI can resume without
     being told it again). [max_batches] is the bounded-step testing
-    harness: stop after that many batches, leaving the journal mid-flight. *)
+    harness: stop after that many batches, leaving the journal mid-flight.
+    [should_stop] is polled between batches (the daemon's graceful-drain
+    hook): when it returns [true] the engine stops at the batch boundary —
+    every resolved batch already committed to the journal — and marks the
+    remaining objectives [Interrupted]. *)
 
 val resume :
   ?domains:int ->
   ?max_batches:int ->
+  ?should_stop:(unit -> bool) ->
   journal:string ->
   Moard_inject.Context.t ->
   Plan.t ->

@@ -1,0 +1,10 @@
+(** Canonical JSON rendering of an aDVF report.
+
+    This is the byte-stable payload contract of the result store and the
+    [moardd] daemon: for a fixed (program, object, options), the string is
+    identical whether computed offline by the CLI, by a daemon worker, or
+    recomputed after a corrupt store entry — every count in the report is
+    deterministic for a sequential analysis on a fresh context shard, and
+    floats are rendered shortest-exact. *)
+
+val json : Moard_core.Advf.report -> string

@@ -1,0 +1,35 @@
+type t = { fd : Unix.file_descr }
+
+let connect ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let with_proto = function
+  | Jsonx.Obj fields when not (List.mem_assoc "proto" fields) ->
+    Jsonx.Obj (("proto", Jsonx.Int Protocol.version) :: fields)
+  | req -> req
+
+let request t req =
+  Protocol.send t.fd (with_proto req);
+  match Protocol.recv t.fd with
+  | Some resp -> resp
+  | None ->
+    raise (Protocol.Protocol_error "daemon closed the connection mid-request")
+
+let rpc ~socket req =
+  let c = connect ~socket in
+  Fun.protect ~finally:(fun () -> close c) (fun () -> request c req)
+
+let error_of header =
+  match Jsonx.str (Jsonx.member "status" header) with
+  | Some "error" ->
+    Some
+      ( Option.value ~default:"?" (Jsonx.str (Jsonx.member "code" header)),
+        Option.value ~default:"" (Jsonx.str (Jsonx.member "message" header)) )
+  | _ -> None

@@ -1,0 +1,25 @@
+(** Client side of the [moardd] protocol.
+
+    Thin by design: build a request with {!Jsonx}, get back the response
+    header and the raw payload bytes (untouched, so they can be diffed
+    against offline CLI output). The [proto] field is stamped onto every
+    request so the daemon can reject a version skew. *)
+
+type t
+
+val connect : socket:string -> t
+(** @raise Unix.Unix_error if the daemon is not there. *)
+
+val close : t -> unit
+
+val request : t -> Jsonx.t -> Jsonx.t * string option
+(** Send one request object, wait for its response. Adds ["proto"] if
+    the request lacks it.
+    @raise Protocol.Protocol_error on framing violations;
+    @raise Unix.Unix_error if the connection drops. *)
+
+val rpc : socket:string -> Jsonx.t -> Jsonx.t * string option
+(** One-shot: connect, {!request}, close. *)
+
+val error_of : Jsonx.t -> (string * string) option
+(** [(code, message)] if the header is an error response. *)

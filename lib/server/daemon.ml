@@ -1,0 +1,433 @@
+module Registry = Moard_kernels.Registry
+module Context = Moard_inject.Context
+module Model = Moard_core.Model
+module Plan = Moard_campaign.Plan
+module Store = Moard_store.Store
+module Query = Moard_store.Query
+module Key = Moard_store.Key
+
+type config = {
+  socket : string;
+  store_dir : string;
+  workers : int;
+  queue : int;
+  timeout_s : float;
+  lru_entries : int;
+  lru_bytes : int;
+}
+
+let default_config =
+  {
+    socket = "moardd.sock";
+    store_dir = ".moard-store";
+    workers = max 1 (Domain.recommended_domain_count () - 1);
+    queue = 64;
+    timeout_s = 300.0;
+    lru_entries = 256;
+    lru_bytes = 64 * 1024 * 1024;
+  }
+
+type t = {
+  cfg : config;
+  st : Store.t;
+  pool : Pool.t;
+  listen : Unix.file_descr;
+  stop_flag : bool Atomic.t;
+  m : Mutex.t;
+  conns_done : Condition.t;
+  ctxs : (string, Context.t) Hashtbl.t;
+  mutable conns : int;
+  mutable served : int;
+  mutable errors : int;
+  mutable accept_thread : Thread.t option;
+  mutable stopped : bool;
+  started_at : float;
+}
+
+let stopping t = Atomic.get t.stop_flag
+let store t = t.st
+
+(* One golden run per program, whoever asks first; the lock makes the
+   make single-flight (concurrent first requests for the same benchmark
+   must not both execute the golden run). *)
+let ctx_of t (e : Registry.entry) =
+  Mutex.lock t.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.m)
+    (fun () ->
+      match Hashtbl.find_opt t.ctxs e.Registry.benchmark with
+      | Some ctx -> ctx
+      | None ->
+        let ctx = Context.make (e.Registry.workload ()) in
+        Hashtbl.replace t.ctxs e.Registry.benchmark ctx;
+        ctx)
+
+(* ---------------- request handling ---------------- *)
+
+exception Bad_request of string
+
+let field_str req name =
+  match Jsonx.str (Jsonx.member name req) with
+  | Some s -> s
+  | None -> raise (Bad_request (Printf.sprintf "missing string field %S" name))
+
+let entry_of req =
+  let benchmark = field_str req "benchmark" in
+  match Registry.find benchmark with
+  | e -> e
+  | exception Not_found ->
+    raise (Bad_request (Printf.sprintf "unknown benchmark %S" benchmark))
+
+let options_of req =
+  let get name d = Option.value ~default:d (Jsonx.int (Jsonx.member name req)) in
+  {
+    Model.default_options with
+    Model.k = get "k" Model.default_options.Model.k;
+    Model.fi_budget = get "fi_budget" Model.default_options.Model.fi_budget;
+  }
+
+let objects_of req (e : Registry.entry) =
+  match Jsonx.list (Jsonx.member "objects" req) with
+  | None | Some [] -> e.Registry.objects
+  | Some xs ->
+    List.map
+      (function
+        | Jsonx.Str s -> s
+        | _ -> raise (Bad_request "objects must be an array of strings"))
+      xs
+
+let plan_of req ctx (e : Registry.entry) =
+  let geti name d = Option.value ~default:d (Jsonx.int (Jsonx.member name req)) in
+  let getf name d =
+    Option.value ~default:d (Jsonx.float (Jsonx.member name req))
+  in
+  Plan.make ~seed:(geti "seed" 42) ~confidence:(getf "confidence" 0.95)
+    ~ci_width:(getf "ci_width" 0.02) ~batch:(geti "batch" 64)
+    ~max_samples:(geti "max_samples" (-1))
+    ctx ~objects:(objects_of req e)
+
+let serve_result ~op ~key ~status extra payload =
+  ( Protocol.ok
+      ([
+         ("op", Jsonx.Str op);
+         ("key", Jsonx.Str (Key.to_hex key));
+         ("served", Jsonx.Str (Query.status_name status));
+         ("cached", Jsonx.Bool (Query.is_hit status));
+       ]
+      @ extra),
+    Some payload )
+
+(* The three compute ops. Each returns (header, payload option). *)
+let compute t req op =
+  match op with
+  | "advf" ->
+    let e = entry_of req in
+    let object_name = field_str req "object" in
+    let options = options_of req in
+    let program = (e.Registry.workload ()).Moard_inject.Workload.program in
+    let key = Key.advf ~program ~object_name ~options in
+    let payload, status =
+      Query.advf t.st ~options
+        ~ctx:(fun () -> ctx_of t e)
+        ~program ~object_name ()
+    in
+    serve_result ~op ~key ~status
+      [
+        ("benchmark", Jsonx.Str e.Registry.benchmark);
+        ("object", Jsonx.Str object_name);
+      ]
+      payload
+  | "campaign" | "report" ->
+    let e = entry_of req in
+    let program = (e.Registry.workload ()).Moard_inject.Workload.program in
+    (* the plan needs the fault-site population, hence the golden run *)
+    let ctx = ctx_of t e in
+    let plan = plan_of req ctx e in
+    let key = Key.campaign ~program ~plan in
+    let extra = [ ("benchmark", Jsonx.Str e.Registry.benchmark) ] in
+    if op = "campaign" then begin
+      let domains =
+        Option.value ~default:1 (Jsonx.int (Jsonx.member "domains" req))
+      in
+      let payload, status, result =
+        Query.campaign t.st ~domains
+          ~should_stop:(fun () -> Atomic.get t.stop_flag)
+          ~journal_meta:[ ("benchmark", e.Registry.benchmark) ]
+          ~ctx:(fun () -> ctx)
+          ~program ~plan ()
+      in
+      let complete =
+        match result with
+        | None -> true
+        | Some r ->
+          not
+            (Array.exists
+               (fun (o : Moard_campaign.Engine.object_result) ->
+                 o.Moard_campaign.Engine.stopped
+                 = Moard_campaign.Engine.Interrupted)
+               r.Moard_campaign.Engine.objects)
+      in
+      serve_result ~op ~key ~status
+        (extra @ [ ("complete", Jsonx.Bool complete) ])
+        payload
+    end
+    else begin
+      (* report: read-only — the store, else the journal, else not-found *)
+      match Store.get t.st ~key ~kind:Moard_store.Record.Campaign with
+      | Some (payload, where) ->
+        let status =
+          match where with
+          | Store.Memory -> Query.Memory_hit
+          | Store.Disk -> Query.Disk_hit
+        in
+        serve_result ~op ~key ~status
+          (extra @ [ ("complete", Jsonx.Bool true) ])
+          payload
+      | None ->
+        let journal =
+          Filename.concat (Store.journal_dir t.st)
+            (Key.to_hex key ^ ".journal")
+        in
+        if not (Sys.file_exists journal) then
+          ( Protocol.error ~code:"not-found"
+              ~message:
+                "no stored report and no journal for this campaign key",
+            None )
+        else
+          let r =
+            Moard_campaign.Engine.resume ~max_batches:0 ~journal ctx plan
+          in
+          let payload = Query.campaign_payload r in
+          serve_result ~op ~key ~status:Query.Computed
+            (extra @ [ ("complete", Jsonx.Bool false) ])
+            payload
+    end
+  | _ -> (Protocol.error ~code:"bad-request" ~message:("unknown op " ^ op), None)
+
+let stat_response t =
+  let s = Store.stat t.st in
+  Protocol.ok
+    [
+      ("op", Jsonx.Str "stat");
+      ("server", Jsonx.Str Version.version);
+      ("proto", Jsonx.Int Protocol.version);
+      ("uptime_s", Jsonx.Float (Unix.gettimeofday () -. t.started_at));
+      ( "store",
+        Jsonx.Obj
+          [
+            ("dir", Jsonx.Str (Store.dir t.st));
+            ("entries", Jsonx.Int s.Store.entries);
+            ("disk_bytes", Jsonx.Int s.Store.disk_bytes);
+            ("lru_entries", Jsonx.Int s.Store.lru_entries);
+            ("lru_bytes", Jsonx.Int s.Store.lru_bytes);
+            ("lru_evictions", Jsonx.Int s.Store.lru_evictions);
+            ("mem_hits", Jsonx.Int s.Store.mem_hits);
+            ("disk_hits", Jsonx.Int s.Store.disk_hits);
+            ("misses", Jsonx.Int s.Store.misses);
+            ("corrupt", Jsonx.Int s.Store.corrupt);
+            ("puts", Jsonx.Int s.Store.puts);
+          ] );
+      ( "pool",
+        Jsonx.Obj
+          [
+            ("workers", Jsonx.Int (Pool.workers t.pool));
+            ("queued", Jsonx.Int (Pool.queued t.pool));
+            ("running", Jsonx.Int (Pool.running t.pool));
+            ("executed", Jsonx.Int (Pool.executed t.pool));
+            ("rejected", Jsonx.Int (Pool.rejected t.pool));
+            ("failed", Jsonx.Int (Pool.failed t.pool));
+          ] );
+      ("contexts", Jsonx.Int (Hashtbl.length t.ctxs));
+      ("golden_executions", Jsonx.Int (Context.golden_executions ()));
+      ("served", Jsonx.Int t.served);
+      ("errors", Jsonx.Int t.errors);
+    ]
+
+(* Dispatch one request to a response. Pooled ops hand a job to a worker
+   domain and poll the slot under the request deadline; a timed-out job
+   keeps running and still warms the store. *)
+let dispatch t req =
+  match Jsonx.int (Jsonx.member "proto" req) with
+  | Some p when p <> Protocol.version ->
+    ( Protocol.error ~code:"proto-mismatch"
+        ~message:
+          (Printf.sprintf "server speaks protocol %d, client sent %d"
+             Protocol.version p),
+      None )
+  | _ -> (
+    match Jsonx.str (Jsonx.member "op" req) with
+    | None -> (Protocol.error ~code:"bad-request" ~message:"missing op", None)
+    | Some "version" ->
+      ( Protocol.ok
+          [
+            ("op", Jsonx.Str "version");
+            ("server", Jsonx.Str Version.version);
+            ("proto", Jsonx.Int Protocol.version);
+          ],
+        None )
+    | Some "stat" -> (stat_response t, None)
+    | Some (("advf" | "campaign" | "report") as op) -> (
+      let slot = Atomic.make None in
+      let job () =
+        let r =
+          try compute t req op with
+          | Bad_request msg ->
+            (Protocol.error ~code:"bad-request" ~message:msg, None)
+          | Invalid_argument msg | Failure msg ->
+            (Protocol.error ~code:"internal" ~message:msg, None)
+          | e ->
+            ( Protocol.error ~code:"internal"
+                ~message:(Printexc.to_string e),
+              None )
+        in
+        Atomic.set slot (Some r)
+      in
+      match Pool.submit t.pool job with
+      | `Overloaded ->
+        ( Protocol.error ~code:"overloaded"
+            ~message:
+              (Printf.sprintf "queue full (%d pending); retry later"
+                 t.cfg.queue),
+          None )
+      | `Draining ->
+        (Protocol.error ~code:"draining" ~message:"daemon is shutting down", None)
+      | `Accepted ->
+        let deadline = Unix.gettimeofday () +. t.cfg.timeout_s in
+        let rec await () =
+          match Atomic.get slot with
+          | Some r -> r
+          | None ->
+            if Unix.gettimeofday () > deadline then
+              ( Protocol.error ~code:"timeout"
+                  ~message:
+                    (Printf.sprintf
+                       "request exceeded %gs (the computation continues \
+                        and will be cached)"
+                       t.cfg.timeout_s),
+                None )
+            else begin
+              Thread.delay 0.005;
+              await ()
+            end
+        in
+        await ())
+    | Some op ->
+      (Protocol.error ~code:"bad-request" ~message:("unknown op " ^ op), None))
+
+(* ---------------- connection & accept loops ---------------- *)
+
+let bump t ok =
+  Mutex.lock t.m;
+  if ok then t.served <- t.served + 1 else t.errors <- t.errors + 1;
+  Mutex.unlock t.m
+
+let is_ok = function
+  | Jsonx.Obj fields -> List.assoc_opt "status" fields = Some (Jsonx.Str "ok")
+  | _ -> false
+
+let handle_conn t fd =
+  let rec loop () =
+    if not (stopping t) then begin
+      (* short select ticks keep the drain responsive on idle connections *)
+      match Unix.select [ fd ] [] [] 0.25 with
+      | [], _, _ -> loop ()
+      | _ -> (
+        match Protocol.recv fd with
+        | None -> ()
+        | Some (req, _payload) ->
+          let header, payload = dispatch t req in
+          bump t (is_ok header);
+          Protocol.send fd ?payload header;
+          loop ())
+    end
+  in
+  (try loop () with
+  | Protocol.Protocol_error msg ->
+    (* answer malformed framing if the socket still writes, then drop *)
+    (try Protocol.send fd (Protocol.error ~code:"bad-request" ~message:msg)
+     with _ -> ());
+    bump t false
+  | Unix.Unix_error _ | Sys_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Mutex.lock t.m;
+  t.conns <- t.conns - 1;
+  Condition.broadcast t.conns_done;
+  Mutex.unlock t.m
+
+let accept_loop t () =
+  while not (stopping t) do
+    match Unix.select [ t.listen ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ -> (
+      match Unix.accept t.listen with
+      | fd, _ ->
+        Mutex.lock t.m;
+        t.conns <- t.conns + 1;
+        Mutex.unlock t.m;
+        ignore (Thread.create (fun () -> handle_conn t fd) ())
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) -> ())
+  done
+
+let start cfg =
+  let cfg = { cfg with workers = max 1 cfg.workers; queue = max 1 cfg.queue } in
+  (* a write on a dead client connection must not kill the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let st =
+    Store.open_store ~lru_entries:cfg.lru_entries ~lru_bytes:cfg.lru_bytes
+      ~dir:cfg.store_dir ()
+  in
+  if Sys.file_exists cfg.socket then Unix.unlink cfg.socket;
+  let listen = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen (Unix.ADDR_UNIX cfg.socket);
+  Unix.listen listen 64;
+  let t =
+    {
+      cfg;
+      st;
+      pool = Pool.create ~workers:cfg.workers ~queue:cfg.queue;
+      listen;
+      stop_flag = Atomic.make false;
+      m = Mutex.create ();
+      conns_done = Condition.create ();
+      ctxs = Hashtbl.create 8;
+      conns = 0;
+      served = 0;
+      errors = 0;
+      accept_thread = None;
+      stopped = false;
+      started_at = Unix.gettimeofday ();
+    }
+  in
+  t.accept_thread <- Some (Thread.create (accept_loop t) ());
+  t
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  Mutex.lock t.m;
+  let first = not t.stopped in
+  t.stopped <- true;
+  Mutex.unlock t.m;
+  if first then begin
+    Option.iter Thread.join t.accept_thread;
+    (* in-flight requests finish (their campaign batches commit to the
+       journal via the engine's should_stop hook), then the pool drains *)
+    Mutex.lock t.m;
+    while t.conns > 0 do
+      Condition.wait t.conns_done t.m
+    done;
+    Mutex.unlock t.m;
+    Pool.drain t.pool;
+    (try Unix.close t.listen with Unix.Unix_error _ -> ());
+    if Sys.file_exists t.cfg.socket then (
+      try Unix.unlink t.cfg.socket with Unix.Unix_error _ -> ())
+  end
+
+let run cfg =
+  let t = start cfg in
+  let quit _ = Atomic.set t.stop_flag true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle quit);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle quit);
+  while not (stopping t) do
+    Thread.delay 0.2
+  done;
+  stop t

@@ -1,0 +1,60 @@
+(** [moardd]: the concurrent MOARD analysis daemon.
+
+    Listens on a Unix socket speaking {!Protocol}, schedules [advf] /
+    [campaign] / [report] requests onto a bounded {!Pool} of OCaml 5
+    domains, and serves results out of a content-addressed {!Moard_store}
+    — so every query is computed at most once per store, and repeated
+    queries are cache hits at memory speed.
+
+    Concurrency shape: one golden-run {!Moard_inject.Context} per program,
+    created once (single-flight) and shared; each worker analyzes on a
+    fresh {!Moard_inject.Context.shard} of it, which is the purity
+    contract that makes daemon-served payloads byte-identical to offline
+    CLI output. Parallelism comes from concurrent requests across the
+    pool, not from splitting one request.
+
+    Overload and shutdown semantics: a full queue returns an explicit
+    [overloaded] error (never a silent drop); a request exceeding the
+    per-request timeout gets a [timeout] error while its job still runs
+    to completion and warms the store. SIGTERM/SIGINT (or {!stop}) drain
+    gracefully — accepting stops, in-flight requests finish, a campaign
+    mid-flight stops at its next batch boundary with every resolved batch
+    already committed to its journal in the store directory, and the
+    socket file is removed. *)
+
+type config = {
+  socket : string;       (** Unix socket path (unlinked on shutdown) *)
+  store_dir : string;    (** result-store root *)
+  workers : int;         (** worker domains *)
+  queue : int;           (** pending-job bound (backpressure) *)
+  timeout_s : float;     (** per-request timeout *)
+  lru_entries : int;
+  lru_bytes : int;
+}
+
+val default_config : config
+(** socket ["moardd.sock"], store [".moard-store"], workers =
+    [Domain.recommended_domain_count () - 1] (min 1), queue [64],
+    timeout [300s], LRU [256] entries / [64 MiB]. *)
+
+type t
+
+val start : config -> t
+(** Bind the socket (replacing a stale file), spawn the pool and the
+    accept thread, return immediately.
+    @raise Unix.Unix_error if the socket cannot be bound. *)
+
+val stop : t -> unit
+(** Graceful drain: stop accepting, let in-flight requests finish, drain
+    the pool, close and unlink the socket. Blocks until done.
+    Idempotent. *)
+
+val stopping : t -> bool
+
+val store : t -> Moard_store.Store.t
+(** The daemon's store handle (the test suite corrupts entries through
+    it). *)
+
+val run : config -> unit
+(** {!start}, install SIGTERM/SIGINT handlers that trigger the graceful
+    drain, and block until shutdown completes. *)

@@ -1,0 +1,40 @@
+(** A minimal JSON codec for the daemon protocol.
+
+    Self-contained (the container has no JSON package) and deliberately
+    small: objects, arrays, strings with the standard escapes, ints,
+    floats, booleans, null. Printing is canonical — fields in the order
+    given, no insignificant whitespace — so protocol messages are stable
+    byte strings. This codec frames {e protocol} messages; result
+    {e payloads} are produced by the report renderers and pass through the
+    daemon opaquely. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+val parse : string -> (t, string) result
+(** [Error msg] carries a byte offset and a description. Numbers without
+    [.], [e] or [E] parse as [Int]; others as [Float]. Rejects trailing
+    garbage. *)
+
+(** {2 Accessors} — total, for picking requests apart. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on anything else or a missing field. *)
+
+val str : t option -> string option
+val int : t option -> int option
+(** Accepts an integral [Float] too (a client may send [42.0]). *)
+
+val float : t option -> float option
+(** Accepts [Int] too. *)
+
+val bool : t option -> bool option
+val list : t option -> t list option

@@ -1,0 +1,102 @@
+type t = {
+  m : Mutex.t;
+  nonempty : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  cap : int;
+  nworkers : int;
+  mutable draining : bool;
+  mutable running : int;
+  mutable executed : int;
+  mutable rejected : int;
+  mutable failed : int;
+  mutable domains : unit Domain.t list;
+  mutable drained : bool;
+}
+
+let worker_loop t () =
+  let rec next () =
+    Mutex.lock t.m;
+    while Queue.is_empty t.jobs && not t.draining do
+      Condition.wait t.nonempty t.m
+    done;
+    if Queue.is_empty t.jobs then begin
+      (* draining and nothing left *)
+      Mutex.unlock t.m;
+      ()
+    end
+    else begin
+      let job = Queue.pop t.jobs in
+      t.running <- t.running + 1;
+      Mutex.unlock t.m;
+      (try job ()
+       with _ ->
+         Mutex.lock t.m;
+         t.failed <- t.failed + 1;
+         Mutex.unlock t.m);
+      Mutex.lock t.m;
+      t.running <- t.running - 1;
+      t.executed <- t.executed + 1;
+      Mutex.unlock t.m;
+      next ()
+    end
+  in
+  next ()
+
+let create ~workers ~queue =
+  let t =
+    {
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      jobs = Queue.create ();
+      cap = max 1 queue;
+      nworkers = max 1 workers;
+      draining = false;
+      running = 0;
+      executed = 0;
+      rejected = 0;
+      failed = 0;
+      domains = [];
+      drained = false;
+    }
+  in
+  t.domains <- List.init t.nworkers (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let submit t job =
+  Mutex.lock t.m;
+  let r =
+    if t.draining then `Draining
+    else if Queue.length t.jobs >= t.cap then begin
+      t.rejected <- t.rejected + 1;
+      `Overloaded
+    end
+    else begin
+      Queue.push job t.jobs;
+      Condition.signal t.nonempty;
+      `Accepted
+    end
+  in
+  Mutex.unlock t.m;
+  r
+
+let drain t =
+  Mutex.lock t.m;
+  t.draining <- true;
+  Condition.broadcast t.nonempty;
+  let mine = if t.drained then [] else t.domains in
+  t.drained <- true;
+  Mutex.unlock t.m;
+  List.iter Domain.join mine
+
+let locked t f =
+  Mutex.lock t.m;
+  let v = f () in
+  Mutex.unlock t.m;
+  v
+
+let workers t = t.nworkers
+let queued t = locked t (fun () -> Queue.length t.jobs)
+let running t = locked t (fun () -> t.running)
+let executed t = locked t (fun () -> t.executed)
+let rejected t = locked t (fun () -> t.rejected)
+let failed t = locked t (fun () -> t.failed)

@@ -1,0 +1,34 @@
+(** The daemon's bounded worker pool: a fixed set of OCaml 5 domains
+    draining one bounded job queue.
+
+    Backpressure is explicit: {!submit} on a full queue returns
+    [`Overloaded] immediately — jobs are never silently dropped and the
+    queue never grows past its bound; the daemon turns that into an
+    [overloaded] protocol error the client can retry against. {!drain} is
+    the graceful-shutdown half: no new work is accepted, queued jobs
+    still run, and the call returns only when every worker has finished
+    and exited — so anything a job journals or writes to the store is on
+    disk when the daemon's drain completes. *)
+
+type t
+
+val create : workers:int -> queue:int -> t
+(** [workers] domains (at least 1) over a queue bounded at [queue]
+    pending jobs (at least 1). *)
+
+val submit : t -> (unit -> unit) -> [ `Accepted | `Overloaded | `Draining ]
+(** Enqueue a job. Exceptions escaping a job are caught and counted, not
+    propagated (a worker never dies). *)
+
+val drain : t -> unit
+(** Stop accepting, run out the queue, join every worker. Idempotent. *)
+
+val workers : t -> int
+val queued : t -> int
+val running : t -> int
+val executed : t -> int
+val rejected : t -> int
+(** Submissions refused with [`Overloaded]. *)
+
+val failed : t -> int
+(** Jobs whose exception was swallowed. *)

@@ -1,0 +1,59 @@
+module Model = Moard_core.Model
+module Plan = Moard_campaign.Plan
+
+type t = string
+
+let to_hex k = k
+
+let of_parts parts =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "moard-store-key-v1\n";
+  List.iter
+    (fun (k, v) ->
+      if String.contains k '\n' || String.contains v '\n' then
+        invalid_arg "Key.of_parts: newline in part";
+      Buffer.add_string b k;
+      Buffer.add_char b '=';
+      Buffer.add_string b v;
+      Buffer.add_char b '\n')
+    parts;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let program_hash p = Record.fnv1a64_hex (Moard_ir.Text.to_string p)
+
+(* The pattern family must canonicalize: [`Burst 2; `Pair 8] and
+   [`Pair 8; `Burst 2] describe the same analysis. *)
+let multi_part multi =
+  let tags =
+    List.map
+      (function
+        | `Burst n -> Printf.sprintf "burst%d" n
+        | `Pair n -> Printf.sprintf "pair%d" n)
+      multi
+  in
+  String.concat "+" ("single" :: List.sort compare tags)
+
+let advf ~program ~object_name ~(options : Model.options) =
+  of_parts
+    [
+      ("query", "advf");
+      ("program", program_hash program);
+      ("object", object_name);
+      ("pattern", multi_part options.Model.multi);
+      ("k", string_of_int options.Model.k);
+      ("shadow_cap", string_of_int options.Model.shadow_cap);
+      ("fi_budget", string_of_int options.Model.fi_budget);
+      ("use_cache", string_of_bool options.Model.use_cache);
+    ]
+
+let campaign ~program ~plan =
+  of_parts
+    [
+      ("query", "campaign");
+      ("program", program_hash program);
+      ("plan", Plan.hash plan);
+    ]
+
+let tape ~program ~entry =
+  of_parts
+    [ ("query", "tape"); ("program", program_hash program); ("entry", entry) ]

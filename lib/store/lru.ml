@@ -1,0 +1,90 @@
+(* Classic intrusive doubly-linked list + hashtable. [head] is the
+   most-recently-used end, [tail] the eviction end. *)
+
+type node = {
+  key : string;
+  mutable value : string;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  max_entries : int;
+  max_bytes : int;
+  tbl : (string, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+  mutable bytes : int;
+  mutable evictions : int;
+}
+
+let create ~max_entries ~max_bytes =
+  if max_entries < 0 || max_bytes < 0 then
+    invalid_arg "Lru.create: negative bound";
+  {
+    max_entries;
+    max_bytes;
+    tbl = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    bytes = 0;
+    evictions = 0;
+  }
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let drop t n =
+  unlink t n;
+  Hashtbl.remove t.tbl n.key;
+  t.bytes <- t.bytes - String.length n.value
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> None
+  | Some n ->
+    unlink t n;
+    push_front t n;
+    Some n.value
+
+let mem t k = Hashtbl.mem t.tbl k
+let length t = Hashtbl.length t.tbl
+let bytes t = t.bytes
+let evictions t = t.evictions
+
+let remove t k =
+  match Hashtbl.find_opt t.tbl k with None -> () | Some n -> drop t n
+
+let evict_until_fits t =
+  let over () =
+    Hashtbl.length t.tbl > t.max_entries || t.bytes > t.max_bytes
+  in
+  while over () && t.tail <> None do
+    (match t.tail with Some n -> drop t n | None -> ());
+    t.evictions <- t.evictions + 1
+  done
+
+let add t k v =
+  if String.length v <= t.max_bytes && t.max_entries > 0 then begin
+    remove t k;
+    let n = { key = k; value = v; prev = None; next = None } in
+    Hashtbl.replace t.tbl k n;
+    push_front t n;
+    t.bytes <- t.bytes + String.length v;
+    evict_until_fits t
+  end
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.head <- None;
+  t.tail <- None;
+  t.bytes <- 0

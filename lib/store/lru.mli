@@ -1,0 +1,29 @@
+(** A bounded in-memory LRU of string payloads, keyed by string.
+
+    The store's memory layer: bounded both by entry count and by total
+    payload bytes, whichever is hit first. {!find} promotes; {!add} evicts
+    least-recently-used entries until the new entry fits. A payload larger
+    than the byte bound is simply not admitted (the disk layer still
+    serves it). Not thread-safe on its own — the store serializes access. *)
+
+type t
+
+val create : max_entries:int -> max_bytes:int -> t
+(** @raise Invalid_argument if either bound is negative. *)
+
+val find : t -> string -> string option
+(** Lookup, promoting the entry to most-recently-used. *)
+
+val add : t -> string -> string -> unit
+(** Insert or replace, evicting from the LRU end as needed. *)
+
+val remove : t -> string -> unit
+val mem : t -> string -> bool
+val length : t -> int
+val bytes : t -> int
+(** Sum of resident payload sizes. *)
+
+val evictions : t -> int
+(** Entries evicted by the bounds since {!create}. *)
+
+val clear : t -> unit

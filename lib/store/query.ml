@@ -1,0 +1,87 @@
+module Model = Moard_core.Model
+module Context = Moard_inject.Context
+module Plan = Moard_campaign.Plan
+module Engine = Moard_campaign.Engine
+
+type status = Memory_hit | Disk_hit | Computed | Recomputed
+
+let status_name = function
+  | Memory_hit -> "memory-hit"
+  | Disk_hit -> "disk-hit"
+  | Computed -> "computed"
+  | Recomputed -> "recomputed"
+
+let is_hit = function
+  | Memory_hit | Disk_hit -> true
+  | Computed | Recomputed -> false
+
+let get_or_compute store ~key ~kind compute =
+  match Store.lookup store ~key ~kind with
+  | Store.Found (payload, Store.Memory) -> (payload, Memory_hit)
+  | Store.Found (payload, Store.Disk) -> (payload, Disk_hit)
+  | (Store.Absent | Store.Corrupted) as miss ->
+    let payload = compute () in
+    Store.put store ~key ~kind payload;
+    (payload, if miss = Store.Corrupted then Recomputed else Computed)
+
+(* A fresh shard has an empty injection cache and zeroed counters, so the
+   sequential analysis — and with it every count in the report — is a pure
+   function of (program, object, options). That purity is what makes the
+   byte-stable payload contract (and corrupt-entry recompute) sound. *)
+let advf_payload ?(options = Model.default_options) ctx ~object_name =
+  let r = Model.analyze ~options (Context.shard ctx) ~object_name in
+  Moard_report.Advf_report.json r
+
+let advf store ?(options = Model.default_options) ~ctx ~program ~object_name
+    () =
+  let key = Key.advf ~program ~object_name ~options in
+  get_or_compute store ~key ~kind:Record.Advf (fun () ->
+      advf_payload ~options (ctx ()) ~object_name)
+
+let campaign_payload = Moard_report.Campaign_report.stable_json
+
+let interrupted (r : Engine.result) =
+  Array.exists
+    (fun (o : Engine.object_result) -> o.Engine.stopped = Engine.Interrupted)
+    r.Engine.objects
+
+let campaign store ?(domains = 1) ?should_stop ?(journal_meta = []) ~ctx
+    ~program ~plan () =
+  let key = Key.campaign ~program ~plan in
+  let kind = Record.Campaign in
+  match Store.lookup store ~key ~kind with
+  | Store.Found (payload, Store.Memory) -> (payload, Memory_hit, None)
+  | Store.Found (payload, Store.Disk) -> (payload, Disk_hit, None)
+  | (Store.Absent | Store.Corrupted) as miss ->
+    let journal =
+      Filename.concat (Store.journal_dir store) (Key.to_hex key ^ ".journal")
+    in
+    let c = ctx () in
+    let r =
+      if Sys.file_exists journal then
+        try Engine.resume ~domains ?should_stop ~journal c plan
+        with Moard_campaign.Journal.Rejected _ ->
+          (* stale journal from an incompatible plan under a colliding
+             name: impossible while keys embed the plan hash, but never
+             let a bad file wedge the query *)
+          Sys.remove journal;
+          Engine.run ~domains ?should_stop ~journal ~journal_meta c plan
+      else Engine.run ~domains ?should_stop ~journal ~journal_meta c plan
+    in
+    let payload = campaign_payload r in
+    if interrupted r then (payload, Computed, Some r)
+    else begin
+      Store.put store ~key ~kind payload;
+      (try Sys.remove journal with Sys_error _ -> ());
+      (payload, (if miss = Store.Corrupted then Recomputed else Computed), Some r)
+    end
+
+let tape_payload ctx = Marshal.to_string (Context.tape ctx) []
+
+let tape store ~ctx ~program ~entry () =
+  let key = Key.tape ~program ~entry in
+  let payload, status =
+    get_or_compute store ~key ~kind:Record.Tape (fun () ->
+        tape_payload (ctx ()))
+  in
+  ((Marshal.from_string payload 0 : Moard_trace.Tape.t), status)

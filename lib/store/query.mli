@@ -1,0 +1,72 @@
+(** Cached MOARD queries: get-or-compute over the {!Store}.
+
+    Every payload here is a canonical byte-stable string (see
+    {!Moard_report.Advf_report} and
+    {!Moard_report.Campaign_report.stable_json}), and every compute path
+    analyzes on a {e fresh context shard} — a pure function of (program,
+    object, options) — so a recompute after corruption, a daemon worker
+    and the offline CLI all produce the identical bytes. *)
+
+type status =
+  | Memory_hit   (** served from the LRU *)
+  | Disk_hit     (** served from a verified disk record *)
+  | Computed     (** cold: computed and stored *)
+  | Recomputed   (** a corrupt entry was detected, recomputed and healed *)
+
+val status_name : status -> string
+val is_hit : status -> bool
+
+val advf_payload :
+  ?options:Moard_core.Model.options ->
+  Moard_inject.Context.t ->
+  object_name:string ->
+  string
+(** The canonical aDVF payload, computed directly (no store): a
+    single-domain analysis on a fresh shard of the context. *)
+
+val advf :
+  Store.t ->
+  ?options:Moard_core.Model.options ->
+  ctx:(unit -> Moard_inject.Context.t) ->
+  program:Moard_ir.Program.t ->
+  object_name:string ->
+  unit ->
+  string * status
+(** Get-or-compute an aDVF summary. [ctx] is only forced on a miss, so a
+    warm query never touches the golden run. *)
+
+val campaign_payload : Moard_campaign.Engine.result -> string
+(** The canonical campaign payload ({!Moard_report.Campaign_report}'s
+    stable JSON — the perf section is never stored). *)
+
+val campaign :
+  Store.t ->
+  ?domains:int ->
+  ?should_stop:(unit -> bool) ->
+  ?journal_meta:(string * string) list ->
+  ctx:(unit -> Moard_inject.Context.t) ->
+  program:Moard_ir.Program.t ->
+  plan:Moard_campaign.Plan.t ->
+  unit ->
+  string * status * Moard_campaign.Engine.result option
+(** Get-or-compute a campaign report. A miss runs the engine with a
+    journal under {!Store.journal_dir}; if that journal already exists
+    (an earlier run died or was drained mid-campaign) the engine resumes
+    from it instead of starting over. A completed result is stored and
+    its journal removed; an interrupted one (the [should_stop] drain
+    hook fired) is returned un-stored with its journal left in place for
+    the next attempt. The result is [None] exactly when the payload came
+    from the store. *)
+
+val tape_payload : Moard_inject.Context.t -> string
+(** The packed golden tape, marshalled. *)
+
+val tape :
+  Store.t ->
+  ctx:(unit -> Moard_inject.Context.t) ->
+  program:Moard_ir.Program.t ->
+  entry:string ->
+  unit ->
+  Moard_trace.Tape.t * status
+(** Get-or-compute a packed golden tape. A hit deserializes the stored
+    tape without re-running the program. *)

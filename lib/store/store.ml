@@ -1,0 +1,210 @@
+type t = {
+  root : string;
+  lru : Lru.t;
+  m : Mutex.t;
+  (* keys put or read through this handle: gc's liveness set *)
+  live : (string, unit) Hashtbl.t;
+  mutable mem_hits : int;
+  mutable disk_hits : int;
+  mutable misses : int;
+  mutable corrupt : int;
+  mutable puts : int;
+  mutable tmp_seq : int;
+}
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let mkdir_p path =
+  let rec go p =
+    if p <> "/" && p <> "." && not (Sys.file_exists p) then begin
+      go (Filename.dirname p);
+      try Unix.mkdir p 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go path
+
+let objects_dir root = Filename.concat root "objects"
+let tmp_dir root = Filename.concat root "tmp"
+
+let open_store ?(lru_entries = 256) ?(lru_bytes = 64 * 1024 * 1024) ~dir () =
+  mkdir_p (objects_dir dir);
+  mkdir_p (tmp_dir dir);
+  {
+    root = dir;
+    lru = Lru.create ~max_entries:lru_entries ~max_bytes:lru_bytes;
+    m = Mutex.create ();
+    live = Hashtbl.create 64;
+    mem_hits = 0;
+    disk_hits = 0;
+    misses = 0;
+    corrupt = 0;
+    puts = 0;
+    tmp_seq = 0;
+  }
+
+let dir t = t.root
+
+let journal_dir t =
+  let d = Filename.concat t.root "journals" in
+  mkdir_p d;
+  d
+
+let entry_path t hex =
+  Filename.concat
+    (Filename.concat (objects_dir t.root) (String.sub hex 0 2))
+    (hex ^ ".rec")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let put t ~key ~kind payload =
+  let hex = Key.to_hex key in
+  locked t (fun () ->
+      let final = entry_path t hex in
+      mkdir_p (Filename.dirname final);
+      t.tmp_seq <- t.tmp_seq + 1;
+      let tmp =
+        Filename.concat (tmp_dir t.root)
+          (Printf.sprintf "%s.%d.%d" hex (Unix.getpid ()) t.tmp_seq)
+      in
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Record.encode ~kind payload));
+      Unix.rename tmp final;
+      Lru.add t.lru hex payload;
+      Hashtbl.replace t.live hex ();
+      t.puts <- t.puts + 1)
+
+type found = Memory | Disk
+type lookup = Found of string * found | Absent | Corrupted
+
+let lookup t ~key ~kind =
+  let hex = Key.to_hex key in
+  locked t (fun () ->
+      match Lru.find t.lru hex with
+      | Some payload ->
+        t.mem_hits <- t.mem_hits + 1;
+        Hashtbl.replace t.live hex ();
+        Found (payload, Memory)
+      | None -> (
+        let path = entry_path t hex in
+        match read_file path with
+        | exception Sys_error _ ->
+          t.misses <- t.misses + 1;
+          Absent
+        | image -> (
+          match Record.decode_expect ~kind image with
+          | Ok payload ->
+            t.disk_hits <- t.disk_hits + 1;
+            Lru.add t.lru hex payload;
+            Hashtbl.replace t.live hex ();
+            Found (payload, Disk)
+          | Error _ ->
+            (* detected corruption: heal by deletion, report it so the
+               caller recomputes *)
+            t.corrupt <- t.corrupt + 1;
+            (try Sys.remove path with Sys_error _ -> ());
+            Hashtbl.remove t.live hex;
+            Corrupted)))
+
+let get t ~key ~kind =
+  match lookup t ~key ~kind with
+  | Found (payload, where) -> Some (payload, where)
+  | Absent | Corrupted -> None
+
+let delete t ~key =
+  let hex = Key.to_hex key in
+  locked t (fun () ->
+      Lru.remove t.lru hex;
+      Hashtbl.remove t.live hex;
+      try Sys.remove (entry_path t hex) with Sys_error _ -> ())
+
+type stats = {
+  entries : int;
+  disk_bytes : int;
+  lru_entries : int;
+  lru_bytes : int;
+  lru_evictions : int;
+  mem_hits : int;
+  disk_hits : int;
+  misses : int;
+  corrupt : int;
+  puts : int;
+}
+
+let iter_entries t f =
+  let odir = objects_dir t.root in
+  Array.iter
+    (fun sub ->
+      let d = Filename.concat odir sub in
+      if Sys.is_directory d then
+        Array.iter
+          (fun name -> f (Filename.concat d name) name)
+          (Sys.readdir d))
+    (try Sys.readdir odir with Sys_error _ -> [||])
+
+let stat t =
+  locked t (fun () ->
+      let entries = ref 0 and bytes = ref 0 in
+      iter_entries t (fun path _ ->
+          entries := !entries + 1;
+          bytes := !bytes + (Unix.stat path).Unix.st_size);
+      {
+        entries = !entries;
+        disk_bytes = !bytes;
+        lru_entries = Lru.length t.lru;
+        lru_bytes = Lru.bytes t.lru;
+        lru_evictions = Lru.evictions t.lru;
+        mem_hits = t.mem_hits;
+        disk_hits = t.disk_hits;
+        misses = t.misses;
+        corrupt = t.corrupt;
+        puts = t.puts;
+      })
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>entries %d (%d bytes on disk)@,\
+     lru %d entries / %d bytes (%d evictions)@,\
+     hits %d memory + %d disk, misses %d, corrupt healed %d, puts %d@]"
+    s.entries s.disk_bytes s.lru_entries s.lru_bytes s.lru_evictions s.mem_hits
+    s.disk_hits s.misses s.corrupt s.puts
+
+let gc t ?max_age_s () =
+  locked t (fun () ->
+      let removed = ref 0 in
+      let rm path =
+        try
+          Sys.remove path;
+          incr removed
+        with Sys_error _ -> ()
+      in
+      (* stray tmp files are torn writes by definition *)
+      Array.iter
+        (fun name -> rm (Filename.concat (tmp_dir t.root) name))
+        (try Sys.readdir (tmp_dir t.root) with Sys_error _ -> [||]);
+      let now = Unix.gettimeofday () in
+      iter_entries t (fun path name ->
+          let hex = Filename.remove_extension name in
+          let decodable =
+            String.length hex = 32
+            && String.for_all
+                 (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+                 hex
+          in
+          if not decodable then rm path
+          else
+            match max_age_s with
+            | Some age
+              when (not (Hashtbl.mem t.live hex))
+                   && now -. (Unix.stat path).Unix.st_mtime > age ->
+              Lru.remove t.lru hex;
+              rm path
+            | _ -> ());
+      !removed)

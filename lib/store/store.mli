@@ -1,0 +1,72 @@
+(** The content-addressed result store: a directory of checksummed
+    {!Record}s with an in-memory {!Lru} layer in front.
+
+    Layout under the root:
+    {v
+    <root>/objects/<hh>/<32 hex>.rec    entries (hh = first key byte)
+    <root>/tmp/                         in-flight writes (swept by gc)
+    <root>/journals/                    campaign journals (owned by Query)
+    v}
+
+    Writes are atomic (tmp file + rename), so a reader never observes a
+    half-written entry under its final name; a torn or bit-flipped record
+    fails checksum verification on read, is counted, deleted, and reported
+    as a miss — the caller recomputes and the store heals. Every operation
+    is serialized by an internal mutex: one handle is safe to share across
+    domains and threads (the daemon's worker pool does). *)
+
+type t
+
+val open_store : ?lru_entries:int -> ?lru_bytes:int -> dir:string -> unit -> t
+(** Create/open the directory tree. The LRU defaults to 256 entries /
+    64 MiB. *)
+
+val dir : t -> string
+val journal_dir : t -> string
+(** [<root>/journals], created on demand — where campaign queries keep
+    their crash-recovery journals. *)
+
+val put : t -> key:Key.t -> kind:Record.kind -> string -> unit
+(** Write (or overwrite) an entry atomically and admit it to the LRU. *)
+
+type found = Memory | Disk
+
+type lookup = Found of string * found | Absent | Corrupted
+(** [Corrupted]: the entry existed but failed record verification (wrong
+    magic/version/kind, truncation, checksum mismatch); it has been
+    deleted and counted — semantically a miss, but callers can surface
+    that a recompute is healing damage rather than filling a cold cache. *)
+
+val lookup : t -> key:Key.t -> kind:Record.kind -> lookup
+(** LRU first, then disk (verifying the record; a valid disk read is
+    promoted into the LRU). *)
+
+val get : t -> key:Key.t -> kind:Record.kind -> (string * found) option
+(** {!lookup} with [Absent] and [Corrupted] collapsed to [None]. *)
+
+val delete : t -> key:Key.t -> unit
+
+type stats = {
+  entries : int;        (** live records on disk *)
+  disk_bytes : int;     (** their total size, headers included *)
+  lru_entries : int;
+  lru_bytes : int;
+  lru_evictions : int;
+  mem_hits : int;
+  disk_hits : int;
+  misses : int;
+  corrupt : int;        (** corrupt records detected (and deleted) *)
+  puts : int;
+}
+
+val stat : t -> stats
+(** Counters are per-handle; entry/byte totals are read from disk. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val gc : t -> ?max_age_s:float -> unit -> int
+(** Maintenance sweep: always removes stray tmp files and undecodable
+    entry names; with [max_age_s], also removes entries whose mtime is
+    older — but never an entry touched (put or read) through this handle
+    since it was opened, so a live working set survives any [max_age_s].
+    Returns the number of files removed. *)
