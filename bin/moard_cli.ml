@@ -74,6 +74,16 @@ let pick_objects (e : Registry.entry) = function
   | [] -> e.Registry.objects
   | objs -> objs
 
+let no_batch_flag =
+  Arg.(
+    value & flag
+    & info [ "no-batch" ]
+        ~doc:"Disable the bit-parallel masking kernel and resolve every \
+              error pattern individually (the scalar oracle). Results -- \
+              reports, payloads, store keys -- are byte-identical with or \
+              without this flag; only wall-clock time changes. Escape \
+              hatch and differential-testing aid.")
+
 (* ------------------------------------------------------------------ *)
 
 let list_cmd =
@@ -105,9 +115,10 @@ let make_ctx (e : Registry.entry) ~optimize =
   Context.make w
 
 let analyze_cmd =
-  let run () e objs k fi_budget no_cache optimize jobs =
+  let run () e objs k fi_budget no_cache optimize jobs no_batch =
     let options =
-      { Model.default_options with k; fi_budget; use_cache = not no_cache }
+      { Model.default_options with k; fi_budget; use_cache = not no_cache;
+        batch = not no_batch }
     in
     (* One context -- and therefore one golden execution -- no matter how
        many objects or domains. *)
@@ -158,16 +169,16 @@ let analyze_cmd =
        ~doc:"Compute aDVF for data objects of a benchmark (the model).")
     Term.(
       const run $ setup_logs $ bench_arg $ objects_arg $ k_arg $ budget_arg
-      $ no_cache $ optimize_flag $ jobs_arg)
+      $ no_cache $ optimize_flag $ jobs_arg $ no_batch_flag)
 
 let exhaustive_cmd =
-  let run () e objs stride =
+  let run () e objs stride no_batch =
     let ctx = Context.make (e.Registry.workload ()) in
     List.iter
       (fun obj ->
         let r =
-          Moard_inject.Exhaustive.campaign ~pattern_stride:stride ctx
-            ~object_name:obj
+          Moard_inject.Exhaustive.campaign ~pattern_stride:stride
+            ~batch:(not no_batch) ctx ~object_name:obj
         in
         Format.printf "%a@." Moard_inject.Exhaustive.pp_result r)
       (pick_objects e objs)
@@ -181,7 +192,9 @@ let exhaustive_cmd =
   Cmd.v
     (Cmd.info "exhaustive"
        ~doc:"Exhaustive fault injection over all valid fault sites.")
-    Term.(const run $ setup_logs $ bench_arg $ objects_arg $ stride)
+    Term.(
+      const run $ setup_logs $ bench_arg $ objects_arg $ stride
+      $ no_batch_flag)
 
 let rfi_cmd =
   let run () e objs tests seed =
@@ -421,7 +434,7 @@ let campaign_plan_cmd =
 
 let campaign_run_cmd =
   let run () e objs seed confidence ci_width batch max_samples domains journal
-      store_dir out stable =
+      store_dir out stable no_batch =
     (match (journal, store_dir) with
     | Some _, Some _ ->
       usage
@@ -437,7 +450,7 @@ let campaign_run_cmd =
     match store_dir with
     | Some dir ->
       let payload, status, r =
-        Query.campaign (open_store dir) ~domains
+        Query.campaign (open_store dir) ~domains ~batch:(not no_batch)
           ~journal_meta:[ ("benchmark", e.Registry.benchmark) ]
           ~ctx:(fun () -> ctx)
           ~program:w.Moard_inject.Workload.program ~plan ()
@@ -458,7 +471,7 @@ let campaign_run_cmd =
         | None -> print_string payload))
     | None ->
       let r =
-        Engine.run ~domains ?journal
+        Engine.run ~domains ~batch:(not no_batch) ?journal
           ~journal_meta:[ ("benchmark", e.Registry.benchmark) ]
           ctx plan
       in
@@ -474,7 +487,8 @@ let campaign_run_cmd =
     Term.(
       const run $ setup_logs $ bench_arg $ objects_arg $ seed_arg
       $ confidence_arg $ ci_width_arg $ batch_arg $ max_samples_arg
-      $ domains_arg $ journal_arg $ store_dir_arg $ out_arg $ stable_flag)
+      $ domains_arg $ journal_arg $ store_dir_arg $ out_arg $ stable_flag
+      $ no_batch_flag)
 
 let required_journal =
   Arg.(
@@ -506,9 +520,9 @@ let setup_from_journal path =
   (ctx, plan, w.Moard_inject.Workload.program)
 
 let campaign_resume_cmd =
-  let run () journal domains store_dir out stable =
+  let run () journal domains store_dir out stable no_batch =
     let ctx, plan, program = setup_from_journal journal in
-    let r = Engine.resume ~domains ~journal ctx plan in
+    let r = Engine.resume ~domains ~batch:(not no_batch) ~journal ctx plan in
     (match store_dir with
     | Some dir ->
       let complete =
@@ -538,7 +552,7 @@ let campaign_resume_cmd =
              result store.")
     Term.(
       const run $ setup_logs $ required_journal $ domains_arg $ store_dir_arg
-      $ out_arg $ stable_flag)
+      $ out_arg $ stable_flag $ no_batch_flag)
 
 let campaign_report_cmd =
   let run () journal out stable =
@@ -572,7 +586,7 @@ let socket_arg =
     & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket of the moardd daemon.")
 
 let serve_cmd =
-  let run () socket store_dir workers queue timeout =
+  let run () socket store_dir workers queue timeout no_batch =
     let cfg =
       {
         Daemon.default_config with
@@ -583,6 +597,7 @@ let serve_cmd =
         workers;
         queue;
         timeout_s = timeout;
+        batch = not no_batch;
       }
     in
     Logs.app (fun m ->
@@ -624,7 +639,7 @@ let serve_cmd =
              to their journals before exit).")
     Term.(
       const run $ setup_logs $ socket_arg $ store_dir_arg $ workers $ queue
-      $ timeout)
+      $ timeout $ no_batch_flag)
 
 (* ---- query ---- *)
 
@@ -676,8 +691,10 @@ let offline_header ~op ~key ~status extra =
     @ extra)
 
 let query_advf_cmd =
-  let run () e objs k fi_budget socket offline store_dir meta =
-    let options = { Model.default_options with k; fi_budget } in
+  let run () e objs k fi_budget socket offline store_dir meta no_batch =
+    let options =
+      { Model.default_options with k; fi_budget; batch = not no_batch }
+    in
     let objs = pick_objects e objs in
     if offline then begin
       let program = (e.Registry.workload ()).Moard_inject.Workload.program in
@@ -737,11 +754,11 @@ let query_advf_cmd =
              locally.")
     Term.(
       const run $ setup_logs $ bench_arg $ objects_arg $ k_arg $ budget_arg
-      $ socket_arg $ offline_flag $ store_dir_arg $ meta_arg)
+      $ socket_arg $ offline_flag $ store_dir_arg $ meta_arg $ no_batch_flag)
 
 let query_campaign_cmd =
   let run () e objs seed confidence ci_width batch max_samples socket offline
-      store_dir meta =
+      store_dir meta no_batch =
     let objs = pick_objects e objs in
     if offline then begin
       let ctx = make_ctx e ~optimize:false in
@@ -754,14 +771,16 @@ let query_campaign_cmd =
         match store_dir with
         | Some dir ->
           let payload, status, _ =
-            Query.campaign (open_store dir)
+            Query.campaign (open_store dir) ~batch:(not no_batch)
               ~journal_meta:[ ("benchmark", e.Registry.benchmark) ]
               ~ctx:(fun () -> ctx)
               ~program ~plan ()
           in
           (payload, status)
         | None ->
-          (Query.campaign_payload (Engine.run ctx plan), Query.Computed)
+          ( Query.campaign_payload
+              (Engine.run ~batch:(not no_batch) ctx plan),
+            Query.Computed )
       in
       write_meta meta
         (offline_header ~op:"campaign"
@@ -794,7 +813,7 @@ let query_campaign_cmd =
     Term.(
       const run $ setup_logs $ bench_arg $ objects_arg $ seed_arg
       $ confidence_arg $ ci_width_arg $ batch_arg $ max_samples_arg
-      $ socket_arg $ offline_flag $ store_dir_arg $ meta_arg)
+      $ socket_arg $ offline_flag $ store_dir_arg $ meta_arg $ no_batch_flag)
 
 let query_stat_cmd =
   let run () socket =

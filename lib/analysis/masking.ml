@@ -1,0 +1,240 @@
+module Bitval = Moard_bits.Bitval
+module Pattern = Moard_bits.Pattern
+module Ps = Moard_bits.Patternset
+module Event = Moard_trace.Event
+module Consume = Moard_trace.Consume
+module I = Moard_ir.Instr
+
+type t =
+  | Masked of Verdict.kind
+  | Changed of { out : changed_out; overshadow : bool }
+  | Crash_certain of Moard_vm.Trap.t
+  | Divergent
+
+and changed_out =
+  | To_reg of { frame : int; reg : int; value : Moard_bits.Bitval.t }
+  | To_mem of { addr : int; value : Moard_bits.Bitval.t; ty : Moard_ir.Types.t }
+
+(* The scalar classifier: [values] is the operand vector with
+   [values.(slot)] already replaced by [corrupt]. Shared by the
+   one-pattern entry point and the bit-by-bit fallback of the batched
+   one, so the two agree by construction wherever the fallback runs. *)
+let classify_read (e : Event.t) ~slot values ~(corrupt : Bitval.t) =
+  let overshadow = Reexec.overshadow_candidate e ~slot ~corrupt in
+  match (Reexec.recompute e values, Reexec.clean_out e) with
+  | Reexec.Rtrap trap, _ -> Crash_certain trap
+  | Reexec.Rctl taken', Reexec.Rctl taken ->
+    if taken = taken' then Masked Verdict.Logic_cmp else Divergent
+  | Reexec.Rreg v', Reexec.Rreg v ->
+    if Bitval.equal v' v then Masked (Reexec.exact_mask_kind e.instr ~slot)
+    else (
+      match e.write with
+      | Event.Wreg { frame; reg; _ } ->
+        Changed { out = To_reg { frame; reg; value = v' }; overshadow }
+      | Event.Wmem _ | Event.Wnone ->
+        invalid_arg "Masking.analyze: register result without a register write")
+  | Reexec.Rmem (addr', v', ty), Reexec.Rmem (addr, v, _) ->
+    if addr' <> addr then
+      (* Only possible when the address operand itself carried the
+         element; treat as a wild store needing ground truth. *)
+      Divergent
+    else if Bitval.equal v' v then
+      Masked (Reexec.exact_mask_kind e.instr ~slot)
+    else Changed { out = To_mem { addr; value = v'; ty }; overshadow }
+  | (Reexec.Rload _ | Reexec.Rcall | Reexec.Rret _ | Reexec.Rnone), _ ->
+    invalid_arg "Masking.analyze: not a consuming operation"
+  | _, _ -> invalid_arg "Masking.analyze: output shape mismatch"
+
+let check_read_site (e : Event.t) ~slot =
+  if not (Consume.consuming_event e) then
+    invalid_arg "Masking.analyze: not a consuming operation";
+  if slot < 0 || slot >= Array.length e.reads then
+    invalid_arg "Masking.analyze: slot out of range"
+
+let analyze (e : Event.t) kind pattern =
+  match (kind : Consume.kind) with
+  | Consume.Store_dest ->
+    (* The store writes a new value over the corrupted element: value
+       overwriting, whatever the corrupted bit (paper §III-C (1)).
+       Read-modify-write stores never reach this case — the model
+       delegates them to the statement's deriving read (see {!Derive}). *)
+    Masked Verdict.Overwrite
+  | Consume.Read { slot } ->
+    check_read_site e ~slot;
+    let values = Array.map (fun (r : Event.read) -> r.value) e.reads in
+    let corrupt = Pattern.apply pattern values.(slot) in
+    values.(slot) <- corrupt;
+    classify_read e ~slot values ~corrupt
+
+(* ------------------------------------------------------------------ *)
+(* Batched evaluation of the whole single-bit pattern set.             *)
+
+type verdicts = {
+  width : Moard_bits.Bitval.width;
+  masked : Ps.t;
+  mask_kind : Verdict.kind;
+  crash : Ps.t;
+  trap : Moard_vm.Trap.t option;
+  divergent : Ps.t;
+  changed : Ps.t;
+  overshadow : Ps.t;
+}
+
+let mk ~width ~mask_kind ?(masked = Ps.empty) ?(crash = Ps.empty) ?trap
+    ?(divergent = Ps.empty) ?(overshadow = Ps.empty) () =
+  let changed =
+    Ps.diff (Ps.full ~width) (Ps.union masked (Ps.union crash divergent))
+  in
+  {
+    width;
+    masked;
+    mask_kind;
+    crash;
+    trap;
+    divergent;
+    changed;
+    overshadow = Ps.inter overshadow changed;
+  }
+
+(* The proof-carrying fallback: classify every bit with the scalar
+   classifier. Opcodes without a closed form — float rounding, division
+   traps, ordered comparisons, corrupted shift amounts and store
+   addresses — land here, so for them the batched verdict is the scalar
+   verdict by definition, not by derivation. *)
+let scan (e : Event.t) ~slot ~width ~mask_kind =
+  let values = Array.map (fun (r : Event.read) -> r.value) e.reads in
+  let clean = values.(slot) in
+  let masked = ref Ps.empty
+  and crash = ref Ps.empty
+  and divergent = ref Ps.empty
+  and overshadow = ref Ps.empty
+  and trap = ref None in
+  for i = 0 to Bitval.bits_in width - 1 do
+    let corrupt = Bitval.flip_bit clean i in
+    values.(slot) <- corrupt;
+    match classify_read e ~slot values ~corrupt with
+    | Masked _ -> masked := Ps.add !masked i
+    | Crash_certain t ->
+      crash := Ps.add !crash i;
+      if !trap = None then trap := Some t
+    | Divergent -> divergent := Ps.add !divergent i
+    | Changed { overshadow = o; _ } ->
+      if o then overshadow := Ps.add !overshadow i
+  done;
+  mk ~width ~mask_kind ~masked:!masked ~crash:!crash ?trap:!trap
+    ~divergent:!divergent ~overshadow:!overshadow ()
+
+let analyze_all (e : Event.t) (kind : Consume.kind) =
+  match kind with
+  | Consume.Store_dest ->
+    let width =
+      match e.instr with
+      | I.Store (ty, _, _) -> Moard_ir.Types.width ty
+      | _ ->
+        invalid_arg "Masking.analyze_all: store destination of a non-store"
+    in
+    {
+      width;
+      masked = Ps.full ~width;
+      mask_kind = Verdict.Overwrite;
+      crash = Ps.empty;
+      trap = None;
+      divergent = Ps.empty;
+      changed = Ps.empty;
+      overshadow = Ps.empty;
+    }
+  | Consume.Read { slot } -> (
+    check_read_site e ~slot;
+    let a = (e.reads.(slot).Event.value : Bitval.t) in
+    let width = a.Bitval.width in
+    let mask_kind = Reexec.exact_mask_kind e.instr ~slot in
+    let mk = mk ~width ~mask_kind in
+    let dflt () = scan e ~slot ~width ~mask_kind in
+    let wreg = match e.write with Event.Wreg _ -> true | _ -> false in
+    let bits_of i = (e.reads.(i).Event.value : Bitval.t).Bitval.bits in
+    let same_width i =
+      (e.reads.(i).Event.value : Bitval.t).Bitval.width = width
+    in
+    match e.instr with
+    | I.Ibin (_, op, ty, _, _)
+      when wreg
+           && Array.length e.reads = 2
+           && Moard_ir.Types.width ty = width
+           && same_width (1 - slot) -> (
+      let other = bits_of (1 - slot) in
+      match op with
+      | I.And -> mk ~masked:(Ps.band_masked ~other ~width) ()
+      | I.Or -> mk ~masked:(Ps.bor_masked ~other ~width) ()
+      | I.Xor -> mk ~masked:(Ps.bxor_masked ~width) ()
+      | I.Add | I.Sub ->
+        mk
+          ~masked:(Ps.addsub_masked ~width)
+          ~overshadow:(Ps.addsub_overshadow ~a:a.Bitval.bits ~other ~width)
+          ()
+      | I.Mul -> mk ~masked:(Ps.mul_masked ~other ~width) ()
+      | (I.Shl | I.Lshr | I.Ashr) when slot = 0 ->
+        (* The clean shift amount, normalized exactly as Semantics.ibin
+           and Semantics.shift_result do: any amount outside
+           [0, bits_in width) yields the constant out-of-range result. *)
+        let a64 = Bitval.to_int64 e.reads.(1).Event.value in
+        let amount =
+          if
+            Int64.compare a64 0L < 0
+            || Int64.compare a64 (Int64.of_int (Bitval.bits_in width)) >= 0
+          then -1
+          else Int64.to_int a64
+        in
+        (match op with
+        | I.Shl -> mk ~masked:(Ps.shl_value_masked ~amount ~width) ()
+        | I.Lshr -> mk ~masked:(Ps.lshr_value_masked ~amount ~width) ()
+        | _ -> mk ~masked:(Ps.ashr_value_masked ~amount ~width) ())
+      | I.Shl | I.Lshr | I.Ashr | I.Sdiv | I.Srem ->
+        (* Corrupted shift amounts and division (where the certain traps
+           arise): scalar fallback. *)
+        dflt ())
+    | I.Icmp (_, (I.Ieq | I.Ine), _, _, _)
+      when wreg && Array.length e.reads = 2 && same_width (1 - slot) ->
+      mk
+        ~masked:(Ps.eq_masked ~a:a.Bitval.bits ~b:(bits_of (1 - slot)) ~width)
+        ()
+    | I.Cast (_, I.Trunc_to_i32, _) when wreg ->
+      mk ~masked:(Ps.trunc_masked ~width) ()
+    | I.Cast
+        (_, (I.Sext_to_i64 | I.Zext_to_i64 | I.Bitcast_f_to_i
+            | I.Bitcast_i_to_f), _)
+      when wreg ->
+      (* extensions and bitcasts are injective in the operand bits *)
+      mk ()
+    | I.Gep (_, _, _, scale) when wreg && width = Bitval.W64 ->
+      if slot = 1 then
+        (* index: the product index*scale moves by ±2^i·scale mod 2^64 *)
+        mk ~masked:(Ps.mul_masked ~other:(Int64.of_int scale) ~width) ()
+      else
+        (* base: the address moves by ±2^i mod 2^64 — never masked *)
+        mk ~masked:(Ps.addsub_masked ~width) ()
+    | I.Select _ when wreg && Array.length e.reads = 3 ->
+      if slot = 0 then
+        if width = Bitval.W1 then
+          if Bitval.equal e.reads.(1).Event.value e.reads.(2).Event.value then
+            mk ~masked:(Ps.full ~width) ()
+          else mk ()
+        else dflt ()
+      else
+        let chosen = Bitval.to_bool e.reads.(0).Event.value in
+        if (slot = 1) = chosen then mk () else mk ~masked:(Ps.full ~width) ()
+    | I.Store _
+      when slot = 0
+           && (match e.write with Event.Wmem _ -> true | _ -> false) ->
+      (* The stored value always changes. The address operand (slot 1)
+         takes the fallback for the address-truncation edge case. *)
+      mk ()
+    | I.Cbr (_, l1, l2) when width = Bitval.W1 ->
+      if l1 = l2 then mk ~masked:(Ps.full ~width) ()
+      else mk ~divergent:(Ps.full ~width) ()
+    | _ -> dflt ())
+
+let changed_out_at (e : Event.t) kind ~bit =
+  match analyze e kind (Pattern.Single bit) with
+  | Changed { out; overshadow } -> (out, overshadow)
+  | Masked _ | Crash_certain _ | Divergent ->
+    invalid_arg "Masking.changed_out_at: not a changed bit"

@@ -1,0 +1,73 @@
+(** Operation-level error-masking analysis (paper §III-C).
+
+    Given a consumption site of the target data object and an error
+    pattern, decide — from operation semantics alone, without running the
+    application — whether the error is masked by the consuming operation,
+    and if not, what corrupted value it hands to error propagation.
+
+    Two entry points answer the same question: {!analyze} for one pattern
+    (the scalar oracle), and {!analyze_all} for the whole single-bit-flip
+    pattern set of a site at once, using the closed-form mask algebra of
+    {!Moard_bits.Patternset} where an opcode admits one and falling back
+    to the scalar classifier bit by bit where it does not — so the batched
+    answer is the scalar answer by construction on the fallback opcodes
+    and by the algebra (checked by the differential test suite) on the
+    rest. *)
+
+type t =
+  | Masked of Verdict.kind
+      (** the operation's result is unchanged by the corruption *)
+  | Changed of {
+      out : changed_out;
+      overshadow : bool;
+          (** the corrupted operand of an add/sub stays smaller in magnitude
+              than the other operand: any eventual masking is attributed to
+              operation-level value overshadowing (paper §III-C) *)
+    }
+  | Crash_certain of Moard_vm.Trap.t
+      (** the corrupted operand makes the operation itself trap *)
+  | Divergent
+      (** the corruption flips the consuming branch: needs fault injection *)
+
+and changed_out =
+  | To_reg of { frame : int; reg : int; value : Moard_bits.Bitval.t }
+  | To_mem of { addr : int; value : Moard_bits.Bitval.t; ty : Moard_ir.Types.t }
+
+val analyze :
+  Moard_trace.Event.t -> Moard_trace.Consume.kind -> Moard_bits.Pattern.t -> t
+(** Read-modify-write store destinations must be delegated by the caller
+    to the statement's deriving read via {!Derive.store_rmw_source} before
+    calling this (the model does).
+    @raise Invalid_argument if the site is not a consumption of the event
+    (e.g. a slot of a pure copy). *)
+
+(** The verdict of every single-bit-flip pattern of one site, as disjoint
+    pattern sets partitioning [Patternset.full ~width]. All masked bits of
+    a site share one kind: the kind is a function of (opcode, slot) — see
+    {!Reexec.exact_mask_kind} — and the only other masked source (an
+    unchanged branch verdict) is [Logic_cmp] on exactly the opcode whose
+    exact kind is [Logic_cmp]. *)
+type verdicts = {
+  width : Moard_bits.Bitval.width;
+  masked : Moard_bits.Patternset.t;
+  mask_kind : Verdict.kind;  (** kind shared by every masked bit *)
+  crash : Moard_bits.Patternset.t;
+  trap : Moard_vm.Trap.t option;
+      (** the trap raised by the crash set (at most one distinct trap can
+          arise from single-bit corruption of one operand) *)
+  divergent : Moard_bits.Patternset.t;
+  changed : Moard_bits.Patternset.t;
+  overshadow : Moard_bits.Patternset.t;  (** subset of [changed] *)
+}
+
+val analyze_all : Moard_trace.Event.t -> Moard_trace.Consume.kind -> verdicts
+(** Classify all [Bitval.bits_in width] single-bit patterns of the site in
+    one call. Agrees with {!analyze} on {!Moard_bits.Pattern.Single}[ i]
+    for every [i]. Same delegation and exception contract as {!analyze}. *)
+
+val changed_out_at :
+  Moard_trace.Event.t -> Moard_trace.Consume.kind -> bit:int ->
+  changed_out * bool
+(** The [Changed] payload (output and overshadow flag) of one bit of the
+    changed set — what seeds the propagation replay.
+    @raise Invalid_argument if the bit is not in the changed set. *)

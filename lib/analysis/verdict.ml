@@ -1,0 +1,30 @@
+type level = Operation | Propagation | Algorithm
+
+type kind = Overwrite | Logic_cmp | Overshadow | Other
+
+type t =
+  | Masked of level * kind
+  | Not_masked
+
+let levels = [ Operation; Propagation; Algorithm ]
+let kinds = [ Overwrite; Logic_cmp; Overshadow; Other ]
+
+let level_index = function Operation -> 0 | Propagation -> 1 | Algorithm -> 2
+let kind_index = function
+  | Overwrite -> 0 | Logic_cmp -> 1 | Overshadow -> 2 | Other -> 3
+
+let level_name = function
+  | Operation -> "operation"
+  | Propagation -> "propagation"
+  | Algorithm -> "algorithm"
+
+let kind_name = function
+  | Overwrite -> "overwrite"
+  | Logic_cmp -> "logic/cmp"
+  | Overshadow -> "overshadow"
+  | Other -> "other"
+
+let pp ppf = function
+  | Masked (l, k) ->
+    Format.fprintf ppf "masked(%s, %s)" (level_name l) (kind_name k)
+  | Not_masked -> Format.pp_print_string ppf "not-masked"

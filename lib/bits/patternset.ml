@@ -1,0 +1,131 @@
+type t = int64
+
+let empty = 0L
+
+let width_mask = function
+  | Bitval.W1 -> 1L
+  | Bitval.W32 -> 0xFFFF_FFFFL
+  | Bitval.W64 -> -1L
+
+let full ~width = width_mask width
+let bit i = Int64.shift_left 1L i
+let singleton i = bit i
+let mem s i = not (Int64.equal (Int64.logand s (bit i)) 0L)
+let add s i = Int64.logor s (bit i)
+let remove s i = Int64.logand s (Int64.lognot (bit i))
+let union = Int64.logor
+let inter = Int64.logand
+let diff a b = Int64.logand a (Int64.lognot b)
+let is_empty s = Int64.equal s 0L
+let equal = Int64.equal
+let subset a b = Int64.equal (Int64.logand a (Int64.lognot b)) 0L
+
+let count s =
+  let rec go acc b =
+    if Int64.equal b 0L then acc
+    else go (acc + 1) (Int64.logand b (Int64.sub b 1L))
+  in
+  go 0 s
+
+(* Index of the lowest set bit of a non-zero word. *)
+let lowest b = count (Int64.sub (Int64.logand b (Int64.neg b)) 1L)
+
+let iter f s =
+  let rest = ref s in
+  while not (Int64.equal !rest 0L) do
+    let i = lowest !rest in
+    f i;
+    rest := Int64.logand !rest (Int64.sub !rest 1L)
+  done
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let to_bits s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let pp ppf s =
+  Format.fprintf ppf "{%s}"
+    (String.concat "," (List.map string_of_int (to_bits s)))
+
+(* ------------------------------------------------------------------ *)
+(* Closed-form masked-sets (derivations: DESIGN.md §11).               *)
+
+let band_masked ~other ~width =
+  Int64.logand (Int64.lognot other) (width_mask width)
+
+let bor_masked ~other ~width = Int64.logand other (width_mask width)
+let bxor_masked ~width:_ = empty
+let addsub_masked ~width:_ = empty
+
+let trailing_zeros ~width x =
+  let w = Bitval.bits_in width in
+  let m = Int64.logand x (width_mask width) in
+  if Int64.equal m 0L then w else lowest m
+
+let mul_masked ~other ~width =
+  let w = Bitval.bits_in width in
+  let tz = trailing_zeros ~width other in
+  if tz = 0 then empty
+  else if tz >= w then full ~width
+  else
+    (* bit positions w-tz .. w-1 *)
+    Int64.logand
+      (Int64.shift_left (full ~width) (w - tz))
+      (width_mask width)
+
+let top_bits ~width n =
+  let w = Bitval.bits_in width in
+  if n <= 0 then empty
+  else if n >= w then full ~width
+  else Int64.logand (Int64.shift_left (full ~width) (w - n)) (width_mask width)
+
+let low_bits ~width n =
+  let w = Bitval.bits_in width in
+  if n <= 0 then empty
+  else if n >= w then full ~width
+  else Int64.sub (bit n) 1L
+
+let shl_value_masked ~amount ~width =
+  let w = Bitval.bits_in width in
+  if amount < 0 || amount >= w then full ~width
+  else top_bits ~width amount
+
+let lshr_value_masked ~amount ~width =
+  let w = Bitval.bits_in width in
+  if amount < 0 || amount >= w then full ~width
+  else low_bits ~width amount
+
+let ashr_value_masked ~amount ~width =
+  let w = Bitval.bits_in width in
+  if amount < 0 || amount >= w then
+    (* Constant sign replication: only the sign bit still matters. *)
+    remove (full ~width) (w - 1)
+  else low_bits ~width amount
+
+let eq_masked ~a ~b ~width =
+  let d = Int64.logand (Int64.logxor a b) (width_mask width) in
+  if Int64.equal d 0L then empty
+  else if Int64.equal (Int64.logand d (Int64.sub d 1L)) 0L then
+    (* one differing bit: only flipping it changes the verdict *)
+    diff (full ~width) d
+  else full ~width
+
+let trunc_masked ~width = top_bits ~width (Bitval.bits_in width - 32)
+
+let addsub_overshadow ~a ~other ~width =
+  (* Mirrors Reexec.overshadow_candidate: sign-extend through Bitval,
+     compare magnitudes with Int64.abs (min_int stays negative, exactly
+     as the scalar oracle behaves). *)
+  let o = Int64.abs (Bitval.to_int64 (Bitval.make width other)) in
+  let s = ref empty in
+  let w = Bitval.bits_in width in
+  for i = 0 to w - 1 do
+    let c =
+      Int64.abs
+        (Bitval.to_int64 (Bitval.make width (Int64.logxor a (bit i))))
+    in
+    if Int64.compare c o < 0 then s := add !s i
+  done;
+  !s

@@ -1,0 +1,102 @@
+(** A set of single-bit-flip error patterns over one operand word, stored
+    as an [int64] bit mask: bit [i] of the set stands for the pattern
+    "flip bit [i] of the operand" ({!Pattern.Single}[ i]).
+
+    The batched masking kernel ({!Moard_analysis.Masking.analyze_all})
+    classifies all patterns of a consumption site in O(1) word operations
+    where the paper's operation-level rules admit a closed form. Those
+    closed forms live here as pure functions of the raw operand words, so
+    they can be unit-tested against bit-by-bit enumeration without any IR
+    or trace machinery. *)
+
+type t = int64
+
+val empty : t
+val full : width:Bitval.width -> t
+(** The low [bits_in width] bits set: every valid single-bit pattern. *)
+
+val singleton : int -> t
+val mem : t -> int -> bool
+val add : t -> int -> t
+val remove : t -> int -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val is_empty : t -> bool
+val equal : t -> t -> bool
+val count : t -> int
+(** Population count. *)
+
+val subset : t -> t -> bool
+(** [subset a b]: every member of [a] is in [b]. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Members in ascending bit order — the canonical pattern order
+    ({!Pattern.singles}), which every consumer must preserve for
+    bit-identical accounting. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold in ascending bit order. *)
+
+val to_bits : t -> int list
+(** Members, ascending. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Closed-form masked-sets}
+
+    Each function answers: for which flipped bit positions [i] does the
+    operation's result not change at all?  Arguments are the *clean*
+    operand words, already masked to the operation's width; the returned
+    set is a subset of [full ~width].  Derivations are documented in
+    DESIGN.md §11. *)
+
+val band_masked : other:int64 -> width:Bitval.width -> t
+(** [x land other]: a flip of bit [i] of [x] vanishes iff [other] has
+    bit [i] clear — the masked set is [lnot other]. *)
+
+val bor_masked : other:int64 -> width:Bitval.width -> t
+(** [x lor other]: masked iff [other] has bit [i] set. *)
+
+val bxor_masked : width:Bitval.width -> t
+(** [x lxor other]: never masked — always {!empty}. *)
+
+val addsub_masked : width:Bitval.width -> t
+(** [x + y] and [x - y] mod 2^w: a flip of bit [i] moves the sum by
+    [±2^i mod 2^w <> 0] — always {!empty}. *)
+
+val mul_masked : other:int64 -> width:Bitval.width -> t
+(** [x * y] mod 2^w: flipping bit [i] moves the product by
+    [±2^i·y mod 2^w], zero iff [i >= w - trailing_zeros(y)] — the top
+    [trailing_zeros(other)] bit positions (all of them when [other = 0]). *)
+
+val shl_value_masked : amount:int -> width:Bitval.width -> t
+(** [x << amount] with a valid in-range amount: the top [amount] bits of
+    [x] are discarded. Out-of-range amounts yield a constant result, so
+    every flip of [x] is masked. *)
+
+val lshr_value_masked : amount:int -> width:Bitval.width -> t
+(** [x >>> amount] (logical): the low [amount] bits are discarded; an
+    out-of-range amount yields constant zero — all masked. *)
+
+val ashr_value_masked : amount:int -> width:Bitval.width -> t
+(** [x >> amount] (arithmetic): the low [amount] bits are discarded; an
+    out-of-range amount replicates the sign bit, so everything except the
+    sign bit is masked. *)
+
+val eq_masked : a:int64 -> b:int64 -> width:Bitval.width -> t
+(** [x == y] / [x != y]: let [d = a lxor b] within the width. If [d = 0]
+    any flip breaks equality (empty); if [d] has exactly one set bit only
+    that flip restores equality (all but that bit); otherwise no single
+    flip can change the verdict (full). *)
+
+val trunc_masked : width:Bitval.width -> t
+(** Truncation of a [width]-bit word to 32 bits: bits 32..63 discarded. *)
+
+val addsub_overshadow : a:int64 -> other:int64 -> width:Bitval.width -> t
+(** Integer add/sub overshadow candidates (paper §IV): flips [i] of [a]
+    for which [|sext(a lxor 2^i)| < |sext(other)|] — the corrupted
+    operand's magnitude stays below the other operand's, so the error is
+    a candidate for value overshadowing. Matches
+    {!Moard_analysis.Reexec.overshadow_candidate} bit for bit (including
+    its [Int64.abs min_int] behaviour). *)

@@ -1,5 +1,6 @@
 module Context = Moard_inject.Context
 module Outcome = Moard_inject.Outcome
+module Resolve = Moard_inject.Resolve
 module Confidence = Moard_stats.Confidence
 module Pattern = Moard_bits.Pattern
 
@@ -137,43 +138,113 @@ let stop_state (plan : Plan.t) (po : Plan.objective) st =
    function of the fault (the machine, tape and golden outputs are frozen
    and shared; each worker owns a throwaway shard for its run counters),
    so the result is independent of how jobs are dealt to domains — the
-   root of the domains=1 ≡ domains=N guarantee. *)
-let run_jobs ctx ~domains (jobs : (Context.ekey * Moard_trace.Consume.t * int) array) =
+   root of the domains=1 ≡ domains=N guarantee.
+
+   With [batch] on, the jobs of a batch are grouped by consumption site and
+   each group goes through one bit-parallel kernel sweep ({!Resolve.site}
+   restricted to the sampled bits) on the owning worker, which executes the
+   workload only for the bits the kernel cannot decide. Outcomes — and
+   hence codes, journal records and every statistic — are identical to
+   per-job injection; only wall-clock and the shard-local run counters
+   (which nothing downstream reads) change. The work unit is the site
+   (up to 64 patterns), so domains partition at site granularity and a
+   worker is never spawned without at least one unit to chew. *)
+let run_jobs ctx ~domains ~batch
+    (jobs : (Context.ekey * Moard_trace.Consume.t * int) array) =
   let nj = Array.length jobs in
   let out = Array.make nj 0 in
   let d = max 1 domains in
   let per = Array.make d 0 in
-  if nj > 0 then begin
-    let resolve sh (_, site, bit) =
-      code_of_outcome
-        (Context.inject sh (Context.fault_of_site site (Pattern.Single bit)))
-    in
-    if d = 1 then begin
-      let sh = Context.shard ctx in
-      Array.iteri (fun i j -> out.(i) <- resolve sh j) jobs;
-      per.(0) <- nj
+  if nj > 0 then
+    if batch then begin
+      (* Site-granular units, in first-appearance (= canonical job) order. *)
+      let groups : (Moard_trace.Consume.t, (int * int) list ref) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      let order = ref [] in
+      Array.iteri
+        (fun i (_, site, bit) ->
+          match Hashtbl.find_opt groups site with
+          | Some l -> l := (i, bit) :: !l
+          | None ->
+            Hashtbl.replace groups site (ref [ (i, bit) ]);
+            order := site :: !order)
+        jobs;
+      let units = Array.of_list (List.rev !order) in
+      let nu = Array.length units in
+      let d = min d nu in
+      let resolve_unit sh site =
+        let members = List.rev !(Hashtbl.find groups site) in
+        let bits =
+          List.fold_left
+            (fun acc (_, b) -> Moard_bits.Patternset.add acc b)
+            Moard_bits.Patternset.empty members
+        in
+        let outs = Resolve.site ~bits sh site in
+        List.map (fun (i, b) -> (i, code_of_outcome outs.(b))) members
+      in
+      if d = 1 then begin
+        let sh = Context.shard ctx in
+        Array.iter
+          (fun site ->
+            let rs = resolve_unit sh site in
+            per.(0) <- per.(0) + List.length rs;
+            List.iter (fun (i, c) -> out.(i) <- c) rs)
+          units
+      end
+      else begin
+        let worker w =
+          Domain.spawn (fun () ->
+              let sh = Context.shard ctx in
+              let acc = ref [] in
+              let u = ref w in
+              while !u < nu do
+                acc := List.rev_append (resolve_unit sh units.(!u)) !acc;
+                u := !u + d
+              done;
+              !acc)
+        in
+        let handles = List.init d worker in
+        List.iteri
+          (fun w h ->
+            let rs = Domain.join h in
+            per.(w) <- per.(w) + List.length rs;
+            List.iter (fun (i, c) -> out.(i) <- c) rs)
+          handles
+      end
     end
     else begin
-      let worker w =
-        Domain.spawn (fun () ->
-            let sh = Context.shard ctx in
-            let acc = ref [] in
-            let i = ref w in
-            while !i < nj do
-              acc := (!i, resolve sh jobs.(!i)) :: !acc;
-              i := !i + d
-            done;
-            !acc)
+      let resolve sh (_, site, bit) =
+        code_of_outcome
+          (Context.inject sh (Context.fault_of_site site (Pattern.Single bit)))
       in
-      let handles = List.init d worker in
-      List.iteri
-        (fun w h ->
-          let rs = Domain.join h in
-          per.(w) <- per.(w) + List.length rs;
-          List.iter (fun (i, c) -> out.(i) <- c) rs)
-        handles
-    end
-  end;
+      let d = min d nj in
+      if d = 1 then begin
+        let sh = Context.shard ctx in
+        Array.iteri (fun i j -> out.(i) <- resolve sh j) jobs;
+        per.(0) <- nj
+      end
+      else begin
+        let worker w =
+          Domain.spawn (fun () ->
+              let sh = Context.shard ctx in
+              let acc = ref [] in
+              let i = ref w in
+              while !i < nj do
+                acc := (!i, resolve sh jobs.(!i)) :: !acc;
+                i := !i + d
+              done;
+              !acc)
+        in
+        let handles = List.init d worker in
+        List.iteri
+          (fun w h ->
+            let rs = Domain.join h in
+            per.(w) <- per.(w) + List.length rs;
+            List.iter (fun (i, c) -> out.(i) <- c) rs)
+          handles
+      end
+    end;
   (out, per)
 
 let apply_sample st ~stratum ~code =
@@ -182,7 +253,7 @@ let apply_sample st ~stratum ~code =
   st.by_code.(code) <- st.by_code.(code) + 1;
   st.samples <- st.samples + 1
 
-let run_batch ctx (plan : Plan.t) oi st ~domains ~writer ~per_domain
+let run_batch ctx (plan : Plan.t) oi st ~domains ~batch ~writer ~per_domain
     ~inject_seconds =
   let po = plan.Plan.objectives.(oi) in
   let ns = Array.length po.Plan.strata in
@@ -240,7 +311,7 @@ let run_batch ctx (plan : Plan.t) oi st ~domains ~writer ~per_domain
   in
   let jobs = Array.of_list (List.rev !jobs) in
   let t = Unix.gettimeofday () in
-  let codes, per = run_jobs ctx ~domains jobs in
+  let codes, per = run_jobs ctx ~domains ~batch jobs in
   inject_seconds := !inject_seconds +. (Unix.gettimeofday () -. t);
   Array.iteri (fun w c -> per_domain.(w) <- per_domain.(w) + c) per;
   Array.iteri (fun i (key, _, _) -> Hashtbl.replace st.memo key codes.(i)) jobs;
@@ -305,9 +376,12 @@ let meta_of (plan : Plan.t) extra =
   ]
   @ extra
 
-let run_internal ~domains ~max_batches ~should_stop ~writer ~replayed ctx
-    (plan : Plan.t) ~plan_hash =
+let run_internal ~domains ~batch ~max_batches ~should_stop ~writer ~replayed
+    ctx (plan : Plan.t) ~plan_hash =
   let t0 = Unix.gettimeofday () in
+  (* More workers than cores only adds scheduling overhead (the workload
+     is CPU-bound); silently cap rather than make domains=N a footgun. *)
+  let domains = min (max 1 domains) (Domain.recommended_domain_count ()) in
   let states = Array.map init_state plan.Plan.objectives in
   replay_records ctx plan states replayed;
   let per_domain = Array.make (max 1 domains) 0 in
@@ -327,7 +401,7 @@ let run_internal ~domains ~max_batches ~should_stop ~writer ~replayed ctx
               || should_stop ()
             then stopped := Some Interrupted
             else begin
-              run_batch ctx plan oi st ~domains ~writer ~per_domain
+              run_batch ctx plan oi st ~domains ~batch ~writer ~per_domain
                 ~inject_seconds;
               incr batches
             end
@@ -393,8 +467,8 @@ let run_internal ~domains ~max_batches ~should_stop ~writer ~replayed ctx
 
 let never () = false
 
-let run ?(domains = 1) ?journal ?(journal_meta = []) ?max_batches
-    ?(should_stop = never) ctx plan =
+let run ?(domains = 1) ?(batch = true) ?journal ?(journal_meta = [])
+    ?max_batches ?(should_stop = never) ctx plan =
   let plan_hash = Plan.hash plan in
   let writer =
     Option.map
@@ -402,13 +476,13 @@ let run ?(domains = 1) ?journal ?(journal_meta = []) ?max_batches
         Journal.create ~path ~plan_hash ~meta:(meta_of plan journal_meta))
       journal
   in
-  run_internal ~domains ~max_batches ~should_stop ~writer ~replayed:[] ctx
-    plan ~plan_hash
+  run_internal ~domains ~batch ~max_batches ~should_stop ~writer ~replayed:[]
+    ctx plan ~plan_hash
 
-let resume ?(domains = 1) ?max_batches ?(should_stop = never) ~journal ctx
-    plan =
+let resume ?(domains = 1) ?(batch = true) ?max_batches ?(should_stop = never)
+    ~journal ctx plan =
   let plan_hash = Plan.hash plan in
   let replayed = Journal.replay ~path:journal ~plan_hash in
   let writer = Some (Journal.reopen ~path:journal ~plan_hash) in
-  run_internal ~domains ~max_batches ~should_stop ~writer ~replayed ctx plan
-    ~plan_hash
+  run_internal ~domains ~batch ~max_batches ~should_stop ~writer ~replayed
+    ctx plan ~plan_hash

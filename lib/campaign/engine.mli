@@ -78,6 +78,7 @@ type result = {
 
 val run :
   ?domains:int ->
+  ?batch:bool ->
   ?journal:string ->
   ?journal_meta:(string * string) list ->
   ?max_batches:int ->
@@ -85,7 +86,16 @@ val run :
   Moard_inject.Context.t ->
   Plan.t ->
   result
-(** Execute a campaign. [domains] defaults to 1. [journal] starts a fresh
+(** Execute a campaign. [domains] defaults to 1 and is silently capped at
+    [Domain.recommended_domain_count ()] — oversubscribing a CPU-bound
+    pool only adds overhead; within a batch, workers partition at site
+    granularity and never spawn without a unit of work. [batch] (default
+    [true]) resolves each site's sampled bits through the bit-parallel
+    kernel ({!Moard_inject.Resolve.site}), executing the workload only for
+    the bits it cannot decide; outcome codes, journal contents and every
+    count/estimate in the result are identical either way (the [runs] /
+    [cache_hits] split counts distinct equivalence classes, not machine
+    executions, so it too is unchanged). [journal] starts a fresh
     journal at the path (truncating); [journal_meta] adds extra header
     pairs (e.g. the registry benchmark name, so the CLI can resume without
     being told it again). [max_batches] is the bounded-step testing
@@ -97,6 +107,7 @@ val run :
 
 val resume :
   ?domains:int ->
+  ?batch:bool ->
   ?max_batches:int ->
   ?should_stop:(unit -> bool) ->
   journal:string ->

@@ -67,6 +67,34 @@ let add_pattern t ~weight ~stage verdict =
       t.kind_sum.(ki) <- t.kind_sum.(ki) +. weight
     end
 
+let add_pattern_set t ~weight ~stage ~count verdict =
+  if count < 0 then invalid_arg "Advf.add_pattern_set: count";
+  if count > 0 then begin
+    t.patterns <- t.patterns + count;
+    (match stage with
+    | Op -> t.op_n <- t.op_n + count
+    | Prop -> t.prop_n <- t.prop_n + count
+    | Fi -> t.fi_n <- t.fi_n + count
+    | Cached -> t.cached_n <- t.cached_n + count
+    | Gave_up -> t.gave_up <- t.gave_up + count);
+    match (verdict : Verdict.t) with
+    | Verdict.Not_masked -> ()
+    | Verdict.Masked (level, kind) ->
+      (* [weight] is an exact power of two (1/1, 1/32 or 1/64), so
+         [count *. weight] equals [count] repeated additions of [weight]
+         exactly: every partial sum is a dyadic rational well inside the
+         53-bit mantissa. Bulk absorption is bit-identical to the scalar
+         stream. *)
+      let w = weight *. float_of_int count in
+      t.events <- t.events +. w;
+      let li = Verdict.level_index level in
+      t.level_sum.(li) <- t.level_sum.(li) +. w;
+      if level <> Verdict.Algorithm then begin
+        let ki = Verdict.kind_index kind in
+        t.kind_sum.(ki) <- t.kind_sum.(ki) +. w
+      end
+  end
+
 let absorb t other =
   if not (String.equal t.object_name other.object_name) then
     invalid_arg "Advf.absorb: object names differ";

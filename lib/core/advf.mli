@@ -37,6 +37,15 @@ val add_involvement : t -> unit
 val add_pattern : t -> weight:float -> stage:stage -> Verdict.t -> unit
 (** [weight] is 1 / (patterns of this involvement). *)
 
+val add_pattern_set : t -> weight:float -> stage:stage -> count:int ->
+  Verdict.t -> unit
+(** Absorb [count] patterns sharing one verdict and stage in O(1) — the
+    popcount fast path of the batched kernel. Bit-identical to [count]
+    calls of {!add_pattern} whenever [weight] is a power of two and the
+    involvement has at most 64 patterns (single-bit pattern sets always
+    satisfy both; see the comment in the implementation).
+    @raise Invalid_argument on a negative count. *)
+
 val absorb : t -> t -> unit
 (** [absorb t other] folds [other]'s accumulated state into [t] — the
     online counterpart of {!merge}: verdict streams accumulated separately

@@ -1,69 +1,2 @@
-module I = Moard_ir.Instr
-module Event = Moard_trace.Event
-module Tape = Moard_trace.Tape
-
-let scan_window = 128
-
-(* Most recent event before [from] defining register [reg] of [frame]. *)
-let defining_event tape ~from ~frame ~reg =
-  let rec go idx remaining =
-    if idx < 0 || remaining = 0 then None
-    else
-      let e = Tape.get tape idx in
-      match e.Event.write with
-      | Event.Wreg w when w.frame = frame && w.reg = reg -> Some e
-      | _ ->
-        (* A call event "defines" the callee's parameter registers. *)
-        if e.Event.callee_frame = frame && reg < Array.length e.Event.reads
-        then Some e
-        else go (idx - 1) (remaining - 1)
-  in
-  go (from - 1) scan_window
-
-(* Slot through which [e] consumes the cell at [addr], if any. *)
-let consuming_slot (e : Event.t) ~addr =
-  let found = ref None in
-  Array.iteri
-    (fun slot (r : Event.read) ->
-      if !found = None && r.prov = addr then found := Some slot)
-    e.Event.reads;
-  !found
-
-let store_rmw_source ~tape (e : Event.t) =
-  match (e.Event.instr, e.Event.write) with
-  | I.Store _, Event.Wmem { addr; _ } -> (
-    match List.hd (I.reads e.Event.instr) with
-    | I.Imm _ | I.Glob _ -> None
-    | I.Reg reg ->
-      let rec through_copies frame reg depth =
-        if depth = 0 then None
-        else
-          match defining_event tape ~from:e.Event.idx ~frame ~reg with
-          | None -> None
-          | Some def -> (
-            match def.Event.instr with
-            | I.Mov (_, I.Reg src) ->
-              through_copies def.Event.frame src (depth - 1)
-            | I.Call (_, _, _) when def.Event.callee_frame = frame -> (
-              (* parameter copy: follow the caller's argument *)
-              match List.nth_opt (I.reads def.Event.instr) reg with
-              | Some (I.Reg src) ->
-                through_copies def.Event.frame src (depth - 1)
-              | _ -> None)
-            | I.Ret (Some (I.Reg src)) ->
-              through_copies def.Event.frame src (depth - 1)
-            | I.Load _ ->
-              (* A pure copy of the cell itself: the store re-writes what
-                 it read. Attribute to the load's eventual consumer — the
-                 store's own value slot. *)
-              if def.Event.load_addr = addr then Some (e.Event.idx, 0)
-              else None
-            | _ ->
-              (* the defining computation: does it directly consume the
-                 destination element? *)
-              Option.map
-                (fun slot -> (def.Event.idx, slot))
-                (consuming_slot def ~addr))
-      in
-      through_copies e.Event.frame reg 8)
-  | _ -> None
+(* Compatibility alias for {!Moard_analysis.Derive}. *)
+include Moard_analysis.Derive

@@ -1,55 +1,2 @@
-module Bitval = Moard_bits.Bitval
-module Pattern = Moard_bits.Pattern
-module Event = Moard_trace.Event
-module Consume = Moard_trace.Consume
-
-type t =
-  | Masked of Verdict.kind
-  | Changed of { out : changed_out; overshadow : bool }
-  | Crash_certain of Moard_vm.Trap.t
-  | Divergent
-
-and changed_out =
-  | To_reg of { frame : int; reg : int; value : Moard_bits.Bitval.t }
-  | To_mem of { addr : int; value : Moard_bits.Bitval.t; ty : Moard_ir.Types.t }
-
-let analyze (e : Event.t) kind pattern =
-  match (kind : Consume.kind) with
-  | Consume.Store_dest ->
-    (* The store writes a new value over the corrupted element: value
-       overwriting, whatever the corrupted bit (paper §III-C (1)).
-       Read-modify-write stores never reach this case — the model
-       delegates them to the statement's deriving read (see {!Derive}). *)
-    Masked Verdict.Overwrite
-  | Consume.Read { slot } -> (
-    if not (Consume.consuming_event e) then
-      invalid_arg "Masking.analyze: not a consuming operation";
-    if slot < 0 || slot >= Array.length e.reads then
-      invalid_arg "Masking.analyze: slot out of range";
-    let values = Array.map (fun (r : Event.read) -> r.value) e.reads in
-    let corrupt = Pattern.apply pattern values.(slot) in
-    values.(slot) <- corrupt;
-    let overshadow = Reexec.overshadow_candidate e ~slot ~corrupt in
-    match (Reexec.recompute e values, Reexec.clean_out e) with
-    | Reexec.Rtrap trap, _ -> Crash_certain trap
-    | Reexec.Rctl taken', Reexec.Rctl taken ->
-      if taken = taken' then Masked Verdict.Logic_cmp else Divergent
-    | Reexec.Rreg v', Reexec.Rreg v ->
-      if Bitval.equal v' v then Masked (Reexec.exact_mask_kind e.instr ~slot)
-      else (
-        match e.write with
-        | Event.Wreg { frame; reg; _ } ->
-          Changed { out = To_reg { frame; reg; value = v' }; overshadow }
-        | Event.Wmem _ | Event.Wnone ->
-          invalid_arg "Masking.analyze: register result without a register write")
-    | Reexec.Rmem (addr', v', ty), Reexec.Rmem (addr, v, _) ->
-      if addr' <> addr then
-        (* Only possible when the address operand itself carried the
-           element; treat as a wild store needing ground truth. *)
-        Divergent
-      else if Bitval.equal v' v then
-        Masked (Reexec.exact_mask_kind e.instr ~slot)
-      else Changed { out = To_mem { addr; value = v'; ty }; overshadow }
-    | (Reexec.Rload _ | Reexec.Rcall | Reexec.Rret _ | Reexec.Rnone), _ ->
-      invalid_arg "Masking.analyze: not a consuming operation"
-    | _, _ -> invalid_arg "Masking.analyze: output shape mismatch")
+(* Compatibility alias for {!Moard_analysis.Masking}. *)
+include Moard_analysis.Masking

@@ -5,6 +5,7 @@ module Tape = Moard_trace.Tape
 module Event = Moard_trace.Event
 module Bitval = Moard_bits.Bitval
 module Pattern = Moard_bits.Pattern
+module Ps = Moard_bits.Patternset
 
 type options = {
   k : int;
@@ -12,10 +13,18 @@ type options = {
   fi_budget : int;
   use_cache : bool;
   multi : [ `Burst of int | `Pair of int ] list;
+  batch : bool;
 }
 
 let default_options =
-  { k = 50; shadow_cap = 256; fi_budget = -1; use_cache = true; multi = [] }
+  {
+    k = 50;
+    shadow_cap = 256;
+    fi_budget = -1;
+    use_cache = true;
+    multi = [];
+    batch = true;
+  }
 
 type vkey = {
   k_iid : Moard_ir.Iid.t;
@@ -54,6 +63,27 @@ let analyze ?(options = default_options) ?site_filter ctx ~object_name =
   let acc = Advf.create object_name in
   let vcache : (vkey, Verdict.t * Advf.stage) Hashtbl.t =
     Hashtbl.create 4096
+  in
+  (* Batched path: one cache entry per site *class* (instruction identity,
+     slot, clean operand words) holding the whole per-bit verdict vector.
+     The scalar [vcache] only ever hits in full-site groups — two sites
+     share one pattern's key iff they share every pattern's key — so
+     class-level caching reproduces its hit pattern exactly. *)
+  let scache : (vkey, Verdict.t array) Hashtbl.t = Hashtbl.create 1024 in
+  let class_key_of (site : Consume.t) =
+    let e = Tape.get tape site.Consume.event_idx in
+    {
+      k_iid = e.Event.iid;
+      k_site =
+        (match site.Consume.kind with
+        | Consume.Read { slot } -> slot
+        | Consume.Store_dest -> -1);
+      k_reads =
+        Array.map
+          (fun (r : Event.read) -> (r.value : Bitval.t).bits)
+          e.Event.reads;
+      k_bits = [];
+    }
   in
   let fi_runs0 = Context.runs ctx and fi_hits0 = Context.cache_hits ctx in
   let budget_left () =
@@ -110,8 +140,7 @@ let analyze ?(options = default_options) ?site_filter ctx ~object_name =
   (* Sites stream off a whole-tape cursor and their verdicts fold into the
      accumulator online — neither a site list nor a verdict list is ever
      materialized. [site_filter] sees each site's enumeration index. *)
-  let process site =
-    Advf.add_involvement acc;
+  let scalar_patterns site =
     let patterns =
       match options.multi with
       | [] -> Consume.patterns site
@@ -133,6 +162,87 @@ let analyze ?(options = default_options) ?site_filter ctx ~object_name =
         in
         Advf.add_pattern acc ~weight ~stage verdict)
       patterns
+  in
+  (* Mirror [resolve]'s read-modify-write delegation once per site — the
+     redirection is pattern-independent. *)
+  let rec redirect (site : Consume.t) =
+    let e = Tape.get tape site.Consume.event_idx in
+    match site.Consume.kind with
+    | Consume.Store_dest when Derive.store_rmw_source ~tape e <> None ->
+      let idx, slot = Option.get (Derive.store_rmw_source ~tape e) in
+      redirect
+        { site with Consume.event_idx = idx; kind = Consume.Read { slot } }
+    | _ -> (site, e)
+  in
+  (* Bit-parallel per-site path: classify the whole single-bit pattern set
+     in one [Masking.analyze_all] call, absorb the masked and crash sets
+     by popcount, and walk only the changed/divergent survivors through
+     the unchanged propagation/fault-injection sequence — in ascending bit
+     order, so cache and budget consumption (and hence the report) are
+     byte-identical to the scalar stream. *)
+  let batched_patterns site =
+    let stream_cached verdicts =
+      let weight = 1.0 /. float_of_int (Array.length verdicts) in
+      Array.iter
+        (fun v -> Advf.add_pattern acc ~weight ~stage:Advf.Cached v)
+        verdicts
+    in
+    match
+      if options.use_cache then Hashtbl.find_opt scache (class_key_of site)
+      else None
+    with
+    | Some verdicts -> stream_cached verdicts
+    | None ->
+      let rsite, re = redirect site in
+      let v = Masking.analyze_all re rsite.Consume.kind in
+      if v.Masking.width <> site.Consume.width then
+        (* A width-changing delegation would desynchronize the pattern
+           sets; fall back to the scalar per-pattern walk. *)
+        scalar_patterns site
+      else begin
+        let n = Bitval.bits_in site.Consume.width in
+        let weight = 1.0 /. float_of_int n in
+        let verdicts = Array.make n Verdict.Not_masked in
+        let masked_v = Verdict.Masked (Verdict.Operation, v.Masking.mask_kind) in
+        Ps.iter (fun b -> verdicts.(b) <- masked_v) v.Masking.masked;
+        Advf.add_pattern_set acc ~weight ~stage:Advf.Op
+          ~count:(Ps.count v.Masking.masked) masked_v;
+        Advf.add_pattern_set acc ~weight ~stage:Advf.Op
+          ~count:(Ps.count v.Masking.crash) Verdict.Not_masked;
+        Ps.iter
+          (fun b ->
+            let verdict, stage =
+              if Ps.mem v.Masking.divergent b then
+                fi rsite (Pattern.Single b) ~overshadow:false
+              else
+                let out, overshadow =
+                  Masking.changed_out_at re rsite.Consume.kind ~bit:b
+                in
+                match
+                  Propagation.replay ~tape ~k:options.k
+                    ~shadow_cap:options.shadow_cap ~outputs
+                    ~start:rsite.Consume.event_idx ~init:(init_of_changed out)
+                with
+                | Propagation.Masked kind ->
+                  if overshadow then
+                    ( Verdict.Masked (Verdict.Operation, Verdict.Overshadow),
+                      Advf.Prop )
+                  else (Verdict.Masked (Verdict.Propagation, kind), Advf.Prop)
+                | Propagation.Crash_certain _ -> (Verdict.Not_masked, Advf.Prop)
+                | Propagation.Unresolved _ ->
+                  fi rsite (Pattern.Single b) ~overshadow
+            in
+            verdicts.(b) <- verdict;
+            Advf.add_pattern acc ~weight ~stage verdict)
+          (Ps.union v.Masking.changed v.Masking.divergent);
+        if options.use_cache then
+          Hashtbl.replace scache (class_key_of site) verdicts
+      end
+  in
+  let process site =
+    Advf.add_involvement acc;
+    if options.batch && options.multi = [] then batched_patterns site
+    else scalar_patterns site
   in
   Consume.iter_sites ~segment:(Context.segment ctx)
     (Tape.Cursor.of_tape tape) obj

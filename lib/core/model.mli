@@ -19,10 +19,19 @@ type options = {
   use_cache : bool;     (** error-equivalence memoization *)
   multi : [ `Burst of int | `Pair of int ] list;
       (** extra multi-bit pattern families (§VII-B); default none *)
+  batch : bool;
+      (** classify each site's whole single-bit pattern set through the
+          bit-parallel kernel ({!Masking.analyze_all}) and absorb the
+          masked/crash sets by popcount, walking only changed/divergent
+          bits through propagation and fault injection. Reports are
+          byte-identical to the scalar walk (the differential suite checks
+          this); only wall-clock changes. Ignored — the scalar walk is
+          used — when [multi] is non-empty. *)
 }
 
 val default_options : options
-(** k = 50, shadow_cap = 256, unlimited fault injection, cache on. *)
+(** k = 50, shadow_cap = 256, unlimited fault injection, cache on,
+    batched kernel on. *)
 
 val analyze :
   ?options:options -> ?site_filter:(int -> bool) ->

@@ -1,222 +1,2 @@
-module Bitval = Moard_bits.Bitval
-module Event = Moard_trace.Event
-module Tape = Moard_trace.Tape
-module Data_object = Moard_trace.Data_object
-module I = Moard_ir.Instr
-
-type init =
-  | From_reg of { frame : int; reg : int; value : Bitval.t }
-  | From_mem of { addr : int; value : Bitval.t; ty : Moard_ir.Types.t }
-
-type unresolved_reason =
-  | Control_divergence
-  | Wild_access
-  | Window_exhausted
-  | Explosion
-  | Output_contaminated
-
-type outcome =
-  | Masked of Verdict.kind
-  | Crash_certain of Moard_vm.Trap.t
-  | Unresolved of unresolved_reason
-
-let reason_name = function
-  | Control_divergence -> "control-divergence"
-  | Wild_access -> "wild-access"
-  | Window_exhausted -> "window-exhausted"
-  | Explosion -> "explosion"
-  | Output_contaminated -> "output-contaminated"
-
-exception Stop of outcome
-
-type state = {
-  tape : Tape.t;
-  outputs : Data_object.t list;
-  shadow_cap : int;
-  regs : (int * int, Bitval.t) Hashtbl.t;
-  mem : (int, Bitval.t * Moard_ir.Types.t) Hashtbl.t;
-  mutable last_kind : Verdict.kind;
-}
-
-let in_outputs st addr =
-  List.exists (fun o -> Data_object.contains o addr) st.outputs
-
-let size st = Hashtbl.length st.regs + Hashtbl.length st.mem
-
-(* Contamination that can never be consumed again is dropped on the spot:
-   a latent error outside the outputs cannot affect the outcome. *)
-let add_reg st ~pos ~frame ~reg value =
-  if Tape.last_reg_read st.tape ~frame ~reg > pos then begin
-    Hashtbl.replace st.regs (frame, reg) value;
-    if size st > st.shadow_cap then raise (Stop (Unresolved Explosion))
-  end
-  else st.last_kind <- Verdict.Other
-
-let add_mem st ~pos ~addr value ty =
-  if Tape.last_mem_read st.tape ~addr > pos || in_outputs st addr then begin
-    Hashtbl.replace st.mem addr (value, ty);
-    if size st > st.shadow_cap then raise (Stop (Unresolved Explosion))
-  end
-  else st.last_kind <- Verdict.Other
-
-let kill_reg st ~frame ~reg =
-  if Hashtbl.mem st.regs (frame, reg) then begin
-    Hashtbl.remove st.regs (frame, reg);
-    st.last_kind <- Verdict.Overwrite
-  end
-
-let kill_mem st ~addr =
-  if Hashtbl.mem st.mem addr then begin
-    Hashtbl.remove st.mem addr;
-    st.last_kind <- Verdict.Overwrite
-  end
-
-(* Corrupted view of the event's operand values; [None] if untouched. *)
-let corrupted_inputs st (e : Event.t) =
-  let ops = I.reads e.instr in
-  let any = ref false in
-  let values =
-    Array.mapi
-      (fun slot (r : Event.read) ->
-        match List.nth ops slot with
-        | I.Reg reg -> (
-          match Hashtbl.find_opt st.regs (e.frame, reg) with
-          | Some v ->
-            any := true;
-            v
-          | None -> r.value)
-        | I.Imm _ | I.Glob _ -> r.value)
-      e.reads
-  in
-  (* A load from a contaminated cell consumes corruption even though its
-     address operand is clean. *)
-  let loaded =
-    if e.load_addr >= 0 then Hashtbl.find_opt st.mem e.load_addr else None
-  in
-  (!any, values, loaded)
-
-let step st pos (e : Event.t) =
-  let dirty, values, loaded = corrupted_inputs st e in
-  if not (dirty || Option.is_some loaded) then begin
-    (* Clean event: it can only destroy contamination by overwriting. *)
-    match e.write with
-    | Event.Wreg { frame; reg; _ } -> kill_reg st ~frame ~reg
-    | Event.Wmem { addr; _ } -> kill_mem st ~addr
-    | Event.Wnone -> ()
-  end
-  else
-    match e.instr with
-    | I.Load (_, ty, _) -> (
-      if dirty then
-        (* Contaminated address: the load would read some other cell. *)
-        raise (Stop (Unresolved Wild_access));
-      match loaded with
-      | Some (v, sty) -> (
-        if not (Moard_ir.Types.equal ty sty) then
-          raise (Stop (Unresolved Wild_access));
-        match e.write with
-        | Event.Wreg { frame; reg; _ } -> add_reg st ~pos ~frame ~reg v
-        | Event.Wmem _ | Event.Wnone -> ())
-      | None -> ())
-    | I.Store (ty, _, _) -> (
-      let addr_op_dirty =
-        match I.reads e.instr with
-        | [ _; I.Reg reg ] -> Hashtbl.mem st.regs (e.frame, reg)
-        | _ -> false
-      in
-      if addr_op_dirty then raise (Stop (Unresolved Wild_access));
-      match e.write with
-      | Event.Wmem { addr; value; _ } ->
-        if Bitval.equal values.(0) value then kill_mem st ~addr
-        else add_mem st ~pos ~addr values.(0) ty
-      | Event.Wreg _ | Event.Wnone -> ())
-    | I.Call _ when e.callee_frame >= 0 ->
-      (* Corrupted arguments contaminate the callee's parameter registers;
-         the caller's registers stay contaminated and die by liveness. *)
-      Array.iteri
-        (fun slot (r : Event.read) ->
-          if not (Bitval.equal values.(slot) r.value) then
-            add_reg st ~pos ~frame:e.callee_frame ~reg:slot values.(slot))
-        e.reads
-    | I.Ret _ ->
-      if
-        e.ret_to_frame >= 0 && e.ret_to_reg >= 0
-        && Array.length e.reads > 0
-        && not (Bitval.equal values.(0) e.reads.(0).Event.value)
-      then add_reg st ~pos ~frame:e.ret_to_frame ~reg:e.ret_to_reg values.(0)
-    | I.Br _ -> ()
-    | _ -> (
-      match (Reexec.recompute e values, Reexec.clean_out e) with
-      | Reexec.Rtrap trap, _ -> raise (Stop (Crash_certain trap))
-      | Reexec.Rctl taken', Reexec.Rctl taken ->
-        if taken' <> taken then raise (Stop (Unresolved Control_divergence))
-        else st.last_kind <- Verdict.Logic_cmp
-      | Reexec.Rreg v', Reexec.Rreg v -> (
-        match e.write with
-        | Event.Wreg { frame; reg; _ } ->
-          if Bitval.equal v' v then begin
-            (* The corruption was masked by this operation: the result is
-               clean despite contaminated inputs, so a contaminated
-               destination (if any) is cleansed as well. *)
-            Hashtbl.remove st.regs (frame, reg);
-            let slot = ref 0 in
-            Array.iteri
-              (fun s (r : Event.read) ->
-                if not (Bitval.equal values.(s) r.value) then slot := s)
-              e.reads;
-            st.last_kind <- Reexec.exact_mask_kind e.instr ~slot:!slot
-          end
-          else add_reg st ~pos ~frame ~reg v'
-        | Event.Wmem _ | Event.Wnone -> ())
-      | _, _ -> ())
-
-let final st ~end_pos ~at_tape_end =
-  let live_reg = ref false and live_mem = ref false and in_out = ref false in
-  Hashtbl.iter
-    (fun (frame, reg) _ ->
-      if Tape.last_reg_read st.tape ~frame ~reg > end_pos then live_reg := true)
-    st.regs;
-  Hashtbl.iter
-    (fun addr _ ->
-      if in_outputs st addr then in_out := true
-      else if Tape.last_mem_read st.tape ~addr > end_pos then live_mem := true)
-    st.mem;
-  if !in_out then
-    Unresolved (if at_tape_end then Output_contaminated else Window_exhausted)
-  else if !live_reg || !live_mem then Unresolved Window_exhausted
-  else Masked st.last_kind
-
-let replay ~tape ~k ~shadow_cap ~outputs ~start ~init =
-  let st =
-    {
-      tape;
-      outputs;
-      shadow_cap;
-      regs = Hashtbl.create 16;
-      mem = Hashtbl.create 16;
-      last_kind = Verdict.Other;
-    }
-  in
-  try
-    (match init with
-    | From_reg { frame; reg; value } -> add_reg st ~pos:start ~frame ~reg value
-    | From_mem { addr; value; ty } -> add_mem st ~pos:start ~addr value ty);
-    let len = Tape.length tape in
-    let stop = min (start + k) (len - 1) in
-    (* The k-window is a sub-cursor: the replay streams it and never
-       touches the tape outside [start+1, stop]. *)
-    let window = Tape.Cursor.window tape ~lo:(start + 1) ~hi:(stop + 1) in
-    while
-      Tape.Cursor.has_next window
-      && (Hashtbl.length st.regs > 0 || Hashtbl.length st.mem > 0)
-    do
-      let pos = Tape.Cursor.pos window in
-      step st pos (Tape.Cursor.next window)
-    done;
-    if Hashtbl.length st.regs = 0 && Hashtbl.length st.mem = 0 then
-      Masked st.last_kind
-    else
-      final st
-        ~end_pos:(min (Tape.Cursor.pos window) stop)
-        ~at_tape_end:(stop = len - 1)
-  with Stop outcome -> outcome
+(* Compatibility alias for {!Moard_analysis.Propagation}. *)
+include Moard_analysis.Propagation

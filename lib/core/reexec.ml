@@ -1,101 +1,2 @@
-(** Re-execution of a single traced operation with substituted operand
-    values. Both the operation-level analysis and the propagation replay
-    ask the same question — "what would this operation have produced had
-    this input been corrupted?" — and answer it here, using the very same
-    {!Moard_vm.Semantics} the interpreter runs on. *)
-
-module I = Moard_ir.Instr
-module Bitval = Moard_bits.Bitval
-module Event = Moard_trace.Event
-module Semantics = Moard_vm.Semantics
-
-type out =
-  | Rreg of Bitval.t                          (* value for the dest register *)
-  | Rmem of int * Bitval.t * Moard_ir.Types.t (* store: addr, value, ty *)
-  | Rload of int                              (* load from this address *)
-  | Rctl of int                               (* branch to this label *)
-  | Rcall                                     (* user call: args flow to params *)
-  | Rret of Bitval.t option
-  | Rnone
-  | Rtrap of Moard_vm.Trap.t
-
-(* The clean output, read back from the event record. *)
-let clean_out (e : Event.t) =
-  match e.instr with
-  | I.Store _ -> (
-    match e.write with
-    | Event.Wmem { addr; value; ty } -> Rmem (addr, value, ty)
-    | Event.Wreg _ | Event.Wnone -> Rnone)
-  | I.Load _ -> Rload e.load_addr
-  | I.Br _ | I.Cbr _ -> Rctl e.taken
-  | I.Ret None -> Rret None
-  | I.Ret (Some _) -> Rret (Some e.reads.(0).Event.value)
-  | I.Call _ when e.callee_frame >= 0 -> Rcall
-  | _ -> (
-    match e.write with
-    | Event.Wreg { value; _ } -> Rreg value
-    | Event.Wmem _ | Event.Wnone -> Rnone)
-
-let addr_of v = Int64.to_int (Bitval.to_int64 v)
-
-(* Recompute the event's output from (possibly corrupted) operand values. *)
-let recompute (e : Event.t) (values : Bitval.t array) =
-  let v i = values.(i) in
-  match e.instr with
-  | I.Mov _ -> Rreg (v 0)
-  | I.Ibin (_, op, ty, _, _) -> (
-    match Semantics.ibin op ty (v 0) (v 1) with
-    | Ok r -> Rreg r
-    | Error trap -> Rtrap trap)
-  | I.Fbin (_, op, _, _) -> Rreg (Semantics.fbin op (v 0) (v 1))
-  | I.Icmp (_, op, _, _, _) -> Rreg (Semantics.icmp op (v 0) (v 1))
-  | I.Fcmp (_, op, _, _) -> Rreg (Semantics.fcmp op (v 0) (v 1))
-  | I.Cast (_, c, _) -> Rreg (Semantics.cast c (v 0))
-  | I.Load _ -> Rload (addr_of (v 0))
-  | I.Store (ty, _, _) -> Rmem (addr_of (v 1), v 0, ty)
-  | I.Gep (_, _, _, scale) -> Rreg (Semantics.gep (v 0) (v 1) scale)
-  | I.Select _ -> Rreg (Semantics.select (v 0) (v 1) (v 2))
-  | I.Call (_, callee, _) ->
-    if e.callee_frame >= 0 then Rcall
-    else (
-      match Semantics.intrinsic callee (Array.to_list values) with
-      | Ok r -> Rreg r
-      | Error trap -> Rtrap trap)
-  | I.Br l -> Rctl l
-  | I.Cbr (_, l1, l2) -> Rctl (if Bitval.to_bool (v 0) then l1 else l2)
-  | I.Ret None -> Rret None
-  | I.Ret (Some _) -> Rret (Some (v 0))
-
-(* The masking kind an operation exhibits when a corrupted input leaves its
-   result unchanged (paper §III-C):
-   - shifts and truncating casts discard bits        -> value overwriting;
-   - logical/comparison/selection results unchanged  -> logic & comparison;
-   - additive absorption by a larger operand         -> value overshadowing;
-   - anything else exact                             -> other. *)
-let exact_mask_kind (instr : I.t) ~slot =
-  match instr with
-  | I.Ibin (_, (I.Shl | I.Lshr | I.Ashr), _, _, _) ->
-    if slot = 0 then Verdict.Overwrite else Verdict.Other
-  | I.Ibin (_, (I.And | I.Or | I.Xor), _, _, _) -> Verdict.Logic_cmp
-  | I.Ibin (_, (I.Add | I.Sub), _, _, _) | I.Fbin (_, (I.Fadd | I.Fsub), _, _)
-    -> Verdict.Overshadow
-  | I.Icmp _ | I.Fcmp _ | I.Select _ | I.Cbr _ -> Verdict.Logic_cmp
-  | I.Cast (_, (I.Trunc_to_i32 | I.Fp_to_si | I.Si_to_fp), _) ->
-    Verdict.Overwrite
-  | _ -> Verdict.Other
-
-(* Whether a corrupted value [corrupt] in slot [slot] of an addition or
-   subtraction is an overshadowing candidate: its magnitude stays below the
-   other (correct) operand's (paper §IV). *)
-let overshadow_candidate (e : Event.t) ~slot ~(corrupt : Bitval.t) =
-  let other_slot = 1 - slot in
-  match e.instr with
-  | I.Fbin (_, (I.Fadd | I.Fsub), _, _) when slot <= 1 ->
-    let c = Float.abs (Bitval.to_float corrupt) in
-    let o = Float.abs (Bitval.to_float e.reads.(other_slot).Event.value) in
-    Float.is_finite c && c < o
-  | I.Ibin (_, (I.Add | I.Sub), _, _, _) when slot <= 1 ->
-    let c = Int64.abs (Bitval.to_int64 corrupt) in
-    let o = Int64.abs (Bitval.to_int64 e.reads.(other_slot).Event.value) in
-    Int64.compare c o < 0
-  | _ -> false
+(* Compatibility alias for {!Moard_analysis.Reexec}. *)
+include Moard_analysis.Reexec

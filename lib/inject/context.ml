@@ -19,6 +19,8 @@ type t = {
   golden_bits : int64 array;
   golden_floats : float array;
   golden_steps : int;
+  out_objs : (Moard_trace.Data_object.t * int) list;
+      (* output objects with their start index in the golden vectors *)
   cache : (key, Outcome.t) Hashtbl.t;
   mutable runs : int;
   mutable hits : int;
@@ -78,6 +80,15 @@ let make (w : Workload.t) =
       (Printf.sprintf "Context.make: golden run of %s trapped: %s" w.name
          (Moard_vm.Trap.to_string trap)));
   let golden_bits, golden_floats = observe_mem machine w r.Machine.mem in
+  let out_objs =
+    List.rev
+      (fst
+         (List.fold_left
+            (fun (acc, start) name ->
+              let o = Machine.object_of machine name in
+              ((o, start) :: acc, start + o.Moard_trace.Data_object.elems))
+            ([], 0) w.outputs))
+  in
   {
     w;
     machine;
@@ -85,6 +96,7 @@ let make (w : Workload.t) =
     golden_bits;
     golden_floats;
     golden_steps = r.Machine.steps;
+    out_objs;
     cache = Hashtbl.create 4096;
     runs = 0;
     hits = 0;
@@ -115,6 +127,54 @@ let classify t (r : Machine.run) =
     else if t.w.accept ~golden:t.golden_floats ~faulty:floats then
       Outcome.Acceptable
     else Outcome.Incorrect
+
+exception Unpatchable
+
+let classify_patched t patches =
+  match patches with
+  | [] -> Some Outcome.Same
+  | _ -> (
+    let bits = Array.copy t.golden_bits in
+    let floats = Array.copy t.golden_floats in
+    try
+      List.iter
+        (fun (addr, (v : Bitval.t), ty) ->
+          let rec find = function
+            | [] -> raise Unpatchable
+            | (o, start) :: rest -> (
+              match Moard_trace.Data_object.elem_of_addr o addr with
+              | Some e -> (o, start + e)
+              | None -> find rest)
+          in
+          let o, idx = find t.out_objs in
+          let gty = o.Moard_trace.Data_object.ty in
+          if Moard_ir.Types.size ty <> Moard_ir.Types.size gty then
+            raise Unpatchable;
+          (* Mirror [observe_mem] over a store/load round trip of [v] at
+             the cell, per element type. *)
+          match gty with
+          | Moard_ir.Types.F64 ->
+            let x = Int64.float_of_bits v.Bitval.bits in
+            bits.(idx) <- Int64.bits_of_float x;
+            floats.(idx) <- x
+          | Moard_ir.Types.I64 | Moard_ir.Types.Ptr ->
+            bits.(idx) <- v.Bitval.bits;
+            floats.(idx) <- Int64.to_float v.Bitval.bits
+          | Moard_ir.Types.I32 ->
+            let x = Int64.to_int32 v.Bitval.bits in
+            bits.(idx) <- Int64.of_int32 x;
+            floats.(idx) <- Int32.to_float x
+          | Moard_ir.Types.I1 ->
+            let x = Int64.to_int32 (Int64.logand v.Bitval.bits 1L) in
+            bits.(idx) <- Int64.of_int32 x;
+            floats.(idx) <- Int32.to_float x)
+        patches;
+      Some
+        (if Array.for_all2 Int64.equal bits t.golden_bits then Outcome.Same
+         else if t.w.accept ~golden:t.golden_floats ~faulty:floats then
+           Outcome.Acceptable
+         else Outcome.Incorrect)
+    with Unpatchable -> None)
 
 let inject t fault =
   t.runs <- t.runs + 1;

@@ -41,6 +41,19 @@ val segment : t -> string -> bool
 val observe : t -> Moard_vm.Memory.t -> int64 array * float array
 (** Output vector of a finished run: raw bit images and float view. *)
 
+val classify_patched :
+  t ->
+  (int * Moard_bits.Bitval.t * Moard_ir.Types.t) list ->
+  Outcome.t option
+(** Observation of a finished injected run whose final memory equals the
+    golden memory except at the given [(addr, value-as-stored, store type)]
+    cells — the terminal step of the batched kernel's replay-to-end
+    ({!Moard_analysis.Vreplay}), equivalent to {!inject}'s classification
+    of such a run but without executing anything. [None] when a patch
+    falls outside the observed outputs, is not element-aligned, or was
+    stored with a size other than the element's (the caller must fall
+    back to a real injection). *)
+
 val inject : t -> Moard_vm.Fault.t -> Outcome.t
 (** Uncached single injection. *)
 

@@ -17,7 +17,7 @@ let stride_patterns stride site =
   let all = Consume.patterns site in
   List.filteri (fun i _ -> i mod stride = 0) all
 
-let campaign ?(pattern_stride = 1) ctx ~object_name =
+let campaign ?(pattern_stride = 1) ?(batch = true) ctx ~object_name =
   if pattern_stride < 1 then invalid_arg "Exhaustive.campaign: stride";
   let obj = Context.object_of ctx object_name in
   let sites =
@@ -37,17 +37,28 @@ let campaign ?(pattern_stride = 1) ctx ~object_name =
   and incorrect = ref 0
   and crashed = ref 0 in
   let injections = ref 0 in
+  let tally = function
+    | Outcome.Same -> incr same
+    | Outcome.Acceptable -> incr acceptable
+    | Outcome.Incorrect -> incr incorrect
+    | Outcome.Crashed _ -> incr crashed
+  in
   List.iter
     (fun site ->
-      List.iter
-        (fun pattern ->
-          incr injections;
-          match Context.inject_at ctx site pattern with
-          | Outcome.Same -> incr same
-          | Outcome.Acceptable -> incr acceptable
-          | Outcome.Incorrect -> incr incorrect
-          | Outcome.Crashed _ -> incr crashed)
-        (stride_patterns pattern_stride site))
+      if batch && pattern_stride = 1 then
+        (* Whole pattern-set per site through the bit-parallel kernel;
+           only the bits it cannot decide are actually injected. *)
+        Array.iter
+          (fun o ->
+            incr injections;
+            tally o)
+          (Resolve.site ctx site)
+      else
+        List.iter
+          (fun pattern ->
+            incr injections;
+            tally (Context.inject_at ctx site pattern))
+          (stride_patterns pattern_stride site))
     sites;
   let n = max !injections 1 in
   {

@@ -1,0 +1,87 @@
+module Bitval = Moard_bits.Bitval
+module Pattern = Moard_bits.Pattern
+module Ps = Moard_bits.Patternset
+module Tape = Moard_trace.Tape
+module Consume = Moard_trace.Consume
+module Masking = Moard_analysis.Masking
+module Vreplay = Moard_analysis.Vreplay
+
+let outputs_of ctx =
+  List.map (Context.object_of ctx) (Context.workload ctx).Workload.outputs
+
+let verdicts_of ctx (s : Consume.t) =
+  let e = Tape.get (Context.tape ctx) s.Consume.event_idx in
+  (e, Masking.analyze_all e s.Consume.kind)
+
+let site ?bits ctx (s : Consume.t) =
+  let e, v = verdicts_of ctx s in
+  let n = Bitval.bits_in v.Masking.width in
+  let wanted =
+    match bits with
+    | None -> Ps.full ~width:v.Masking.width
+    | Some b -> b
+  in
+  let out = Array.make n Outcome.Same in
+  let inject_bit b = Context.inject_at ctx s (Pattern.Single b) in
+  (* Operation-masked: the injected run is the golden run. *)
+  (* Certain traps: the consuming operation itself crashes the run. *)
+  Ps.iter
+    (fun b -> out.(b) <- Outcome.Crashed (Option.get v.Masking.trap))
+    (Ps.inter v.Masking.crash wanted);
+  (* Control divergence at the site: ground truth only. *)
+  Ps.iter (fun b -> out.(b) <- inject_bit b) (Ps.inter v.Masking.divergent wanted);
+  (* Changed: replay all wanted bits to the end of the tape in one walk. *)
+  let changed = Ps.inter v.Masking.changed wanted in
+  if not (Ps.is_empty changed) then begin
+    let seeds =
+      Ps.fold
+        (fun b acc ->
+          (b, fst (Masking.changed_out_at e s.Consume.kind ~bit:b)) :: acc)
+        changed []
+    in
+    let fates =
+      Vreplay.run ~tape:(Context.tape ctx) ~outputs:(outputs_of ctx)
+        ~start:s.Consume.event_idx ~seeds
+    in
+    Ps.iter
+      (fun b ->
+        out.(b) <-
+          (match fates.(b) with
+          | Vreplay.Same -> Outcome.Same
+          | Vreplay.Trap trap -> Outcome.Crashed trap
+          | Vreplay.Outputs patches -> (
+            match Context.classify_patched ctx patches with
+            | Some o -> o
+            | None -> inject_bit b)
+          | Vreplay.Unknown -> inject_bit b))
+      changed
+  end;
+  out
+
+let analytic_bits ctx (s : Consume.t) =
+  let e, v = verdicts_of ctx s in
+  let n = Bitval.bits_in v.Masking.width in
+  let analytic = ref (Ps.count v.Masking.masked + Ps.count v.Masking.crash) in
+  if not (Ps.is_empty v.Masking.changed) then begin
+    let seeds =
+      Ps.fold
+        (fun b acc ->
+          (b, fst (Masking.changed_out_at e s.Consume.kind ~bit:b)) :: acc)
+        v.Masking.changed []
+    in
+    let fates =
+      Vreplay.run ~tape:(Context.tape ctx) ~outputs:(outputs_of ctx)
+        ~start:s.Consume.event_idx ~seeds
+    in
+    Ps.iter
+      (fun b ->
+        match fates.(b) with
+        | Vreplay.Same | Vreplay.Trap _ -> incr analytic
+        | Vreplay.Outputs patches -> (
+          match Context.classify_patched ctx patches with
+          | Some _ -> incr analytic
+          | None -> ())
+        | Vreplay.Unknown -> ())
+      v.Masking.changed
+  end;
+  (!analytic, n)

@@ -5,7 +5,16 @@ module Context = Moard_inject.Context
 let default_domains () = min 8 (Domain.recommended_domain_count ())
 
 let analyze_ctx ?options ?domains ctx ~object_name =
-  let n = match domains with Some d -> max 1 d | None -> default_domains () in
+  (* Asking for more workers than cores makes the analysis *slower* (the
+     domains time-slice one CPU and trash each other's caches), so an
+     explicit request is capped at the hardware too — domains=4 on a
+     single-core host degenerates to the sequential path instead of a
+     4-way convoy. *)
+  let n =
+    match domains with
+    | Some d -> min (max 1 d) (Domain.recommended_domain_count ())
+    | None -> default_domains ()
+  in
   if n = 1 then Model.analyze ?options ctx ~object_name
   else
     let worker w =

@@ -26,8 +26,11 @@ val analyze_ctx :
   Moard_core.Advf.report
 (** Parallel analysis over an existing context (whose golden run has
     already happened, in {!Moard_inject.Context.make}). [domains] defaults
-    to [Domain.recommended_domain_count ()], capped at 8; [domains = 1]
-    degenerates to the sequential {!Moard_core.Model.analyze}. *)
+    to [Domain.recommended_domain_count ()], capped at 8; an explicit
+    value is likewise capped at [recommended_domain_count] (a worker pool
+    wider than the hardware is strictly slower); [domains = 1] — requested
+    or after capping — degenerates to the sequential
+    {!Moard_core.Model.analyze} with no domain spawned at all. *)
 
 val analyze :
   ?options:Moard_core.Model.options ->

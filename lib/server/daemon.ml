@@ -14,6 +14,7 @@ type config = {
   timeout_s : float;
   lru_entries : int;
   lru_bytes : int;
+  batch : bool;
 }
 
 let default_config =
@@ -25,6 +26,7 @@ let default_config =
     timeout_s = 300.0;
     lru_entries = 256;
     lru_bytes = 64 * 1024 * 1024;
+    batch = true;
   }
 
 type t = {
@@ -78,12 +80,16 @@ let entry_of req =
   | exception Not_found ->
     raise (Bad_request (Printf.sprintf "unknown benchmark %S" benchmark))
 
-let options_of req =
+(* [batch] selects the resolution engine, not the analysis: payload bytes
+   (and the store key) are the same either way, so it comes from the
+   daemon's own configuration, never from the request. *)
+let options_of req ~batch =
   let get name d = Option.value ~default:d (Jsonx.int (Jsonx.member name req)) in
   {
     Model.default_options with
     Model.k = get "k" Model.default_options.Model.k;
     Model.fi_budget = get "fi_budget" Model.default_options.Model.fi_budget;
+    Model.batch;
   }
 
 let objects_of req (e : Registry.entry) =
@@ -123,7 +129,7 @@ let compute t req op =
   | "advf" ->
     let e = entry_of req in
     let object_name = field_str req "object" in
-    let options = options_of req in
+    let options = options_of req ~batch:t.cfg.batch in
     let program = (e.Registry.workload ()).Moard_inject.Workload.program in
     let key = Key.advf ~program ~object_name ~options in
     let payload, status =
@@ -150,7 +156,7 @@ let compute t req op =
         Option.value ~default:1 (Jsonx.int (Jsonx.member "domains" req))
       in
       let payload, status, result =
-        Query.campaign t.st ~domains
+        Query.campaign t.st ~domains ~batch:t.cfg.batch
           ~should_stop:(fun () -> Atomic.get t.stop_flag)
           ~journal_meta:[ ("benchmark", e.Registry.benchmark) ]
           ~ctx:(fun () -> ctx)

@@ -30,12 +30,17 @@ type config = {
   timeout_s : float;     (** per-request timeout *)
   lru_entries : int;
   lru_bytes : int;
+  batch : bool;
+      (** resolve injections through the bit-parallel masking kernel
+          (default); served payloads are byte-identical either way, so
+          this is a daemon-wide performance switch, never a request
+          parameter or a store-key component *)
 }
 
 val default_config : config
 (** socket ["moardd.sock"], store [".moard-store"], workers =
     [Domain.recommended_domain_count () - 1] (min 1), queue [64],
-    timeout [300s], LRU [256] entries / [64 MiB]. *)
+    timeout [300s], LRU [256] entries / [64 MiB], batch on. *)
 
 type t
 

@@ -45,8 +45,8 @@ let interrupted (r : Engine.result) =
     (fun (o : Engine.object_result) -> o.Engine.stopped = Engine.Interrupted)
     r.Engine.objects
 
-let campaign store ?(domains = 1) ?should_stop ?(journal_meta = []) ~ctx
-    ~program ~plan () =
+let campaign store ?(domains = 1) ?(batch = true) ?should_stop
+    ?(journal_meta = []) ~ctx ~program ~plan () =
   let key = Key.campaign ~program ~plan in
   let kind = Record.Campaign in
   match Store.lookup store ~key ~kind with
@@ -59,14 +59,16 @@ let campaign store ?(domains = 1) ?should_stop ?(journal_meta = []) ~ctx
     let c = ctx () in
     let r =
       if Sys.file_exists journal then
-        try Engine.resume ~domains ?should_stop ~journal c plan
+        try Engine.resume ~domains ~batch ?should_stop ~journal c plan
         with Moard_campaign.Journal.Rejected _ ->
           (* stale journal from an incompatible plan under a colliding
              name: impossible while keys embed the plan hash, but never
              let a bad file wedge the query *)
           Sys.remove journal;
-          Engine.run ~domains ?should_stop ~journal ~journal_meta c plan
-      else Engine.run ~domains ?should_stop ~journal ~journal_meta c plan
+          Engine.run ~domains ~batch ?should_stop ~journal ~journal_meta c
+            plan
+      else
+        Engine.run ~domains ~batch ?should_stop ~journal ~journal_meta c plan
     in
     let payload = campaign_payload r in
     if interrupted r then (payload, Computed, Some r)

@@ -42,6 +42,7 @@ val campaign_payload : Moard_campaign.Engine.result -> string
 val campaign :
   Store.t ->
   ?domains:int ->
+  ?batch:bool ->
   ?should_stop:(unit -> bool) ->
   ?journal_meta:(string * string) list ->
   ctx:(unit -> Moard_inject.Context.t) ->
@@ -56,7 +57,9 @@ val campaign :
     its journal removed; an interrupted one (the [should_stop] drain
     hook fired) is returned un-stored with its journal left in place for
     the next attempt. The result is [None] exactly when the payload came
-    from the store. *)
+    from the store. [batch] is forwarded to the engine's bit-parallel
+    kernel switch; the payload bytes are identical either way, which is
+    why neither it nor [domains] is part of the store key. *)
 
 val tape_payload : Moard_inject.Context.t -> string
 (** The packed golden tape, marshalled. *)

@@ -1,0 +1,313 @@
+(* The bit-parallel masking kernel and everything built on it must agree
+   with the scalar oracle exactly.
+
+   Three layers of differential checks:
+   - Masking.analyze_all against 64 scalar Masking.analyze calls, over a
+     QCheck-random program touching every integer opcode with a closed
+     form plus the fallback ones (floats, division, dynamic shifts,
+     comparisons feeding branches, geps, casts, stores);
+   - Exhaustive.campaign with and without the kernel: identical outcome
+     counts, near-zero real executions batched;
+   - Model.analyze and Engine.run with and without the kernel: identical
+     reports and payloads byte for byte. *)
+
+module Masking = Moard_core.Masking
+module Verdict = Moard_core.Verdict
+module Model = Moard_core.Model
+module Advf = Moard_core.Advf
+module Consume = Moard_trace.Consume
+module Context = Moard_inject.Context
+module Exhaustive = Moard_inject.Exhaustive
+module Resolve = Moard_inject.Resolve
+module Outcome = Moard_inject.Outcome
+module Pattern = Moard_bits.Pattern
+module Ps = Moard_bits.Patternset
+module B = Moard_bits.Bitval
+module Ast = Moard_lang.Ast
+open Tutil
+
+let qtest ?(count = 60) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* One program consuming the traced globals through (nearly) every opcode
+   the kernel special-cases, plus representatives of the fallback family.
+   [x]/[y] drive the integer ops, [xf]/[yf] the float ops, [sh] the
+   static shift amounts (including out-of-range), [idx] an in-bounds
+   element index consumed by a gep. *)
+let prog ~x ~y ~xf ~yf ~sh ~idx =
+  let ynz = if Int64.equal y 0L then 1L else y in
+  let open Ast.Dsl in
+  trace_program
+    [
+      garr_i64_init "g" [| x |];
+      garr_f64_init "gf" [| xf |];
+      garr_i64_init "ix" [| Int64.of_int idx |];
+      garr_f64_init "arr" [| 1.0; 2.0; 3.0; 4.0 |];
+      garr_i64 "oi" 12;
+      garr_i32 "o32" 1;
+      garr_f64 "ofl" 6;
+    ]
+    [
+      fn "main"
+        [
+          ("oi".%(i 0) <- "g".%(i 0) land i64 y);
+          ("oi".%(i 1) <- "g".%(i 0) lor i64 y);
+          ("oi".%(i 2) <- "g".%(i 0) lxor i64 y);
+          ("oi".%(i 3) <- "g".%(i 0) + i64 y);
+          ("oi".%(i 4) <- "g".%(i 0) - i64 y);
+          ("oi".%(i 5) <- "g".%(i 0) * i64 y);
+          ("oi".%(i 6) <- "g".%(i 0) lsl i sh);
+          ("oi".%(i 7) <- "g".%(i 0) lsr i sh);
+          ("oi".%(i 8) <- "g".%(i 0) asr i sh);
+          (* dynamic shift amount: slot-1 consumption, scalar fallback *)
+          ("oi".%(i 9) <- i64 y lsl ("g".%(i 0) land i 63));
+          ("oi".%(i 10) <- "g".%(i 0) / i64 ynz);
+          ("oi".%(i 11) <- "g".%(i 0) % i64 ynz);
+          (* i32 store truncates: Trunc_to_i32 consumption *)
+          ("o32".%(i 0) <- "g".%(i 0));
+          ("ofl".%(i 0) <- "gf".%(i 0) + f yf);
+          ("ofl".%(i 1) <- "gf".%(i 0) * f yf);
+          (* gep indexed by a traced value *)
+          ("ofl".%(i 2) <- "arr".%("ix".%(i 0)));
+          flt_ "acc" (f 0.0);
+          when_ ("g".%(i 0) == i64 y) [ "acc" <-- f 1.0 ];
+          when_ ("g".%(i 0) != i64 y) [ "acc" <-- v "acc" + f 2.0 ];
+          when_ ("g".%(i 0) < i64 y) [ "acc" <-- v "acc" + f 4.0 ];
+          ("ofl".%(i 3) <- v "acc");
+          ("ofl".%(i 4) <- to_f ("g".%(i 0)));
+          ("ofl".%(i 5) <- "gf".%(i 0) - f yf);
+          ret_void;
+        ];
+    ]
+
+let pp_verdict = function
+  | Masking.Masked k -> "masked:" ^ Verdict.kind_name k
+  | Masking.Changed _ -> "changed"
+  | Masking.Crash_certain _ -> "crash"
+  | Masking.Divergent -> "divergent"
+
+(* analyze_all must agree with the scalar oracle on every bit of every
+   read site: same classification, same mask kind, same trap, and the
+   same Changed payload (output value and overshadow flag). *)
+let check_site tape (s : Consume.t) =
+  let e = event_of tape s in
+  let v = Masking.analyze_all e s.Consume.kind in
+  if v.Masking.width <> s.Consume.width then
+    Alcotest.failf "width mismatch at event %d" s.Consume.event_idx;
+  let n = B.bits_in v.Masking.width in
+  (* the four sets partition the full set *)
+  let all =
+    Ps.union
+      (Ps.union v.Masking.masked v.Masking.crash)
+      (Ps.union v.Masking.divergent v.Masking.changed)
+  in
+  if not (Ps.equal all (Ps.full ~width:v.Masking.width)) then
+    Alcotest.failf "verdict sets do not cover at event %d" s.Consume.event_idx;
+  if
+    Ps.count v.Masking.masked + Ps.count v.Masking.crash
+    + Ps.count v.Masking.divergent + Ps.count v.Masking.changed
+    <> n
+  then Alcotest.failf "verdict sets overlap at event %d" s.Consume.event_idx;
+  if not (Ps.subset v.Masking.overshadow v.Masking.changed) then
+    Alcotest.fail "overshadow must be a subset of changed";
+  for b = 0 to n - 1 do
+    let scalar = Masking.analyze e s.Consume.kind (Pattern.Single b) in
+    let fail () =
+      Alcotest.failf "event %d bit %d: scalar %s vs batched {m=%a c=%a d=%a}"
+        s.Consume.event_idx b (pp_verdict scalar) Ps.pp v.Masking.masked Ps.pp
+        v.Masking.crash Ps.pp v.Masking.divergent
+    in
+    match scalar with
+    | Masking.Masked k ->
+      if not (Ps.mem v.Masking.masked b) then fail ();
+      if v.Masking.mask_kind <> k then
+        Alcotest.failf "event %d bit %d: mask kind %s vs %s"
+          s.Consume.event_idx b (Verdict.kind_name k)
+          (Verdict.kind_name v.Masking.mask_kind)
+    | Masking.Crash_certain t ->
+      if not (Ps.mem v.Masking.crash b) then fail ();
+      if v.Masking.trap <> Some t then
+        Alcotest.failf "event %d bit %d: trap differs" s.Consume.event_idx b
+    | Masking.Divergent -> if not (Ps.mem v.Masking.divergent b) then fail ()
+    | Masking.Changed { out; overshadow } ->
+      if not (Ps.mem v.Masking.changed b) then fail ();
+      if Ps.mem v.Masking.overshadow b <> overshadow then
+        Alcotest.failf "event %d bit %d: overshadow flag differs"
+          s.Consume.event_idx b;
+      let out', overshadow' =
+        Masking.changed_out_at e s.Consume.kind ~bit:b
+      in
+      if out' <> out || overshadow' <> overshadow then
+        Alcotest.failf "event %d bit %d: changed payload differs"
+          s.Consume.event_idx b
+  done
+
+let gen_inputs =
+  QCheck2.Gen.(
+    let word =
+      oneof [ int64; oneofl [ 0L; 1L; -1L; 2L; 1024L; Int64.min_int ] ]
+    in
+    let flt =
+      oneof [ float; oneofl [ 0.0; 1.0; -0.25; 1e18; 1e-18; Float.nan ] ]
+    in
+    word >>= fun x ->
+    word >>= fun y ->
+    flt >>= fun xf ->
+    flt >>= fun yf ->
+    int_range (-2) 70 >>= fun sh ->
+    int_bound 3 >|= fun idx -> (x, y, xf, yf, sh, idx))
+
+let kernel_vs_oracle =
+  [
+    qtest "analyze_all = 64x analyze on every opcode" gen_inputs
+      (fun (x, y, xf, yf, sh, idx) ->
+        let m, tape = prog ~x ~y ~xf ~yf ~sh ~idx in
+        let checked = ref 0 in
+        List.iter
+          (fun g ->
+            List.iter
+              (fun s ->
+                if is_read s then begin
+                  check_site tape s;
+                  incr checked
+                end)
+              (sites m tape g))
+          [ "g"; "gf"; "ix" ];
+        (* the program consumes every traced global many times *)
+        !checked > 10);
+  ]
+
+(* ---- end-to-end differentials on a small self-contained workload ---- *)
+
+let workload () =
+  let open Ast.Dsl in
+  workload_of ~targets:[ "a" ] ~outputs:[ "out" ]
+    [
+      garr_f64_init "a" [| 1.5; -3.0; 0.25; 8.0 |];
+      garr_i64_init "n" [| 12L; 3L |];
+      garr_f64 "out" 4;
+    ]
+    [
+      fn "main"
+        [
+          flt_ "acc" (f 0.0);
+          for_ "i" (i 0) (i 3)
+            [ "acc" <-- v "acc" + ("a".%(v "i") * "a".%(v "i")) ];
+          when_ ("n".%(i 0) > i 4) [ "acc" <-- v "acc" + f 1.0 ];
+          ("out".%(i 0) <- v "acc");
+          ("out".%(i 1) <- "a".%(i 3) - "a".%(i 2));
+          ("out".%(i 2) <- to_f ("n".%(i 0) land i 0xF0));
+          ("out".%(i 3) <- "a".%(i 1));
+          ret_void;
+        ];
+    ]
+    "batched-diff"
+
+let exhaustive_tests =
+  [
+    Alcotest.test_case "exhaustive: batched = scalar outcomes, fewer runs"
+      `Quick (fun () ->
+        let ctx = Context.make (workload ()) in
+        let b = Exhaustive.campaign ~batch:true ctx ~object_name:"a" in
+        let s = Exhaustive.campaign ~batch:false ctx ~object_name:"a" in
+        Alcotest.(check int) "sites" s.Exhaustive.sites b.Exhaustive.sites;
+        Alcotest.(check int) "injections" s.Exhaustive.injections
+          b.Exhaustive.injections;
+        Alcotest.(check int) "same" s.Exhaustive.same b.Exhaustive.same;
+        Alcotest.(check int) "acceptable" s.Exhaustive.acceptable
+          b.Exhaustive.acceptable;
+        Alcotest.(check int) "incorrect" s.Exhaustive.incorrect
+          b.Exhaustive.incorrect;
+        Alcotest.(check int) "crashed" s.Exhaustive.crashed
+          b.Exhaustive.crashed;
+        Alcotest.(check (float 0.0)) "success rate"
+          s.Exhaustive.success_rate b.Exhaustive.success_rate;
+        if b.Exhaustive.runs >= s.Exhaustive.runs then
+          Alcotest.failf "kernel saved no executions (%d vs %d)"
+            b.Exhaustive.runs s.Exhaustive.runs);
+    Alcotest.test_case "resolve restricted to a bit subset agrees" `Quick
+      (fun () ->
+        let ctx = Context.make (workload ()) in
+        let site =
+          List.find is_read
+            (Consume.of_tape (Context.tape ctx)
+               (Context.object_of ctx "a"))
+        in
+        let all = Resolve.site ctx site in
+        let bits = Ps.add (Ps.add (Ps.add Ps.empty 0) 17) 63 in
+        let sub = Resolve.site ~bits ctx site in
+        Ps.iter
+          (fun b ->
+            if sub.(b) <> all.(b) then
+              Alcotest.failf "bit %d differs under restriction" b)
+          bits);
+  ]
+
+let report_str r = Format.asprintf "%a" Advf.pp_report r
+
+let model_tests =
+  [
+    Alcotest.test_case "model: batched report = scalar report" `Quick
+      (fun () ->
+        let ctx = Context.make (workload ()) in
+        let opts cache batch =
+          { Model.default_options with Model.use_cache = cache; batch }
+        in
+        List.iter
+          (fun cache ->
+            let b =
+              Model.analyze
+                ~options:(opts cache true)
+                (Context.shard ctx) ~object_name:"a"
+            in
+            let s =
+              Model.analyze
+                ~options:(opts cache false)
+                (Context.shard ctx) ~object_name:"a"
+            in
+            Alcotest.(check string)
+              (Printf.sprintf "report (cache=%b)" cache)
+              (report_str s) (report_str b))
+          [ true; false ]);
+    Alcotest.test_case "model: multi-bit patterns force the scalar walk"
+      `Quick (fun () ->
+        let ctx = Context.make (workload ()) in
+        let opts batch =
+          { Model.default_options with Model.multi = [ `Burst 2 ]; batch }
+        in
+        (* batch is documented as ignored when multi is non-empty: the two
+           runs must take the identical (scalar) path *)
+        let b =
+          Model.analyze ~options:(opts true) (Context.shard ctx)
+            ~object_name:"a"
+        in
+        let s =
+          Model.analyze ~options:(opts false) (Context.shard ctx)
+            ~object_name:"a"
+        in
+        Alcotest.(check string) "multi report" (report_str s) (report_str b));
+  ]
+
+module Plan = Moard_campaign.Plan
+module Engine = Moard_campaign.Engine
+
+let engine_tests =
+  [
+    Alcotest.test_case "campaign: batched = scalar payload bytes" `Quick
+      (fun () ->
+        let ctx = Context.make (workload ()) in
+        let plan = Plan.make ~seed:7 ~ci_width:0.04 ctx ~objects:[ "a" ] in
+        let b = Engine.run ~batch:true ctx plan in
+        let s = Engine.run ~batch:false ctx plan in
+        Alcotest.(check string) "stable payload"
+          (Moard_store.Query.campaign_payload s)
+          (Moard_store.Query.campaign_payload b));
+  ]
+
+let suite =
+  [
+    ("batched.kernel-vs-oracle", kernel_vs_oracle);
+    ("batched.exhaustive", exhaustive_tests);
+    ("batched.model", model_tests);
+    ("batched.engine", engine_tests);
+  ]

@@ -36,6 +36,23 @@ let tests =
             ~object_name:"m_elemBC" ()
         in
         assert (r.Advf.advf >= 0.0 && r.Advf.advf <= 1.0));
+    Alcotest.test_case "absurd domain counts are capped, result unchanged"
+      `Quick (fun () ->
+        (* oversubscribing a CPU-bound pool is a footgun, not a feature:
+           ~domains:64 must silently degrade to recommended_domain_count
+           and still produce the sequential answer exactly *)
+        let workload () = Moard_kernels.Lulesh.workload ~nelem:6 () in
+        let seq =
+          Moard_parallel.Parallel_model.analyze ~domains:1 ~workload
+            ~object_name:"m_elemBC" ()
+        in
+        let wide =
+          Moard_parallel.Parallel_model.analyze ~domains:64 ~workload
+            ~object_name:"m_elemBC" ()
+        in
+        Alcotest.check close "aDVF" seq.Advf.advf wide.Advf.advf;
+        Alcotest.(check int) "involvements" seq.Advf.involvements
+          wide.Advf.involvements);
     Alcotest.test_case "merge is involvement-weighted" `Quick (fun () ->
         let mk name m advf events =
           {
