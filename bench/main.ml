@@ -967,6 +967,59 @@ let kernel_bench () =
     note "wrote BENCH_kernel.json"
   end
 
+let chaos_bench () =
+  section "Chaos: survival economy of the serving stack under injected faults";
+  (* the cost of resilience: sweep the per-operation fault rate and
+     measure what the serving stack pays — retries, recomputes,
+     quarantines — to keep every surviving response byte-identical.
+     rate 0 is the control: the shims are in place but silent, so its
+     wall clock is the harness overhead floor *)
+  let module Harness = Moard_server.Chaos_harness in
+  let rates = if !quick then [ 0.08 ] else [ 0.0; 0.08; 0.25 ] in
+  let rounds = if !quick then 1 else 2 in
+  let runs =
+    List.map
+      (fun rate ->
+        let t = Unix.gettimeofday () in
+        let r = Harness.run ~seed:7 ~rounds ~rate () in
+        let s = Unix.gettimeofday () -. t in
+        let injected =
+          List.fold_left (fun a (_, _, i) -> a + i) 0 r.Harness.fault_stats
+        in
+        note
+          "rate %.2f: %d requests, %d identical, %d typed, %d transport, %d \
+           faults injected, survived %b (%.1fs)"
+          rate r.Harness.requests r.Harness.identical
+          (List.fold_left (fun a (_, n) -> a + n) 0 r.Harness.typed_errors)
+          r.Harness.transport_failures injected r.Harness.survived s;
+        if not r.Harness.survived then
+          failwith (Printf.sprintf "chaos: rate %.2f did not survive" rate);
+        (rate, s, injected, r))
+      rates
+  in
+  Printf.printf "\nall %d chaos rates survived: true\n" (List.length runs);
+  if !quick then note "quick mode: not writing BENCH_chaos.json"
+  else begin
+    let oc = open_out "BENCH_chaos.json" in
+    Printf.fprintf oc "{\n  \"seed\": 7,\n  \"rounds\": %d,\n  \"rates\": [\n"
+      rounds;
+    List.iteri
+      (fun i (rate, s, injected, r) ->
+        Printf.fprintf oc
+          "    { \"rate\": %.2f, \"seconds\": %.2f, \"requests\": %d,\n\
+          \      \"identical\": %d, \"transport_failures\": %d,\n\
+          \      \"faults_injected\": %d, \"quarantined\": %d,\n\
+          \      \"schedule_hash\": %S, \"survived\": %b }%s\n"
+          rate s r.Harness.requests r.Harness.identical
+          r.Harness.transport_failures injected r.Harness.store_quarantined
+          r.Harness.schedule_hash r.Harness.survived
+          (if i = List.length runs - 1 then "" else ","))
+      runs;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    note "wrote BENCH_chaos.json"
+  end
+
 let experiments =
   [
     ("table1", table1);
@@ -983,6 +1036,7 @@ let experiments =
     ("campaign", campaign);
     ("kernel", kernel_bench);
     ("store", store_bench);
+    ("chaos", chaos_bench);
   ]
 
 let () =

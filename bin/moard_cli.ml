@@ -8,7 +8,9 @@
      moard objects CG                    -- data objects and address ranges
      moard serve                         -- the moardd analysis daemon
      moard query advf CG -o r            -- cached query (daemon or offline)
-     moard store stat|gc                 -- result-store maintenance
+     moard store stat|gc|fsck            -- result-store maintenance
+     moard campaign fsck --journal J     -- verify a journal offline
+     moard chaos --seed 7                -- fault-inject the daemon itself
 
    Exit codes: 0 success; 1 runtime error (analysis failure, I/O, a
    daemon that is not there); 2 usage error (unknown command, bad
@@ -498,7 +500,7 @@ let required_journal =
 
 (* Rebuild context and plan from a journal's meta header. *)
 let setup_from_journal path =
-  let meta = Journal.read_meta ~path in
+  let meta = Journal.read_meta ~path () in
   let get k =
     match List.assoc_opt k meta with
     | Some v -> v
@@ -567,13 +569,46 @@ let campaign_report_cmd =
              without injecting anything.")
     Term.(const run $ setup_logs $ required_journal $ out_arg $ stable_flag)
 
+let campaign_fsck_cmd =
+  let run () journal =
+    let r = Journal.fsck ~path:journal () in
+    Format.printf "journal %s@." r.Journal.path;
+    Format.printf "  header %s@."
+      (if r.Journal.header_ok then
+         Printf.sprintf "ok (schema v%d)" Journal.schema_version
+       else "DAMAGED");
+    (match r.Journal.plan_hash with
+    | Some h -> Format.printf "  plan %s@." h
+    | None -> ());
+    List.iter (fun (k, v) -> Format.printf "  meta %s=%s@." k v) r.Journal.meta;
+    Format.printf "  %d committed batch%s, %d record%s@." r.Journal.batches
+      (if r.Journal.batches = 1 then "" else "es")
+      r.Journal.records
+      (if r.Journal.records = 1 then "" else "s");
+    if r.Journal.torn_tail then
+      Format.printf
+        "  torn tail: trailing uncommitted bytes (a resume ignores them)@.";
+    (match r.Journal.bad_line with
+    | Some n ->
+      Format.printf
+        "  DAMAGED at line %d: replay trusts only the batches before it@." n
+    | None -> ());
+    if not r.Journal.header_ok || r.Journal.bad_line <> None then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:"Verify a campaign journal offline -- header, per-batch \
+             checksums, torn tail -- without injecting or recomputing \
+             anything. Exits 1 if any committed batch fails its checksum.")
+    Term.(const run $ setup_logs $ required_journal)
+
 let campaign_cmd =
   Cmd.group
     (Cmd.info "campaign"
        ~doc:"Statistical fault-injection campaigns: parallel, resumable, \
              reproducible, with confidence-driven stopping (paper SV).")
     [ campaign_plan_cmd; campaign_run_cmd; campaign_resume_cmd;
-      campaign_report_cmd ]
+      campaign_report_cmd; campaign_fsck_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* The serving stack: the moardd daemon, cached queries and result-store
@@ -872,11 +907,106 @@ let store_gc_cmd =
              $(b,--max-age).")
     Term.(const run $ setup_logs $ required_store $ max_age)
 
+let store_fsck_cmd =
+  let run () dir quarantine =
+    let r = Store.fsck ~quarantine (open_store dir) in
+    Format.printf "scanned %d record%s: %d valid, %d damaged, %d quarantined@."
+      r.Store.scanned
+      (if r.Store.scanned = 1 then "" else "s")
+      r.Store.valid
+      (List.length r.Store.damaged)
+      r.Store.moved;
+    List.iter
+      (fun (key, why) -> Format.printf "  %s: %s@." key why)
+      r.Store.damaged;
+    if r.Store.damaged <> [] then exit 1
+  in
+  let quarantine =
+    Arg.(
+      value & flag
+      & info [ "quarantine" ]
+          ~doc:"Move damaged record files to $(i,<store>/quarantine/) \
+                instead of leaving them in place.")
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:"Verify every record on disk offline (decode + checksum, no \
+             recomputation). Exits 1 if any record is damaged.")
+    Term.(const run $ setup_logs $ required_store $ quarantine)
+
 let store_cmd =
   Cmd.group
     (Cmd.info "store"
        ~doc:"Maintenance of the content-addressed result store.")
-    [ store_stat_cmd; store_gc_cmd ]
+    [ store_stat_cmd; store_gc_cmd; store_fsck_cmd ]
+
+(* ---- the chaos harness ---- *)
+
+let chaos_cmd =
+  let module Harness = Moard_server.Chaos_harness in
+  let run () seed rounds rate classes benchmark ci_width store_dir =
+    let r =
+      Harness.run ~seed ~rounds ~rate
+        ?classes:(match classes with [] -> None | l -> Some l)
+        ~benchmark ~ci_width ?store_dir ()
+    in
+    print_endline (Jsonx.to_string (Harness.to_json r));
+    if not r.Harness.survived then begin
+      Logs.err (fun m ->
+          m "chaos: invariant violated (diverged %d, hung %d)"
+            r.Harness.diverged r.Harness.hung);
+      exit 1
+    end
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Chaos-plan seed.")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 3
+      & info [ "rounds" ]
+          ~doc:"Rounds of advf/campaign/report/stat requests to issue.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.08
+      & info [ "rate" ] ~docv:"P"
+          ~doc:"Fault probability per shimmed operation.")
+  in
+  let classes =
+    Arg.(
+      value & opt_all string []
+      & info [ "class" ] ~docv:"NAME"
+          ~doc:"Fault class to enable: $(i,store), $(i,journal), \
+                $(i,protocol) or $(i,pool) (repeatable; default: all \
+                four).")
+  in
+  let benchmark =
+    Arg.(
+      value & pos 0 string "MM"
+      & info [] ~docv:"BENCHMARK"
+          ~doc:"Benchmark the chaos requests target (default MM, the \
+                smallest).")
+  in
+  let ci_width =
+    Arg.(
+      value & opt float 0.05
+      & info [ "ci-width" ] ~docv:"W"
+          ~doc:"Campaign stopping half-width used by the chaos requests.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Turn the fault injector on the serving stack itself: run a \
+             seeded, reproducible fault-injection campaign against an \
+             in-process moardd (faulty disk, faulty sockets, raising and \
+             slow jobs) and verify that every response is either a typed \
+             error or byte-identical to the fault-free baseline. Prints \
+             the survival report as JSON; exits 1 if the invariant broke. \
+             With $(b,--store) the daemon's store directory is kept for \
+             post-mortem.")
+    Term.(
+      const run $ setup_logs $ seed $ rounds $ rate $ classes $ benchmark
+      $ ci_width $ store_dir_arg)
 
 let objects_cmd =
   let run () e =
@@ -916,7 +1046,7 @@ let main =
     [
       list_cmd; analyze_cmd; exhaustive_cmd; rfi_cmd; trace_cmd; objects_cmd;
       dump_ir_cmd; bound_cmd; plan_cmd; campaign_cmd; serve_cmd; query_cmd;
-      store_cmd;
+      store_cmd; chaos_cmd;
     ]
 
 let () =

@@ -25,7 +25,7 @@ let () =
   Fun.protect ~finally:(fun () -> Daemon.stop daemon) @@ fun () ->
   (* one connection, several requests: Client.request keeps it open;
      Client.rpc is the connect-request-close shorthand *)
-  let c = Client.connect ~socket in
+  let c = Client.connect ~socket () in
   Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
   let field name header = Jsonx.str (Jsonx.member name header) in
   let show what header =

@@ -376,9 +376,18 @@ let meta_of (plan : Plan.t) extra =
   ]
   @ extra
 
-let run_internal ~domains ~batch ~max_batches ~should_stop ~writer ~replayed
-    ctx (plan : Plan.t) ~plan_hash =
+let run_internal ~domains ~batch ~max_batches ~should_stop ~cancel ~writer
+    ~replayed ctx (plan : Plan.t) ~plan_hash =
   let t0 = Unix.gettimeofday () in
+  (* a tripped cancel token is the same signal as should_stop: finish
+     the committed batch, report Interrupted, leave the journal for
+     resume — cancellation must never tear campaign state *)
+  let should_stop () =
+    should_stop ()
+    || match cancel with
+       | Some c -> Moard_chaos.Cancel.cancelled c
+       | None -> false
+  in
   (* More workers than cores only adds scheduling overhead (the workload
      is CPU-bound); silently cap rather than make domains=N a footgun. *)
   let domains = min (max 1 domains) (Domain.recommended_domain_count ()) in
@@ -468,21 +477,22 @@ let run_internal ~domains ~batch ~max_batches ~should_stop ~writer ~replayed
 let never () = false
 
 let run ?(domains = 1) ?(batch = true) ?journal ?(journal_meta = [])
-    ?max_batches ?(should_stop = never) ctx plan =
+    ?max_batches ?(should_stop = never) ?cancel ?fx ctx plan =
   let plan_hash = Plan.hash plan in
   let writer =
     Option.map
       (fun path ->
-        Journal.create ~path ~plan_hash ~meta:(meta_of plan journal_meta))
+        Journal.create ?fx ~path ~plan_hash ~meta:(meta_of plan journal_meta)
+          ())
       journal
   in
-  run_internal ~domains ~batch ~max_batches ~should_stop ~writer ~replayed:[]
-    ctx plan ~plan_hash
+  run_internal ~domains ~batch ~max_batches ~should_stop ~cancel ~writer
+    ~replayed:[] ctx plan ~plan_hash
 
 let resume ?(domains = 1) ?(batch = true) ?max_batches ?(should_stop = never)
-    ~journal ctx plan =
+    ?cancel ?fx ~journal ctx plan =
   let plan_hash = Plan.hash plan in
-  let replayed = Journal.replay ~path:journal ~plan_hash in
-  let writer = Some (Journal.reopen ~path:journal ~plan_hash) in
-  run_internal ~domains ~batch ~max_batches ~should_stop ~writer ~replayed
-    ctx plan ~plan_hash
+  let replayed = Journal.replay ?fx ~path:journal ~plan_hash () in
+  let writer = Some (Journal.reopen ?fx ~path:journal ~plan_hash ()) in
+  run_internal ~domains ~batch ~max_batches ~should_stop ~cancel ~writer
+    ~replayed ctx plan ~plan_hash

@@ -83,6 +83,8 @@ val run :
   ?journal_meta:(string * string) list ->
   ?max_batches:int ->
   ?should_stop:(unit -> bool) ->
+  ?cancel:Moard_chaos.Cancel.t ->
+  ?fx:Moard_chaos.Fx.t ->
   Moard_inject.Context.t ->
   Plan.t ->
   result
@@ -103,13 +105,20 @@ val run :
     [should_stop] is polled between batches (the daemon's graceful-drain
     hook): when it returns [true] the engine stops at the batch boundary —
     every resolved batch already committed to the journal — and marks the
-    remaining objectives [Interrupted]. *)
+    remaining objectives [Interrupted]. [cancel] is polled at the same
+    boundary and behaves exactly like [should_stop] returning [true]: the
+    committed prefix survives, the result says [Interrupted], the journal
+    (if any) can resume — cooperative cancellation never tears campaign
+    state. [fx] routes journal I/O (chaos injection); computation itself
+    is unaffected. *)
 
 val resume :
   ?domains:int ->
   ?batch:bool ->
   ?max_batches:int ->
   ?should_stop:(unit -> bool) ->
+  ?cancel:Moard_chaos.Cancel.t ->
+  ?fx:Moard_chaos.Fx.t ->
   journal:string ->
   Moard_inject.Context.t ->
   Plan.t ->

@@ -1,0 +1,24 @@
+type t = { flag : bool Atomic.t; deadline : float (* monotonic; infinity = none *) }
+
+exception Cancelled of string
+
+let create ?deadline_s () =
+  let deadline =
+    match deadline_s with
+    | None -> infinity
+    | Some s -> Monotime.now () +. s
+  in
+  { flag = Atomic.make false; deadline }
+
+let cancel t = Atomic.set t.flag true
+
+let expired t = t.deadline < infinity && Monotime.now () > t.deadline
+let cancelled t = Atomic.get t.flag || expired t
+
+let check t =
+  if Atomic.get t.flag then raise (Cancelled "cancelled")
+  else if expired t then raise (Cancelled "deadline exceeded")
+
+let remaining_s t =
+  if t.deadline = infinity then infinity
+  else Float.max 0. (t.deadline -. Monotime.now ())

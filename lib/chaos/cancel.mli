@@ -1,0 +1,31 @@
+(** Cooperative cancellation tokens.
+
+    A token is either cancelled explicitly ([cancel]) or implicitly when
+    its monotonic deadline passes.  Work loops poll [check] at natural
+    boundaries (per fault site, per campaign batch); the token never
+    preempts anything by itself, which keeps cancellation points
+    explicit and the state at each one well defined. *)
+
+type t
+
+exception Cancelled of string
+(** Raised by [check].  The message says whether the token was cancelled
+    explicitly or expired. *)
+
+val create : ?deadline_s:float -> unit -> t
+(** [create ?deadline_s ()] makes a live token.  With [deadline_s] the
+    token self-cancels [deadline_s] seconds from now on the monotonic
+    clock; without it only an explicit [cancel] trips it. *)
+
+val cancel : t -> unit
+(** Trip the token.  Idempotent; safe from any thread or domain. *)
+
+val cancelled : t -> bool
+(** True once the token is tripped or its deadline has passed. *)
+
+val check : t -> unit
+(** Raise {!Cancelled} if [cancelled]; otherwise return unit. *)
+
+val remaining_s : t -> float
+(** Seconds until the deadline, [infinity] when there is none, [0.] once
+    expired.  An explicitly cancelled token still reports its clock. *)

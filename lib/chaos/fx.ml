@@ -1,0 +1,30 @@
+type t = {
+  read_file : string -> string;
+  write_file : string -> string -> unit;
+  append : string -> string -> unit;
+  rename : string -> string -> unit;
+  remove : string -> unit;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_gen flags path s =
+  let oc = open_out_gen flags 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc s;
+      flush oc)
+
+let real =
+  {
+    read_file;
+    write_file = write_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ];
+    append = write_gen [ Open_wronly; Open_creat; Open_append; Open_binary ];
+    rename = Sys.rename;
+    remove = Sys.remove;
+  }

@@ -1,0 +1,24 @@
+(** Injectable filesystem effects.
+
+    The store and the campaign journal do all durable I/O through one of
+    these records instead of calling the runtime directly.  [real] is
+    the production implementation; a chaos plan substitutes a faulty one
+    (short writes, torn renames, bit-flipped reads, ENOSPC/EIO) without
+    the callers changing shape.
+
+    Faulty implementations signal errors the same way the real one does:
+    [Sys_error] (and [Unix.Unix_error] from [rename]), so caller error
+    handling written against [real] is exercised unchanged under
+    chaos. *)
+
+type t = {
+  read_file : string -> string;  (** whole file, binary *)
+  write_file : string -> string -> unit;
+      (** create/truncate, write all, flush, close *)
+  append : string -> string -> unit;
+      (** open append (create if missing), write all, flush, close *)
+  rename : string -> string -> unit;
+  remove : string -> unit;
+}
+
+val real : t

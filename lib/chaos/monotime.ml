@@ -1,0 +1,1 @@
+external now : unit -> float = "moard_monotime_now"

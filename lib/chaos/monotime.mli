@@ -1,0 +1,7 @@
+(** Monotonic clock.
+
+    Seconds since an arbitrary fixed origin, strictly unaffected by
+    wall-clock adjustments.  Only differences between two [now] readings
+    are meaningful; the absolute value is not an epoch time. *)
+
+val now : unit -> float

@@ -1,0 +1,16 @@
+/* Monotonic clock for request deadlines.  CLOCK_MONOTONIC is immune to
+   wall-clock jumps (NTP steps, manual resets), so an in-flight request
+   can neither expire early nor become immortal when the system time
+   moves under it. */
+
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value moard_monotime_now(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+}

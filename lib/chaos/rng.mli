@@ -1,0 +1,22 @@
+(** SplitMix64 streams for chaos plans.
+
+    A structural mirror of [Moard_campaign.Splitmix] — the campaign
+    library gains a dependency on this library (effects interfaces,
+    cancellation), so reusing its PRNG would create a cycle.  The
+    algorithm, path derivation, and rejection sampling are kept
+    identical so a chaos plan inherits the same reproducibility
+    contract as a campaign plan: seed + scope path determine the whole
+    stream, independent of draw interleaving in other scopes. *)
+
+type t
+
+val make : int -> t
+val of_path : seed:int -> int list -> t
+
+val next : t -> int64
+val next_int : t -> int -> int
+(** [next_int t bound] draws uniformly from [0, bound) by rejection
+    sampling; no modulo bias. *)
+
+val next_float : t -> float
+(** Uniform in [0, 1), from the top 53 bits of one draw. *)

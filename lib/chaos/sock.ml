@@ -1,0 +1,6 @@
+type t = {
+  read : Unix.file_descr -> bytes -> int -> int -> int;
+  write : Unix.file_descr -> bytes -> int -> int -> int;
+}
+
+let real = { read = Unix.read; write = Unix.write }

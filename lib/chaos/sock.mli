@@ -1,0 +1,14 @@
+(** Injectable socket primitives.
+
+    [Protocol.send]/[recv] loop over these instead of [Unix.write]/
+    [Unix.read] directly, so a chaos plan can truncate, drop, delay, or
+    disconnect frames mid-flight.  Semantics match the Unix calls:
+    [read] returning 0 is end-of-stream, both may raise
+    [Unix.Unix_error]. *)
+
+type t = {
+  read : Unix.file_descr -> bytes -> int -> int -> int;
+  write : Unix.file_descr -> bytes -> int -> int -> int;
+}
+
+val real : t

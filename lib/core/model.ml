@@ -53,7 +53,7 @@ let init_of_changed (out : Masking.changed_out) =
   | Masking.To_mem { addr; value; ty } ->
     Propagation.From_mem { addr; value; ty }
 
-let analyze ?(options = default_options) ?site_filter ctx ~object_name =
+let analyze ?(options = default_options) ?site_filter ?cancel ctx ~object_name =
   let tape = Context.tape ctx in
   let w = Context.workload ctx in
   let obj = Context.object_of ctx object_name in
@@ -240,6 +240,9 @@ let analyze ?(options = default_options) ?site_filter ctx ~object_name =
       end
   in
   let process site =
+    (* the per-site cancellation point: a timed-out or abandoned request
+       stops here instead of sweeping the remaining sites *)
+    (match cancel with Some c -> Moard_chaos.Cancel.check c | None -> ());
     Advf.add_involvement acc;
     if options.batch && options.multi = [] then batched_patterns site
     else scalar_patterns site

@@ -35,11 +35,16 @@ val default_options : options
 
 val analyze :
   ?options:options -> ?site_filter:(int -> bool) ->
+  ?cancel:Moard_chaos.Cancel.t ->
   Moard_inject.Context.t -> object_name:string -> Advf.report
 (** [site_filter] keeps only the consumption sites whose index in the
     enumeration order passes — the partitioning hook of the parallel
     driver ({!Moard_parallel}); a report over a subset is merged with its
-    peers via {!Advf.merge}. *)
+    peers via {!Advf.merge}. [cancel] is checked before each site:
+    a tripped or expired token raises {!Moard_chaos.Cancel.Cancelled},
+    so a timed-out daemon request frees its worker instead of sweeping
+    the remaining sites (no partial report escapes — the exception is
+    the only observable). *)
 
 val analyze_targets :
   ?options:options -> Moard_inject.Context.t -> Advf.report list

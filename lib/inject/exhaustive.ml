@@ -17,7 +17,7 @@ let stride_patterns stride site =
   let all = Consume.patterns site in
   List.filteri (fun i _ -> i mod stride = 0) all
 
-let campaign ?(pattern_stride = 1) ?(batch = true) ctx ~object_name =
+let campaign ?(pattern_stride = 1) ?(batch = true) ?cancel ctx ~object_name =
   if pattern_stride < 1 then invalid_arg "Exhaustive.campaign: stride";
   let obj = Context.object_of ctx object_name in
   let sites =
@@ -45,6 +45,9 @@ let campaign ?(pattern_stride = 1) ?(batch = true) ctx ~object_name =
   in
   List.iter
     (fun site ->
+      (match cancel with
+      | Some c -> Moard_chaos.Cancel.check c
+      | None -> ());
       if batch && pattern_stride = 1 then
         (* Whole pattern-set per site through the bit-parallel kernel;
            only the bits it cannot decide are actually injected. *)

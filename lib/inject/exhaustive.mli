@@ -19,8 +19,8 @@ type result = {
 }
 
 val campaign :
-  ?pattern_stride:int -> ?batch:bool -> Context.t -> object_name:string ->
-  result
+  ?pattern_stride:int -> ?batch:bool -> ?cancel:Moard_chaos.Cancel.t ->
+  Context.t -> object_name:string -> result
 (** [pattern_stride] > 1 samples every n-th bit position (documented
     speed knob; 1 = truly exhaustive). [batch] (default [true]) sweeps
     each site's whole pattern set through the bit-parallel kernel
@@ -28,6 +28,7 @@ val campaign :
     kernel cannot decide; outcomes (and therefore every count above
     except [runs]/[cache_hits], which report real executions) are
     identical either way. Batching applies only to full sweeps — a
-    stride > 1 always takes the scalar path. *)
+    stride > 1 always takes the scalar path. [cancel] is checked before
+    each site and raises {!Moard_chaos.Cancel.Cancelled} when tripped. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,61 @@
+(** The chaos campaign: MOARD's fault injector turned on moardd itself.
+
+    Starts an in-process daemon whose store, journal, socket and job
+    layers all run through fault-injecting shims drawn from one seeded
+    {!Moard_chaos.Chaos} plan, then drives a deterministic sequence of
+    requests against it through the retrying client and checks the
+    serving invariant:
+
+    {e every response is either a typed protocol error (or a client-side
+    transport failure) or byte-identical to the fault-free baseline.}
+
+    Requests are issued sequentially from a single client, so the fault
+    schedule — and with it the whole survival report — is a function of
+    the seed alone: same seed, same faults, same report. *)
+
+type report = {
+  seed : int;
+  rounds : int;
+  rate : float;
+  classes : string list;  (** fault classes enabled *)
+  requests : int;  (** total requests issued *)
+  identical : int;  (** ok responses byte-identical to baseline *)
+  ok_dynamic : int;  (** ok responses with no baseline (stat) *)
+  partial : int;  (** honest complete=false campaign reports *)
+  typed_errors : (string * int) list;  (** error code -> count *)
+  transport_failures : int;
+      (** requests that exhausted retries on transport errors *)
+  diverged : int;  (** ok responses whose payload differs: violations *)
+  hung : int;  (** requests that outlived the client-side hang bound *)
+  fault_stats : (string * int * int) list;  (** scope, ops, injected *)
+  schedule_hash : string;
+  store_quarantined : int;
+  store_put_failures : int;
+  pool_failed : int;
+  survived : bool;  (** no divergence, no hangs, daemon stopped cleanly *)
+}
+
+val to_json : report -> Jsonx.t
+(** Deterministic rendering (fixed field order) — two runs with the same
+    seed must serialize identically; the determinism test depends on
+    it. *)
+
+val run :
+  ?seed:int ->
+  ?rounds:int ->
+  ?rate:float ->
+  ?classes:string list ->
+  ?benchmark:string ->
+  ?ci_width:float ->
+  ?store_dir:string ->
+  unit ->
+  report
+(** Run a chaos campaign. Defaults: seed 7, 3 rounds, fault rate 0.08
+    per operation, all four classes (["store"; "journal"; "protocol";
+    "pool"]), benchmark ["MM"], campaign [ci_width] 0.05, a fresh
+    temporary store directory (kept if [store_dir] is given — CI uploads
+    it on failure). Each round asks one [advf] per registry object, one
+    [campaign], one [report] and one [stat]. The daemon runs with an
+    LRU of 0 entries so every warm lookup exercises the faulty disk
+    path.
+    @raise Invalid_argument on an unknown class or benchmark. *)

@@ -7,8 +7,13 @@
 
 type t
 
-val connect : socket:string -> t
-(** @raise Unix.Unix_error if the daemon is not there. *)
+val connect : ?timeout_s:float -> socket:string -> unit -> t
+(** [timeout_s] arms [SO_RCVTIMEO]/[SO_SNDTIMEO] on the connection: a
+    stalled or mid-frame-dead daemon then fails the read with
+    [Unix.Unix_error (EAGAIN, _, _)] instead of hanging the client
+    forever. Default: no timeout (long campaign computations are
+    legitimate).
+    @raise Unix.Unix_error if the daemon is not there. *)
 
 val close : t -> unit
 
@@ -18,8 +23,38 @@ val request : t -> Jsonx.t -> Jsonx.t * string option
     @raise Protocol.Protocol_error on framing violations;
     @raise Unix.Unix_error if the connection drops. *)
 
-val rpc : socket:string -> Jsonx.t -> Jsonx.t * string option
+val rpc : ?timeout_s:float -> socket:string -> Jsonx.t -> Jsonx.t * string option
 (** One-shot: connect, {!request}, close. *)
+
+val rpc_retry :
+  ?attempts:int ->
+  ?base_delay_s:float ->
+  ?max_delay_s:float ->
+  ?timeout_s:float ->
+  ?seed:int ->
+  socket:string ->
+  Jsonx.t ->
+  Jsonx.t * string option
+(** {!rpc} with capped jittered exponential backoff (defaults: 5
+    attempts, 50 ms base doubling to a 2 s cap, each delay jittered into
+    [[cap/2, cap)] by a SplitMix64 stream from [seed] — deterministic
+    schedules for tests, decorrelated herds in production).
+
+    What retries, and why it is safe:
+    - connect refusals ([ECONNREFUSED]/[ENOENT]/[ECONNRESET]) — no
+      request escaped the client;
+    - typed [overloaded]/[draining] responses — the daemon refused
+      before doing any work;
+    - transport failures mid-request (torn frame, dropped response,
+      receive timeout) — {e only} for idempotent requests. A campaign
+      run ([op = "campaign"]) advances a server-side journal, so once
+      sent with unknown fate it is never resent; every other op is a
+      pure content-addressed read ({!Moard_store.Key}), for which a
+      duplicate compute produces byte-identical results.
+
+    Non-retryable typed errors (bad-request, internal, timeout, …)
+    return immediately; exhausting [attempts] re-raises the last
+    transport error. *)
 
 val error_of : Jsonx.t -> (string * string) option
 (** [(code, message)] if the header is an error response. *)

@@ -5,6 +5,9 @@ module Plan = Moard_campaign.Plan
 module Store = Moard_store.Store
 module Query = Moard_store.Query
 module Key = Moard_store.Key
+module Chaos = Moard_chaos.Chaos
+module Cancel = Moard_chaos.Cancel
+module Monotime = Moard_chaos.Monotime
 
 type config = {
   socket : string;
@@ -15,6 +18,7 @@ type config = {
   lru_entries : int;
   lru_bytes : int;
   batch : bool;
+  shims : Chaos.shims;
 }
 
 let default_config =
@@ -27,6 +31,7 @@ let default_config =
     lru_entries = 256;
     lru_bytes = 64 * 1024 * 1024;
     batch = true;
+    shims = Chaos.passthrough;
   }
 
 type t = {
@@ -48,6 +53,7 @@ type t = {
 
 let stopping t = Atomic.get t.stop_flag
 let store t = t.st
+let pool t = t.pool
 
 (* One golden run per program, whoever asks first; the lock makes the
    make single-flight (concurrent first requests for the same benchmark
@@ -123,8 +129,10 @@ let serve_result ~op ~key ~status extra payload =
       @ extra),
     Some payload )
 
-(* The three compute ops. Each returns (header, payload option). *)
-let compute t req op =
+(* The three compute ops. Each returns (header, payload option).
+   [cancel] trips when the awaiting connection gives up on us: compute
+   paths poll it per site / per batch and abandon the work. *)
+let compute t ~cancel req op =
   match op with
   | "advf" ->
     let e = entry_of req in
@@ -133,7 +141,7 @@ let compute t req op =
     let program = (e.Registry.workload ()).Moard_inject.Workload.program in
     let key = Key.advf ~program ~object_name ~options in
     let payload, status =
-      Query.advf t.st ~options
+      Query.advf t.st ~options ~cancel
         ~ctx:(fun () -> ctx_of t e)
         ~program ~object_name ()
     in
@@ -158,6 +166,7 @@ let compute t req op =
       let payload, status, result =
         Query.campaign t.st ~domains ~batch:t.cfg.batch
           ~should_stop:(fun () -> Atomic.get t.stop_flag)
+          ~cancel ~fx:t.cfg.shims.Chaos.journal_fx
           ~journal_meta:[ ("benchmark", e.Registry.benchmark) ]
           ~ctx:(fun () -> ctx)
           ~program ~plan ()
@@ -201,7 +210,8 @@ let compute t req op =
             None )
         else
           let r =
-            Moard_campaign.Engine.resume ~max_batches:0 ~journal ctx plan
+            Moard_campaign.Engine.resume ~max_batches:0
+              ~fx:t.cfg.shims.Chaos.journal_fx ~journal ctx plan
           in
           let payload = Query.campaign_payload r in
           serve_result ~op ~key ~status:Query.Computed
@@ -217,7 +227,7 @@ let stat_response t =
       ("op", Jsonx.Str "stat");
       ("server", Jsonx.Str Version.version);
       ("proto", Jsonx.Int Protocol.version);
-      ("uptime_s", Jsonx.Float (Unix.gettimeofday () -. t.started_at));
+      ("uptime_s", Jsonx.Float (Monotime.now () -. t.started_at));
       ( "store",
         Jsonx.Obj
           [
@@ -231,18 +241,24 @@ let stat_response t =
             ("disk_hits", Jsonx.Int s.Store.disk_hits);
             ("misses", Jsonx.Int s.Store.misses);
             ("corrupt", Jsonx.Int s.Store.corrupt);
+            ("quarantined", Jsonx.Int s.Store.quarantined);
+            ("put_failures", Jsonx.Int s.Store.put_failures);
             ("puts", Jsonx.Int s.Store.puts);
           ] );
       ( "pool",
         Jsonx.Obj
-          [
-            ("workers", Jsonx.Int (Pool.workers t.pool));
-            ("queued", Jsonx.Int (Pool.queued t.pool));
-            ("running", Jsonx.Int (Pool.running t.pool));
-            ("executed", Jsonx.Int (Pool.executed t.pool));
-            ("rejected", Jsonx.Int (Pool.rejected t.pool));
-            ("failed", Jsonx.Int (Pool.failed t.pool));
-          ] );
+          ([
+             ("workers", Jsonx.Int (Pool.workers t.pool));
+             ("queued", Jsonx.Int (Pool.queued t.pool));
+             ("running", Jsonx.Int (Pool.running t.pool));
+             ("executed", Jsonx.Int (Pool.executed t.pool));
+             ("rejected", Jsonx.Int (Pool.rejected t.pool));
+             ("failed", Jsonx.Int (Pool.failed t.pool));
+           ]
+          @
+          match Pool.last_error t.pool with
+          | None -> []
+          | Some e -> [ ("last_error", Jsonx.Str e) ]) );
       ("contexts", Jsonx.Int (Hashtbl.length t.ctxs));
       ("golden_executions", Jsonx.Int (Context.golden_executions ()));
       ("served", Jsonx.Int t.served);
@@ -250,8 +266,10 @@ let stat_response t =
     ]
 
 (* Dispatch one request to a response. Pooled ops hand a job to a worker
-   domain and poll the slot under the request deadline; a timed-out job
-   keeps running and still warms the store. *)
+   domain and poll the slot under a monotonic request deadline; when it
+   passes, the job's cancel token trips and the computation abandons the
+   sweep at its next per-site/per-batch check — the worker frees instead
+   of running a result nobody is waiting for to completion. *)
 let dispatch t req =
   match Jsonx.int (Jsonx.member "proto" req) with
   | Some p when p <> Protocol.version ->
@@ -274,11 +292,20 @@ let dispatch t req =
     | Some "stat" -> (stat_response t, None)
     | Some (("advf" | "campaign" | "report") as op) -> (
       let slot = Atomic.make None in
+      let fill r = ignore (Atomic.compare_and_set slot None (Some r)) in
+      let cancel = Cancel.create ~deadline_s:t.cfg.timeout_s () in
       let job () =
         let r =
-          try compute t req op with
+          try compute t ~cancel req op with
           | Bad_request msg ->
             (Protocol.error ~code:"bad-request" ~message:msg, None)
+          | Cancel.Cancelled why ->
+            (* nobody is waiting by now; fill the slot anyway so the
+               invariant — every accepted job resolves its slot — holds
+               unconditionally *)
+            ( Protocol.error ~code:"cancelled"
+                ~message:("request abandoned: " ^ why),
+              None )
           | Invalid_argument msg | Failure msg ->
             (Protocol.error ~code:"internal" ~message:msg, None)
           | e ->
@@ -286,9 +313,19 @@ let dispatch t req =
                 ~message:(Printexc.to_string e),
               None )
         in
-        Atomic.set slot (Some r)
+        fill r
       in
-      match Pool.submit t.pool job with
+      (* the pool's on_error hook guarantees a typed response even when
+         the job dies outside compute's own handlers (e.g. a chaos-
+         injected raise in the job shim): the client must never be left
+         to wait out the full timeout on a silent failure *)
+      let on_error e =
+        fill
+          ( Protocol.error ~code:"internal"
+              ~message:("job failed: " ^ Printexc.to_string e),
+            None )
+      in
+      match Pool.submit ~on_error t.pool job with
       | `Overloaded ->
         ( Protocol.error ~code:"overloaded"
             ~message:
@@ -298,19 +335,22 @@ let dispatch t req =
       | `Draining ->
         (Protocol.error ~code:"draining" ~message:"daemon is shutting down", None)
       | `Accepted ->
-        let deadline = Unix.gettimeofday () +. t.cfg.timeout_s in
+        let deadline = Monotime.now () +. t.cfg.timeout_s in
         let rec await () =
           match Atomic.get slot with
           | Some r -> r
           | None ->
-            if Unix.gettimeofday () > deadline then
+            if Monotime.now () > deadline then begin
+              Cancel.cancel cancel;
               ( Protocol.error ~code:"timeout"
                   ~message:
                     (Printf.sprintf
-                       "request exceeded %gs (the computation continues \
-                        and will be cached)"
+                       "request exceeded %gs (the computation was \
+                        cancelled; partial campaign batches remain \
+                        journalled for resume)"
                        t.cfg.timeout_s),
                 None )
+            end
             else begin
               Thread.delay 0.005;
               await ()
@@ -332,25 +372,27 @@ let is_ok = function
   | _ -> false
 
 let handle_conn t fd =
+  let sock = t.cfg.shims.Chaos.sock in
   let rec loop () =
     if not (stopping t) then begin
       (* short select ticks keep the drain responsive on idle connections *)
       match Unix.select [ fd ] [] [] 0.25 with
       | [], _, _ -> loop ()
       | _ -> (
-        match Protocol.recv fd with
+        match Protocol.recv ~sock fd with
         | None -> ()
         | Some (req, _payload) ->
           let header, payload = dispatch t req in
           bump t (is_ok header);
-          Protocol.send fd ?payload header;
+          Protocol.send ~sock fd ?payload header;
           loop ())
     end
   in
   (try loop () with
   | Protocol.Protocol_error msg ->
     (* answer malformed framing if the socket still writes, then drop *)
-    (try Protocol.send fd (Protocol.error ~code:"bad-request" ~message:msg)
+    (try
+       Protocol.send ~sock fd (Protocol.error ~code:"bad-request" ~message:msg)
      with _ -> ());
     bump t false
   | Unix.Unix_error _ | Sys_error _ -> ());
@@ -380,7 +422,7 @@ let start cfg =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let st =
     Store.open_store ~lru_entries:cfg.lru_entries ~lru_bytes:cfg.lru_bytes
-      ~dir:cfg.store_dir ()
+      ~fx:cfg.shims.Chaos.store_fx ~dir:cfg.store_dir ()
   in
   if Sys.file_exists cfg.socket then Unix.unlink cfg.socket;
   let listen = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -390,7 +432,9 @@ let start cfg =
     {
       cfg;
       st;
-      pool = Pool.create ~workers:cfg.workers ~queue:cfg.queue;
+      pool =
+        Pool.create ~wrap:cfg.shims.Chaos.wrap_job ~workers:cfg.workers
+          ~queue:cfg.queue ();
       listen;
       stop_flag = Atomic.make false;
       m = Mutex.create ();
@@ -401,7 +445,7 @@ let start cfg =
       errors = 0;
       accept_thread = None;
       stopped = false;
-      started_at = Unix.gettimeofday ();
+      started_at = Monotime.now ();
     }
   in
   t.accept_thread <- Some (Thread.create (accept_loop t) ());

@@ -15,12 +15,25 @@
 
     Overload and shutdown semantics: a full queue returns an explicit
     [overloaded] error (never a silent drop); a request exceeding the
-    per-request timeout gets a [timeout] error while its job still runs
-    to completion and warms the store. SIGTERM/SIGINT (or {!stop}) drain
+    per-request timeout (measured on the monotonic clock — wall-time
+    jumps can neither expire nor immortalize a request) gets a [timeout]
+    error {e and its job is cooperatively cancelled}: the computation
+    stops at its next per-site or per-batch cancellation point, freeing
+    the worker — nothing partial is stored, and a campaign's committed
+    batches stay journalled for resume. A job that dies for any other
+    reason resolves its request with a typed [internal] error (the last
+    one is surfaced in [stat]); an accepted request never waits out the
+    timeout on a silent failure. SIGTERM/SIGINT (or {!stop}) drain
     gracefully — accepting stops, in-flight requests finish, a campaign
     mid-flight stops at its next batch boundary with every resolved batch
     already committed to its journal in the store directory, and the
-    socket file is removed. *)
+    socket file is removed.
+
+    Every fallible boundary — store I/O, journal I/O, socket reads and
+    writes, job execution — runs through the {!Moard_chaos.Chaos.shims}
+    in the config. Production uses {!Moard_chaos.Chaos.passthrough}; the
+    chaos harness substitutes fault-injecting shims, which is how the
+    semantics above are actually proven. *)
 
 type config = {
   socket : string;       (** Unix socket path (unlinked on shutdown) *)
@@ -35,12 +48,16 @@ type config = {
           (default); served payloads are byte-identical either way, so
           this is a daemon-wide performance switch, never a request
           parameter or a store-key component *)
+  shims : Moard_chaos.Chaos.shims;
+      (** effects implementations for store/journal/socket/job I/O;
+          {!Moard_chaos.Chaos.passthrough} in production *)
 }
 
 val default_config : config
 (** socket ["moardd.sock"], store [".moard-store"], workers =
     [Domain.recommended_domain_count () - 1] (min 1), queue [64],
-    timeout [300s], LRU [256] entries / [64 MiB], batch on. *)
+    timeout [300s], LRU [256] entries / [64 MiB], batch on, passthrough
+    shims. *)
 
 type t
 
@@ -59,6 +76,10 @@ val stopping : t -> bool
 val store : t -> Moard_store.Store.t
 (** The daemon's store handle (the test suite corrupts entries through
     it). *)
+
+val pool : t -> Pool.t
+(** The daemon's worker pool (the chaos harness and the test suite read
+    its counters). *)
 
 val run : config -> unit
 (** {!start}, install SIGTERM/SIGINT handlers that trigger the graceful

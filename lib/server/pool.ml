@@ -1,14 +1,16 @@
 type t = {
   m : Mutex.t;
   nonempty : Condition.t;
-  jobs : (unit -> unit) Queue.t;
+  jobs : ((unit -> unit) * (exn -> unit) option) Queue.t;
   cap : int;
   nworkers : int;
+  wrap : (unit -> unit) -> unit -> unit;
   mutable draining : bool;
   mutable running : int;
   mutable executed : int;
   mutable rejected : int;
   mutable failed : int;
+  mutable last_error : string option;
   mutable domains : unit Domain.t list;
   mutable drained : bool;
 }
@@ -25,14 +27,21 @@ let worker_loop t () =
       ()
     end
     else begin
-      let job = Queue.pop t.jobs in
+      let job, on_error = Queue.pop t.jobs in
       t.running <- t.running + 1;
       Mutex.unlock t.m;
-      (try job ()
-       with _ ->
+      (try t.wrap job ()
+       with e ->
          Mutex.lock t.m;
          t.failed <- t.failed + 1;
-         Mutex.unlock t.m);
+         t.last_error <- Some (Printexc.to_string e);
+         Mutex.unlock t.m;
+         (* the submitter's escape hatch: whoever waits on this job gets
+            a response even though it died — and a failing handler must
+            not kill the worker either *)
+         (match on_error with
+         | Some f -> ( try f e with _ -> ())
+         | None -> ()));
       Mutex.lock t.m;
       t.running <- t.running - 1;
       t.executed <- t.executed + 1;
@@ -42,7 +51,7 @@ let worker_loop t () =
   in
   next ()
 
-let create ~workers ~queue =
+let create ?(wrap = fun job -> job) ~workers ~queue () =
   let t =
     {
       m = Mutex.create ();
@@ -50,11 +59,13 @@ let create ~workers ~queue =
       jobs = Queue.create ();
       cap = max 1 queue;
       nworkers = max 1 workers;
+      wrap;
       draining = false;
       running = 0;
       executed = 0;
       rejected = 0;
       failed = 0;
+      last_error = None;
       domains = [];
       drained = false;
     }
@@ -62,7 +73,7 @@ let create ~workers ~queue =
   t.domains <- List.init t.nworkers (fun _ -> Domain.spawn (worker_loop t));
   t
 
-let submit t job =
+let submit ?on_error t job =
   Mutex.lock t.m;
   let r =
     if t.draining then `Draining
@@ -71,7 +82,7 @@ let submit t job =
       `Overloaded
     end
     else begin
-      Queue.push job t.jobs;
+      Queue.push (job, on_error) t.jobs;
       Condition.signal t.nonempty;
       `Accepted
     end
@@ -100,3 +111,4 @@ let running t = locked t (fun () -> t.running)
 let executed t = locked t (fun () -> t.executed)
 let rejected t = locked t (fun () -> t.rejected)
 let failed t = locked t (fun () -> t.failed)
+let last_error t = locked t (fun () -> t.last_error)

@@ -12,13 +12,23 @@
 
 type t
 
-val create : workers:int -> queue:int -> t
+val create :
+  ?wrap:((unit -> unit) -> unit -> unit) -> workers:int -> queue:int -> unit -> t
 (** [workers] domains (at least 1) over a queue bounded at [queue]
-    pending jobs (at least 1). *)
+    pending jobs (at least 1). [wrap] (default: identity) is applied to
+    every job as the worker picks it up — the chaos harness's job shim
+    (raising/slow jobs) hooks in here. *)
 
-val submit : t -> (unit -> unit) -> [ `Accepted | `Overloaded | `Draining ]
+val submit :
+  ?on_error:(exn -> unit) ->
+  t ->
+  (unit -> unit) ->
+  [ `Accepted | `Overloaded | `Draining ]
 (** Enqueue a job. Exceptions escaping a job are caught and counted, not
-    propagated (a worker never dies). *)
+    propagated (a worker never dies); [on_error] then runs on the worker
+    with the exception, so a submitter awaiting the job's result can be
+    handed a typed error instead of waiting out its timeout. An
+    exception escaping [on_error] itself is swallowed. *)
 
 val drain : t -> unit
 (** Stop accepting, run out the queue, join every worker. Idempotent. *)
@@ -32,3 +42,7 @@ val rejected : t -> int
 
 val failed : t -> int
 (** Jobs whose exception was swallowed. *)
+
+val last_error : t -> string option
+(** The most recent swallowed job exception, rendered — surfaced by the
+    daemon's [stat] so silent failures are observable. *)

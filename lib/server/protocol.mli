@@ -30,13 +30,18 @@ exception Protocol_error of string
 (** Framing violation: mid-frame EOF, oversized or negative length,
     payload length disagreeing with the header, unparseable header. *)
 
-val send : Unix.file_descr -> ?payload:string -> Jsonx.t -> unit
+val send :
+  ?sock:Moard_chaos.Sock.t -> Unix.file_descr -> ?payload:string -> Jsonx.t ->
+  unit
 (** Write a header (with ["payload_bytes"] appended when [payload] is
     given) and the payload frame. A single [send] is atomic with respect
     to other senders only if callers serialize per socket — the daemon
-    and client both do. *)
+    and client both do. [sock] (default: the real syscalls) is the chaos
+    shim point for truncated/dropped/delayed frames. *)
 
-val recv : Unix.file_descr -> (Jsonx.t * string option) option
+val recv :
+  ?sock:Moard_chaos.Sock.t -> Unix.file_descr ->
+  (Jsonx.t * string option) option
 (** Read one message. [None] on clean EOF at a message boundary.
     @raise Protocol_error on a torn or malformed message. *)
 

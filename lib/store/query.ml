@@ -28,15 +28,15 @@ let get_or_compute store ~key ~kind compute =
    sequential analysis — and with it every count in the report — is a pure
    function of (program, object, options). That purity is what makes the
    byte-stable payload contract (and corrupt-entry recompute) sound. *)
-let advf_payload ?(options = Model.default_options) ctx ~object_name =
-  let r = Model.analyze ~options (Context.shard ctx) ~object_name in
+let advf_payload ?(options = Model.default_options) ?cancel ctx ~object_name =
+  let r = Model.analyze ~options ?cancel (Context.shard ctx) ~object_name in
   Moard_report.Advf_report.json r
 
-let advf store ?(options = Model.default_options) ~ctx ~program ~object_name
-    () =
+let advf store ?(options = Model.default_options) ?cancel ~ctx ~program
+    ~object_name () =
   let key = Key.advf ~program ~object_name ~options in
   get_or_compute store ~key ~kind:Record.Advf (fun () ->
-      advf_payload ~options (ctx ()) ~object_name)
+      advf_payload ~options ?cancel (ctx ()) ~object_name)
 
 let campaign_payload = Moard_report.Campaign_report.stable_json
 
@@ -45,7 +45,7 @@ let interrupted (r : Engine.result) =
     (fun (o : Engine.object_result) -> o.Engine.stopped = Engine.Interrupted)
     r.Engine.objects
 
-let campaign store ?(domains = 1) ?(batch = true) ?should_stop
+let campaign store ?(domains = 1) ?(batch = true) ?should_stop ?cancel ?fx
     ?(journal_meta = []) ~ctx ~program ~plan () =
   let key = Key.campaign ~program ~plan in
   let kind = Record.Campaign in
@@ -59,16 +59,18 @@ let campaign store ?(domains = 1) ?(batch = true) ?should_stop
     let c = ctx () in
     let r =
       if Sys.file_exists journal then
-        try Engine.resume ~domains ~batch ?should_stop ~journal c plan
+        try Engine.resume ~domains ~batch ?should_stop ?cancel ?fx ~journal c
+              plan
         with Moard_campaign.Journal.Rejected _ ->
           (* stale journal from an incompatible plan under a colliding
              name: impossible while keys embed the plan hash, but never
              let a bad file wedge the query *)
           Sys.remove journal;
-          Engine.run ~domains ~batch ?should_stop ~journal ~journal_meta c
-            plan
+          Engine.run ~domains ~batch ?should_stop ?cancel ?fx ~journal
+            ~journal_meta c plan
       else
-        Engine.run ~domains ~batch ?should_stop ~journal ~journal_meta c plan
+        Engine.run ~domains ~batch ?should_stop ?cancel ?fx ~journal
+          ~journal_meta c plan
     in
     let payload = campaign_payload r in
     if interrupted r then (payload, Computed, Some r)

@@ -18,6 +18,7 @@ val is_hit : status -> bool
 
 val advf_payload :
   ?options:Moard_core.Model.options ->
+  ?cancel:Moard_chaos.Cancel.t ->
   Moard_inject.Context.t ->
   object_name:string ->
   string
@@ -27,13 +28,16 @@ val advf_payload :
 val advf :
   Store.t ->
   ?options:Moard_core.Model.options ->
+  ?cancel:Moard_chaos.Cancel.t ->
   ctx:(unit -> Moard_inject.Context.t) ->
   program:Moard_ir.Program.t ->
   object_name:string ->
   unit ->
   string * status
 (** Get-or-compute an aDVF summary. [ctx] is only forced on a miss, so a
-    warm query never touches the golden run. *)
+    warm query never touches the golden run. A tripped [cancel] raises
+    {!Moard_chaos.Cancel.Cancelled} out of the compute path before
+    anything is stored. *)
 
 val campaign_payload : Moard_campaign.Engine.result -> string
 (** The canonical campaign payload ({!Moard_report.Campaign_report}'s
@@ -44,6 +48,8 @@ val campaign :
   ?domains:int ->
   ?batch:bool ->
   ?should_stop:(unit -> bool) ->
+  ?cancel:Moard_chaos.Cancel.t ->
+  ?fx:Moard_chaos.Fx.t ->
   ?journal_meta:(string * string) list ->
   ctx:(unit -> Moard_inject.Context.t) ->
   program:Moard_ir.Program.t ->
@@ -55,11 +61,12 @@ val campaign :
     (an earlier run died or was drained mid-campaign) the engine resumes
     from it instead of starting over. A completed result is stored and
     its journal removed; an interrupted one (the [should_stop] drain
-    hook fired) is returned un-stored with its journal left in place for
-    the next attempt. The result is [None] exactly when the payload came
-    from the store. [batch] is forwarded to the engine's bit-parallel
-    kernel switch; the payload bytes are identical either way, which is
-    why neither it nor [domains] is part of the store key. *)
+    hook or the [cancel] token fired) is returned un-stored with its
+    journal left in place for the next attempt. The result is [None]
+    exactly when the payload came from the store. [batch] is forwarded
+    to the engine's bit-parallel kernel switch; the payload bytes are
+    identical either way, which is why neither it nor [domains] is part
+    of the store key. [fx] routes the engine's journal I/O. *)
 
 val tape_payload : Moard_inject.Context.t -> string
 (** The packed golden tape, marshalled. *)

@@ -1,13 +1,22 @@
+module Fx = Moard_chaos.Fx
+
 type t = {
   root : string;
   lru : Lru.t;
+  fx : Fx.t;
+  quarantine_after : int;
   m : Mutex.t;
   (* keys put or read through this handle: gc's liveness set *)
   live : (string, unit) Hashtbl.t;
+  (* per-key checksum-failure counts feeding the quarantine breaker *)
+  corrupt_counts : (string, int) Hashtbl.t;
+  quarantined_keys : (string, unit) Hashtbl.t;
   mutable mem_hits : int;
   mutable disk_hits : int;
   mutable misses : int;
   mutable corrupt : int;
+  mutable quarantined : int;
+  mutable put_failures : int;
   mutable puts : int;
   mutable tmp_seq : int;
 }
@@ -27,19 +36,28 @@ let mkdir_p path =
 
 let objects_dir root = Filename.concat root "objects"
 let tmp_dir root = Filename.concat root "tmp"
+let quarantine_dir root = Filename.concat root "quarantine"
 
-let open_store ?(lru_entries = 256) ?(lru_bytes = 64 * 1024 * 1024) ~dir () =
+let open_store ?(lru_entries = 256) ?(lru_bytes = 64 * 1024 * 1024)
+    ?(fx = Fx.real) ?(quarantine_after = 3) ~dir () =
+  if quarantine_after < 1 then invalid_arg "Store.open_store: quarantine_after";
   mkdir_p (objects_dir dir);
   mkdir_p (tmp_dir dir);
   {
     root = dir;
     lru = Lru.create ~max_entries:lru_entries ~max_bytes:lru_bytes;
+    fx;
+    quarantine_after;
     m = Mutex.create ();
     live = Hashtbl.create 64;
+    corrupt_counts = Hashtbl.create 16;
+    quarantined_keys = Hashtbl.create 16;
     mem_hits = 0;
     disk_hits = 0;
     misses = 0;
     corrupt = 0;
+    quarantined = 0;
+    put_failures = 0;
     puts = 0;
     tmp_seq = 0;
   }
@@ -56,27 +74,27 @@ let entry_path t hex =
     (Filename.concat (objects_dir t.root) (String.sub hex 0 2))
     (hex ^ ".rec")
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
 let put t ~key ~kind payload =
   let hex = Key.to_hex key in
   locked t (fun () ->
-      let final = entry_path t hex in
-      mkdir_p (Filename.dirname final);
-      t.tmp_seq <- t.tmp_seq + 1;
-      let tmp =
-        Filename.concat (tmp_dir t.root)
-          (Printf.sprintf "%s.%d.%d" hex (Unix.getpid ()) t.tmp_seq)
-      in
-      let oc = open_out_bin tmp in
-      Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
-        (fun () -> output_string oc (Record.encode ~kind payload));
-      Unix.rename tmp final;
+      (* a quarantined key gets no new disk record: writing one would
+         restart the corruption/recompute storm the quarantine broke *)
+      if not (Hashtbl.mem t.quarantined_keys hex) then begin
+        let final = entry_path t hex in
+        mkdir_p (Filename.dirname final);
+        t.tmp_seq <- t.tmp_seq + 1;
+        let tmp =
+          Filename.concat (tmp_dir t.root)
+            (Printf.sprintf "%s.%d.%d" hex (Unix.getpid ()) t.tmp_seq)
+        in
+        (* a failed durable write must not fail the request — the result
+           still serves from memory and the next miss recomputes *)
+        try
+          t.fx.Fx.write_file tmp (Record.encode ~kind payload);
+          t.fx.Fx.rename tmp final
+        with Sys_error _ | Unix.Unix_error _ ->
+          t.put_failures <- t.put_failures + 1
+      end;
       Lru.add t.lru hex payload;
       Hashtbl.replace t.live hex ();
       t.puts <- t.puts + 1)
@@ -94,7 +112,7 @@ let lookup t ~key ~kind =
         Found (payload, Memory)
       | None -> (
         let path = entry_path t hex in
-        match read_file path with
+        match t.fx.Fx.read_file path with
         | exception Sys_error _ ->
           t.misses <- t.misses + 1;
           Absent
@@ -106,11 +124,31 @@ let lookup t ~key ~kind =
             Hashtbl.replace t.live hex ();
             Found (payload, Disk)
           | Error _ ->
-            (* detected corruption: heal by deletion, report it so the
-               caller recomputes *)
             t.corrupt <- t.corrupt + 1;
-            (try Sys.remove path with Sys_error _ -> ());
             Hashtbl.remove t.live hex;
+            let fails =
+              1 + (Option.value ~default:0
+                     (Hashtbl.find_opt t.corrupt_counts hex))
+            in
+            Hashtbl.replace t.corrupt_counts hex fails;
+            if fails >= t.quarantine_after then begin
+              (* recompute-storm breaker: park the damaged record for
+                 post-mortem instead of deleting + rewriting forever *)
+              mkdir_p (quarantine_dir t.root);
+              (try
+                 t.fx.Fx.rename path
+                   (Filename.concat (quarantine_dir t.root) (hex ^ ".rec"))
+               with Sys_error _ | Unix.Unix_error _ -> (
+                 try t.fx.Fx.remove path with Sys_error _ -> ()));
+              if not (Hashtbl.mem t.quarantined_keys hex) then begin
+                Hashtbl.replace t.quarantined_keys hex ();
+                t.quarantined <- t.quarantined + 1
+              end
+            end
+            else
+              (* detected corruption: heal by deletion, report it so the
+                 caller recomputes *)
+              (try t.fx.Fx.remove path with Sys_error _ -> ());
             Corrupted)))
 
 let get t ~key ~kind =
@@ -135,6 +173,8 @@ type stats = {
   disk_hits : int;
   misses : int;
   corrupt : int;
+  quarantined : int;
+  put_failures : int;
   puts : int;
 }
 
@@ -165,6 +205,8 @@ let stat t =
         disk_hits = t.disk_hits;
         misses = t.misses;
         corrupt = t.corrupt;
+        quarantined = t.quarantined;
+        put_failures = t.put_failures;
         puts = t.puts;
       })
 
@@ -172,9 +214,10 @@ let pp_stats ppf s =
   Format.fprintf ppf
     "@[<v>entries %d (%d bytes on disk)@,\
      lru %d entries / %d bytes (%d evictions)@,\
-     hits %d memory + %d disk, misses %d, corrupt healed %d, puts %d@]"
+     hits %d memory + %d disk, misses %d, corrupt healed %d, puts %d@,\
+     quarantined %d, put failures %d@]"
     s.entries s.disk_bytes s.lru_entries s.lru_bytes s.lru_evictions s.mem_hits
-    s.disk_hits s.misses s.corrupt s.puts
+    s.disk_hits s.misses s.corrupt s.puts s.quarantined s.put_failures
 
 let gc t ?max_age_s () =
   locked t (fun () ->
@@ -208,3 +251,50 @@ let gc t ?max_age_s () =
               rm path
             | _ -> ());
       !removed)
+
+type fsck_report = {
+  scanned : int;
+  valid : int;
+  damaged : (string * string) list;
+  moved : int;
+}
+
+let fsck ?(quarantine = false) t =
+  locked t (fun () ->
+      let scanned = ref 0 and valid = ref 0 and moved = ref 0 in
+      let damaged = ref [] in
+      iter_entries t (fun path name ->
+          incr scanned;
+          let hex = Filename.remove_extension name in
+          let verdict =
+            match t.fx.Fx.read_file path with
+            | exception Sys_error _ -> Some "unreadable"
+            | image -> (
+              match Record.decode image with
+              | Ok _ -> None
+              | Error c -> Some (Record.corruption_name c))
+          in
+          match verdict with
+          | None -> incr valid
+          | Some reason ->
+            damaged := (hex, reason) :: !damaged;
+            if quarantine then begin
+              mkdir_p (quarantine_dir t.root);
+              (try
+                 t.fx.Fx.rename path
+                   (Filename.concat (quarantine_dir t.root) (hex ^ ".rec"));
+                 incr moved;
+                 Lru.remove t.lru hex;
+                 Hashtbl.remove t.live hex;
+                 if not (Hashtbl.mem t.quarantined_keys hex) then begin
+                   Hashtbl.replace t.quarantined_keys hex ();
+                   t.quarantined <- t.quarantined + 1
+                 end
+               with Sys_error _ | Unix.Unix_error _ -> ())
+            end);
+      {
+        scanned = !scanned;
+        valid = !valid;
+        damaged = List.rev !damaged;
+        moved = !moved;
+      })

@@ -11,15 +11,32 @@
     Writes are atomic (tmp file + rename), so a reader never observes a
     half-written entry under its final name; a torn or bit-flipped record
     fails checksum verification on read, is counted, deleted, and reported
-    as a miss — the caller recomputes and the store heals. Every operation
-    is serialized by an internal mutex: one handle is safe to share across
-    domains and threads (the daemon's worker pool does). *)
+    as a miss — the caller recomputes and the store heals. A key whose
+    records keep failing verification ([quarantine_after] times) is
+    quarantined: the damaged file moves to [<root>/quarantine/] and the
+    key stops writing disk records, breaking the recompute storm while
+    preserving the evidence. Every operation is serialized by an internal
+    mutex: one handle is safe to share across domains and threads (the
+    daemon's worker pool does).
+
+    All durable I/O goes through an injectable {!Moard_chaos.Fx.t}, which
+    is how the chaos harness tears writes and flips read bytes without a
+    separate store implementation. *)
 
 type t
 
-val open_store : ?lru_entries:int -> ?lru_bytes:int -> dir:string -> unit -> t
+val open_store :
+  ?lru_entries:int ->
+  ?lru_bytes:int ->
+  ?fx:Moard_chaos.Fx.t ->
+  ?quarantine_after:int ->
+  dir:string ->
+  unit ->
+  t
 (** Create/open the directory tree. The LRU defaults to 256 entries /
-    64 MiB. *)
+    64 MiB; [fx] defaults to the real filesystem; [quarantine_after]
+    (default 3, must be ≥ 1) is the per-key checksum-failure count that
+    trips quarantine. *)
 
 val dir : t -> string
 val journal_dir : t -> string
@@ -34,8 +51,10 @@ type found = Memory | Disk
 type lookup = Found of string * found | Absent | Corrupted
 (** [Corrupted]: the entry existed but failed record verification (wrong
     magic/version/kind, truncation, checksum mismatch); it has been
-    deleted and counted — semantically a miss, but callers can surface
-    that a recompute is healing damage rather than filling a cold cache. *)
+    deleted — or, past the quarantine threshold, moved to
+    [<root>/quarantine/] — and counted. Semantically a miss, but callers
+    can surface that a recompute is healing damage rather than filling a
+    cold cache. *)
 
 val lookup : t -> key:Key.t -> kind:Record.kind -> lookup
 (** LRU first, then disk (verifying the record; a valid disk read is
@@ -56,6 +75,8 @@ type stats = {
   disk_hits : int;
   misses : int;
   corrupt : int;        (** corrupt records detected (and deleted) *)
+  quarantined : int;    (** keys parked in [quarantine/] by the breaker *)
+  put_failures : int;   (** durable writes that failed (served from memory) *)
   puts : int;
 }
 
@@ -70,3 +91,16 @@ val gc : t -> ?max_age_s:float -> unit -> int
     older — but never an entry touched (put or read) through this handle
     since it was opened, so a live working set survives any [max_age_s].
     Returns the number of files removed. *)
+
+type fsck_report = {
+  scanned : int;
+  valid : int;
+  damaged : (string * string) list;  (** key hex, corruption reason *)
+  moved : int;  (** files moved to quarantine by this pass *)
+}
+
+val fsck : ?quarantine:bool -> t -> fsck_report
+(** Offline integrity pass: decode-verify every record on disk without
+    recomputing anything. With [quarantine] (default false), damaged
+    files move to [<root>/quarantine/] and their keys join the
+    quarantine set. *)

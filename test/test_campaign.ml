@@ -309,9 +309,12 @@ let journal_tests =
         let path = tmp_journal () in
         ignore (Engine.run ~journal:path ~max_batches:1 ctx plan);
         (* A committed batch whose sample index skips ahead cannot come
-           from this plan's deterministic schedule. *)
+           from this plan's deterministic schedule — even with a valid
+           batch checksum, replay must reject it. *)
+        let body = "S 0 0 9999 2\n" in
         let oc = open_out_gen [ Open_append ] 0o644 path in
-        output_string oc "S 0 0 9999 2\nC 0 1\n";
+        output_string oc
+          (body ^ Printf.sprintf "C 0 1 %s\n" (Journal.checksum body));
         close_out oc;
         (try
            ignore (Engine.resume ~journal:path ctx plan);
@@ -329,6 +332,57 @@ let journal_tests =
         Alcotest.(check int) "no new executions during replay" 0
           (Array.fold_left ( + ) 0
              replayed.Engine.perf.Engine.per_domain_runs);
+        Sys.remove path);
+    Alcotest.test_case "fsck verifies a healthy journal" `Quick (fun () ->
+        let ctx, plan = small_plan () in
+        let path = tmp_journal () in
+        ignore (Engine.run ~journal:path ctx plan);
+        let r = Journal.fsck ~path () in
+        Alcotest.(check bool) "header ok" true r.Journal.header_ok;
+        Alcotest.(check (option string))
+          "bound to the plan" (Some (Plan.hash plan)) r.Journal.plan_hash;
+        Alcotest.(check bool) "has batches" true (r.Journal.batches > 0);
+        Alcotest.(check bool) "has records" true
+          (r.Journal.records >= r.Journal.batches);
+        Alcotest.(check bool) "no torn tail" false r.Journal.torn_tail;
+        Alcotest.(check (option int)) "no bad line" None r.Journal.bad_line;
+        Sys.remove path);
+    Alcotest.test_case "a bit flipped in a committed batch is detected, \
+                        and resume recomputes to the same bytes" `Slow
+      (fun () ->
+        let ctx, plan = small_plan () in
+        let straight = Engine.run ctx plan in
+        let path = tmp_journal () in
+        ignore (Engine.run ~journal:path ctx plan);
+        let before = Journal.fsck ~path () in
+        (* flip one digit inside the first committed sample line: without
+           the per-batch checksum this would still parse as a valid (but
+           different) sample and silently poison the replay *)
+        let contents = run_to_string path in
+        let rec find_s i =
+          match String.index_from contents i '\n' with
+          | exception Not_found -> Alcotest.fail "no sample line"
+          | nl when nl + 1 < String.length contents && contents.[nl + 1] = 'S'
+            ->
+            nl + 3
+          | nl -> find_s (nl + 1)
+        in
+        let pos = find_s 0 in
+        let b = Bytes.of_string contents in
+        Bytes.set b pos (if Bytes.get b pos = '0' then '1' else '0');
+        let oc = open_out_bin path in
+        output_bytes oc b;
+        close_out oc;
+        let after = Journal.fsck ~path () in
+        Alcotest.(check bool) "fsck pinpoints the damage" true
+          (after.Journal.bad_line <> None);
+        Alcotest.(check bool) "only the prefix is trusted" true
+          (after.Journal.batches < before.Journal.batches);
+        (* resume replays the trusted prefix and recomputes the rest:
+           detection costs work, never correctness *)
+        let resumed = Engine.resume ~journal:path ctx plan in
+        Alcotest.(check string) "same bytes as an undamaged run"
+          (stable straight) (stable resumed);
         Sys.remove path);
   ]
 

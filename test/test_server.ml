@@ -129,7 +129,7 @@ let pool_tests =
   [
     Alcotest.test_case "jobs run, failures are swallowed and counted" `Quick
       (fun () ->
-        let p = Pool.create ~workers:2 ~queue:16 in
+        let p = Pool.create ~workers:2 ~queue:16 () in
         let hits = Atomic.make 0 in
         for _ = 1 to 8 do
           match Pool.submit p (fun () -> Atomic.incr hits) with
@@ -144,7 +144,7 @@ let pool_tests =
           (Pool.executed p));
     Alcotest.test_case "a full queue is explicit backpressure, not a drop"
       `Quick (fun () ->
-        let p = Pool.create ~workers:1 ~queue:2 in
+        let p = Pool.create ~workers:1 ~queue:2 () in
         let gate = Atomic.make false in
         let ran = Atomic.make 0 in
         let blocker () =
@@ -177,7 +177,7 @@ let pool_tests =
 (* ---------------------------------------------------------------- *)
 (* Daemon, end to end *)
 
-let with_daemon ?(workers = 2) ?(queue = 8) f =
+let with_daemon ?(workers = 2) ?(queue = 8) ?(timeout_s = 120.0) ?shims f =
   let dir = Filename.temp_file "moard_test_daemon" "" in
   Sys.remove dir;
   let socket = Filename.temp_file "moardd_test" ".sock" in
@@ -189,7 +189,9 @@ let with_daemon ?(workers = 2) ?(queue = 8) f =
       store_dir = dir;
       workers;
       queue;
-      timeout_s = 120.0;
+      timeout_s;
+      shims =
+        Option.value ~default:Daemon.default_config.Daemon.shims shims;
     }
   in
   let d = Daemon.start cfg in
@@ -411,10 +413,157 @@ let daemon_tests =
         | _ -> Alcotest.fail "stopped daemon still answering");
   ]
 
+(* ---------------------------------------------------------------- *)
+(* Resilience: the hardening contracts the chaos harness relies on *)
+
+module Chaos = Moard_chaos.Chaos
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let resilience_tests =
+  [
+    Alcotest.test_case "a dying job still answers: typed internal error, \
+                        cause surfaced in stat" `Quick (fun () ->
+        let shims =
+          {
+            Chaos.passthrough with
+            Chaos.wrap_job = (fun _job () -> failwith "wrapped job exploded");
+          }
+        in
+        with_daemon ~timeout_s:60.0 ~shims (fun d cfg ->
+            let t0 = Unix.gettimeofday () in
+            let header, _ = rpc cfg (advf_req "m_elemBC") in
+            let dt = Unix.gettimeofday () -. t0 in
+            (match Client.error_of header with
+            | Some ("internal", msg) ->
+              Alcotest.(check bool) "error names the cause" true
+                (contains ~sub:"wrapped job exploded" msg)
+            | Some (code, msg) ->
+              Alcotest.failf "expected internal, got %s: %s" code msg
+            | None -> Alcotest.fail "dead job reported success");
+            Alcotest.(check bool)
+              "answered promptly, not by waiting out the timeout" true
+              (dt < 30.0);
+            Alcotest.(check bool) "pool counted the failure" true
+              (Pool.failed (Daemon.pool d) >= 1);
+            let stat, _ = rpc cfg (Jsonx.Obj [ ("op", Jsonx.Str "stat") ]) in
+            match Jsonx.member "pool" stat with
+            | Some pool -> (
+              match Jsonx.str (Jsonx.member "last_error" pool) with
+              | Some e ->
+                Alcotest.(check bool) "last_error surfaced" true
+                  (contains ~sub:"wrapped job exploded" e)
+              | None -> Alcotest.fail "no last_error in stat")
+            | None -> Alcotest.fail "no pool section in stat"));
+    Alcotest.test_case "a timed-out campaign frees its worker before the \
+                        job completes: nothing stored, journal kept" `Slow
+      (fun () ->
+        (* the job shim sleeps past the deadline before the job even
+           starts, so the timeout answer always wins; the job then finds
+           its cancel token expired and abandons at the first batch
+           check *)
+        let shims =
+          {
+            Chaos.passthrough with
+            Chaos.wrap_job =
+              (fun job () ->
+                Unix.sleepf 0.5;
+                job ());
+          }
+        in
+        with_daemon ~workers:1 ~timeout_s:0.1 ~shims (fun d cfg ->
+            let req =
+              Jsonx.Obj
+                [
+                  ("op", Jsonx.Str "campaign");
+                  ("benchmark", Jsonx.Str "LULESH");
+                  ("objects", Jsonx.Arr [ Jsonx.Str "m_elemBC" ]);
+                  ("seed", Jsonx.Int 11);
+                  ("ci_width", Jsonx.Float 0.05);
+                ]
+            in
+            let header, _ = rpc cfg req in
+            (match Client.error_of header with
+            | Some ("timeout", msg) ->
+              Alcotest.(check bool) "says the work was cancelled" true
+                (contains ~sub:"cancelled" msg)
+            | Some (code, _) -> Alcotest.failf "expected timeout, got %s" code
+            | None -> Alcotest.fail "request should have timed out");
+            (* cooperative cancellation: the single worker frees long
+               before an uncancelled campaign would finish *)
+            let deadline = Unix.gettimeofday () +. 30.0 in
+            while
+              (Pool.running (Daemon.pool d) > 0
+              || Pool.queued (Daemon.pool d) > 0)
+              && Unix.gettimeofday () < deadline
+            do
+              Thread.delay 0.01
+            done;
+            Alcotest.(check int) "worker freed" 0
+              (Pool.running (Daemon.pool d));
+            (* the job was abandoned, not completed: no result reached
+               the store, and the journal survives for a resume *)
+            let e = Registry.find "LULESH" in
+            let w = e.Registry.workload () in
+            let ctx = Context.make w in
+            let plan =
+              Moard_campaign.Plan.make ~seed:11 ~ci_width:0.05 ctx
+                ~objects:[ "m_elemBC" ]
+            in
+            let key =
+              Moard_store.Key.campaign
+                ~program:w.Moard_inject.Workload.program ~plan
+            in
+            Alcotest.(check bool) "nothing stored" true
+              (Store.get (Daemon.store d) ~key
+                 ~kind:Moard_store.Record.Campaign
+              = None);
+            let journal =
+              Filename.concat
+                (Store.journal_dir (Daemon.store d))
+                (Moard_store.Key.to_hex key ^ ".journal")
+            in
+            Alcotest.(check bool) "journal kept for resume" true
+              (Sys.file_exists journal)));
+    Alcotest.test_case "raw garbage on the socket: typed bad-request, the \
+                        daemon keeps serving" `Quick (fun () ->
+        with_daemon (fun _ cfg ->
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                Unix.connect fd (Unix.ADDR_UNIX cfg.Daemon.socket);
+                (* a well-framed frame whose body is not JSON *)
+                let body = "this is not json {" in
+                let b = Bytes.create (4 + String.length body) in
+                Bytes.set_int32_be b 0 (Int32.of_int (String.length body));
+                Bytes.blit_string body 0 b 4 (String.length body);
+                ignore (Unix.write fd b 0 (Bytes.length b));
+                (match Protocol.recv fd with
+                | Some (h, _) -> (
+                  match Client.error_of h with
+                  | Some ("bad-request", _) -> ()
+                  | _ -> Alcotest.fail "garbage not answered with bad-request")
+                | None -> Alcotest.fail "connection dropped without an answer"
+                | exception Protocol.Protocol_error _ ->
+                  Alcotest.fail "daemon sent garbage back"));
+            (* the accept loop is alive and well *)
+            let header, _ = rpc cfg (Jsonx.Obj [ ("op", Jsonx.Str "version") ]) in
+            match Client.error_of header with
+            | None -> ()
+            | Some (code, _) ->
+              Alcotest.failf "daemon wedged after garbage: %s" code));
+  ]
+
 let suite =
   [
     ("server.jsonx", jsonx_tests);
     ("server.protocol", protocol_tests);
     ("server.pool", pool_tests);
     ("server.daemon", daemon_tests);
+    ("server.resilience", resilience_tests);
   ]
