@@ -555,10 +555,11 @@ let pipeline () =
       \  \"use_cache\": false,\n\
       \  \"host_cores\": %d,\n\
       \  \"advf\": \"%h\",\n\
+      \  \"advf_decimal\": %.17g,\n\
       \  \"advf_bit_identical_across_domains\": %b,\n\
       \  \"domains\": [\n"
       e.Registry.benchmark obj events !trace_s events_per_sec packed boxed
-      reduction goldens host_cores r1.Advf.advf identical;
+      reduction goldens host_cores r1.Advf.advf r1.Advf.advf identical;
     List.iteri
       (fun i (d, s, _) ->
         Printf.fprintf oc
@@ -654,22 +655,25 @@ let campaign () =
       \  \"ci_width_target\": %g,\n\
       \  \"population\": %d,\n\
       \  \"exhaustive_rate\": \"%h\",\n\
+      \  \"exhaustive_rate_decimal\": %.17g,\n\
       \  \"exhaustive_injections\": %d,\n\
       \  \"exhaustive_seconds\": %.4f,\n\
       \  \"campaign_samples\": %d,\n\
       \  \"campaign_runs\": %d,\n\
       \  \"campaign_cache_hits\": %d,\n\
       \  \"campaign_estimate\": \"%h\",\n\
+      \  \"campaign_estimate_decimal\": %.17g,\n\
       \  \"campaign_ci\": [\"%h\", \"%h\"],\n\
+      \  \"campaign_ci_decimal\": [%.17g, %.17g],\n\
       \  \"stopped\": %S,\n\
       \  \"ci_covers_exhaustive\": %b,\n\
       \  \"injection_savings\": %.3f,\n\
       \  \"report_bit_identical_across_domains\": %b,\n\
       \  \"domains\": [\n"
-      bench obj plan.Plan.seed ci_width o.Engine.population exact
+      bench obj plan.Plan.seed ci_width o.Engine.population exact exact
       truth.Moard_inject.Exhaustive.injections sweep_s o.Engine.samples
-      o.Engine.runs o.Engine.cache_hits o.Engine.estimate o.Engine.lo
-      o.Engine.hi
+      o.Engine.runs o.Engine.cache_hits o.Engine.estimate o.Engine.estimate
+      o.Engine.lo o.Engine.hi o.Engine.lo o.Engine.hi
       (Engine.stop_reason_name o.Engine.stopped)
       covered savings identical;
     List.iteri
@@ -850,6 +854,7 @@ let kernel_bench () =
     if !quick then [ ("LULESH", "m_elemBC") ]
     else [ ("MM", "C"); ("AMG", "ipiv") ]
   in
+  let scan0 = Moard_analysis.Masking.scan_executions () in
   let sweep ~batch bench obj =
     let e = Registry.find bench in
     (* fresh context: a shared outcome cache would let whichever mode runs
@@ -863,13 +868,13 @@ let kernel_bench () =
       bench obj r.Moard_inject.Exhaustive.sites
       r.Moard_inject.Exhaustive.injections r.Moard_inject.Exhaustive.runs s
       (float_of_int r.Moard_inject.Exhaustive.sites /. s);
-    (r, s)
+    (r, s, Context.inject_steps ctx)
   in
   let rows =
     List.map
       (fun (bench, obj) ->
-        let sr, ss = sweep ~batch:false bench obj in
-        let br, bs = sweep ~batch:true bench obj in
+        let sr, ss, ssteps = sweep ~batch:false bench obj in
+        let br, bs, bsteps = sweep ~batch:true bench obj in
         let open Moard_inject.Exhaustive in
         if
           (sr.sites, sr.injections, sr.same, sr.acceptable, sr.incorrect,
@@ -880,34 +885,52 @@ let kernel_bench () =
         let speedup = ss /. bs in
         Printf.printf
           "  %s/%s: %.3fs scalar -> %.3fs batched (%.1fx); executions %d -> \
-           %d\n%!"
-          bench obj ss bs speedup sr.runs br.runs;
-        (bench, obj, sr, ss, br, bs, speedup))
+           %d; injected steps %d -> %d\n%!"
+          bench obj ss bs speedup sr.runs br.runs ssteps bsteps;
+        (bench, obj, sr, ss, ssteps, br, bs, bsteps, speedup))
       pairs
   in
-  (* The whole point of the kernel: on the headline object most patterns
-     never reach the VM. The guarantee is asserted on the first pair only —
-     an object whose every consumption feeds address arithmetic (AMG's
-     ipiv pivot indices) legitimately leaves nothing for the closed forms
-     to decide, and the sweep falls through to injection at scalar cost. *)
-  (match rows with
-  | (bench, _, sr, _, br, _, speedup) :: _ ->
-    let open Moard_inject.Exhaustive in
-    if br.runs >= sr.runs then
-      failwith ("kernel: no execution savings on " ^ bench);
-    if (not !quick) && speedup < 5.0 then
-      failwith ("kernel: batched sweep under 5x on " ^ bench)
-  | [] -> assert false);
+  (* The whole point of the kernel: most patterns never reach the VM.
+     Every pair must clear 5x; the address-arithmetic object (AMG's ipiv
+     pivot indices, whose corrupted lanes redirect later loads and stores)
+     must clear 10x — the golden-memory replay resolves redirected
+     addresses analytically instead of falling through to injection. *)
+  let scan_execs = Moard_analysis.Masking.scan_executions () - scan0 in
+  if scan_execs <> 0 then
+    failwith
+      (Printf.sprintf
+         "kernel: %d scalar-walk executions under single-bit (want 0)"
+         scan_execs);
+  List.iter
+    (fun (bench, obj, sr, _, ssteps, br, _, bsteps, speedup) ->
+      let open Moard_inject.Exhaustive in
+      (* Savings show up as avoided executions (analytically decided
+         lanes) or, where every lane genuinely needs ground truth, as
+         avoided dynamic instructions (checkpoint-resumed suffixes). *)
+      if br.runs >= sr.runs && 2 * bsteps >= ssteps then
+        failwith ("kernel: no execution savings on " ^ bench);
+      let floor = if bench = "AMG" && obj = "ipiv" then 10.0 else 5.0 in
+      if (not !quick) && speedup < floor then
+        failwith
+          (Printf.sprintf "kernel: batched sweep %.1fx on %s/%s (want %.0fx)"
+             speedup bench obj floor))
+    rows;
   (* campaign engine across requested domain counts, kernel on: capping at
      the host's recommended count means oversubscription degrades to the
-     sequential schedule instead of a slower convoy *)
+     sequential schedule instead of a slower convoy. On a single-core host
+     every count degrades to the sequential schedule, so the scaling table
+     would only measure noise — skip it and annotate the JSON instead. *)
   let bench, obj = List.hd pairs in
   let e = Registry.find bench in
   let ctx = ctx_of e in
   let module Plan = Moard_campaign.Plan in
   let module Engine = Moard_campaign.Engine in
   let plan = Plan.make ~seed:42 ~ci_width:0.02 ctx ~objects:[ obj ] in
-  let domain_counts = if !quick then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let host_cores = Domain.recommended_domain_count () in
+  let single_core = host_cores = 1 in
+  let domain_counts =
+    if single_core then [ 1 ] else if !quick then [ 1; 2 ] else [ 1; 2; 4 ]
+  in
   let druns =
     List.map
       (fun d ->
@@ -922,47 +945,68 @@ let kernel_bench () =
   if not (List.for_all (fun (_, _, j) -> j = j1) druns) then
     failwith "kernel: campaign report drifted across domain counts";
   let _, tmax, _ = List.nth druns (List.length druns - 1) in
-  Printf.printf
-    "\n\
-     campaign report bit-identical across domain counts: true\n\
-     domains=%d vs domains=1 wall clock: %.3fs vs %.3fs (no oversubscription \
-     penalty)\n"
-    (List.nth domain_counts (List.length domain_counts - 1))
-    tmax t1;
-  if tmax > t1 *. 1.5 +. 0.05 then
-    failwith "kernel: oversubscribed domains slower than sequential";
+  if single_core then
+    Printf.printf
+      "\n\
+       campaign domain-scaling table skipped: host has 1 recommended \
+       domain (nothing to scale over)\n"
+  else begin
+    Printf.printf
+      "\n\
+       campaign report bit-identical across domain counts: true\n\
+       domains=%d vs domains=1 wall clock: %.3fs vs %.3fs (no \
+       oversubscription penalty)\n"
+      (List.nth domain_counts (List.length domain_counts - 1))
+      tmax t1;
+    if tmax > t1 *. 1.5 +. 0.05 then
+      failwith "kernel: oversubscribed domains slower than sequential"
+  end;
   if !quick then note "quick mode: not writing BENCH_kernel.json"
   else begin
     let oc = open_out "BENCH_kernel.json" in
-    Printf.fprintf oc "{\n  \"host_cores\": %d,\n  \"sweeps\": [\n"
-      (Domain.recommended_domain_count ());
+    Printf.fprintf oc
+      "{\n\
+      \  \"host_cores\": %d,\n\
+      \  \"scan_executions\": %d,\n\
+      \  \"sweeps\": [\n"
+      host_cores scan_execs;
     List.iteri
-      (fun i (bench, obj, sr, ss, br, bs, speedup) ->
+      (fun i (bench, obj, sr, ss, ssteps, br, bs, bsteps, speedup) ->
         let open Moard_inject.Exhaustive in
         Printf.fprintf oc
           "    { \"benchmark\": %S, \"object\": %S, \"sites\": %d,\n\
           \      \"injections\": %d, \"success_rate\": \"%h\",\n\
+          \      \"success_rate_decimal\": %.17g,\n\
           \      \"scalar\": { \"seconds\": %.4f, \"runs\": %d, \
-           \"sites_per_sec\": %.1f },\n\
+           \"injected_steps\": %d, \"sites_per_sec\": %.1f },\n\
           \      \"batched\": { \"seconds\": %.4f, \"runs\": %d, \
-           \"sites_per_sec\": %.1f },\n\
+           \"injected_steps\": %d, \"sites_per_sec\": %.1f },\n\
           \      \"speedup\": %.2f }%s\n"
-          bench obj sr.sites sr.injections sr.success_rate ss sr.runs
+          bench obj sr.sites sr.injections sr.success_rate sr.success_rate ss
+          sr.runs ssteps
           (float_of_int sr.sites /. ss)
-          bs br.runs
+          bs br.runs bsteps
           (float_of_int br.sites /. bs)
           speedup
           (if i = List.length rows - 1 then "" else ","))
       rows;
-    Printf.fprintf oc "  ],\n  \"campaign_domains\": [\n";
-    List.iteri
-      (fun i (d, s, _) ->
-        Printf.fprintf oc
-          "    { \"domains\": %d, \"seconds\": %.4f, \"speedup\": %.3f }%s\n"
-          d s (t1 /. s)
-          (if i = List.length druns - 1 then "" else ","))
-      druns;
-    Printf.fprintf oc "  ]\n}\n";
+    if single_core then
+      Printf.fprintf oc
+        "  ],\n\
+        \  \"campaign_domains\": [],\n\
+        \  \"campaign_domains_skipped\": \"host has 1 recommended domain\"\n"
+    else begin
+      Printf.fprintf oc "  ],\n  \"campaign_domains\": [\n";
+      List.iteri
+        (fun i (d, s, _) ->
+          Printf.fprintf oc
+            "    { \"domains\": %d, \"seconds\": %.4f, \"speedup\": %.3f }%s\n"
+            d s (t1 /. s)
+            (if i = List.length druns - 1 then "" else ","))
+        druns;
+      Printf.fprintf oc "  ]\n"
+    end;
+    Printf.fprintf oc "}\n";
     close_out oc;
     note "wrote BENCH_kernel.json"
   end

@@ -19,6 +19,7 @@
 open Cmdliner
 module Registry = Moard_kernels.Registry
 module Context = Moard_inject.Context
+module Errmodel = Moard_bits.Errmodel
 module Model = Moard_core.Model
 module Advf = Moard_core.Advf
 module Store = Moard_store.Store
@@ -76,6 +77,26 @@ let pick_objects (e : Registry.entry) = function
   | [] -> e.Registry.objects
   | objs -> objs
 
+let errmodel_conv =
+  let parse s =
+    match Errmodel.of_string s with
+    | Ok m -> Ok m
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf m = Format.pp_print_string ppf (Errmodel.to_string m) in
+  Arg.conv (parse, print)
+
+let error_model_arg =
+  Arg.(
+    value
+    & opt errmodel_conv Errmodel.Single_bit
+    & info [ "error-model" ] ~docv:"MODEL"
+        ~doc:"Error model whose patterns are swept per fault site: \
+              $(i,single-bit) (default, one flipped bit), $(i,double-bit) \
+              (adjacent pair), $(i,byte-burst) (aligned 8-bit burst) or \
+              $(i,whole-word) (every bit). Non-default models get their \
+              own store keys, journal headers and report labels.")
+
 let no_batch_flag =
   Arg.(
     value & flag
@@ -117,10 +138,10 @@ let make_ctx (e : Registry.entry) ~optimize =
   Context.make w
 
 let analyze_cmd =
-  let run () e objs k fi_budget no_cache optimize jobs no_batch =
+  let run () e objs k fi_budget no_cache optimize jobs no_batch model =
     let options =
       { Model.default_options with k; fi_budget; use_cache = not no_cache;
-        batch = not no_batch }
+        batch = not no_batch; model }
     in
     (* One context -- and therefore one golden execution -- no matter how
        many objects or domains. *)
@@ -171,15 +192,15 @@ let analyze_cmd =
        ~doc:"Compute aDVF for data objects of a benchmark (the model).")
     Term.(
       const run $ setup_logs $ bench_arg $ objects_arg $ k_arg $ budget_arg
-      $ no_cache $ optimize_flag $ jobs_arg $ no_batch_flag)
+      $ no_cache $ optimize_flag $ jobs_arg $ no_batch_flag $ error_model_arg)
 
 let exhaustive_cmd =
-  let run () e objs stride no_batch =
+  let run () e objs stride no_batch model =
     let ctx = Context.make (e.Registry.workload ()) in
     List.iter
       (fun obj ->
         let r =
-          Moard_inject.Exhaustive.campaign ~pattern_stride:stride
+          Moard_inject.Exhaustive.campaign ~model ~pattern_stride:stride
             ~batch:(not no_batch) ctx ~object_name:obj
         in
         Format.printf "%a@." Moard_inject.Exhaustive.pp_result r)
@@ -196,7 +217,7 @@ let exhaustive_cmd =
        ~doc:"Exhaustive fault injection over all valid fault sites.")
     Term.(
       const run $ setup_logs $ bench_arg $ objects_arg $ stride
-      $ no_batch_flag)
+      $ no_batch_flag $ error_model_arg)
 
 let rfi_cmd =
   let run () e objs tests seed =
@@ -383,9 +404,11 @@ let stable_flag =
         ~doc:"Strip the performance section from the JSON report, leaving \
               only the deterministic part (for golden-snapshot diffing).")
 
-let campaign_plan ctx e objs ~seed ~confidence ~ci_width ~batch ~max_samples =
+let campaign_plan ctx e objs ~model ~seed ~confidence ~ci_width ~batch
+    ~max_samples =
   ignore e;
-  Plan.make ~seed ~confidence ~ci_width ~batch ~max_samples ctx ~objects:objs
+  Plan.make ~model ~seed ~confidence ~ci_width ~batch ~max_samples ctx
+    ~objects:objs
 
 let emit_report r ~out ~stable =
   (match out with
@@ -398,16 +421,20 @@ let emit_report r ~out ~stable =
   Format.printf "%a@." Campaign_report.pp r
 
 let campaign_plan_cmd =
-  let run () e objs seed confidence ci_width batch max_samples =
+  let run () e objs seed confidence ci_width batch max_samples model =
     let ctx = Context.make (e.Registry.workload ()) in
     let plan =
-      campaign_plan ctx e (pick_objects e objs) ~seed ~confidence ~ci_width
-        ~batch ~max_samples
+      campaign_plan ctx e (pick_objects e objs) ~model ~seed ~confidence
+        ~ci_width ~batch ~max_samples
     in
     Format.printf
-      "plan %s: workload %s, seed %d, confidence %g, target halfwidth %g, \
+      "plan %s: workload %s%s, seed %d, confidence %g, target halfwidth %g, \
        batch %d@."
-      (Plan.hash plan) plan.Plan.workload_name plan.Plan.seed
+      (Plan.hash plan) plan.Plan.workload_name
+      (if plan.Plan.model <> Errmodel.Single_bit then
+         ", error model " ^ Errmodel.to_string plan.Plan.model
+       else "")
+      plan.Plan.seed
       plan.Plan.confidence plan.Plan.ci_width plan.Plan.batch;
     Array.iter
       (fun (o : Plan.objective) ->
@@ -432,11 +459,12 @@ let campaign_plan_cmd =
              campaign design without running it.")
     Term.(
       const run $ setup_logs $ bench_arg $ objects_arg $ seed_arg
-      $ confidence_arg $ ci_width_arg $ batch_arg $ max_samples_arg)
+      $ confidence_arg $ ci_width_arg $ batch_arg $ max_samples_arg
+      $ error_model_arg)
 
 let campaign_run_cmd =
   let run () e objs seed confidence ci_width batch max_samples domains journal
-      store_dir out stable no_batch =
+      store_dir out stable no_batch model =
     (match (journal, store_dir) with
     | Some _, Some _ ->
       usage
@@ -446,8 +474,8 @@ let campaign_run_cmd =
     let w = e.Registry.workload () in
     let ctx = Context.make w in
     let plan =
-      campaign_plan ctx e (pick_objects e objs) ~seed ~confidence ~ci_width
-        ~batch ~max_samples
+      campaign_plan ctx e (pick_objects e objs) ~model ~seed ~confidence
+        ~ci_width ~batch ~max_samples
     in
     match store_dir with
     | Some dir ->
@@ -490,7 +518,7 @@ let campaign_run_cmd =
       const run $ setup_logs $ bench_arg $ objects_arg $ seed_arg
       $ confidence_arg $ ci_width_arg $ batch_arg $ max_samples_arg
       $ domains_arg $ journal_arg $ store_dir_arg $ out_arg $ stable_flag
-      $ no_batch_flag)
+      $ no_batch_flag $ error_model_arg)
 
 let required_journal =
   Arg.(
@@ -510,8 +538,17 @@ let setup_from_journal path =
   let w = e.Registry.workload () in
   let ctx = Context.make w in
   let objects = String.split_on_char ',' (get "objects") in
+  (* pre-model journals have no "model" key: single-bit *)
+  let model =
+    match List.assoc_opt "model" meta with
+    | None -> Errmodel.Single_bit
+    | Some s -> (
+      match Errmodel.of_string s with
+      | Ok m -> m
+      | Error msg -> failwith ("journal meta: " ^ msg))
+  in
   let plan =
-    Plan.make
+    Plan.make ~model
       ~seed:(int_of_string (get "seed"))
       ~confidence:(float_of_string (get "confidence"))
       ~ci_width:(float_of_string (get "ci_width"))
@@ -725,10 +762,17 @@ let offline_header ~op ~key ~status extra =
      ]
     @ extra)
 
+(* present only for non-default models, so daemon request bytes (and the
+   daemon's derived keys) stay identical for single-bit queries *)
+let model_fields model =
+  if model <> Errmodel.Single_bit then
+    [ ("error_model", Jsonx.Str (Errmodel.to_string model)) ]
+  else []
+
 let query_advf_cmd =
-  let run () e objs k fi_budget socket offline store_dir meta no_batch =
+  let run () e objs k fi_budget socket offline store_dir meta no_batch model =
     let options =
-      { Model.default_options with k; fi_budget; batch = not no_batch }
+      { Model.default_options with k; fi_budget; batch = not no_batch; model }
     in
     let objs = pick_objects e objs in
     if offline then begin
@@ -759,13 +803,14 @@ let query_advf_cmd =
         (fun obj ->
           let req =
             Jsonx.Obj
-              [
-                ("op", Jsonx.Str "advf");
-                ("benchmark", Jsonx.Str e.Registry.benchmark);
-                ("object", Jsonx.Str obj);
-                ("k", Jsonx.Int options.Model.k);
-                ("fi_budget", Jsonx.Int options.Model.fi_budget);
-              ]
+              ([
+                 ("op", Jsonx.Str "advf");
+                 ("benchmark", Jsonx.Str e.Registry.benchmark);
+                 ("object", Jsonx.Str obj);
+                 ("k", Jsonx.Int options.Model.k);
+                 ("fi_budget", Jsonx.Int options.Model.fi_budget);
+               ]
+              @ model_fields model)
           in
           print_string (rpc_payload ~socket req ~meta))
         objs
@@ -789,17 +834,18 @@ let query_advf_cmd =
              locally.")
     Term.(
       const run $ setup_logs $ bench_arg $ objects_arg $ k_arg $ budget_arg
-      $ socket_arg $ offline_flag $ store_dir_arg $ meta_arg $ no_batch_flag)
+      $ socket_arg $ offline_flag $ store_dir_arg $ meta_arg $ no_batch_flag
+      $ error_model_arg)
 
 let query_campaign_cmd =
   let run () e objs seed confidence ci_width batch max_samples socket offline
-      store_dir meta no_batch =
+      store_dir meta no_batch model =
     let objs = pick_objects e objs in
     if offline then begin
       let ctx = make_ctx e ~optimize:false in
       let program = (e.Registry.workload ()).Moard_inject.Workload.program in
       let plan =
-        campaign_plan ctx e objs ~seed ~confidence ~ci_width ~batch
+        campaign_plan ctx e objs ~model ~seed ~confidence ~ci_width ~batch
           ~max_samples
       in
       let payload, status =
@@ -826,16 +872,17 @@ let query_campaign_cmd =
     else begin
       let req =
         Jsonx.Obj
-          [
-            ("op", Jsonx.Str "campaign");
-            ("benchmark", Jsonx.Str e.Registry.benchmark);
-            ("objects", Jsonx.Arr (List.map (fun o -> Jsonx.Str o) objs));
-            ("seed", Jsonx.Int seed);
-            ("confidence", Jsonx.Float confidence);
-            ("ci_width", Jsonx.Float ci_width);
-            ("batch", Jsonx.Int batch);
-            ("max_samples", Jsonx.Int max_samples);
-          ]
+          ([
+             ("op", Jsonx.Str "campaign");
+             ("benchmark", Jsonx.Str e.Registry.benchmark);
+             ("objects", Jsonx.Arr (List.map (fun o -> Jsonx.Str o) objs));
+             ("seed", Jsonx.Int seed);
+             ("confidence", Jsonx.Float confidence);
+             ("ci_width", Jsonx.Float ci_width);
+             ("batch", Jsonx.Int batch);
+             ("max_samples", Jsonx.Int max_samples);
+           ]
+          @ model_fields model)
       in
       print_string (rpc_payload ~socket req ~meta)
     end
@@ -848,7 +895,8 @@ let query_campaign_cmd =
     Term.(
       const run $ setup_logs $ bench_arg $ objects_arg $ seed_arg
       $ confidence_arg $ ci_width_arg $ batch_arg $ max_samples_arg
-      $ socket_arg $ offline_flag $ store_dir_arg $ meta_arg $ no_batch_flag)
+      $ socket_arg $ offline_flag $ store_dir_arg $ meta_arg $ no_batch_flag
+      $ error_model_arg)
 
 let query_stat_cmd =
   let run () socket =

@@ -1,0 +1,136 @@
+(** The golden-memory timeline: what the golden run's memory holds at any
+    address at any point of the tape, reconstructed without re-execution.
+
+    Built in one pass over the frozen tape: the pristine initial image
+    (globals laid out, nothing executed) plus, per store address, the
+    ordered list of stores the golden run performed there. A query
+    "what does a load of type [ty] at [addr] observe just before event
+    [pos]?" then resolves to either the latest overlapping golden store
+    before [pos] (exact-size match required — mixed-byte views are
+    refused, the caller falls back to ground truth) or, when no store
+    ever touched the range, the pristine image.
+
+    This is what lets the vectorized replay keep tracking a lane whose
+    *address* register is corrupted: the redirected load's value is a
+    golden-memory question, and a wild address is an exact
+    [Out_of_bounds] trap — both answerable here in O(log stores), where
+    previously every such lane fell back to a real injection. *)
+
+module Bitval = Moard_bits.Bitval
+module Tape = Moard_trace.Tape
+module Types = Moard_ir.Types
+module Memory = Moard_vm.Memory
+module I = Moard_ir.Instr
+
+(* All golden stores to one exact address, in tape order. *)
+type site = {
+  s_addr : int;
+  s_pos : int array;          (* ascending event indices *)
+  s_ty : Types.t array;       (* per store *)
+  s_val : Bitval.t array;
+}
+
+type t = {
+  image : Memory.t;           (* pristine; read-only *)
+  sites : (int, site) Hashtbl.t;
+  chunks : (int, int list) Hashtbl.t;
+      (* 8-byte chunk -> distinct store addresses touching it *)
+}
+
+let chunk a = a asr 3
+
+let build ~tape ~image =
+  let acc : (int, (int * Types.t * Bitval.t) list) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  let len = Tape.length tape in
+  for i = 0 to len - 1 do
+    let wa = Tape.write_addr_at tape i in
+    if wa >= 0 then
+      match Tape.instr_at tape i with
+      | I.Store (ty, _, _) ->
+        let v = Tape.read_value tape i 0 in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt acc wa) in
+        Hashtbl.replace acc wa ((i, ty, v) :: prev)
+      | _ -> ()
+  done;
+  let sites = Hashtbl.create (Hashtbl.length acc) in
+  let chunks = Hashtbl.create (Hashtbl.length acc) in
+  Hashtbl.iter
+    (fun addr entries ->
+      let entries = Array.of_list (List.rev entries) in
+      let site =
+        {
+          s_addr = addr;
+          s_pos = Array.map (fun (p, _, _) -> p) entries;
+          s_ty = Array.map (fun (_, ty, _) -> ty) entries;
+          s_val = Array.map (fun (_, _, v) -> v) entries;
+        }
+      in
+      Hashtbl.replace sites addr site;
+      let max_size =
+        Array.fold_left (fun m ty -> max m (Types.size ty)) 1 site.s_ty
+      in
+      for c = chunk addr to chunk (addr + max_size - 1) do
+        let prev = Option.value ~default:[] (Hashtbl.find_opt chunks c) in
+        if not (List.mem addr prev) then Hashtbl.replace chunks c (addr :: prev)
+      done)
+    acc;
+  { image; sites; chunks }
+
+let probe t ty addr =
+  match Memory.load t.image ty addr with
+  | Ok _ -> Ok ()
+  | Error trap -> Error trap
+
+(* Index of the latest entry of [site] strictly before [pos]; -1 if none. *)
+let latest_before site pos =
+  let lo = ref 0 and hi = ref (Array.length site.s_pos) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if site.s_pos.(mid) < pos then lo := mid + 1 else hi := mid
+  done;
+  !lo - 1
+
+let overlaps a1 s1 a2 s2 = a1 < a2 + s2 && a2 < a1 + s1
+
+let value_at t ~pos ty addr =
+  let sz = Types.size ty in
+  (* Candidate store sites: every distinct store address whose bytes can
+     touch [addr, addr+sz). *)
+  let best = ref None in
+  for c = chunk addr to chunk (addr + sz - 1) do
+    List.iter
+      (fun saddr ->
+        match Hashtbl.find_opt t.sites saddr with
+        | None -> ()
+        | Some site ->
+          (* Walk back from the latest entry before [pos] to the newest
+             one that actually overlaps the queried range (entries at one
+             address may differ in size). *)
+          let k = ref (latest_before site pos) in
+          let found = ref false in
+          while (not !found) && !k >= 0 do
+            let ssz = Types.size site.s_ty.(!k) in
+            if overlaps saddr ssz addr sz then found := true else decr k
+          done;
+          if !found then begin
+            let p = site.s_pos.(!k) in
+            match !best with
+            | Some (bp, _, _, _) when bp >= p -> ()
+            | _ -> best := Some (p, saddr, site.s_ty.(!k), site.s_val.(!k))
+          end)
+      (Option.value ~default:[] (Hashtbl.find_opt t.chunks c))
+  done;
+  match !best with
+  | None -> (
+    (* never stored: the pristine image is the golden content *)
+    match Memory.load t.image ty addr with
+    | Ok v -> Some v
+    | Error _ -> None)
+  | Some (_, saddr, sty, sval) ->
+    if saddr = addr && Types.size sty = sz then
+      (* exact-size latest store: its operand image, reinterpreted the way
+         Memory.store-then-load at equal size would *)
+      Some (Bitval.make (Types.width ty) sval.Bitval.bits)
+    else None

@@ -6,13 +6,14 @@
     and if not, what corrupted value it hands to error propagation.
 
     Two entry points answer the same question: {!analyze} for one pattern
-    (the scalar oracle), and {!analyze_all} for the whole single-bit-flip
+    (the scalar oracle), and {!analyze_all} for a whole error-model
     pattern set of a site at once, using the closed-form mask algebra of
-    {!Moard_bits.Patternset} where an opcode admits one and falling back
-    to the scalar classifier bit by bit where it does not — so the batched
-    answer is the scalar answer by construction on the fallback opcodes
-    and by the algebra (checked by the differential test suite) on the
-    rest. *)
+    {!Moard_bits.Patternset} where an opcode admits one and a per-lane
+    direct kernel — the opcode's own {!Moard_vm.Semantics}, one call per
+    lane, no generic re-execution — where it does not. Every consuming
+    opcode has one of the two, so the per-pattern scalar walk survives
+    solely as the differential oracle; {!scan_executions} counts the
+    (never expected) last-resort falls into it. *)
 
 type t =
   | Masked of Verdict.kind
@@ -41,33 +42,60 @@ val analyze :
     @raise Invalid_argument if the site is not a consumption of the event
     (e.g. a slot of a pure copy). *)
 
-(** The verdict of every single-bit-flip pattern of one site, as disjoint
-    pattern sets partitioning [Patternset.full ~width]. All masked bits of
-    a site share one kind: the kind is a function of (opcode, slot) — see
+(** The verdict of every pattern of one site under an error model, as
+    disjoint lane sets partitioning [Patternset.full_n ~n:lanes] — set
+    bit [i] stands for lane [i], i.e. pattern
+    [Errmodel.pattern_at model width i]; under the single-bit model that
+    is exactly "flip bit [i]". All masked lanes of a site share one kind:
+    the kind is a function of (opcode, slot) — see
     {!Reexec.exact_mask_kind} — and the only other masked source (an
     unchanged branch verdict) is [Logic_cmp] on exactly the opcode whose
     exact kind is [Logic_cmp]. *)
 type verdicts = {
   width : Moard_bits.Bitval.width;
+  model : Moard_bits.Errmodel.t;
+  lanes : int;  (** [Errmodel.lanes model width] *)
   masked : Moard_bits.Patternset.t;
-  mask_kind : Verdict.kind;  (** kind shared by every masked bit *)
+  mask_kind : Verdict.kind;  (** kind shared by every masked lane *)
   crash : Moard_bits.Patternset.t;
   trap : Moard_vm.Trap.t option;
-      (** the trap raised by the crash set (at most one distinct trap can
-          arise from single-bit corruption of one operand) *)
+      (** the trap of the lowest crashing lane, kept for compatibility;
+          {!trap_of_lane} gives the exact per-lane trap *)
+  traps : (int * Moard_vm.Trap.t) list;
+      (** per-lane traps of the crash set, ascending lane order *)
   divergent : Moard_bits.Patternset.t;
   changed : Moard_bits.Patternset.t;
   overshadow : Moard_bits.Patternset.t;  (** subset of [changed] *)
 }
 
-val analyze_all : Moard_trace.Event.t -> Moard_trace.Consume.kind -> verdicts
-(** Classify all [Bitval.bits_in width] single-bit patterns of the site in
-    one call. Agrees with {!analyze} on {!Moard_bits.Pattern.Single}[ i]
-    for every [i]. Same delegation and exception contract as {!analyze}. *)
+val analyze_all :
+  ?model:Moard_bits.Errmodel.t ->
+  Moard_trace.Event.t -> Moard_trace.Consume.kind -> verdicts
+(** Classify all [Errmodel.lanes model width] patterns of the site in one
+    call ([model] defaults to [Single_bit]). Agrees with {!analyze} on
+    [Errmodel.pattern_at model width i] for every lane [i]. Same
+    delegation and exception contract as {!analyze}. *)
+
+val trap_of_lane : verdicts -> int -> Moard_vm.Trap.t
+(** The trap of one lane of the crash set.
+    @raise Invalid_argument if the lane is not in the crash set. *)
+
+val pattern_of_lane :
+  ?model:Moard_bits.Errmodel.t ->
+  Moard_trace.Event.t -> Moard_trace.Consume.kind -> int ->
+  Moard_bits.Pattern.t
+(** The pattern of one verdict lane at this site: the model instantiated
+    at the site's operand width. *)
 
 val changed_out_at :
-  Moard_trace.Event.t -> Moard_trace.Consume.kind -> bit:int ->
+  ?model:Moard_bits.Errmodel.t ->
+  Moard_trace.Event.t -> Moard_trace.Consume.kind -> lane:int ->
   changed_out * bool
-(** The [Changed] payload (output and overshadow flag) of one bit of the
+(** The [Changed] payload (output and overshadow flag) of one lane of the
     changed set — what seeds the propagation replay.
-    @raise Invalid_argument if the bit is not in the changed set. *)
+    @raise Invalid_argument if the lane is not in the changed set. *)
+
+val scan_executions : unit -> int
+(** Process-wide count of falls into the per-pattern scalar walk — the
+    observable behind "every registry object sweeps on the batched path":
+    a full-registry sweep must leave it unchanged. *)

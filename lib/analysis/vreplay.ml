@@ -69,9 +69,12 @@ let size_mask = function
   | 4 -> 0xFFFF_FFFFL
   | _ -> -1L
 
+let addr_of v = Int64.to_int (Bitval.to_int64 v)
+
 type st = {
   tape : Tape.t;
   outputs : Data_object.t list;
+  gmem : Gmem.t option;
   fates : fate array;
   mutable live : Ps.t;
   mutable rcells : rcell list;
@@ -174,59 +177,147 @@ let step st ~pos (e : Event.t) =
   (match e.instr with
   | I.Br _ -> ()
   | I.Load (_, ty, _) -> (
-    (* A corrupted address reads some other cell: ground truth only. *)
-    (match slot_cell.(0) with
-    | Some c -> finalize st c.rmask Unknown
-    | None -> ());
     let sz = Types.size ty in
+    (* Lanes whose address register is corrupted load from a redirected
+       address: a wild address is an exact trap, an in-range one reads
+       the injected run's memory there — this walk's own contaminated
+       cells first, the golden-memory timeline otherwise. Without a
+       timeline only ground truth can tell. *)
+    let redirected = ref Ps.empty in
+    let redir_vals = ref [||] in
+    (match slot_cell.(0) with
+    | None -> ()
+    | Some c -> (
+      let m = Ps.inter c.rmask st.live in
+      match st.gmem with
+      | None -> finalize st m Unknown
+      | Some g ->
+        Ps.iter
+          (fun b ->
+            let addr' = addr_of c.rvals.(b) in
+            if addr' <> e.load_addr then
+              match Gmem.probe g ty addr' with
+              | Error trap -> finalize st (Ps.singleton b) (Trap trap)
+              | Ok () ->
+                let own = overlapping st ~addr:addr' ~size:sz in
+                let mixed =
+                  List.exists
+                    (fun mc ->
+                      (not (mc.maddr = addr' && mc.msize = sz))
+                      && Ps.mem mc.mmask b)
+                    own
+                in
+                let v =
+                  if mixed then None
+                  else
+                    match
+                      List.find_opt
+                        (fun mc -> mc.maddr = addr' && mc.msize = sz)
+                        own
+                    with
+                    | Some mc when Ps.mem mc.mmask b ->
+                      Some (reinterpret ty mc.mvals.(b))
+                    | _ -> Gmem.value_at g ~pos ty addr'
+                in
+                (match v with
+                | None -> finalize st (Ps.singleton b) Unknown
+                | Some v ->
+                  if Array.length !redir_vals = 0 then
+                    redir_vals := fresh_vals ();
+                  !redir_vals.(b) <- v;
+                  redirected := Ps.add !redirected b))
+          m));
+    let redirected = !redirected in
     let exact = ref None in
     List.iter
       (fun c ->
         if c.maddr = e.load_addr && c.msize = sz then exact := Some c
         else
           (* Partially overlapping view: the load mixes corrupted and
-             clean bytes — ground truth only. *)
-          finalize st c.mmask Unknown)
+             clean bytes — ground truth only. A redirected lane does not
+             perform this load, so it is unaffected. *)
+          finalize st (Ps.diff c.mmask redirected) Unknown)
       (overlapping st ~addr:e.load_addr ~size:sz);
     match e.write with
     | Event.Wreg { frame = wf; reg = wr; value = clean } ->
       let loaded_mask =
-        match !exact with Some c -> Ps.inter c.mmask st.live | None -> Ps.empty
+        match !exact with
+        | Some c -> Ps.diff (Ps.inter c.mmask st.live) redirected
+        | None -> Ps.empty
       in
-      kill_reg_mask st ~frame:wf ~reg:wr (Ps.diff st.live loaded_mask);
+      let redirected = Ps.inter redirected st.live in
+      kill_reg_mask st ~frame:wf ~reg:wr
+        (Ps.diff st.live (Ps.union loaded_mask redirected));
       Ps.iter
         (fun b ->
           let c = Option.get !exact in
           let v = reinterpret ty c.mvals.(b) in
           if Bitval.equal v clean then kill_reg_mask st ~frame:wf ~reg:wr (Ps.singleton b)
           else set_reg st ~pos ~frame:wf ~reg:wr b v)
-        loaded_mask
+        loaded_mask;
+      Ps.iter
+        (fun b ->
+          let v = !redir_vals.(b) in
+          if Bitval.equal v clean then
+            kill_reg_mask st ~frame:wf ~reg:wr (Ps.singleton b)
+          else set_reg st ~pos ~frame:wf ~reg:wr b v)
+        redirected
     | Event.Wmem _ | Event.Wnone -> ())
   | I.Store (ty, _, _) -> (
     match e.write with
     | Event.Wmem { addr; value = clean; ty = _ } ->
-      (* A corrupted address stores somewhere else entirely. *)
+      let sz = Types.size ty in
+      let smask = size_mask sz in
+      (* Lanes whose address register is corrupted store somewhere else:
+         a wild address is an exact trap; an in-range one leaves [addr]
+         holding the injected run's prior content (the golden store never
+         happens there) and clobbers [addr'] instead. Without a golden
+         timeline only ground truth can tell. *)
+      let redirected = ref Ps.empty in
+      let redir_addr = Array.make 64 0 in
       (if nslots > 1 then
          match slot_cell.(1) with
-         | Some c -> finalize st c.rmask Unknown
-         | None -> ());
-      let sz = Types.size ty in
+         | None -> ()
+         | Some c -> (
+           let m = Ps.inter c.rmask st.live in
+           match st.gmem with
+           | None -> finalize st m Unknown
+           | Some g ->
+             Ps.iter
+               (fun b ->
+                 let addr' = addr_of c.rvals.(b) in
+                 if addr' <> addr then
+                   match Gmem.probe g ty addr' with
+                   | Error trap -> finalize st (Ps.singleton b) (Trap trap)
+                   | Ok () ->
+                     redir_addr.(b) <- addr';
+                     redirected := Ps.add !redirected b)
+               m));
+      let redirected = !redirected in
       let exact = ref None in
       List.iter
         (fun c ->
           if c.maddr = addr && c.msize = sz then exact := Some c
-          else if c.maddr >= addr && c.maddr + c.msize <= addr + sz then
+          else if c.maddr >= addr && c.maddr + c.msize <= addr + sz then begin
             (* Fully overwritten by this store: corruption at this view is
                gone (any corrupted bytes written here are tracked by the
-               store's own cell below). *)
+               store's own cell below). A redirected lane instead leaves
+               the cell intact while the golden run overwrites around it —
+               mixed coverage this cell shape cannot express. *)
+            finalize st (Ps.inter c.mmask redirected) Unknown;
             c.mmask <- Ps.empty
+          end
           else
             (* Partial overlap: bytes mix — ground truth only. *)
             finalize st c.mmask Unknown)
         (overlapping st ~addr ~size:sz);
-      let smask = size_mask sz in
       let contaminated = ref Ps.empty in
       let vals = ref [||] in
+      let put b v =
+        if Array.length !vals = 0 then vals := fresh_vals ();
+        !vals.(b) <- v;
+        contaminated := Ps.add !contaminated b
+      in
       Ps.iter
         (fun b ->
           let v = value_at 0 b in
@@ -235,12 +326,32 @@ let step st ~pos (e : Event.t) =
               (Int64.equal
                  (Int64.logand v.Bitval.bits smask)
                  (Int64.logand clean.Bitval.bits smask))
-          then begin
-            if Array.length !vals = 0 then vals := fresh_vals ();
-            !vals.(b) <- v;
-            contaminated := Ps.add !contaminated b
-          end)
-        st.live;
+          then put b v)
+        (Ps.diff st.live redirected);
+      (* Missing store: a redirected lane keeps the injected run's prior
+         content at [addr] — contaminated against the golden [clean]
+         unless the two coincide. *)
+      (match st.gmem with
+      | None -> ()
+      | Some g ->
+        Ps.iter
+          (fun b ->
+            if Ps.mem st.live b then
+              let prior =
+                match !exact with
+                | Some c when Ps.mem c.mmask b -> Some c.mvals.(b)
+                | _ -> Gmem.value_at g ~pos ty addr
+              in
+              match prior with
+              | None -> finalize st (Ps.singleton b) Unknown
+              | Some v ->
+                if
+                  not
+                    (Int64.equal
+                       (Int64.logand v.Bitval.bits smask)
+                       (Int64.logand clean.Bitval.bits smask))
+                then put b v)
+          redirected);
       let keep =
         (not (Ps.is_empty !contaminated))
         && (Tape.last_mem_read st.tape ~addr > pos || in_outputs st addr)
@@ -266,7 +377,78 @@ let step st ~pos (e : Event.t) =
           in
           st.mcells <- c :: st.mcells;
           st.ncells <- st.ncells + 1
-        end)
+        end);
+      (* Misdirected store: the value a redirected lane writes at [addr']
+         diverges the injected run's memory there from the golden run's,
+         which never stores at [addr'] at this step. *)
+      (match st.gmem with
+      | None -> ()
+      | Some g ->
+        Ps.iter
+          (fun b ->
+            if Ps.mem st.live b then begin
+              let addr' = redir_addr.(b) in
+              let v = value_at 0 b in
+              List.iter
+                (fun c ->
+                  if
+                    (not (c.maddr = addr' && c.msize = sz))
+                    && Ps.mem c.mmask b
+                  then
+                    if c.maddr >= addr' && c.maddr + c.msize <= addr' + sz
+                    then
+                      (* this lane's view fully overwritten by its store *)
+                      c.mmask <- Ps.remove c.mmask b
+                    else finalize st (Ps.singleton b) Unknown)
+                (overlapping st ~addr:addr' ~size:sz);
+              if Ps.mem st.live b then begin
+                let differs =
+                  match Gmem.value_at g ~pos ty addr' with
+                  | Some gv ->
+                    not
+                      (Int64.equal
+                         (Int64.logand v.Bitval.bits smask)
+                         (Int64.logand gv.Bitval.bits smask))
+                  | None -> true (* unknown golden content: assume it does *)
+                in
+                let cexact =
+                  List.find_opt
+                    (fun c -> c.maddr = addr' && c.msize = sz)
+                    st.mcells
+                in
+                if
+                  differs
+                  && (Tape.last_mem_read st.tape ~addr:addr' > pos
+                     || in_outputs st addr')
+                then begin
+                  let c =
+                    match cexact with
+                    | Some c -> c
+                    | None ->
+                      let c =
+                        {
+                          maddr = addr';
+                          msize = sz;
+                          mty = ty;
+                          mmask = Ps.empty;
+                          mvals = fresh_vals ();
+                        }
+                      in
+                      st.mcells <- c :: st.mcells;
+                      st.ncells <- st.ncells + 1;
+                      c
+                  in
+                  c.mty <- ty;
+                  c.mmask <- Ps.add c.mmask b;
+                  c.mvals.(b) <- v
+                end
+                else
+                  match cexact with
+                  | Some c -> c.mmask <- Ps.remove c.mmask b
+                  | None -> ()
+              end
+            end)
+          redirected)
     | Event.Wreg _ | Event.Wnone -> ())
   | I.Call _ when e.callee_frame >= 0 ->
     (* Corrupted arguments contaminate the callee's parameter registers;
@@ -322,11 +504,12 @@ let step st ~pos (e : Event.t) =
       (Ps.inter dirty st.live));
   settle st
 
-let run ~tape ~outputs ~start ~seeds =
+let run ?gmem ~tape ~outputs ~start ~seeds () =
   let st =
     {
       tape;
       outputs;
+      gmem;
       fates = Array.make 64 Same;
       live = Ps.empty;
       rcells = [];

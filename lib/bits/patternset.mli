@@ -1,6 +1,9 @@
-(** A set of single-bit-flip error patterns over one operand word, stored
-    as an [int64] bit mask: bit [i] of the set stands for the pattern
-    "flip bit [i] of the operand" ({!Pattern.Single}[ i]).
+(** A set of error patterns over one operand word, stored as an [int64]
+    bit mask: bit [i] of the set stands for lane [i] of the error model
+    in force — pattern [Errmodel.pattern_at model width i]. Every model
+    has at most 64 lanes at any width, so one word always suffices. Under
+    the single-bit model lane [i] is exactly the pattern "flip bit [i] of
+    the operand" ({!Pattern.Single}[ i]), the historical reading.
 
     The batched masking kernel ({!Moard_analysis.Masking.analyze_all})
     classifies all patterns of a consumption site in O(1) word operations
@@ -100,3 +103,61 @@ val addsub_overshadow : a:int64 -> other:int64 -> width:Bitval.width -> t
     a candidate for value overshadowing. Matches
     {!Moard_analysis.Reexec.overshadow_candidate} bit for bit (including
     its [Int64.abs min_int] behaviour). *)
+
+(** {2 Lane-generalized closed forms}
+
+    The same algebra restated on arbitrary flip masks: [flips.(lane)] is
+    the XOR image of lane [lane]'s pattern ({!Errmodel.flip_mask}), and a
+    set bit [lane] of the result means that lane's whole pattern is
+    masked. With the single-bit model ([flips.(i) = 2^i]) each form
+    degenerates bit-for-bit to its single-bit counterpart above, which the
+    differential test suite checks by enumeration. Derivations are in
+    DESIGN.md §13. *)
+
+val full_n : n:int -> t
+(** The low [n] lanes set: every pattern of an [n]-lane model. *)
+
+val of_lanes : n:int -> (int -> bool) -> t
+(** Build a set from a per-lane predicate, lanes [0..n-1]. *)
+
+val band_masked_m : flips:int64 array -> other:int64 -> width:Bitval.width -> t
+(** [x land other]: masked iff no flipped bit survives [other]. *)
+
+val bor_masked_m : flips:int64 array -> other:int64 -> width:Bitval.width -> t
+(** [x lor other]: masked iff every flipped bit is already set in
+    [other]. *)
+
+val mul_masked_m : flips:int64 array -> other:int64 -> width:Bitval.width -> t
+(** [x * y] mod 2^w: the value moves by [±2^tz(m)·odd·y], zero mod 2^w
+    iff [tz(m) + tz(y) >= w]. *)
+
+val shl_value_masked_m :
+  flips:int64 array -> amount:int -> width:Bitval.width -> t
+
+val lshr_value_masked_m :
+  flips:int64 array -> amount:int -> width:Bitval.width -> t
+
+val ashr_value_masked_m :
+  flips:int64 array -> amount:int -> width:Bitval.width -> t
+(** Shifts by a clean in-range amount: masked iff every flipped bit is
+    discarded by the shift; out-of-range amounts yield a constant result
+    (all masked), except arithmetic shifts, where only the sign bit still
+    matters. *)
+
+val eq_masked_m :
+  flips:int64 array -> a:int64 -> b:int64 -> width:Bitval.width -> t
+(** [x == y] / [x != y] with [d = a lxor b]: if [d = 0] any pattern
+    breaks equality; otherwise a pattern is masked iff [m <> d] (only the
+    exact difference image can restore equality). *)
+
+val trunc_masked_m : flips:int64 array -> width:Bitval.width -> t
+(** Truncation to 32 bits: masked iff no flipped bit lies in the low
+    32. *)
+
+val addsub_masked_m : flips:int64 array -> width:Bitval.width -> t
+(** Always {!empty}: a nonzero flip mask moves the sum. *)
+
+val addsub_overshadow_m :
+  flips:int64 array -> a:int64 -> other:int64 -> width:Bitval.width -> t
+(** Per-lane overshadow candidacy, the lane generalization of
+    {!addsub_overshadow}. *)

@@ -3,6 +3,7 @@ module Outcome = Moard_inject.Outcome
 module Resolve = Moard_inject.Resolve
 module Confidence = Moard_stats.Confidence
 module Pattern = Moard_bits.Pattern
+module Errmodel = Moard_bits.Errmodel
 
 let code_of_outcome = function
   | Outcome.Same -> 0
@@ -56,6 +57,7 @@ type perf = {
 type result = {
   plan_hash : string;
   workload_name : string;
+  model : Errmodel.t;
   seed : int;
   confidence : float;
   ci_width : float;
@@ -149,7 +151,7 @@ let stop_state (plan : Plan.t) (po : Plan.objective) st =
    (which nothing downstream reads) change. The work unit is the site
    (up to 64 patterns), so domains partition at site granularity and a
    worker is never spawned without at least one unit to chew. *)
-let run_jobs ctx ~domains ~batch
+let run_jobs ctx ~model ~domains ~batch
     (jobs : (Context.ekey * Moard_trace.Consume.t * int) array) =
   let nj = Array.length jobs in
   let out = Array.make nj 0 in
@@ -180,7 +182,7 @@ let run_jobs ctx ~domains ~batch
             (fun acc (_, b) -> Moard_bits.Patternset.add acc b)
             Moard_bits.Patternset.empty members
         in
-        let outs = Resolve.site ~bits sh site in
+        let outs = Resolve.site ~model ~lanes:bits sh site in
         List.map (fun (i, b) -> (i, code_of_outcome outs.(b))) members
       in
       if d = 1 then begin
@@ -216,7 +218,9 @@ let run_jobs ctx ~domains ~batch
     else begin
       let resolve sh (_, site, bit) =
         code_of_outcome
-          (Context.inject sh (Context.fault_of_site site (Pattern.Single bit)))
+          (Context.inject sh
+             (Context.fault_of_site site
+                (Errmodel.pattern_at model site.Moard_trace.Consume.width bit)))
       in
       let d = min d nj in
       if d = 1 then begin
@@ -297,7 +301,11 @@ let run_batch ctx (plan : Plan.t) oi st ~domains ~batch ~writer ~per_domain
   let described =
     List.map
       (fun (s, index, site, bit) ->
-        let key = Context.ekey ctx site (Pattern.Single bit) in
+        let key =
+          Context.ekey ctx site
+            (Errmodel.pattern_at plan.Plan.model site.Moard_trace.Consume.width
+               bit)
+        in
         let fresh =
           (not (Hashtbl.mem st.memo key)) && not (Hashtbl.mem job_of key)
         in
@@ -311,7 +319,7 @@ let run_batch ctx (plan : Plan.t) oi st ~domains ~batch ~writer ~per_domain
   in
   let jobs = Array.of_list (List.rev !jobs) in
   let t = Unix.gettimeofday () in
-  let codes, per = run_jobs ctx ~domains ~batch jobs in
+  let codes, per = run_jobs ctx ~model:plan.Plan.model ~domains ~batch jobs in
   inject_seconds := !inject_seconds +. (Unix.gettimeofday () -. t);
   Array.iteri (fun w c -> per_domain.(w) <- per_domain.(w) + c) per;
   Array.iteri (fun i (key, _, _) -> Hashtbl.replace st.memo key codes.(i)) jobs;
@@ -348,8 +356,11 @@ let replay_records ctx (plan : Plan.t) states records =
       let site_i, bit =
         Plan.sample_member po ~stratum:r.Journal.stratum ~index:r.Journal.sample
       in
+      let site = po.Plan.sites.(site_i) in
       let key =
-        Context.ekey ctx po.Plan.sites.(site_i) (Pattern.Single bit)
+        Context.ekey ctx site
+          (Errmodel.pattern_at plan.Plan.model site.Moard_trace.Consume.width
+             bit)
       in
       if Hashtbl.mem st.memo key then st.hits <- st.hits + 1
       else begin
@@ -360,7 +371,12 @@ let replay_records ctx (plan : Plan.t) states records =
     records
 
 let meta_of (plan : Plan.t) extra =
-  [
+  (* the "model" key is written only for non-default models, keeping
+     single-bit journal headers byte-identical to the pre-model format *)
+  (if plan.Plan.model <> Errmodel.Single_bit then
+     [ ("model", Errmodel.to_string plan.Plan.model) ]
+   else [])
+  @ [
     ("workload", plan.Plan.workload_name);
     ("seed", string_of_int plan.Plan.seed);
     ("confidence", Printf.sprintf "%h" plan.Plan.confidence);
@@ -461,6 +477,7 @@ let run_internal ~domains ~batch ~max_batches ~should_stop ~cancel ~writer
   {
     plan_hash;
     workload_name = plan.Plan.workload_name;
+    model = plan.Plan.model;
     seed = plan.Plan.seed;
     confidence = plan.Plan.confidence;
     ci_width = plan.Plan.ci_width;

@@ -68,6 +68,7 @@ type perf = {
 type result = {
   plan_hash : string;
   workload_name : string;
+  model : Moard_bits.Errmodel.t;  (** the plan's error model *)
   seed : int;
   confidence : float;
   ci_width : float;

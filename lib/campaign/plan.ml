@@ -1,4 +1,5 @@
 module Context = Moard_inject.Context
+module Errmodel = Moard_bits.Errmodel
 
 type stratum = {
   label : string;
@@ -16,6 +17,7 @@ type objective = {
 
 type t = {
   workload_name : string;
+  model : Errmodel.t;
   seed : int;
   confidence : float;
   z : float;
@@ -25,8 +27,8 @@ type t = {
   objectives : objective array;
 }
 
-let make ?(seed = 42) ?(confidence = 0.95) ?(ci_width = 0.02) ?(batch = 64)
-    ?(max_samples = -1) ctx ~objects =
+let make ?(model = Errmodel.Single_bit) ?(seed = 42) ?(confidence = 0.95)
+    ?(ci_width = 0.02) ?(batch = 64) ?(max_samples = -1) ctx ~objects =
   if objects = [] then invalid_arg "Plan.make: no objects";
   if ci_width <= 0.0 || ci_width >= 1.0 then invalid_arg "Plan.make: ci_width";
   if batch <= 0 then invalid_arg "Plan.make: batch";
@@ -37,7 +39,7 @@ let make ?(seed = 42) ?(confidence = 0.95) ?(ci_width = 0.02) ?(batch = 64)
     List.mapi
       (fun oi object_name ->
         let obj = Context.object_of ctx object_name in
-        let pop = Population.of_tape ~segment tape obj ~object_name in
+        let pop = Population.of_tape ~model ~segment tape obj ~object_name in
         if pop.Population.total = 0 then
           invalid_arg ("Plan.make: no fault sites for " ^ object_name);
         let strata =
@@ -70,6 +72,7 @@ let make ?(seed = 42) ?(confidence = 0.95) ?(ci_width = 0.02) ?(batch = 64)
   let w = Context.workload ctx in
   {
     workload_name = w.Moard_inject.Workload.name;
+    model;
     seed;
     confidence;
     z;
@@ -145,6 +148,13 @@ let hash t =
   let str s = String.iter (fun c -> byte (Char.code c)) s; byte 0 in
   str "moard-campaign-plan-v1";
   str t.workload_name;
+  (* The single-bit rendering predates error models: folding the default
+     model into the hash would orphan every existing journal, so only
+     non-default models contribute. *)
+  if t.model <> Errmodel.Single_bit then begin
+    str "error-model";
+    str (Errmodel.to_string t.model)
+  end;
   int t.seed;
   str (Printf.sprintf "%h" t.confidence);
   str (Printf.sprintf "%h" t.ci_width);

@@ -26,6 +26,7 @@ type objective = {
 
 type t = {
   workload_name : string;
+  model : Moard_bits.Errmodel.t;  (** error model the members sample *)
   seed : int;
   confidence : float;
   z : float;          (** z quantile matching [confidence] *)
@@ -36,6 +37,7 @@ type t = {
 }
 
 val make :
+  ?model:Moard_bits.Errmodel.t ->
   ?seed:int ->
   ?confidence:float ->
   ?ci_width:float ->
@@ -45,13 +47,14 @@ val make :
   objects:string list ->
   t
 (** Enumerate populations from the context's golden tape and freeze the
-    sampling orders. Defaults: seed 42, confidence 0.95, ci_width 0.02
-    (the paper's ±2% methodology), batch 64, no sample cap.
+    sampling orders. Defaults: single-bit error model, seed 42,
+    confidence 0.95, ci_width 0.02 (the paper's ±2% methodology),
+    batch 64, no sample cap.
     @raise Invalid_argument on an empty object list, an unknown object, an
     object with no fault sites, or an unsupported confidence level. *)
 
 val sample_member : objective -> stratum:int -> index:int -> int * int
-(** [(site_index, bit)] of the [index]-th sample of a stratum under the
+(** [(site_index, lane)] of the [index]-th sample of a stratum under the
     frozen order. *)
 
 val allocate : budget:int -> int array -> int array
@@ -63,4 +66,6 @@ val allocate : budget:int -> int array -> int array
 val hash : t -> string
 (** 64-bit FNV-1a over a canonical serialization of the plan (parameters,
     strata, members), as 16 hex digits. Stable across processes and OCaml
-    versions; journals are bound to it. *)
+    versions; journals are bound to it. The error model contributes to
+    the hash only when it is not [Single_bit], so journals written before
+    error models existed still resolve. *)

@@ -1,5 +1,7 @@
 module Consume = Moard_trace.Consume
 module Bitval = Moard_bits.Bitval
+module Errmodel = Moard_bits.Errmodel
+module Pattern = Moard_bits.Pattern
 
 let kind_names = [| "slot0"; "slot1"; "slot2+" |]
 let bit_class_names = [| "sign"; "exponent"; "mantissa-hi"; "mantissa-lo" |]
@@ -31,6 +33,17 @@ let kind_class (s : Consume.t) =
 
 let stratum_of site bit = (kind_class site * nclasses) + bit_class site.Consume.width bit
 
+(* A multi-bit pattern is classified by its most significant flipped bit:
+   that bit dominates the numerical magnitude of the corruption, which is
+   what the bit classes stratify on. For the single-bit model this is
+   exactly [stratum_of site lane]. *)
+let stratum_of_lane model (site : Consume.t) lane =
+  let width = site.Consume.width in
+  let hi =
+    List.fold_left max 0 (Pattern.bits_of (Errmodel.pattern_at model width lane))
+  in
+  (kind_class site * nclasses) + bit_class width hi
+
 let encode ~site ~bit = (site lsl 6) lor bit
 let decode m = (m lsr 6, m land 63)
 
@@ -41,7 +54,7 @@ type t = {
   members : int array array;
 }
 
-let of_tape ?segment tape obj ~object_name =
+let of_tape ?(model = Errmodel.Single_bit) ?segment tape obj ~object_name =
   let sites =
     (* Valid fault sites are bits of instruction operands holding values of
        the object (paper §V-B); store destinations are excluded for the
@@ -57,9 +70,9 @@ let of_tape ?segment tape obj ~object_name =
   let acc = Array.make nstrata [] in
   Array.iteri
     (fun si (s : Consume.t) ->
-      for bit = 0 to Bitval.bits_in s.Consume.width - 1 do
-        let st = stratum_of s bit in
-        acc.(st) <- encode ~site:si ~bit :: acc.(st)
+      for lane = 0 to Errmodel.lanes model s.Consume.width - 1 do
+        let st = stratum_of_lane model s lane in
+        acc.(st) <- encode ~site:si ~bit:lane :: acc.(st)
       done)
     sites;
   let members =

@@ -1,9 +1,11 @@
 (** The fault-site population of a data object, stratified.
 
     A member of the population is one candidate injection: (consumption
-    site, bit). The population is partitioned into strata by consumption
-    -site kind (operand slot, capped at 2) × bit class (IEEE-754 field of
-    the bit within the image width): faults in different strata behave
+    site, error-model lane) — under the default single-bit model, lane i
+    is the flip of bit i. The population is partitioned into strata by
+    consumption-site kind (operand slot, capped at 2) × bit class
+    (IEEE-754 field of the pattern's most significant flipped bit within
+    the image width): faults in different strata behave
     very differently, so sampling each stratum separately and combining
     the per-stratum estimates population-weighted gives a tighter interval
     for the same budget than uniform sampling — and lets the engine stop a
@@ -19,10 +21,17 @@ val label : int -> string
 val bit_class : Moard_bits.Bitval.width -> int -> int
 val kind_class : Moard_trace.Consume.t -> int
 val stratum_of : Moard_trace.Consume.t -> int -> int
-(** Stratum index of a (site, bit) member. *)
+(** Stratum index of a (site, bit) member under the single-bit model. *)
+
+val stratum_of_lane :
+  Moard_bits.Errmodel.t -> Moard_trace.Consume.t -> int -> int
+(** Stratum index of a (site, lane) member: the bit class of the lane
+    pattern's most significant flipped bit. Coincides with {!stratum_of}
+    for the single-bit model. *)
 
 val encode : site:int -> bit:int -> int
-(** Pack a member as [(site lsl 6) lor bit] (bit < 64 always holds). *)
+(** Pack a member as [(site lsl 6) lor bit] (lanes number < 64 in every
+    model and width, so the packing is model-independent). *)
 
 val decode : int -> int * int
 (** Inverse of {!encode}: [(site_index, bit)]. *)
@@ -31,12 +40,13 @@ type t = {
   object_name : string;
   sites : Moard_trace.Consume.t array;
       (** read-kind consumption sites, in trace enumeration order *)
-  total : int;  (** population size: sum of widths over sites *)
+  total : int;  (** population size: sum of model lane counts over sites *)
   members : int array array;
       (** per stratum, the encoded members in enumeration order *)
 }
 
 val of_tape :
+  ?model:Moard_bits.Errmodel.t ->
   ?segment:(string -> bool) ->
   Moard_trace.Tape.t ->
   Moard_trace.Data_object.t ->

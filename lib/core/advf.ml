@@ -1,3 +1,5 @@
+module Errmodel = Moard_bits.Errmodel
+
 type report = {
   object_name : string;
   involvements : int;
@@ -17,12 +19,25 @@ type report = {
 
 type stage = Op | Prop | Fi | Cached | Gave_up
 
+(* Masking weights are accumulated as exact rationals: integer numerators
+   over the model's fixed denominator [Errmodel.weight_den] (every
+   per-involvement weight is 1/lanes and lanes divides the denominator).
+   Integer sums are order-independent, so the batched kernel's bulk
+   absorption and the scalar per-pattern stream produce bit-identical
+   accumulators for every error model — not just the dyadic single-bit
+   case. The float fields serve only the legacy multi-pattern path
+   ([Model.options.multi]), whose ad-hoc pattern counts have no common
+   denominator; the two families never mix in one accumulator. *)
 type t = {
   object_name : string;
+  den : int;
   mutable involvements : int;
-  mutable events : float;
-  level_sum : float array;  (* per level, fractional masking *)
-  kind_sum : float array;   (* per kind at operation+propagation levels *)
+  mutable events_num : int;
+  level_num : int array;    (* per level, numerators of fractional masking *)
+  kind_num : int array;     (* per kind at operation+propagation levels *)
+  mutable fevents : float;  (* legacy float-weight stream *)
+  flevel : float array;
+  fkind : float array;
   mutable patterns : int;
   mutable op_n : int;
   mutable prop_n : int;
@@ -31,13 +46,17 @@ type t = {
   mutable gave_up : int;
 }
 
-let create object_name =
+let create ?(model = Errmodel.Single_bit) object_name =
   {
     object_name;
+    den = Errmodel.weight_den model;
     involvements = 0;
-    events = 0.0;
-    level_sum = Array.make 3 0.0;
-    kind_sum = Array.make 4 0.0;
+    events_num = 0;
+    level_num = Array.make 3 0;
+    kind_num = Array.make 4 0;
+    fevents = 0.0;
+    flevel = Array.make 3 0.0;
+    fkind = Array.make 4 0.0;
     patterns = 0;
     op_n = 0;
     prop_n = 0;
@@ -48,62 +67,69 @@ let create object_name =
 
 let add_involvement t = t.involvements <- t.involvements + 1
 
-let add_pattern t ~weight ~stage verdict =
-  t.patterns <- t.patterns + 1;
-  (match stage with
-  | Op -> t.op_n <- t.op_n + 1
-  | Prop -> t.prop_n <- t.prop_n + 1
-  | Fi -> t.fi_n <- t.fi_n + 1
-  | Cached -> t.cached_n <- t.cached_n + 1
-  | Gave_up -> t.gave_up <- t.gave_up + 1);
+let count_stage t ~stage count =
+  t.patterns <- t.patterns + count;
+  match stage with
+  | Op -> t.op_n <- t.op_n + count
+  | Prop -> t.prop_n <- t.prop_n + count
+  | Fi -> t.fi_n <- t.fi_n + count
+  | Cached -> t.cached_n <- t.cached_n + count
+  | Gave_up -> t.gave_up <- t.gave_up + count
+
+let add_num t ~num verdict =
   match (verdict : Verdict.t) with
   | Verdict.Not_masked -> ()
   | Verdict.Masked (level, kind) ->
-    t.events <- t.events +. weight;
+    t.events_num <- t.events_num + num;
     let li = Verdict.level_index level in
-    t.level_sum.(li) <- t.level_sum.(li) +. weight;
+    t.level_num.(li) <- t.level_num.(li) + num;
     if level <> Verdict.Algorithm then begin
       let ki = Verdict.kind_index kind in
-      t.kind_sum.(ki) <- t.kind_sum.(ki) +. weight
+      t.kind_num.(ki) <- t.kind_num.(ki) + num
     end
 
-let add_pattern_set t ~weight ~stage ~count verdict =
+let add_pattern t ~lanes ~stage verdict =
+  if lanes <= 0 || t.den mod lanes <> 0 then
+    invalid_arg "Advf.add_pattern: lanes does not divide the model denominator";
+  count_stage t ~stage 1;
+  add_num t ~num:(t.den / lanes) verdict
+
+let add_pattern_set t ~lanes ~stage ~count verdict =
   if count < 0 then invalid_arg "Advf.add_pattern_set: count";
+  if lanes <= 0 || t.den mod lanes <> 0 then
+    invalid_arg
+      "Advf.add_pattern_set: lanes does not divide the model denominator";
   if count > 0 then begin
-    t.patterns <- t.patterns + count;
-    (match stage with
-    | Op -> t.op_n <- t.op_n + count
-    | Prop -> t.prop_n <- t.prop_n + count
-    | Fi -> t.fi_n <- t.fi_n + count
-    | Cached -> t.cached_n <- t.cached_n + count
-    | Gave_up -> t.gave_up <- t.gave_up + count);
-    match (verdict : Verdict.t) with
-    | Verdict.Not_masked -> ()
-    | Verdict.Masked (level, kind) ->
-      (* [weight] is an exact power of two (1/1, 1/32 or 1/64), so
-         [count *. weight] equals [count] repeated additions of [weight]
-         exactly: every partial sum is a dyadic rational well inside the
-         53-bit mantissa. Bulk absorption is bit-identical to the scalar
-         stream. *)
-      let w = weight *. float_of_int count in
-      t.events <- t.events +. w;
-      let li = Verdict.level_index level in
-      t.level_sum.(li) <- t.level_sum.(li) +. w;
-      if level <> Verdict.Algorithm then begin
-        let ki = Verdict.kind_index kind in
-        t.kind_sum.(ki) <- t.kind_sum.(ki) +. w
-      end
+    count_stage t ~stage count;
+    add_num t ~num:(t.den / lanes * count) verdict
   end
+
+let add_pattern_weight t ~weight ~stage verdict =
+  count_stage t ~stage 1;
+  match (verdict : Verdict.t) with
+  | Verdict.Not_masked -> ()
+  | Verdict.Masked (level, kind) ->
+    t.fevents <- t.fevents +. weight;
+    let li = Verdict.level_index level in
+    t.flevel.(li) <- t.flevel.(li) +. weight;
+    if level <> Verdict.Algorithm then begin
+      let ki = Verdict.kind_index kind in
+      t.fkind.(ki) <- t.fkind.(ki) +. weight
+    end
 
 let absorb t other =
   if not (String.equal t.object_name other.object_name) then
     invalid_arg "Advf.absorb: object names differ";
+  if t.den <> other.den then invalid_arg "Advf.absorb: denominators differ";
   t.involvements <- t.involvements + other.involvements;
-  t.events <- t.events +. other.events;
-  Array.iteri (fun i s -> t.level_sum.(i) <- t.level_sum.(i) +. s)
-    other.level_sum;
-  Array.iteri (fun i s -> t.kind_sum.(i) <- t.kind_sum.(i) +. s)
-    other.kind_sum;
+  t.events_num <- t.events_num + other.events_num;
+  Array.iteri (fun i s -> t.level_num.(i) <- t.level_num.(i) + s)
+    other.level_num;
+  Array.iteri (fun i s -> t.kind_num.(i) <- t.kind_num.(i) + s)
+    other.kind_num;
+  t.fevents <- t.fevents +. other.fevents;
+  Array.iteri (fun i s -> t.flevel.(i) <- t.flevel.(i) +. s) other.flevel;
+  Array.iteri (fun i s -> t.fkind.(i) <- t.fkind.(i) +. s) other.fkind;
   t.patterns <- t.patterns + other.patterns;
   t.op_n <- t.op_n + other.op_n;
   t.prop_n <- t.prop_n + other.prop_n;
@@ -113,13 +139,19 @@ let absorb t other =
 
 let report t ~fi_runs ~fi_cache_hits =
   let m = float_of_int (max t.involvements 1) in
+  let den = float_of_int t.den in
+  (* For single-bit accumulation [num /. den] is an exact dyadic division,
+     so the totals are bit-identical to the historical float stream. *)
+  let events num f = (float_of_int num /. den) +. f in
+  let total = events t.events_num t.fevents in
   {
     object_name = t.object_name;
     involvements = t.involvements;
-    masking_events = t.events;
-    advf = t.events /. m;
-    by_level = Array.map (fun s -> s /. m) t.level_sum;
-    by_kind = Array.map (fun s -> s /. m) t.kind_sum;
+    masking_events = total;
+    advf = total /. m;
+    by_level =
+      Array.init 3 (fun i -> events t.level_num.(i) t.flevel.(i) /. m);
+    by_kind = Array.init 4 (fun i -> events t.kind_num.(i) t.fkind.(i) /. m);
     patterns_analyzed = t.patterns;
     op_resolved = t.op_n;
     prop_resolved = t.prop_n;

@@ -5,7 +5,13 @@
     patterns); aDVF = sum of f over all involvements / involvement count.
     The accumulator also keeps the level and kind decompositions behind
     Figures 4 and 5 and the absolute masking-event counts behind
-    evaluation conclusion 2. *)
+    evaluation conclusion 2.
+
+    Weights accumulate as exact rationals — integer numerators over the
+    error model's common denominator ({!Moard_bits.Errmodel.weight_den}) —
+    so scalar and batched accumulation orders are bit-identical for every
+    error model, and the single-bit totals reproduce the historical dyadic
+    float stream exactly. *)
 
 type t
 (** Mutable accumulator. *)
@@ -32,19 +38,30 @@ type report = {
 
 type stage = Op | Prop | Fi | Cached | Gave_up
 
-val create : string -> t
-val add_involvement : t -> unit
-val add_pattern : t -> weight:float -> stage:stage -> Verdict.t -> unit
-(** [weight] is 1 / (patterns of this involvement). *)
+val create : ?model:Moard_bits.Errmodel.t -> string -> t
+(** [model] (default [Single_bit]) fixes the weight denominator. *)
 
-val add_pattern_set : t -> weight:float -> stage:stage -> count:int ->
+val add_involvement : t -> unit
+
+val add_pattern : t -> lanes:int -> stage:stage -> Verdict.t -> unit
+(** One pattern of an involvement with [lanes] patterns: weight
+    [1 / lanes], added exactly.
+    @raise Invalid_argument if [lanes] does not divide the accumulator
+    model's denominator. *)
+
+val add_pattern_set : t -> lanes:int -> stage:stage -> count:int ->
   Verdict.t -> unit
 (** Absorb [count] patterns sharing one verdict and stage in O(1) — the
     popcount fast path of the batched kernel. Bit-identical to [count]
-    calls of {!add_pattern} whenever [weight] is a power of two and the
-    involvement has at most 64 patterns (single-bit pattern sets always
-    satisfy both; see the comment in the implementation).
-    @raise Invalid_argument on a negative count. *)
+    calls of {!add_pattern} by construction (integer numerators).
+    @raise Invalid_argument on a negative count or non-dividing [lanes]. *)
+
+val add_pattern_weight : t -> weight:float -> stage:stage -> Verdict.t -> unit
+(** Legacy float-weight stream for the ad-hoc multi-pattern path
+    ([Model.options.multi]), whose pattern counts have no common
+    denominator. Must not be mixed with the exact stream in one
+    accumulator (the model path and the multi path are mutually
+    exclusive upstream). *)
 
 val absorb : t -> t -> unit
 (** [absorb t other] folds [other]'s accumulated state into [t] — the
@@ -52,7 +69,7 @@ val absorb : t -> t -> unit
     (e.g. per consumption-site shard) combine into exactly the sums a
     single accumulator fed the concatenated stream would hold, because
     every field is a plain sum. [other] is unchanged.
-    @raise Invalid_argument if the object names differ. *)
+    @raise Invalid_argument if the object names or denominators differ. *)
 
 val report :
   t -> fi_runs:int -> fi_cache_hits:int -> report

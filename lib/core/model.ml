@@ -5,6 +5,7 @@ module Tape = Moard_trace.Tape
 module Event = Moard_trace.Event
 module Bitval = Moard_bits.Bitval
 module Pattern = Moard_bits.Pattern
+module Errmodel = Moard_bits.Errmodel
 module Ps = Moard_bits.Patternset
 
 type options = {
@@ -14,6 +15,7 @@ type options = {
   use_cache : bool;
   multi : [ `Burst of int | `Pair of int ] list;
   batch : bool;
+  model : Errmodel.t;
 }
 
 let default_options =
@@ -24,6 +26,7 @@ let default_options =
     use_cache = true;
     multi = [];
     batch = true;
+    model = Errmodel.Single_bit;
   }
 
 type vkey = {
@@ -54,13 +57,18 @@ let init_of_changed (out : Masking.changed_out) =
     Propagation.From_mem { addr; value; ty }
 
 let analyze ?(options = default_options) ?site_filter ?cancel ctx ~object_name =
+  if options.multi <> [] && options.model <> Errmodel.Single_bit then
+    invalid_arg
+      "Model.analyze: legacy multi pattern families require the single-bit \
+       error model";
+  let model = options.model in
   let tape = Context.tape ctx in
   let w = Context.workload ctx in
   let obj = Context.object_of ctx object_name in
   let outputs =
     List.map (Context.object_of ctx) w.Moard_inject.Workload.outputs
   in
-  let acc = Advf.create object_name in
+  let acc = Advf.create ~model object_name in
   let vcache : (vkey, Verdict.t * Advf.stage) Hashtbl.t =
     Hashtbl.create 4096
   in
@@ -94,11 +102,14 @@ let analyze ?(options = default_options) ?site_filter ?cancel ctx ~object_name =
      value overshadowing; otherwise a numerically identical outcome is
      propagation-level masking (rare, per the bounding argument) and an
      acceptable one is algorithm-level masking. *)
-  let fi site pattern ~overshadow =
+  let fi ?(resume = false) site pattern ~overshadow =
     if not (budget_left ()) then (Verdict.Not_masked, Advf.Gave_up)
     else
       let verdict =
-        match Context.inject_at ~use_cache:options.use_cache ctx site pattern with
+        match
+          Context.inject_at ~use_cache:options.use_cache ~resume ctx site
+            pattern
+        with
         | Outcome.Same ->
           if overshadow then Verdict.Masked (Verdict.Operation, Verdict.Overshadow)
           else Verdict.Masked (Verdict.Propagation, Verdict.Other)
@@ -141,12 +152,17 @@ let analyze ?(options = default_options) ?site_filter ?cancel ctx ~object_name =
      accumulator online — neither a site list nor a verdict list is ever
      materialized. [site_filter] sees each site's enumeration index. *)
   let scalar_patterns site =
-    let patterns =
+    let patterns, add =
       match options.multi with
-      | [] -> Consume.patterns site
-      | multi -> Pattern.enumerate ~multi site.Consume.width
+      | [] ->
+        let patterns = Errmodel.patterns model site.Consume.width in
+        let lanes = List.length patterns in
+        (patterns, fun ~stage v -> Advf.add_pattern acc ~lanes ~stage v)
+      | multi ->
+        let patterns = Pattern.enumerate ~multi site.Consume.width in
+        let weight = 1.0 /. float_of_int (List.length patterns) in
+        (patterns, fun ~stage v -> Advf.add_pattern_weight acc ~weight ~stage v)
     in
-    let weight = 1.0 /. float_of_int (List.length patterns) in
     List.iter
       (fun pattern ->
         let verdict, stage =
@@ -160,7 +176,7 @@ let analyze ?(options = default_options) ?site_filter ?cancel ctx ~object_name =
               Hashtbl.replace vcache key (v, s);
               (v, s)
         in
-        Advf.add_pattern acc ~weight ~stage verdict)
+        add ~stage verdict)
       patterns
   in
   (* Mirror [resolve]'s read-modify-write delegation once per site — the
@@ -174,17 +190,17 @@ let analyze ?(options = default_options) ?site_filter ?cancel ctx ~object_name =
         { site with Consume.event_idx = idx; kind = Consume.Read { slot } }
     | _ -> (site, e)
   in
-  (* Bit-parallel per-site path: classify the whole single-bit pattern set
-     in one [Masking.analyze_all] call, absorb the masked and crash sets
-     by popcount, and walk only the changed/divergent survivors through
-     the unchanged propagation/fault-injection sequence — in ascending bit
-     order, so cache and budget consumption (and hence the report) are
-     byte-identical to the scalar stream. *)
+  (* Lane-parallel per-site path: classify the whole error-model pattern
+     set in one [Masking.analyze_all] call, absorb the masked and crash
+     sets by popcount, and walk only the changed/divergent survivors
+     through the unchanged propagation/fault-injection sequence — in
+     ascending lane order, so cache and budget consumption (and hence the
+     report) are byte-identical to the scalar stream. *)
   let batched_patterns site =
     let stream_cached verdicts =
-      let weight = 1.0 /. float_of_int (Array.length verdicts) in
+      let lanes = Array.length verdicts in
       Array.iter
-        (fun v -> Advf.add_pattern acc ~weight ~stage:Advf.Cached v)
+        (fun v -> Advf.add_pattern acc ~lanes ~stage:Advf.Cached v)
         verdicts
     in
     match
@@ -194,29 +210,30 @@ let analyze ?(options = default_options) ?site_filter ?cancel ctx ~object_name =
     | Some verdicts -> stream_cached verdicts
     | None ->
       let rsite, re = redirect site in
-      let v = Masking.analyze_all re rsite.Consume.kind in
+      let v = Masking.analyze_all ~model re rsite.Consume.kind in
       if v.Masking.width <> site.Consume.width then
         (* A width-changing delegation would desynchronize the pattern
            sets; fall back to the scalar per-pattern walk. *)
         scalar_patterns site
       else begin
-        let n = Bitval.bits_in site.Consume.width in
-        let weight = 1.0 /. float_of_int n in
+        let n = v.Masking.lanes in
         let verdicts = Array.make n Verdict.Not_masked in
         let masked_v = Verdict.Masked (Verdict.Operation, v.Masking.mask_kind) in
         Ps.iter (fun b -> verdicts.(b) <- masked_v) v.Masking.masked;
-        Advf.add_pattern_set acc ~weight ~stage:Advf.Op
+        Advf.add_pattern_set acc ~lanes:n ~stage:Advf.Op
           ~count:(Ps.count v.Masking.masked) masked_v;
-        Advf.add_pattern_set acc ~weight ~stage:Advf.Op
+        Advf.add_pattern_set acc ~lanes:n ~stage:Advf.Op
           ~count:(Ps.count v.Masking.crash) Verdict.Not_masked;
         Ps.iter
           (fun b ->
             let verdict, stage =
               if Ps.mem v.Masking.divergent b then
-                fi rsite (Pattern.Single b) ~overshadow:false
+                fi ~resume:true rsite
+                  (Errmodel.pattern_at model v.Masking.width b)
+                  ~overshadow:false
               else
                 let out, overshadow =
-                  Masking.changed_out_at re rsite.Consume.kind ~bit:b
+                  Masking.changed_out_at ~model re rsite.Consume.kind ~lane:b
                 in
                 match
                   Propagation.replay ~tape ~k:options.k
@@ -230,10 +247,12 @@ let analyze ?(options = default_options) ?site_filter ?cancel ctx ~object_name =
                   else (Verdict.Masked (Verdict.Propagation, kind), Advf.Prop)
                 | Propagation.Crash_certain _ -> (Verdict.Not_masked, Advf.Prop)
                 | Propagation.Unresolved _ ->
-                  fi rsite (Pattern.Single b) ~overshadow
+                  fi ~resume:true rsite
+                    (Errmodel.pattern_at model v.Masking.width b)
+                    ~overshadow
             in
             verdicts.(b) <- verdict;
-            Advf.add_pattern acc ~weight ~stage verdict)
+            Advf.add_pattern acc ~lanes:n ~stage verdict)
           (Ps.union v.Masking.changed v.Masking.divergent);
         if options.use_cache then
           Hashtbl.replace scache (class_key_of site) verdicts

@@ -20,18 +20,22 @@ type options = {
   multi : [ `Burst of int | `Pair of int ] list;
       (** extra multi-bit pattern families (§VII-B); default none *)
   batch : bool;
-      (** classify each site's whole single-bit pattern set through the
-          bit-parallel kernel ({!Masking.analyze_all}) and absorb the
+      (** classify each site's whole error-model pattern set through the
+          lane-parallel kernel ({!Masking.analyze_all}) and absorb the
           masked/crash sets by popcount, walking only changed/divergent
-          bits through propagation and fault injection. Reports are
+          lanes through propagation and fault injection. Reports are
           byte-identical to the scalar walk (the differential suite checks
           this); only wall-clock changes. Ignored — the scalar walk is
           used — when [multi] is non-empty. *)
+  model : Moard_bits.Errmodel.t;
+      (** the error model whose pattern set is swept per involvement;
+          default [Single_bit]. Any model other than [Single_bit] is
+          incompatible with [multi] ({!analyze} rejects the combination). *)
 }
 
 val default_options : options
 (** k = 50, shadow_cap = 256, unlimited fault injection, cache on,
-    batched kernel on. *)
+    batched kernel on, single-bit error model. *)
 
 val analyze :
   ?options:options -> ?site_filter:(int -> bool) ->

@@ -16,6 +16,7 @@ type t = {
   w : Workload.t;
   machine : Machine.t;
   tape : Tape.t;
+  gmem : Moard_analysis.Gmem.t;
   golden_bits : int64 array;
   golden_floats : float array;
   golden_steps : int;
@@ -24,6 +25,10 @@ type t = {
   cache : (key, Outcome.t) Hashtbl.t;
   mutable runs : int;
   mutable hits : int;
+  mutable ckpt : (int * Machine.checkpoint) option;
+      (* most recent golden-state checkpoint, keyed by event index *)
+  mutable inject_work : int;
+      (* dynamic instructions executed by injections and checkpoint builds *)
 }
 
 let observe_mem machine (w : Workload.t) mem =
@@ -93,6 +98,7 @@ let make (w : Workload.t) =
     w;
     machine;
     tape;
+    gmem = Moard_analysis.Gmem.build ~tape ~image:(Machine.image machine);
     golden_bits;
     golden_floats;
     golden_steps = r.Machine.steps;
@@ -100,14 +106,24 @@ let make (w : Workload.t) =
     cache = Hashtbl.create 4096;
     runs = 0;
     hits = 0;
+    ckpt = None;
+    inject_work = 0;
   }
 
 let shard t =
-  { t with cache = Hashtbl.create 4096; runs = 0; hits = 0 }
+  {
+    t with
+    cache = Hashtbl.create 4096;
+    runs = 0;
+    hits = 0;
+    ckpt = None;
+    inject_work = 0;
+  }
 
 let workload t = t.w
 let machine t = t.machine
 let tape t = t.tape
+let gmem t = t.gmem
 let golden_floats t = t.golden_floats
 let golden_steps t = t.golden_steps
 let object_of t name = Machine.object_of t.machine name
@@ -176,10 +192,51 @@ let classify_patched t patches =
          else Outcome.Incorrect)
     with Unpatchable -> None)
 
-let inject t fault =
+(* A resumed injection skips the prefix both runs share: execution before
+   the fault event is byte-identical to the golden run, so restarting from
+   a golden-state checkpoint at that event is exact. The checkpoint slot
+   caches the most recent fault event — lane sweeps of one site amortize
+   one prefix execution across every lane they must ground-truth. *)
+(* A slightly stale checkpoint is still exact — the resumed run replays
+   the fault-free gap before the fault fires — and for clusters of nearby
+   sites it saves rebuilding a near-identical prefix. The window bounds
+   the per-run replay waste at a fraction of one prefix execution. *)
+let ckpt_reuse_window = 256
+
+let checkpoint_for t at =
+  match t.ckpt with
+  | Some (i, cp) when i <= at && at - i <= ckpt_reuse_window -> cp
+  | _ ->
+    let cp =
+      Machine.checkpoint ~step_limit:t.w.step_limit t.machine ~entry:t.w.entry
+        ~at
+    in
+    t.inject_work <- t.inject_work + at;
+    t.ckpt <- Some (at, cp);
+    cp
+
+let inject ?(resume = false) t fault =
   t.runs <- t.runs + 1;
   let r =
-    Machine.run ~step_limit:t.w.step_limit ~fault t.machine ~entry:t.w.entry
+    if resume then begin
+      let at = Fault.idx fault in
+      let cp = checkpoint_for t at in
+      let base = Machine.checkpoint_at cp in
+      let r =
+        Machine.run ~step_limit:t.w.step_limit ~fault ~from:cp t.machine
+          ~entry:t.w.entry
+      in
+      t.inject_work <- t.inject_work + (r.Machine.steps - base);
+      r
+    end
+    else begin
+      let r =
+        Machine.run ~step_limit:t.w.step_limit ~fault t.machine
+          ~entry:t.w.entry
+      in
+      t.inject_work <- t.inject_work + r.Machine.steps;
+      r
+    end
   in
   classify t r
 
@@ -207,8 +264,8 @@ type ekey = key
 
 let ekey = key_of
 
-let inject_at ?(use_cache = true) t site pattern =
-  if not use_cache then inject t (fault_of_site site pattern)
+let inject_at ?(use_cache = true) ?(resume = false) t site pattern =
+  if not use_cache then inject ~resume t (fault_of_site site pattern)
   else
     let key = key_of t site pattern in
     match Hashtbl.find_opt t.cache key with
@@ -216,9 +273,10 @@ let inject_at ?(use_cache = true) t site pattern =
       t.hits <- t.hits + 1;
       outcome
     | None ->
-      let outcome = inject t (fault_of_site site pattern) in
+      let outcome = inject ~resume t (fault_of_site site pattern) in
       Hashtbl.replace t.cache key outcome;
       outcome
 
 let runs t = t.runs
 let cache_hits t = t.hits
+let inject_steps t = t.inject_work

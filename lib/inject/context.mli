@@ -33,6 +33,12 @@ val golden_executions : unit -> int
 val workload : t -> Workload.t
 val machine : t -> Moard_vm.Machine.t
 val tape : t -> Moard_trace.Tape.t
+
+val gmem : t -> Moard_analysis.Gmem.t
+(** Golden-memory timeline of the golden tape (built once by {!make};
+    immutable, shared by {!shard}). Feeds the vectorized replay's
+    corrupted-address resolution. *)
+
 val golden_floats : t -> float array
 val golden_steps : t -> int
 val object_of : t -> string -> Moard_trace.Data_object.t
@@ -54,14 +60,19 @@ val classify_patched :
     stored with a size other than the element's (the caller must fall
     back to a real injection). *)
 
-val inject : t -> Moard_vm.Fault.t -> Outcome.t
-(** Uncached single injection. *)
+val inject : ?resume:bool -> t -> Moard_vm.Fault.t -> Outcome.t
+(** Uncached single injection. With [resume:true] the run restarts from a
+    golden-state checkpoint at the fault event instead of from the
+    pristine image — exact, because execution before the fault is
+    byte-identical to the golden run — and only pays for the suffix. The
+    context caches the most recent checkpoint, so sweeping many patterns
+    of one site amortizes a single prefix execution. *)
 
 val inject_at :
-  ?use_cache:bool -> t -> Moard_trace.Consume.t -> Moard_bits.Pattern.t ->
-  Outcome.t
+  ?use_cache:bool -> ?resume:bool -> t -> Moard_trace.Consume.t ->
+  Moard_bits.Pattern.t -> Outcome.t
 (** Injection at a consumption site of the golden trace, cached by error
-    equivalence unless [use_cache:false]. *)
+    equivalence unless [use_cache:false]. [resume] as in {!inject}. *)
 
 val fault_of_site : Moard_trace.Consume.t -> Moard_bits.Pattern.t -> Moard_vm.Fault.t
 
@@ -84,3 +95,8 @@ val runs : t -> int
 (** Fault-injection executions actually performed. *)
 
 val cache_hits : t -> int
+
+val inject_steps : t -> int
+(** Total dynamic instructions executed on behalf of injections —
+    full runs, checkpoint builds and resumed suffixes alike. The honest
+    work metric when resumed runs make {!runs} alone misleading. *)

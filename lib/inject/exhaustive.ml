@@ -1,4 +1,5 @@
 module Consume = Moard_trace.Consume
+module Errmodel = Moard_bits.Errmodel
 
 type result = {
   object_name : string;
@@ -13,11 +14,12 @@ type result = {
   cache_hits : int;
 }
 
-let stride_patterns stride site =
-  let all = Consume.patterns site in
+let stride_patterns model stride site =
+  let all = Errmodel.patterns model site.Consume.width in
   List.filteri (fun i _ -> i mod stride = 0) all
 
-let campaign ?(pattern_stride = 1) ?(batch = true) ?cancel ctx ~object_name =
+let campaign ?(model = Errmodel.Single_bit) ?(pattern_stride = 1)
+    ?(batch = true) ?cancel ctx ~object_name =
   if pattern_stride < 1 then invalid_arg "Exhaustive.campaign: stride";
   let obj = Context.object_of ctx object_name in
   let sites =
@@ -49,19 +51,19 @@ let campaign ?(pattern_stride = 1) ?(batch = true) ?cancel ctx ~object_name =
       | Some c -> Moard_chaos.Cancel.check c
       | None -> ());
       if batch && pattern_stride = 1 then
-        (* Whole pattern-set per site through the bit-parallel kernel;
-           only the bits it cannot decide are actually injected. *)
+        (* Whole pattern-set per site through the lane-parallel kernel;
+           only the lanes it cannot decide are actually injected. *)
         Array.iter
           (fun o ->
             incr injections;
             tally o)
-          (Resolve.site ctx site)
+          (Resolve.site ~model ctx site)
       else
         List.iter
           (fun pattern ->
             incr injections;
             tally (Context.inject_at ctx site pattern))
-          (stride_patterns pattern_stride site))
+          (stride_patterns model pattern_stride site))
     sites;
   let n = max !injections 1 in
   {

@@ -19,11 +19,13 @@ type result = {
 }
 
 val campaign :
+  ?model:Moard_bits.Errmodel.t ->
   ?pattern_stride:int -> ?batch:bool -> ?cancel:Moard_chaos.Cancel.t ->
   Context.t -> object_name:string -> result
-(** [pattern_stride] > 1 samples every n-th bit position (documented
+(** [model] (default [Single_bit]) selects the error-pattern family swept
+    per site. [pattern_stride] > 1 samples every n-th pattern (documented
     speed knob; 1 = truly exhaustive). [batch] (default [true]) sweeps
-    each site's whole pattern set through the bit-parallel kernel
+    each site's whole pattern set through the lane-parallel kernel
     ({!Resolve.site}) and only executes the workload for the patterns the
     kernel cannot decide; outcomes (and therefore every count above
     except [runs]/[cache_hits], which report real executions) are

@@ -1,5 +1,5 @@
 module Bitval = Moard_bits.Bitval
-module Pattern = Moard_bits.Pattern
+module Errmodel = Moard_bits.Errmodel
 module Ps = Moard_bits.Patternset
 module Tape = Moard_trace.Tape
 module Consume = Moard_trace.Consume
@@ -9,69 +9,79 @@ module Vreplay = Moard_analysis.Vreplay
 let outputs_of ctx =
   List.map (Context.object_of ctx) (Context.workload ctx).Workload.outputs
 
-let verdicts_of ctx (s : Consume.t) =
+let verdicts_of ?model ctx (s : Consume.t) =
   let e = Tape.get (Context.tape ctx) s.Consume.event_idx in
-  (e, Masking.analyze_all e s.Consume.kind)
+  (e, Masking.analyze_all ?model e s.Consume.kind)
 
-let site ?bits ctx (s : Consume.t) =
-  let e, v = verdicts_of ctx s in
-  let n = Bitval.bits_in v.Masking.width in
+let site ?(model = Errmodel.Single_bit) ?lanes ctx (s : Consume.t) =
+  let e, v = verdicts_of ~model ctx s in
+  let n = v.Masking.lanes in
   let wanted =
-    match bits with
-    | None -> Ps.full ~width:v.Masking.width
-    | Some b -> b
+    match lanes with None -> Ps.full_n ~n | Some b -> b
   in
   let out = Array.make n Outcome.Same in
-  let inject_bit b = Context.inject_at ctx s (Pattern.Single b) in
+  (* Lanes no analysis can decide, in resolution order. Injected last:
+     once it is known how many lanes of this site need ground truth, two
+     or more amortize one golden-state checkpoint at the site across
+     every resumed run ({!Context.inject_at} [~resume]). *)
+  let pending = ref [] in
+  let inject_later b = pending := b :: !pending in
   (* Operation-masked: the injected run is the golden run. *)
   (* Certain traps: the consuming operation itself crashes the run. *)
   Ps.iter
-    (fun b -> out.(b) <- Outcome.Crashed (Option.get v.Masking.trap))
+    (fun b -> out.(b) <- Outcome.Crashed (Masking.trap_of_lane v b))
     (Ps.inter v.Masking.crash wanted);
   (* Control divergence at the site: ground truth only. *)
-  Ps.iter (fun b -> out.(b) <- inject_bit b) (Ps.inter v.Masking.divergent wanted);
-  (* Changed: replay all wanted bits to the end of the tape in one walk. *)
+  Ps.iter inject_later (Ps.inter v.Masking.divergent wanted);
+  (* Changed: replay all wanted lanes to the end of the tape in one walk. *)
   let changed = Ps.inter v.Masking.changed wanted in
   if not (Ps.is_empty changed) then begin
     let seeds =
       Ps.fold
         (fun b acc ->
-          (b, fst (Masking.changed_out_at e s.Consume.kind ~bit:b)) :: acc)
+          (b, fst (Masking.changed_out_at ~model e s.Consume.kind ~lane:b)) :: acc)
         changed []
     in
     let fates =
-      Vreplay.run ~tape:(Context.tape ctx) ~outputs:(outputs_of ctx)
-        ~start:s.Consume.event_idx ~seeds
+      Vreplay.run ~gmem:(Context.gmem ctx) ~tape:(Context.tape ctx)
+        ~outputs:(outputs_of ctx) ~start:s.Consume.event_idx ~seeds ()
     in
     Ps.iter
       (fun b ->
-        out.(b) <-
-          (match fates.(b) with
-          | Vreplay.Same -> Outcome.Same
-          | Vreplay.Trap trap -> Outcome.Crashed trap
-          | Vreplay.Outputs patches -> (
-            match Context.classify_patched ctx patches with
-            | Some o -> o
-            | None -> inject_bit b)
-          | Vreplay.Unknown -> inject_bit b))
+        match fates.(b) with
+        | Vreplay.Same -> out.(b) <- Outcome.Same
+        | Vreplay.Trap trap -> out.(b) <- Outcome.Crashed trap
+        | Vreplay.Outputs patches -> (
+          match Context.classify_patched ctx patches with
+          | Some o -> out.(b) <- o
+          | None -> inject_later b)
+        | Vreplay.Unknown -> inject_later b)
       changed
   end;
+  let pending = List.rev !pending in
+  let resume = match pending with _ :: _ :: _ -> true | _ -> false in
+  List.iter
+    (fun b ->
+      out.(b) <-
+        Context.inject_at ~resume ctx s
+          (Errmodel.pattern_at model v.Masking.width b))
+    pending;
   out
 
-let analytic_bits ctx (s : Consume.t) =
-  let e, v = verdicts_of ctx s in
-  let n = Bitval.bits_in v.Masking.width in
+let analytic_bits ?(model = Errmodel.Single_bit) ctx (s : Consume.t) =
+  let e, v = verdicts_of ~model ctx s in
+  let n = v.Masking.lanes in
   let analytic = ref (Ps.count v.Masking.masked + Ps.count v.Masking.crash) in
   if not (Ps.is_empty v.Masking.changed) then begin
     let seeds =
       Ps.fold
         (fun b acc ->
-          (b, fst (Masking.changed_out_at e s.Consume.kind ~bit:b)) :: acc)
+          (b, fst (Masking.changed_out_at ~model e s.Consume.kind ~lane:b)) :: acc)
         v.Masking.changed []
     in
     let fates =
-      Vreplay.run ~tape:(Context.tape ctx) ~outputs:(outputs_of ctx)
-        ~start:s.Consume.event_idx ~seeds
+      Vreplay.run ~gmem:(Context.gmem ctx) ~tape:(Context.tape ctx)
+        ~outputs:(outputs_of ctx) ~start:s.Consume.event_idx ~seeds ()
     in
     Ps.iter
       (fun b ->

@@ -3,7 +3,7 @@ module Verdict = Moard_core.Verdict
 
 let fl x = Printf.sprintf "%.17g" x
 
-let json (r : Advf.report) =
+let json ?(model = Moard_bits.Errmodel.Single_bit) (r : Advf.report) =
   let b = Buffer.create 1024 in
   let field ?(last = false) k v =
     Buffer.add_string b (Printf.sprintf "  %S: %s%s\n" k v (if last then "" else ","))
@@ -11,6 +11,11 @@ let json (r : Advf.report) =
   Buffer.add_string b "{\n";
   field "schema" "\"moard-advf-report-v1\"";
   field "object" (Printf.sprintf "%S" r.Advf.object_name);
+  (* single-bit payloads omit the field, keeping historical store entries
+     and golden snapshots byte-identical *)
+  if model <> Moard_bits.Errmodel.Single_bit then
+    field "error_model"
+      (Printf.sprintf "%S" (Moard_bits.Errmodel.to_string model));
   field "involvements" (string_of_int r.Advf.involvements);
   field "masking_events" (fl r.Advf.masking_events);
   field "advf" (fl r.Advf.advf);

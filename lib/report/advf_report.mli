@@ -7,4 +7,8 @@
     deterministic for a sequential analysis on a fresh context shard, and
     floats are rendered shortest-exact. *)
 
-val json : Moard_core.Advf.report -> string
+val json :
+  ?model:Moard_bits.Errmodel.t -> Moard_core.Advf.report -> string
+(** [model] (default [Single_bit]) labels the payload with the error model
+    it was computed under; the field is emitted only for non-default
+    models, so single-bit payloads keep their historical bytes. *)

@@ -46,6 +46,12 @@ let json_body b ?perf (r : Engine.result) =
   Buffer.add_string b "{\n";
   Buffer.add_string b (Printf.sprintf "  \"schema\": \"moard-campaign-report-v1\",\n");
   Buffer.add_string b (Printf.sprintf "  \"workload\": %S,\n" r.Engine.workload_name);
+  (* single-bit reports omit the field so historical payloads stay
+     byte-identical *)
+  if r.Engine.model <> Moard_bits.Errmodel.Single_bit then
+    Buffer.add_string b
+      (Printf.sprintf "  \"error_model\": %S,\n"
+         (Moard_bits.Errmodel.to_string r.Engine.model));
   Buffer.add_string b (Printf.sprintf "  \"plan\": %S,\n" r.Engine.plan_hash);
   Buffer.add_string b (Printf.sprintf "  \"seed\": %d,\n" r.Engine.seed);
   Buffer.add_string b
@@ -102,9 +108,13 @@ let json r =
 
 let pp ppf (r : Engine.result) =
   Format.fprintf ppf
-    "campaign %s (plan %s, seed %d, %g%% confidence, target halfwidth %g, \
+    "campaign %s%s (plan %s, seed %d, %g%% confidence, target halfwidth %g, \
      %d domain%s)@\n"
-    r.Engine.workload_name r.Engine.plan_hash r.Engine.seed
+    r.Engine.workload_name
+    (if r.Engine.model <> Moard_bits.Errmodel.Single_bit then
+       " [" ^ Moard_bits.Errmodel.to_string r.Engine.model ^ "]"
+     else "")
+    r.Engine.plan_hash r.Engine.seed
     (100.0 *. r.Engine.confidence)
     r.Engine.ci_width r.Engine.domains
     (if r.Engine.domains = 1 then "" else "s");

@@ -86,6 +86,16 @@ let entry_of req =
   | exception Not_found ->
     raise (Bad_request (Printf.sprintf "unknown benchmark %S" benchmark))
 
+(* An absent "error_model" field means single-bit, so requests predating
+   the field keep producing byte-identical keys and payloads. *)
+let model_of req =
+  match Jsonx.str (Jsonx.member "error_model" req) with
+  | None -> Moard_bits.Errmodel.Single_bit
+  | Some s -> (
+    match Moard_bits.Errmodel.of_string s with
+    | Ok m -> m
+    | Error msg -> raise (Bad_request msg))
+
 (* [batch] selects the resolution engine, not the analysis: payload bytes
    (and the store key) are the same either way, so it comes from the
    daemon's own configuration, never from the request. *)
@@ -96,6 +106,7 @@ let options_of req ~batch =
     Model.k = get "k" Model.default_options.Model.k;
     Model.fi_budget = get "fi_budget" Model.default_options.Model.fi_budget;
     Model.batch;
+    Model.model = model_of req;
   }
 
 let objects_of req (e : Registry.entry) =
@@ -113,7 +124,8 @@ let plan_of req ctx (e : Registry.entry) =
   let getf name d =
     Option.value ~default:d (Jsonx.float (Jsonx.member name req))
   in
-  Plan.make ~seed:(geti "seed" 42) ~confidence:(getf "confidence" 0.95)
+  Plan.make ~model:(model_of req) ~seed:(geti "seed" 42)
+    ~confidence:(getf "confidence" 0.95)
     ~ci_width:(getf "ci_width" 0.02) ~batch:(geti "batch" 64)
     ~max_samples:(geti "max_samples" (-1))
     ctx ~objects:(objects_of req e)

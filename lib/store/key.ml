@@ -39,7 +39,14 @@ let advf ~program ~object_name ~(options : Model.options) =
       ("query", "advf");
       ("program", program_hash program);
       ("object", object_name);
-      ("pattern", multi_part options.Model.multi);
+      (* The single-bit rendering ("single", possibly with legacy multi
+         families) predates error models and must keep producing the same
+         key, so existing store entries still resolve; non-default models
+         use their canonical name (they reject [multi] upstream). *)
+      ( "pattern",
+        if options.Model.model <> Moard_bits.Errmodel.Single_bit then
+          Moard_bits.Errmodel.to_string options.Model.model
+        else multi_part options.Model.multi );
       ("k", string_of_int options.Model.k);
       ("shadow_cap", string_of_int options.Model.shadow_cap);
       ("fi_budget", string_of_int options.Model.fi_budget);

@@ -30,7 +30,7 @@ let get_or_compute store ~key ~kind compute =
    byte-stable payload contract (and corrupt-entry recompute) sound. *)
 let advf_payload ?(options = Model.default_options) ?cancel ctx ~object_name =
   let r = Model.analyze ~options ?cancel (Context.shard ctx) ~object_name in
-  Moard_report.Advf_report.json r
+  Moard_report.Advf_report.json ~model:options.Model.model r
 
 let advf store ?(options = Model.default_options) ?cancel ~ctx ~program
     ~object_name () =

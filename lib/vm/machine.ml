@@ -65,6 +65,7 @@ let load ?mem_bytes prog =
   { prog; mem_bytes; bases; image }
 
 let program t = t.prog
+let image t = t.image
 
 let base_of t name =
   match Hashtbl.find_opt t.bases name with
@@ -99,10 +100,37 @@ exception Trap_exn of Trap.t
 let default_step_limit = 20_000_000
 let max_call_depth = 200
 
-let run ?(step_limit = default_step_limit) ?fault ?(sink = Trace_sink.Null)
-    ?(args = []) t ~entry =
-  let mem = Memory.copy t.image in
-  let steps = ref 0 in
+(* A frozen frame: everything needed to rebuild a live [frame] except the
+   caller link, which the chain position encodes. *)
+type snapframe = {
+  sf_id : int;
+  sf_fname : string;
+  sf_regs : Bitval.t array;
+  sf_prov : int array;
+  sf_blk : int;
+  sf_ip : int;
+  sf_ret_dest : int;
+}
+
+type checkpoint = {
+  c_at : int;
+  c_mem : Memory.t;
+  c_frames : snapframe list; (* outermost first *)
+  c_next_frame_id : int;
+}
+
+let checkpoint_at cp = cp.c_at
+
+exception Captured of checkpoint
+
+let run_gen ?(step_limit = default_step_limit) ?fault ?(sink = Trace_sink.Null)
+    ?(args = []) ?from ?capture_at t ~entry =
+  let mem =
+    match from with
+    | None -> Memory.copy t.image
+    | Some cp -> Memory.copy cp.c_mem
+  in
+  let steps = ref (match from with None -> 0 | Some cp -> cp.c_at) in
   let next_frame_id = ref 0 in
   let fresh_frame fn ~ret_dest ~caller =
     let id = !next_frame_id in
@@ -120,28 +148,82 @@ let run ?(step_limit = default_step_limit) ?fault ?(sink = Trace_sink.Null)
   in
   let result =
     try
-      let entry_fn =
-        match P.func t.prog entry with
-        | fn -> fn
-        | exception Not_found -> raise (Trap_exn (Trap.No_function entry))
+      let start_frame, start_depth =
+        match from with
+        | None ->
+          let entry_fn =
+            match P.func t.prog entry with
+            | fn -> fn
+            | exception Not_found -> raise (Trap_exn (Trap.No_function entry))
+          in
+          if List.length args <> entry_fn.P.nparams then
+            raise
+              (Trap_exn
+                 (Trap.Arity
+                    {
+                      callee = entry;
+                      expected = entry_fn.P.nparams;
+                      got = List.length args;
+                    }));
+          let top = fresh_frame entry_fn ~ret_dest:(-1) ~caller:None in
+          List.iteri (fun i v -> top.regs.(i) <- v) args;
+          (top, 1)
+        | Some cp ->
+          next_frame_id := cp.c_next_frame_id;
+          let rebuild caller sf =
+            {
+              id = sf.sf_id;
+              fn = P.func t.prog sf.sf_fname;
+              regs = Array.copy sf.sf_regs;
+              prov = Array.copy sf.sf_prov;
+              blk = sf.sf_blk;
+              ip = sf.sf_ip;
+              ret_dest = sf.sf_ret_dest;
+              caller;
+            }
+          in
+          let rec chain caller = function
+            | [] -> invalid_arg "Machine.run: empty checkpoint"
+            | [ sf ] -> rebuild caller sf
+            | sf :: rest -> chain (Some (rebuild caller sf)) rest
+          in
+          (chain None cp.c_frames, List.length cp.c_frames)
       in
-      if List.length args <> entry_fn.P.nparams then
-        raise
-          (Trap_exn
-             (Trap.Arity
-                {
-                  callee = entry;
-                  expected = entry_fn.P.nparams;
-                  got = List.length args;
-                }));
-      let top = fresh_frame entry_fn ~ret_dest:(-1) ~caller:None in
-      List.iteri (fun i v -> top.regs.(i) <- v) args;
-      let frame = ref top in
-      let depth = ref 1 in
+      let frame = ref start_frame in
+      let depth = ref start_depth in
       let return_value = ref None in
       let running = ref true in
       while !running do
         let fr = !frame in
+        (match capture_at with
+        | Some at when !steps = at ->
+          let rec snap fr acc =
+            let sf =
+              {
+                sf_id = fr.id;
+                sf_fname = fr.fn.P.fname;
+                sf_regs = Array.copy fr.regs;
+                sf_prov = Array.copy fr.prov;
+                sf_blk = fr.blk;
+                sf_ip = fr.ip;
+                sf_ret_dest = fr.ret_dest;
+              }
+            in
+            match fr.caller with
+            | None -> sf :: acc
+            | Some p -> snap p (sf :: acc)
+          in
+          (* the capturing run is abandoned here, so [mem] can be taken
+             over by the checkpoint without a copy *)
+          raise
+            (Captured
+               {
+                 c_at = at;
+                 c_mem = mem;
+                 c_frames = snap fr [];
+                 c_next_frame_id = !next_frame_id;
+               })
+        | _ -> ());
         if !steps >= step_limit then raise (Trap_exn (Trap.Step_limit step_limit));
         let idx = !steps in
         incr steps;
@@ -310,6 +392,18 @@ let run ?(step_limit = default_step_limit) ?fault ?(sink = Trace_sink.Null)
     with Trap_exn tr -> Trapped tr
   in
   { outcome = result; mem; steps = !steps }
+
+let run ?step_limit ?fault ?sink ?args ?from t ~entry =
+  run_gen ?step_limit ?fault ?sink ?args ?from t ~entry
+
+let checkpoint ?step_limit ?args t ~entry ~at =
+  if at < 0 then invalid_arg "Machine.checkpoint: negative event index";
+  match run_gen ?step_limit ?args ~capture_at:at t ~entry with
+  | (_ : run) ->
+    invalid_arg
+      (Printf.sprintf
+         "Machine.checkpoint: run of %s ended before event %d" entry at)
+  | exception Captured cp -> cp
 
 let trace ?step_limit ?args t ~entry =
   let tape = Moard_trace.Tape.create () in

@@ -26,6 +26,13 @@ val load : ?mem_bytes:int -> Moard_ir.Program.t -> t
 
 val program : t -> Moard_ir.Program.t
 
+val image : t -> Memory.t
+(** The pristine initial memory image every run starts from (globals laid
+    out and initialized, nothing executed). Callers must treat it as
+    read-only: it is the template {!run} copies, and writing through it
+    would corrupt every subsequent run. The golden-memory timeline of the
+    vectorized replay reads initial values from it. *)
+
 val base_of : t -> string -> int
 (** Load address of a global. @raise Not_found *)
 
@@ -35,15 +42,38 @@ val object_of : t -> string -> Moard_trace.Data_object.t
 val registry : t -> Moard_trace.Registry.t
 (** Every global as a data object. *)
 
+type checkpoint
+(** The complete machine state captured at one dynamic-instruction
+    boundary of a fault-free run: memory, the whole frame stack, and the
+    event counter. Because execution is deterministic and a fault at
+    event [i] leaves everything before [i] byte-identical to the golden
+    run, resuming an injected run from a checkpoint at the fault event is
+    exact — it only skips re-executing a prefix both runs share. *)
+
+val checkpoint :
+  ?step_limit:int -> ?args:Moard_bits.Bitval.t list ->
+  t -> entry:string -> at:int -> checkpoint
+(** Execute [entry] without a fault up to (not including) dynamic event
+    [at] and freeze the state there.
+    @raise Invalid_argument if the run ends (or traps) before [at]. *)
+
+val checkpoint_at : checkpoint -> int
+(** The event index a run resumed {!run}[ ~from] starts at. *)
+
 val run :
   ?step_limit:int ->
   ?fault:Fault.t ->
   ?sink:Trace_sink.t ->
   ?args:Moard_bits.Bitval.t list ->
+  ?from:checkpoint ->
   t -> entry:string -> run
 (** Execute [entry]. [step_limit] defaults to 20 million. [sink] defaults
     to {!Trace_sink.Null}: untraced executions (fault injections, golden
-    re-executions) pay no tracing cost at all. *)
+    re-executions) pay no tracing cost at all. With [from], execution
+    resumes from the checkpoint instead of the pristine image ([entry]
+    and [args] are then ignored, and [run.steps] stays the absolute
+    dynamic event count, prefix included); a [fault] whose event index
+    predates the checkpoint can never fire. *)
 
 val trace :
   ?step_limit:int -> ?args:Moard_bits.Bitval.t list ->

@@ -20,11 +20,14 @@ module Context = Moard_inject.Context
 module Exhaustive = Moard_inject.Exhaustive
 module Resolve = Moard_inject.Resolve
 module Outcome = Moard_inject.Outcome
+module Errmodel = Moard_bits.Errmodel
 module Pattern = Moard_bits.Pattern
 module Ps = Moard_bits.Patternset
 module B = Moard_bits.Bitval
 module Ast = Moard_lang.Ast
 open Tutil
+
+let model_name = Errmodel.to_string
 
 let qtest ?(count = 60) name gen prop =
   QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
@@ -86,60 +89,69 @@ let pp_verdict = function
   | Masking.Crash_certain _ -> "crash"
   | Masking.Divergent -> "divergent"
 
-(* analyze_all must agree with the scalar oracle on every bit of every
-   read site: same classification, same mask kind, same trap, and the
-   same Changed payload (output value and overshadow flag). *)
-let check_site tape (s : Consume.t) =
+(* analyze_all must agree with the scalar oracle on every lane of every
+   read site, for every error model: same classification, same mask kind,
+   same per-lane trap, and the same Changed payload (output value and
+   overshadow flag). *)
+let check_site ~model tape (s : Consume.t) =
   let e = event_of tape s in
-  let v = Masking.analyze_all e s.Consume.kind in
+  let v = Masking.analyze_all ~model e s.Consume.kind in
   if v.Masking.width <> s.Consume.width then
     Alcotest.failf "width mismatch at event %d" s.Consume.event_idx;
-  let n = B.bits_in v.Masking.width in
-  (* the four sets partition the full set *)
+  let n = v.Masking.lanes in
+  if n <> Errmodel.lanes model s.Consume.width then
+    Alcotest.failf "lane count mismatch at event %d" s.Consume.event_idx;
+  (* the four sets partition the full lane set *)
   let all =
     Ps.union
       (Ps.union v.Masking.masked v.Masking.crash)
       (Ps.union v.Masking.divergent v.Masking.changed)
   in
-  if not (Ps.equal all (Ps.full ~width:v.Masking.width)) then
-    Alcotest.failf "verdict sets do not cover at event %d" s.Consume.event_idx;
+  if not (Ps.equal all (Ps.full_n ~n)) then
+    Alcotest.failf "[%s] verdict sets do not cover at event %d"
+      (model_name model) s.Consume.event_idx;
   if
     Ps.count v.Masking.masked + Ps.count v.Masking.crash
     + Ps.count v.Masking.divergent + Ps.count v.Masking.changed
     <> n
-  then Alcotest.failf "verdict sets overlap at event %d" s.Consume.event_idx;
+  then
+    Alcotest.failf "[%s] verdict sets overlap at event %d" (model_name model)
+      s.Consume.event_idx;
   if not (Ps.subset v.Masking.overshadow v.Masking.changed) then
     Alcotest.fail "overshadow must be a subset of changed";
   for b = 0 to n - 1 do
-    let scalar = Masking.analyze e s.Consume.kind (Pattern.Single b) in
+    let pat = Errmodel.pattern_at model s.Consume.width b in
+    let scalar = Masking.analyze e s.Consume.kind pat in
     let fail () =
-      Alcotest.failf "event %d bit %d: scalar %s vs batched {m=%a c=%a d=%a}"
-        s.Consume.event_idx b (pp_verdict scalar) Ps.pp v.Masking.masked Ps.pp
-        v.Masking.crash Ps.pp v.Masking.divergent
+      Alcotest.failf
+        "[%s] event %d lane %d: scalar %s vs batched {m=%a c=%a d=%a}"
+        (model_name model) s.Consume.event_idx b (pp_verdict scalar) Ps.pp
+        v.Masking.masked Ps.pp v.Masking.crash Ps.pp v.Masking.divergent
     in
     match scalar with
     | Masking.Masked k ->
       if not (Ps.mem v.Masking.masked b) then fail ();
       if v.Masking.mask_kind <> k then
-        Alcotest.failf "event %d bit %d: mask kind %s vs %s"
-          s.Consume.event_idx b (Verdict.kind_name k)
+        Alcotest.failf "[%s] event %d lane %d: mask kind %s vs %s"
+          (model_name model) s.Consume.event_idx b (Verdict.kind_name k)
           (Verdict.kind_name v.Masking.mask_kind)
     | Masking.Crash_certain t ->
       if not (Ps.mem v.Masking.crash b) then fail ();
-      if v.Masking.trap <> Some t then
-        Alcotest.failf "event %d bit %d: trap differs" s.Consume.event_idx b
+      if Masking.trap_of_lane v b <> t then
+        Alcotest.failf "[%s] event %d lane %d: trap differs"
+          (model_name model) s.Consume.event_idx b
     | Masking.Divergent -> if not (Ps.mem v.Masking.divergent b) then fail ()
     | Masking.Changed { out; overshadow } ->
       if not (Ps.mem v.Masking.changed b) then fail ();
       if Ps.mem v.Masking.overshadow b <> overshadow then
-        Alcotest.failf "event %d bit %d: overshadow flag differs"
-          s.Consume.event_idx b;
+        Alcotest.failf "[%s] event %d lane %d: overshadow flag differs"
+          (model_name model) s.Consume.event_idx b;
       let out', overshadow' =
-        Masking.changed_out_at e s.Consume.kind ~bit:b
+        Masking.changed_out_at ~model e s.Consume.kind ~lane:b
       in
       if out' <> out || overshadow' <> overshadow then
-        Alcotest.failf "event %d bit %d: changed payload differs"
-          s.Consume.event_idx b
+        Alcotest.failf "[%s] event %d lane %d: changed payload differs"
+          (model_name model) s.Consume.event_idx b
   done
 
 let gen_inputs =
@@ -158,24 +170,28 @@ let gen_inputs =
     int_bound 3 >|= fun idx -> (x, y, xf, yf, sh, idx))
 
 let kernel_vs_oracle =
-  [
-    qtest "analyze_all = 64x analyze on every opcode" gen_inputs
-      (fun (x, y, xf, yf, sh, idx) ->
-        let m, tape = prog ~x ~y ~xf ~yf ~sh ~idx in
-        let checked = ref 0 in
-        List.iter
-          (fun g ->
-            List.iter
-              (fun s ->
-                if is_read s then begin
-                  check_site tape s;
-                  incr checked
-                end)
-              (sites m tape g))
-          [ "g"; "gf"; "ix" ];
-        (* the program consumes every traced global many times *)
-        !checked > 10);
-  ]
+  List.map
+    (fun model ->
+      qtest
+        (Printf.sprintf "analyze_all = per-lane analyze on every opcode [%s]"
+           (model_name model))
+        gen_inputs
+        (fun (x, y, xf, yf, sh, idx) ->
+          let m, tape = prog ~x ~y ~xf ~yf ~sh ~idx in
+          let checked = ref 0 in
+          List.iter
+            (fun g ->
+              List.iter
+                (fun s ->
+                  if is_read s then begin
+                    check_site ~model tape s;
+                    incr checked
+                  end)
+                (sites m tape g))
+            [ "g"; "gf"; "ix" ];
+          (* the program consumes every traced global many times *)
+          !checked > 10))
+    Errmodel.all
 
 (* ---- end-to-end differentials on a small self-contained workload ---- *)
 
@@ -204,71 +220,92 @@ let workload () =
     "batched-diff"
 
 let exhaustive_tests =
-  [
-    Alcotest.test_case "exhaustive: batched = scalar outcomes, fewer runs"
-      `Quick (fun () ->
-        let ctx = Context.make (workload ()) in
-        let b = Exhaustive.campaign ~batch:true ctx ~object_name:"a" in
-        let s = Exhaustive.campaign ~batch:false ctx ~object_name:"a" in
-        Alcotest.(check int) "sites" s.Exhaustive.sites b.Exhaustive.sites;
-        Alcotest.(check int) "injections" s.Exhaustive.injections
-          b.Exhaustive.injections;
-        Alcotest.(check int) "same" s.Exhaustive.same b.Exhaustive.same;
-        Alcotest.(check int) "acceptable" s.Exhaustive.acceptable
-          b.Exhaustive.acceptable;
-        Alcotest.(check int) "incorrect" s.Exhaustive.incorrect
-          b.Exhaustive.incorrect;
-        Alcotest.(check int) "crashed" s.Exhaustive.crashed
-          b.Exhaustive.crashed;
-        Alcotest.(check (float 0.0)) "success rate"
-          s.Exhaustive.success_rate b.Exhaustive.success_rate;
-        if b.Exhaustive.runs >= s.Exhaustive.runs then
-          Alcotest.failf "kernel saved no executions (%d vs %d)"
-            b.Exhaustive.runs s.Exhaustive.runs);
-    Alcotest.test_case "resolve restricted to a bit subset agrees" `Quick
-      (fun () ->
-        let ctx = Context.make (workload ()) in
-        let site =
-          List.find is_read
-            (Consume.of_tape (Context.tape ctx)
-               (Context.object_of ctx "a"))
-        in
-        let all = Resolve.site ctx site in
-        let bits = Ps.add (Ps.add (Ps.add Ps.empty 0) 17) 63 in
-        let sub = Resolve.site ~bits ctx site in
-        Ps.iter
-          (fun b ->
-            if sub.(b) <> all.(b) then
-              Alcotest.failf "bit %d differs under restriction" b)
-          bits);
-  ]
+  List.map
+    (fun model ->
+      Alcotest.test_case
+        (Printf.sprintf "exhaustive: batched = scalar outcomes [%s]"
+           (model_name model))
+        `Quick
+        (fun () ->
+          let ctx = Context.make (workload ()) in
+          let scan0 = Masking.scan_executions () in
+          let b = Exhaustive.campaign ~model ~batch:true ctx ~object_name:"a" in
+          Alcotest.(check int)
+            "batched sweep never falls into the scalar walk" 0
+            (Masking.scan_executions () - scan0);
+          let s =
+            Exhaustive.campaign ~model ~batch:false ctx ~object_name:"a"
+          in
+          Alcotest.(check int) "sites" s.Exhaustive.sites b.Exhaustive.sites;
+          Alcotest.(check int) "injections" s.Exhaustive.injections
+            b.Exhaustive.injections;
+          Alcotest.(check int) "same" s.Exhaustive.same b.Exhaustive.same;
+          Alcotest.(check int) "acceptable" s.Exhaustive.acceptable
+            b.Exhaustive.acceptable;
+          Alcotest.(check int) "incorrect" s.Exhaustive.incorrect
+            b.Exhaustive.incorrect;
+          Alcotest.(check int) "crashed" s.Exhaustive.crashed
+            b.Exhaustive.crashed;
+          Alcotest.(check (float 0.0)) "success rate"
+            s.Exhaustive.success_rate b.Exhaustive.success_rate;
+          if
+            model = Errmodel.Single_bit
+            && b.Exhaustive.runs >= s.Exhaustive.runs
+          then
+            Alcotest.failf "kernel saved no executions (%d vs %d)"
+              b.Exhaustive.runs s.Exhaustive.runs))
+    Errmodel.all
+  @ [
+      Alcotest.test_case "resolve restricted to a lane subset agrees" `Quick
+        (fun () ->
+          let ctx = Context.make (workload ()) in
+          let site =
+            List.find is_read
+              (Consume.of_tape (Context.tape ctx)
+                 (Context.object_of ctx "a"))
+          in
+          let all = Resolve.site ctx site in
+          let lanes = Ps.add (Ps.add (Ps.add Ps.empty 0) 17) 63 in
+          let sub = Resolve.site ~lanes ctx site in
+          Ps.iter
+            (fun b ->
+              if sub.(b) <> all.(b) then
+                Alcotest.failf "lane %d differs under restriction" b)
+            lanes);
+    ]
 
 let report_str r = Format.asprintf "%a" Advf.pp_report r
 
 let model_tests =
-  [
-    Alcotest.test_case "model: batched report = scalar report" `Quick
-      (fun () ->
-        let ctx = Context.make (workload ()) in
-        let opts cache batch =
-          { Model.default_options with Model.use_cache = cache; batch }
-        in
-        List.iter
-          (fun cache ->
-            let b =
-              Model.analyze
-                ~options:(opts cache true)
-                (Context.shard ctx) ~object_name:"a"
-            in
-            let s =
-              Model.analyze
-                ~options:(opts cache false)
-                (Context.shard ctx) ~object_name:"a"
-            in
-            Alcotest.(check string)
-              (Printf.sprintf "report (cache=%b)" cache)
-              (report_str s) (report_str b))
-          [ true; false ]);
+  List.map
+    (fun model ->
+      Alcotest.test_case
+        (Printf.sprintf "model: batched report = scalar report [%s]"
+           (model_name model))
+        `Quick
+        (fun () ->
+          let ctx = Context.make (workload ()) in
+          let opts cache batch =
+            { Model.default_options with Model.use_cache = cache; batch; model }
+          in
+          List.iter
+            (fun cache ->
+              let b =
+                Model.analyze
+                  ~options:(opts cache true)
+                  (Context.shard ctx) ~object_name:"a"
+              in
+              let s =
+                Model.analyze
+                  ~options:(opts cache false)
+                  (Context.shard ctx) ~object_name:"a"
+              in
+              Alcotest.(check string)
+                (Printf.sprintf "report (cache=%b)" cache)
+                (report_str s) (report_str b))
+            [ true; false ]))
+    Errmodel.all
+  @ [
     Alcotest.test_case "model: multi-bit patterns force the scalar walk"
       `Quick (fun () ->
         let ctx = Context.make (workload ()) in
@@ -292,17 +329,67 @@ module Plan = Moard_campaign.Plan
 module Engine = Moard_campaign.Engine
 
 let engine_tests =
-  [
-    Alcotest.test_case "campaign: batched = scalar payload bytes" `Quick
-      (fun () ->
-        let ctx = Context.make (workload ()) in
-        let plan = Plan.make ~seed:7 ~ci_width:0.04 ctx ~objects:[ "a" ] in
-        let b = Engine.run ~batch:true ctx plan in
-        let s = Engine.run ~batch:false ctx plan in
-        Alcotest.(check string) "stable payload"
-          (Moard_store.Query.campaign_payload s)
-          (Moard_store.Query.campaign_payload b));
-  ]
+  List.map
+    (fun model ->
+      Alcotest.test_case
+        (Printf.sprintf "campaign: batched = scalar payload bytes [%s]"
+           (model_name model))
+        `Quick
+        (fun () ->
+          let ctx = Context.make (workload ()) in
+          let plan =
+            Plan.make ~model ~seed:7 ~ci_width:0.04 ctx ~objects:[ "a" ]
+          in
+          let b = Engine.run ~batch:true ctx plan in
+          let s = Engine.run ~batch:false ctx plan in
+          Alcotest.(check string) "stable payload"
+            (Moard_store.Query.campaign_payload s)
+            (Moard_store.Query.campaign_payload b)))
+    Errmodel.all
+
+module Registry = Moard_kernels.Registry
+
+(* Full-registry differential: every benchmark object in Table I analyzed
+   batched and scalar under every error model must produce byte-identical
+   reports, and the batched runs must never fall into the scalar walk.
+   This is the in-tree twin of the CI kernel smoke job. *)
+let registry_tests =
+  List.map
+    (fun model ->
+      Alcotest.test_case
+        (Printf.sprintf "registry: batched = scalar reports [%s]"
+           (model_name model))
+        `Slow
+        (fun () ->
+          let opts batch =
+            { Model.default_options with Model.fi_budget = 500; batch; model }
+          in
+          List.iter
+            (fun (e : Registry.entry) ->
+              let ctx = Context.make (e.Registry.workload ()) in
+              List.iter
+                (fun obj ->
+                  let scan0 = Masking.scan_executions () in
+                  let b =
+                    Model.analyze ~options:(opts true) (Context.shard ctx)
+                      ~object_name:obj
+                  in
+                  let scans = Masking.scan_executions () - scan0 in
+                  if scans <> 0 then
+                    Alcotest.failf
+                      "%s/%s [%s]: %d scalar-walk executions on the batched \
+                       path"
+                      e.Registry.benchmark obj (model_name model) scans;
+                  let s =
+                    Model.analyze ~options:(opts false) (Context.shard ctx)
+                      ~object_name:obj
+                  in
+                  Alcotest.(check string)
+                    (Printf.sprintf "%s/%s" e.Registry.benchmark obj)
+                    (report_str s) (report_str b))
+                e.Registry.objects)
+            Registry.table1))
+    Errmodel.all
 
 let suite =
   [
@@ -310,4 +397,5 @@ let suite =
     ("batched.exhaustive", exhaustive_tests);
     ("batched.model", model_tests);
     ("batched.engine", engine_tests);
+    ("batched.registry", registry_tests);
   ]

@@ -172,9 +172,11 @@ let verdict_gen =
 let stage_gen =
   QCheck2.Gen.oneofl [ Advf.Op; Advf.Prop; Advf.Fi; Advf.Cached; Advf.Gave_up ]
 
-(* A site: some error patterns, each with a stage and a verdict. *)
+(* A site: some error patterns, each with a stage and a verdict. The lane
+   count must divide the single-bit weight denominator (64), as every real
+   error model's lane count does at every width. *)
 let site_gen =
-  QCheck2.Gen.(list_size (int_range 1 8) (pair stage_gen verdict_gen))
+  QCheck2.Gen.(list_size (oneofl [ 1; 2; 4; 8 ]) (pair stage_gen verdict_gen))
 
 let stream_gen = QCheck2.Gen.(list_size (int_range 0 40) site_gen)
 
@@ -182,9 +184,9 @@ let feed acc sites =
   List.iter
     (fun patterns ->
       Advf.add_involvement acc;
-      let weight = 1.0 /. float_of_int (List.length patterns) in
+      let lanes = List.length patterns in
       List.iter
-        (fun (stage, verdict) -> Advf.add_pattern acc ~weight ~stage verdict)
+        (fun (stage, verdict) -> Advf.add_pattern acc ~lanes ~stage verdict)
         patterns)
     sites
 
