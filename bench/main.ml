@@ -1064,6 +1064,113 @@ let chaos_bench () =
     note "wrote BENCH_chaos.json"
   end
 
+(* ------------------------------------------------------------------ *)
+
+(* The cross-input-size predictor against holdout ground truth: fit on
+   the registry's training sizes, extrapolate to the holdout size, then
+   pay for the campaign the predictor avoided and compare. Reports the
+   wall-clock of fit+predict against the holdout campaign and the
+   per-object absolute error. Writes BENCH_predict.json (full mode only;
+   --quick is the CI smoke test). *)
+
+let predict_bench () =
+  let module Predict = Moard_predict.Predict in
+  let module Plan = Moard_campaign.Plan in
+  let module Engine = Moard_campaign.Engine in
+  let cases =
+    if !quick then [ ("MM", "C") ]
+    else
+      [
+        ("MM", "C");
+        ("ABFT_MM", "C");
+        ("PF", "xe");
+        ("ABFT_PF", "xe");
+        ("BT", "grid_points");
+        ("BT", "u");
+        ("SP", "rhoi");
+        ("SP", "grid_points");
+        ("LU", "u");
+        ("LU", "rsd");
+        ("LULESH", "m_elemBC");
+        ("LULESH", "m_delv_zeta");
+      ]
+  in
+  section "Cross-input-size prediction vs holdout campaign";
+  let rows =
+    List.map
+      (fun (bench, obj) ->
+        let e = Registry.find bench in
+        let sizes = Registry.training_sizes e in
+        let target = Registry.holdout_size e in
+        let t = Unix.gettimeofday () in
+        let p =
+          Predict.run
+            ~workloads:(List.map (fun n -> (n, e.Registry.workload_at n)) sizes)
+            ~object_name:obj ~target ()
+        in
+        let predict_s = Unix.gettimeofday () -. t in
+        let t = Unix.gettimeofday () in
+        let ctx = Context.make (e.Registry.workload_at target) in
+        let plan = Plan.make ctx ~objects:[ obj ] in
+        let r = Engine.run ctx plan in
+        let truth_s = Unix.gettimeofday () -. t in
+        let o = r.Engine.objects.(0) in
+        let truth = o.Engine.estimate in
+        let err = Float.abs (p.Predict.advf -. truth) in
+        let covered =
+          p.Predict.advf_ci.Moard_stats.Confidence.lo <= truth
+          && truth <= p.Predict.advf_ci.Moard_stats.Confidence.hi
+        in
+        note
+          "%s/%s @%d: predicted %.4f [%.4f, %.4f] in %.2fs, truth %.4f in \
+           %.2fs -> |err| %.4f%s (%.1fx faster)"
+          bench obj target p.Predict.advf
+          p.Predict.advf_ci.Moard_stats.Confidence.lo
+          p.Predict.advf_ci.Moard_stats.Confidence.hi predict_s truth truth_s
+          err
+          (if covered then ", covered" else ", MISSED")
+          (truth_s /. Float.max 1e-9 predict_s);
+        (bench, obj, target, p, predict_s, truth, truth_s, err, covered))
+      cases
+  in
+  let worst =
+    List.fold_left (fun a (_, _, _, _, _, _, _, e, _) -> Float.max a e) 0.0 rows
+  in
+  let covered_n =
+    List.length (List.filter (fun (_, _, _, _, _, _, _, _, c) -> c) rows)
+  in
+  Printf.printf "\nworst |err| %.4f; CI covered truth for %d/%d objects\n"
+    worst covered_n (List.length rows);
+  if !quick then note "quick mode: not writing BENCH_predict.json"
+  else begin
+    let oc = open_out "BENCH_predict.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"worst_abs_error\": %.17g,\n\
+      \  \"ci_covered\": %d,\n\
+      \  \"objects\": [\n"
+      worst covered_n;
+    List.iteri
+      (fun i (bench, obj, target, p, predict_s, truth, truth_s, err, covered) ->
+        Printf.fprintf oc
+          "    { \"benchmark\": %S, \"object\": %S, \"target\": %d, \
+           \"training_sizes\": [%s], \"predicted\": %.17g, \"ci\": [%.17g, \
+           %.17g], \"truth\": %.17g, \"abs_error\": %.17g, \"covered\": %b, \
+           \"predict_seconds\": %.4f, \"truth_seconds\": %.4f, \"speedup\": \
+           %.3f }%s\n"
+          bench obj target
+          (String.concat ", " (List.map string_of_int p.Predict.sizes))
+          p.Predict.advf p.Predict.advf_ci.Moard_stats.Confidence.lo
+          p.Predict.advf_ci.Moard_stats.Confidence.hi truth err covered
+          predict_s truth_s
+          (truth_s /. Float.max 1e-9 predict_s)
+          (if i = List.length rows - 1 then "" else ","))
+      rows;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    note "wrote BENCH_predict.json"
+  end
+
 let experiments =
   [
     ("table1", table1);
@@ -1081,6 +1188,7 @@ let experiments =
     ("kernel", kernel_bench);
     ("store", store_bench);
     ("chaos", chaos_bench);
+    ("predict", predict_bench);
   ]
 
 let () =

@@ -8,6 +8,7 @@
      moard objects CG                    -- data objects and address ranges
      moard serve                         -- the moardd analysis daemon
      moard query advf CG -o r            -- cached query (daemon or offline)
+     moard predict CG -o r --target 24    -- cross-input-size extrapolation
      moard store stat|gc|fsck            -- result-store maintenance
      moard campaign fsck --journal J     -- verify a journal offline
      moard chaos --seed 7                -- fault-inject the daemon itself
@@ -339,6 +340,8 @@ module Plan = Moard_campaign.Plan
 module Engine = Moard_campaign.Engine
 module Journal = Moard_campaign.Journal
 module Campaign_report = Moard_report.Campaign_report
+module Predict = Moard_predict.Predict
+module Predict_report = Moard_report.Predict_report
 
 let store_dir_arg =
   Arg.(
@@ -898,6 +901,179 @@ let query_campaign_cmd =
       $ socket_arg $ offline_flag $ store_dir_arg $ meta_arg $ no_batch_flag
       $ error_model_arg)
 
+(* ---- predict ---- *)
+
+let sizes_arg =
+  Arg.(
+    value & opt (list int) []
+    & info [ "sizes" ] ~docv:"N,N,..."
+        ~doc:"Training input sizes: a campaign runs at each (comma \
+              separated; default: the benchmark's registered training \
+              sizes). Order and duplicates are canonicalized away.")
+
+let target_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "target" ] ~docv:"N"
+        ~doc:"Input size to extrapolate to (default: the benchmark's \
+              registered holdout size). No injection runs at this size.")
+
+let json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Print the stable JSON payload on stdout instead of the \
+              human report (byte-identical to daemon and store answers).")
+
+let predict_sizes e = function
+  | [] -> Registry.training_sizes e
+  | sizes -> sizes
+
+let predict_target e = function
+  | Some t -> t
+  | None -> Registry.holdout_size e
+
+let predict_cmd =
+  let run () e objs sizes target seed confidence ci_width max_samples domains
+      store_dir out json no_batch model =
+    let objs = pick_objects e objs in
+    let sizes = predict_sizes e sizes in
+    let target = predict_target e target in
+    let emit payload =
+      (match out with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc payload;
+        close_out oc
+      | None -> ());
+      if json then print_string payload
+    in
+    List.iter
+      (fun obj ->
+        match store_dir with
+        | Some dir ->
+          let payload, status, p =
+            Query.predict (open_store dir) ~model ~seed ~confidence ~ci_width
+              ~max_samples ~domains ~batch:(not no_batch)
+              ~workload_at:e.Registry.workload_at ~object_name:obj ~sizes
+              ~target ()
+          in
+          Logs.app (fun m ->
+              m "predict %s/%s: %s (store %s)" e.Registry.benchmark obj
+                (Query.status_name status) dir);
+          emit payload;
+          if not json then (
+            match p with
+            | Some p -> Format.printf "%a@." Predict_report.pp p
+            | None ->
+              (* served from the store: only the stable payload exists *)
+              print_string payload)
+        | None ->
+          let sizes = Predict.canonical_sizes sizes in
+          let workloads =
+            List.map (fun n -> (n, e.Registry.workload_at n)) sizes
+          in
+          let p =
+            Predict.run ~model ~seed ~confidence ~ci_width ~max_samples
+              ~domains ~batch:(not no_batch) ~workloads ~object_name:obj
+              ~target ()
+          in
+          emit (Predict_report.stable_json p);
+          if not json then Format.printf "%a@." Predict_report.pp p)
+      objs
+  in
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:"Extrapolate an object's aDVF to an input size never \
+             fault-injected: fit per-stratum outcome rates from campaigns \
+             at small training sizes (level 1), fit each stratum's \
+             population growth across those sizes (level 2), and combine \
+             at the target with propagated confidence intervals. With \
+             $(b,--store) the prediction is cached by its training \
+             programs and parameters.")
+    Term.(
+      const run $ setup_logs $ bench_arg $ objects_arg $ sizes_arg
+      $ target_arg $ seed_arg $ confidence_arg $ ci_width_arg
+      $ max_samples_arg $ domains_arg $ store_dir_arg $ out_arg $ json_flag
+      $ no_batch_flag $ error_model_arg)
+
+let query_predict_cmd =
+  let run () e objs sizes target seed confidence ci_width max_samples socket
+      offline store_dir meta no_batch model =
+    let objs = pick_objects e objs in
+    let sizes = predict_sizes e sizes in
+    let target = predict_target e target in
+    if offline then
+      List.iter
+        (fun obj ->
+          let sizes = Predict.canonical_sizes sizes in
+          let workloads =
+            List.map (fun n -> (n, e.Registry.workload_at n)) sizes
+          in
+          let programs =
+            List.map
+              (fun (n, w) -> (n, w.Moard_inject.Workload.program))
+              workloads
+          in
+          let key =
+            Key.predict ~programs ~object_name:obj ~model ~seed ~confidence
+              ~ci_width ~max_samples ~target
+          in
+          let payload, status =
+            match store_dir with
+            | Some dir ->
+              let payload, status, _ =
+                Query.predict (open_store dir) ~model ~seed ~confidence
+                  ~ci_width ~max_samples ~batch:(not no_batch)
+                  ~workload_at:e.Registry.workload_at ~object_name:obj ~sizes
+                  ~target ()
+              in
+              (payload, status)
+            | None ->
+              ( Query.predict_payload
+                  (Predict.run ~model ~seed ~confidence ~ci_width ~max_samples
+                     ~batch:(not no_batch) ~workloads ~object_name:obj ~target
+                     ()),
+                Query.Computed )
+          in
+          write_meta meta
+            (offline_header ~op:"predict" ~key ~status
+               [ ("object", Jsonx.Str obj); ("target", Jsonx.Int target) ]);
+          print_string payload)
+        objs
+    else
+      List.iter
+        (fun obj ->
+          let req =
+            Jsonx.Obj
+              ([
+                 ("op", Jsonx.Str "predict");
+                 ("benchmark", Jsonx.Str e.Registry.benchmark);
+                 ("object", Jsonx.Str obj);
+                 ("sizes", Jsonx.Arr (List.map (fun n -> Jsonx.Int n) sizes));
+                 ("target", Jsonx.Int target);
+                 ("seed", Jsonx.Int seed);
+                 ("confidence", Jsonx.Float confidence);
+                 ("ci_width", Jsonx.Float ci_width);
+                 ("max_samples", Jsonx.Int max_samples);
+               ]
+              @ model_fields model)
+          in
+          print_string (rpc_payload ~socket req ~meta))
+        objs
+  in
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:"Query a cross-input-size prediction (the stable JSON payload \
+             on stdout): computed and cached by the daemon, or \
+             $(b,--offline) with identical bytes.")
+    Term.(
+      const run $ setup_logs $ bench_arg $ objects_arg $ sizes_arg
+      $ target_arg $ seed_arg $ confidence_arg $ ci_width_arg
+      $ max_samples_arg $ socket_arg $ offline_flag $ store_dir_arg $ meta_arg
+      $ no_batch_flag $ error_model_arg)
+
 let query_stat_cmd =
   let run () socket =
     let header, _ = Client.rpc ~socket (Jsonx.Obj [ ("op", Jsonx.Str "stat") ]) in
@@ -916,7 +1092,7 @@ let query_cmd =
     (Cmd.info "query"
        ~doc:"Cached queries against a moardd daemon (or $(b,--offline)): \
              identical bytes either way, so the two modes can be diffed.")
-    [ query_advf_cmd; query_campaign_cmd; query_stat_cmd ]
+    [ query_advf_cmd; query_campaign_cmd; query_predict_cmd; query_stat_cmd ]
 
 (* ---- store maintenance ---- *)
 
@@ -1093,8 +1269,8 @@ let main =
           data objects (IPDPS'19 reproduction).")
     [
       list_cmd; analyze_cmd; exhaustive_cmd; rfi_cmd; trace_cmd; objects_cmd;
-      dump_ir_cmd; bound_cmd; plan_cmd; campaign_cmd; serve_cmd; query_cmd;
-      store_cmd; chaos_cmd;
+      dump_ir_cmd; bound_cmd; plan_cmd; campaign_cmd; predict_cmd; serve_cmd;
+      query_cmd; store_cmd; chaos_cmd;
     ]
 
 let () =
@@ -1118,6 +1294,8 @@ let () =
       | Sys_error m -> m
       | Invalid_argument m -> m
       | Journal.Rejected m -> "journal rejected: " ^ m
+      | Predict.Refused r ->
+        "prediction refused: " ^ Predict.refusal_message r
       | Moard_server.Protocol.Protocol_error m -> "protocol error: " ^ m
       | Unix.Unix_error (err, fn, arg) ->
         Printf.sprintf "%s%s: %s" fn

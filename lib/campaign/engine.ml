@@ -27,6 +27,7 @@ type stratum_result = {
   population : int;
   samples : int;
   successes : int;
+  by_code : int array;
   lo : float;
   hi : float;
   exhausted : bool;
@@ -72,6 +73,7 @@ type obj_state = {
   n : int array;
   ok : int array;
   by_code : int array;
+  stratum_codes : int array array;  (** per stratum, counts per outcome code *)
   memo : (Context.ekey, int) Hashtbl.t;
   mutable samples : int;
   mutable runs : int;
@@ -84,6 +86,7 @@ let init_state (po : Plan.objective) =
     n = Array.make ns 0;
     ok = Array.make ns 0;
     by_code = Array.make 4 0;
+    stratum_codes = Array.init ns (fun _ -> Array.make 4 0);
     memo = Hashtbl.create 1024;
     samples = 0;
     runs = 0;
@@ -255,6 +258,7 @@ let apply_sample st ~stratum ~code =
   st.n.(stratum) <- st.n.(stratum) + 1;
   if success_code code then st.ok.(stratum) <- st.ok.(stratum) + 1;
   st.by_code.(code) <- st.by_code.(code) + 1;
+  st.stratum_codes.(stratum).(code) <- st.stratum_codes.(stratum).(code) + 1;
   st.samples <- st.samples + 1
 
 let run_batch ctx (plan : Plan.t) oi st ~domains ~batch ~writer ~per_domain
@@ -453,6 +457,7 @@ let run_internal ~domains ~batch ~max_batches ~should_stop ~cancel ~writer
                   population = ps.Plan.population;
                   samples = st.n.(s);
                   successes = st.ok.(s);
+                  by_code = Array.copy st.stratum_codes.(s);
                   lo =
                     (if st.n.(s) = ps.Plan.population && st.n.(s) > 0 then
                        float_of_int st.ok.(s) /. float_of_int st.n.(s)

@@ -38,6 +38,10 @@ type stratum_result = {
   population : int;
   samples : int;
   successes : int;
+  by_code : int array;
+      (** sample counts per outcome code within the stratum (sums to
+          [samples]); what the cross-size predictor fits its per-stratum
+          masked/SDC/crash rates from. Not part of the stable JSON. *)
   lo : float;
   hi : float;
   exhausted : bool;

@@ -4,8 +4,19 @@ type entry = {
   routine : string;
   objects : string list;
   workload : unit -> Moard_inject.Workload.t;
+  workload_at : int -> Moard_inject.Workload.t;
+  default_size : int;
+  sizes : int array;
 }
 
+(* Every entry maps the uniform size knob onto the kernel's own primary
+   dimension (n, grid, nelem, particles); the other knobs stay at their
+   defaults so [workload_at default_size] builds exactly the historical
+   default workload. [sizes] lists the canonical cross-size ladder for the
+   predictor: three training sizes in ascending order, then the holdout
+   size where ground truth is still computable. All four respect the
+   kernel's own validity constraints (powers of two for FT, the level
+   divisibility of MG, the n >= 5 floor of SP). *)
 let table1 =
   [
     {
@@ -14,6 +25,9 @@ let table1 =
       routine = "conj_grad";
       objects = [ "r"; "colidx" ];
       workload = (fun () -> Cg.workload ());
+      workload_at = (fun n -> Cg.workload ~n ());
+      default_size = 18;
+      sizes = [| 10; 14; 18; 24 |];
     };
     {
       benchmark = "MG";
@@ -21,6 +35,9 @@ let table1 =
       routine = "mg3P";
       objects = [ "u"; "r" ];
       workload = (fun () -> Mg.workload ());
+      workload_at = (fun n -> Mg.workload ~n ());
+      default_size = 16;
+      sizes = [| 8; 16; 32; 64 |];
     };
     {
       benchmark = "FT";
@@ -28,6 +45,9 @@ let table1 =
       routine = "fftXYZ";
       objects = [ "plane"; "exp1" ];
       workload = (fun () -> Ft.workload ());
+      workload_at = (fun n -> Ft.workload ~n ());
+      default_size = 8;
+      sizes = [| 4; 8; 16; 32 |];
     };
     {
       benchmark = "BT";
@@ -35,6 +55,9 @@ let table1 =
       routine = "x_solve";
       objects = [ "grid_points"; "u" ];
       workload = (fun () -> Bt.workload ());
+      workload_at = (fun n -> Bt.workload ~n ());
+      default_size = 5;
+      sizes = [| 4; 5; 6; 8 |];
     };
     {
       benchmark = "SP";
@@ -42,6 +65,9 @@ let table1 =
       routine = "x_solve";
       objects = [ "rhoi"; "grid_points" ];
       workload = (fun () -> Sp.workload ());
+      workload_at = (fun n -> Sp.workload ~n ());
+      default_size = 5;
+      sizes = [| 5; 6; 7; 9 |];
     };
     {
       benchmark = "LU";
@@ -49,6 +75,9 @@ let table1 =
       routine = "ssor";
       objects = [ "u"; "rsd" ];
       workload = (fun () -> Lu.workload ());
+      workload_at = (fun n -> Lu.workload ~n ());
+      default_size = 4;
+      sizes = [| 4; 5; 6; 8 |];
     };
     {
       benchmark = "LULESH";
@@ -56,6 +85,9 @@ let table1 =
       routine = "CalcMonotonicQRegionForElems";
       objects = [ "m_elemBC"; "m_delv_zeta" ];
       workload = (fun () -> Lulesh.workload ());
+      workload_at = (fun n -> Lulesh.workload ~nelem:n ());
+      default_size = 20;
+      sizes = [| 12; 16; 20; 28 |];
     };
     {
       benchmark = "AMG";
@@ -63,6 +95,9 @@ let table1 =
       routine = "hypre_GMRESSolve";
       objects = [ "ipiv"; "A" ];
       workload = (fun () -> Amg.workload ());
+      workload_at = (fun n -> Amg.workload ~grid:n ());
+      default_size = 3;
+      sizes = [| 3; 4; 5; 7 |];
     };
   ]
 
@@ -74,6 +109,9 @@ let case_studies =
       routine = "mm";
       objects = [ "C" ];
       workload = (fun () -> Abft_mm.workload ());
+      workload_at = (fun n -> Abft_mm.workload ~n ());
+      default_size = 6;
+      sizes = [| 4; 5; 6; 8 |];
     };
     {
       benchmark = "ABFT_MM";
@@ -81,6 +119,9 @@ let case_studies =
       routine = "mm+verify";
       objects = [ "C" ];
       workload = (fun () -> Abft_mm.workload ~abft:true ());
+      workload_at = (fun n -> Abft_mm.workload ~n ~abft:true ());
+      default_size = 6;
+      sizes = [| 4; 5; 6; 8 |];
     };
     {
       benchmark = "PF";
@@ -88,6 +129,9 @@ let case_studies =
       routine = "particle_filter";
       objects = [ "xe" ];
       workload = (fun () -> Particle_filter.workload ());
+      workload_at = (fun n -> Particle_filter.workload ~particles:n ());
+      default_size = 16;
+      sizes = [| 8; 12; 16; 24 |];
     };
     {
       benchmark = "ABFT_PF";
@@ -95,6 +139,10 @@ let case_studies =
       routine = "particle_filter+verify";
       objects = [ "xe" ];
       workload = (fun () -> Particle_filter.workload ~abft:true ());
+      workload_at =
+        (fun n -> Particle_filter.workload ~particles:n ~abft:true ());
+      default_size = 16;
+      sizes = [| 8; 12; 16; 24 |];
     };
   ]
 
@@ -105,6 +153,9 @@ let find name =
   List.find
     (fun e -> String.equal (String.lowercase_ascii e.benchmark) lname)
     all
+
+let training_sizes e = [ e.sizes.(0); e.sizes.(1); e.sizes.(2) ]
+let holdout_size e = e.sizes.(3)
 
 let pp_table1 ppf () =
   Format.fprintf ppf "@[<v>%-8s %-55s %-30s %s@,%s@,"

@@ -1,6 +1,7 @@
 (** The benchmark inventory — Table I of the paper, plus the §VI case
     studies. Each entry names the evaluated routine and the target data
-    objects, and builds the workload at its default miniature size. *)
+    objects, and builds the workload at its default miniature size or at
+    any valid size of a uniform size knob. *)
 
 type entry = {
   benchmark : string;
@@ -8,6 +9,21 @@ type entry = {
   routine : string;           (** the code segment of Table I *)
   objects : string list;      (** target data objects *)
   workload : unit -> Moard_inject.Workload.t;
+      (** the historical default-size workload;
+          [workload () = workload_at default_size] *)
+  workload_at : int -> Moard_inject.Workload.t;
+      (** build the workload at a given input size. The size maps onto the
+          kernel's own primary dimension (matrix order, grid side, element
+          count, particle count); every other knob keeps its default.
+          @raise Invalid_argument on a size the kernel rejects (FT needs a
+          power of two >= 4, MG divisibility by [2^(levels-1)], SP
+          [n >= 5], ...). *)
+  default_size : int;  (** the size [workload] builds at *)
+  sizes : int array;
+      (** the canonical cross-size ladder for the aDVF predictor: three
+          training sizes in ascending order followed by the holdout size
+          where statistical ground truth is still computable. All four are
+          valid [workload_at] inputs. *)
 }
 
 val table1 : entry list
@@ -20,6 +36,12 @@ val all : entry list
 
 val find : string -> entry
 (** Look up by benchmark name (case-insensitive). @raise Not_found *)
+
+val training_sizes : entry -> int list
+(** The first three elements of [sizes]. *)
+
+val holdout_size : entry -> int
+(** The last element of [sizes]. *)
 
 val pp_table1 : Format.formatter -> unit -> unit
 (** Render Table I. *)

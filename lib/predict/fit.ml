@@ -1,0 +1,153 @@
+module Engine = Moard_campaign.Engine
+module Confidence = Moard_stats.Confidence
+
+type cls = Masked | Sdc | Crashed
+
+let cls_name = function
+  | Masked -> "masked"
+  | Sdc -> "sdc"
+  | Crashed -> "crashed"
+
+type stratum = {
+  index : int;
+  label : string;
+  counts : (int * int) list;
+  population : int;
+  samples : int;
+  successes : int;
+  by_code : int array;
+  growth : Growth.t;
+}
+
+type t = {
+  object_name : string;
+  sizes : int list;
+  populations : (int * int) list;
+  strata : stratum array;
+  samples : int;
+  runs : int;
+  cache_hits : int;
+}
+
+let class_count s = function
+  | Masked -> s.by_code.(0) + s.by_code.(1)
+  | Sdc -> s.by_code.(2)
+  | Crashed -> s.by_code.(3)
+
+(* The pooled Wilson interval treats the stratum's masking probability as
+   one latent binomial parameter shared across input sizes — the level-1
+   assumption of the two-level model. Pooling is a sum, so the fit is
+   invariant to the order observations arrive in; an unsampled stratum is
+   at full ignorance (the engine's own convention: point 0.5, [0, 1]). *)
+let rate ~z (s : stratum) cls =
+  if s.samples = 0 then (0.5, { Confidence.lo = 0.0; hi = 1.0 })
+  else
+    let k = class_count s cls in
+    ( float_of_int k /. float_of_int s.samples,
+      Confidence.wilson ~z ~n:s.samples ~successes:k () )
+
+let of_results observations =
+  (match observations with
+  | [] | [ _ ] -> invalid_arg "Fit.of_results: need >= 2 training sizes"
+  | _ -> ());
+  (* canonical ascending-size order, so fits (and payload bytes) do not
+     depend on the order the campaigns ran in *)
+  let observations =
+    List.sort (fun (a, _) (b, _) -> compare a b) observations
+  in
+  let object_name =
+    match observations with
+    | (_, (o : Engine.object_result)) :: _ -> o.Engine.object_name
+    | [] -> assert false
+  in
+  List.iter
+    (fun (_, (o : Engine.object_result)) ->
+      if o.Engine.object_name <> object_name then
+        invalid_arg "Fit.of_results: mixed objects")
+    observations;
+  let sizes = List.map fst observations in
+  let distinct = List.sort_uniq compare sizes in
+  if List.length distinct <> List.length sizes then
+    invalid_arg "Fit.of_results: duplicate training size";
+  let nstrata =
+    List.fold_left
+      (fun a (_, (o : Engine.object_result)) ->
+        max a (Array.length o.Engine.strata))
+      0 observations
+  in
+  let stratum_at (o : Engine.object_result) s =
+    if s < Array.length o.Engine.strata then Some o.Engine.strata.(s) else None
+  in
+  let strata =
+    Array.init nstrata (fun s ->
+        let counts =
+          List.map
+            (fun (size, o) ->
+              ( size,
+                match stratum_at o s with
+                | Some sr -> sr.Engine.population
+                | None -> 0 ))
+            observations
+        in
+        let label =
+          List.fold_left
+            (fun acc (_, o) ->
+              match stratum_at o s with
+              | Some sr when sr.Engine.population > 0 -> sr.Engine.label
+              | _ -> acc)
+            (match stratum_at (snd (List.hd observations)) s with
+            | Some sr -> sr.Engine.label
+            | None -> Printf.sprintf "stratum%d" s)
+            observations
+        in
+        let sum f =
+          List.fold_left
+            (fun a (_, o) ->
+              match stratum_at o s with Some sr -> a + f sr | None -> a)
+            0 observations
+        in
+        let by_code = Array.make 4 0 in
+        List.iter
+          (fun (_, o) ->
+            match stratum_at o s with
+            | Some sr ->
+              Array.iteri
+                (fun c k -> by_code.(c) <- by_code.(c) + k)
+                sr.Engine.by_code
+            | None -> ())
+          observations;
+        {
+          index = s;
+          label;
+          counts;
+          population = sum (fun sr -> sr.Engine.population);
+          samples = sum (fun sr -> sr.Engine.samples);
+          successes = sum (fun sr -> sr.Engine.successes);
+          by_code;
+          growth = Growth.fit counts;
+        })
+  in
+  {
+    object_name;
+    sizes;
+    populations =
+      List.map
+        (fun (size, (o : Engine.object_result)) -> (size, o.Engine.population))
+        observations;
+    strata;
+    samples =
+      List.fold_left
+        (fun a (_, (o : Engine.object_result)) -> a + o.Engine.samples)
+        0 observations;
+    runs =
+      List.fold_left
+        (fun a (_, (o : Engine.object_result)) -> a + o.Engine.runs)
+        0 observations;
+    cache_hits =
+      List.fold_left
+        (fun a (_, (o : Engine.object_result)) -> a + o.Engine.cache_hits)
+        0 observations;
+  }
+
+let predicted_counts t target =
+  Array.map (fun s -> Growth.predict ~points:s.counts target) t.strata

@@ -1,0 +1,55 @@
+(** Level 1 of the two-level aDVF extrapolation: per-stratum outcome
+    rates fitted from campaign results at a handful of small training
+    sizes.
+
+    The model assumption (after the two-level SDC-rate methodology) is
+    that a stratum — one static-instruction slot class × bit class — has
+    outcome probabilities that are stable across input sizes; what input
+    size changes is how many dynamic fault sites land in each stratum.
+    So level 1 pools each stratum's samples across the training sizes
+    into one binomial estimate per outcome class, and {!Growth} (level 2)
+    models how the stratum's population scales. *)
+
+type cls = Masked | Sdc | Crashed
+
+val cls_name : cls -> string
+
+type stratum = {
+  index : int;  (** position in {!Moard_campaign.Population.nstrata} *)
+  label : string;
+  counts : (int * int) list;
+      (** (training size, stratum population), ascending in size *)
+  population : int;  (** pooled across training sizes *)
+  samples : int;     (** pooled resolved samples *)
+  successes : int;   (** pooled masked samples *)
+  by_code : int array;  (** pooled per-outcome-code sample counts *)
+  growth : Growth.t;
+}
+
+type t = {
+  object_name : string;
+  sizes : int list;  (** training sizes, ascending *)
+  populations : (int * int) list;
+      (** (training size, whole-object fault-site population) *)
+  strata : stratum array;  (** always full [Population.nstrata] length *)
+  samples : int;
+  runs : int;
+  cache_hits : int;
+}
+
+val of_results : (int * Moard_campaign.Engine.object_result) list -> t
+(** Fit from [(input size, campaign object result)] observations. Sorts
+    by size internally, so the fit is invariant to the order the training
+    campaigns ran in.
+    @raise Invalid_argument on fewer than two observations, duplicate
+    sizes, or results for different objects. *)
+
+val rate : z:float -> stratum -> cls -> float * Moard_stats.Confidence.interval
+(** Pooled point estimate and Wilson interval for one outcome class. A
+    stratum with zero pooled samples is at full ignorance: (0.5, [0, 1]),
+    the campaign engine's own convention for unsampled strata. *)
+
+val predicted_counts : t -> int -> float array
+(** Per-stratum predicted populations at a target size, via each
+    stratum's fitted {!Growth} curve ({!Growth.predict}: exact at any
+    training size). *)

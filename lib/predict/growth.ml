@@ -1,0 +1,72 @@
+type t =
+  | Zero
+  | Scaled of { size : int; count : int }
+  | Power of { lna : float; b : float }
+
+let kind_name = function
+  | Zero -> "zero"
+  | Scaled _ -> "proportional"
+  | Power _ -> "power"
+
+(* Counts are dynamic-site populations: non-negative, and in every kernel
+   we model they grow polynomially in the input size (loop nests), so the
+   fit runs in log-log space where a polynomial is a line. Strata that
+   never appear stay Zero; a stratum observed at exactly one size cannot
+   pin an exponent and falls back to proportional growth through its one
+   point — the conservative default for trip counts. *)
+let fit points =
+  (* canonical ascending-size order before any float touches an
+     accumulator: the fit is bit-identical however the observations
+     arrived *)
+  let points = List.sort (fun (a, _) (b, _) -> compare a b) points in
+  let nonzero = List.filter (fun (_, c) -> c > 0) points in
+  match nonzero with
+  | [] -> Zero
+  | [ (size, count) ] -> Scaled { size; count }
+  | _ ->
+    let n = float_of_int (List.length nonzero) in
+    let lns =
+      List.map
+        (fun (s, c) -> (log (float_of_int s), log (float_of_int c)))
+        nonzero
+    in
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 lns in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 lns in
+    let mx = sx /. n and my = sy /. n in
+    let sxx =
+      List.fold_left (fun a (x, _) -> a +. ((x -. mx) *. (x -. mx))) 0.0 lns
+    in
+    let sxy =
+      List.fold_left (fun a (x, y) -> a +. ((x -. mx) *. (y -. my))) 0.0 lns
+    in
+    if sxx <= 0.0 then
+      (* one distinct size observed nonzero more than once cannot happen
+         (sizes are distinct); guard anyway: constant extrapolation *)
+      Power { lna = my; b = 0.0 }
+    else
+      let b = sxy /. sxx in
+      Power { lna = my -. (b *. mx); b }
+
+let ceiling = 1e15
+
+let clamp c =
+  if Float.is_nan c then 0.0 else Float.max 0.0 (Float.min ceiling c)
+
+let eval t n =
+  if n <= 0 then 0.0
+  else
+    match t with
+    | Zero -> 0.0
+    | Scaled { size; count } ->
+      clamp (float_of_int count *. float_of_int n /. float_of_int size)
+    | Power { lna; b } -> clamp (exp (lna +. (b *. log (float_of_int n))))
+
+let exponent = function
+  | Zero -> 0.0
+  | Scaled _ -> 1.0
+  | Power { b; _ } -> b
+
+let predict ~points n =
+  match List.assoc_opt n points with
+  | Some c -> float_of_int c
+  | None -> eval (fit points) n

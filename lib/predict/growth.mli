@@ -1,0 +1,41 @@
+(** Level 2 of the two-level aDVF extrapolation: per-stratum dynamic-site
+    population growth as a function of input size.
+
+    Stratum populations come from golden runs alone (site enumeration on
+    the packed tape — no injection), so observing them is cheap at any
+    size; what this module does is model the count-vs-size curve from the
+    few training sizes where level 1 also fitted rates, so the predictor
+    can weight its per-stratum rate estimates at a target size it has
+    never run. Site counts in loop-nest kernels are polynomial in the
+    input size, so the fit is linear least squares in log-log space. *)
+
+type t =
+  | Zero  (** the stratum was empty at every training size *)
+  | Scaled of { size : int; count : int }
+      (** one nonzero observation: proportional growth through it *)
+  | Power of { lna : float; b : float }
+      (** [count(n) = exp(lna) * n^b], least squares over the nonzero
+          observations *)
+
+val kind_name : t -> string
+
+val fit : (int * int) list -> t
+(** Fit a growth curve to [(size, count)] observations (distinct sizes,
+    counts >= 0; zero counts are ignored by the fit — they select the
+    degenerate constructors). Observations are sorted internally, so the
+    fit is bit-identical under any input order. *)
+
+val eval : t -> int -> float
+(** Predicted count at a size: always finite, non-negative and bounded
+    (clamped to [1e15]) — degenerate inputs can never produce NaN or
+    infinity downstream. *)
+
+val exponent : t -> float
+(** The growth exponent the fit settled on (0 for [Zero], 1 for
+    [Scaled]) — the report surfaces it per stratum. *)
+
+val predict : points:(int * int) list -> int -> float
+(** [eval (fit points)], except that a size present in [points] returns
+    its observed count exactly: the model never extrapolates over ground
+    truth it was handed, which is also what makes predicting at a
+    training size reproduce the fitted value. *)

@@ -1,0 +1,227 @@
+module Engine = Moard_campaign.Engine
+module Plan = Moard_campaign.Plan
+module Context = Moard_inject.Context
+module Confidence = Moard_stats.Confidence
+module Errmodel = Moard_bits.Errmodel
+
+type refusal =
+  | Too_few_sizes of int
+  | Empty_population
+  | No_predicted_population of int
+  | Unobserved_weight of float
+
+exception Refused of refusal
+
+let refusal_message = function
+  | Too_few_sizes n ->
+    Printf.sprintf
+      "extrapolation needs at least 2 distinct training sizes (got %d)" n
+  | Empty_population ->
+    "the object has no fault sites at any training size"
+  | No_predicted_population target ->
+    Printf.sprintf "predicted fault-site population at size %d is zero"
+      target
+  | Unobserved_weight w ->
+    Printf.sprintf
+      "%.0f%% of the predicted population falls in strata never sampled \
+       at any training size (cap 50%%)"
+      (100.0 *. w)
+
+let unobserved_cap = 0.5
+
+let canonical_sizes sizes =
+  List.iter
+    (fun n -> if n <= 0 then invalid_arg "Predict.canonical_sizes: size")
+    sizes;
+  let sizes = List.sort_uniq compare sizes in
+  if List.length sizes < 2 then
+    raise (Refused (Too_few_sizes (List.length sizes)));
+  sizes
+
+type class_prediction = { rate : float; interval : Confidence.interval }
+
+type stratum_prediction = {
+  label : string;
+  counts : (int * int) list;
+  samples : int;
+  successes : int;
+  predicted_count : float;
+  growth : string;
+  exponent : float;
+  weight : float;
+  masked : class_prediction;
+  sdc : class_prediction;
+  crashed : class_prediction;
+}
+
+type t = {
+  object_name : string;
+  workload_name : string;
+  model : Errmodel.t;
+  seed : int;
+  confidence : float;
+  ci_width : float;
+  max_samples : int;
+  sizes : int list;
+  target : int;
+  populations : (int * int) list;
+  predicted_population : float;
+  samples : int;
+  runs : int;
+  cache_hits : int;
+  unobserved_weight : float;
+  advf : float;
+  advf_ci : Confidence.interval;
+  sdc : float;
+  sdc_ci : Confidence.interval;
+  crashed : float;
+  crashed_ci : Confidence.interval;
+  strata : stratum_prediction array;
+  fit_seconds : float;  (** perf only — never part of the stable payload *)
+}
+
+(* An object can legitimately have no fault sites at a small training size
+   (a stratum of the workload that only materializes past some n);
+   Plan.make treats that as a caller error, the predictor treats it as a
+   zero-population observation. *)
+let empty_object_result object_name : Engine.object_result =
+  {
+    Engine.object_name;
+    population = 0;
+    sites = 0;
+    samples = 0;
+    runs = 0;
+    cache_hits = 0;
+    by_code = Array.make 4 0;
+    estimate = 0.0;
+    lo = 0.0;
+    hi = 0.0;
+    halfwidth = 0.0;
+    stopped = Engine.Exhausted;
+    strata = [||];
+  }
+
+let train ?(model = Errmodel.Single_bit) ~seed ~confidence ~ci_width
+    ~max_samples ~domains ~batch ?cancel ~object_name (size, workload) =
+  let no_sites = "Plan.make: no fault sites for " ^ object_name in
+  match Context.make workload with
+  | exception Invalid_argument m when m = no_sites ->
+    (size, workload.Moard_inject.Workload.name, empty_object_result object_name)
+  | ctx -> (
+    match
+      Plan.make ~model ~seed ~confidence ~ci_width ~max_samples ctx
+        ~objects:[ object_name ]
+    with
+    | exception Invalid_argument m when m = no_sites ->
+      ( size,
+        workload.Moard_inject.Workload.name,
+        empty_object_result object_name )
+    | plan ->
+      let result = Engine.run ~domains ~batch ?cancel ctx plan in
+      let o = result.Engine.objects.(0) in
+      (match o.Engine.stopped with
+      | Engine.Interrupted ->
+        raise
+          (Moard_chaos.Cancel.Cancelled
+             (Printf.sprintf "predict: campaign at size %d interrupted" size))
+      | _ -> ());
+      (size, result.Engine.workload_name, o))
+
+let run ?model ?(seed = 42) ?(confidence = 0.95) ?(ci_width = 0.02)
+    ?(max_samples = -1) ?(domains = 1) ?(batch = true) ?cancel ~workloads
+    ~object_name ~target () =
+  if target <= 0 then invalid_arg "Predict.run: target";
+  (match workloads with
+  | [] | [ _ ] -> raise (Refused (Too_few_sizes (List.length workloads)))
+  | _ -> ());
+  let t0 = Unix.gettimeofday () in
+  let z = Confidence.z_of_confidence confidence in
+  let trained =
+    List.map
+      (train ?model ~seed ~confidence ~ci_width ~max_samples ~domains ~batch
+         ?cancel ~object_name)
+      workloads
+  in
+  let workload_name =
+    match trained with (_, w, _) :: _ -> w | [] -> assert false
+  in
+  let observations = List.map (fun (size, _, o) -> (size, o)) trained in
+  if List.for_all (fun (_, o) -> o.Engine.population = 0) observations then
+    raise (Refused Empty_population);
+  let fit = Fit.of_results observations in
+  let predicted = Fit.predicted_counts fit target in
+  let total = Array.fold_left ( +. ) 0.0 predicted in
+  if total <= 0.0 then raise (Refused (No_predicted_population target));
+  let weights = Array.map (fun c -> c /. total) predicted in
+  let unobserved_weight =
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun i w -> if w > 0.0 && fit.Fit.strata.(i).Fit.samples = 0 then
+          acc := !acc +. w)
+      weights;
+    !acc
+  in
+  if unobserved_weight > unobserved_cap then
+    raise (Refused (Unobserved_weight unobserved_weight));
+  let combine cls =
+    let point = ref 0.0 in
+    let terms =
+      Array.mapi
+        (fun i s ->
+          let p, interval = Fit.rate ~z s cls in
+          point := !point +. (weights.(i) *. p);
+          (weights.(i), interval))
+        fit.Fit.strata
+    in
+    (!point, Confidence.combine_weighted terms)
+  in
+  let advf, advf_ci = combine Fit.Masked in
+  let sdc, sdc_ci = combine Fit.Sdc in
+  let crashed, crashed_ci = combine Fit.Crashed in
+  let strata =
+    Array.mapi
+      (fun i (s : Fit.stratum) ->
+        let cls c =
+          let rate, interval = Fit.rate ~z s c in
+          { rate; interval }
+        in
+        {
+          label = s.Fit.label;
+          counts = s.Fit.counts;
+          samples = s.Fit.samples;
+          successes = s.Fit.successes;
+          predicted_count = predicted.(i);
+          growth = Growth.kind_name s.Fit.growth;
+          exponent = Growth.exponent s.Fit.growth;
+          weight = weights.(i);
+          masked = cls Fit.Masked;
+          sdc = cls Fit.Sdc;
+          crashed = cls Fit.Crashed;
+        })
+      fit.Fit.strata
+  in
+  {
+    object_name;
+    workload_name;
+    model = (match model with Some m -> m | None -> Errmodel.Single_bit);
+    seed;
+    confidence;
+    ci_width;
+    max_samples;
+    sizes = fit.Fit.sizes;
+    target;
+    populations = fit.Fit.populations;
+    predicted_population = total;
+    samples = fit.Fit.samples;
+    runs = fit.Fit.runs;
+    cache_hits = fit.Fit.cache_hits;
+    unobserved_weight;
+    advf;
+    advf_ci;
+    sdc;
+    sdc_ci;
+    crashed;
+    crashed_ci;
+    strata;
+    fit_seconds = Unix.gettimeofday () -. t0;
+  }

@@ -1,0 +1,152 @@
+module Predict = Moard_predict.Predict
+
+(* Deterministic float rendering: shortest-exact is locale-free and
+   round-trips, so stable reports are byte-comparable. *)
+let fl x = Printf.sprintf "%.17g" x
+
+let pairs ps =
+  String.concat ", "
+    (List.map (fun (size, n) -> Printf.sprintf "[%d, %d]" size n) ps)
+
+let buf_stratum b (s : Predict.stratum_prediction) =
+  let cls name (c : Predict.class_prediction) =
+    Printf.sprintf
+      "\"%s\": %s, \"%s_lo\": %s, \"%s_hi\": %s" name (fl c.Predict.rate)
+      name (fl c.Predict.interval.Moard_stats.Confidence.lo) name
+      (fl c.Predict.interval.Moard_stats.Confidence.hi)
+  in
+  Buffer.add_string b
+    (Printf.sprintf
+       "    { \"stratum\": %S, \"counts\": [%s], \"samples\": %d, \
+        \"successes\": %d, \"predicted_count\": %s, \"growth\": %S, \
+        \"exponent\": %s, \"weight\": %s,\n      %s,\n      %s,\n      %s }"
+       s.Predict.label (pairs s.Predict.counts) s.Predict.samples
+       s.Predict.successes
+       (fl s.Predict.predicted_count)
+       s.Predict.growth
+       (fl s.Predict.exponent)
+       (fl s.Predict.weight)
+       (cls "masked" s.Predict.masked)
+       (cls "sdc" s.Predict.sdc)
+       (cls "crashed" s.Predict.crashed))
+
+let json_body b ?perf (p : Predict.t) =
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"moard-predict-report-v1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"workload\": %S,\n" p.Predict.workload_name);
+  Buffer.add_string b (Printf.sprintf "  \"object\": %S,\n" p.Predict.object_name);
+  (* unlike the campaign report this schema has no pre-error-model
+     payloads to stay byte-identical to, so the model is always emitted *)
+  Buffer.add_string b
+    (Printf.sprintf "  \"error_model\": %S,\n"
+       (Moard_bits.Errmodel.to_string p.Predict.model));
+  Buffer.add_string b (Printf.sprintf "  \"seed\": %d,\n" p.Predict.seed);
+  Buffer.add_string b
+    (Printf.sprintf "  \"confidence\": %s,\n" (fl p.Predict.confidence));
+  Buffer.add_string b
+    (Printf.sprintf "  \"ci_width_target\": %s,\n" (fl p.Predict.ci_width));
+  Buffer.add_string b
+    (Printf.sprintf "  \"max_samples\": %d,\n" p.Predict.max_samples);
+  Buffer.add_string b
+    (Printf.sprintf "  \"training_sizes\": [%s],\n"
+       (String.concat ", " (List.map string_of_int p.Predict.sizes)));
+  Buffer.add_string b (Printf.sprintf "  \"target\": %d,\n" p.Predict.target);
+  Buffer.add_string b
+    (Printf.sprintf "  \"populations\": [%s],\n" (pairs p.Predict.populations));
+  Buffer.add_string b
+    (Printf.sprintf "  \"predicted_population\": %s,\n"
+       (fl p.Predict.predicted_population));
+  Buffer.add_string b (Printf.sprintf "  \"samples\": %d,\n" p.Predict.samples);
+  Buffer.add_string b (Printf.sprintf "  \"runs\": %d,\n" p.Predict.runs);
+  Buffer.add_string b
+    (Printf.sprintf "  \"cache_hits\": %d,\n" p.Predict.cache_hits);
+  Buffer.add_string b
+    (Printf.sprintf "  \"unobserved_weight\": %s,\n"
+       (fl p.Predict.unobserved_weight));
+  (match perf with
+  | None -> ()
+  | Some () ->
+    Buffer.add_string b
+      (Printf.sprintf "  \"fit_seconds\": %s,\n" (fl p.Predict.fit_seconds)));
+  let metric name v (i : Moard_stats.Confidence.interval) =
+    Buffer.add_string b (Printf.sprintf "  \"%s\": %s,\n" name (fl v));
+    Buffer.add_string b
+      (Printf.sprintf "  \"%s_lo\": %s,\n" name (fl i.Moard_stats.Confidence.lo));
+    Buffer.add_string b
+      (Printf.sprintf "  \"%s_hi\": %s,\n" name (fl i.Moard_stats.Confidence.hi))
+  in
+  metric "advf" p.Predict.advf p.Predict.advf_ci;
+  metric "sdc" p.Predict.sdc p.Predict.sdc_ci;
+  metric "crashed" p.Predict.crashed p.Predict.crashed_ci;
+  let strata =
+    Array.to_list p.Predict.strata
+    |> List.filter (fun (s : Predict.stratum_prediction) ->
+           s.Predict.samples > 0 || s.Predict.predicted_count > 0.0)
+    |> List.map (fun s ->
+           let sb = Buffer.create 512 in
+           buf_stratum sb s;
+           Buffer.contents sb)
+  in
+  Buffer.add_string b
+    (Printf.sprintf "  \"strata\": [\n%s\n  ]\n" (String.concat ",\n" strata));
+  Buffer.add_string b "}\n"
+
+let stable_json p =
+  let b = Buffer.create 2048 in
+  json_body b p;
+  Buffer.contents b
+
+let json p =
+  let b = Buffer.create 2048 in
+  json_body b ~perf:() p;
+  Buffer.contents b
+
+let pp ppf (p : Predict.t) =
+  Format.fprintf ppf
+    "predict %s/%s%s at size %d from sizes %s (seed %d, %g%% confidence)@\n"
+    p.Predict.workload_name p.Predict.object_name
+    (if p.Predict.model <> Moard_bits.Errmodel.Single_bit then
+       " [" ^ Moard_bits.Errmodel.to_string p.Predict.model ^ "]"
+     else "")
+    p.Predict.target
+    (String.concat "," (List.map string_of_int p.Predict.sizes))
+    p.Predict.seed
+    (100.0 *. p.Predict.confidence);
+  Format.fprintf ppf "@\naDVF (masked): %.4f in [%.4f, %.4f]@\n" p.Predict.advf
+    p.Predict.advf_ci.Moard_stats.Confidence.lo
+    p.Predict.advf_ci.Moard_stats.Confidence.hi;
+  Format.fprintf ppf "  %s@\n"
+    (Chart.whisker ~width:40 ~center:p.Predict.advf
+       ~margin:
+         (0.5
+         *. (p.Predict.advf_ci.Moard_stats.Confidence.hi
+            -. p.Predict.advf_ci.Moard_stats.Confidence.lo))
+       ());
+  Format.fprintf ppf "SDC: %.4f in [%.4f, %.4f]; crash: %.4f in [%.4f, %.4f]@\n"
+    p.Predict.sdc p.Predict.sdc_ci.Moard_stats.Confidence.lo
+    p.Predict.sdc_ci.Moard_stats.Confidence.hi p.Predict.crashed
+    p.Predict.crashed_ci.Moard_stats.Confidence.lo
+    p.Predict.crashed_ci.Moard_stats.Confidence.hi;
+  Format.fprintf ppf
+    "predicted population %.0f (trained on %s); %d samples, %d runs, %d \
+     cache hits; unobserved weight %.4f@\n"
+    p.Predict.predicted_population
+    (String.concat ", "
+       (List.map
+          (fun (size, n) -> Printf.sprintf "%d@%d" n size)
+          p.Predict.populations))
+    p.Predict.samples p.Predict.runs p.Predict.cache_hits
+    p.Predict.unobserved_weight;
+  Format.fprintf ppf "@\n%-22s %9s %7s %-12s %8s  %s@\n" "stratum" "predicted"
+    "weight" "growth" "masked" "interval";
+  Array.iter
+    (fun (s : Predict.stratum_prediction) ->
+      if s.Predict.samples > 0 || s.Predict.predicted_count > 0.0 then
+        Format.fprintf ppf "%-22s %9.1f %7.4f %-12s %8.4f  [%.4f, %.4f]@\n"
+          s.Predict.label s.Predict.predicted_count s.Predict.weight
+          (Printf.sprintf "%s^%.2f" s.Predict.growth s.Predict.exponent)
+          s.Predict.masked.Predict.rate
+          s.Predict.masked.Predict.interval.Moard_stats.Confidence.lo
+          s.Predict.masked.Predict.interval.Moard_stats.Confidence.hi)
+    p.Predict.strata;
+  Format.fprintf ppf "@\nfit+predict wall: %.3fs@\n" p.Predict.fit_seconds

@@ -1,0 +1,16 @@
+(** Render a cross-input-size prediction ({!Moard_predict.Predict.t}). *)
+
+val stable_json : Moard_predict.Predict.t -> string
+(** Canonical JSON payload (schema ["moard-predict-report-v1"]). Floats
+    render as ["%.17g"]; strata appear in enumeration order, filtered to
+    those with pooled samples or a nonzero predicted population. For a
+    fixed prediction the bytes are stable — no timings, no environment —
+    so daemon answers, offline runs and store payloads byte-compare. *)
+
+val json : Moard_predict.Predict.t -> string
+(** [stable_json] plus the perf field ([fit_seconds]). Not byte-stable
+    across runs. *)
+
+val pp : Format.formatter -> Moard_predict.Predict.t -> unit
+(** Human-oriented report: headline prediction with whisker chart,
+    per-class rates, and the per-stratum extrapolation table. *)

@@ -230,6 +230,57 @@ let compute t ~cancel req op =
             (extra @ [ ("complete", Jsonx.Bool false) ])
             payload
     end
+  | "predict" ->
+    let e = entry_of req in
+    let object_name = field_str req "object" in
+    let geti name d =
+      Option.value ~default:d (Jsonx.int (Jsonx.member name req))
+    in
+    let getf name d =
+      Option.value ~default:d (Jsonx.float (Jsonx.member name req))
+    in
+    let sizes =
+      match Jsonx.list (Jsonx.member "sizes" req) with
+      | None | Some [] -> Registry.training_sizes e
+      | Some xs ->
+        List.map
+          (function
+            | Jsonx.Int n -> n
+            | _ -> raise (Bad_request "sizes must be an array of integers"))
+          xs
+    in
+    let target = geti "target" (Registry.holdout_size e) in
+    let model = model_of req in
+    let seed = geti "seed" 42 in
+    let confidence = getf "confidence" 0.95 in
+    let ci_width = getf "ci_width" 0.02 in
+    let max_samples = geti "max_samples" (-1) in
+    let domains = geti "domains" 1 in
+    let sizes = Moard_predict.Predict.canonical_sizes sizes in
+    (* predictions key on (size, program) pairs, not the daemon's shared
+       per-benchmark context (which is pinned to the default size) *)
+    let programs =
+      List.map
+        (fun n ->
+          (n, (e.Registry.workload_at n).Moard_inject.Workload.program))
+        sizes
+    in
+    let key =
+      Key.predict ~programs ~object_name ~model ~seed ~confidence ~ci_width
+        ~max_samples ~target
+    in
+    let payload, status, _ =
+      Query.predict t.st ~model ~seed ~confidence ~ci_width ~max_samples
+        ~domains ~batch:t.cfg.batch ~cancel
+        ~workload_at:e.Registry.workload_at ~object_name ~sizes ~target ()
+    in
+    serve_result ~op ~key ~status
+      [
+        ("benchmark", Jsonx.Str e.Registry.benchmark);
+        ("object", Jsonx.Str object_name);
+        ("target", Jsonx.Int target);
+      ]
+      payload
   | _ -> (Protocol.error ~code:"bad-request" ~message:("unknown op " ^ op), None)
 
 let stat_response t =
@@ -302,7 +353,7 @@ let dispatch t req =
           ],
         None )
     | Some "stat" -> (stat_response t, None)
-    | Some (("advf" | "campaign" | "report") as op) -> (
+    | Some (("advf" | "campaign" | "report" | "predict") as op) -> (
       let slot = Atomic.make None in
       let fill r = ignore (Atomic.compare_and_set slot None (Some r)) in
       let cancel = Cancel.create ~deadline_s:t.cfg.timeout_s () in
@@ -311,6 +362,10 @@ let dispatch t req =
           try compute t ~cancel req op with
           | Bad_request msg ->
             (Protocol.error ~code:"bad-request" ~message:msg, None)
+          | Moard_predict.Predict.Refused r ->
+            ( Protocol.error ~code:"refused"
+                ~message:(Moard_predict.Predict.refusal_message r),
+              None )
           | Cancel.Cancelled why ->
             (* nobody is waiting by now; fill the slot anyway so the
                invariant — every accepted job resolves its slot — holds

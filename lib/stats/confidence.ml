@@ -101,3 +101,20 @@ let tests_needed ?(z = 1.96) ?(e = 0.02) ?(p = 0.5) () =
 
 let intervals_overlap ~p1 ~m1 ~p2 ~m2 =
   Float.abs (p1 -. p2) <= m1 +. m2
+
+(* Interval bounds for a weighted sum of independent proportions: the sum
+   of an interval-valued term is bracketed by the sums of its endpoints
+   (exact, conservative — the same population-weighted combination the
+   campaign engine's stopping rule uses, exposed for the cross-size
+   predictor's propagated uncertainty). Summation is in array order, so
+   the result is bit-deterministic for a fixed stratum enumeration. *)
+let combine_weighted terms =
+  let lo = ref 0.0 and hi = ref 0.0 in
+  Array.iter
+    (fun (w, i) ->
+      if w < 0.0 || Float.is_nan w then
+        invalid_arg "Confidence.combine_weighted: weight";
+      lo := !lo +. (w *. i.lo);
+      hi := !hi +. (w *. i.hi))
+    terms;
+  { lo = !lo; hi = !hi }

@@ -39,3 +39,11 @@ val tests_needed : ?z:float -> ?e:float -> ?p:float -> unit -> int
 
 val intervals_overlap : p1:float -> m1:float -> p2:float -> m2:float -> bool
 (** Whether two estimates are statistically indistinguishable. *)
+
+val combine_weighted : (float * interval) array -> interval
+(** [combine_weighted [| (w1, i1); ... |]]: the interval of the weighted
+    sum [sum w_k p_k] when each [p_k] lies in [i_k] — endpoint sums, the
+    conservative population-weighted combination of per-stratum intervals.
+    Covers whenever every component interval covers. Summation follows
+    array order (bit-deterministic).
+    @raise Invalid_argument on a negative or NaN weight. *)

@@ -61,6 +61,26 @@ let campaign ~program ~plan =
       ("plan", Plan.hash plan);
     ]
 
+let predict ~programs ~object_name ~model ~seed ~confidence ~ci_width
+    ~max_samples ~target =
+  let programs = List.sort (fun (a, _) (b, _) -> compare a b) programs in
+  of_parts
+    [
+      ("query", "predict");
+      ( "programs",
+        String.concat ","
+          (List.map
+             (fun (size, p) -> Printf.sprintf "%d:%s" size (program_hash p))
+             programs) );
+      ("object", object_name);
+      ("pattern", Moard_bits.Errmodel.to_string model);
+      ("seed", string_of_int seed);
+      ("confidence", Printf.sprintf "%.17g" confidence);
+      ("ci_width", Printf.sprintf "%.17g" ci_width);
+      ("max_samples", string_of_int max_samples);
+      ("target", string_of_int target);
+    ]
+
 let tape ~program ~entry =
   of_parts
     [ ("query", "tape"); ("program", program_hash program); ("entry", entry) ]

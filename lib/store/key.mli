@@ -40,5 +40,21 @@ val campaign : program:Moard_ir.Program.t -> plan:Moard_campaign.Plan.t -> t
     workload name, seed, confidence, ci width, batch, caps and the frozen
     per-stratum sampling orders). *)
 
+val predict :
+  programs:(int * Moard_ir.Program.t) list ->
+  object_name:string ->
+  model:Moard_bits.Errmodel.t ->
+  seed:int ->
+  confidence:float ->
+  ci_width:float ->
+  max_samples:int ->
+  target:int ->
+  t
+(** Key of a cross-input-size prediction: the [(size, program)] training
+    set (sorted by size, so argument order cannot split the cache), the
+    object, the error model's canonical name, the campaign parameters the
+    training plans are built from, and the target size. Anything that
+    could change a predicted byte changes the key. *)
+
 val tape : program:Moard_ir.Program.t -> entry:string -> t
 (** Key of a packed golden tape: program and entry point. *)

@@ -80,6 +80,39 @@ let campaign store ?(domains = 1) ?(batch = true) ?should_stop ?cancel ?fx
       (payload, (if miss = Store.Corrupted then Recomputed else Computed), Some r)
     end
 
+let predict_payload = Moard_report.Predict_report.stable_json
+
+let predict store ?model ?(seed = 42) ?(confidence = 0.95) ?(ci_width = 0.02)
+    ?(max_samples = -1) ?(domains = 1) ?(batch = true) ?cancel ~workload_at
+    ~object_name ~sizes ~target () =
+  let sizes = Moard_predict.Predict.canonical_sizes sizes in
+  let workloads = List.map (fun n -> (n, workload_at n)) sizes in
+  let programs =
+    List.map
+      (fun (n, w) -> (n, w.Moard_inject.Workload.program))
+      workloads
+  in
+  let model_v =
+    match model with Some m -> m | None -> Moard_bits.Errmodel.Single_bit
+  in
+  let key =
+    Key.predict ~programs ~object_name ~model:model_v ~seed ~confidence
+      ~ci_width ~max_samples ~target
+  in
+  let kind = Record.Predict in
+  match Store.lookup store ~key ~kind with
+  | Store.Found (payload, Store.Memory) -> (payload, Memory_hit, None)
+  | Store.Found (payload, Store.Disk) -> (payload, Disk_hit, None)
+  | (Store.Absent | Store.Corrupted) as miss ->
+    let p =
+      Moard_predict.Predict.run ?model ~seed ~confidence ~ci_width
+        ~max_samples ~domains ~batch ?cancel ~workloads ~object_name ~target
+        ()
+    in
+    let payload = predict_payload p in
+    Store.put store ~key ~kind payload;
+    (payload, (if miss = Store.Corrupted then Recomputed else Computed), Some p)
+
 let tape_payload ctx = Marshal.to_string (Context.tape ctx) []
 
 let tape store ~ctx ~program ~entry () =

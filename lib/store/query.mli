@@ -68,6 +68,37 @@ val campaign :
     identical either way, which is why neither it nor [domains] is part
     of the store key. [fx] routes the engine's journal I/O. *)
 
+val predict_payload : Moard_predict.Predict.t -> string
+(** The canonical prediction payload
+    ({!Moard_report.Predict_report.stable_json}). *)
+
+val predict :
+  Store.t ->
+  ?model:Moard_bits.Errmodel.t ->
+  ?seed:int ->
+  ?confidence:float ->
+  ?ci_width:float ->
+  ?max_samples:int ->
+  ?domains:int ->
+  ?batch:bool ->
+  ?cancel:Moard_chaos.Cancel.t ->
+  workload_at:(int -> Moard_inject.Workload.t) ->
+  object_name:string ->
+  sizes:int list ->
+  target:int ->
+  unit ->
+  string * status * Moard_predict.Predict.t option
+(** Get-or-compute a cross-input-size prediction
+    ({!Moard_predict.Predict.run}). [sizes] is canonicalized (sorted,
+    deduplicated) before keying, and [workload_at] is forced once per
+    canonical size to derive the training programs the key hashes — so a
+    warm query builds workloads but never executes them. Neither
+    [domains] nor [batch] joins the key (they change no payload byte).
+    The result is [None] exactly when the payload came from the store.
+    Refusals ({!Moard_predict.Predict.Refused}) and cancellation
+    propagate before anything is stored.
+    Defaults match {!Moard_predict.Predict.run}. *)
+
 val tape_payload : Moard_inject.Context.t -> string
 (** The packed golden tape, marshalled. *)
 

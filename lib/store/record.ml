@@ -1,16 +1,18 @@
-type kind = Advf | Campaign | Tape
+type kind = Advf | Campaign | Tape | Predict
 
 let kind_name = function
   | Advf -> "advf"
   | Campaign -> "campaign"
   | Tape -> "tape"
+  | Predict -> "predict"
 
-let kind_code = function Advf -> 0 | Campaign -> 1 | Tape -> 2
+let kind_code = function Advf -> 0 | Campaign -> 1 | Tape -> 2 | Predict -> 3
 
 let kind_of_code = function
   | 0 -> Some Advf
   | 1 -> Some Campaign
   | 2 -> Some Tape
+  | 3 -> Some Predict
   | _ -> None
 
 type corruption =
