@@ -465,6 +465,36 @@ let timing () =
 
 let quick = ref false
 
+(* Domain scaling degrades to the sequential schedule on a single-core
+   host — every count measures noise, not speedup — so every bench
+   target with a domain-scaling table skips the table there and
+   annotates its JSON with the same key. *)
+let host_cores () = Domain.recommended_domain_count ()
+let single_core () = host_cores () = 1
+let domains_skip_reason = "host has 1 recommended domain"
+
+let scaling_domains () =
+  if single_core () then [ 1 ] else if !quick then [ 1; 2 ] else [ 1; 2; 4 ]
+
+(* Writes the domain-scaling array as the final key of the JSON object,
+   or the uniform skip annotation on a single-core host. [runs] pairs a
+   domain count with its wall clock; [t1] is the one-domain clock. *)
+let emit_domains_json oc ~key ~t1 runs =
+  if single_core () then
+    Printf.fprintf oc "  %S: [],\n  \"campaign_domains_skipped\": %S\n" key
+      domains_skip_reason
+  else begin
+    Printf.fprintf oc "  %S: [\n" key;
+    List.iteri
+      (fun i (d, s) ->
+        Printf.fprintf oc
+          "    { \"domains\": %d, \"seconds\": %.4f, \"speedup\": %.3f }%s\n"
+          d s (t1 /. s)
+          (if i = List.length runs - 1 then "" else ","))
+      runs;
+    Printf.fprintf oc "  ]\n"
+  end
+
 let pipeline () =
   section
     "Streaming trace pipeline: packed tape, shared golden run, domain \
@@ -499,8 +529,8 @@ let pipeline () =
      verdict reuse is partition-dependent (the equivalence key is a
      heuristic), so only the uncached analysis is bit-identical across
      domain counts. *)
-  let host_cores = Domain.recommended_domain_count () in
-  let domain_counts = if !quick then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let host_cores = host_cores () in
+  let domain_counts = scaling_domains () in
   let options = { Model.default_options with use_cache = false } in
   let runs =
     List.map
@@ -556,18 +586,12 @@ let pipeline () =
       \  \"host_cores\": %d,\n\
       \  \"advf\": \"%h\",\n\
       \  \"advf_decimal\": %.17g,\n\
-      \  \"advf_bit_identical_across_domains\": %b,\n\
-      \  \"domains\": [\n"
+      \  \"advf_bit_identical_across_domains\": %b,\n"
       e.Registry.benchmark obj events !trace_s events_per_sec packed boxed
       reduction goldens host_cores r1.Advf.advf r1.Advf.advf identical;
-    List.iteri
-      (fun i (d, s, _) ->
-        Printf.fprintf oc
-          "    { \"domains\": %d, \"seconds\": %.4f, \"speedup\": %.3f }%s\n"
-          d s (t1 /. s)
-          (if i = List.length runs - 1 then "" else ","))
-      runs;
-    Printf.fprintf oc "  ]\n}\n";
+    emit_domains_json oc ~key:"domains" ~t1
+      (List.map (fun (d, s, _) -> (d, s)) runs);
+    Printf.fprintf oc "}\n";
     close_out oc;
     note "wrote BENCH_pipeline.json"
   end
@@ -602,7 +626,7 @@ let campaign () =
     truth.Moard_inject.Exhaustive.runs sweep_s
     truth.Moard_inject.Exhaustive.success_rate;
   let plan = Plan.make ~seed:42 ~ci_width ctx ~objects:[ obj ] in
-  let domain_counts = if !quick then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let domain_counts = scaling_domains () in
   let runs =
     List.map
       (fun d ->
@@ -668,22 +692,16 @@ let campaign () =
       \  \"stopped\": %S,\n\
       \  \"ci_covers_exhaustive\": %b,\n\
       \  \"injection_savings\": %.3f,\n\
-      \  \"report_bit_identical_across_domains\": %b,\n\
-      \  \"domains\": [\n"
+      \  \"report_bit_identical_across_domains\": %b,\n"
       bench obj plan.Plan.seed ci_width o.Engine.population exact exact
       truth.Moard_inject.Exhaustive.injections sweep_s o.Engine.samples
       o.Engine.runs o.Engine.cache_hits o.Engine.estimate o.Engine.estimate
       o.Engine.lo o.Engine.hi o.Engine.lo o.Engine.hi
       (Engine.stop_reason_name o.Engine.stopped)
       covered savings identical;
-    List.iteri
-      (fun i (d, s, _) ->
-        Printf.fprintf oc
-          "    { \"domains\": %d, \"seconds\": %.4f, \"speedup\": %.3f }%s\n"
-          d s (t1 /. s)
-          (if i = List.length runs - 1 then "" else ","))
-      runs;
-    Printf.fprintf oc "  ]\n}\n";
+    emit_domains_json oc ~key:"domains" ~t1
+      (List.map (fun (d, s, _) -> (d, s)) runs);
+    Printf.fprintf oc "}\n";
     close_out oc;
     note "wrote BENCH_campaign.json"
   end
@@ -926,11 +944,9 @@ let kernel_bench () =
   let module Plan = Moard_campaign.Plan in
   let module Engine = Moard_campaign.Engine in
   let plan = Plan.make ~seed:42 ~ci_width:0.02 ctx ~objects:[ obj ] in
-  let host_cores = Domain.recommended_domain_count () in
-  let single_core = host_cores = 1 in
-  let domain_counts =
-    if single_core then [ 1 ] else if !quick then [ 1; 2 ] else [ 1; 2; 4 ]
-  in
+  let host_cores = host_cores () in
+  let single_core = single_core () in
+  let domain_counts = scaling_domains () in
   let druns =
     List.map
       (fun d ->
@@ -990,22 +1006,9 @@ let kernel_bench () =
           speedup
           (if i = List.length rows - 1 then "" else ","))
       rows;
-    if single_core then
-      Printf.fprintf oc
-        "  ],\n\
-        \  \"campaign_domains\": [],\n\
-        \  \"campaign_domains_skipped\": \"host has 1 recommended domain\"\n"
-    else begin
-      Printf.fprintf oc "  ],\n  \"campaign_domains\": [\n";
-      List.iteri
-        (fun i (d, s, _) ->
-          Printf.fprintf oc
-            "    { \"domains\": %d, \"seconds\": %.4f, \"speedup\": %.3f }%s\n"
-            d s (t1 /. s)
-            (if i = List.length druns - 1 then "" else ","))
-        druns;
-      Printf.fprintf oc "  ]\n"
-    end;
+    Printf.fprintf oc "  ],\n";
+    emit_domains_json oc ~key:"campaign_domains" ~t1
+      (List.map (fun (d, s, _) -> (d, s)) druns);
     Printf.fprintf oc "}\n";
     close_out oc;
     note "wrote BENCH_kernel.json"
@@ -1171,6 +1174,133 @@ let predict_bench () =
     note "wrote BENCH_predict.json"
   end
 
+(* ------------------------------------------------------------------ *)
+
+(* The parallel-resilience benchmark: for every kernel with an SPMD port
+   (MM, CG, LULESH), time the serial aDVF analysis against the port at
+   one hart and at N harts, assert the one-hart port is bit-identical to
+   serial, and report the shared vs hart-private split with its delta
+   against the serial figure — the `moard parallel` comparison as a
+   benchmark. Writes BENCH_parallel.json (full mode only; --quick is the
+   CI smoke test). *)
+
+let parallel_bench () =
+  let module Hart_split = Moard_core.Hart_split in
+  let harts = 3 in
+  section
+    (Printf.sprintf
+       "Parallel resilience: serial vs SPMD port at %d harts (shared vs \
+        hart-private aDVF)"
+       harts);
+  let ports =
+    List.filter
+      (fun (e : Registry.entry) -> e.Registry.parallel_at <> None)
+      Registry.all
+  in
+  let ports = if !quick then [ Registry.find "MM" ] else ports in
+  let rows =
+    List.concat_map
+      (fun (e : Registry.entry) ->
+        let port = Option.get e.Registry.parallel_at in
+        let size = e.Registry.default_size in
+        let serial_ctx = Context.make (e.Registry.workload ()) in
+        let par1_ctx = Context.make (port ~harts:1 size) in
+        let parn_ctx = Context.make (port ~harts size) in
+        List.map
+          (fun obj ->
+            let timed f =
+              let t = Unix.gettimeofday () in
+              let r = f () in
+              (r, Unix.gettimeofday () -. t)
+            in
+            let serial, ss =
+              timed (fun () ->
+                  Model.analyze ~options serial_ctx ~object_name:obj)
+            in
+            let par1, s1 =
+              timed (fun () ->
+                  Model.analyze ~options par1_ctx ~object_name:obj)
+            in
+            let parn, sn =
+              timed (fun () ->
+                  Hart_split.analyze ~options parn_ctx ~object_name:obj)
+            in
+            let identical =
+              serial.Advf.involvements = par1.Advf.involvements
+              && Int64.bits_of_float serial.Advf.advf
+                 = Int64.bits_of_float par1.Advf.advf
+              && Int64.bits_of_float serial.Advf.masking_events
+                 = Int64.bits_of_float par1.Advf.masking_events
+            in
+            note
+              "%s/%s: serial %.4f (%.2fs) | port@1 %.4f (%.2fs) | port@%d \
+               %.4f (%.2fs, %d/%d sites shared)"
+              e.Registry.benchmark obj serial.Advf.advf ss par1.Advf.advf s1
+              harts parn.Hart_split.total.Advf.advf sn
+              parn.Hart_split.shared_sites parn.Hart_split.sites;
+            if not identical then
+              failwith
+                (Printf.sprintf "parallel: %s/%s port@1 differs from serial"
+                   e.Registry.benchmark obj);
+            (e.Registry.benchmark, obj, serial, ss, par1, s1, parn, sn))
+          e.Registry.objects)
+      ports
+  in
+  let total_shared =
+    List.fold_left
+      (fun a (_, _, _, _, _, _, p, _) ->
+        a + p.Hart_split.shared_sites)
+      0 rows
+  in
+  Printf.printf
+    "\n\
+     port@1 bit-identical to serial for all %d objects: true\n\
+     shared consumption sites across all ports at %d harts: %d\n"
+    (List.length rows) harts total_shared;
+  if !quick then note "quick mode: not writing BENCH_parallel.json"
+  else begin
+    let oc = open_out "BENCH_parallel.json" in
+    Printf.fprintf oc "{\n  \"harts\": %d,\n  \"host_cores\": %d,\n" harts
+      (host_cores ());
+    Printf.fprintf oc "  \"objects\": [\n";
+    let advf_json (r : Advf.report) s =
+      Printf.sprintf
+        "{ \"sites\": %d, \"advf\": \"%h\", \"advf_decimal\": %.17g, \
+         \"seconds\": %.4f }"
+        r.Advf.involvements r.Advf.advf r.Advf.advf s
+    in
+    List.iteri
+      (fun i (bench, obj, serial, ss, par1, s1, parn, sn) ->
+        let part = function
+          | None -> "null"
+          | Some (r : Advf.report) ->
+            Printf.sprintf
+              "{ \"sites\": %d, \"advf\": \"%h\", \"advf_decimal\": %.17g }"
+              r.Advf.involvements r.Advf.advf r.Advf.advf
+        in
+        Printf.fprintf oc
+          "    { \"benchmark\": %S, \"object\": %S,\n\
+          \      \"serial\": %s,\n\
+          \      \"parallel_1\": %s,\n\
+          \      \"parallel_1_bit_identical\": true,\n\
+          \      \"parallel_n\": { \"sites\": %d, \"shared_sites\": %d,\n\
+          \        \"advf\": \"%h\", \"advf_decimal\": %.17g, \"seconds\": \
+           %.4f,\n\
+          \        \"advf_delta_vs_serial\": %.17g,\n\
+          \        \"shared\": %s, \"private\": %s } }%s\n"
+          bench obj (advf_json serial ss) (advf_json par1 s1)
+          parn.Hart_split.sites parn.Hart_split.shared_sites
+          parn.Hart_split.total.Advf.advf parn.Hart_split.total.Advf.advf sn
+          (parn.Hart_split.total.Advf.advf -. serial.Advf.advf)
+          (part parn.Hart_split.shared)
+          (part parn.Hart_split.private_)
+          (if i = List.length rows - 1 then "" else ","))
+      rows;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    note "wrote BENCH_parallel.json"
+  end
+
 let experiments =
   [
     ("table1", table1);
@@ -1186,6 +1316,7 @@ let experiments =
     ("pipeline", pipeline);
     ("campaign", campaign);
     ("kernel", kernel_bench);
+    ("parallel", parallel_bench);
     ("store", store_bench);
     ("chaos", chaos_bench);
     ("predict", predict_bench);

@@ -11,6 +11,7 @@
      moard predict CG -o r --target 24    -- cross-input-size extrapolation
      moard store stat|gc|fsck            -- result-store maintenance
      moard campaign fsck --journal J     -- verify a journal offline
+     moard parallel MM --harts 4         -- serial vs SPMD-port resilience
      moard chaos --seed 7                -- fault-inject the daemon itself
 
    Exit codes: 0 success; 1 runtime error (analysis failure, I/O, a
@@ -127,8 +128,41 @@ let optimize_flag =
         ~doc:"Optimize the program (const-fold, copy-prop, DCE) before the \
               analysis -- the SVII-A code-optimization study.")
 
-let make_ctx (e : Registry.entry) ~optimize =
-  let w = e.Registry.workload () in
+let parallel_ports =
+  List.filter_map
+    (fun e ->
+      Option.map (fun _ -> e.Registry.benchmark) e.Registry.parallel_at)
+    Registry.all
+
+(* The registry workload at a hart count: 1 is the serial program;
+   anything above needs the benchmark's SPMD port — asking for harts on a
+   kernel without one is a usage error (exit 2), never a silent serial
+   run. *)
+let workload_for (e : Registry.entry) ~harts =
+  if harts = 1 then e.Registry.workload ()
+  else if harts < 1 || harts > Moard_vm.Machine.max_harts then
+    usage "--harts %d: expected a count between 1 and %d" harts
+      Moard_vm.Machine.max_harts
+  else
+    match e.Registry.parallel_at with
+    | Some port -> port ~harts e.Registry.default_size
+    | None ->
+      usage "%s has no parallel port; --harts above 1 needs one of: %s"
+        e.Registry.benchmark
+        (String.concat ", " parallel_ports)
+
+let harts_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "harts" ] ~docv:"N"
+        ~doc:"Execute the benchmark's SPMD parallel port on $(docv) \
+              cooperative harts (deterministic round-robin schedule, \
+              shared memory, explicit barriers). Only benchmarks with a \
+              parallel port accept $(docv) > 1 -- anywhere else it is a \
+              usage error (exit 2). Default 1: the serial program.")
+
+let make_ctx ?(harts = 1) (e : Registry.entry) ~optimize =
+  let w = workload_for e ~harts in
   let w =
     if optimize then
       { w with
@@ -139,14 +173,14 @@ let make_ctx (e : Registry.entry) ~optimize =
   Context.make w
 
 let analyze_cmd =
-  let run () e objs k fi_budget no_cache optimize jobs no_batch model =
+  let run () e objs k fi_budget no_cache optimize jobs no_batch model harts =
     let options =
       { Model.default_options with k; fi_budget; use_cache = not no_cache;
         batch = not no_batch; model }
     in
     (* One context -- and therefore one golden execution -- no matter how
        many objects or domains. *)
-    let ctx = make_ctx e ~optimize in
+    let ctx = make_ctx ~harts e ~optimize in
     let tape = Context.tape ctx in
     Logs.info (fun m ->
         m "golden tape: %d events, %d bytes packed (%d golden execution%s)"
@@ -193,11 +227,12 @@ let analyze_cmd =
        ~doc:"Compute aDVF for data objects of a benchmark (the model).")
     Term.(
       const run $ setup_logs $ bench_arg $ objects_arg $ k_arg $ budget_arg
-      $ no_cache $ optimize_flag $ jobs_arg $ no_batch_flag $ error_model_arg)
+      $ no_cache $ optimize_flag $ jobs_arg $ no_batch_flag $ error_model_arg
+      $ harts_arg)
 
 let exhaustive_cmd =
-  let run () e objs stride no_batch model =
-    let ctx = Context.make (e.Registry.workload ()) in
+  let run () e objs stride no_batch model harts =
+    let ctx = Context.make (workload_for e ~harts) in
     List.iter
       (fun obj ->
         let r =
@@ -218,7 +253,7 @@ let exhaustive_cmd =
        ~doc:"Exhaustive fault injection over all valid fault sites.")
     Term.(
       const run $ setup_logs $ bench_arg $ objects_arg $ stride
-      $ no_batch_flag $ error_model_arg)
+      $ no_batch_flag $ error_model_arg $ harts_arg)
 
 let rfi_cmd =
   let run () e objs tests seed =
@@ -424,18 +459,21 @@ let emit_report r ~out ~stable =
   Format.printf "%a@." Campaign_report.pp r
 
 let campaign_plan_cmd =
-  let run () e objs seed confidence ci_width batch max_samples model =
-    let ctx = Context.make (e.Registry.workload ()) in
+  let run () e objs seed confidence ci_width batch max_samples model harts =
+    let ctx = Context.make (workload_for e ~harts) in
     let plan =
       campaign_plan ctx e (pick_objects e objs) ~model ~seed ~confidence
         ~ci_width ~batch ~max_samples
     in
     Format.printf
-      "plan %s: workload %s%s, seed %d, confidence %g, target halfwidth %g, \
-       batch %d@."
+      "plan %s: workload %s%s%s, seed %d, confidence %g, target halfwidth \
+       %g, batch %d@."
       (Plan.hash plan) plan.Plan.workload_name
       (if plan.Plan.model <> Errmodel.Single_bit then
          ", error model " ^ Errmodel.to_string plan.Plan.model
+       else "")
+      (if plan.Plan.harts <> 1 then
+         Printf.sprintf " on %d harts" plan.Plan.harts
        else "")
       plan.Plan.seed
       plan.Plan.confidence plan.Plan.ci_width plan.Plan.batch;
@@ -463,28 +501,34 @@ let campaign_plan_cmd =
     Term.(
       const run $ setup_logs $ bench_arg $ objects_arg $ seed_arg
       $ confidence_arg $ ci_width_arg $ batch_arg $ max_samples_arg
-      $ error_model_arg)
+      $ error_model_arg $ harts_arg)
 
 let campaign_run_cmd =
   let run () e objs seed confidence ci_width batch max_samples domains journal
-      store_dir out stable no_batch model =
+      store_dir out stable no_batch model harts =
     (match (journal, store_dir) with
     | Some _, Some _ ->
       usage
         "campaign run: --journal conflicts with --store (the store keeps \
          its own per-plan journal under <store>/journals)"
     | _ -> ());
-    let w = e.Registry.workload () in
+    let w = workload_for e ~harts in
     let ctx = Context.make w in
     let plan =
       campaign_plan ctx e (pick_objects e objs) ~model ~seed ~confidence
         ~ci_width ~batch ~max_samples
     in
+    (* The journal must rebuild the same workload on resume; the default
+       is left implicit so pre-existing journals keep resolving. *)
+    let journal_meta =
+      ("benchmark", e.Registry.benchmark)
+      :: (if harts = 1 then [] else [ ("harts", string_of_int harts) ])
+    in
     match store_dir with
     | Some dir ->
       let payload, status, r =
         Query.campaign (open_store dir) ~domains ~batch:(not no_batch)
-          ~journal_meta:[ ("benchmark", e.Registry.benchmark) ]
+          ~journal_meta
           ~ctx:(fun () -> ctx)
           ~program:w.Moard_inject.Workload.program ~plan ()
       in
@@ -504,8 +548,7 @@ let campaign_run_cmd =
         | None -> print_string payload))
     | None ->
       let r =
-        Engine.run ~domains ~batch:(not no_batch) ?journal
-          ~journal_meta:[ ("benchmark", e.Registry.benchmark) ]
+        Engine.run ~domains ~batch:(not no_batch) ?journal ~journal_meta
           ctx plan
       in
       emit_report r ~out ~stable
@@ -521,7 +564,7 @@ let campaign_run_cmd =
       const run $ setup_logs $ bench_arg $ objects_arg $ seed_arg
       $ confidence_arg $ ci_width_arg $ batch_arg $ max_samples_arg
       $ domains_arg $ journal_arg $ store_dir_arg $ out_arg $ stable_flag
-      $ no_batch_flag $ error_model_arg)
+      $ no_batch_flag $ error_model_arg $ harts_arg)
 
 let required_journal =
   Arg.(
@@ -538,7 +581,13 @@ let setup_from_journal path =
     | None -> failwith ("journal is missing meta key " ^ k)
   in
   let e = Registry.find (get "benchmark") in
-  let w = e.Registry.workload () in
+  (* pre-parallel journals have no "harts" key: serial *)
+  let harts =
+    match List.assoc_opt "harts" meta with
+    | None -> 1
+    | Some s -> int_of_string s
+  in
+  let w = workload_for e ~harts in
   let ctx = Context.make w in
   let objects = String.split_on_char ',' (get "objects") in
   (* pre-model journals have no "model" key: single-bit *)
@@ -641,6 +690,85 @@ let campaign_fsck_cmd =
              checksums, torn tail -- without injecting or recomputing \
              anything. Exits 1 if any committed batch fails its checksum.")
     Term.(const run $ setup_logs $ required_journal)
+
+let parallel_cmd =
+  let run () e objs harts k fi_budget out =
+    if harts < 2 then
+      usage "parallel: --harts must be at least 2 (got %d); harts=1 is \
+             computed alongside for the comparison"
+        harts;
+    let port =
+      match e.Registry.parallel_at with
+      | Some port -> port
+      | None ->
+        usage "%s has no parallel port; try one of: %s" e.Registry.benchmark
+          (String.concat ", " parallel_ports)
+    in
+    let options = { Model.default_options with k; fi_budget } in
+    let objects = pick_objects e objs in
+    (* Three golden runs: the serial kernel, the SPMD port at one hart
+       (differentially equal to serial for the ported kernels), and the
+       SPMD port at N harts, whose tape classifies shared state. *)
+    let serial_ctx = Context.make (e.Registry.workload ()) in
+    let par1_ctx = Context.make (port ~harts:1 e.Registry.default_size) in
+    let parn_ctx = Context.make (port ~harts e.Registry.default_size) in
+    let sharing = Moard_trace.Sharing.of_tape (Context.tape parn_ctx) in
+    let rows =
+      List.map
+        (fun obj ->
+          {
+            Moard_report.Parallel_report.object_name = obj;
+            serial = Model.analyze ~options serial_ctx ~object_name:obj;
+            par1 = Model.analyze ~options par1_ctx ~object_name:obj;
+            parn =
+              Moard_core.Hart_split.analyze ~options parn_ctx
+                ~object_name:obj;
+          })
+        objects
+    in
+    let t =
+      {
+        Moard_report.Parallel_report.benchmark = e.Registry.benchmark;
+        harts;
+        cells = Moard_trace.Sharing.cells sharing;
+        shared_cells = Moard_trace.Sharing.shared_cells sharing;
+        rows;
+      }
+    in
+    (match out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Moard_report.Parallel_report.json t);
+      close_out oc
+    | None -> ());
+    Format.printf "%a@." Moard_report.Parallel_report.pp t
+  in
+  let harts =
+    Arg.(
+      value & opt int 2
+      & info [ "harts" ] ~docv:"N"
+          ~doc:"Hart count of the parallel configuration (at least 2; the \
+                serial and one-hart columns are always computed).")
+  in
+  let k_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "k" ] ~doc:"Error-propagation window (paper: 50).")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int (-1)
+      & info [ "fi-budget" ]
+          ~doc:"Max deterministic fault-injection runs (-1 = unlimited).")
+  in
+  Cmd.v
+    (Cmd.info "parallel"
+       ~doc:"Compare a kernel's resilience serial vs its SPMD port: aDVF \
+             per data object at harts=1 and harts=N, split into shared \
+             and hart-private state on the N-hart golden tape.")
+    Term.(
+      const run $ setup_logs $ bench_arg $ objects_arg $ harts $ k_arg
+      $ budget_arg $ out_arg)
 
 let campaign_cmd =
   Cmd.group
@@ -1269,8 +1397,8 @@ let main =
           data objects (IPDPS'19 reproduction).")
     [
       list_cmd; analyze_cmd; exhaustive_cmd; rfi_cmd; trace_cmd; objects_cmd;
-      dump_ir_cmd; bound_cmd; plan_cmd; campaign_cmd; predict_cmd; serve_cmd;
-      query_cmd; store_cmd; chaos_cmd;
+      dump_ir_cmd; bound_cmd; plan_cmd; campaign_cmd; parallel_cmd;
+      predict_cmd; serve_cmd; query_cmd; store_cmd; chaos_cmd;
     ]
 
 let () =

@@ -18,6 +18,7 @@ type objective = {
 type t = {
   workload_name : string;
   model : Errmodel.t;
+  harts : int;
   seed : int;
   confidence : float;
   z : float;
@@ -73,6 +74,7 @@ let make ?(model = Errmodel.Single_bit) ?(seed = 42) ?(confidence = 0.95)
   {
     workload_name = w.Moard_inject.Workload.name;
     model;
+    harts = w.Moard_inject.Workload.harts;
     seed;
     confidence;
     z;
@@ -154,6 +156,14 @@ let hash t =
   if t.model <> Errmodel.Single_bit then begin
     str "error-model";
     str (Errmodel.to_string t.model)
+  end;
+  (* Likewise: hart counts do not change a parallel program's text or its
+     site populations, so without this the serial and every multi-hart
+     configuration of one program would collide; folding the default in
+     would orphan every pre-existing journal. *)
+  if t.harts <> 1 then begin
+    str "harts";
+    int t.harts
   end;
   int t.seed;
   str (Printf.sprintf "%h" t.confidence);

@@ -27,6 +27,7 @@ type objective = {
 type t = {
   workload_name : string;
   model : Moard_bits.Errmodel.t;  (** error model the members sample *)
+  harts : int;  (** hart count of the workload's golden run *)
   seed : int;
   confidence : float;
   z : float;          (** z quantile matching [confidence] *)
@@ -68,4 +69,7 @@ val hash : t -> string
     strata, members), as 16 hex digits. Stable across processes and OCaml
     versions; journals are bound to it. The error model contributes to
     the hash only when it is not [Single_bit], so journals written before
-    error models existed still resolve. *)
+    error models existed still resolve; the hart count likewise
+    contributes only when it is not 1 (a multi-hart program's text and
+    site populations are hart-count independent, so the hash must carry
+    the distinction explicitly). *)

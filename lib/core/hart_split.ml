@@ -1,0 +1,76 @@
+module Context = Moard_inject.Context
+module Tape = Moard_trace.Tape
+module Consume = Moard_trace.Consume
+module Sharing = Moard_trace.Sharing
+
+type t = {
+  object_name : string;
+  harts : int;
+  sites : int;
+  shared_sites : int;
+  total : Advf.report;
+  shared : Advf.report option;
+  private_ : Advf.report option;
+}
+
+(* One flag per consumption site, indexed by enumeration order — the same
+   index [Model.analyze]'s site filter receives — marking sites whose
+   consumed cell is touched by two or more harts on the golden tape. *)
+let site_flags ctx ~object_name =
+  let tape = Context.tape ctx in
+  let sharing = Sharing.of_tape tape in
+  let obj = Context.object_of ctx object_name in
+  let buf = ref (Bytes.make 1024 '\000') and n = ref 0 in
+  Consume.iter_sites ~segment:(Context.segment ctx)
+    (Tape.Cursor.of_tape tape) obj
+    (fun i site ->
+      if i >= Bytes.length !buf then begin
+        let b = Bytes.make (2 * Bytes.length !buf) '\000' in
+        Bytes.blit !buf 0 b 0 (Bytes.length !buf);
+        buf := b
+      end;
+      Bytes.set !buf i
+        (if Sharing.shared sharing ~addr:site.Consume.addr then '\001'
+         else '\000');
+      n := i + 1);
+  Bytes.sub !buf 0 !n
+
+let analyze ?options ?cancel ctx ~object_name =
+  let flags = site_flags ctx ~object_name in
+  let sites = Bytes.length flags in
+  let shared_sites = ref 0 in
+  Bytes.iter (fun c -> if c <> '\000' then incr shared_sites) flags;
+  let shared_sites = !shared_sites in
+  let part want_shared =
+    Model.analyze ?options ?cancel ctx
+      ~site_filter:(fun i ->
+        i < sites && Char.equal (Bytes.get flags i) '\001' = want_shared)
+      ~object_name
+  in
+  let shared = if shared_sites = 0 then None else Some (part true) in
+  let private_ =
+    if shared_sites = sites then None else Some (part false)
+  in
+  let total =
+    match (shared, private_) with
+    | Some a, Some b -> Advf.merge [ a; b ]
+    | Some a, None | None, Some a -> a
+    | None, None ->
+      (* No sites at all: an empty (zero-involvement) report. *)
+      Model.analyze ?options ?cancel ctx ~site_filter:(fun _ -> false)
+        ~object_name
+  in
+  {
+    object_name;
+    harts = (Context.workload ctx).Moard_inject.Workload.harts;
+    sites;
+    shared_sites;
+    total;
+    shared;
+    private_;
+  }
+
+let analyze_targets ?options ?cancel ctx =
+  List.map
+    (fun object_name -> analyze ?options ?cancel ctx ~object_name)
+    (Context.workload ctx).Moard_inject.Workload.targets

@@ -1,0 +1,35 @@
+(** aDVF split by shared vs hart-private state.
+
+    On a multi-hart golden run, a consumption site is {e shared-state}
+    when the cell it consumes is touched by two or more harts on the
+    golden tape ({!Moard_trace.Sharing}) — an error there can cross a
+    hart boundary before the k-window closes — and {e hart-private}
+    otherwise. This driver partitions the target object's consumption
+    sites by that classification, runs the standard three-stage model
+    over each partition through {!Model.analyze}'s site filter, and
+    merges the partition reports into the whole-object report with
+    {!Advf.merge}. On a serial run every site is private, so [total]
+    degenerates to the plain sequential analysis. *)
+
+type t = {
+  object_name : string;
+  harts : int;          (** configured hart count of the workload *)
+  sites : int;          (** consumption sites of the object *)
+  shared_sites : int;   (** of which over shared-state cells *)
+  total : Advf.report;  (** whole-object report (merged partitions) *)
+  shared : Advf.report option;
+      (** report over shared-state sites; [None] when there are none *)
+  private_ : Advf.report option;
+      (** report over hart-private sites; [None] when there are none *)
+}
+
+val analyze :
+  ?options:Model.options ->
+  ?cancel:Moard_chaos.Cancel.t ->
+  Moard_inject.Context.t -> object_name:string -> t
+
+val analyze_targets :
+  ?options:Model.options ->
+  ?cancel:Moard_chaos.Cancel.t ->
+  Moard_inject.Context.t -> t list
+(** One split per target data object declared by the workload. *)

@@ -77,7 +77,10 @@ let make (w : Workload.t) =
         invalid_arg ("Context.make: no global named " ^ name))
     (w.targets @ w.outputs);
   Atomic.incr goldens;
-  let r, tape = Machine.trace ~step_limit:w.step_limit machine ~entry:w.entry in
+  let r, tape =
+    Machine.trace ~step_limit:w.step_limit ~harts:w.harts machine
+      ~entry:w.entry
+  in
   (match r.Machine.outcome with
   | Machine.Finished _ -> ()
   | Machine.Trapped trap ->
@@ -208,8 +211,8 @@ let checkpoint_for t at =
   | Some (i, cp) when i <= at && at - i <= ckpt_reuse_window -> cp
   | _ ->
     let cp =
-      Machine.checkpoint ~step_limit:t.w.step_limit t.machine ~entry:t.w.entry
-        ~at
+      Machine.checkpoint ~step_limit:t.w.step_limit ~harts:t.w.harts t.machine
+        ~entry:t.w.entry ~at
     in
     t.inject_work <- t.inject_work + at;
     t.ckpt <- Some (at, cp);
@@ -231,8 +234,8 @@ let inject ?(resume = false) t fault =
     end
     else begin
       let r =
-        Machine.run ~step_limit:t.w.step_limit ~fault t.machine
-          ~entry:t.w.entry
+        Machine.run ~step_limit:t.w.step_limit ~fault ~harts:t.w.harts
+          t.machine ~entry:t.w.entry
       in
       t.inject_work <- t.inject_work + r.Machine.steps;
       r

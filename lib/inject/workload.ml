@@ -7,6 +7,7 @@ type t = {
   outputs : string list;
   accept : golden:float array -> faulty:float array -> bool;
   step_limit : int;
+  harts : int;
 }
 
 let rel_err_accept tol ~golden ~faulty =
@@ -21,8 +22,10 @@ let rel_err_accept tol ~golden ~faulty =
        golden faulty
 
 let make ~name ~program ?(entry = "main") ?(segment = []) ~targets ~outputs
-    ?(accept = rel_err_accept 1e-6) ?(step_limit = 20_000_000) () =
-  { name; program; entry; segment; targets; outputs; accept; step_limit }
+    ?(accept = rel_err_accept 1e-6) ?(step_limit = 20_000_000) ?(harts = 1) ()
+    =
+  if harts < 1 then invalid_arg "Workload.make: harts must be positive";
+  { name; program; entry; segment; targets; outputs; accept; step_limit; harts }
 
 let in_segment t fn =
   match t.segment with [] -> true | fns -> List.mem fn fns

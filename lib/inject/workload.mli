@@ -19,6 +19,9 @@ type t = {
   outputs : string list;  (** globals observed as the application outcome *)
   accept : golden:float array -> faulty:float array -> bool;
   step_limit : int;
+  harts : int;
+      (** cooperating harts every execution of this workload launches
+          (golden run, checkpoints and injections alike); 1 = serial *)
 }
 
 val make :
@@ -30,9 +33,12 @@ val make :
   outputs:string list ->
   ?accept:(golden:float array -> faulty:float array -> bool) ->
   ?step_limit:int ->
+  ?harts:int ->
   unit -> t
 (** [entry] defaults to ["main"], [step_limit] to 20 million dynamic
-    instructions, [accept] to a max-relative-error criterion of 1e-6. *)
+    instructions, [accept] to a max-relative-error criterion of 1e-6,
+    [harts] to 1 (serial execution).
+    @raise Invalid_argument if [harts < 1]. *)
 
 val rel_err_accept : float -> golden:float array -> faulty:float array -> bool
 (** Acceptance by maximum relative (absolute for near-zero golden values)

@@ -140,6 +140,125 @@ let ast ~n ~abft ~a0 ~b0 =
        else [ init_c; mm; observe; main ]);
   }
 
+(* SPMD port of the unprotected kernel: every hart runs [main]; each phase
+   block-decomposes the rows of C, so hart h owns rows [lo, hi) across
+   init, accumulation and observation alike (consistent ownership keeps C
+   hart-private — only Am/Bm, read by every hart, and the psum exchange
+   are shared state). At one hart the decomposition is rows [0, d): the
+   serial iteration order element for element, which is what makes the
+   harts=1 aDVF differentially comparable to the serial port. The program
+   text does not depend on the hart count — [hart_id]/[hart_count] are
+   runtime intrinsics — so one program (and one program hash) serves every
+   configuration. *)
+let parallel_ast ~n ~a0 ~b0 =
+  let d = n in
+  let dd = d * d in
+  let open Moard_lang.Ast.Dsl in
+  let at arr er ec = arr.%(Util.idx2 d er ec) in
+  let set arr er ec e = Ast.Sstore (arr, Util.idx2 d er ec, e) in
+  let span =
+    [
+      int_ "me" hart_id;
+      int_ "nh" hart_count;
+      int_ "lo" (v "me" * ((i d + v "nh" - i 1) / v "nh"));
+      int_ "hi" (v "lo" + ((i d + v "nh" - i 1) / v "nh"));
+      when_ (v "hi" > i d) [ "hi" <-- i d ];
+    ]
+  in
+  let init_c =
+    fn "init_c"
+      (span
+      @ [
+          for_ "r" (v "lo") (v "hi")
+            [ for_ "c" (i 0) (i d) [ set "C" (v "r") (v "c") (f 0.0) ] ];
+          ret_void;
+        ])
+  in
+  let mm =
+    fn "mm"
+      (span
+      @ [
+          for_ "r" (v "lo") (v "hi")
+            [
+              for_ "k" (i 0) (i d)
+                [
+                  flt_ "arK" (at "Am" (v "r") (v "k"));
+                  for_ "c" (i 0) (i d)
+                    [
+                      set "C" (v "r") (v "c")
+                        (at "C" (v "r") (v "c")
+                         + (v "arK" * at "Bm" (v "k") (v "c")));
+                    ];
+                ];
+            ];
+          ret_void;
+        ])
+  in
+  let observe =
+    (* Per-element observation is identical to the serial port (copy out,
+       fold into a running checksum); only the cross-hart combination of
+       the per-hart partial checksums is new, and it never consumes C. *)
+    fn "observe"
+      (span
+      @ [
+          flt_ "cs" (f 0.0);
+          for_ "r" (v "lo") (v "hi")
+            [
+              for_ "c" (i 0) (i n)
+                [
+                  ("Cout".%(Util.idx2 n (v "r") (v "c")) <-
+                   at "C" (v "r") (v "c"));
+                  "cs" <-- v "cs" + at "C" (v "r") (v "c");
+                ];
+            ];
+          ("psum".%(v "me") <- v "cs");
+          barrier_;
+          when_
+            (v "me" == i 0)
+            [
+              flt_ "tot" (f 0.0);
+              for_ "h" (i 0) (v "nh") [ "tot" <-- v "tot" + "psum".%(v "h") ];
+              ("out".%(i 0) <- v "tot");
+            ];
+          ret_void;
+        ])
+  in
+  let main =
+    fn "main"
+      [
+        do_ (call "init_c" []);
+        barrier_;
+        do_ (call "mm" []);
+        barrier_;
+        do_ (call "observe" []);
+        ret_void;
+      ]
+  in
+  {
+    Ast.globals =
+      [
+        garr_f64_init "Am" a0;
+        garr_f64_init "Bm" b0;
+        garr_f64 "C" dd;
+        garr_f64 "Cout" (Stdlib.( * ) n n);
+        garr_f64 "out" 1;
+        garr_f64 "psum" 64;
+      ];
+    funs = [ init_c; mm; observe; main ];
+  }
+
+let parallel_workload ?(n = 6) ?(seed = 61) ~harts () =
+  if n < 2 then invalid_arg "Abft_mm.parallel_workload: n";
+  let rng = Util.Rng.make seed in
+  let a0 = Array.init (n * n) (fun _ -> 0.5 +. Util.Rng.float rng 1.0) in
+  let b0 = Array.init (n * n) (fun _ -> 0.5 +. Util.Rng.float rng 1.0) in
+  let program = Moard_lang.Compile.program (parallel_ast ~n ~a0 ~b0) in
+  Moard_inject.Workload.make ~name:"MM" ~program
+    ~segment:[ "mm"; "observe" ] ~targets:[ "C" ]
+    ~outputs:[ "Cout"; "out" ]
+    ~accept:(fun ~golden:_ ~faulty:_ -> false)
+    ~harts ()
+
 let workload ?(n = 6) ?(abft = false) ?(seed = 61) () =
   if n < 2 then invalid_arg "Abft_mm.workload: n";
   let rng = Util.Rng.make seed in

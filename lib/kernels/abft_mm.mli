@@ -12,3 +12,11 @@
 val workload : ?n:int -> ?abft:bool -> ?seed:int -> unit ->
   Moard_inject.Workload.t
 (** [n]: matrix dimension (default 6); [abft] (default false). *)
+
+val parallel_workload :
+  ?n:int -> ?seed:int -> harts:int -> unit -> Moard_inject.Workload.t
+(** SPMD port of the unprotected variant: rows of [C] are block-striped
+    across harts in every phase, so [C] stays hart-private while [Am]/[Bm]
+    (read by all harts) and the checksum-exchange array [psum] are shared.
+    At [harts = 1] the dynamic consumption sites over [C] replicate the
+    serial port's exactly. Same inputs as [workload] for a given seed. *)

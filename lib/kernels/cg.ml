@@ -142,6 +142,150 @@ let ast ~n ~iters ~tmr ~rowstr ~colidx ~vals ~x0 =
     funs = [ conj_grad; main ];
   }
 
+(* SPMD port: rows are block-striped across harts, so [z]/[r]/[q] and each
+   hart's stripe of [p] are written by exactly one hart, while the sparse
+   product reads [p] at random columns — genuinely shared state, like
+   [a]/[colidx]/[rowstr]/[x] which every stripe indexes read-only. The
+   scalar reductions (rho, d) go through [psum]: each hart publishes its
+   partial, meets the quorum at a barrier, then every hart folds the
+   partials in hart order so all copies of the scalar are bit-identical.
+   The trailing barrier of each reduction keeps a fast hart's next partial
+   from overwriting a slot a slow hart still reads; the end-of-iteration
+   barrier orders the [p] update before the next sparse product. At
+   [harts = 1] the stripe is rows [0, n) and the consumption sites over
+   [r] and [colidx] replicate the serial port's exactly. *)
+let parallel_ast ~n ~iters ~rowstr ~colidx ~vals ~x0 =
+  let open Moard_lang.Ast.Dsl in
+  let span =
+    [
+      int_ "me" hart_id;
+      int_ "nh" hart_count;
+      int_ "lo" (v "me" * ((i n + v "nh" - i 1) / v "nh"));
+      int_ "hi" (v "lo" + ((i n + v "nh" - i 1) / v "nh"));
+      when_ (v "hi" > i n) [ "hi" <-- i n ];
+    ]
+  in
+  (* Reduce the per-hart partial already accumulated in [acc] into [dst]
+     on every hart. *)
+  let reduce dst =
+    [
+      ("psum".%(v "me") <- v "acc");
+      barrier_;
+      flt_ "tot" (f 0.0);
+      for_ "h" (i 0) (v "nh") [ "tot" <-- v "tot" + "psum".%(v "h") ];
+      (dst <-- v "tot");
+      barrier_;
+    ]
+  in
+  let dot dst va vb =
+    [
+      ("acc" <-- f 0.0);
+      for_ "j" (v "lo") (v "hi")
+        [ "acc" <-- v "acc" + (va.%(v "j") * vb.%(v "j")) ];
+    ]
+    @ reduce dst
+  in
+  let conj_grad =
+    fn "conj_grad"
+      (span
+      @ [
+          int_ "it" (i 0);
+          flt_ "rho" (f 0.0);
+          flt_ "rho0" (f 0.0);
+          flt_ "d" (f 0.0);
+          flt_ "alpha" (f 0.0);
+          flt_ "beta" (f 0.0);
+          flt_ "sum" (f 0.0);
+          flt_ "acc" (f 0.0);
+          (* z = 0, r = x, p = r, rho = r.r *)
+          for_ "j" (v "lo") (v "hi")
+            [
+              ("z".%(v "j") <- f 0.0);
+              ("r".%(v "j") <- "x".%(v "j"));
+              ("p".%(v "j") <- "x".%(v "j"));
+              "acc" <-- v "acc" + ("x".%(v "j") * "x".%(v "j"));
+            ];
+        ]
+      @ reduce "rho"
+      @ [
+          while_
+            (v "it" < i iters)
+            ([
+               (* q = A p *)
+               for_ "j" (v "lo") (v "hi")
+                 [
+                   ("sum" <-- f 0.0);
+                   for_ "k"
+                     ("rowstr".%(v "j"))
+                     ("rowstr".%(v "j" + i 1))
+                     [
+                       "sum" <--
+                       v "sum" + ("a".%(v "k") * "p".%("colidx".%(v "k")));
+                     ];
+                   ("q".%(v "j") <- v "sum");
+                 ];
+             ]
+            @ dot "d" "p" "q"
+            @ [
+                ("alpha" <-- v "rho" / v "d");
+                for_ "j" (v "lo") (v "hi")
+                  [
+                    ("z".%(v "j") <- "z".%(v "j") + (v "alpha" * "p".%(v "j")));
+                    ("r".%(v "j") <- "r".%(v "j") - (v "alpha" * "q".%(v "j")));
+                  ];
+                ("rho0" <-- v "rho");
+              ]
+            @ dot "rho" "r" "r"
+            @ [
+                ("beta" <-- v "rho" / v "rho0");
+                for_ "j" (v "lo") (v "hi")
+                  [ ("p".%(v "j") <- "r".%(v "j") + (v "beta" * "p".%(v "j"))) ];
+                ("it" <-- v "it" + i 1);
+                (* Order this p update before the next sparse product's
+                   cross-stripe reads of p. *)
+                barrier_;
+              ]);
+        ]
+      @ dot "d" "z" "z"
+      @ [
+          when_
+            (v "me" == i 0)
+            [ ("out".%(i 0) <- sqrt_ (v "rho")); ("out".%(i 1) <- v "d") ];
+          ret_void;
+        ])
+  in
+  let main = fn "main" [ do_ (call "conj_grad" []); ret_void ] in
+  {
+    Ast.globals =
+      [
+        garr_i64_init "rowstr" rowstr;
+        garr_i32_init "colidx" colidx;
+        garr_f64_init "a" vals;
+        garr_f64_init "x" x0;
+        garr_f64 "z" n;
+        garr_f64 "p" n;
+        garr_f64 "q" n;
+        garr_f64 "r" n;
+        garr_f64 "out" 2;
+        garr_f64 "psum" 64;
+      ];
+    funs = [ conj_grad; main ];
+  }
+
+let parallel_workload ?(n = 18) ?(row_nnz = 3) ?(iters = 4) ?(seed = 42)
+    ~harts () =
+  let rowstr, colidx, vals = build_matrix ~n ~row_nnz ~seed in
+  let rng = Util.Rng.make (seed + 17) in
+  let x0 = Array.init n (fun _ -> 1.0 +. Util.Rng.float rng 1.0) in
+  let program =
+    Moard_lang.Compile.program
+      (parallel_ast ~n ~iters ~rowstr ~colidx ~vals ~x0)
+  in
+  Moard_inject.Workload.make ~name:"CG" ~program ~segment:[ "conj_grad" ]
+    ~targets:[ "r"; "colidx" ] ~outputs:[ "out" ]
+    ~accept:(Moard_inject.Workload.rel_err_accept 1e-2)
+    ~harts ()
+
 let workload ?(n = 18) ?(row_nnz = 3) ?(iters = 4) ?(seed = 42)
     ?(tmr_colidx = false) () =
   let rowstr, colidx, vals = build_matrix ~n ~row_nnz ~seed in

@@ -15,3 +15,13 @@ val workload :
     [tmr_colidx] replicates the vulnerable column-index array three times
     and majority-votes every access — the selective protection an aDVF
     analysis directs you to (the intro's motivating use case). *)
+
+val parallel_workload :
+  ?n:int -> ?row_nnz:int -> ?iters:int -> ?seed:int -> harts:int -> unit ->
+  Moard_inject.Workload.t
+(** SPMD port (no TMR variant): rows block-striped across harts, scalar
+    reductions exchanged through a barrier-ordered partial-sum array. The
+    sparse product's random-column reads of [p] make it genuinely shared
+    state at [harts >= 2]. At [harts = 1] the consumption sites over the
+    target objects replicate the serial port's exactly. Same matrix and
+    right-hand side as [workload] for a given seed. *)

@@ -3,82 +3,111 @@ module Ast = Moard_lang.Ast
 let zeta_m_symm = 1
 let zeta_p_symm = 2
 
-let ast ~nelem ~coords ~delv ~bc =
+(* Per-element body of the region loop, shared verbatim between the serial
+   and the SPMD variant so the dynamic consumption sites over one element
+   are identical in both. *)
+let elem_body () =
   let monoq_limiter = 2.0 and max_slope = 1.0 in
   let qlc = 0.5 and qqc = 2.0 in
   let open Moard_lang.Ast.Dsl in
+  [
+    int_ "bcmask" ("m_elemBC".%(v "ie"));
+    flt_ "dvc" ("m_delv_zeta".%(v "ie"));
+    flt_ "norm" (f 1.0 / (v "dvc" + f 1e-12));
+    (* neighbour gradients, symmetric BCs folded in via the flag
+       bits exactly like the bcMask switches of LULESH *)
+    flt_ "dvm" (f 0.0);
+    if_
+      ((v "bcmask" land i zeta_m_symm) != i 0)
+      [ "dvm" <-- v "dvc" ]
+      [ "dvm" <-- "m_delv_zeta".%(v "ie" - i 1) ];
+    flt_ "dvp" (f 0.0);
+    if_
+      ((v "bcmask" land i zeta_p_symm) != i 0)
+      [ "dvp" <-- v "dvc" ]
+      [ "dvp" <-- "m_delv_zeta".%(v "ie" + i 1) ];
+    (* monotonic limiter *)
+    flt_ "phi" (f 0.5 * (v "dvm" + v "dvp") * v "norm");
+    ("dvm" <-- v "dvm" * v "norm");
+    ("dvp" <-- v "dvp" * v "norm");
+    ("phi" <-- fmin_ (v "phi") (v "dvm" * f monoq_limiter));
+    ("phi" <-- fmin_ (v "phi") (v "dvp" * f monoq_limiter));
+    ("phi" <-- fmax_ (v "phi") (f 0.0));
+    ("phi" <-- fmin_ (v "phi") (f max_slope));
+    (* element scale from the coordinates *)
+    flt_ "delx" ("m_x".%(v "ie" + i 1) - "m_x".%(v "ie"));
+    flt_ "dely" ("m_y".%(v "ie" + i 1) - "m_y".%(v "ie"));
+    flt_ "delz" ("m_z".%(v "ie" + i 1) - "m_z".%(v "ie"));
+    flt_ "vol"
+      (sqrt_
+         ((v "delx" * v "delx") + (v "dely" * v "dely")
+          + (v "delz" * v "delz"))
+       + f 1e-12);
+    (* artificial viscosity; compression only *)
+    if_
+      (v "dvc" >= f 0.0)
+      [ ("qq".%(v "ie") <- f 0.0); ("ql".%(v "ie") <- f 0.0) ]
+      [
+        flt_ "dvel" (v "dvc" * v "vol");
+        ("ql".%(v "ie") <-
+         f (-.qlc) * v "dvel" * (f 1.0 - v "phi"));
+        ("qq".%(v "ie") <-
+         f qqc * v "dvel" * v "dvel" * (f 1.0 - (v "phi" * v "phi")));
+      ];
+  ]
+
+let globals ~nelem ~coords ~delv ~bc =
+  let open Moard_lang.Ast.Dsl in
+  let x, y, z = coords in
+  [
+    garr_f64_init "m_x" x;
+    garr_f64_init "m_y" y;
+    garr_f64_init "m_z" z;
+    garr_f64_init "m_delv_zeta" delv;
+    garr_i32_init "m_elemBC" bc;
+    garr_f64 "qq" nelem;
+    garr_f64 "ql" nelem;
+  ]
+
+let ast ~nelem ~coords ~delv ~bc =
+  let open Moard_lang.Ast.Dsl in
   let calc =
     fn "CalcMonotonicQRegionForElems"
-      [
-        for_ "ie" (i 0) (i nelem)
-          [
-            int_ "bcmask" ("m_elemBC".%(v "ie"));
-            flt_ "dvc" ("m_delv_zeta".%(v "ie"));
-            flt_ "norm" (f 1.0 / (v "dvc" + f 1e-12));
-            (* neighbour gradients, symmetric BCs folded in via the flag
-               bits exactly like the bcMask switches of LULESH *)
-            flt_ "dvm" (f 0.0);
-            if_
-              ((v "bcmask" land i zeta_m_symm) != i 0)
-              [ "dvm" <-- v "dvc" ]
-              [ "dvm" <-- "m_delv_zeta".%(v "ie" - i 1) ];
-            flt_ "dvp" (f 0.0);
-            if_
-              ((v "bcmask" land i zeta_p_symm) != i 0)
-              [ "dvp" <-- v "dvc" ]
-              [ "dvp" <-- "m_delv_zeta".%(v "ie" + i 1) ];
-            (* monotonic limiter *)
-            flt_ "phi" (f 0.5 * (v "dvm" + v "dvp") * v "norm");
-            ("dvm" <-- v "dvm" * v "norm");
-            ("dvp" <-- v "dvp" * v "norm");
-            ("phi" <-- fmin_ (v "phi") (v "dvm" * f monoq_limiter));
-            ("phi" <-- fmin_ (v "phi") (v "dvp" * f monoq_limiter));
-            ("phi" <-- fmax_ (v "phi") (f 0.0));
-            ("phi" <-- fmin_ (v "phi") (f max_slope));
-            (* element scale from the coordinates *)
-            flt_ "delx" ("m_x".%(v "ie" + i 1) - "m_x".%(v "ie"));
-            flt_ "dely" ("m_y".%(v "ie" + i 1) - "m_y".%(v "ie"));
-            flt_ "delz" ("m_z".%(v "ie" + i 1) - "m_z".%(v "ie"));
-            flt_ "vol"
-              (sqrt_
-                 ((v "delx" * v "delx") + (v "dely" * v "dely")
-                  + (v "delz" * v "delz"))
-               + f 1e-12);
-            (* artificial viscosity; compression only *)
-            if_
-              (v "dvc" >= f 0.0)
-              [ ("qq".%(v "ie") <- f 0.0); ("ql".%(v "ie") <- f 0.0) ]
-              [
-                flt_ "dvel" (v "dvc" * v "vol");
-                ("ql".%(v "ie") <-
-                 f (-.qlc) * v "dvel" * (f 1.0 - v "phi"));
-                ("qq".%(v "ie") <-
-                 f qqc * v "dvel" * v "dvel" * (f 1.0 - (v "phi" * v "phi")));
-              ];
-          ];
-        ret_void;
-      ]
+      [ for_ "ie" (i 0) (i nelem) (elem_body ()); ret_void ]
   in
   let main =
     fn "main" [ do_ (call "CalcMonotonicQRegionForElems" []); ret_void ]
   in
-  let x, y, z = coords in
-  {
-    Ast.globals =
-      [
-        garr_f64_init "m_x" x;
-        garr_f64_init "m_y" y;
-        garr_f64_init "m_z" z;
-        garr_f64_init "m_delv_zeta" delv;
-        garr_i32_init "m_elemBC" bc;
-        garr_f64 "qq" nelem;
-        garr_f64 "ql" nelem;
-      ];
-    funs = [ calc; main ];
-  }
+  { Ast.globals = globals ~nelem ~coords ~delv ~bc; funs = [ calc; main ] }
 
-let workload ?(nelem = 20) ?(seed = 47) () =
-  if nelem < 4 then invalid_arg "Lulesh.workload: nelem";
+(* SPMD port: elements are block-striped across harts. Each element's
+   computation is independent (qq/ql writes stay inside the owner's
+   stripe), so no barrier is needed; the neighbour reads of
+   [m_delv_zeta] and the node-straddling coordinate reads make the
+   stripe-boundary cells the only shared state at [harts >= 2]. At
+   [harts = 1] the stripe is elements [0, nelem): the serial iteration
+   order, element for element. *)
+let parallel_ast ~nelem ~coords ~delv ~bc =
+  let open Moard_lang.Ast.Dsl in
+  let span =
+    [
+      int_ "me" hart_id;
+      int_ "nh" hart_count;
+      int_ "lo" (v "me" * ((i nelem + v "nh" - i 1) / v "nh"));
+      int_ "hi" (v "lo" + ((i nelem + v "nh" - i 1) / v "nh"));
+      when_ (v "hi" > i nelem) [ "hi" <-- i nelem ];
+    ]
+  in
+  let calc =
+    fn "CalcMonotonicQRegionForElems"
+      (span @ [ for_ "ie" (v "lo") (v "hi") (elem_body ()); ret_void ])
+  in
+  let main =
+    fn "main" [ do_ (call "CalcMonotonicQRegionForElems" []); ret_void ]
+  in
+  { Ast.globals = globals ~nelem ~coords ~delv ~bc; funs = [ calc; main ] }
+
+let inputs ~nelem ~seed =
   let rng = Util.Rng.make seed in
   let nodes = nelem + 1 in
   let coord () =
@@ -95,10 +124,26 @@ let workload ?(nelem = 20) ?(seed = 47) () =
         else if ie = nelem - 1 then Int32.of_int zeta_p_symm
         else 0l)
   in
-  let program = Moard_lang.Compile.program (ast ~nelem ~coords ~delv ~bc) in
+  (coords, delv, bc)
+
+let make_workload program ?harts () =
   Moard_inject.Workload.make ~name:"LULESH" ~program
     ~segment:[ "CalcMonotonicQRegionForElems" ]
     ~targets:[ "m_elemBC"; "m_delv_zeta"; "m_x"; "m_y"; "m_z" ]
     ~outputs:[ "qq"; "ql" ]
     ~accept:(Moard_inject.Workload.rel_err_accept 1e-2)
-    ()
+    ?harts ()
+
+let workload ?(nelem = 20) ?(seed = 47) () =
+  if nelem < 4 then invalid_arg "Lulesh.workload: nelem";
+  let coords, delv, bc = inputs ~nelem ~seed in
+  let program = Moard_lang.Compile.program (ast ~nelem ~coords ~delv ~bc) in
+  make_workload program ()
+
+let parallel_workload ?(nelem = 20) ?(seed = 47) ~harts () =
+  if nelem < 4 then invalid_arg "Lulesh.parallel_workload: nelem";
+  let coords, delv, bc = inputs ~nelem ~seed in
+  let program =
+    Moard_lang.Compile.program (parallel_ast ~nelem ~coords ~delv ~bc)
+  in
+  make_workload program ~harts ()

@@ -15,3 +15,13 @@
 
 val workload : ?nelem:int -> ?seed:int -> unit -> Moard_inject.Workload.t
 (** [nelem]: elements in the region (default 20). *)
+
+val parallel_workload :
+  ?nelem:int -> ?seed:int -> harts:int -> unit -> Moard_inject.Workload.t
+(** SPMD port: elements block-striped across harts with the per-element
+    body shared verbatim with the serial variant. Elements are mutually
+    independent, so the port needs no barrier; neighbour reads of
+    [m_delv_zeta] and the node-straddling coordinate reads make
+    stripe-boundary cells the only shared state at [harts >= 2]. At
+    [harts = 1] the consumption sites replicate the serial port's
+    exactly. Same inputs as [workload] for a given seed. *)

@@ -5,6 +5,7 @@ type entry = {
   objects : string list;
   workload : unit -> Moard_inject.Workload.t;
   workload_at : int -> Moard_inject.Workload.t;
+  parallel_at : (harts:int -> int -> Moard_inject.Workload.t) option;
   default_size : int;
   sizes : int array;
 }
@@ -26,6 +27,7 @@ let table1 =
       objects = [ "r"; "colidx" ];
       workload = (fun () -> Cg.workload ());
       workload_at = (fun n -> Cg.workload ~n ());
+      parallel_at = Some (fun ~harts n -> Cg.parallel_workload ~n ~harts ());
       default_size = 18;
       sizes = [| 10; 14; 18; 24 |];
     };
@@ -36,6 +38,7 @@ let table1 =
       objects = [ "u"; "r" ];
       workload = (fun () -> Mg.workload ());
       workload_at = (fun n -> Mg.workload ~n ());
+      parallel_at = None;
       default_size = 16;
       sizes = [| 8; 16; 32; 64 |];
     };
@@ -46,6 +49,7 @@ let table1 =
       objects = [ "plane"; "exp1" ];
       workload = (fun () -> Ft.workload ());
       workload_at = (fun n -> Ft.workload ~n ());
+      parallel_at = None;
       default_size = 8;
       sizes = [| 4; 8; 16; 32 |];
     };
@@ -56,6 +60,7 @@ let table1 =
       objects = [ "grid_points"; "u" ];
       workload = (fun () -> Bt.workload ());
       workload_at = (fun n -> Bt.workload ~n ());
+      parallel_at = None;
       default_size = 5;
       sizes = [| 4; 5; 6; 8 |];
     };
@@ -66,6 +71,7 @@ let table1 =
       objects = [ "rhoi"; "grid_points" ];
       workload = (fun () -> Sp.workload ());
       workload_at = (fun n -> Sp.workload ~n ());
+      parallel_at = None;
       default_size = 5;
       sizes = [| 5; 6; 7; 9 |];
     };
@@ -76,6 +82,7 @@ let table1 =
       objects = [ "u"; "rsd" ];
       workload = (fun () -> Lu.workload ());
       workload_at = (fun n -> Lu.workload ~n ());
+      parallel_at = None;
       default_size = 4;
       sizes = [| 4; 5; 6; 8 |];
     };
@@ -86,6 +93,8 @@ let table1 =
       objects = [ "m_elemBC"; "m_delv_zeta" ];
       workload = (fun () -> Lulesh.workload ());
       workload_at = (fun n -> Lulesh.workload ~nelem:n ());
+      parallel_at =
+        Some (fun ~harts n -> Lulesh.parallel_workload ~nelem:n ~harts ());
       default_size = 20;
       sizes = [| 12; 16; 20; 28 |];
     };
@@ -96,6 +105,7 @@ let table1 =
       objects = [ "ipiv"; "A" ];
       workload = (fun () -> Amg.workload ());
       workload_at = (fun n -> Amg.workload ~grid:n ());
+      parallel_at = None;
       default_size = 3;
       sizes = [| 3; 4; 5; 7 |];
     };
@@ -110,6 +120,8 @@ let case_studies =
       objects = [ "C" ];
       workload = (fun () -> Abft_mm.workload ());
       workload_at = (fun n -> Abft_mm.workload ~n ());
+      parallel_at =
+        Some (fun ~harts n -> Abft_mm.parallel_workload ~n ~harts ());
       default_size = 6;
       sizes = [| 4; 5; 6; 8 |];
     };
@@ -120,6 +132,7 @@ let case_studies =
       objects = [ "C" ];
       workload = (fun () -> Abft_mm.workload ~abft:true ());
       workload_at = (fun n -> Abft_mm.workload ~n ~abft:true ());
+      parallel_at = None;
       default_size = 6;
       sizes = [| 4; 5; 6; 8 |];
     };
@@ -130,6 +143,7 @@ let case_studies =
       objects = [ "xe" ];
       workload = (fun () -> Particle_filter.workload ());
       workload_at = (fun n -> Particle_filter.workload ~particles:n ());
+      parallel_at = None;
       default_size = 16;
       sizes = [| 8; 12; 16; 24 |];
     };
@@ -141,6 +155,7 @@ let case_studies =
       workload = (fun () -> Particle_filter.workload ~abft:true ());
       workload_at =
         (fun n -> Particle_filter.workload ~particles:n ~abft:true ());
+      parallel_at = None;
       default_size = 16;
       sizes = [| 8; 12; 16; 24 |];
     };

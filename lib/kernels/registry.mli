@@ -18,6 +18,14 @@ type entry = {
           @raise Invalid_argument on a size the kernel rejects (FT needs a
           power of two >= 4, MG divisibility by [2^(levels-1)], SP
           [n >= 5], ...). *)
+  parallel_at : (harts:int -> int -> Moard_inject.Workload.t) option;
+      (** build the SPMD port of the kernel at a given input size for a
+          given hart count, when one exists (MM, CG, LULESH). The port's
+          program text does not depend on [harts] — decomposition happens
+          at runtime through the [hart_id]/[hart_count] intrinsics — and
+          at [harts = 1] its consumption sites over the target objects
+          replicate the serial kernel's exactly. [None] for kernels
+          without a parallel port. *)
   default_size : int;  (** the size [workload] builds at *)
   sizes : int array;
       (** the canonical cross-size ladder for the aDVF predictor: three

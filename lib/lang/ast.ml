@@ -97,6 +97,14 @@ module Dsl = struct
   let not_ a = Enot a
 
   let call name args = Ecall (name, args)
+
+  (* SPMD primitives: lane identity as i64 expressions, and the
+     whole-program barrier statement. Loops stride by [hart_count()] so
+     one program text serves any hart count. *)
+  let hart_id = Ecall ("hart_id", [])
+  let hart_count = Ecall ("hart_count", [])
+  let barrier_ = Sexpr (Ecall ("barrier", []))
+
   let sqrt_ a = Ecall ("sqrt", [ a ])
   let fabs_ a = Ecall ("fabs", [ a ])
   let sin_ a = Ecall ("sin", [ a ])

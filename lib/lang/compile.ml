@@ -176,6 +176,16 @@ and call env name args : (I.operand * ty) option =
     | None ->
       B.call_void env.b name ops;
       None)
+  | None when List.mem name Moard_vm.Semantics.hart_intrinsics ->
+    (* Hart primitives are nullary machine-level calls: the scheduler, not
+       pure semantics, supplies their results. [barrier] is a procedure;
+       the lane identities are i64. *)
+    if args <> [] then err "%s: %s takes no arguments" env.fname name;
+    if String.equal name "barrier" then begin
+      B.call_void env.b name [];
+      None
+    end
+    else Some (I.Reg (B.call env.b name []), Ti64)
   | None -> (
     match Moard_vm.Semantics.intrinsic_arity name with
     | Some n ->

@@ -1,0 +1,86 @@
+module Advf = Moard_core.Advf
+module Hart_split = Moard_core.Hart_split
+
+type row = {
+  object_name : string;
+  serial : Advf.report;
+  par1 : Advf.report;
+  parn : Hart_split.t;
+}
+
+type t = {
+  benchmark : string;
+  harts : int;
+  cells : int;         (* distinct cells touched on the harts=N tape *)
+  shared_cells : int;  (* of which touched by two or more harts *)
+  rows : row list;
+}
+
+let fl x = Printf.sprintf "%.17g" x
+
+(* Everything here is deterministic for sequential analyses on fresh
+   contexts, so the whole payload is byte-stable — the parallel-smoke CI
+   job cmp-diffs two independently computed reports. *)
+let json t =
+  let b = Buffer.create 1024 in
+  let field ?(last = false) ?(indent = 2) k v =
+    Buffer.add_string b
+      (Printf.sprintf "%s%S: %s%s\n" (String.make indent ' ') k v
+         (if last then "" else ","))
+  in
+  let summary ?(last = false) ?(indent = 4) k (r : Advf.report) =
+    field ~last ~indent k
+      (Printf.sprintf "{ \"sites\": %d, \"advf\": %s, \"masking_events\": %s }"
+         r.Advf.involvements (fl r.Advf.advf) (fl r.Advf.masking_events))
+  in
+  Buffer.add_string b "{\n";
+  field "schema" "\"moard-parallel-report-v1\"";
+  field "benchmark" (Printf.sprintf "%S" t.benchmark);
+  field "harts" (string_of_int t.harts);
+  field "cells" (string_of_int t.cells);
+  field "shared_cells" (string_of_int t.shared_cells);
+  Buffer.add_string b "  \"objects\": [\n";
+  let nrows = List.length t.rows in
+  List.iteri
+    (fun i row ->
+      Buffer.add_string b "   {\n";
+      field ~indent:4 "object" (Printf.sprintf "%S" row.object_name);
+      summary "serial" row.serial;
+      summary "parallel_1" row.par1;
+      field ~indent:4 "shared_sites"
+        (string_of_int row.parn.Hart_split.shared_sites);
+      (match row.parn.Hart_split.shared with
+      | Some r -> summary "parallel_n_shared" r
+      | None -> ());
+      (match row.parn.Hart_split.private_ with
+      | Some r -> summary "parallel_n_private" r
+      | None -> ());
+      summary ~last:true "parallel_n" row.parn.Hart_split.total;
+      Buffer.add_string b
+        (if i = nrows - 1 then "   }\n" else "   },\n"))
+    t.rows;
+  Buffer.add_string b "  ]\n";
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%s: serial vs %d-hart SPMD port (%d of %d touched cells shared)@,"
+    t.benchmark t.harts t.shared_cells t.cells;
+  Format.fprintf ppf "%-12s %10s %12s %12s %12s %12s  %s@,%s@," "object"
+    "serial" "parallel@1" "parallel@N" "shared" "private" "shared sites"
+    (String.make 92 '-');
+  let opt = function
+    | None -> "-"
+    | Some (r : Advf.report) -> Printf.sprintf "%.4f" r.Advf.advf
+  in
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "%-12s %10.4f %12.4f %12.4f %12s %12s  %d/%d@,"
+        row.object_name row.serial.Advf.advf row.par1.Advf.advf
+        row.parn.Hart_split.total.Advf.advf
+        (opt row.parn.Hart_split.shared)
+        (opt row.parn.Hart_split.private_)
+        row.parn.Hart_split.shared_sites row.parn.Hart_split.sites)
+    t.rows;
+  Format.fprintf ppf "@]"

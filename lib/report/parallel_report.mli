@@ -1,0 +1,28 @@
+(** Report of the serial-vs-parallel resilience comparison ([moard
+    parallel]): per data object, aDVF of the serial kernel, of the SPMD
+    port at one hart (differentially byte-identical to serial for the
+    ported kernels), and of the SPMD port at [harts >= 2] split by
+    shared vs hart-private state ({!Moard_core.Hart_split}). *)
+
+type row = {
+  object_name : string;
+  serial : Moard_core.Advf.report;       (** serial kernel *)
+  par1 : Moard_core.Advf.report;         (** SPMD port at one hart *)
+  parn : Moard_core.Hart_split.t;        (** SPMD port at N harts *)
+}
+
+type t = {
+  benchmark : string;
+  harts : int;
+  cells : int;        (** distinct cells touched on the N-hart tape *)
+  shared_cells : int; (** of which touched by two or more harts *)
+  rows : row list;
+}
+
+val json : t -> string
+(** Canonical JSON rendering. Every count is deterministic for
+    sequential analyses on fresh contexts, so the payload is
+    byte-stable across independent runs of the same configuration. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable comparison table. *)

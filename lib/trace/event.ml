@@ -10,6 +10,7 @@ type write =
 
 type t = {
   idx : int;
+  hart : int;
   frame : int;
   iid : Moard_ir.Iid.t;
   instr : Moard_ir.Instr.t;
@@ -25,8 +26,14 @@ type t = {
 let no_prov = -1
 
 let pp ppf e =
-  Format.fprintf ppf "@[<h>#%d f%d %a | %a" e.idx e.frame Moard_ir.Iid.pp e.iid
-    Moard_ir.Instr.pp e.instr;
+  (* Serial traces stay rendered exactly as before the hart lane existed:
+     the hart is shown only when a non-zero one executed the event. *)
+  if e.hart > 0 then
+    Format.fprintf ppf "@[<h>#%d h%d f%d %a | %a" e.idx e.hart e.frame
+      Moard_ir.Iid.pp e.iid Moard_ir.Instr.pp e.instr
+  else
+    Format.fprintf ppf "@[<h>#%d f%d %a | %a" e.idx e.frame Moard_ir.Iid.pp
+      e.iid Moard_ir.Instr.pp e.instr;
   Array.iteri
     (fun i r ->
       Format.fprintf ppf " s%d=%a" i Moard_bits.Bitval.pp r.value;

@@ -23,6 +23,7 @@ type write =
 
 type t = {
   idx : int;            (** dynamic instruction index, 0-based *)
+  hart : int;           (** hart that executed the event; 0 on serial runs *)
   frame : int;          (** function invocation id owning the registers *)
   iid : Moard_ir.Iid.t; (** static identity, for error equivalence *)
   instr : Moard_ir.Instr.t;

@@ -1,0 +1,47 @@
+(* Which harts touch which memory cells, distilled from the golden tape.
+
+   A cell's hart set collects every hart that loads it, stores it, or
+   consumes a value whose provenance is the cell. Consumption sites over a
+   cell touched by two or more harts are "shared-state" sites: a fault
+   there can cross a hart boundary before the k-window closes. Sites over
+   single-hart cells are "hart-private". On a serial tape every cell is
+   private by construction. *)
+
+type t = {
+  masks : (int, int) Hashtbl.t; (* addr -> bitmask of touching harts *)
+  harts : int;                  (* 1 + highest hart id seen *)
+}
+
+let of_tape tape =
+  let masks = Hashtbl.create 4096 in
+  let harts = ref 1 in
+  let mark addr bit =
+    if addr >= 0 then
+      let prev = try Hashtbl.find masks addr with Not_found -> 0 in
+      Hashtbl.replace masks addr (prev lor bit)
+  in
+  for i = 0 to Tape.length tape - 1 do
+    let h = Tape.hart_at tape i in
+    if h >= !harts then harts := h + 1;
+    let bit = 1 lsl h in
+    mark (Tape.load_addr_at tape i) bit;
+    mark (Tape.write_addr_at tape i) bit;
+    for slot = 0 to Tape.nreads_at tape i - 1 do
+      mark (Tape.read_prov tape i slot) bit
+    done
+  done;
+  { masks; harts = !harts }
+
+let harts t = t.harts
+
+let mask t addr = try Hashtbl.find t.masks addr with Not_found -> 0
+
+let shared t ~addr =
+  let m = mask t addr in
+  m land (m - 1) <> 0
+
+let cells t =
+  Hashtbl.fold (fun _ _ n -> n + 1) t.masks 0
+
+let shared_cells t =
+  Hashtbl.fold (fun _ m n -> if m land (m - 1) <> 0 then n + 1 else n) t.masks 0

@@ -1,0 +1,27 @@
+(** Shared vs hart-private classification of memory cells.
+
+    Built in one pass over a golden tape's hart-id lane: a cell's hart set
+    collects every hart that loads it, stores it, or consumes a value
+    whose provenance is the cell. A cell (and every consumption site over
+    it) is {e shared} when at least two distinct harts touch it —
+    corruption there can propagate across a hart boundary — and
+    {e hart-private} otherwise. On a serial tape everything is private. *)
+
+type t
+
+val of_tape : Tape.t -> t
+
+val harts : t -> int
+(** [1 +] the highest hart id observed on the tape (so [1] for serial). *)
+
+val mask : t -> int -> int
+(** Bitmask of harts touching the cell at an address; [0] if untouched. *)
+
+val shared : t -> addr:int -> bool
+(** Whether at least two distinct harts touch the cell. *)
+
+val cells : t -> int
+(** Number of distinct cells touched at all. *)
+
+val shared_cells : t -> int
+(** Number of distinct cells touched by two or more harts. *)

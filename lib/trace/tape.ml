@@ -28,6 +28,7 @@ type static = { s_iid : Iid.t; s_instr : I.t; s_nreads : int }
    ([aux2]) — mutually exclusive by opcode, so one slot suffices. *)
 type echunk = {
   c_static : int array;
+  c_hart : int array;
   c_frame : int array;
   c_roff : int array;
   c_wmeta : int array;
@@ -67,6 +68,7 @@ let tydecode = function
 let new_echunk () =
   {
     c_static = Array.make esize 0;
+    c_hart = Array.make esize 0;
     c_frame = Array.make esize 0;
     c_roff = Array.make esize 0;
     c_wmeta = Array.make esize 0;
@@ -117,9 +119,9 @@ let push_read t (v : Bitval.t) prov =
   t.rmeta.(i lsr rshift).(i land rmask) <- ((prov + 1) lsl 2) lor wcode v.Bitval.width;
   t.rlen <- i + 1
 
-let emit t ~iid ~instr ~frame ~values ~provs ~write ?(load_addr = -1)
-    ?(callee_frame = -1) ?(ret_to_frame = -1) ?(ret_to_reg = -1) ?(taken = -1)
-    () =
+let emit t ~iid ~instr ?(hart = 0) ~frame ~values ~provs ~write
+    ?(load_addr = -1) ?(callee_frame = -1) ?(ret_to_frame = -1)
+    ?(ret_to_reg = -1) ?(taken = -1) () =
   if t.frozen then invalid_arg "Tape.emit: tape is frozen";
   let nslots = Array.length values in
   let s = intern t iid instr nslots in
@@ -130,6 +132,7 @@ let emit t ~iid ~instr ~frame ~values ~provs ~write ?(load_addr = -1)
     t.echunks <- Array.append t.echunks [| new_echunk () |];
   let c = t.echunks.(i lsr eshift) and o = i land emask in
   c.c_static.(o) <- s;
+  c.c_hart.(o) <- hart;
   c.c_frame.(o) <- frame;
   c.c_roff.(o) <- t.rlen;
   for slot = 0 to nslots - 1 do
@@ -162,7 +165,8 @@ let emit t ~iid ~instr ~frame ~values ~provs ~write ?(load_addr = -1)
   t.live <- None
 
 let append t (e : Event.t) =
-  emit t ~iid:e.Event.iid ~instr:e.Event.instr ~frame:e.Event.frame
+  emit t ~iid:e.Event.iid ~instr:e.Event.instr ~hart:e.Event.hart
+    ~frame:e.Event.frame
     ~values:(Array.map (fun (r : Event.read) -> r.value) e.Event.reads)
     ~provs:(Array.map (fun (r : Event.read) -> r.prov) e.Event.reads)
     ~write:e.Event.write ~load_addr:e.Event.load_addr
@@ -187,6 +191,10 @@ let instr_at t i =
 let frame_at t i =
   check t i "Tape.frame_at";
   t.echunks.(i lsr eshift).c_frame.(i land emask)
+
+let hart_at t i =
+  check t i "Tape.hart_at";
+  t.echunks.(i lsr eshift).c_hart.(i land emask)
 
 let nreads_at t i =
   check t i "Tape.nreads_at";
@@ -270,6 +278,7 @@ let get t i =
   in
   {
     Event.idx = i;
+    hart = c.c_hart.(o);
     frame = c.c_frame.(o);
     iid = s.s_iid;
     instr = s.s_instr;
@@ -401,7 +410,7 @@ end
 let word = 8
 
 let packed_bytes t =
-  let echunk_bytes = (7 * esize * word) + (esize * word) in
+  let echunk_bytes = (8 * esize * word) + (esize * word) in
   let rchunk_bytes = 2 * rsize * word in
   (Array.length t.echunks * echunk_bytes)
   + (Array.length t.rbits * rchunk_bytes)

@@ -24,6 +24,7 @@ val emit :
   t ->
   iid:Moard_ir.Iid.t ->
   instr:Moard_ir.Instr.t ->
+  ?hart:int ->
   frame:int ->
   values:Moard_bits.Bitval.t array ->
   provs:int array ->
@@ -37,7 +38,8 @@ val emit :
   unit
 (** Append one event from its parts, without building an {!Event.t}.
     [values] and [provs] must have one slot per operand of
-    [Moard_ir.Instr.reads instr]. This is the interpreter's fast path.
+    [Moard_ir.Instr.reads instr]. [hart] defaults to [0] (serial runs).
+    This is the interpreter's fast path.
     @raise Invalid_argument on a frozen tape or a slot-count mismatch. *)
 
 val append : t -> Event.t -> unit
@@ -65,6 +67,10 @@ val is_frozen : t -> bool
 val iid_at : t -> int -> Moard_ir.Iid.t
 val instr_at : t -> int -> Moard_ir.Instr.t
 val frame_at : t -> int -> int
+
+val hart_at : t -> int -> int
+(** Hart that executed the event; [0] on serial runs. *)
+
 val nreads_at : t -> int -> int
 val read_value : t -> int -> int -> Moard_bits.Bitval.t
 (** [read_value t i slot]: operand [slot]'s value image at event [i]. *)

@@ -43,7 +43,9 @@ let init_global mem base (g : P.global) =
     Array.iteri (fun i x -> store i (Bitval.of_int32 x)) a
 
 let load ?mem_bytes prog =
-  Moard_ir.Validate.check_exn ~intrinsics:Semantics.intrinsics prog;
+  Moard_ir.Validate.check_exn
+    ~intrinsics:(Semantics.intrinsics @ Semantics.hart_intrinsics)
+    prog;
   let bases = Hashtbl.create 32 in
   let next = ref (align8 Memory.null_guard) in
   List.iter
@@ -100,6 +102,22 @@ exception Trap_exn of Trap.t
 let default_step_limit = 20_000_000
 let max_call_depth = 200
 
+(* The shared/private classification packs hart sets into an int bitmask,
+   and 62 cooperating harts is already far past any modelled scenario. *)
+let max_harts = 62
+
+(* One cooperating hart: an independent frame stack over the shared flat
+   memory. [h_frame = None] once the hart returned from the entry
+   function; [h_waiting] parks it at a barrier until every other live
+   hart arrives. *)
+type hart = {
+  h_id : int;
+  mutable h_frame : frame option;
+  mutable h_depth : int;
+  mutable h_waiting : bool;
+  mutable h_ret : Bitval.t option;
+}
+
 (* A frozen frame: everything needed to rebuild a live [frame] except the
    caller link, which the chain position encodes. *)
 type snapframe = {
@@ -112,10 +130,17 @@ type snapframe = {
   sf_ret_dest : int;
 }
 
+type snaphart = {
+  sh_frames : snapframe list; (* outermost first; [] once finished *)
+  sh_waiting : bool;
+  sh_ret : Bitval.t option;
+}
+
 type checkpoint = {
   c_at : int;
   c_mem : Memory.t;
-  c_frames : snapframe list; (* outermost first *)
+  c_harts : snaphart array;
+  c_turn : int; (* round-robin position of the scheduler *)
   c_next_frame_id : int;
 }
 
@@ -124,7 +149,9 @@ let checkpoint_at cp = cp.c_at
 exception Captured of checkpoint
 
 let run_gen ?(step_limit = default_step_limit) ?fault ?(sink = Trace_sink.Null)
-    ?(args = []) ?from ?capture_at t ~entry =
+    ?(args = []) ?(harts = 1) ?from ?capture_at t ~entry =
+  if harts < 1 || harts > max_harts then
+    invalid_arg "Machine.run: hart count out of range";
   let mem =
     match from with
     | None -> Memory.copy t.image
@@ -148,7 +175,7 @@ let run_gen ?(step_limit = default_step_limit) ?fault ?(sink = Trace_sink.Null)
   in
   let result =
     try
-      let start_frame, start_depth =
+      let hs, start_turn =
         match from with
         | None ->
           let entry_fn =
@@ -165,9 +192,21 @@ let run_gen ?(step_limit = default_step_limit) ?fault ?(sink = Trace_sink.Null)
                       expected = entry_fn.P.nparams;
                       got = List.length args;
                     }));
-          let top = fresh_frame entry_fn ~ret_dest:(-1) ~caller:None in
-          List.iteri (fun i v -> top.regs.(i) <- v) args;
-          (top, 1)
+          (* SPMD launch: every hart starts the same entry function with
+             the same arguments; hart h owns frame id h. *)
+          let hs =
+            Array.init harts (fun h ->
+                let top = fresh_frame entry_fn ~ret_dest:(-1) ~caller:None in
+                List.iteri (fun i v -> top.regs.(i) <- v) args;
+                {
+                  h_id = h;
+                  h_frame = Some top;
+                  h_depth = 1;
+                  h_waiting = false;
+                  h_ret = None;
+                })
+          in
+          (hs, 0)
         | Some cp ->
           next_frame_id := cp.c_next_frame_id;
           let rebuild caller sf =
@@ -183,231 +222,311 @@ let run_gen ?(step_limit = default_step_limit) ?fault ?(sink = Trace_sink.Null)
             }
           in
           let rec chain caller = function
-            | [] -> invalid_arg "Machine.run: empty checkpoint"
+            | [] -> assert false
             | [ sf ] -> rebuild caller sf
             | sf :: rest -> chain (Some (rebuild caller sf)) rest
           in
-          (chain None cp.c_frames, List.length cp.c_frames)
+          let hs =
+            Array.mapi
+              (fun h (sh : snaphart) ->
+                {
+                  h_id = h;
+                  h_frame =
+                    (match sh.sh_frames with
+                    | [] -> None
+                    | frames -> Some (chain None frames));
+                  h_depth = List.length sh.sh_frames;
+                  h_waiting = sh.sh_waiting;
+                  h_ret = sh.sh_ret;
+                })
+              cp.c_harts
+          in
+          (hs, cp.c_turn)
       in
-      let frame = ref start_frame in
-      let depth = ref start_depth in
-      let return_value = ref None in
+      let nharts = Array.length hs in
+      let turn = ref start_turn in
       let running = ref true in
+      (* Round-robin with a quantum of one instruction: the first runnable
+         hart at or after [turn] executes exactly one event. With a single
+         hart this degenerates to the serial interpreter loop, event for
+         event. *)
+      let rec pick k =
+        if k = nharts then -1
+        else
+          let j = (!turn + k) mod nharts in
+          let h = hs.(j) in
+          if h.h_frame <> None && not h.h_waiting then j else pick (k + 1)
+      in
       while !running do
-        let fr = !frame in
-        (match capture_at with
-        | Some at when !steps = at ->
-          let rec snap fr acc =
-            let sf =
-              {
-                sf_id = fr.id;
-                sf_fname = fr.fn.P.fname;
-                sf_regs = Array.copy fr.regs;
-                sf_prov = Array.copy fr.prov;
-                sf_blk = fr.blk;
-                sf_ip = fr.ip;
-                sf_ret_dest = fr.ret_dest;
-              }
+        match pick 0 with
+        | -1 ->
+          if Array.exists (fun h -> h.h_frame <> None) hs then
+            (* Every live hart is parked at the barrier: release the whole
+               quorum. Finished harts left it, so no deadlock. *)
+            Array.iter (fun h -> h.h_waiting <- false) hs
+          else running := false
+        | j ->
+          let h = hs.(j) in
+          let fr = match h.h_frame with Some fr -> fr | None -> assert false in
+          (match capture_at with
+          | Some at when !steps = at ->
+            let rec snap fr acc =
+              let sf =
+                {
+                  sf_id = fr.id;
+                  sf_fname = fr.fn.P.fname;
+                  sf_regs = Array.copy fr.regs;
+                  sf_prov = Array.copy fr.prov;
+                  sf_blk = fr.blk;
+                  sf_ip = fr.ip;
+                  sf_ret_dest = fr.ret_dest;
+                }
+              in
+              match fr.caller with
+              | None -> sf :: acc
+              | Some p -> snap p (sf :: acc)
             in
-            match fr.caller with
-            | None -> sf :: acc
-            | Some p -> snap p (sf :: acc)
-          in
-          (* the capturing run is abandoned here, so [mem] can be taken
-             over by the checkpoint without a copy *)
-          raise
-            (Captured
-               {
-                 c_at = at;
-                 c_mem = mem;
-                 c_frames = snap fr [];
-                 c_next_frame_id = !next_frame_id;
-               })
-        | _ -> ());
-        if !steps >= step_limit then raise (Trap_exn (Trap.Step_limit step_limit));
-        let idx = !steps in
-        incr steps;
-        let instr = fr.fn.P.blocks.(fr.blk).(fr.ip) in
-        let iid = Moard_ir.Iid.make ~fn:fr.fn.P.fname ~blk:fr.blk ~ip:fr.ip in
-        (* Fetch operands, with provenance; apply a Read fault if due. *)
-        let ops = I.reads instr in
-        let nslots = List.length ops in
-        let values = Array.make nslots (Bitval.zero Bitval.W64) in
-        let provs = Array.make nslots (-1) in
-        List.iteri
-          (fun slot op ->
-            let v, p =
-              match (op : I.operand) with
-              | I.Reg r -> (fr.regs.(r), fr.prov.(r))
-              | I.Imm v -> (v, -1)
-              | I.Glob g -> (Bitval.of_int64 (Int64.of_int (base_of t g)), -1)
-            in
-            values.(slot) <- v;
-            provs.(slot) <- p)
-          ops;
-        (match fault with
-        | Some { Fault.site = Fault.Read { idx = fidx; slot }; pattern }
-          when fidx = idx ->
-          if slot >= 0 && slot < nslots then
-            values.(slot) <- Pattern.apply pattern values.(slot)
-        | _ -> ());
-        let v slot = values.(slot) in
-        (* Advance ip by default; control flow overrides below. *)
-        fr.ip <- fr.ip + 1;
-        let emit ~write ?(load_addr = -1) ?(callee_frame = -1)
-            ?(ret_to_frame = -1) ?(ret_to_reg = -1) ?(taken = -1) () =
-          match sink with
-          | Trace_sink.Null -> ()
-          | Trace_sink.Tape tape ->
-            Moard_trace.Tape.emit tape ~iid ~instr ~frame:fr.id ~values ~provs
-              ~write ~load_addr ~callee_frame ~ret_to_frame ~ret_to_reg ~taken
-              ()
-          | Trace_sink.Fn push ->
-            push
-              {
-                Event.idx;
-                frame = fr.id;
-                iid;
-                instr;
-                reads =
-                  Array.init nslots (fun i ->
-                      { Event.value = values.(i); prov = provs.(i) });
-                write;
-                load_addr;
-                callee_frame;
-                ret_to_frame;
-                ret_to_reg;
-                taken;
-              }
-        in
-        let set_reg ?(prov = -1) r value =
-          fr.regs.(r) <- value;
-          fr.prov.(r) <- prov;
-          emit ~write:(Event.Wreg { frame = fr.id; reg = r; value }) ()
-        in
-        let trap_or x = match x with Ok v -> v | Error tr -> raise (Trap_exn tr) in
-        (match instr with
-        | I.Mov (d, _) -> set_reg ~prov:provs.(0) d (v 0)
-        | I.Ibin (d, op, ty, _, _) -> set_reg d (trap_or (Semantics.ibin op ty (v 0) (v 1)))
-        | I.Fbin (d, op, _, _) -> set_reg d (Semantics.fbin op (v 0) (v 1))
-        | I.Icmp (d, op, _, _, _) -> set_reg d (Semantics.icmp op (v 0) (v 1))
-        | I.Fcmp (d, op, _, _) -> set_reg d (Semantics.fcmp op (v 0) (v 1))
-        | I.Cast (d, c, _) ->
-          let prov =
-            match c with
-            | I.Bitcast_f_to_i | I.Bitcast_i_to_f -> provs.(0)
-            | _ -> -1
-          in
-          set_reg ~prov d (Semantics.cast c (v 0))
-        | I.Load (d, ty, _) ->
-          let addr = Int64.to_int (Bitval.to_int64 (v 0)) in
-          let value = trap_or (Memory.load mem ty addr) in
-          fr.regs.(d) <- value;
-          fr.prov.(d) <- addr;
-          emit
-            ~write:(Event.Wreg { frame = fr.id; reg = d; value })
-            ~load_addr:addr ()
-        | I.Store (ty, _, _) ->
-          let addr = Int64.to_int (Bitval.to_int64 (v 1)) in
-          (match fault with
-          | Some { Fault.site = Fault.Store_dest { idx = fidx }; pattern }
-            when fidx = idx -> (
-            (* Corrupt the destination cell just before it is overwritten. *)
-            match Memory.load mem ty addr with
-            | Ok old -> ignore (Memory.store mem ty addr (Pattern.apply pattern old))
-            | Error _ -> ())
+            (* the capturing run is abandoned here, so [mem] can be taken
+               over by the checkpoint without a copy *)
+            raise
+              (Captured
+                 {
+                   c_at = at;
+                   c_mem = mem;
+                   c_harts =
+                     Array.map
+                       (fun h ->
+                         {
+                           sh_frames =
+                             (match h.h_frame with
+                             | None -> []
+                             | Some fr -> snap fr []);
+                           sh_waiting = h.h_waiting;
+                           sh_ret = h.h_ret;
+                         })
+                       hs;
+                   c_turn = !turn;
+                   c_next_frame_id = !next_frame_id;
+                 })
           | _ -> ());
-          trap_or (Memory.store mem ty addr (v 0));
-          emit ~write:(Event.Wmem { addr; value = v 0; ty }) ()
-        | I.Gep (d, _, _, scale) -> set_reg d (Semantics.gep (v 0) (v 1) scale)
-        | I.Select (d, _, _, _) ->
-          let prov = if Bitval.to_bool (v 0) then provs.(1) else provs.(2) in
-          set_reg ~prov d (Semantics.select (v 0) (v 1) (v 2))
-        | I.Call (dest, callee, _) -> (
-          match P.func t.prog callee with
-          | callee_fn ->
-            if !depth >= max_call_depth then
-              raise (Trap_exn (Trap.Call_depth max_call_depth));
-            if callee_fn.P.nparams <> nslots then
-              raise
-                (Trap_exn
-                   (Trap.Arity
-                      { callee; expected = callee_fn.P.nparams; got = nslots }));
-            let ret_dest = match dest with Some d -> d | None -> -1 in
-            let callee_fr = fresh_frame callee_fn ~ret_dest ~caller:(Some fr) in
-            for i = 0 to nslots - 1 do
-              callee_fr.regs.(i) <- values.(i);
-              callee_fr.prov.(i) <- provs.(i)
-            done;
-            emit ~write:Event.Wnone ~callee_frame:callee_fr.id ();
-            incr depth;
-            frame := callee_fr
-          | exception Not_found ->
-            if not (List.mem callee Semantics.intrinsics) then
-              raise (Trap_exn (Trap.No_function callee));
-            let value =
-              trap_or (Semantics.intrinsic callee (Array.to_list values))
+          turn := (j + 1) mod nharts;
+          if !steps >= step_limit then
+            raise (Trap_exn (Trap.Step_limit step_limit));
+          let idx = !steps in
+          incr steps;
+          let instr = fr.fn.P.blocks.(fr.blk).(fr.ip) in
+          let iid = Moard_ir.Iid.make ~fn:fr.fn.P.fname ~blk:fr.blk ~ip:fr.ip in
+          (* Fetch operands, with provenance; apply a Read fault if due. *)
+          let ops = I.reads instr in
+          let nslots = List.length ops in
+          let values = Array.make nslots (Bitval.zero Bitval.W64) in
+          let provs = Array.make nslots (-1) in
+          List.iteri
+            (fun slot op ->
+              let v, p =
+                match (op : I.operand) with
+                | I.Reg r -> (fr.regs.(r), fr.prov.(r))
+                | I.Imm v -> (v, -1)
+                | I.Glob g -> (Bitval.of_int64 (Int64.of_int (base_of t g)), -1)
+              in
+              values.(slot) <- v;
+              provs.(slot) <- p)
+            ops;
+          (match fault with
+          | Some { Fault.site = Fault.Read { idx = fidx; slot }; pattern }
+            when fidx = idx ->
+            if slot >= 0 && slot < nslots then
+              values.(slot) <- Pattern.apply pattern values.(slot)
+          | _ -> ());
+          let v slot = values.(slot) in
+          (* Advance ip by default; control flow overrides below. *)
+          fr.ip <- fr.ip + 1;
+          let emit ~write ?(load_addr = -1) ?(callee_frame = -1)
+              ?(ret_to_frame = -1) ?(ret_to_reg = -1) ?(taken = -1) () =
+            match sink with
+            | Trace_sink.Null -> ()
+            | Trace_sink.Tape tape ->
+              Moard_trace.Tape.emit tape ~iid ~instr ~hart:h.h_id ~frame:fr.id
+                ~values ~provs ~write ~load_addr ~callee_frame ~ret_to_frame
+                ~ret_to_reg ~taken ()
+            | Trace_sink.Fn push ->
+              push
+                {
+                  Event.idx;
+                  hart = h.h_id;
+                  frame = fr.id;
+                  iid;
+                  instr;
+                  reads =
+                    Array.init nslots (fun i ->
+                        { Event.value = values.(i); prov = provs.(i) });
+                  write;
+                  load_addr;
+                  callee_frame;
+                  ret_to_frame;
+                  ret_to_reg;
+                  taken;
+                }
+          in
+          let set_reg ?(prov = -1) r value =
+            fr.regs.(r) <- value;
+            fr.prov.(r) <- prov;
+            emit ~write:(Event.Wreg { frame = fr.id; reg = r; value }) ()
+          in
+          let trap_or x =
+            match x with Ok v -> v | Error tr -> raise (Trap_exn tr)
+          in
+          (match instr with
+          | I.Mov (d, _) -> set_reg ~prov:provs.(0) d (v 0)
+          | I.Ibin (d, op, ty, _, _) ->
+            set_reg d (trap_or (Semantics.ibin op ty (v 0) (v 1)))
+          | I.Fbin (d, op, _, _) -> set_reg d (Semantics.fbin op (v 0) (v 1))
+          | I.Icmp (d, op, _, _, _) -> set_reg d (Semantics.icmp op (v 0) (v 1))
+          | I.Fcmp (d, op, _, _) -> set_reg d (Semantics.fcmp op (v 0) (v 1))
+          | I.Cast (d, c, _) ->
+            let prov =
+              match c with
+              | I.Bitcast_f_to_i | I.Bitcast_i_to_f -> provs.(0)
+              | _ -> -1
             in
-            (match dest with
-            | Some d ->
-              fr.regs.(d) <- value;
-              fr.prov.(d) <- -1;
-              emit ~write:(Event.Wreg { frame = fr.id; reg = d; value }) ()
-            | None -> emit ~write:Event.Wnone ()))
-        | I.Br l ->
-          emit ~write:Event.Wnone ~taken:l ();
-          fr.blk <- l;
-          fr.ip <- 0
-        | I.Cbr (_, l1, l2) ->
-          let l = if Bitval.to_bool (v 0) then l1 else l2 in
-          emit ~write:Event.Wnone ~taken:l ();
-          fr.blk <- l;
-          fr.ip <- 0
-        | I.Ret vopt -> (
-          let value = match vopt with Some _ -> Some (v 0) | None -> None in
-          match fr.caller with
-          | None ->
-            emit ~write:Event.Wnone ();
-            return_value := value;
-            running := false
-          | Some parent ->
-            let write =
-              if fr.ret_dest >= 0 then begin
-                let rv =
-                  match value with Some x -> x | None -> Bitval.zero Bitval.W64
-                in
-                parent.regs.(fr.ret_dest) <- rv;
-                parent.prov.(fr.ret_dest) <-
-                  (if nslots > 0 then provs.(0) else -1);
-                Event.Wreg { frame = parent.id; reg = fr.ret_dest; value = rv }
+            set_reg ~prov d (Semantics.cast c (v 0))
+          | I.Load (d, ty, _) ->
+            let addr = Int64.to_int (Bitval.to_int64 (v 0)) in
+            let value = trap_or (Memory.load mem ty addr) in
+            fr.regs.(d) <- value;
+            fr.prov.(d) <- addr;
+            emit
+              ~write:(Event.Wreg { frame = fr.id; reg = d; value })
+              ~load_addr:addr ()
+          | I.Store (ty, _, _) ->
+            let addr = Int64.to_int (Bitval.to_int64 (v 1)) in
+            (match fault with
+            | Some { Fault.site = Fault.Store_dest { idx = fidx }; pattern }
+              when fidx = idx -> (
+              (* Corrupt the destination cell just before it is overwritten. *)
+              match Memory.load mem ty addr with
+              | Ok old ->
+                ignore (Memory.store mem ty addr (Pattern.apply pattern old))
+              | Error _ -> ())
+            | _ -> ());
+            trap_or (Memory.store mem ty addr (v 0));
+            emit ~write:(Event.Wmem { addr; value = v 0; ty }) ()
+          | I.Gep (d, _, _, scale) -> set_reg d (Semantics.gep (v 0) (v 1) scale)
+          | I.Select (d, _, _, _) ->
+            let prov = if Bitval.to_bool (v 0) then provs.(1) else provs.(2) in
+            set_reg ~prov d (Semantics.select (v 0) (v 1) (v 2))
+          | I.Call (dest, callee, _) -> (
+            match P.func t.prog callee with
+            | callee_fn ->
+              if h.h_depth >= max_call_depth then
+                raise (Trap_exn (Trap.Call_depth max_call_depth));
+              if callee_fn.P.nparams <> nslots then
+                raise
+                  (Trap_exn
+                     (Trap.Arity
+                        { callee; expected = callee_fn.P.nparams; got = nslots }));
+              let ret_dest = match dest with Some d -> d | None -> -1 in
+              let callee_fr = fresh_frame callee_fn ~ret_dest ~caller:(Some fr) in
+              for i = 0 to nslots - 1 do
+                callee_fr.regs.(i) <- values.(i);
+                callee_fr.prov.(i) <- provs.(i)
+              done;
+              emit ~write:Event.Wnone ~callee_frame:callee_fr.id ();
+              h.h_depth <- h.h_depth + 1;
+              h.h_frame <- Some callee_fr
+            | exception Not_found ->
+              if List.mem callee Semantics.hart_intrinsics then begin
+                if nslots <> 0 then
+                  raise
+                    (Trap_exn (Trap.Arity { callee; expected = 0; got = nslots }));
+                if String.equal callee "barrier" then begin
+                  emit ~write:Event.Wnone ();
+                  (* Park after the event: the hart resumes at the next
+                     instruction once every live hart has arrived. *)
+                  h.h_waiting <- true
+                end
+                else begin
+                  let n =
+                    if String.equal callee "hart_id" then h.h_id else nharts
+                  in
+                  let value = Bitval.of_int64 (Int64.of_int n) in
+                  match dest with
+                  | Some d ->
+                    fr.regs.(d) <- value;
+                    fr.prov.(d) <- -1;
+                    emit ~write:(Event.Wreg { frame = fr.id; reg = d; value }) ()
+                  | None -> emit ~write:Event.Wnone ()
+                end
               end
-              else Event.Wnone
-            in
-            emit ~write ~ret_to_frame:parent.id
-              ~ret_to_reg:fr.ret_dest ();
-            decr depth;
-            frame := parent))
+              else begin
+                if not (List.mem callee Semantics.intrinsics) then
+                  raise (Trap_exn (Trap.No_function callee));
+                let value =
+                  trap_or (Semantics.intrinsic callee (Array.to_list values))
+                in
+                match dest with
+                | Some d ->
+                  fr.regs.(d) <- value;
+                  fr.prov.(d) <- -1;
+                  emit ~write:(Event.Wreg { frame = fr.id; reg = d; value }) ()
+                | None -> emit ~write:Event.Wnone ()
+              end)
+          | I.Br l ->
+            emit ~write:Event.Wnone ~taken:l ();
+            fr.blk <- l;
+            fr.ip <- 0
+          | I.Cbr (_, l1, l2) ->
+            let l = if Bitval.to_bool (v 0) then l1 else l2 in
+            emit ~write:Event.Wnone ~taken:l ();
+            fr.blk <- l;
+            fr.ip <- 0
+          | I.Ret vopt -> (
+            let value = match vopt with Some _ -> Some (v 0) | None -> None in
+            match fr.caller with
+            | None ->
+              emit ~write:Event.Wnone ();
+              h.h_ret <- value;
+              h.h_frame <- None;
+              h.h_depth <- 0
+            | Some parent ->
+              let write =
+                if fr.ret_dest >= 0 then begin
+                  let rv =
+                    match value with Some x -> x | None -> Bitval.zero Bitval.W64
+                  in
+                  parent.regs.(fr.ret_dest) <- rv;
+                  parent.prov.(fr.ret_dest) <-
+                    (if nslots > 0 then provs.(0) else -1);
+                  Event.Wreg { frame = parent.id; reg = fr.ret_dest; value = rv }
+                end
+                else Event.Wnone
+              in
+              emit ~write ~ret_to_frame:parent.id ~ret_to_reg:fr.ret_dest ();
+              h.h_depth <- h.h_depth - 1;
+              h.h_frame <- Some parent))
       done;
-      Finished !return_value
+      (* The application outcome of an SPMD run is hart 0's return value
+         (every hart ran the same entry; outputs live in shared memory). *)
+      Finished hs.(0).h_ret
     with Trap_exn tr -> Trapped tr
   in
   { outcome = result; mem; steps = !steps }
 
-let run ?step_limit ?fault ?sink ?args ?from t ~entry =
-  run_gen ?step_limit ?fault ?sink ?args ?from t ~entry
+let run ?step_limit ?fault ?sink ?args ?harts ?from t ~entry =
+  run_gen ?step_limit ?fault ?sink ?args ?harts ?from t ~entry
 
-let checkpoint ?step_limit ?args t ~entry ~at =
+let checkpoint ?step_limit ?args ?harts t ~entry ~at =
   if at < 0 then invalid_arg "Machine.checkpoint: negative event index";
-  match run_gen ?step_limit ?args ~capture_at:at t ~entry with
+  match run_gen ?step_limit ?args ?harts ~capture_at:at t ~entry with
   | (_ : run) ->
     invalid_arg
       (Printf.sprintf
          "Machine.checkpoint: run of %s ended before event %d" entry at)
   | exception Captured cp -> cp
 
-let trace ?step_limit ?args t ~entry =
+let trace ?step_limit ?args ?harts t ~entry =
   let tape = Moard_trace.Tape.create () in
-  let r = run ?step_limit ?args ~sink:(Trace_sink.Tape tape) t ~entry in
+  let r = run ?step_limit ?args ?harts ~sink:(Trace_sink.Tape tape) t ~entry in
   Moard_trace.Tape.freeze tape;
   (r, tape)
 

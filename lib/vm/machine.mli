@@ -42,19 +42,26 @@ val object_of : t -> string -> Moard_trace.Data_object.t
 val registry : t -> Moard_trace.Registry.t
 (** Every global as a data object. *)
 
+val max_harts : int
+(** Upper bound on [harts] (62: hart sets pack into an OCaml int as
+    bitmasks, e.g. in {!Moard_trace.Sharing}). *)
+
 type checkpoint
 (** The complete machine state captured at one dynamic-instruction
-    boundary of a fault-free run: memory, the whole frame stack, and the
-    event counter. Because execution is deterministic and a fault at
-    event [i] leaves everything before [i] byte-identical to the golden
-    run, resuming an injected run from a checkpoint at the fault event is
-    exact — it only skips re-executing a prefix both runs share. *)
+    boundary of a fault-free run: memory, every hart's frame stack and
+    barrier state, the scheduler position, and the event counter. Because
+    execution (including the round-robin schedule) is deterministic and a
+    fault at event [i] leaves everything before [i] byte-identical to the
+    golden run, resuming an injected run from a checkpoint at the fault
+    event is exact — it only skips re-executing a prefix both runs
+    share. *)
 
 val checkpoint :
-  ?step_limit:int -> ?args:Moard_bits.Bitval.t list ->
+  ?step_limit:int -> ?args:Moard_bits.Bitval.t list -> ?harts:int ->
   t -> entry:string -> at:int -> checkpoint
 (** Execute [entry] without a fault up to (not including) dynamic event
-    [at] and freeze the state there.
+    [at] and freeze the state there. [harts] as in {!run}; a checkpoint
+    remembers its hart count, so resumes rebuild the same configuration.
     @raise Invalid_argument if the run ends (or traps) before [at]. *)
 
 val checkpoint_at : checkpoint -> int
@@ -65,18 +72,31 @@ val run :
   ?fault:Fault.t ->
   ?sink:Trace_sink.t ->
   ?args:Moard_bits.Bitval.t list ->
+  ?harts:int ->
   ?from:checkpoint ->
   t -> entry:string -> run
 (** Execute [entry]. [step_limit] defaults to 20 million. [sink] defaults
     to {!Trace_sink.Null}: untraced executions (fault injections, golden
-    re-executions) pay no tracing cost at all. With [from], execution
-    resumes from the checkpoint instead of the pristine image ([entry]
-    and [args] are then ignored, and [run.steps] stays the absolute
-    dynamic event count, prefix included); a [fault] whose event index
-    predates the checkpoint can never fire. *)
+    re-executions) pay no tracing cost at all.
+
+    [harts] (default 1) launches that many cooperating harts SPMD-style:
+    each runs [entry] with the same [args] over the shared flat memory,
+    under a deterministic round-robin scheduler with a quantum of one
+    dynamic instruction. The [hart_id]/[hart_count] intrinsics expose the
+    lane identity; [barrier] parks a hart until every other live hart
+    arrives (harts that already returned leave the quorum, so a barrier
+    never deadlocks). The outcome is hart 0's return value; a trap on any
+    hart traps the whole run. With one hart the scheduler degenerates to
+    the serial interpreter loop, event for event.
+
+    With [from], execution resumes from the checkpoint instead of the
+    pristine image ([entry], [args] and [harts] are then ignored — the
+    checkpoint carries the hart configuration — and [run.steps] stays the
+    absolute dynamic event count, prefix included); a [fault] whose event
+    index predates the checkpoint can never fire. *)
 
 val trace :
-  ?step_limit:int -> ?args:Moard_bits.Bitval.t list ->
+  ?step_limit:int -> ?args:Moard_bits.Bitval.t list -> ?harts:int ->
   t -> entry:string -> run * Moard_trace.Tape.t
 (** Golden traced run: executes with a {!Trace_sink.Tape} sink — events
     are packed straight into the tape, never boxed — and returns the tape

@@ -138,6 +138,13 @@ let table : (string * (int * (float array -> float))) list =
 
 let intrinsics = List.map fst table
 
+(* Hart-coordination primitives. They are call targets like the math
+   intrinsics, but their meaning lives in the machine's scheduler (which
+   hart is running, how many exist, barrier parking), not in pure
+   instruction semantics — so they are listed here only so validation and
+   the front end can resolve the names. All take no arguments. *)
+let hart_intrinsics = [ "hart_id"; "hart_count"; "barrier" ]
+
 let intrinsic_arity name =
   Option.map fst (List.assoc_opt name table)
 

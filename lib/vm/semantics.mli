@@ -26,6 +26,12 @@ val select : Bitval.t -> Bitval.t -> Bitval.t -> Bitval.t
 val intrinsics : string list
 (** Names resolvable as math intrinsics. *)
 
+val hart_intrinsics : string list
+(** Names of the hart-coordination primitives ([hart_id], [hart_count],
+    [barrier]), resolved by the machine's scheduler rather than here: their
+    results depend on execution context (the running hart, the hart count),
+    not on operand values. All are nullary. *)
+
 val intrinsic_arity : string -> int option
 
 val intrinsic : string -> Bitval.t list -> (Bitval.t, Trap.t) result

@@ -1,0 +1,342 @@
+(* The multi-hart VM subsystem and the SPMD kernel ports.
+
+   Two pillars. Determinism: the round-robin schedule is a pure function
+   of (program, args, harts), so two traces of the same configuration are
+   identical event for event, including the tape's hart lane — which is
+   what makes multi-hart golden runs, checkpoints and campaigns
+   reproducible. Differential equality: at one hart an SPMD port's
+   consumption sites over the target objects replicate the serial
+   kernel's exactly, so the whole aDVF report — totals, level and kind
+   decompositions, stage counters — is bit-identical to the serial
+   analysis. *)
+
+module Ast = Moard_lang.Ast
+module Machine = Moard_vm.Machine
+module Tape = Moard_trace.Tape
+module Event = Moard_trace.Event
+module Sharing = Moard_trace.Sharing
+module Consume = Moard_trace.Consume
+module Context = Moard_inject.Context
+module Advf = Moard_core.Advf
+module Model = Moard_core.Model
+module Hart_split = Moard_core.Hart_split
+module Pattern = Moard_bits.Pattern
+
+let qtest ?(count = 4) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let load globals funs =
+  Machine.load (Moard_lang.Compile.program { Ast.globals; funs })
+
+let check_finished (r : Machine.run) =
+  match r.Machine.outcome with
+  | Machine.Finished _ -> ()
+  | Machine.Trapped t -> Alcotest.fail (Moard_vm.Trap.to_string t)
+
+let out_i64s m (r : Machine.run) k =
+  Array.to_list (Array.sub (Machine.read_i64s m r.Machine.mem "out") 0 k)
+
+(* ------------------------------------------------------------------ *)
+(* Hart intrinsics and barrier semantics. *)
+
+(* out[me] <- me * 10 + hart_count *)
+let lane_identity_m =
+  let open Ast.Dsl in
+  load
+    [ garr_i64 "out" 8 ]
+    [
+      fn "main"
+        [
+          int_ "me" hart_id;
+          ("out".%(v "me") <- (v "me" * i 10) + hart_count);
+          ret_void;
+        ];
+    ]
+
+(* each hart contributes me+1, then after the barrier folds all of a *)
+let barrier_sum_m =
+  let open Ast.Dsl in
+  load
+    [ garr_i64 "a" 8; garr_i64 "out" 8 ]
+    [
+      fn "main"
+        [
+          int_ "me" hart_id;
+          int_ "nh" hart_count;
+          ("a".%(v "me") <- v "me" + i 1);
+          barrier_;
+          int_ "s" (i 0);
+          for_ "h" (i 0) (v "nh") [ "s" <-- v "s" + "a".%(v "h") ];
+          ("out".%(v "me") <- v "s");
+          ret_void;
+        ];
+    ]
+
+(* hart 0 returns without reaching the barrier; the rest must still be
+   released (live-hart quorum), not deadlock *)
+let early_exit_m =
+  let open Ast.Dsl in
+  load
+    [ garr_i64 "out" 8 ]
+    [
+      fn "main"
+        [
+          int_ "me" hart_id;
+          if_ (v "me" == i 0) [ ("out".%(i 0) <- i 7); ret_void ] [];
+          barrier_;
+          ("out".%(v "me") <- i 1);
+          ret_void;
+        ];
+    ]
+
+let intrinsics_tests =
+  [
+    Alcotest.test_case "hart_id and hart_count are per-hart runtime values"
+      `Quick (fun () ->
+        let r = Machine.run ~harts:3 lane_identity_m ~entry:"main" in
+        check_finished r;
+        Alcotest.(check (list int64))
+          "out" [ 3L; 13L; 23L; 0L ]
+          (out_i64s lane_identity_m r 4));
+    Alcotest.test_case "barrier publishes writes to every hart" `Quick
+      (fun () ->
+        let r = Machine.run ~harts:4 barrier_sum_m ~entry:"main" in
+        check_finished r;
+        (* every hart folded all four contributions: 1+2+3+4 *)
+        Alcotest.(check (list int64))
+          "out" [ 10L; 10L; 10L; 10L ]
+          (out_i64s barrier_sum_m r 4));
+    Alcotest.test_case "finished harts leave the barrier quorum" `Quick
+      (fun () ->
+        let r =
+          Machine.run ~step_limit:10_000 ~harts:3 early_exit_m ~entry:"main"
+        in
+        check_finished r;
+        Alcotest.(check (list int64))
+          "out" [ 7L; 1L; 1L ] (out_i64s early_exit_m r 3));
+    Alcotest.test_case "hart intrinsics take no arguments" `Quick (fun () ->
+        let bad =
+          let open Ast.Dsl in
+          {
+            Ast.globals = [];
+            funs =
+              [ fn "main" [ int_ "x" (call "hart_id" [ i 3 ]); ret_void ] ];
+          }
+        in
+        match Machine.load (Moard_lang.Compile.program bad) with
+        | exception _ -> ()
+        | m -> (
+          match Machine.run m ~entry:"main" with
+          | { Machine.outcome = Machine.Trapped _; _ } -> ()
+          | _ -> Alcotest.fail "arity violation not rejected"));
+    Alcotest.test_case "hart count out of range is rejected" `Quick
+      (fun () ->
+        let check n =
+          match Machine.run ~harts:n lane_identity_m ~entry:"main" with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.failf "harts=%d accepted" n
+        in
+        check 0;
+        check (Machine.max_harts + 1));
+    Alcotest.test_case "serial tape carries hart 0 everywhere" `Quick
+      (fun () ->
+        let ctx = Context.make (Moard_kernels.Abft_mm.workload ~n:4 ()) in
+        let tape = Context.tape ctx in
+        for t = 0 to Tape.length tape - 1 do
+          Alcotest.(check int) "hart" 0 (Tape.hart_at tape t)
+        done);
+    Alcotest.test_case "multi-hart tape interleaves every hart" `Quick
+      (fun () ->
+        let ctx =
+          Context.make
+            (Moard_kernels.Abft_mm.parallel_workload ~n:4 ~harts:3 ())
+        in
+        let tape = Context.tape ctx in
+        let seen = Array.make 3 false in
+        for t = 0 to Tape.length tape - 1 do
+          seen.(Tape.hart_at tape t) <- true
+        done;
+        Alcotest.(check (list bool))
+          "all harts executed" [ true; true; true ] (Array.to_list seen));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Schedule determinism: same (program, harts) => identical tape,
+   including the hart lane. *)
+
+let tape_fingerprint tape =
+  let b = Buffer.create 4096 in
+  for t = 0 to Tape.length tape - 1 do
+    Buffer.add_string b
+      (Format.asprintf "%d|%a@." (Tape.hart_at tape t) Event.pp
+         (Tape.get tape t))
+  done;
+  Buffer.contents b
+
+let determinism_tests =
+  [
+    qtest ~count:4 "same seed and harts => identical tape (MM)"
+      QCheck2.Gen.(pair (int_range 0 1000) (int_range 2 5))
+      (fun (seed, harts) ->
+        let trace () =
+          let w =
+            Moard_kernels.Abft_mm.parallel_workload ~n:4 ~seed ~harts ()
+          in
+          let m = Machine.load w.Moard_inject.Workload.program in
+          let _, tape = Machine.trace ~harts m ~entry:"main" in
+          tape_fingerprint tape
+        in
+        String.equal (trace ()) (trace ()));
+    Alcotest.test_case "checkpoint resume is exact on a multi-hart run"
+      `Quick (fun () ->
+        let ctx =
+          Context.make
+            (Moard_kernels.Abft_mm.parallel_workload ~n:4 ~harts:3 ())
+        in
+        let obj = Context.object_of ctx "C" in
+        let sites =
+          Consume.of_tape ~segment:(Context.segment ctx) (Context.tape ctx)
+            obj
+        in
+        (* a handful of sites across the run, compared fresh vs resumed *)
+        List.iteri
+          (fun i site ->
+            if i mod 37 = 0 then
+              let fresh =
+                Context.inject_at ~use_cache:false ~resume:false ctx site
+                  (Pattern.Single 3)
+              in
+              let resumed =
+                Context.inject_at ~use_cache:false ~resume:true ctx site
+                  (Pattern.Single 3)
+              in
+              if fresh <> resumed then
+                Alcotest.failf "site %d: fresh %s <> resumed %s" i
+                  (Moard_inject.Outcome.to_string fresh)
+                  (Moard_inject.Outcome.to_string resumed))
+          sites);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Differential: at one hart the SPMD port's aDVF report is
+   bit-identical to the serial kernel's, object by object. *)
+
+let report_key (r : Advf.report) =
+  ( r.Advf.involvements,
+    Int64.bits_of_float r.Advf.advf,
+    Int64.bits_of_float r.Advf.masking_events,
+    Array.to_list (Array.map Int64.bits_of_float r.Advf.by_level),
+    Array.to_list (Array.map Int64.bits_of_float r.Advf.by_kind),
+    (r.Advf.op_resolved, r.Advf.prop_resolved, r.Advf.fi_resolved) )
+
+let differential serial parallel objects =
+  let cs = Context.make serial and cp = Context.make parallel in
+  List.for_all
+    (fun obj ->
+      let rs = Model.analyze cs ~object_name:obj in
+      let rp = Model.analyze cp ~object_name:obj in
+      report_key rs = report_key rp)
+    objects
+
+let differential_tests =
+  [
+    qtest ~count:3 "MM: parallel port at 1 hart == serial, bit for bit"
+      QCheck2.Gen.(int_range 0 1000)
+      (fun seed ->
+        differential
+          (Moard_kernels.Abft_mm.workload ~n:4 ~seed ())
+          (Moard_kernels.Abft_mm.parallel_workload ~n:4 ~seed ~harts:1 ())
+          [ "C" ]);
+    qtest ~count:3 "CG: parallel port at 1 hart == serial, bit for bit"
+      QCheck2.Gen.(int_range 0 1000)
+      (fun seed ->
+        differential
+          (Moard_kernels.Cg.workload ~n:8 ~iters:2 ~seed ())
+          (Moard_kernels.Cg.parallel_workload ~n:8 ~iters:2 ~seed ~harts:1 ())
+          [ "r"; "colidx" ]);
+    Alcotest.test_case "LULESH: parallel port at 1 hart == serial" `Slow
+      (fun () ->
+        Alcotest.(check bool) "differential" true
+          (differential
+             (Moard_kernels.Lulesh.workload ~nelem:8 ())
+             (Moard_kernels.Lulesh.parallel_workload ~nelem:8 ~harts:1 ())
+             [ "m_elemBC"; "m_delv_zeta" ]));
+    Alcotest.test_case "multi-hart outputs track serial outputs" `Quick
+      (fun () ->
+        (* At one hart the port's outputs are bit-identical to serial.
+           At N >= 2 the per-hart partial sums reassociate the floating
+           point, so outputs are only required to be deterministic (same
+           bits on every run of one hart count) and numerically close. *)
+        let golden w =
+          Array.to_list (Context.golden_floats (Context.make w))
+        in
+        let serial = golden (Moard_kernels.Cg.workload ~n:8 ~iters:2 ()) in
+        let par harts =
+          golden (Moard_kernels.Cg.parallel_workload ~n:8 ~iters:2 ~harts ())
+        in
+        List.iter2
+          (fun a b ->
+            Alcotest.(check int64) "harts=1 bit-identical"
+              (Int64.bits_of_float a) (Int64.bits_of_float b))
+          serial (par 1);
+        List.iter
+          (fun harts ->
+            let p = par harts in
+            List.iter2
+              (fun a b ->
+                Alcotest.(check int64)
+                  (Printf.sprintf "harts=%d deterministic" harts)
+                  (Int64.bits_of_float a) (Int64.bits_of_float b))
+              p
+              (par harts);
+            List.iter2
+              (fun a b ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "harts=%d close" harts)
+                  true
+                  (Float.abs (a -. b)
+                  <= 1e-9 *. Float.max 1.0 (Float.abs a)))
+              serial p)
+          [ 2; 3; 5 ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Shared vs hart-private classification. *)
+
+let sharing_tests =
+  [
+    Alcotest.test_case "serial tapes classify everything private" `Quick
+      (fun () ->
+        let ctx = Context.make (Moard_kernels.Lulesh.workload ~nelem:8 ()) in
+        let s = Sharing.of_tape (Context.tape ctx) in
+        Alcotest.(check int) "harts" 1 (Sharing.harts s);
+        Alcotest.(check int) "shared" 0 (Sharing.shared_cells s));
+    Alcotest.test_case "stripe-boundary reads are shared state" `Quick
+      (fun () ->
+        let ctx =
+          Context.make
+            (Moard_kernels.Lulesh.parallel_workload ~nelem:8 ~harts:3 ())
+        in
+        let s = Sharing.of_tape (Context.tape ctx) in
+        Alcotest.(check int) "harts" 3 (Sharing.harts s);
+        Alcotest.(check bool) "some cells shared" true
+          (Sharing.shared_cells s > 0);
+        let split = Hart_split.analyze ctx ~object_name:"m_delv_zeta" in
+        Alcotest.(check bool) "some shared sites" true
+          (split.Hart_split.shared_sites > 0);
+        Alcotest.(check bool) "some private sites" true
+          (split.Hart_split.shared_sites < split.Hart_split.sites);
+        (* the split partitions the whole-object analysis exactly *)
+        let whole = Model.analyze ctx ~object_name:"m_delv_zeta" in
+        Alcotest.(check int64) "merged advf"
+          (Int64.bits_of_float whole.Advf.advf)
+          (Int64.bits_of_float split.Hart_split.total.Advf.advf));
+  ]
+
+let suite =
+  [
+    ("parallel_vm.intrinsics", intrinsics_tests);
+    ("parallel_vm.determinism", determinism_tests);
+    ("parallel_vm.differential", differential_tests);
+    ("parallel_vm.sharing", sharing_tests);
+  ]
