@@ -787,7 +787,8 @@ let store_bench () =
   if speedup < 10.0 then
     failwith "store: warm query not at least 10x faster than cold";
   (* zipf-ish mix over the registry objects: rank i drawn with weight
-     1/(i+1), deterministic LCG so the mix is reproducible *)
+     1/(i+1), deterministic LCG so the mix is reproducible (and so the
+     cluster phase below can replay the identical request schedule) *)
   let mix =
     if !quick then [| ("LULESH", "m_elemBC"); ("LULESH", "m_delv_zeta") |]
     else
@@ -797,38 +798,235 @@ let store_bench () =
            (fig4_objects ()))
   in
   let n = Array.length mix in
-  let weights = Array.init n (fun i -> 1.0 /. float_of_int (i + 1)) in
-  let total_w = Array.fold_left ( +. ) 0.0 weights in
-  let state = ref 0x2545F491 in
-  let next_float () =
-    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
-    float_of_int !state /. 1073741824.0
+  let make_lcg () =
+    let state = ref 0x2545F491 in
+    fun () ->
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      float_of_int !state /. 1073741824.0
   in
-  let pick () =
-    let x = next_float () *. total_w in
-    let rec go i acc =
-      if i = n - 1 then i
-      else if acc +. weights.(i) >= x then i
-      else go (i + 1) (acc +. weights.(i))
-    in
-    go 0 0.0
+  let make_zipf arr =
+    let n = Array.length arr in
+    let weights = Array.init n (fun i -> 1.0 /. float_of_int (i + 1)) in
+    let total_w = Array.fold_left ( +. ) 0.0 weights in
+    fun next_float ->
+      let x = next_float () *. total_w in
+      let rec go i acc =
+        if i = n - 1 then i
+        else if acc +. weights.(i) >= x then i
+        else go (i + 1) (acc +. weights.(i))
+      in
+      go 0 0.0
   in
+  let pick = make_zipf mix in
   let draws = if !quick then 40 else 400 in
+  (* latency per served-status: an aggregate q/s hides that the mix is
+     bimodal (sub-ms hits vs ~minute cold computes) *)
+  let percentile sorted q =
+    let n = Array.length sorted in
+    sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+  in
+  let note_lat lats served s =
+    let r =
+      match Hashtbl.find_opt lats served with
+      | Some r -> r
+      | None ->
+        let r = ref [] in
+        Hashtbl.replace lats served r;
+        r
+    in
+    r := s :: !r
+  in
+  let lat_summary lats =
+    List.map
+      (fun (srv, r) ->
+        let a = Array.of_list !r in
+        Array.sort compare a;
+        (srv, Array.length a, percentile a 0.5, percentile a 0.95,
+         percentile a 0.99))
+      (List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) lats []))
+  in
+  let note_lat_rows rows =
+    List.iter
+      (fun (srv, cnt, p50, p95, p99) ->
+        note "  %-11s %4d draws  p50 %.4fs  p95 %.4fs  p99 %.4fs" srv cnt p50
+          p95 p99)
+      rows
+  in
+  let emit_latency oc ~indent rows =
+    Printf.fprintf oc "%s\"latency\": {\n" indent;
+    List.iteri
+      (fun i (srv, cnt, p50, p95, p99) ->
+        Printf.fprintf oc
+          "%s  %S: { \"draws\": %d, \"p50_s\": %.6f, \"p95_s\": %.6f, \
+           \"p99_s\": %.6f }%s\n"
+          indent srv cnt p50 p95 p99
+          (if i = List.length rows - 1 then "" else ","))
+      rows;
+    Printf.fprintf oc "%s}" indent
+  in
+  let payloads : (string, string) Hashtbl.t = Hashtbl.create 32 in
+  let lats = Hashtbl.create 8 in
   let hits = ref 0 in
+  let lcg = make_lcg () in
   let t = Unix.gettimeofday () in
   for _ = 1 to draws do
-    let bench, obj = mix.(pick ()) in
+    let bench, obj = mix.(pick lcg) in
+    let t1 = Unix.gettimeofday () in
     let h, p = rpc (advf_req ~fi_budget:60_000 bench obj) in
+    note_lat lats (served h) (Unix.gettimeofday () -. t1);
     if is_hit h then incr hits;
-    if p = None then failwith ("store: no payload for " ^ bench ^ "/" ^ obj)
+    match p with
+    | None -> failwith ("store: no payload for " ^ bench ^ "/" ^ obj)
+    | Some p -> Hashtbl.replace payloads (bench ^ "/" ^ obj) p
   done;
   let mix_s = Unix.gettimeofday () -. t in
   let hit_ratio = float_of_int !hits /. float_of_int draws in
-  note "zipf mix: %d draws over %d objects in %.3fs (%.0f q/s, hit ratio \
+  let serial_lat = lat_summary lats in
+  note "zipf mix: %d draws over %d objects in %.3fs (%.1f q/s, hit ratio \
         %.3f)"
     draws n mix_s
     (float_of_int draws /. mix_s)
     hit_ratio;
+  note_lat_rows serial_lat;
+  (* the cluster phase: the identical request schedule through two
+     sharded daemons behind the consistent-hash proxy, after warming
+     every object of the mix through the background warming queues.
+     Every payload must be byte-identical to the single-daemon run (and
+     a spot object to a direct offline computation); warm serving has
+     to clear 3 q/s where the cold serial mix managed ~0.3. *)
+  let module Local = Moard_cluster.Local in
+  let cmix, cdraws = if !quick then ([| ("MM", "C") |], 10) else (mix, draws) in
+  let cpick = make_zipf cmix in
+  let offline_advf bench obj =
+    Query.advf_payload
+      ~options:
+        { Model.default_options with Model.fi_budget = 60_000; batch = true }
+      (ctx_of (Registry.find bench))
+      ~object_name:obj
+  in
+  let expected =
+    let offline_cache = Hashtbl.create 4 in
+    fun bench obj ->
+      let key = bench ^ "/" ^ obj in
+      match Hashtbl.find_opt payloads key with
+      | Some p -> p
+      | None -> (
+        match Hashtbl.find_opt offline_cache key with
+        | Some p -> p
+        | None ->
+          let p = offline_advf bench obj in
+          Hashtbl.replace offline_cache key p;
+          p)
+  in
+  let croot = Filename.temp_file "moard_bench_cluster" "" in
+  Sys.remove croot;
+  let cluster = Local.start ~root:croot ~shards:2 ~workers:1 () in
+  Fun.protect ~finally:(fun () -> Local.stop cluster) @@ fun () ->
+  let psock = Local.socket cluster in
+  let crpc req = Client.rpc ~socket:psock req in
+  let jget path h =
+    List.fold_left (fun v k -> Option.bind v (Jsonx.member k)) (Some h) path
+  in
+  let t = Unix.gettimeofday () in
+  Array.iter
+    (fun (bench, obj) ->
+      let h, _ =
+        crpc
+          (Jsonx.Obj
+             [
+               ("op", Jsonx.Str "warm");
+               ("benchmark", Jsonx.Str bench);
+               ("object", Jsonx.Str obj);
+               ("fi_budget", Jsonx.Int 60_000);
+             ])
+      in
+      match Client.error_of h with
+      | Some (code, msg) ->
+        failwith (Printf.sprintf "cluster warm %s/%s: %s: %s" bench obj code msg)
+      | None -> ())
+    cmix;
+  (* block until both warming layers drain: proxy queue pushed out, every
+     shard's queue computed, shard pools idle *)
+  let drained () =
+    let h, _ = crpc (Jsonx.Obj [ ("op", Jsonx.Str "stat") ]) in
+    let queued p = Option.value ~default:1 (Jsonx.int (jget p h)) in
+    queued [ "proxy"; "warming"; "queued" ] = 0
+    && Option.value ~default:[] (Jsonx.list (jget [ "shards" ] h))
+       |> List.for_all (fun s ->
+              let i p = Option.value ~default:1 (Jsonx.int (jget p s)) in
+              Jsonx.bool (jget [ "alive" ] s) = Some true
+              && i [ "stat"; "warming"; "queued" ] = 0
+              && Jsonx.bool (jget [ "stat"; "warming"; "busy" ] s) = Some false
+              && i [ "stat"; "pool"; "queued" ] = 0
+              && i [ "stat"; "pool"; "running" ] = 0)
+  in
+  let deadline = Unix.gettimeofday () +. 3600. in
+  while (not (drained ())) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 1.0
+  done;
+  let cwarm_s = Unix.gettimeofday () -. t in
+  if not (drained ()) then failwith "cluster: warming did not drain in 3600s";
+  (* a drained queue is not a warmed store: a failed warm drains too.
+     Demand every queued object actually computed, with the full stat
+     on failure so a miss is diagnosable instead of a qps shortfall. *)
+  (let h, _ = crpc (Jsonx.Obj [ ("op", Jsonx.Str "stat") ]) in
+   let i path node = Option.value ~default:(-1) (Jsonx.int (jget path node)) in
+   let forwarded = i [ "proxy"; "warming"; "warmed" ] h
+   and fwd_errors = i [ "proxy"; "warming"; "errors" ] h in
+   let shards = Option.value ~default:[] (Jsonx.list (jget [ "shards" ] h)) in
+   let computed =
+     List.fold_left (fun a s -> a + i [ "stat"; "warming"; "warmed" ] s) 0 shards
+   and comp_errors =
+     List.fold_left (fun a s -> a + i [ "stat"; "warming"; "errors" ] s) 0 shards
+   in
+   let n = Array.length cmix in
+   if forwarded <> n || fwd_errors <> 0 || computed <> n || comp_errors <> 0
+   then
+     failwith
+       (Printf.sprintf
+          "cluster: warming incomplete (forwarded %d/%d err %d, computed \
+           %d/%d err %d): %s"
+          forwarded n fwd_errors computed n comp_errors (Jsonx.to_string h)));
+  note "cluster: warmed %d objects across 2 shards in %.1fs" (Array.length cmix)
+    cwarm_s;
+  (* force every baseline before the clock starts: cache misses here are
+     offline computes that would otherwise bill the serving loop *)
+  Array.iter (fun (bench, obj) -> ignore (expected bench obj)) cmix;
+  let clats = Hashtbl.create 8 in
+  let chits = ref 0 in
+  let cident = ref true in
+  let lcg = make_lcg () in
+  let t = Unix.gettimeofday () in
+  for _ = 1 to cdraws do
+    let bench, obj = cmix.(cpick lcg) in
+    let t1 = Unix.gettimeofday () in
+    let h, p = crpc (advf_req ~fi_budget:60_000 bench obj) in
+    note_lat clats (served h) (Unix.gettimeofday () -. t1);
+    if is_hit h then incr chits;
+    match p with
+    | None -> failwith ("cluster: no payload for " ^ bench ^ "/" ^ obj)
+    | Some p -> if p <> expected bench obj then cident := false
+  done;
+  let cmix_s = Unix.gettimeofday () -. t in
+  let cqps = float_of_int cdraws /. cmix_s in
+  let spot_bench, spot_obj = cmix.(0) in
+  let spot_ok =
+    let _, p = crpc (advf_req ~fi_budget:60_000 spot_bench spot_obj) in
+    p = Some (offline_advf spot_bench spot_obj)
+  in
+  let cident = !cident && spot_ok in
+  let cluster_lat = lat_summary clats in
+  note "cluster zipf mix: %d draws in %.3fs (%.1f q/s, hit ratio %.3f), \
+        byte-identical to offline: %b"
+    cdraws cmix_s cqps
+    (float_of_int !chits /. float_of_int cdraws)
+    cident;
+  note_lat_rows cluster_lat;
+  if not cident then
+    failwith "cluster: payload differs from the single-daemon/offline bytes";
+  if (not !quick) && cqps < 3.0 then
+    failwith
+      (Printf.sprintf "cluster: %.1f q/s on the warmed mix, need >= 3" cqps);
   if !quick then note "quick mode: not writing BENCH_store.json"
   else begin
     let oc = open_out "BENCH_store.json" in
@@ -845,12 +1043,29 @@ let store_bench () =
       \    \"hits\": %d,\n\
       \    \"hit_ratio\": %.4f,\n\
       \    \"seconds\": %.4f,\n\
-      \    \"queries_per_sec\": %.1f\n\
-      \  }\n\
-       }\n"
+      \    \"queries_per_sec\": %.1f,\n"
       probe_bench probe_obj cold_s !warm_s speedup identical n draws !hits
       hit_ratio mix_s
       (float_of_int draws /. mix_s);
+    emit_latency oc ~indent:"    " serial_lat;
+    Printf.fprintf oc
+      "\n\
+      \  },\n\
+      \  \"cluster\": {\n\
+      \    \"shards\": 2,\n\
+      \    \"replication\": 2,\n\
+      \    \"draws\": %d,\n\
+      \    \"hits\": %d,\n\
+      \    \"hit_ratio\": %.4f,\n\
+      \    \"warm_seconds\": %.4f,\n\
+      \    \"seconds\": %.4f,\n\
+      \    \"queries_per_sec\": %.1f,\n\
+      \    \"byte_identical_to_offline\": %b,\n"
+      cdraws !chits
+      (float_of_int !chits /. float_of_int cdraws)
+      cwarm_s cmix_s cqps cident;
+    emit_latency oc ~indent:"    " cluster_lat;
+    Printf.fprintf oc "\n  }\n}\n";
     close_out oc;
     note "wrote BENCH_store.json"
   end

@@ -900,7 +900,11 @@ let model_fields model =
     [ ("error_model", Jsonx.Str (Errmodel.to_string model)) ]
   else []
 
-let query_advf_cmd =
+(* The query commands are constructors over the socket argument: the
+   same terms serve both [moard query] (daemon socket default) and
+   [moard cluster query] (proxy socket default) — same bytes either
+   way, which is the point. *)
+let query_advf_cmd_with socket_arg =
   let run () e objs k fi_budget socket offline store_dir meta no_batch model =
     let options =
       { Model.default_options with k; fi_budget; batch = not no_batch; model }
@@ -968,7 +972,7 @@ let query_advf_cmd =
       $ socket_arg $ offline_flag $ store_dir_arg $ meta_arg $ no_batch_flag
       $ error_model_arg)
 
-let query_campaign_cmd =
+let query_campaign_cmd_with socket_arg =
   let run () e objs seed confidence ci_width batch max_samples socket offline
       store_dir meta no_batch model =
     let objs = pick_objects e objs in
@@ -1126,7 +1130,7 @@ let predict_cmd =
       $ max_samples_arg $ domains_arg $ store_dir_arg $ out_arg $ json_flag
       $ no_batch_flag $ error_model_arg)
 
-let query_predict_cmd =
+let query_predict_cmd_with socket_arg =
   let run () e objs sizes target seed confidence ci_width max_samples socket
       offline store_dir meta no_batch model =
     let objs = pick_objects e objs in
@@ -1202,7 +1206,7 @@ let query_predict_cmd =
       $ max_samples_arg $ socket_arg $ offline_flag $ store_dir_arg $ meta_arg
       $ no_batch_flag $ error_model_arg)
 
-let query_stat_cmd =
+let query_stat_cmd_with socket_arg =
   let run () socket =
     let header, _ = Client.rpc ~socket (Jsonx.Obj [ ("op", Jsonx.Str "stat") ]) in
     (match Client.error_of header with
@@ -1220,7 +1224,12 @@ let query_cmd =
     (Cmd.info "query"
        ~doc:"Cached queries against a moardd daemon (or $(b,--offline)): \
              identical bytes either way, so the two modes can be diffed.")
-    [ query_advf_cmd; query_campaign_cmd; query_predict_cmd; query_stat_cmd ]
+    [
+      query_advf_cmd_with socket_arg;
+      query_campaign_cmd_with socket_arg;
+      query_predict_cmd_with socket_arg;
+      query_stat_cmd_with socket_arg;
+    ]
 
 (* ---- store maintenance ---- *)
 
@@ -1360,6 +1369,286 @@ let chaos_cmd =
       const run $ setup_logs $ seed $ rounds $ rate $ classes $ benchmark
       $ ci_width $ store_dir_arg)
 
+(* ---- cluster serving ---- *)
+
+module Cluster_proxy = Moard_cluster.Proxy
+module Cluster_local = Moard_cluster.Local
+
+let cluster_socket_arg =
+  Arg.(
+    value
+    & opt string (Cluster_proxy.default_config ~shards:[]).Cluster_proxy.socket
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix socket of the cluster proxy.")
+
+let cluster_serve_cmd =
+  let run () socket joins shards root replication vnodes hedge_after warm_off
+      workers queue timeout =
+    let tune cfg =
+      {
+        cfg with
+        Cluster_proxy.socket;
+        replication;
+        vnodes;
+        hedge_after_s = hedge_after;
+        warm_auto = not warm_off;
+      }
+    in
+    match joins with
+    | _ :: _ ->
+      if shards <> None then
+        usage "cluster serve: --shards and --join are mutually exclusive";
+      let shard_list =
+        List.map (fun (name, socket) -> { Cluster_proxy.name; socket }) joins
+      in
+      Logs.app (fun m ->
+          m "moard cluster %s listening on %s (%d joined shards, R=%d)"
+            Moard_server.Version.version socket (List.length shard_list)
+            replication);
+      Cluster_proxy.run
+        (tune (Cluster_proxy.default_config ~shards:shard_list));
+      Logs.app (fun m -> m "cluster proxy drained and stopped")
+    | [] ->
+      let shards = Option.value ~default:2 shards in
+      let c =
+        Cluster_local.start ~workers ~queue ~timeout_s:timeout ~root ~shards
+          ~tune ()
+      in
+      Logs.app (fun m ->
+          m "moard cluster %s listening on %s (%d local shards under %s, R=%d)"
+            Moard_server.Version.version
+            (Cluster_local.socket c)
+            shards root replication);
+      let stop_flag = Atomic.make false in
+      let quit _ = Atomic.set stop_flag true in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle quit);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle quit);
+      while not (Atomic.get stop_flag) do
+        Thread.delay 0.2
+      done;
+      Cluster_local.stop c;
+      Logs.app (fun m -> m "cluster drained and stopped")
+  in
+  let joins =
+    Arg.(
+      value
+      & opt_all (pair ~sep:'=' string string) []
+      & info [ "join" ] ~docv:"NAME=SOCKET"
+          ~doc:"Serve over an externally started moardd shard (repeatable). \
+                Without any, the command starts $(b,--shards) local shard \
+                daemons itself.")
+  in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Local shard daemons to start (default 2); conflicts with \
+                $(b,--join).")
+  in
+  let root =
+    Arg.(
+      value & opt string "moard-cluster"
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:"Directory for local shard sockets and stores.")
+  in
+  let replication =
+    Arg.(
+      value & opt int 2
+      & info [ "replication" ] ~docv:"R"
+          ~doc:"Length of each key's owner chain on the hash ring: a dead \
+                or partitioned shard degrades to recompute on the next \
+                replica, never to a wrong answer.")
+  in
+  let vnodes =
+    Arg.(
+      value & opt int 64
+      & info [ "vnodes" ] ~docv:"N"
+          ~doc:"Virtual nodes per shard on the consistent-hash ring.")
+  in
+  let hedge_after =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "hedge-after" ] ~docv:"SECONDS"
+          ~doc:"Fixed hedging deadline: an idempotent forward slower than \
+                this is raced against the replica. Default: adaptive, 2x \
+                the p95 of recent forward latencies.")
+  in
+  let warm_off =
+    Arg.(
+      value & flag
+      & info [ "no-warm" ]
+          ~doc:"Disable auto-warming of sibling registry objects after a \
+                computed aDVF response.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains per local shard daemon.")
+  in
+  let queue =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Bounded request queue per local shard daemon.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 600.
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-request timeout on local shard daemons.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the cluster: N sharded moardd instances behind a \
+             consistent-hash proxy speaking the moardd protocol. The \
+             proxy coalesces identical concurrent requests, hedges slow \
+             forwards onto the replica, fails over around dead shards and \
+             warms hot objects in idle slots; every served payload is \
+             byte-identical to the offline CLI or a typed error. SIGTERM \
+             drains gracefully.")
+    Term.(
+      const run $ setup_logs $ cluster_socket_arg $ joins $ shards $ root
+      $ replication $ vnodes $ hedge_after $ warm_off $ workers $ queue
+      $ timeout)
+
+let cluster_stat_cmd =
+  let run () socket =
+    let header, _ =
+      Client.rpc ~socket (Jsonx.Obj [ ("op", Jsonx.Str "stat") ])
+    in
+    (match Client.error_of header with
+    | Some (code, msg) -> failwith (Printf.sprintf "cluster: %s: %s" code msg)
+    | None -> ());
+    print_endline (Jsonx.to_string header)
+  in
+  Cmd.v
+    (Cmd.info "stat"
+       ~doc:"Cluster statistics (one JSON object on stdout): ring layout, \
+             proxy counters — forwards, coalesced, hedged, hedge wins, \
+             failovers, retries, warming — and each shard's own stat or \
+             its unreachability.")
+    Term.(const run $ setup_logs $ cluster_socket_arg)
+
+let cluster_warm_cmd =
+  let run () socket e objs =
+    let objs = pick_objects e objs in
+    List.iter
+      (fun obj ->
+        let header, _ =
+          Client.rpc ~socket
+            (Jsonx.Obj
+               [
+                 ("op", Jsonx.Str "warm");
+                 ("benchmark", Jsonx.Str e.Registry.benchmark);
+                 ("object", Jsonx.Str obj);
+               ])
+        in
+        (match Client.error_of header with
+        | Some (code, msg) ->
+          failwith (Printf.sprintf "cluster: %s: %s" code msg)
+        | None -> ());
+        print_endline (Jsonx.to_string header))
+      objs
+  in
+  Cmd.v
+    (Cmd.info "warm"
+       ~doc:"Queue aDVF precomputation of a benchmark's objects on their \
+             owning shards (acknowledged immediately; shards compute in \
+             idle slots). $(b,cluster stat) shows queue drain.")
+    Term.(const run $ setup_logs $ cluster_socket_arg $ bench_arg $ objects_arg)
+
+let cluster_chaos_cmd =
+  let module Harness = Moard_cluster.Cluster_harness in
+  let run () seed rounds rate shards benchmark ci_width downtime =
+    let r =
+      Harness.run ~seed ~rounds ~rate ~shards ~benchmark ~ci_width
+        ~crash_downtime:downtime ()
+    in
+    print_endline (Jsonx.to_string (Harness.to_json r));
+    if not r.Harness.survived then begin
+      Logs.err (fun m ->
+          m "cluster chaos: invariant violated (diverged %d, hung %d)"
+            r.Harness.diverged r.Harness.hung);
+      exit 1
+    end
+  in
+  let seed =
+    Arg.(value & opt int 11 & info [ "seed" ] ~doc:"Chaos-plan seed.")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 2
+      & info [ "rounds" ]
+          ~doc:"Rounds of advf/campaign/report/stat requests to issue.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.08
+      & info [ "rate" ] ~docv:"P"
+          ~doc:"Fault probability per inter-node operation, and per \
+                request for shard-crash and partition trials.")
+  in
+  let shards =
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N" ~doc:"Shard count.")
+  in
+  let benchmark =
+    Arg.(
+      value & pos 0 string "MM"
+      & info [] ~docv:"BENCHMARK"
+          ~doc:"Benchmark the chaos requests target (default MM, the \
+                smallest).")
+  in
+  let ci_width =
+    Arg.(
+      value & opt float 0.2
+      & info [ "ci-width" ] ~docv:"W"
+          ~doc:"Campaign stopping half-width used by the chaos requests.")
+  in
+  let downtime =
+    Arg.(
+      value & opt int 3
+      & info [ "crash-downtime" ] ~docv:"N"
+          ~doc:"Requests a crashed shard stays down before restarting.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Turn the fault injector on the cluster: corrupted inter-node \
+             frames, shard crash-stops with later restarts, and \
+             proxy-shard partitions, against an in-process cluster. \
+             Verifies that every response is a typed error or \
+             byte-identical to the fault-free baseline; the report \
+             (printed as JSON) is deterministic per seed. Exits 1 if the \
+             invariant broke.")
+    Term.(
+      const run $ setup_logs $ seed $ rounds $ rate $ shards $ benchmark
+      $ ci_width $ downtime)
+
+let cluster_cmd =
+  Cmd.group
+    (Cmd.info "cluster"
+       ~doc:"Sharded moardd serving: consistent-hash routing with \
+             replication, request coalescing, hedged requests and \
+             background store warming behind one proxy socket.")
+    [
+      cluster_serve_cmd;
+      Cmd.group
+        (Cmd.info "query"
+           ~doc:"The moardd query commands pointed at the cluster proxy: \
+                 same protocol, same bytes, sharded serving.")
+        [
+          query_advf_cmd_with cluster_socket_arg;
+          query_campaign_cmd_with cluster_socket_arg;
+          query_predict_cmd_with cluster_socket_arg;
+          query_stat_cmd_with cluster_socket_arg;
+        ];
+      cluster_stat_cmd;
+      cluster_warm_cmd;
+      cluster_chaos_cmd;
+    ]
+
 let objects_cmd =
   let run () e =
     let ctx = Context.make (e.Registry.workload ()) in
@@ -1398,7 +1687,7 @@ let main =
     [
       list_cmd; analyze_cmd; exhaustive_cmd; rfi_cmd; trace_cmd; objects_cmd;
       dump_ir_cmd; bound_cmd; plan_cmd; campaign_cmd; parallel_cmd;
-      predict_cmd; serve_cmd; query_cmd; store_cmd; chaos_cmd;
+      predict_cmd; serve_cmd; query_cmd; store_cmd; chaos_cmd; cluster_cmd;
     ]
 
 let () =

@@ -6,6 +6,10 @@ type scope =
   | Sock_recv
   | Sock_send
   | Job
+  | Inter_send
+  | Inter_recv
+  | Shard_crash
+  | Shard_partition
 
 type fault =
   | Flip of int
@@ -16,10 +20,15 @@ type fault =
   | Disconnect
   | Raise
   | Slow of float
+  | Crash
+  | Partition of int
 
+(* New scopes append at the end: [scope_index] is positional, so the
+   per-scope streams of the original seven scopes — and every schedule
+   a pre-cluster seed produced — are unchanged. *)
 let all_scopes =
   [ Store_read; Store_write; Journal_read; Journal_write; Sock_recv;
-    Sock_send; Job ]
+    Sock_send; Job; Inter_send; Inter_recv; Shard_crash; Shard_partition ]
 
 let scope_name = function
   | Store_read -> "store-read"
@@ -29,6 +38,10 @@ let scope_name = function
   | Sock_recv -> "sock-recv"
   | Sock_send -> "sock-send"
   | Job -> "job"
+  | Inter_send -> "inter-send"
+  | Inter_recv -> "inter-recv"
+  | Shard_crash -> "shard-crash"
+  | Shard_partition -> "shard-partition"
 
 let scope_index s =
   let rec go i = function
@@ -46,6 +59,8 @@ let fault_name = function
   | Disconnect -> "disconnect"
   | Raise -> "raise"
   | Slow d -> Printf.sprintf "slow:%.3f" d
+  | Crash -> "crash"
+  | Partition n -> Printf.sprintf "partition:%d" n
 
 type per_scope = {
   rng : Rng.t;
@@ -94,6 +109,17 @@ let pick rng scope =
     | Sock_recv -> [| delay; (fun () -> Io_error "EIO"); (fun () -> Disconnect) |]
     | Sock_send -> [| delay; short; (fun () -> Drop) |]
     | Job -> [| (fun () -> Raise); slow |]
+    (* Inter-node menus carry no timing faults (Delay/Slow): the cluster
+       harness must produce wall-clock-independent reports per seed.
+       Unlike client-facing sockets, they DO flip frame bytes — silent
+       corruption between proxy and shard is exactly the fault the
+       checksummed protocol headers exist to catch. *)
+    | Inter_send ->
+      [| flip; short; (fun () -> Disconnect) |]
+    | Inter_recv ->
+      [| flip; (fun () -> Io_error "EIO"); (fun () -> Disconnect) |]
+    | Shard_crash -> [| (fun () -> Crash) |]
+    | Shard_partition -> [| (fun () -> Partition (1 + Rng.next_int rng 3)) |]
   in
   menu.(Rng.next_int rng (Array.length menu)) ()
 
@@ -184,21 +210,28 @@ let chaos_fx t ~read_scope ~write_scope =
   let fail path e = raise (Sys_error (path ^ ": " ^ e ^ " (chaos)")) in
   let on_read path =
     match draw t read_scope with
-    | None | Some (Short _ | Drop | Delay _ | Disconnect | Raise | Slow _) ->
+    | None
+    | Some (Short _ | Drop | Delay _ | Disconnect | Raise | Slow _ | Crash
+           | Partition _) ->
       Fx.real.Fx.read_file path
     | Some (Flip k) -> flip_bit (Fx.real.Fx.read_file path) k
     | Some (Io_error e) -> fail path e
   in
   let on_write op path s =
     match draw t write_scope with
-    | None | Some (Flip _ | Delay _ | Disconnect | Raise | Slow _) -> op path s
+    | None
+    | Some (Flip _ | Delay _ | Disconnect | Raise | Slow _ | Crash
+           | Partition _) ->
+      op path s
     | Some (Short f) -> op path (truncated s f)
     | Some Drop -> ()
     | Some (Io_error e) -> fail path e
   in
   let on_rename src dst =
     match draw t write_scope with
-    | None | Some (Flip _ | Delay _ | Disconnect | Raise | Slow _) ->
+    | None
+    | Some (Flip _ | Delay _ | Disconnect | Raise | Slow _ | Crash
+           | Partition _) ->
       Fx.real.Fx.rename src dst
     (* a torn rename: the temp file stays, the target never appears *)
     | Some (Short _ | Drop) -> ()
@@ -212,23 +245,26 @@ let chaos_fx t ~read_scope ~write_scope =
     remove = Fx.real.Fx.remove;
   }
 
+let shutdown_quiet fd = try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ()
+
 let chaos_sock t =
-  let shutdown fd = try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> () in
   let read fd b off len =
     match draw t Sock_recv with
-    | None | Some (Flip _ | Short _ | Drop | Raise | Slow _) ->
+    | None | Some (Flip _ | Short _ | Drop | Raise | Slow _ | Crash
+                  | Partition _) ->
       Unix.read fd b off len
     | Some (Delay d) ->
       Unix.sleepf d;
       Unix.read fd b off len
     | Some (Io_error _) -> raise (Unix.Unix_error (Unix.EIO, "read", "chaos"))
     | Some Disconnect ->
-      shutdown fd;
+      shutdown_quiet fd;
       0
   in
   let write fd b off len =
     match draw t Sock_send with
-    | None | Some (Flip _ | Io_error _ | Raise | Slow _) ->
+    | None | Some (Flip _ | Io_error _ | Raise | Slow _ | Crash
+                  | Partition _) ->
       Unix.write fd b off len
     | Some (Delay d) ->
       Unix.sleepf d;
@@ -237,18 +273,70 @@ let chaos_sock t =
     | Some (Short f) ->
       let k = max 1 (int_of_float (float_of_int len *. f)) in
       (try ignore (Unix.write fd b off (min k len)) with _ -> ());
-      shutdown fd;
+      shutdown_quiet fd;
       raise (Unix.Unix_error (Unix.EPIPE, "write", "chaos"))
     | Some Disconnect ->
-      shutdown fd;
+      shutdown_quiet fd;
       raise (Unix.Unix_error (Unix.EPIPE, "write", "chaos"))
     | Some Drop -> len
   in
   { Sock.read; write }
 
+(* The proxy<->shard wire.  Two differences from [chaos_sock]: Flip is
+   applied to the bytes actually moved (silent frame corruption — the
+   protocol's checksummed headers must catch it, or byte-identity is
+   lost), and the menus carry no timing faults, so a harness report is
+   a pure function of the seed. *)
+let internode_sock t =
+  let flip_read_bytes b off n k =
+    if n > 0 then begin
+      let bit = k mod (8 * n) in
+      let i = off + (bit / 8) in
+      Bytes.set b i
+        (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (bit mod 8))))
+    end
+  in
+  let read fd b off len =
+    match draw t Inter_recv with
+    | None | Some (Short _ | Drop | Delay _ | Raise | Slow _ | Crash
+                  | Partition _) ->
+      Unix.read fd b off len
+    | Some (Flip k) ->
+      let n = Unix.read fd b off len in
+      flip_read_bytes b off n k;
+      n
+    | Some (Io_error _) -> raise (Unix.Unix_error (Unix.EIO, "read", "chaos"))
+    | Some Disconnect ->
+      shutdown_quiet fd;
+      0
+  in
+  let write fd b off len =
+    match draw t Inter_send with
+    | None | Some (Drop | Io_error _ | Delay _ | Raise | Slow _ | Crash
+                  | Partition _) ->
+      Unix.write fd b off len
+    | Some (Flip k) ->
+      (* corrupt a copy: the caller may retry the same buffer and must
+         not see its own bytes mutated under it *)
+      let c = Bytes.sub b off len in
+      flip_read_bytes c 0 len k;
+      Unix.write fd c 0 len
+    | Some (Short f) ->
+      let k = max 1 (int_of_float (float_of_int len *. f)) in
+      (try ignore (Unix.write fd b off (min k len)) with _ -> ());
+      shutdown_quiet fd;
+      raise (Unix.Unix_error (Unix.EPIPE, "write", "chaos"))
+    | Some Disconnect ->
+      shutdown_quiet fd;
+      raise (Unix.Unix_error (Unix.EPIPE, "write", "chaos"))
+  in
+  { Sock.read; write }
+
 let chaos_wrap t job () =
   match draw t Job with
-  | None | Some (Flip _ | Short _ | Io_error _ | Drop | Delay _ | Disconnect) ->
+  | None
+  | Some (Flip _ | Short _ | Io_error _ | Drop | Delay _ | Disconnect | Crash
+         | Partition _) ->
     job ()
   | Some Raise -> failwith "chaos: injected job failure"
   | Some (Slow d) ->

@@ -22,6 +22,10 @@ type scope =
   | Sock_recv
   | Sock_send
   | Job
+  | Inter_send  (** proxy->shard frames on the cluster wire *)
+  | Inter_recv  (** shard->proxy frames on the cluster wire *)
+  | Shard_crash  (** crash-stop of a whole shard process *)
+  | Shard_partition  (** proxy<->shard link goes dark for a while *)
 
 type fault =
   | Flip of int  (** flip one bit of the payload, position selector *)
@@ -32,6 +36,8 @@ type fault =
   | Disconnect  (** shut the peer down mid-frame *)
   | Raise  (** job raises instead of running *)
   | Slow of float  (** job sleeps before running *)
+  | Crash  (** kill one shard, crash-stop *)
+  | Partition of int  (** unreachable link for this many requests *)
 
 val all_scopes : scope list
 val scope_name : scope -> string
@@ -63,6 +69,14 @@ val passthrough : shims
 
 val shims : t -> shims
 (** Shims that consult the plan on every operation. *)
+
+val internode_sock : t -> Sock.t
+(** Socket primitives for the proxy<->shard wire, driven by the
+    [Inter_recv]/[Inter_send] scopes.  Unlike the client-facing
+    [shims].sock, [Flip] here silently corrupts the bytes on the wire
+    (in a copy on the send side), which the protocol's frame checksums
+    must catch; the menus carry no timing faults so cluster harness
+    reports are deterministic per seed. *)
 
 val stats : t -> (scope * int * int) list
 (** Per scope: (operations seen, faults injected), in [all_scopes]

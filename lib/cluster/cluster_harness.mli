@@ -1,0 +1,56 @@
+(** The chaos harness at cluster scale: an in-process {!Local} cluster
+    (N shard daemons behind a {!Proxy}) driven through a seeded
+    {!Moard_chaos.Chaos} plan of cluster-level faults — corrupted, torn
+    and dropped inter-node frames ([Inter_send]/[Inter_recv], through
+    {!Moard_chaos.Chaos.internode_sock}), shard crash-stops that heal a
+    few requests later ([Shard_crash]), and proxy–shard partitions that
+    last a drawn number of requests ([Shard_partition]).
+
+    The invariant is the serving invariant, one level up: every
+    response a client receives is a typed error or byte-identical to
+    the fault-free offline baseline; nothing diverges, nothing hangs,
+    shutdown drains cleanly.
+
+    Reports are deterministic per (seed, parameters): requests run
+    serially, hedging and warming are disabled for the run, the
+    inter-node fault menus contain no timing faults, and crash and
+    partition victims come from dedicated [Rng] streams — so two runs
+    with the same seed produce byte-identical {!to_json} renderings,
+    schedule hash included. *)
+
+type report = {
+  seed : int;
+  rounds : int;
+  rate : float;
+  shards : int;
+  requests : int;
+  identical : int;  (** ok responses byte-equal to the offline baseline *)
+  ok_dynamic : int;  (** ok responses with no static baseline (stat) *)
+  partial : int;  (** honest partial campaign reports (complete=false) *)
+  typed_errors : (string * int) list;  (** per error code *)
+  transport_failures : int;  (** client-visible transport failures *)
+  diverged : int;  (** MUST be 0: ok response, wrong bytes *)
+  hung : int;  (** MUST be 0: response took > 60 s *)
+  crash_events : int;
+  restarts : int;
+  partition_events : int;
+  fault_stats : (string * int * int) list;  (** cluster scopes only *)
+  schedule_hash : string;
+  survived : bool;
+}
+
+val to_json : report -> Moard_server.Jsonx.t
+
+val run :
+  ?seed:int ->
+  ?rounds:int ->
+  ?rate:float ->
+  ?shards:int ->
+  ?benchmark:string ->
+  ?ci_width:float ->
+  ?crash_downtime:int ->
+  unit ->
+  report
+(** Defaults: seed 11, 2 rounds, rate 0.08 per inter-node operation and
+    per request for crash/partition trials, 2 shards, benchmark MM,
+    campaign ci_width 0.2, crashed shards restart after 3 requests. *)

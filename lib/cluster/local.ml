@@ -1,0 +1,72 @@
+module Chaos = Moard_chaos.Chaos
+module Daemon = Moard_server.Daemon
+
+type cluster = {
+  root : string;
+  psock : string;
+  infos : Proxy.shard array;
+  cfgs : Daemon.config array;
+  daemons : Daemon.t option array;  (* None = crashed / stopped *)
+  proxy : Proxy.t;
+}
+
+let socket c = c.psock
+let shards c = Array.to_list c.infos
+let proxy c = c.proxy
+
+let start ?(workers = 1) ?(queue = 64) ?(timeout_s = 600.) ?(lru_entries = 256)
+    ?(shard_shims = fun _ -> Chaos.passthrough) ?(tune = fun c -> c) ~root
+    ~shards:n () =
+  if n < 1 then invalid_arg "Local.start: shards";
+  (try Unix.mkdir root 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let infos =
+    Array.init n (fun i ->
+        let name = Printf.sprintf "shard%d" i in
+        { Proxy.name; socket = Filename.concat root (name ^ ".sock") })
+  in
+  let cfgs =
+    Array.init n (fun i ->
+        {
+          Daemon.default_config with
+          Daemon.socket = infos.(i).Proxy.socket;
+          store_dir = Filename.concat root infos.(i).Proxy.name;
+          workers;
+          queue;
+          timeout_s;
+          lru_entries;
+          shims = shard_shims i;
+        })
+  in
+  let daemons = Array.map (fun cfg -> Some (Daemon.start cfg)) cfgs in
+  let pcfg =
+    tune
+      {
+        (Proxy.default_config ~shards:(Array.to_list infos)) with
+        Proxy.socket = Filename.concat root "proxy.sock";
+      }
+  in
+  let proxy =
+    try Proxy.start pcfg
+    with e ->
+      Array.iter (Option.iter Daemon.stop) daemons;
+      raise e
+  in
+  { root; psock = pcfg.Proxy.socket; infos; cfgs; daemons; proxy }
+
+let crash c i =
+  match c.daemons.(i) with
+  | None -> ()
+  | Some d ->
+    Daemon.stop d;
+    c.daemons.(i) <- None
+
+let restart c i =
+  match c.daemons.(i) with
+  | Some _ -> ()
+  | None -> c.daemons.(i) <- Some (Daemon.start c.cfgs.(i))
+
+let alive c i = c.daemons.(i) <> None
+
+let stop c =
+  Proxy.stop c.proxy;
+  Array.iter (Option.iter Daemon.stop) c.daemons

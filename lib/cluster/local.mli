@@ -1,0 +1,42 @@
+(** An in-process cluster: N shard daemons plus a proxy, for tests, the
+    bench suite, the chaos harness, and [moard cluster serve] without
+    [--join].  Shard [i] is named ["shard<i>"], listens on
+    [<root>/shard<i>.sock], stores under [<root>/shard<i>]; the proxy
+    listens on [<root>/proxy.sock] unless [tune] overrides it. *)
+
+type cluster
+
+val start :
+  ?workers:int ->
+  ?queue:int ->
+  ?timeout_s:float ->
+  ?lru_entries:int ->
+  ?shard_shims:(int -> Moard_chaos.Chaos.shims) ->
+  ?tune:(Proxy.config -> Proxy.config) ->
+  root:string ->
+  shards:int ->
+  unit ->
+  cluster
+(** Start the daemons, then the proxy ([tune] adjusts its config —
+    hedging, warming, chaos socket, partition hook — before it binds).
+    Per-shard daemon knobs default to 1 worker, queue 64, 600 s
+    timeout, passthrough shims. *)
+
+val socket : cluster -> string
+(** The proxy socket clients should talk to. *)
+
+val shards : cluster -> Proxy.shard list
+val proxy : cluster -> Proxy.t
+
+val crash : cluster -> int -> unit
+(** Crash-stop shard [i] (graceful daemon drain, socket unlinked);
+    no-op if already down. *)
+
+val restart : cluster -> int -> unit
+(** Bring a crashed shard back on its old socket and store; no-op if
+    alive.  Its disk store survives the crash, its memory LRU does not. *)
+
+val alive : cluster -> int -> bool
+
+val stop : cluster -> unit
+(** Proxy first, then every live shard. *)

@@ -1,0 +1,33 @@
+(** Consistent-hash ring over shard names.
+
+    Each shard contributes [vnodes] virtual points — FNV-1a64 of
+    ["moard-ring-v1\n<name>#<i>"] pushed through a splitmix64 finalizer
+    (plain FNV leaves sequential labels adjacent on the circle) — on the
+    unsigned 64-bit circle; a key hashes to a point and is owned by the
+    next [n] {e distinct} shards clockwise.  Properties the cluster
+    leans on:
+
+    - deterministic: the ring is a pure function of the shard name list
+      and [vnodes], so the proxy, tests, and any future second proxy
+      agree on placement without coordination;
+    - stable under membership change: adding a shard moves only the keys
+      whose arc it takes over (≈ 1/N of the space), nothing else;
+    - replication-ready: [owners ~n:2] is the primary plus the first
+      distinct successor, so a crash-stop primary degrades to a
+      recompute on its replica, never to unavailability. *)
+
+type t
+
+val make : ?vnodes:int -> string list -> t
+(** [make names] builds the ring ([vnodes] defaults to 64 per shard).
+    @raise Invalid_argument on an empty or duplicated name list. *)
+
+val names : t -> string list
+val vnodes : t -> int
+
+val owners : t -> ?n:int -> string -> string list
+(** The first [n] (default 2) distinct shards clockwise of the key's
+    point, primary first; fewer iff the ring has fewer shards. *)
+
+val owner : t -> string -> string
+(** The primary alone. *)

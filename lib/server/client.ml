@@ -58,9 +58,11 @@ let idempotent req =
   | _ -> true
 
 (* Typed errors that mean "try again later": the daemon refused before
-   doing any work. *)
+   doing any work.  "integrity" is a request whose checksum did not
+   survive the wire — rejected before dispatch, so a resend is safe
+   even for non-idempotent ops. *)
 let retryable_code = function
-  | "overloaded" | "draining" -> true
+  | "overloaded" | "draining" | "integrity" -> true
   | _ -> false
 
 (* Connection-refused family: the daemon is not there (yet). *)
@@ -72,17 +74,21 @@ let retryable_connect = function
 
 exception Retry of exn
 
+(* Capped exponential with deterministic jitter in [1/2, 1) of the
+   cap — jitter decorrelates retry herds, the explicit stream keeps any
+   single schedule reproducible.  Exposed so tests and the cluster
+   proxy share the exact schedule. *)
+let backoff ~base_delay_s ~max_delay_s rng i =
+  let cap = Float.min max_delay_s (base_delay_s *. (2. ** float_of_int i)) in
+  cap *. (0.5 +. (0.5 *. Moard_chaos.Rng.next_float rng))
+
 let rpc_retry ?(attempts = 5) ?(base_delay_s = 0.05) ?(max_delay_s = 2.0)
-    ?timeout_s ?(seed = 0) ~socket req =
+    ?timeout_s ?(seed = 0) ?rng ~socket req =
   if attempts < 1 then invalid_arg "Client.rpc_retry: attempts";
-  let rng = Moard_chaos.Rng.make seed in
-  let backoff i =
-    (* capped exponential with deterministic jitter in [1/2, 1) of the
-       cap — jitter decorrelates retry herds, the seed keeps any single
-       schedule reproducible *)
-    let cap = Float.min max_delay_s (base_delay_s *. (2. ** float_of_int i)) in
-    cap *. (0.5 +. (0.5 *. Moard_chaos.Rng.next_float rng))
+  let rng =
+    match rng with Some r -> r | None -> Moard_chaos.Rng.make seed
   in
+  let backoff i = backoff ~base_delay_s ~max_delay_s rng i in
   let may_retry_transport = idempotent req in
   let rec go i =
     let attempt () =

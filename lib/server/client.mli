@@ -26,25 +26,36 @@ val request : t -> Jsonx.t -> Jsonx.t * string option
 val rpc : ?timeout_s:float -> socket:string -> Jsonx.t -> Jsonx.t * string option
 (** One-shot: connect, {!request}, close. *)
 
+val backoff :
+  base_delay_s:float -> max_delay_s:float -> Moard_chaos.Rng.t -> int -> float
+(** [backoff ~base_delay_s ~max_delay_s rng i] is the delay before retry
+    [i]: capped exponential ([base * 2^i], capped at [max]) jittered
+    into [[cap/2, cap)] by the next draw of [rng].  Pure in the stream:
+    the same [rng] state yields the same schedule. *)
+
 val rpc_retry :
   ?attempts:int ->
   ?base_delay_s:float ->
   ?max_delay_s:float ->
   ?timeout_s:float ->
   ?seed:int ->
+  ?rng:Moard_chaos.Rng.t ->
   socket:string ->
   Jsonx.t ->
   Jsonx.t * string option
 (** {!rpc} with capped jittered exponential backoff (defaults: 5
-    attempts, 50 ms base doubling to a 2 s cap, each delay jittered into
-    [[cap/2, cap)] by a SplitMix64 stream from [seed] — deterministic
-    schedules for tests, decorrelated herds in production).
+    attempts, 50 ms base doubling to a 2 s cap, each delay drawn by
+    {!backoff}).  Jitter comes from an explicit {!Moard_chaos.Rng}
+    stream: pass [rng] to splice the schedule into a larger seeded plan
+    (the chaos harnesses and the cluster proxy do), or just [seed]
+    (default 0) for a self-contained reproducible stream.
 
     What retries, and why it is safe:
     - connect refusals ([ECONNREFUSED]/[ENOENT]/[ECONNRESET]) — no
       request escaped the client;
-    - typed [overloaded]/[draining] responses — the daemon refused
-      before doing any work;
+    - typed [overloaded]/[draining]/[integrity] responses — the daemon
+      refused before doing any work (the last is a request checksum
+      that did not survive the wire);
     - transport failures mid-request (torn frame, dropped response,
       receive timeout) — {e only} for idempotent requests. A campaign
       run ([op = "campaign"]) advances a server-side journal, so once

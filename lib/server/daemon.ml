@@ -34,6 +34,15 @@ let default_config =
     shims = Chaos.passthrough;
   }
 
+(* A single-flight entry: the leader computes, followers block on the
+   condition until the leader publishes the shared response. *)
+type flight = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable waiters : int;
+  mutable fresult : (Jsonx.t * string option) option;
+}
+
 type t = {
   cfg : config;
   st : Store.t;
@@ -43,10 +52,18 @@ type t = {
   m : Mutex.t;
   conns_done : Condition.t;
   ctxs : (string, Context.t) Hashtbl.t;
+  flights : (string, flight) Hashtbl.t;
+  warm_q : Jsonx.t Queue.t;
+  warm_seen : (string, unit) Hashtbl.t;
+  mutable warm_busy : bool;
+  mutable warmed : int;
+  mutable warm_errors : int;
+  mutable coalesced : int;
   mutable conns : int;
   mutable served : int;
   mutable errors : int;
   mutable accept_thread : Thread.t option;
+  mutable warm_thread : Thread.t option;
   mutable stopped : bool;
   started_at : float;
 }
@@ -71,6 +88,31 @@ let ctx_of t (e : Registry.entry) =
         ctx)
 
 (* ---------------- request handling ---------------- *)
+
+(* Two requests are the same work iff their canonical signatures match:
+   top-level fields sorted, transport decoration (proto, checksum)
+   stripped.  The same string doubles as the integrity-checksum input
+   on inter-node hops — field reordering in flight is not corruption. *)
+let signature_of req = Jsonx.signature ~drop:[ "proto"; "req_fnv" ] req
+
+(* A proxy stamps "req_fnv" on forwarded requests; a flipped bit in the
+   header frame that still parses as JSON would otherwise compute the
+   wrong object and break byte-identity silently.  Verified before any
+   work, so the typed refusal is always safe to resend. *)
+let integrity_error req =
+  match Jsonx.str (Jsonx.member "req_fnv" req) with
+  | None -> None
+  | Some announced ->
+    let actual = Protocol.fnv_hex (signature_of req) in
+    if String.equal announced actual then None
+    else
+      Some
+        (Protocol.error ~code:"integrity"
+           ~message:
+             (Printf.sprintf
+                "request checksum mismatch (%s announced, %s received): \
+                 refused before dispatch"
+                announced actual))
 
 exception Bad_request of string
 
@@ -326,14 +368,189 @@ let stat_response t =
       ("golden_executions", Jsonx.Int (Context.golden_executions ()));
       ("served", Jsonx.Int t.served);
       ("errors", Jsonx.Int t.errors);
+      ("coalesced", Jsonx.Int t.coalesced);
+      ( "warming",
+        Jsonx.Obj
+          [
+            ("queued", Jsonx.Int (Queue.length t.warm_q));
+            ("busy", Jsonx.Bool t.warm_busy);
+            ("warmed", Jsonx.Int t.warmed);
+            ("errors", Jsonx.Int t.warm_errors);
+          ] );
     ]
 
-(* Dispatch one request to a response. Pooled ops hand a job to a worker
-   domain and poll the slot under a monotonic request deadline; when it
-   passes, the job's cancel token trips and the computation abandons the
-   sweep at its next per-site/per-batch check — the worker frees instead
-   of running a result nobody is waiting for to completion. *)
-let dispatch t req =
+(* ---------------- warming ---------------- *)
+
+(* "warm" acknowledges immediately and queues an advf precompute; the
+   warm thread drains the queue only while the pool is otherwise idle,
+   so warming never competes with a live client request for a worker. *)
+let enqueue_warm t req =
+  match integrity_error req with
+  | Some e -> (e, None)
+  | None -> (
+    match
+      let e = entry_of req in
+      let object_name = field_str req "object" in
+      (e, object_name)
+    with
+    | exception Bad_request msg ->
+      (Protocol.error ~code:"bad-request" ~message:msg, None)
+    | e, object_name ->
+      let inner =
+        match req with
+        | Jsonx.Obj fields ->
+          Jsonx.Obj
+            (List.filter_map
+               (fun (k, v) ->
+                 match k with
+                 | "proto" | "req_fnv" -> None
+                 | "op" -> Some (k, Jsonx.Str "advf")
+                 | _ -> Some (k, v))
+               fields)
+        | _ -> assert false (* entry_of above proved req is an object *)
+      in
+      let sgn = signature_of inner in
+      Mutex.lock t.m;
+      let fresh = not (Hashtbl.mem t.warm_seen sgn) in
+      if fresh then begin
+        Hashtbl.replace t.warm_seen sgn ();
+        Queue.push inner t.warm_q
+      end;
+      Mutex.unlock t.m;
+      ( Protocol.ok
+          [
+            ("op", Jsonx.Str "warm");
+            ("benchmark", Jsonx.Str e.Registry.benchmark);
+            ("object", Jsonx.Str object_name);
+            ("queued", Jsonx.Bool fresh);
+          ],
+        None ))
+
+(* The awaiting client hung up (clean EOF or a reset): readable socket
+   with nothing to peek.  Pipelined bytes (> 0) mean it is still there. *)
+let client_gone fd =
+  match Unix.select [ fd ] [] [] 0. with
+  | [], _, _ -> false
+  | _ -> (
+    match Unix.recv fd (Bytes.create 1) 0 1 [ Unix.MSG_PEEK ] with
+    | 0 -> true
+    | _ -> false
+    | exception Unix.Unix_error _ -> true)
+
+(* Run one compute op through the pool. Pooled ops hand a job to a
+   worker domain and poll the slot under a monotonic request deadline;
+   when it passes — or the requesting connection dies with nobody
+   coalesced behind it — the job's cancel token trips and the
+   computation abandons the sweep at its next per-site/per-batch check:
+   the worker frees instead of running a result nobody is waiting for
+   to completion. *)
+let run_pooled t ?fd ?deadline_s fl req op =
+  let timeout_s = Option.value ~default:t.cfg.timeout_s deadline_s in
+  let slot = Atomic.make None in
+  let fill r = ignore (Atomic.compare_and_set slot None (Some r)) in
+  let cancel = Cancel.create ~deadline_s:timeout_s () in
+  let job () =
+    let r =
+      try compute t ~cancel req op with
+      | Bad_request msg ->
+        (Protocol.error ~code:"bad-request" ~message:msg, None)
+      | Moard_predict.Predict.Refused r ->
+        ( Protocol.error ~code:"refused"
+            ~message:(Moard_predict.Predict.refusal_message r),
+          None )
+      | Cancel.Cancelled why ->
+        (* nobody is waiting by now; fill the slot anyway so the
+           invariant — every accepted job resolves its slot — holds
+           unconditionally *)
+        ( Protocol.error ~code:"cancelled"
+            ~message:("request abandoned: " ^ why),
+          None )
+      | Invalid_argument msg | Failure msg ->
+        (Protocol.error ~code:"internal" ~message:msg, None)
+      | e ->
+        (Protocol.error ~code:"internal" ~message:(Printexc.to_string e), None)
+    in
+    fill r
+  in
+  (* the pool's on_error hook guarantees a typed response even when
+     the job dies outside compute's own handlers (e.g. a chaos-
+     injected raise in the job shim): the client must never be left
+     to wait out the full timeout on a silent failure *)
+  let on_error e =
+    fill
+      ( Protocol.error ~code:"internal"
+          ~message:("job failed: " ^ Printexc.to_string e),
+        None )
+  in
+  match Pool.submit ~on_error t.pool job with
+  | `Overloaded ->
+    ( Protocol.error ~code:"overloaded"
+        ~message:
+          (Printf.sprintf "queue full (%d pending); retry later" t.cfg.queue),
+      None )
+  | `Draining ->
+    (Protocol.error ~code:"draining" ~message:"daemon is shutting down", None)
+  | `Accepted ->
+    let deadline = Monotime.now () +. timeout_s in
+    let lone () =
+      Mutex.lock fl.fm;
+      let w = fl.waiters in
+      Mutex.unlock fl.fm;
+      w = 0
+    in
+    let rec await n =
+      match Atomic.get slot with
+      | Some r -> r
+      | None ->
+        if Monotime.now () > deadline then begin
+          Cancel.cancel cancel;
+          ( Protocol.error ~code:"timeout"
+              ~message:
+                (Printf.sprintf
+                   "request exceeded %gs (the computation was cancelled; \
+                    partial campaign batches remain journalled for resume)"
+                   timeout_s),
+            None )
+        end
+        else if
+          (* every ~100 ms: a hedged-away or dead client frees its
+             worker, unless coalesced followers still want the result *)
+          n mod 20 = 0
+          && (match fd with Some fd -> client_gone fd | None -> false)
+          && lone ()
+        then begin
+          Cancel.cancel cancel;
+          ( Protocol.error ~code:"cancelled"
+              ~message:"client went away; computation abandoned",
+            None )
+        end
+        else begin
+          Thread.delay 0.005;
+          await (n + 1)
+        end
+    in
+    await 1
+
+(* A coalesced follower serves the leader's bytes but says so: the
+   response is a hit from the follower's point of view whatever the
+   leader had to do to produce it. *)
+let coalesced_header = function
+  | Jsonx.Obj fields
+    when List.assoc_opt "status" fields = Some (Jsonx.Str "ok") ->
+    Jsonx.Obj
+      (List.map
+         (fun (k, v) ->
+           match k with
+           | "served" -> (k, Jsonx.Str "coalesced")
+           | "cached" -> (k, Jsonx.Bool true)
+           | _ -> (k, v))
+         fields)
+  | h -> h
+
+(* Dispatch one request to a response.  Compute ops are single-flight
+   on the canonical request signature: concurrent identical requests
+   elect one leader, everyone else blocks for the leader's response. *)
+let dispatch t ?fd ?deadline_s req =
   match Jsonx.int (Jsonx.member "proto" req) with
   | Some p when p <> Protocol.version ->
     ( Protocol.error ~code:"proto-mismatch"
@@ -353,77 +570,70 @@ let dispatch t req =
           ],
         None )
     | Some "stat" -> (stat_response t, None)
+    | Some "warm" -> enqueue_warm t req
     | Some (("advf" | "campaign" | "report" | "predict") as op) -> (
-      let slot = Atomic.make None in
-      let fill r = ignore (Atomic.compare_and_set slot None (Some r)) in
-      let cancel = Cancel.create ~deadline_s:t.cfg.timeout_s () in
-      let job () =
-        let r =
-          try compute t ~cancel req op with
-          | Bad_request msg ->
-            (Protocol.error ~code:"bad-request" ~message:msg, None)
-          | Moard_predict.Predict.Refused r ->
-            ( Protocol.error ~code:"refused"
-                ~message:(Moard_predict.Predict.refusal_message r),
-              None )
-          | Cancel.Cancelled why ->
-            (* nobody is waiting by now; fill the slot anyway so the
-               invariant — every accepted job resolves its slot — holds
-               unconditionally *)
-            ( Protocol.error ~code:"cancelled"
-                ~message:("request abandoned: " ^ why),
-              None )
-          | Invalid_argument msg | Failure msg ->
-            (Protocol.error ~code:"internal" ~message:msg, None)
-          | e ->
-            ( Protocol.error ~code:"internal"
-                ~message:(Printexc.to_string e),
-              None )
+      match integrity_error req with
+      | Some e -> (e, None)
+      | None -> (
+        let sgn = signature_of req in
+        let role =
+          Mutex.lock t.m;
+          let r =
+            match Hashtbl.find_opt t.flights sgn with
+            | Some fl ->
+              Mutex.lock fl.fm;
+              fl.waiters <- fl.waiters + 1;
+              Mutex.unlock fl.fm;
+              `Follow fl
+            | None ->
+              let fl =
+                {
+                  fm = Mutex.create ();
+                  fc = Condition.create ();
+                  waiters = 0;
+                  fresult = None;
+                }
+              in
+              Hashtbl.replace t.flights sgn fl;
+              `Lead fl
+          in
+          Mutex.unlock t.m;
+          r
         in
-        fill r
-      in
-      (* the pool's on_error hook guarantees a typed response even when
-         the job dies outside compute's own handlers (e.g. a chaos-
-         injected raise in the job shim): the client must never be left
-         to wait out the full timeout on a silent failure *)
-      let on_error e =
-        fill
-          ( Protocol.error ~code:"internal"
-              ~message:("job failed: " ^ Printexc.to_string e),
-            None )
-      in
-      match Pool.submit ~on_error t.pool job with
-      | `Overloaded ->
-        ( Protocol.error ~code:"overloaded"
-            ~message:
-              (Printf.sprintf "queue full (%d pending); retry later"
-                 t.cfg.queue),
-          None )
-      | `Draining ->
-        (Protocol.error ~code:"draining" ~message:"daemon is shutting down", None)
-      | `Accepted ->
-        let deadline = Monotime.now () +. t.cfg.timeout_s in
-        let rec await () =
-          match Atomic.get slot with
-          | Some r -> r
-          | None ->
-            if Monotime.now () > deadline then begin
-              Cancel.cancel cancel;
-              ( Protocol.error ~code:"timeout"
-                  ~message:
-                    (Printf.sprintf
-                       "request exceeded %gs (the computation was \
-                        cancelled; partial campaign batches remain \
-                        journalled for resume)"
-                       t.cfg.timeout_s),
-                None )
-            end
-            else begin
-              Thread.delay 0.005;
-              await ()
-            end
-        in
-        await ())
+        match role with
+        | `Follow fl ->
+          Mutex.lock fl.fm;
+          while fl.fresult = None do
+            Condition.wait fl.fc fl.fm
+          done;
+          let header, payload = Option.get fl.fresult in
+          Mutex.unlock fl.fm;
+          Mutex.lock t.m;
+          t.coalesced <- t.coalesced + 1;
+          Mutex.unlock t.m;
+          (coalesced_header header, payload)
+        | `Lead fl ->
+          let resolve r =
+            Mutex.lock t.m;
+            Hashtbl.remove t.flights sgn;
+            Mutex.unlock t.m;
+            Mutex.lock fl.fm;
+            fl.fresult <- Some r;
+            Condition.broadcast fl.fc;
+            Mutex.unlock fl.fm;
+            r
+          in
+          (* the leader must always publish — a raising leader would
+             leave followers blocked forever *)
+          (match run_pooled t ?fd ?deadline_s fl req op with
+          | r -> resolve r
+          | exception e ->
+            ignore
+              (resolve
+                 ( Protocol.error ~code:"internal"
+                     ~message:(Printexc.to_string e),
+                   None ));
+            raise e)))
     | Some op ->
       (Protocol.error ~code:"bad-request" ~message:("unknown op " ^ op), None))
 
@@ -438,6 +648,39 @@ let is_ok = function
   | Jsonx.Obj fields -> List.assoc_opt "status" fields = Some (Jsonx.Str "ok")
   | _ -> false
 
+(* Drain the warm queue through the normal dispatch path (so live
+   queries for the same key coalesce onto the warm compute), one item
+   at a time, only when no client work is queued or running.  Warms run
+   deadline-free: the per-request timeout protects a waiting client,
+   and a warm has none — expiring it would burn the whole compute and
+   silently leave the object cold (the dedup table never requeues). *)
+let warm_loop t () =
+  while not (stopping t) do
+    let item =
+      Mutex.lock t.m;
+      let it =
+        if
+          (not (Queue.is_empty t.warm_q))
+          && Pool.queued t.pool = 0
+          && Pool.running t.pool = 0
+        then Some (Queue.pop t.warm_q)
+        else None
+      in
+      (match it with Some _ -> t.warm_busy <- true | None -> ());
+      Mutex.unlock t.m;
+      it
+    in
+    match item with
+    | None -> Thread.delay 0.02
+    | Some req ->
+      let header, _ = dispatch t ~deadline_s:Float.infinity req in
+      Mutex.lock t.m;
+      t.warm_busy <- false;
+      if is_ok header then t.warmed <- t.warmed + 1
+      else t.warm_errors <- t.warm_errors + 1;
+      Mutex.unlock t.m
+  done
+
 let handle_conn t fd =
   let sock = t.cfg.shims.Chaos.sock in
   let rec loop () =
@@ -449,7 +692,7 @@ let handle_conn t fd =
         match Protocol.recv ~sock fd with
         | None -> ()
         | Some (req, _payload) ->
-          let header, payload = dispatch t req in
+          let header, payload = dispatch t ~fd req in
           bump t (is_ok header);
           Protocol.send ~sock fd ?payload header;
           loop ())
@@ -507,15 +750,24 @@ let start cfg =
       m = Mutex.create ();
       conns_done = Condition.create ();
       ctxs = Hashtbl.create 8;
+      flights = Hashtbl.create 16;
+      warm_q = Queue.create ();
+      warm_seen = Hashtbl.create 64;
+      warm_busy = false;
+      warmed = 0;
+      warm_errors = 0;
+      coalesced = 0;
       conns = 0;
       served = 0;
       errors = 0;
       accept_thread = None;
+      warm_thread = None;
       stopped = false;
       started_at = Monotime.now ();
     }
   in
   t.accept_thread <- Some (Thread.create (accept_loop t) ());
+  t.warm_thread <- Some (Thread.create (warm_loop t) ());
   t
 
 let stop t =
@@ -533,6 +785,9 @@ let stop t =
       Condition.wait t.conns_done t.m
     done;
     Mutex.unlock t.m;
+    (* the warm thread exits at its next stopping check; an in-flight
+       warm campaign stops at a batch boundary via should_stop *)
+    Option.iter Thread.join t.warm_thread;
     Pool.drain t.pool;
     (try Unix.close t.listen with Unix.Unix_error _ -> ());
     if Sys.file_exists t.cfg.socket then (

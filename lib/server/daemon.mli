@@ -13,6 +13,24 @@
     CLI output. Parallelism comes from concurrent requests across the
     pool, not from splitting one request.
 
+    Compute requests are additionally single-flight on their canonical
+    signature ({!Jsonx.signature} with transport fields stripped): M
+    concurrent clients asking the same question elect one leader and
+    share its response — followers see [served = "coalesced"],
+    [cached = true], and the identical payload bytes.  A request whose
+    client connection dies while it waits (a hedged request whose other
+    leg won, or a crashed caller) is cooperatively cancelled unless
+    followers are coalesced behind it.
+
+    A ["warm"] request queues an [advf] precompute and acknowledges
+    immediately; a background thread drains the queue through the
+    normal dispatch path strictly when the pool is idle, so warming
+    fills the store during quiet slots without delaying live queries —
+    and live queries coalesce onto an in-progress warm compute.
+    Requests carrying a ["req_fnv"] checksum (stamped by the cluster
+    proxy) are verified before dispatch and refused with a typed
+    [integrity] error on mismatch, which is always safe to resend.
+
     Overload and shutdown semantics: a full queue returns an explicit
     [overloaded] error (never a silent drop); a request exceeding the
     per-request timeout (measured on the monotonic clock — wall-time

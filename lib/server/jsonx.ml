@@ -244,3 +244,15 @@ let float = function
 
 let bool = function Some (Bool b) -> Some b | _ -> None
 let list = function Some (Arr xs) -> Some xs | _ -> None
+
+(* ---------------- canonical signature ---------------- *)
+
+let signature ?(drop = []) v =
+  match v with
+  | Obj fields ->
+    let kept = List.filter (fun (k, _) -> not (List.mem k drop)) fields in
+    let sorted =
+      List.sort (fun (a, _) (b, _) -> String.compare a b) kept
+    in
+    to_string (Obj sorted)
+  | v -> to_string v

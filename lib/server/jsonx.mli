@@ -38,3 +38,11 @@ val float : t option -> float option
 
 val bool : t option -> bool option
 val list : t option -> t list option
+
+val signature : ?drop:string list -> t -> string
+(** Canonical request signature: the [to_string] rendering with
+    top-level object fields sorted by name and any [drop]-listed fields
+    removed (non-objects render as-is).  Two requests coalesce — and a
+    request integrity checksum survives re-serialization — iff their
+    signatures are byte-equal, regardless of field order or transport
+    decoration like ["proto"]. *)

@@ -47,12 +47,31 @@ let read_frame ?eof_ok ~sock fd =
     | Some b -> Some (Bytes.unsafe_to_string b)
     | None -> assert false)
 
+let fnv_hex = Moard_store.Record.fnv1a64_hex
+
 let send ?(sock = Sock.real) fd ?payload header =
   let header =
     match (payload, header) with
     | None, h -> h
     | Some p, Jsonx.Obj fields ->
-      Jsonx.Obj (fields @ [ ("payload_bytes", Jsonx.Int (String.length p)) ])
+      (* length alone cannot catch a flipped bit on an inter-node hop;
+         the checksum can, and the store's canonical payloads make it
+         cheap relative to the compute they carry. Stale copies from an
+         earlier hop (a proxy re-sending a shard's header) are replaced,
+         not duplicated. *)
+      let fields =
+        List.filter
+          (fun (k, _) ->
+            not (String.equal k "payload_bytes")
+            && not (String.equal k "payload_fnv"))
+          fields
+      in
+      Jsonx.Obj
+        (fields
+        @ [
+            ("payload_bytes", Jsonx.Int (String.length p));
+            ("payload_fnv", Jsonx.Str (fnv_hex p));
+          ])
     | Some _, _ -> invalid_arg "Protocol.send: payload on a non-object header"
   in
   write_frame ~sock fd (Jsonx.to_string header);
@@ -76,6 +95,11 @@ let recv ?(sock = Sock.real) fd =
         if String.length p <> n then
           fail "payload frame of %d bytes where header announced %d"
             (String.length p) n;
+        (match Jsonx.str (Jsonx.member "payload_fnv" header) with
+        | Some h when not (String.equal h (fnv_hex p)) ->
+          fail "payload checksum mismatch (%s on the wire, %s announced)"
+            (fnv_hex p) h
+        | _ -> ());
         Some (header, Some p)))
 
 let error ~code ~message =

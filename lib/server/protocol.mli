@@ -28,13 +28,23 @@ val max_frame : int
 
 exception Protocol_error of string
 (** Framing violation: mid-frame EOF, oversized or negative length,
-    payload length disagreeing with the header, unparseable header. *)
+    payload length or checksum disagreeing with the header, unparseable
+    header. *)
+
+val fnv_hex : string -> string
+(** FNV-1a64 hex digest (the store's record checksum), used for the
+    ["payload_fnv"] header field and for request integrity checksums
+    (["req_fnv"]) on inter-node hops. *)
 
 val send :
   ?sock:Moard_chaos.Sock.t -> Unix.file_descr -> ?payload:string -> Jsonx.t ->
   unit
-(** Write a header (with ["payload_bytes"] appended when [payload] is
-    given) and the payload frame. A single [send] is atomic with respect
+(** Write a header (with ["payload_bytes"] and ["payload_fnv"] appended
+    when [payload] is given) and the payload frame. [recv] verifies the
+    checksum when present, so a silently corrupted payload frame —
+    e.g. a flipped bit on the proxy–shard wire — surfaces as
+    [Protocol_error] instead of corrupt bytes reaching a client. A
+    single [send] is atomic with respect
     to other senders only if callers serialize per socket — the daemon
     and client both do. [sock] (default: the real syscalls) is the chaos
     shim point for truncated/dropped/delayed frames. *)

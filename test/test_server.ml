@@ -559,11 +559,91 @@ let resilience_tests =
               Alcotest.failf "daemon wedged after garbage: %s" code));
   ]
 
+(* ---------------------------------------------------------------- *)
+(* Single-flight coalescing and seeded retry backoff *)
+
+let coalescing_tests =
+  [
+    Alcotest.test_case "six clients on one cold key: one compute, five \
+                        coalesced, six payloads equal offline" `Quick
+      (fun () ->
+        (* the slow job holds the flight open long enough for every
+           follower to join before the leader resolves *)
+        let shims =
+          {
+            Chaos.passthrough with
+            Chaos.wrap_job =
+              (fun job () ->
+                Unix.sleepf 0.3;
+                job ());
+          }
+        in
+        with_daemon ~workers:2 ~queue:32 ~shims (fun d cfg ->
+            let k = 6 in
+            let results = Array.make k None in
+            let threads =
+              Array.init k (fun i ->
+                  Thread.create
+                    (fun i -> results.(i) <- Some (rpc cfg (advf_req "m_elemBC")))
+                    i)
+            in
+            Array.iter Thread.join threads;
+            let direct = direct_payload "m_elemBC" in
+            let computed = ref 0 and coalesced = ref 0 in
+            Array.iteri
+              (fun i -> function
+                | None -> Alcotest.failf "client %d lost its response" i
+                | Some (h, p) ->
+                  (match served h with
+                  | Some "computed" -> incr computed
+                  | Some "coalesced" ->
+                    incr coalesced;
+                    Alcotest.(check (option bool))
+                      (Printf.sprintf "client %d marked cached" i)
+                      (Some true)
+                      (Jsonx.bool (Jsonx.member "cached" h))
+                  | s ->
+                    Alcotest.failf "client %d: unexpected served %s" i
+                      (Option.value ~default:"?" s));
+                  Alcotest.(check (option string))
+                    (Printf.sprintf "client %d bytes" i)
+                    (Some direct) p)
+              results;
+            Alcotest.(check int) "exactly one compute" 1 !computed;
+            Alcotest.(check int) "the rest coalesced" (k - 1) !coalesced;
+            Alcotest.(check int) "one pool job for six clients" 1
+              (Pool.executed (Daemon.pool d));
+            let stat, _ = rpc cfg (Jsonx.Obj [ ("op", Jsonx.Str "stat") ]) in
+            Alcotest.(check (option int))
+              "stat counted the followers" (Some (k - 1))
+              (Jsonx.int (Jsonx.member "coalesced" stat))));
+    Alcotest.test_case "retry backoff: seeded, reproducible, capped" `Quick
+      (fun () ->
+        let module Rng = Moard_chaos.Rng in
+        let seq seed =
+          let rng = Rng.make seed in
+          List.init 6 (Client.backoff ~base_delay_s:0.05 ~max_delay_s:1.0 rng)
+        in
+        Alcotest.(check (list (float 0.0)))
+          "same stream, same schedule" (seq 42) (seq 42);
+        Alcotest.(check bool) "different stream, different schedule" true
+          (seq 42 <> seq 43);
+        List.iteri
+          (fun i d ->
+            let cap = Float.min 1.0 (0.05 *. (2. ** float_of_int i)) in
+            Alcotest.(check bool)
+              (Printf.sprintf "attempt %d within [cap/2, cap]" i)
+              true
+              (d >= (cap /. 2.) -. 1e-9 && d <= cap +. 1e-9))
+          (seq 42));
+  ]
+
 let suite =
   [
     ("server.jsonx", jsonx_tests);
     ("server.protocol", protocol_tests);
     ("server.pool", pool_tests);
     ("server.daemon", daemon_tests);
+    ("server.coalescing", coalescing_tests);
     ("server.resilience", resilience_tests);
   ]
