@@ -1391,6 +1391,91 @@ let predict_bench () =
 
 (* ------------------------------------------------------------------ *)
 
+(* The resilience-advisor benchmark: run the full advisor pipeline
+   (rank, protect, re-measure) per benchmark, assert a second run is
+   byte-identical, and report each object's Pareto front of protection
+   plans — residual vulnerability against instruction overhead. Writes
+   BENCH_advise.json (full mode only; --quick is the CI smoke test). *)
+
+let advise_bench () =
+  let module Advise = Moard_advise.Advise in
+  let module Advise_report = Moard_report.Advise_report in
+  let cases = if !quick then [ "MM" ] else [ "MM"; "CG" ] in
+  section "Resilience advisor: protection plans and residual aDVF";
+  let rows =
+    List.map
+      (fun bench ->
+        let e = Registry.find bench in
+        let w = e.Registry.workload () in
+        let t = Unix.gettimeofday () in
+        let r = Advise.run w in
+        let advise_s = Unix.gettimeofday () -. t in
+        let payload = Advise_report.stable_json r in
+        let again = Advise_report.stable_json (Advise.run w) in
+        if payload <> again then failwith "advise: report drifted on re-run";
+        List.iter
+          (fun (o : Advise.object_advice) ->
+            note "%s/%s: vuln %.4f, contribution %.3g%s" bench
+              o.Advise.object_name o.Advise.vulnerability
+              o.Advise.contribution
+              (match o.Advise.recommended with
+              | None -> " (no plan recommended)"
+              | Some id -> " -> " ^ id);
+            List.iter
+              (fun (p : Advise.plan_outcome) ->
+                note "  %-18s residual %.4f reduction %8.1fx overhead %.2fx%s"
+                  p.Advise.id p.Advise.vulnerability p.Advise.reduction
+                  p.Advise.overhead
+                  (if p.Advise.pareto then " [pareto]" else ""))
+              o.Advise.plans)
+          r.Advise.objects;
+        note "%s advised in %.2fs (x2 for the determinism check)" bench
+          advise_s;
+        (bench, r, advise_s))
+      cases
+  in
+  if !quick then note "quick mode: not writing BENCH_advise.json"
+  else begin
+    let oc = open_out "BENCH_advise.json" in
+    Printf.fprintf oc "{\n  \"benchmarks\": [\n";
+    List.iteri
+      (fun i (bench, (r : Advise.t), advise_s) ->
+        Printf.fprintf oc
+          "    { \"benchmark\": %S, \"seconds\": %.4f, \"golden_steps\": %d, \
+           \"objects\": [\n"
+          bench advise_s r.Advise.base_steps;
+        List.iteri
+          (fun j (o : Advise.object_advice) ->
+            Printf.fprintf oc
+              "      { \"object\": %S, \"vulnerability\": %.17g, \
+               \"contribution\": %.17g, \"recommended\": %s, \"plans\": [\n"
+              o.Advise.object_name o.Advise.vulnerability
+              o.Advise.contribution
+              (match o.Advise.recommended with
+              | None -> "null"
+              | Some id -> Printf.sprintf "%S" id);
+            List.iteri
+              (fun k (p : Advise.plan_outcome) ->
+                Printf.fprintf oc
+                  "        { \"plan\": %S, \"residual_vulnerability\": \
+                   %.17g, \"reduction\": %.17g, \"overhead\": %.17g, \
+                   \"pareto\": %b }%s\n"
+                  p.Advise.id p.Advise.vulnerability p.Advise.reduction
+                  p.Advise.overhead p.Advise.pareto
+                  (if k = List.length o.Advise.plans - 1 then "" else ","))
+              o.Advise.plans;
+            Printf.fprintf oc "      ] }%s\n"
+              (if j = List.length r.Advise.objects - 1 then "" else ","))
+          r.Advise.objects;
+        Printf.fprintf oc "    ] }%s\n"
+          (if i = List.length rows - 1 then "" else ",")
+      )
+      rows;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    note "wrote BENCH_advise.json"
+  end
+
 (* The parallel-resilience benchmark: for every kernel with an SPMD port
    (MM, CG, LULESH), time the serial aDVF analysis against the port at
    one hart and at N harts, assert the one-hart port is bit-identical to
@@ -1535,6 +1620,7 @@ let experiments =
     ("store", store_bench);
     ("chaos", chaos_bench);
     ("predict", predict_bench);
+    ("advise", advise_bench);
   ]
 
 let () =

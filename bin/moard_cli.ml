@@ -9,6 +9,7 @@
      moard serve                         -- the moardd analysis daemon
      moard query advf CG -o r            -- cached query (daemon or offline)
      moard predict CG -o r --target 24    -- cross-input-size extrapolation
+     moard advise MM                     -- protection plans + residual aDVF
      moard store stat|gc|fsck            -- result-store maintenance
      moard campaign fsck --journal J     -- verify a journal offline
      moard parallel MM --harts 4         -- serial vs SPMD-port resilience
@@ -377,6 +378,8 @@ module Journal = Moard_campaign.Journal
 module Campaign_report = Moard_report.Campaign_report
 module Predict = Moard_predict.Predict
 module Predict_report = Moard_report.Predict_report
+module Advise = Moard_advise.Advise
+module Advise_report = Moard_report.Advise_report
 
 let store_dir_arg =
   Arg.(
@@ -1206,6 +1209,110 @@ let query_predict_cmd_with socket_arg =
       $ max_samples_arg $ socket_arg $ offline_flag $ store_dir_arg $ meta_arg
       $ no_batch_flag $ error_model_arg)
 
+(* ---- advise ---- *)
+
+let advise_cmd =
+  let run () e objs seed confidence ci_width max_samples domains store_dir out
+      json no_batch model =
+    let objects = pick_objects e objs in
+    let wl = e.Registry.workload () in
+    let emit payload =
+      (match out with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc payload;
+        close_out oc
+      | None -> ());
+      if json then print_string payload
+    in
+    match store_dir with
+    | Some dir ->
+      let payload, status =
+        Query.advise (open_store dir) ~model ~seed ~confidence ~ci_width
+          ~max_samples ~domains ~batch:(not no_batch) ~workload:wl ~objects ()
+      in
+      Logs.app (fun m ->
+          m "advise %s: %s (store %s)" e.Registry.benchmark
+            (Query.status_name status) dir);
+      emit payload;
+      if not json then print_string payload
+    | None ->
+      let r =
+        Advise.run ~model ~seed ~confidence ~ci_width ~max_samples ~domains
+          ~batch:(not no_batch) ~objects wl
+      in
+      emit (Advise_report.stable_json r);
+      if not json then Format.printf "%a@." Advise_report.pp r
+  in
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:"The resilience advisor: rank the benchmark's data objects by \
+             expected SDC contribution ((1 - aDVF) x size x access rate), \
+             apply every applicable protection transform (ABFT checksums, \
+             duplication with compare, address clamps) as a \
+             behaviour-preserving IR rewrite, and re-measure each \
+             protected variant under the same seeded campaign. Emits a \
+             per-object Pareto front over (residual vulnerability, \
+             instruction overhead) with a recommended plan. With \
+             $(b,--store) the report is cached by program, objects and \
+             campaign parameters.")
+    Term.(
+      const run $ setup_logs $ bench_arg $ objects_arg $ seed_arg
+      $ confidence_arg $ ci_width_arg $ max_samples_arg $ domains_arg
+      $ store_dir_arg $ out_arg $ json_flag $ no_batch_flag
+      $ error_model_arg)
+
+let query_advise_cmd_with socket_arg =
+  let run () e objs seed confidence ci_width max_samples socket offline
+      store_dir meta no_batch model =
+    let objects = pick_objects e objs in
+    if offline then begin
+      let wl = e.Registry.workload () in
+      let key =
+        Key.advise ~program:wl.Moard_inject.Workload.program ~objects ~model
+          ~seed ~confidence ~ci_width ~max_samples
+      in
+      let payload, status =
+        match store_dir with
+        | Some dir ->
+          Query.advise (open_store dir) ~model ~seed ~confidence ~ci_width
+            ~max_samples ~batch:(not no_batch) ~workload:wl ~objects ()
+        | None ->
+          ( Query.advise_payload ~model ~seed ~confidence ~ci_width
+              ~max_samples ~batch:(not no_batch) ~objects wl,
+            Query.Computed )
+      in
+      write_meta meta (offline_header ~op:"advise" ~key ~status []);
+      print_string payload
+    end
+    else
+      let req =
+        Jsonx.Obj
+          ([
+             ("op", Jsonx.Str "advise");
+             ("benchmark", Jsonx.Str e.Registry.benchmark);
+             ( "objects",
+               Jsonx.Arr (List.map (fun o -> Jsonx.Str o) objects) );
+             ("seed", Jsonx.Int seed);
+             ("confidence", Jsonx.Float confidence);
+             ("ci_width", Jsonx.Float ci_width);
+             ("max_samples", Jsonx.Int max_samples);
+           ]
+          @ model_fields model)
+      in
+      print_string (rpc_payload ~socket req ~meta)
+  in
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:"Query a resilience-advisor report (the stable JSON payload on \
+             stdout): computed and cached by the daemon, or $(b,--offline) \
+             with identical bytes.")
+    Term.(
+      const run $ setup_logs $ bench_arg $ objects_arg $ seed_arg
+      $ confidence_arg $ ci_width_arg $ max_samples_arg $ socket_arg
+      $ offline_flag $ store_dir_arg $ meta_arg $ no_batch_flag
+      $ error_model_arg)
+
 let query_stat_cmd_with socket_arg =
   let run () socket =
     let header, _ = Client.rpc ~socket (Jsonx.Obj [ ("op", Jsonx.Str "stat") ]) in
@@ -1228,6 +1335,7 @@ let query_cmd =
       query_advf_cmd_with socket_arg;
       query_campaign_cmd_with socket_arg;
       query_predict_cmd_with socket_arg;
+      query_advise_cmd_with socket_arg;
       query_stat_cmd_with socket_arg;
     ]
 
@@ -1642,6 +1750,7 @@ let cluster_cmd =
           query_advf_cmd_with cluster_socket_arg;
           query_campaign_cmd_with cluster_socket_arg;
           query_predict_cmd_with cluster_socket_arg;
+          query_advise_cmd_with cluster_socket_arg;
           query_stat_cmd_with cluster_socket_arg;
         ];
       cluster_stat_cmd;
@@ -1687,7 +1796,8 @@ let main =
     [
       list_cmd; analyze_cmd; exhaustive_cmd; rfi_cmd; trace_cmd; objects_cmd;
       dump_ir_cmd; bound_cmd; plan_cmd; campaign_cmd; parallel_cmd;
-      predict_cmd; serve_cmd; query_cmd; store_cmd; chaos_cmd; cluster_cmd;
+      predict_cmd; advise_cmd; serve_cmd; query_cmd; store_cmd; chaos_cmd;
+      cluster_cmd;
     ]
 
 let () =

@@ -1,0 +1,217 @@
+(* The resilience advisor: rank objects by expected SDC contribution,
+   generate candidate protection plans, and measure what each buys. See
+   advise.mli for the model. Everything here is a deterministic function
+   of (workload, model, seed, confidence, ci_width): the ranking comes
+   from a seeded campaign, the transforms are deterministic rewrites, and
+   the residual campaigns reuse the same seed on the protected variants. *)
+
+module P = Moard_ir.Program
+module T = Moard_ir.Types
+module W = Moard_inject.Workload
+module Context = Moard_inject.Context
+module Plan = Moard_campaign.Plan
+module Engine = Moard_campaign.Engine
+module Protect = Moard_opt.Protect
+module Machine = Moard_vm.Machine
+
+type plan_outcome = {
+  plan : Protect.plan;
+  id : string;
+  advf : float;
+  lo : float;
+  hi : float;
+  vulnerability : float;
+  reduction : float;
+  golden_steps : int;
+  overhead : float;
+  samples : int;
+  runs : int;
+  pareto : bool;
+}
+
+type object_advice = {
+  object_name : string;
+  bytes : int;
+  sites : int;
+  population : int;
+  advf : float;
+  lo : float;
+  hi : float;
+  vulnerability : float;
+  access_rate : float;
+  contribution : float;
+  recommended : string option;
+  plans : plan_outcome list;
+}
+
+type t = {
+  workload_name : string;
+  model : Moard_bits.Errmodel.t;
+  seed : int;
+  confidence : float;
+  ci_width : float;
+  base_steps : int;
+  objects : object_advice list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Fault-free differential oracle: bit images of every output global,
+   or the trap. A transform that changes either is rejected outright —
+   protection must be invisible until a fault lands. *)
+
+type observed = Out of int64 list | Trap of string
+
+let observe_run (wl : W.t) =
+  let m = Machine.load wl.W.program in
+  let r = Machine.run m ~entry:wl.W.entry in
+  match r.Machine.outcome with
+  | Machine.Finished _ ->
+    Out
+      (List.concat_map
+         (fun name ->
+           match (P.global wl.W.program name).P.gty with
+           | T.F64 ->
+             Array.to_list
+               (Array.map Int64.bits_of_float
+                  (Machine.read_f64s m r.Machine.mem name))
+           | _ -> Array.to_list (Machine.read_i64s m r.Machine.mem name))
+         wl.W.outputs)
+  | Machine.Trapped t -> Trap (Moard_vm.Trap.to_string t)
+
+let assert_preserving ~base (pw : W.t) ~id =
+  if observe_run pw <> base then
+    failwith
+      (Printf.sprintf
+         "Advise: plan %s is not behaviour-preserving on the fault-free run"
+         id)
+
+(* ------------------------------------------------------------------ *)
+
+let dominates (v1, o1) (v2, o2) =
+  v1 <= v2 && o1 <= o2 && (v1 < v2 || o1 < o2)
+
+let run ?(model = Moard_bits.Errmodel.Single_bit) ?(seed = 42)
+    ?(confidence = 0.95) ?(ci_width = 0.02) ?(max_samples = -1) ?domains
+    ?batch ?cancel ?objects (wl : W.t) =
+  let objects =
+    match objects with Some l -> l | None -> wl.W.targets
+  in
+  let ctx = Context.make wl in
+  let base_plan =
+    Plan.make ~model ~seed ~confidence ~ci_width ~max_samples ctx ~objects
+  in
+  let base_r = Engine.run ?domains ?batch ?cancel ctx base_plan in
+  let base_steps = Context.golden_steps ctx in
+  let base_out = observe_run wl in
+  let segment fn = W.in_segment wl fn in
+  let advice =
+    Array.to_list base_r.Engine.objects
+    |> List.map (fun (o : Engine.object_result) ->
+           let obj = o.Engine.object_name in
+           let advf = o.Engine.estimate in
+           let vuln = 1.0 -. advf in
+           let bytes = P.global_bytes (P.global wl.W.program obj) in
+           let access_rate =
+             float_of_int o.Engine.sites /. float_of_int base_steps
+           in
+           let plans =
+             Protect.candidates wl.W.program ~segment ~obj
+             |> List.map (fun plan ->
+                    let id = Protect.plan_id plan in
+                    let pw = Protect.protect_workload wl plan in
+                    assert_preserving ~base:base_out pw ~id;
+                    let pctx = Context.make pw in
+                    let pplan =
+                      Plan.make ~variant:id ~model ~seed ~confidence
+                        ~ci_width ~max_samples pctx ~objects:[ obj ]
+                    in
+                    let pr = Engine.run ?domains ?batch ?cancel pctx pplan in
+                    let po = pr.Engine.objects.(0) in
+                    let p_advf = po.Engine.estimate in
+                    let p_vuln = 1.0 -. p_advf in
+                    let steps = Context.golden_steps pctx in
+                    {
+                      plan;
+                      id;
+                      advf = p_advf;
+                      lo = po.Engine.lo;
+                      hi = po.Engine.hi;
+                      vulnerability = p_vuln;
+                      reduction = vuln /. Float.max p_vuln 1e-12;
+                      golden_steps = steps;
+                      overhead =
+                        float_of_int steps /. float_of_int base_steps;
+                      samples = po.Engine.samples;
+                      runs = po.Engine.runs;
+                      pareto = false;
+                    })
+           in
+           (* Pareto front over (residual vulnerability, overhead); the
+              unprotected program is the implicit (vuln, 1.0) point, so a
+              plan that buys nothing is dominated out. *)
+           let points =
+             (vuln, 1.0)
+             :: List.map
+                  (fun (p : plan_outcome) -> (p.vulnerability, p.overhead))
+                  plans
+           in
+           let plans =
+             List.map
+               (fun (p : plan_outcome) ->
+                 let mine = (p.vulnerability, p.overhead) in
+                 let dominated =
+                   List.exists (fun q -> dominates q mine) points
+                 in
+                 { p with pareto = not dominated })
+               plans
+           in
+           let recommended =
+             plans
+             |> List.filter (fun (p : plan_outcome) ->
+                    p.pareto && p.reduction > 1.0)
+             |> List.fold_left
+                  (fun best p ->
+                    match best with
+                    | None -> Some p
+                    | Some b ->
+                      if
+                        p.reduction > b.reduction
+                        || (p.reduction = b.reduction
+                           && p.overhead < b.overhead)
+                      then Some p
+                      else best)
+                  None
+             |> Option.map (fun (p : plan_outcome) -> p.id)
+           in
+           {
+             object_name = obj;
+             bytes;
+             sites = o.Engine.sites;
+             population = o.Engine.population;
+             advf;
+             lo = o.Engine.lo;
+             hi = o.Engine.hi;
+             vulnerability = vuln;
+             access_rate;
+             contribution = vuln *. float_of_int bytes *. access_rate;
+             recommended;
+             plans;
+           })
+  in
+  let objects =
+    List.stable_sort
+      (fun a b ->
+        match compare b.contribution a.contribution with
+        | 0 -> compare a.object_name b.object_name
+        | c -> c)
+      advice
+  in
+  {
+    workload_name = wl.W.name;
+    model;
+    seed;
+    confidence;
+    ci_width;
+    base_steps;
+    objects;
+  }

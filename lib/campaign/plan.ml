@@ -17,6 +17,7 @@ type objective = {
 
 type t = {
   workload_name : string;
+  variant : string;
   model : Errmodel.t;
   harts : int;
   seed : int;
@@ -28,8 +29,9 @@ type t = {
   objectives : objective array;
 }
 
-let make ?(model = Errmodel.Single_bit) ?(seed = 42) ?(confidence = 0.95)
-    ?(ci_width = 0.02) ?(batch = 64) ?(max_samples = -1) ctx ~objects =
+let make ?(variant = "") ?(model = Errmodel.Single_bit) ?(seed = 42)
+    ?(confidence = 0.95) ?(ci_width = 0.02) ?(batch = 64) ?(max_samples = -1)
+    ctx ~objects =
   if objects = [] then invalid_arg "Plan.make: no objects";
   if ci_width <= 0.0 || ci_width >= 1.0 then invalid_arg "Plan.make: ci_width";
   if batch <= 0 then invalid_arg "Plan.make: batch";
@@ -73,6 +75,7 @@ let make ?(model = Errmodel.Single_bit) ?(seed = 42) ?(confidence = 0.95)
   let w = Context.workload ctx in
   {
     workload_name = w.Moard_inject.Workload.name;
+    variant;
     model;
     harts = w.Moard_inject.Workload.harts;
     seed;
@@ -164,6 +167,15 @@ let hash t =
   if t.harts <> 1 then begin
     str "harts";
     int t.harts
+  end;
+  (* Protected-variant campaigns run a transformed program under the same
+     workload name; the variant tag keeps their journals and store keys
+     from colliding with the unprotected ones. Empty (the unprotected
+     program) contributes nothing, so every pre-existing journal still
+     resolves. *)
+  if t.variant <> "" then begin
+    str "variant";
+    str t.variant
   end;
   int t.seed;
   str (Printf.sprintf "%h" t.confidence);

@@ -26,6 +26,10 @@ type objective = {
 
 type t = {
   workload_name : string;
+  variant : string;
+      (** protection-plan tag of a transformed program variant (e.g.
+          ["C:dwc"]); [""] = the unprotected program. Distinguishes
+          journals and store keys of protected-variant campaigns. *)
   model : Moard_bits.Errmodel.t;  (** error model the members sample *)
   harts : int;  (** hart count of the workload's golden run *)
   seed : int;
@@ -38,6 +42,7 @@ type t = {
 }
 
 val make :
+  ?variant:string ->
   ?model:Moard_bits.Errmodel.t ->
   ?seed:int ->
   ?confidence:float ->
@@ -50,7 +55,7 @@ val make :
 (** Enumerate populations from the context's golden tape and freeze the
     sampling orders. Defaults: single-bit error model, seed 42,
     confidence 0.95, ci_width 0.02 (the paper's ±2% methodology),
-    batch 64, no sample cap.
+    batch 64, no sample cap, empty variant tag.
     @raise Invalid_argument on an empty object list, an unknown object, an
     object with no fault sites, or an unsupported confidence level. *)
 
@@ -72,4 +77,5 @@ val hash : t -> string
     error models existed still resolve; the hart count likewise
     contributes only when it is not 1 (a multi-hart program's text and
     site populations are hart-count independent, so the hash must carry
-    the distinction explicitly). *)
+    the distinction explicitly). The variant tag contributes only when
+    non-empty, for the same backward compatibility. *)

@@ -106,6 +106,7 @@ let routing_key req =
   match s "op" with
   | "advf" | "warm" -> Printf.sprintf "advf|%s|%s" (s "benchmark") (s "object")
   | "predict" -> Printf.sprintf "predict|%s|%s" (s "benchmark") (s "object")
+  | "advise" -> Printf.sprintf "advise|%s" (s "benchmark")
   | "campaign" | "report" ->
     "campaign|" ^ Jsonx.signature ~drop:[ "proto"; "req_fnv"; "op" ] req
   | _ -> Jsonx.signature ~drop:[ "proto"; "req_fnv" ] req
@@ -692,7 +693,7 @@ let dispatch t req =
         None )
     | Some "stat" -> (cluster_stat t, None)
     | Some "warm" -> handle_warm t req
-    | Some (("advf" | "campaign" | "report" | "predict") as op) -> (
+    | Some (("advf" | "campaign" | "report" | "predict" | "advise") as op) -> (
       match integrity_error req with
       | Some e ->
         bump t (fun t -> t.integrity_failures <- t.integrity_failures + 1);

@@ -1,0 +1,653 @@
+(* Automated protection transforms. See protect.mli for the model; the
+   invariant every rewrite maintains is that on a fault-free run the
+   protected program computes the same outputs and traps identically —
+   recovery code lives in blocks the golden trace never enters. *)
+
+module P = Moard_ir.Program
+module I = Moard_ir.Instr
+module T = Moard_ir.Types
+module B = Moard_bits.Bitval
+
+type transform = Abft | Clamp | Dwc
+
+type plan = { object_name : string; transforms : transform list }
+
+let transform_name = function Abft -> "abft" | Clamp -> "clamp" | Dwc -> "dwc"
+
+let transform_of_name = function
+  | "abft" -> Some Abft
+  | "clamp" -> Some Clamp
+  | "dwc" -> Some Dwc
+  | _ -> None
+
+let rank = function Abft -> 0 | Clamp -> 1 | Dwc -> 2
+
+let normalize ts =
+  List.sort_uniq (fun a b -> Stdlib.compare (rank a) (rank b)) ts
+
+let plan_id p =
+  p.object_name ^ ":"
+  ^ String.concat "+" (List.map transform_name (normalize p.transforms))
+
+(* ------------------------------------------------------------------ *)
+(* Provenance taint: which registers of which function may carry a value
+   whose provenance lies inside the object ([tainted]) or a pointer into
+   the object's address range ([addr]). Mirrors the machine: Mov,
+   bitcasts, Select arms, call arguments and returned values forward
+   provenance; Load stamps its destination with the address it read;
+   every other result is provenance-free. Flow-insensitive (may), which
+   over-approximates — sound for protection, at worst extra votes. *)
+
+type taint = {
+  tainted : (string, bool array) Hashtbl.t;
+  addr : (string, bool array) Hashtbl.t;
+  derived : (string, bool array) Hashtbl.t;
+      (* value influenced by the object's data through any computation —
+         wider than [tainted] because arithmetic and non-bitcast casts
+         propagate a corrupted value even though they drop provenance.
+         This is what address clamping keys on: a wild access reached
+         through a sign-extended index is still a wild access. *)
+}
+
+let taint_of (program : P.t) ~obj =
+  let tainted = Hashtbl.create 16 and addr = Hashtbl.create 16 in
+  let derived = Hashtbl.create 16 in
+  List.iter
+    (fun (f : P.func) ->
+      Hashtbl.replace tainted f.P.fname (Array.make (max 1 f.P.nregs) false);
+      Hashtbl.replace addr f.P.fname (Array.make (max 1 f.P.nregs) false);
+      Hashtbl.replace derived f.P.fname (Array.make (max 1 f.P.nregs) false))
+    program.P.funcs;
+  let changed = ref true in
+  let set arr r =
+    if r >= 0 && r < Array.length arr && not arr.(r) then begin
+      arr.(r) <- true;
+      changed := true
+    end
+  in
+  let is_t tf = function
+    | I.Reg r -> r >= 0 && r < Array.length tf && tf.(r)
+    | _ -> false
+  in
+  let is_a af = function
+    | I.Reg r -> r >= 0 && r < Array.length af && af.(r)
+    | I.Glob g -> String.equal g obj
+    | I.Imm _ -> false
+  in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (f : P.func) ->
+        let tf = Hashtbl.find tainted f.P.fname in
+        let af = Hashtbl.find addr f.P.fname in
+        let vf = Hashtbl.find derived f.P.fname in
+        let is_v op = is_t vf op in
+        Array.iter
+          (Array.iter (fun ins ->
+               (match ins with
+               | I.Mov (d, op) ->
+                 if is_t tf op then set tf d;
+                 if is_a af op then set af d
+               | I.Load (d, _, a) -> if is_a af a then set tf d
+               | I.Gep (d, base, _, _) -> if is_a af base then set af d
+               | I.Select (d, _, x, y) ->
+                 if is_t tf x || is_t tf y then set tf d;
+                 if is_a af x || is_a af y then set af d
+               | I.Cast (d, (I.Bitcast_f_to_i | I.Bitcast_i_to_f), op) ->
+                 if is_t tf op then set tf d
+               | I.Call (dst, callee, args) when P.has_func program callee ->
+                 let cf = Hashtbl.find tainted callee in
+                 let ca = Hashtbl.find addr callee in
+                 List.iteri
+                   (fun j op ->
+                     if is_t tf op then set cf j;
+                     if is_a af op then set ca j)
+                   args;
+                 (match dst with
+                 | None -> ()
+                 | Some d ->
+                   let g = P.func program callee in
+                   Array.iter
+                     (Array.iter (function
+                       | I.Ret (Some op) ->
+                         if is_t cf op then set tf d;
+                         if is_a ca op then set af d
+                       | _ -> ()))
+                     g.P.blocks)
+               | _ -> ());
+               (* data derivation: provenance-tainted values seed it, and
+                  every value-producing operation propagates it *)
+               (match I.writes ins with
+               | Some d ->
+                 if
+                   List.exists (is_t tf) (I.reads ins)
+                   || (d < Array.length tf && tf.(d))
+                 then set vf d
+               | None -> ());
+               match ins with
+               | I.Mov (d, op) | I.Cast (d, _, op) ->
+                 if is_v op then set vf d
+               | I.Ibin (d, _, _, x, y)
+               | I.Fbin (d, _, x, y)
+               | I.Icmp (d, _, _, x, y)
+               | I.Fcmp (d, _, x, y) ->
+                 if is_v x || is_v y then set vf d
+               | I.Gep (d, base, idx, _) ->
+                 if is_v base || is_v idx then set vf d
+               | I.Select (d, c, x, y) ->
+                 if is_v c || is_v x || is_v y then set vf d
+               | I.Load (d, _, a) -> if is_v a then set vf d
+               | I.Call (dst, callee, args) when P.has_func program callee ->
+                 let cv = Hashtbl.find derived callee in
+                 List.iteri (fun j op -> if is_v op then set cv j) args;
+                 (match dst with
+                 | None -> ()
+                 | Some d ->
+                   let g = P.func program callee in
+                   Array.iter
+                     (Array.iter (function
+                       | I.Ret (Some op) -> if is_t cv op then set vf d
+                       | _ -> ()))
+                     g.P.blocks)
+               | _ -> ()))
+          f.P.blocks)
+      program.P.funcs
+  done;
+  { tainted; addr; derived }
+
+let is_intrinsic (program : P.t) name = not (P.has_func program name)
+
+(* The instruction classes that consume their operands — exactly the
+   classes Consume.consuming_event admits as fault sites. *)
+let consuming program = function
+  | I.Mov _ | I.Load _ | I.Br _ | I.Ret _ -> false
+  | I.Call (_, callee, _) -> is_intrinsic program callee
+  | I.Ibin _ | I.Fbin _ | I.Icmp _ | I.Fcmp _ | I.Cast _ | I.Store _
+  | I.Gep _ | I.Select _ | I.Cbr _ -> true
+
+let tainted_op tf = function
+  | I.Reg r -> r >= 0 && r < Array.length tf && tf.(r)
+  | _ -> false
+
+let has_tainted_read tf ins = List.exists (tainted_op tf) (I.reads ins)
+
+(* ------------------------------------------------------------------ *)
+(* Block-splitting rewriter. [decide] maps each original instruction to
+   an action; [Guard] splits the block: the head ends with a conditional
+   branch on [cond] (true = fault-free agreement, fall through), [fix]
+   becomes a fresh recovery block branching back, and the continuation
+   block starts with [post] followed by the rest of the original block.
+   Generated instructions are never re-decided. *)
+
+type action =
+  | Keep
+  | Inline of I.t list
+  | Guard of { pre : I.t list; cond : I.reg; fix : I.t list; post : I.t list }
+
+let rewrite_func ~decide (f : P.func) =
+  let nregs = ref f.P.nregs in
+  let fresh () =
+    let r = !nregs in
+    incr nregs;
+    r
+  in
+  let base = Array.length f.P.blocks in
+  let nblocks = ref base in
+  let fresh_block () =
+    let b = !nblocks in
+    incr nblocks;
+    b
+  in
+  let head = Array.make base [||] in
+  let extra = ref [] in
+  let store idx instrs =
+    let a = Array.of_list instrs in
+    if idx < base then head.(idx) <- a else extra := (idx, a) :: !extra
+  in
+  let rec emit idx acc = function
+    | [] -> store idx (List.rev acc)
+    | ins :: rest -> (
+      match decide ~fresh ins with
+      | Keep -> emit idx (ins :: acc) rest
+      | Inline repl -> emit idx (List.rev_append repl acc) rest
+      | Guard { pre; cond; fix; post } ->
+        let fixb = fresh_block () in
+        let contb = fresh_block () in
+        store idx
+          (List.rev_append acc (pre @ [ I.Cbr (I.Reg cond, contb, fixb) ]));
+        store fixb (fix @ [ I.Br contb ]);
+        emit contb [] (post @ rest))
+  in
+  Array.iteri (fun i b -> emit i [] (Array.to_list b)) f.P.blocks;
+  let blocks = Array.make !nblocks [||] in
+  Array.blit head 0 blocks 0 base;
+  List.iter (fun (i, b) -> blocks.(i) <- b) !extra;
+  { f with P.nregs = !nregs; P.blocks }
+
+let with_dst ins r =
+  match ins with
+  | I.Ibin (_, op, ty, a, b) -> I.Ibin (r, op, ty, a, b)
+  | I.Fbin (_, op, a, b) -> I.Fbin (r, op, a, b)
+  | I.Icmp (_, c, ty, a, b) -> I.Icmp (r, c, ty, a, b)
+  | I.Fcmp (_, c, a, b) -> I.Fcmp (r, c, a, b)
+  | I.Cast (_, c, a) -> I.Cast (r, c, a)
+  | I.Gep (_, b, ix, s) -> I.Gep (r, b, ix, s)
+  | I.Select (_, c, x, y) -> I.Select (r, c, x, y)
+  | I.Call (Some _, f, args) -> I.Call (Some r, f, args)
+  | _ -> invalid_arg "Protect.with_dst"
+
+(* ------------------------------------------------------------------ *)
+(* Duplication-with-compare. The copies run before the original write so
+   an instruction that reads its own destination (d = add d, x) feeds
+   all three instances the clean value; the compare and the recovery Mov
+   consume only provenance-free results, so the golden trace gains no
+   unprotected sites. A corrupted consumption corrupts exactly one of
+   the three instances (one dynamic instruction, one slot), and the vote
+   repairs it from an agreeing copy. *)
+
+let dwc_decide program tf ~fresh ins =
+  if not (consuming program ins && has_tainted_read tf ins) then Keep
+  else
+    match ins with
+    | I.Store (ty, v, a) ->
+      (* Verify the written cell: reload and compare bit images; on
+         mismatch the recovery block re-stores from the (clean)
+         register. The compare's loaded operand may carry the stored
+         cell's provenance and its value operand the object's — faults
+         on either force the re-store, which masks them. *)
+      let l = fresh () and c = fresh () in
+      Guard
+        {
+          pre =
+            [
+              I.Store (ty, v, a);
+              I.Load (l, ty, a);
+              I.Icmp (c, I.Ieq, T.I64, I.Reg l, v);
+            ];
+          cond = c;
+          fix = [ I.Store (ty, v, a) ];
+          post = [];
+        }
+    | I.Cbr (cond, l1, l2) ->
+      (* Triplicate the condition through Or-with-zero copies; the final
+         branch consumes a provenance-free copy, so the site moves onto
+         the three voted copies. *)
+      let t1 = fresh () and t2 = fresh () and t3 = fresh () in
+      let e = fresh () in
+      let zero = I.Imm (B.of_int64 0L) in
+      let dup d = I.Ibin (d, I.Or, T.I64, cond, zero) in
+      Guard
+        {
+          pre =
+            [ dup t1; dup t2; dup t3;
+              I.Icmp (e, I.Ieq, T.I64, I.Reg t1, I.Reg t2) ];
+          cond = e;
+          fix = [ I.Mov (t1, I.Reg t3) ];
+          post = [ I.Cbr (I.Reg t1, l1, l2) ];
+        }
+    | I.Call (Some d, name, _) when is_intrinsic program name ->
+      if not (List.mem name Moard_vm.Semantics.intrinsics) then Keep
+        (* hart intrinsics are scheduler state, not pure — never voted
+           (they also take no operands, so they are never tainted) *)
+      else
+        let r2 = fresh () and r3 = fresh () and c = fresh () in
+        Guard
+          {
+            pre =
+              [ with_dst ins r2; with_dst ins r3; ins;
+                I.Icmp (c, I.Ieq, T.I64, I.Reg d, I.Reg r2) ];
+            cond = c;
+            fix = [ I.Mov (d, I.Reg r3) ];
+            post = [];
+          }
+    | I.Ibin _ | I.Fbin _ | I.Icmp _ | I.Fcmp _ | I.Cast _ | I.Gep _
+    | I.Select _ ->
+      let d = match I.writes ins with Some d -> d | None -> assert false in
+      let r2 = fresh () and r3 = fresh () and c = fresh () in
+      Guard
+        {
+          pre =
+            [ with_dst ins r2; with_dst ins r3; ins;
+              I.Icmp (c, I.Ieq, T.I64, I.Reg d, I.Reg r2) ];
+          cond = c;
+          fix = [ I.Mov (d, I.Reg r3) ];
+          post = [];
+        }
+    | _ -> Keep
+
+let apply_dwc program ~segment ~obj =
+  let t = taint_of program ~obj in
+  let funcs =
+    List.map
+      (fun (f : P.func) ->
+        if not (segment f.P.fname) then f
+        else
+          let tf = Hashtbl.find t.tainted f.P.fname in
+          rewrite_func ~decide:(dwc_decide program tf) f)
+      program.P.funcs
+  in
+  { program with P.funcs }
+
+(* ------------------------------------------------------------------ *)
+(* Address-range clamp. Applied after every global-based gep whose index
+   may carry the object's provenance: the computed address is clamped
+   into the base global's extent. The clamp consumes only the gep result
+   (provenance-free), so it adds zero sites, and it sits downstream of
+   the gep's own consumption — a fault on the gep's index slot is caught
+   too, which a pre-gep index clamp would miss. *)
+
+let clamp_decide (program : P.t) vf ~fresh ins =
+  match ins with
+  | I.Gep (d, I.Glob g, idx, scale) when tainted_op vf idx ->
+    let n = (P.global program g).P.gelems in
+    let lo = fresh () and hi = fresh () in
+    let c1 = fresh () and s1 = fresh () and c2 = fresh () in
+    Inline
+      [
+        ins;
+        I.Mov (lo, I.Glob g);
+        I.Gep (hi, I.Glob g, I.Imm (B.of_int64 (Int64.of_int (n - 1))), scale);
+        I.Icmp (c1, I.Islt, T.I64, I.Reg d, I.Reg lo);
+        I.Select (s1, I.Reg c1, I.Reg lo, I.Reg d);
+        I.Icmp (c2, I.Isgt, T.I64, I.Reg s1, I.Reg hi);
+        I.Select (d, I.Reg c2, I.Reg hi, I.Reg s1);
+      ]
+  | _ -> Keep
+
+let apply_clamp program ~segment ~obj =
+  let t = taint_of program ~obj in
+  let funcs =
+    List.map
+      (fun (f : P.func) ->
+        if not (segment f.P.fname) then f
+        else
+          let vf = Hashtbl.find t.derived f.P.fname in
+          rewrite_func ~decide:(clamp_decide program vf) f)
+      program.P.funcs
+  in
+  { program with P.funcs }
+
+(* ------------------------------------------------------------------ *)
+(* ABFT row/column checksums for a square f64 object. *)
+
+let abft_dim gelems =
+  let n = int_of_float (Float.round (sqrt (float_of_int gelems))) in
+  if n >= 2 && n * n = gelems then Some n else None
+
+let abft_names obj =
+  ( "__abft_" ^ obj ^ "_enc",
+    "__abft_" ^ obj ^ "_fix",
+    "__abft_" ^ obj ^ "_rs",
+    "__abft_" ^ obj ^ "_cs" )
+
+(* Encode/fix synthesized through the MiniC front end against a
+   placeholder object global of the right shape; the compiled functions
+   and checksum globals are merged into the target program (the
+   placeholder is dropped — the real object is already there). The fix
+   tolerance is relative: incremental float maintenance drifts by
+   rounding, never by 1e-6 of the magnitude. *)
+let abft_module ~obj ~n =
+  let enc, fix, rs, cs = abft_names obj in
+  let open Moard_lang.Ast.Dsl in
+  let at er ec = obj.%((er * i n) + ec) in
+  let enc_fn =
+    fn enc
+      [
+        for_ "r" (i 0) (i n)
+          [
+            flt_ "s" (f 0.0);
+            for_ "c" (i 0) (i n) [ "s" <-- v "s" + at (v "r") (v "c") ];
+            (rs.%(v "r") <- v "s");
+          ];
+        for_ "c" (i 0) (i n)
+          [
+            flt_ "s" (f 0.0);
+            for_ "r" (i 0) (i n) [ "s" <-- v "s" + at (v "r") (v "c") ];
+            (cs.%(v "c") <- v "s");
+          ];
+        ret_void;
+      ]
+  in
+  let bad sum ref_ = fabs_ (sum - ref_) > f 1e-6 * (f 1.0 + fabs_ ref_) in
+  let fix_fn =
+    fn fix
+      [
+        int_ "badr" (i (-1));
+        flt_ "dr" (f 0.0);
+        for_ "r" (i 0) (i n)
+          [
+            flt_ "s" (f 0.0);
+            for_ "c" (i 0) (i n) [ "s" <-- v "s" + at (v "r") (v "c") ];
+            when_
+              (bad (v "s") (rs.%(v "r")))
+              [ "badr" <-- v "r"; "dr" <-- v "s" - rs.%(v "r") ];
+          ];
+        int_ "badc" (i (-1));
+        for_ "c" (i 0) (i n)
+          [
+            flt_ "s" (f 0.0);
+            for_ "r" (i 0) (i n) [ "s" <-- v "s" + at (v "r") (v "c") ];
+            when_ (bad (v "s") (cs.%(v "c"))) [ "badc" <-- v "c" ];
+          ];
+        when_
+          ((v "badr" >= i 0) && (v "badc" >= i 0))
+          [
+            Moard_lang.Ast.Sstore
+              ( obj,
+                (v "badr" * i n) + v "badc",
+                at (v "badr") (v "badc") - v "dr" );
+          ];
+        ret_void;
+      ]
+  in
+  {
+    Moard_lang.Ast.globals =
+      [ garr_f64 obj (Stdlib.( * ) n n); garr_f64 rs n; garr_f64 cs n ];
+    funs = [ enc_fn; fix_fn ];
+  }
+
+(* Incremental checksum maintenance: a store into the object inside the
+   segment also adds (new - old) to the row and column sums. Only stores
+   whose address register is defined, in the same block with no
+   intervening redefinition of address or index, by a gep off the
+   object's own base are rewritten — a may-approximation here would
+   compute wild row/column indices and corrupt memory. *)
+
+let reaching_gep ~obj block upto a =
+  let redef r ins = I.writes ins = Some r in
+  let rec scan i =
+    if i < 0 then None
+    else
+      match block.(i) with
+      | I.Gep (d, I.Glob g, idx, _) when d = a && String.equal g obj ->
+        (* the index value must still be live at the store *)
+        let idx_ok =
+          match idx with
+          | I.Reg r ->
+            let clobbered = ref false in
+            for j = i + 1 to upto - 1 do
+              if redef r block.(j) then clobbered := true
+            done;
+            not !clobbered
+          | _ -> true
+        in
+        if idx_ok then Some idx else None
+      | ins when redef a ins -> None
+      | _ -> if i = 0 then None else scan (i - 1)
+  in
+  scan (upto - 1)
+
+let track_stores ~obj ~n (f : P.func) =
+  let _, _, rs, cs = abft_names obj in
+  let nregs = ref f.P.nregs in
+  let fresh () =
+    let r = !nregs in
+    incr nregs;
+    r
+  in
+  let fsize = T.size T.F64 in
+  let blocks =
+    Array.map
+      (fun block ->
+        let out = ref [] in
+        Array.iteri
+          (fun i ins ->
+            (match ins with
+            | I.Store (T.F64, value, I.Reg a) -> (
+              match reaching_gep ~obj block i a with
+              | Some idx ->
+                let old = fresh () and dv = fresh () in
+                let ir = fresh () and row = fresh () and col = fresh () in
+                let bump g which =
+                  let p = fresh () and cur = fresh () and nw = fresh () in
+                  [
+                    I.Gep (p, I.Glob g, I.Reg which, fsize);
+                    I.Load (cur, T.F64, I.Reg p);
+                    I.Fbin (nw, I.Fadd, I.Reg cur, I.Reg dv);
+                    I.Store (T.F64, I.Reg nw, I.Reg p);
+                  ]
+                in
+                let track =
+                  [
+                    I.Load (old, T.F64, I.Reg a);
+                    I.Fbin (dv, I.Fsub, value, I.Reg old);
+                    I.Mov (ir, idx);
+                    I.Ibin
+                      ( row, I.Sdiv, T.I64, I.Reg ir,
+                        I.Imm (B.of_int64 (Int64.of_int n)) );
+                    I.Ibin
+                      ( col, I.Srem, T.I64, I.Reg ir,
+                        I.Imm (B.of_int64 (Int64.of_int n)) );
+                  ]
+                  @ bump rs row @ bump cs col
+                in
+                out := List.rev_append track !out
+              | None -> ())
+            | _ -> ());
+            out := ins :: !out)
+          block;
+        Array.of_list (List.rev !out))
+      f.P.blocks
+  in
+  { f with P.nregs = !nregs; P.blocks = blocks }
+
+let wrap_segment_calls ~segment ~enc ~fix (f : P.func) =
+  let blocks =
+    Array.map
+      (fun block ->
+        Array.of_list
+          (List.concat_map
+             (fun ins ->
+               match ins with
+               | I.Call (_, callee, _) when segment callee ->
+                 [ I.Call (None, enc, []); ins; I.Call (None, fix, []) ]
+               | _ -> [ ins ])
+             (Array.to_list block)))
+      f.P.blocks
+  in
+  { f with P.blocks }
+
+let has_wrap_site (program : P.t) ~segment =
+  List.exists
+    (fun (f : P.func) ->
+      (not (segment f.P.fname))
+      && Array.exists
+           (Array.exists (function
+             | I.Call (_, callee, _) -> segment callee
+             | _ -> false))
+           f.P.blocks)
+    program.P.funcs
+
+let apply_abft (program : P.t) ~segment ~obj =
+  let g = P.global program obj in
+  let n =
+    match abft_dim g.P.gelems with
+    | Some n when g.P.gty = T.F64 -> n
+    | _ -> invalid_arg "Protect.apply_abft: object is not a square f64 matrix"
+  in
+  let enc, fix, _, _ = abft_names obj in
+  let compiled = Moard_lang.Compile.program (abft_module ~obj ~n) in
+  let added_globals =
+    List.filter
+      (fun (gl : P.global) -> not (String.equal gl.P.gname obj))
+      compiled.P.globals
+  in
+  let funcs =
+    List.map
+      (fun (f : P.func) ->
+        if segment f.P.fname then track_stores ~obj ~n f
+        else wrap_segment_calls ~segment ~enc ~fix f)
+      program.P.funcs
+  in
+  {
+    P.globals = program.P.globals @ added_globals;
+    P.funcs = funcs @ compiled.P.funcs;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let has_tainted_site (program : P.t) ~segment ~obj =
+  let t = taint_of program ~obj in
+  List.exists
+    (fun (f : P.func) ->
+      segment f.P.fname
+      &&
+      let tf = Hashtbl.find t.tainted f.P.fname in
+      Array.exists
+        (Array.exists (fun ins ->
+             consuming program ins && has_tainted_read tf ins))
+        f.P.blocks)
+    program.P.funcs
+
+let has_clampable_gep (program : P.t) ~segment ~obj =
+  let t = taint_of program ~obj in
+  List.exists
+    (fun (f : P.func) ->
+      segment f.P.fname
+      &&
+      let vf = Hashtbl.find t.derived f.P.fname in
+      Array.exists
+        (Array.exists (function
+          | I.Gep (_, I.Glob _, idx, _) -> tainted_op vf idx
+          | _ -> false))
+        f.P.blocks)
+    program.P.funcs
+
+let applicable (program : P.t) ~segment ~obj = function
+  | Dwc -> has_tainted_site program ~segment ~obj
+  | Clamp -> has_clampable_gep program ~segment ~obj
+  | Abft -> (
+    match P.global program obj with
+    | exception Not_found -> false
+    | g ->
+      g.P.gty = T.F64
+      && abft_dim g.P.gelems <> None
+      && has_wrap_site program ~segment
+      &&
+      let enc, _, _, _ = abft_names obj in
+      not (P.has_func program enc))
+
+let candidates program ~segment ~obj =
+  let ts =
+    List.filter (applicable program ~segment ~obj) [ Abft; Clamp; Dwc ]
+  in
+  let singles = List.map (fun t -> { object_name = obj; transforms = [ t ] }) ts in
+  let combo =
+    if List.mem Clamp ts && List.mem Dwc ts then
+      [ { object_name = obj; transforms = [ Clamp; Dwc ] } ]
+    else []
+  in
+  singles @ combo
+
+let apply program ~segment plan =
+  List.fold_left
+    (fun p t ->
+      match t with
+      | Abft -> apply_abft p ~segment ~obj:plan.object_name
+      | Clamp -> apply_clamp p ~segment ~obj:plan.object_name
+      | Dwc -> apply_dwc p ~segment ~obj:plan.object_name)
+    program (normalize plan.transforms)
+
+let protect_workload (wl : Moard_inject.Workload.t) plan =
+  let segment fn = Moard_inject.Workload.in_segment wl fn in
+  { wl with Moard_inject.Workload.program = apply wl.program ~segment plan }

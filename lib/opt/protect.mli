@@ -1,0 +1,85 @@
+(** Automated protection transforms for registry data objects.
+
+    Three behaviour-preserving IR transforms close the loop from aDVF
+    measurement to protection (ROADMAP item 5; Tan et al. in PAPERS.md):
+
+    - {b Dwc} — duplication-with-compare. Every consuming instruction
+      (in the paper's sense: the instruction classes that yield fault
+      sites) whose operands may carry the object's provenance is
+      triplicated; a majority vote repairs the destination through a
+      recovery block that never executes on the fault-free path, so the
+      golden trace gains no unprotected scaffolding sites. Stores are
+      verified by reload-and-compare with a re-store on mismatch;
+      tainted branch conditions are voted through triplicated copies.
+
+    - {b Abft} — row/column checksum protection for square f64 matrix
+      objects, generalizing the hand-written [Abft_mm] case study.
+      Synthesized [__abft_<obj>_enc]/[__abft_<obj>_fix] functions
+      snapshot row/column sums into fresh globals; calls from outside
+      the evaluated segment into it are bracketed by encode/fix; stores
+      into the object inside the segment incrementally maintain the
+      checksums so read-modify-write segments stay consistent. Fix
+      locates a single corrupted element (bad row x bad column under a
+      relative tolerance) and subtracts the checksum residue. This
+      corrects faults consumed at store-value slots; faults on pure read
+      consumption pollute the running checksums by the same delta as the
+      data and are invisible to it — the honest limitation the residual
+      campaign quantifies.
+
+    - {b Clamp} — address-range clamping for index-array objects (the
+      CG [colidx] class). Every [Gep] off a global base whose index may
+      carry the object's provenance gets its {e computed address}
+      clamped into the base global's extent. The clamp consumes only
+      provenance-free values (the gep result), so it adds zero fault
+      sites while converting out-of-bounds crashes into in-range reads.
+
+    Taint is a whole-program may-analysis mirroring the machine's exact
+    provenance forwarding rules (Mov, bitcasts, Load from an
+    object-derived address, Select arms, call arguments and returned
+    values); everything else produces provenance-free results. Only
+    functions inside the evaluated segment are rewritten (plus
+    encode/fix call bracketing just outside it), which is where fault
+    sites are counted. *)
+
+type transform = Abft | Clamp | Dwc
+
+type plan = {
+  object_name : string;
+  transforms : transform list;  (** applied in canonical order Abft, Clamp, Dwc *)
+}
+
+val transform_name : transform -> string
+(** ["abft"], ["clamp"], ["dwc"]. *)
+
+val transform_of_name : string -> transform option
+
+val plan_id : plan -> string
+(** Stable identifier, e.g. ["C:clamp+dwc"] — object name, colon, the
+    canonically ordered transform names joined with [+]. Used as the
+    campaign plan variant so protected-variant journals and store keys
+    stay exact. *)
+
+val applicable :
+  Moard_ir.Program.t -> segment:(string -> bool) -> obj:string ->
+  transform -> bool
+(** Whether the transform can do anything for [obj]: Dwc needs at least
+    one tainted consuming instruction in the segment, Clamp at least one
+    global-based gep with a tainted index, Abft a square f64 object of
+    dimension >= 2 plus a non-segment call into the segment to bracket. *)
+
+val candidates :
+  Moard_ir.Program.t -> segment:(string -> bool) -> obj:string -> plan list
+(** Deterministic candidate plans for an object: each applicable single
+    transform, plus Clamp+Dwc when both apply. *)
+
+val apply :
+  Moard_ir.Program.t -> segment:(string -> bool) -> plan ->
+  Moard_ir.Program.t
+(** Apply a plan's transforms in canonical order. The result validates
+    under {!Moard_ir.Validate.check_program} and is behaviour-preserving
+    on fault-free runs (same outputs, same trap behaviour). *)
+
+val protect_workload :
+  Moard_inject.Workload.t -> plan -> Moard_inject.Workload.t
+(** The same workload with the plan applied to its program (name, entry,
+    segment, targets, outputs, acceptance all unchanged). *)

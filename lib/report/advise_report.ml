@@ -1,0 +1,131 @@
+module Advise = Moard_advise.Advise
+module Protect = Moard_opt.Protect
+
+(* Deterministic float rendering, as in the other reports: shortest-exact
+   and locale-free, so payloads are byte-comparable across processes,
+   daemons and cluster shards. *)
+let fl x = Printf.sprintf "%.17g" x
+
+let buf_plan b ~indent (p : Advise.plan_outcome) =
+  let pad = String.make indent ' ' in
+  Buffer.add_string b (Printf.sprintf "%s{\n" pad);
+  let field k v =
+    Buffer.add_string b (Printf.sprintf "%s  %S: %s,\n" pad k v)
+  in
+  field "plan" (Printf.sprintf "%S" p.Advise.id);
+  field "transforms"
+    ("["
+    ^ String.concat ", "
+        (List.map
+           (fun t -> Printf.sprintf "%S" (Protect.transform_name t))
+           p.Advise.plan.Protect.transforms)
+    ^ "]");
+  field "advf" (fl p.Advise.advf);
+  field "ci_lo" (fl p.Advise.lo);
+  field "ci_hi" (fl p.Advise.hi);
+  field "vulnerability" (fl p.Advise.vulnerability);
+  field "reduction" (fl p.Advise.reduction);
+  field "golden_steps" (string_of_int p.Advise.golden_steps);
+  field "overhead" (fl p.Advise.overhead);
+  field "samples" (string_of_int p.Advise.samples);
+  field "runs" (string_of_int p.Advise.runs);
+  Buffer.add_string b
+    (Printf.sprintf "%s  \"pareto\": %b\n" pad p.Advise.pareto);
+  Buffer.add_string b (Printf.sprintf "%s}" pad)
+
+let buf_obj b ~indent (o : Advise.object_advice) =
+  let pad = String.make indent ' ' in
+  Buffer.add_string b (Printf.sprintf "%s{\n" pad);
+  let field k v =
+    Buffer.add_string b (Printf.sprintf "%s  %S: %s,\n" pad k v)
+  in
+  field "object" (Printf.sprintf "%S" o.Advise.object_name);
+  field "bytes" (string_of_int o.Advise.bytes);
+  field "sites" (string_of_int o.Advise.sites);
+  field "population" (string_of_int o.Advise.population);
+  field "advf" (fl o.Advise.advf);
+  field "ci_lo" (fl o.Advise.lo);
+  field "ci_hi" (fl o.Advise.hi);
+  field "vulnerability" (fl o.Advise.vulnerability);
+  field "access_rate" (fl o.Advise.access_rate);
+  field "contribution" (fl o.Advise.contribution);
+  field "recommended"
+    (match o.Advise.recommended with
+    | None -> "null"
+    | Some id -> Printf.sprintf "%S" id);
+  let plans =
+    List.map
+      (fun p ->
+        let pb = Buffer.create 512 in
+        buf_plan pb ~indent:(indent + 4) p;
+        Buffer.contents pb)
+      o.Advise.plans
+  in
+  Buffer.add_string b
+    (Printf.sprintf "%s  \"plans\": [\n%s\n%s  ]\n" pad
+       (String.concat ",\n" plans)
+       pad);
+  Buffer.add_string b (Printf.sprintf "%s}" pad)
+
+let json (r : Advise.t) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"moard-advise-report-v1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"workload\": %S,\n" r.Advise.workload_name);
+  if r.Advise.model <> Moard_bits.Errmodel.Single_bit then
+    Buffer.add_string b
+      (Printf.sprintf "  \"error_model\": %S,\n"
+         (Moard_bits.Errmodel.to_string r.Advise.model));
+  Buffer.add_string b (Printf.sprintf "  \"seed\": %d,\n" r.Advise.seed);
+  Buffer.add_string b
+    (Printf.sprintf "  \"confidence\": %s,\n" (fl r.Advise.confidence));
+  Buffer.add_string b
+    (Printf.sprintf "  \"ci_width_target\": %s,\n" (fl r.Advise.ci_width));
+  Buffer.add_string b
+    (Printf.sprintf "  \"golden_steps\": %d,\n" r.Advise.base_steps);
+  let objs =
+    List.map
+      (fun o ->
+        let ob = Buffer.create 1024 in
+        buf_obj ob ~indent:4 o;
+        Buffer.contents ob)
+      r.Advise.objects
+  in
+  Buffer.add_string b
+    (Printf.sprintf "  \"objects\": [\n%s\n  ]\n" (String.concat ",\n" objs));
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(* Every field of an advise report is a deterministic function of the
+   design — there is no perf section — so the stable payload is the
+   whole report. *)
+let stable_json = json
+
+let pp ppf (r : Advise.t) =
+  Format.fprintf ppf
+    "advise %s%s (seed %d, %g%% confidence, target halfwidth %g)@\n"
+    r.Advise.workload_name
+    (if r.Advise.model <> Moard_bits.Errmodel.Single_bit then
+       " [" ^ Moard_bits.Errmodel.to_string r.Advise.model ^ "]"
+     else "")
+    r.Advise.seed
+    (100.0 *. r.Advise.confidence)
+    r.Advise.ci_width;
+  List.iter
+    (fun (o : Advise.object_advice) ->
+      Format.fprintf ppf
+        "  %-14s aDVF %.4f  vuln %.4f  %6d B  %5d sites  contribution %.3g%s@\n"
+        o.Advise.object_name o.Advise.advf o.Advise.vulnerability
+        o.Advise.bytes o.Advise.sites o.Advise.contribution
+        (match o.Advise.recommended with
+        | None -> ""
+        | Some id -> "  -> " ^ id);
+      List.iter
+        (fun (p : Advise.plan_outcome) ->
+          Format.fprintf ppf
+            "    %-18s residual %.4f  reduction %8.1fx  overhead %.2fx%s@\n"
+            p.Advise.id p.Advise.vulnerability p.Advise.reduction
+            p.Advise.overhead
+            (if p.Advise.pareto then "  [pareto]" else ""))
+        o.Advise.plans)
+    r.Advise.objects

@@ -1,0 +1,12 @@
+(** Rendering of {!Moard_advise.Advise} results: deterministic canonical
+    JSON (the Pareto report served by the store, the daemon and the
+    cluster byte-identically) and a human-readable summary. *)
+
+val json : Moard_advise.Advise.t -> string
+
+val stable_json : Moard_advise.Advise.t -> string
+(** Identical to {!json}: an advise report carries no perf section —
+    every field is a deterministic function of the design — so the
+    stored/served payload is the whole report. *)
+
+val pp : Format.formatter -> Moard_advise.Advise.t -> unit

@@ -60,9 +60,14 @@ let idempotent req =
 (* Typed errors that mean "try again later": the daemon refused before
    doing any work.  "integrity" is a request whose checksum did not
    survive the wire — rejected before dispatch, so a resend is safe
-   even for non-idempotent ops. *)
-let retryable_code = function
+   even for non-idempotent ops.  "unavailable" is the cluster proxy
+   reporting that no shard answered — by then the request may already
+   have escaped to a shard, so a resend is safe only for idempotent
+   ops (a duplicate pure read recomputes byte-identical content;
+   a duplicate campaign could interleave with a journal append). *)
+let retryable_code ~idempotent = function
   | "overloaded" | "draining" | "integrity" -> true
+  | "unavailable" -> idempotent
   | _ -> false
 
 (* Connection-refused family: the daemon is not there (yet). *)
@@ -111,7 +116,9 @@ let rpc_retry ?(attempts = 5) ?(base_delay_s = 0.05) ?(max_delay_s = 2.0)
     match attempt () with
     | (header, _) as resp -> (
       match error_of header with
-      | Some (code, _) when retryable_code code && i + 1 < attempts ->
+      | Some (code, _)
+        when retryable_code ~idempotent:may_retry_transport code
+             && i + 1 < attempts ->
         Unix.sleepf (backoff i);
         go (i + 1)
       | _ -> resp)

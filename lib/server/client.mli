@@ -56,6 +56,10 @@ val rpc_retry :
     - typed [overloaded]/[draining]/[integrity] responses — the daemon
       refused before doing any work (the last is a request checksum
       that did not survive the wire);
+    - typed [unavailable] responses (a cluster proxy with no healthy
+      shard for the key) — {e only} for idempotent requests, since the
+      proxy may have already forwarded the request to a shard before
+      giving up;
     - transport failures mid-request (torn frame, dropped response,
       receive timeout) — {e only} for idempotent requests. A campaign
       run ([op = "campaign"]) advances a server-side journal, so once

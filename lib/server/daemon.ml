@@ -323,6 +323,33 @@ let compute t ~cancel req op =
         ("target", Jsonx.Int target);
       ]
       payload
+  | "advise" ->
+    let e = entry_of req in
+    let geti name d =
+      Option.value ~default:d (Jsonx.int (Jsonx.member name req))
+    in
+    let getf name d =
+      Option.value ~default:d (Jsonx.float (Jsonx.member name req))
+    in
+    let model = model_of req in
+    let seed = geti "seed" 42 in
+    let confidence = getf "confidence" 0.95 in
+    let ci_width = getf "ci_width" 0.02 in
+    let max_samples = geti "max_samples" (-1) in
+    let domains = geti "domains" 1 in
+    let wl = e.Registry.workload () in
+    let objects = objects_of req e in
+    let key =
+      Key.advise ~program:wl.Moard_inject.Workload.program ~objects ~model
+        ~seed ~confidence ~ci_width ~max_samples
+    in
+    let payload, status =
+      Query.advise t.st ~model ~seed ~confidence ~ci_width ~max_samples
+        ~domains ~batch:t.cfg.batch ~cancel ~workload:wl ~objects ()
+    in
+    serve_result ~op ~key ~status
+      [ ("benchmark", Jsonx.Str e.Registry.benchmark) ]
+      payload
   | _ -> (Protocol.error ~code:"bad-request" ~message:("unknown op " ^ op), None)
 
 let stat_response t =
@@ -571,7 +598,7 @@ let dispatch t ?fd ?deadline_s req =
         None )
     | Some "stat" -> (stat_response t, None)
     | Some "warm" -> enqueue_warm t req
-    | Some (("advf" | "campaign" | "report" | "predict") as op) -> (
+    | Some (("advf" | "campaign" | "report" | "predict" | "advise") as op) -> (
       match integrity_error req with
       | Some e -> (e, None)
       | None -> (

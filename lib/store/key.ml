@@ -81,6 +81,24 @@ let predict ~programs ~object_name ~model ~seed ~confidence ~ci_width
       ("target", string_of_int target);
     ]
 
+let advise ~program ~objects ~model ~seed ~confidence ~ci_width
+    ~max_samples =
+  of_parts
+    [
+      ("query", "advise");
+      ("program", program_hash program);
+      ("objects", String.concat "," objects);
+      ("pattern", Moard_bits.Errmodel.to_string model);
+      ("seed", string_of_int seed);
+      ("confidence", Printf.sprintf "%.17g" confidence);
+      ("ci_width", Printf.sprintf "%.17g" ci_width);
+      ("max_samples", string_of_int max_samples);
+      (* the advisor's transform generation is part of the function being
+         cached: changing what plans are generated or how a transform
+         rewrites the IR must go cold, not serve stale advice *)
+      ("transforms", "v1");
+    ]
+
 let tape ~program ~entry =
   of_parts
     [ ("query", "tape"); ("program", program_hash program); ("entry", entry) ]

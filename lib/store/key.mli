@@ -56,5 +56,21 @@ val predict :
     training plans are built from, and the target size. Anything that
     could change a predicted byte changes the key. *)
 
+val advise :
+  program:Moard_ir.Program.t ->
+  objects:string list ->
+  model:Moard_bits.Errmodel.t ->
+  seed:int ->
+  confidence:float ->
+  ci_width:float ->
+  max_samples:int ->
+  t
+(** Key of a resilience-advisor report: the unprotected program (the
+    protected variants are derived from it deterministically), the target
+    objects in request order, the campaign parameters, and a transform
+    generation tag — the advisor's plan generation and IR rewrites are
+    part of the cached function, so changing them rolls the keys cold
+    instead of serving stale advice. *)
+
 val tape : program:Moard_ir.Program.t -> entry:string -> t
 (** Key of a packed golden tape: program and entry point. *)

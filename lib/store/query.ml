@@ -113,6 +113,29 @@ let predict store ?model ?(seed = 42) ?(confidence = 0.95) ?(ci_width = 0.02)
     Store.put store ~key ~kind payload;
     (payload, (if miss = Store.Corrupted then Recomputed else Computed), Some p)
 
+let advise_payload ?model ?seed ?confidence ?ci_width ?max_samples ?domains
+    ?batch ?cancel ?objects workload =
+  Moard_report.Advise_report.stable_json
+    (Moard_advise.Advise.run ?model ?seed ?confidence ?ci_width ?max_samples
+       ?domains ?batch ?cancel ?objects workload)
+
+let advise store ?(model = Moard_bits.Errmodel.Single_bit) ?(seed = 42)
+    ?(confidence = 0.95) ?(ci_width = 0.02) ?(max_samples = -1) ?domains
+    ?batch ?cancel ~workload ~objects () =
+  let wl : Moard_inject.Workload.t = workload in
+  let objects =
+    match objects with
+    | [] -> wl.Moard_inject.Workload.targets
+    | l -> l
+  in
+  let key =
+    Key.advise ~program:wl.Moard_inject.Workload.program ~objects ~model
+      ~seed ~confidence ~ci_width ~max_samples
+  in
+  get_or_compute store ~key ~kind:Record.Advise (fun () ->
+      advise_payload ~model ~seed ~confidence ~ci_width ~max_samples ?domains
+        ?batch ?cancel ~objects wl)
+
 let tape_payload ctx = Marshal.to_string (Context.tape ctx) []
 
 let tape store ~ctx ~program ~entry () =

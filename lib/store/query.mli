@@ -99,6 +99,44 @@ val predict :
     propagate before anything is stored.
     Defaults match {!Moard_predict.Predict.run}. *)
 
+val advise_payload :
+  ?model:Moard_bits.Errmodel.t ->
+  ?seed:int ->
+  ?confidence:float ->
+  ?ci_width:float ->
+  ?max_samples:int ->
+  ?domains:int ->
+  ?batch:bool ->
+  ?cancel:Moard_chaos.Cancel.t ->
+  ?objects:string list ->
+  Moard_inject.Workload.t ->
+  string
+(** The canonical advisor payload
+    ({!Moard_report.Advise_report.stable_json}): rank, protect, measure
+    — computed directly, no store. Deterministic per (workload,
+    parameters); neither [domains] nor [batch] changes a byte. *)
+
+val advise :
+  Store.t ->
+  ?model:Moard_bits.Errmodel.t ->
+  ?seed:int ->
+  ?confidence:float ->
+  ?ci_width:float ->
+  ?max_samples:int ->
+  ?domains:int ->
+  ?batch:bool ->
+  ?cancel:Moard_chaos.Cancel.t ->
+  workload:Moard_inject.Workload.t ->
+  objects:string list ->
+  unit ->
+  string * status
+(** Get-or-compute a resilience-advisor report. [objects] = [[]] means
+    the workload's target objects (resolved before keying, so the two
+    spellings share one entry). The protected-variant campaigns run
+    without journals — each is a fresh in-memory campaign; the advise
+    payload as a whole is the cached unit. A tripped [cancel] raises
+    out of the compute path before anything is stored. *)
+
 val tape_payload : Moard_inject.Context.t -> string
 (** The packed golden tape, marshalled. *)
 

@@ -1,18 +1,25 @@
-type kind = Advf | Campaign | Tape | Predict
+type kind = Advf | Campaign | Tape | Predict | Advise
 
 let kind_name = function
   | Advf -> "advf"
   | Campaign -> "campaign"
   | Tape -> "tape"
   | Predict -> "predict"
+  | Advise -> "advise"
 
-let kind_code = function Advf -> 0 | Campaign -> 1 | Tape -> 2 | Predict -> 3
+let kind_code = function
+  | Advf -> 0
+  | Campaign -> 1
+  | Tape -> 2
+  | Predict -> 3
+  | Advise -> 4
 
 let kind_of_code = function
   | 0 -> Some Advf
   | 1 -> Some Campaign
   | 2 -> Some Tape
   | 3 -> Some Predict
+  | 4 -> Some Advise
   | _ -> None
 
 type corruption =

@@ -7,7 +7,7 @@
     offset  size  field
     0       8     magic "MOARDREC"
     8       1     format version (1)
-    9       1     kind (0 advf, 1 campaign, 2 tape, 3 predict)
+    9       1     kind (0 advf, 1 campaign, 2 tape, 3 predict, 4 advise)
     10      8     payload length, big-endian
     18      8     FNV-1a 64 checksum of the payload, big-endian
     26      n     payload bytes
@@ -17,7 +17,7 @@
     format comes back as a {!corruption} value, never as a payload — the
     store deletes such an entry and the caller recomputes. *)
 
-type kind = Advf | Campaign | Tape | Predict
+type kind = Advf | Campaign | Tape | Predict | Advise
 
 val kind_name : kind -> string
 

@@ -7,4 +7,5 @@ let () =
    @ Test_opt.suite @ Test_text.suite @ Test_derive.suite @ Test_parallel.suite @ Test_placement.suite @ Test_edges.suite @ Test_pipeline.suite
    @ Test_campaign.suite @ Test_campaign_diff.suite @ Test_store.suite
    @ Test_server.suite @ Test_batched.suite @ Test_chaos.suite
-   @ Test_cluster.suite @ Test_predict.suite @ Test_parallel_vm.suite)
+   @ Test_cluster.suite @ Test_predict.suite @ Test_parallel_vm.suite
+   @ Test_advise.suite)

@@ -144,40 +144,84 @@ let pass_tests =
           | _ -> false)));
   ]
 
-(* Differential execution: every benchmark behaves identically at -O2. *)
+(* Differential execution: every benchmark behaves identically at every
+   optimization level and under every individual pass. The observation
+   is (output bit images | trap): a transformed program must finish with
+   the same bytes, or trap with the same trap, as the original. *)
+type observed = Out of int64 list | Trap of string
+
+let observe (w : Moard_inject.Workload.t) prog =
+  let m = Machine.load prog in
+  let r = Machine.run m ~entry:w.Moard_inject.Workload.entry in
+  match r.Machine.outcome with
+  | Machine.Finished _ ->
+    Out
+      (List.concat_map
+         (fun name ->
+           match (P.global prog name).P.gty with
+           | T.F64 ->
+             Array.to_list
+               (Array.map Int64.bits_of_float
+                  (Machine.read_f64s m r.Machine.mem name))
+           | _ -> Array.to_list (Machine.read_i64s m r.Machine.mem name))
+         w.Moard_inject.Workload.outputs)
+  | Machine.Trapped t -> Trap (Moard_vm.Trap.to_string t)
+
+let check_observed bench what plain transformed =
+  match (plain, transformed) with
+  | Out a, Out b ->
+    if a <> b then Alcotest.failf "%s: %s outputs differ" bench what
+  | Trap a, Trap b ->
+    if a <> b then
+      Alcotest.failf "%s: %s trap differs (%s vs %s)" bench what a b
+  | Out _, Trap t ->
+    Alcotest.failf "%s: %s trapped (%s) where the original finished" bench
+      what t
+  | Trap t, Out _ ->
+    Alcotest.failf "%s: %s finished where the original trapped (%s)" bench
+      what t
+
 let differential_tests =
   [
-    Alcotest.test_case "optimized benchmarks produce identical outputs"
-      `Slow (fun () ->
+    Alcotest.test_case
+      "benchmarks behave identically per pass and at every level" `Slow
+      (fun () ->
+        let named_passes =
+          [
+            ("const_fold", Passes.const_fold);
+            ("copy_prop", Passes.copy_prop);
+            ("branch_simplify", Passes.branch_simplify);
+            ("dce", Passes.dce);
+          ]
+        in
         List.iter
           (fun (e : Moard_kernels.Registry.entry) ->
+            let bench = e.Moard_kernels.Registry.benchmark in
             let w = e.Moard_kernels.Registry.workload () in
-            let run prog =
-              let m = Machine.load prog in
-              let r = Machine.run m ~entry:w.Moard_inject.Workload.entry in
-              match r.Machine.outcome with
-              | Machine.Finished _ ->
-                List.concat_map
-                  (fun name ->
-                    match
-                      (P.global prog name).P.gty
-                    with
-                    | T.F64 ->
-                      Array.to_list
-                        (Array.map Int64.bits_of_float
-                           (Machine.read_f64s m r.Machine.mem name))
-                    | _ ->
-                      Array.to_list (Machine.read_i64s m r.Machine.mem name))
-                  w.Moard_inject.Workload.outputs
-              | Machine.Trapped t ->
-                Alcotest.failf "%s trapped: %s" e.Moard_kernels.Registry.benchmark
-                  (Moard_vm.Trap.to_string t)
-            in
-            let plain = run w.Moard_inject.Workload.program in
-            let opt = run (Passes.optimize w.Moard_inject.Workload.program) in
-            if plain <> opt then
-              Alcotest.failf "%s: optimized outputs differ"
-                e.Moard_kernels.Registry.benchmark)
+            let prog = w.Moard_inject.Workload.program in
+            let plain = observe w prog in
+            (* every level, trap-equivalent *)
+            List.iter
+              (fun level ->
+                check_observed bench
+                  (Printf.sprintf "-O%d" level)
+                  plain
+                  (observe w (Passes.optimize ~level prog)))
+              [ 0; 1; 2 ];
+            (* every single pass in isolation, trap-equivalent *)
+            List.iter
+              (fun (name, pass) ->
+                let p =
+                  {
+                    prog with
+                    P.funcs =
+                      List.map
+                        (fun fn -> Passes.optimize_func ~passes:[ pass ] fn)
+                        prog.P.funcs;
+                  }
+                in
+                check_observed bench name plain (observe w p))
+              named_passes)
           Moard_kernels.Registry.all);
     Alcotest.test_case "optimization shortens traces" `Quick (fun () ->
         let w = Moard_kernels.Lulesh.workload () in
@@ -202,5 +246,99 @@ let differential_tests =
           Moard_kernels.Registry.all);
   ]
 
+(* Protection transforms: candidate plans for every registry object must
+   validate and be behaviour-preserving fault-free — bit-identical
+   outputs and identical trap behaviour — since protection that changes
+   the golden run would corrupt every downstream measurement. *)
+module Protect = Moard_opt.Protect
+
+let protect_tests =
+  [
+    Alcotest.test_case "plan ids and transform names roundtrip" `Quick
+      (fun () ->
+        List.iter
+          (fun t ->
+            Alcotest.(check (option bool))
+              "roundtrip" (Some true)
+              (Option.map
+                 (fun t' -> t' = t)
+                 (Protect.transform_of_name (Protect.transform_name t))))
+          [ Protect.Abft; Protect.Clamp; Protect.Dwc ];
+        Alcotest.(check string)
+          "id" "C:clamp+dwc"
+          (Protect.plan_id
+             {
+               Protect.object_name = "C";
+               transforms = [ Protect.Clamp; Protect.Dwc ];
+             }));
+    Alcotest.test_case "every candidate plan validates" `Quick (fun () ->
+        List.iter
+          (fun (e : Moard_kernels.Registry.entry) ->
+            let w = e.Moard_kernels.Registry.workload () in
+            let segment fn = Moard_inject.Workload.in_segment w fn in
+            List.iter
+              (fun obj ->
+                List.iter
+                  (fun plan ->
+                    let p =
+                      Protect.apply w.Moard_inject.Workload.program ~segment
+                        plan
+                    in
+                    match
+                      Moard_ir.Validate.check_program
+                        ~intrinsics:Moard_vm.Semantics.intrinsics p
+                    with
+                    | Ok () -> ()
+                    | Error msg ->
+                      Alcotest.failf "%s %s: %s"
+                        e.Moard_kernels.Registry.benchmark
+                        (Protect.plan_id plan) msg)
+                  (Protect.candidates w.Moard_inject.Workload.program
+                     ~segment ~obj))
+              w.Moard_inject.Workload.targets)
+          Moard_kernels.Registry.all);
+    Alcotest.test_case
+      "every candidate plan is behaviour-preserving fault-free" `Slow
+      (fun () ->
+        List.iter
+          (fun (e : Moard_kernels.Registry.entry) ->
+            let w = e.Moard_kernels.Registry.workload () in
+            let segment fn = Moard_inject.Workload.in_segment w fn in
+            let plain = observe w w.Moard_inject.Workload.program in
+            List.iter
+              (fun obj ->
+                List.iter
+                  (fun plan ->
+                    let pw = Protect.protect_workload w plan in
+                    check_observed e.Moard_kernels.Registry.benchmark
+                      (Protect.plan_id plan) plain
+                      (observe pw pw.Moard_inject.Workload.program))
+                  (Protect.candidates w.Moard_inject.Workload.program
+                     ~segment ~obj))
+              w.Moard_inject.Workload.targets)
+          Moard_kernels.Registry.all);
+    Alcotest.test_case "dwc adds instructions but not sites" `Quick (fun () ->
+        let w = Moard_kernels.Abft_mm.workload () in
+        let plan = { Protect.object_name = "C"; transforms = [ Protect.Dwc ] } in
+        let pw = Protect.protect_workload w plan in
+        let steps prog entry =
+          let m = Machine.load prog in
+          (Machine.run m ~entry).Machine.steps
+        in
+        let before =
+          steps w.Moard_inject.Workload.program
+            w.Moard_inject.Workload.entry
+        in
+        let after =
+          steps pw.Moard_inject.Workload.program
+            pw.Moard_inject.Workload.entry
+        in
+        assert (after > before));
+  ]
+
 let suite =
-  [ ("opt.passes", pass_tests); ("opt.differential", differential_tests) ]
+  [
+    ("opt.passes", pass_tests);
+    ("opt.differential", differential_tests);
+    ("opt.protect", protect_tests);
+  ]
